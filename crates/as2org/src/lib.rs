@@ -1,0 +1,323 @@
+#![warn(missing_docs)]
+
+//! AS-to-organization mapping and sibling ASN clustering.
+//!
+//! Reproduces the paper's §4.4 inputs: the CAIDA AS2Org dataset (ASN → owner
+//! organization, largely inferred from WHOIS) plus the sibling inferences of
+//! *as2org+* (Arturi et al.) and IIL-AS2Org (Chen et al.), which add edges
+//! between ASNs operated by the same organization. The union of org-id
+//! grouping and sibling edges yields **ASN Clusters** — the unit of
+//! "shared routing operation" used by the 𝓐 clustering step (§5.3.2).
+//!
+//! Data travels in the workspace TSV dialect so synthetic and (eventually)
+//! real datasets interchange freely.
+
+use std::collections::{BTreeMap, HashMap};
+
+use p2o_util::{tsv, UnionFind};
+
+/// One AS2Org record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsOrgRecord {
+    /// The autonomous system number.
+    pub asn: u32,
+    /// Registry organization id (e.g. `VB-ARIN`); ASNs sharing an org id
+    /// belong to the same organization.
+    pub org_id: String,
+    /// The organization's name.
+    pub org_name: String,
+    /// ISO country code.
+    pub country: String,
+}
+
+/// The AS2Org database plus sibling edge sets.
+#[derive(Debug, Default)]
+pub struct As2OrgDb {
+    records: HashMap<u32, AsOrgRecord>,
+    sibling_edges: Vec<(u32, u32)>,
+}
+
+impl As2OrgDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a record.
+    pub fn add_record(&mut self, record: AsOrgRecord) {
+        self.records.insert(record.asn, record);
+    }
+
+    /// Adds a sibling edge from an external inference dataset (as2org+ /
+    /// IIL-AS2Org style).
+    pub fn add_sibling_edge(&mut self, a: u32, b: u32) {
+        self.sibling_edges.push((a, b));
+    }
+
+    /// Loads records from TSV: `asn, org_id, org_name, country`.
+    pub fn load_records_tsv(&mut self, text: &str) -> Result<usize, String> {
+        let rows = tsv::parse_rows(text, 4).map_err(|e| e.to_string())?;
+        let n = rows.len();
+        for row in rows {
+            let asn: u32 = row[0]
+                .parse()
+                .map_err(|_| format!("bad ASN {:?}", row[0]))?;
+            self.add_record(AsOrgRecord {
+                asn,
+                org_id: row[1].clone(),
+                org_name: row[2].clone(),
+                country: row[3].clone(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Loads sibling edges from TSV: `asn_a, asn_b`.
+    pub fn load_siblings_tsv(&mut self, text: &str) -> Result<usize, String> {
+        let rows = tsv::parse_rows(text, 2).map_err(|e| e.to_string())?;
+        let n = rows.len();
+        for row in rows {
+            let a: u32 = row[0].parse().map_err(|_| format!("bad ASN {:?}", row[0]))?;
+            let b: u32 = row[1].parse().map_err(|_| format!("bad ASN {:?}", row[1]))?;
+            self.add_sibling_edge(a, b);
+        }
+        Ok(n)
+    }
+
+    /// Serializes the records to TSV.
+    pub fn records_tsv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = self
+            .records
+            .values()
+            .map(|r| {
+                vec![
+                    r.asn.to_string(),
+                    r.org_id.clone(),
+                    r.org_name.clone(),
+                    r.country.clone(),
+                ]
+            })
+            .collect();
+        rows.sort();
+        tsv::write_rows(&rows)
+    }
+
+    /// The record for an ASN.
+    pub fn record(&self, asn: u32) -> Option<&AsOrgRecord> {
+        self.records.get(&asn)
+    }
+
+    /// The organization name for an ASN.
+    pub fn org_name(&self, asn: u32) -> Option<&str> {
+        self.records.get(&asn).map(|r| r.org_name.as_str())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All organization names in the database (the §8.1 case study excludes
+    /// Prefix2Org organizations appearing here).
+    pub fn all_org_names(&self) -> impl Iterator<Item = &str> {
+        self.records.values().map(|r| r.org_name.as_str())
+    }
+
+    /// Computes ASN clusters: union ASNs sharing an `org_id`, then apply
+    /// sibling edges.
+    pub fn cluster(&self) -> AsnClusters {
+        let mut asns: Vec<u32> = self.records.keys().copied().collect();
+        for &(a, b) in &self.sibling_edges {
+            asns.push(a);
+            asns.push(b);
+        }
+        asns.sort_unstable();
+        asns.dedup();
+        let index: HashMap<u32, usize> =
+            asns.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+
+        let mut uf = UnionFind::new(asns.len());
+        // Group by org id.
+        let mut by_org: HashMap<&str, usize> = HashMap::new();
+        for rec in self.records.values() {
+            let i = index[&rec.asn];
+            match by_org.entry(rec.org_id.as_str()) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    uf.union(*o.get(), i);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+            }
+        }
+        // Apply sibling edges.
+        for &(a, b) in &self.sibling_edges {
+            uf.union(index[&a], index[&b]);
+        }
+
+        // Representative = smallest ASN in the component.
+        let mut rep_of_root: HashMap<usize, u32> = HashMap::new();
+        for &asn in &asns {
+            let root = uf.find(index[&asn]);
+            let rep = rep_of_root.entry(root).or_insert(asn);
+            if asn < *rep {
+                *rep = asn;
+            }
+        }
+        let mut cluster_of = HashMap::with_capacity(asns.len());
+        let mut members: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &asn in &asns {
+            let rep = rep_of_root[&uf.find(index[&asn])];
+            cluster_of.insert(asn, rep);
+            members.entry(rep).or_default().push(asn);
+        }
+        AsnClusters {
+            cluster_of,
+            members,
+        }
+    }
+}
+
+/// The computed ASN clusters: each ASN maps to a cluster id (the smallest
+/// member ASN, matching the paper's Table 3 presentation where clusters are
+/// labeled by an ASN).
+#[derive(Debug, Default, Clone)]
+pub struct AsnClusters {
+    cluster_of: HashMap<u32, u32>,
+    members: BTreeMap<u32, Vec<u32>>,
+}
+
+impl AsnClusters {
+    /// The cluster id of an ASN. Unknown ASNs are their own singleton
+    /// cluster (an AS seen in BGP but absent from AS2Org).
+    pub fn cluster_id(&self, asn: u32) -> u32 {
+        self.cluster_of.get(&asn).copied().unwrap_or(asn)
+    }
+
+    /// Whether two ASNs are inferred siblings.
+    pub fn same_cluster(&self, a: u32, b: u32) -> bool {
+        self.cluster_id(a) == self.cluster_id(b)
+    }
+
+    /// The members of a cluster, sorted (singleton for unknown ids).
+    pub fn members(&self, cluster_id: u32) -> Vec<u32> {
+        self.members
+            .get(&cluster_id)
+            .cloned()
+            .unwrap_or_else(|| vec![cluster_id])
+    }
+
+    /// Number of known clusters.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no clusters are known.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates `(cluster_id, members)` in cluster-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Vec<u32>)> {
+        self.members.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(asn: u32, org_id: &str, name: &str) -> AsOrgRecord {
+        AsOrgRecord {
+            asn,
+            org_id: org_id.into(),
+            org_name: name.into(),
+            country: "US".into(),
+        }
+    }
+
+    #[test]
+    fn org_id_groups_asns() {
+        let mut db = As2OrgDb::new();
+        db.add_record(rec(701, "VB-ARIN", "Verizon Business"));
+        db.add_record(rec(702, "VB-ARIN", "Verizon Business"));
+        db.add_record(rec(3356, "LVLT-ARIN", "Level 3 Parent, LLC"));
+        let clusters = db.cluster();
+        assert!(clusters.same_cluster(701, 702));
+        assert!(!clusters.same_cluster(701, 3356));
+        assert_eq!(clusters.cluster_id(702), 701); // smallest member
+        assert_eq!(clusters.members(701), vec![701, 702]);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn sibling_edges_bridge_org_ids() {
+        // as2org+/IIL add links that org ids miss (e.g. Verizon's APAC ASNs
+        // registered under different regional org ids).
+        let mut db = As2OrgDb::new();
+        db.add_record(rec(701, "VB-ARIN", "Verizon Business"));
+        db.add_record(rec(18692, "VZJ-APNIC", "Verizon Japan Ltd"));
+        db.add_record(rec(395753, "VZHK-APNIC", "Verizon Hong Kong Ltd"));
+        db.add_sibling_edge(701, 18692);
+        db.add_sibling_edge(18692, 395753);
+        let clusters = db.cluster();
+        assert!(clusters.same_cluster(701, 395753));
+        assert_eq!(clusters.cluster_id(395753), 701);
+        assert_eq!(clusters.members(701).len(), 3);
+    }
+
+    #[test]
+    fn sibling_edges_may_name_unknown_asns() {
+        let mut db = As2OrgDb::new();
+        db.add_record(rec(100, "A", "A Org"));
+        db.add_sibling_edge(100, 99999); // 99999 not in AS2Org
+        let clusters = db.cluster();
+        assert!(clusters.same_cluster(100, 99999));
+    }
+
+    #[test]
+    fn unknown_asn_is_singleton() {
+        let db = As2OrgDb::new();
+        let clusters = db.cluster();
+        assert_eq!(clusters.cluster_id(64512), 64512);
+        assert_eq!(clusters.members(64512), vec![64512]);
+        assert!(!clusters.same_cluster(64512, 64513));
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut db = As2OrgDb::new();
+        db.add_record(rec(701, "VB-ARIN", "Verizon Business"));
+        db.add_record(rec(2497, "IIJ", "Internet Initiative Japan"));
+        let text = db.records_tsv();
+        let mut db2 = As2OrgDb::new();
+        assert_eq!(db2.load_records_tsv(&text).unwrap(), 2);
+        assert_eq!(db2.org_name(2497), Some("Internet Initiative Japan"));
+        assert_eq!(db2.len(), 2);
+    }
+
+    #[test]
+    fn siblings_tsv() {
+        let mut db = As2OrgDb::new();
+        db.add_record(rec(1, "A", "A"));
+        db.add_record(rec(2, "B", "B"));
+        assert_eq!(db.load_siblings_tsv("1\t2\n").unwrap(), 1);
+        assert!(db.cluster().same_cluster(1, 2));
+        assert!(db.load_siblings_tsv("x\t2\n").is_err());
+        assert!(db.load_records_tsv("1\tonly-two\n").is_err());
+    }
+
+    #[test]
+    fn replacing_a_record_updates_name() {
+        let mut db = As2OrgDb::new();
+        db.add_record(rec(1, "A", "Old"));
+        db.add_record(rec(1, "A", "New"));
+        assert_eq!(db.org_name(1), Some("New"));
+        assert_eq!(db.len(), 1);
+    }
+}

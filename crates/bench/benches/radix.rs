@@ -1,0 +1,78 @@
+//! Criterion benches for the radix-tree substrate: insertion, longest
+//! match, the §5.2 covering-chain walk, and subtree enumeration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2o_net::Prefix4;
+use p2o_radix::RadixTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_prefixes(n: usize, seed: u64) -> Vec<Prefix4> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Prefix4::new_truncated(rng.random::<u32>(), rng.random_range(8..=24)))
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_insert");
+    for n in [1_000usize, 10_000, 100_000] {
+        let prefixes = random_prefixes(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prefixes, |b, prefixes| {
+            b.iter_batched(
+                RadixTree::<Prefix4, u32>::new,
+                |mut tree| {
+                    for (i, p) in prefixes.iter().enumerate() {
+                        tree.insert(*p, i as u32);
+                    }
+                    tree
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let prefixes = random_prefixes(100_000, 2);
+    let tree: RadixTree<Prefix4, u32> = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i as u32))
+        .collect();
+    let queries = random_prefixes(1_000, 3);
+
+    let mut group = c.benchmark_group("radix_query");
+    group.bench_function("longest_match_1k", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(tree.longest_match(q));
+            }
+        });
+    });
+    group.bench_function("covering_chain_1k", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(tree.covering(q).count());
+            }
+        });
+    });
+    group.bench_function("exact_get_1k", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(tree.get(q));
+            }
+        });
+    });
+    group.bench_function("subtree_slash12", |b| {
+        let root = Prefix4::new_truncated(0, 12);
+        b.iter(|| black_box(tree.subtree(&root).count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookups);
+criterion_main!(benches);

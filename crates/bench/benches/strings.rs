@@ -1,0 +1,66 @@
+//! Criterion benches comparing the rule-based cleaning pipeline against the
+//! fuzzy baselines the paper evaluated and rejected (§5.3): throughput of
+//! base-name extraction vs pairwise similarity scoring.
+//!
+//! Beyond speed, the rule-based approach is O(n) in corpus size while any
+//! pairwise fuzzy scheme is O(n²) — the benches make that asymmetry visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2o_strings::baselines::{jaro_winkler, levenshtein_similarity, token_set_ratio};
+use p2o_strings::BaseNameExtractor;
+use p2o_synth::{World, WorldConfig};
+
+fn corpus() -> Vec<String> {
+    let world = World::generate(WorldConfig::default_scale(0x57A7));
+    world
+        .orgs
+        .iter()
+        .flat_map(|o| o.names.iter().map(|n| n.name.clone()))
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let names = corpus();
+    let mut group = c.benchmark_group("name_cleaning");
+    group.bench_function("build_extractor", |b| {
+        b.iter(|| black_box(BaseNameExtractor::build(names.iter(), 100)));
+    });
+    let extractor = BaseNameExtractor::build(names.iter(), 100);
+    group.bench_function("extract_all", |b| {
+        b.iter(|| {
+            for name in &names {
+                black_box(extractor.extract(name));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let names = corpus();
+    let sample: Vec<&String> = names.iter().take(100).collect();
+    let mut group = c.benchmark_group("fuzzy_baselines_100x100");
+    for (label, f) in [
+        ("levenshtein", levenshtein_similarity as fn(&str, &str) -> f64),
+        ("jaro_winkler", jaro_winkler as fn(&str, &str) -> f64),
+        ("token_set_ratio", token_set_ratio as fn(&str, &str) -> f64),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &f, |b, f| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for a in &sample {
+                    for bn in &sample {
+                        acc += f(a, bn);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_baselines);
+criterion_main!(benches);

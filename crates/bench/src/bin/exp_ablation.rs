@@ -1,0 +1,79 @@
+//! Ablation of the cluster-merge evidence sources (§6's decomposition of
+//! the 𝓡 and 𝓐 contributions): runs the clustering with RPKI-only,
+//! ASN-only, both, and neither, and reports what each source contributes.
+//!
+//! Paper shape to match: 𝓡-only and 𝓐-only each recover a real share of
+//! the aggregation (paper: 4.8% vs 16.1% of IPv4 prefixes re-clustered),
+//! their union recovers more than either alone, and with neither the final
+//! clusters degenerate to the exact-name 𝒲 clusters.
+
+use prefix2org::cluster::ClusterOptions;
+use prefix2org::{Pipeline, PipelineInputs};
+
+fn main() {
+    let (_world, built, _full) = p2o_bench::standard();
+    let inputs = PipelineInputs {
+        delegations: &built.tree,
+        routes: &built.routes,
+        asn_clusters: &built.clusters,
+        rpki: &built.rpki,
+    };
+
+    println!("Ablation: contribution of RPKI (R) and origin-ASN (A) evidence\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (label, use_rpki, use_asn) in [
+        ("neither (W only)", false, false),
+        ("RPKI only (W+R)", true, false),
+        ("ASN only (W+A)", false, true),
+        ("both (Prefix2Org)", true, true),
+    ] {
+        let pipeline = Pipeline {
+            cluster_options: ClusterOptions {
+                use_rpki,
+                use_asn,
+                ..ClusterOptions::default()
+            },
+            threads: 4,
+        };
+        let ds = pipeline.run(&inputs);
+        let m = ds.metrics().clone();
+        rows.push(vec![
+            label.to_string(),
+            m.final_clusters.to_string(),
+            m.multi_name_clusters.to_string(),
+            p2o_bench::pct(m.pct_v4_prefixes_multi_name),
+            p2o_bench::pct(m.pct_v4_space_multi_name),
+        ]);
+        results.push((label, m));
+    }
+    p2o_bench::print_table(
+        &[
+            "Evidence",
+            "Final clusters",
+            "Multi-name clusters",
+            "% v4 prefixes multi-name",
+            "% v4 space multi-name",
+        ],
+        &rows,
+    );
+
+    let w_only = &results[0].1;
+    let both = &results[3].1;
+    assert_eq!(
+        w_only.final_clusters, w_only.direct_owners,
+        "no evidence -> default clusters"
+    );
+    assert!(
+        both.final_clusters < results[1].1.final_clusters
+            || both.final_clusters < results[2].1.final_clusters,
+        "union of evidence must aggregate at least as much as either source"
+    );
+    println!(
+        "\nAggregation recovered: R-only {} merges, A-only {} merges, both {} merges",
+        w_only.final_clusters - results[1].1.final_clusters,
+        w_only.final_clusters - results[2].1.final_clusters,
+        w_only.final_clusters - both.final_clusters,
+    );
+    println!("Paper: R clusters add 4.8% of IPv4 prefixes, A clusters 16.1%, union 21.5%.");
+}

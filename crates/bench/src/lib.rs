@@ -1,0 +1,80 @@
+//! Shared plumbing for the experiment binaries and benches.
+//!
+//! Every `exp_*` binary regenerates one table or figure of the paper from
+//! the **standard world** — the default-scale synthetic Internet at a fixed
+//! seed — so the numbers across experiments are mutually consistent, the way
+//! the paper's all derive from one September 2024 snapshot. See
+//! EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
+//! comparison.
+
+use p2o_synth::{BuiltInputs, World, WorldConfig};
+use prefix2org::{Pipeline, Prefix2OrgDataset, PipelineInputs};
+
+/// The fixed seed all experiments share.
+pub const STANDARD_SEED: u64 = 0x20240901;
+
+/// Generates the standard world and runs the full pipeline on it.
+pub fn standard() -> (World, BuiltInputs, Prefix2OrgDataset) {
+    world_at(WorldConfig::default_scale(STANDARD_SEED))
+}
+
+/// Generates a world at any config and runs the pipeline.
+pub fn world_at(config: WorldConfig) -> (World, BuiltInputs, Prefix2OrgDataset) {
+    let world = World::generate(config);
+    let built = world.build_inputs();
+    assert!(
+        built.rpki_problems.is_empty(),
+        "synthetic RPKI must validate cleanly: {:?}",
+        built.rpki_problems
+    );
+    let dataset = Pipeline::with_threads(4).run(&PipelineInputs {
+        delegations: &built.tree,
+        routes: &built.routes,
+        asn_clusters: &built.clusters,
+        rpki: &built.rpki,
+    });
+    (world, built, dataset)
+}
+
+/// Renders rows as a fixed-width text table with a header rule.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Percentage formatting used across tables.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn standard_world_builds() {
+        // Smoke: the shared fixture the binaries depend on stays healthy.
+        let (_, built, dataset) = super::world_at(p2o_synth::WorldConfig::tiny(super::STANDARD_SEED));
+        assert!(!dataset.is_empty());
+        assert!(built.routes.len() >= dataset.len());
+    }
+}

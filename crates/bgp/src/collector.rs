@@ -1,0 +1,236 @@
+//! A BGPStream-style collector session: consume a live byte stream of BGP
+//! UPDATE messages and maintain the routing view.
+//!
+//! The paper reads RouteViews/RIS data through BGPStream, which supports
+//! both RIB snapshots and live update streams. [`Collector`] covers the
+//! live side: feed it raw bytes as they arrive (possibly containing partial
+//! or multiple messages), and it keeps a [`RouteTable`] current, counting
+//! parse errors instead of dying on them — collectors see malformed
+//! messages in practice.
+
+use bytes::{Buf, Bytes, BytesMut};
+
+use crate::table::RouteTable;
+use crate::update::{UpdateMessage, UpdateError};
+
+/// An incremental BGP message stream processor.
+///
+/// ```
+/// use p2o_bgp::collector::Collector;
+/// use p2o_bgp::{AsPath, PathAttributes, UpdateMessage};
+///
+/// let msg = UpdateMessage::announce(
+///     vec!["203.0.113.0/24".parse().unwrap()],
+///     PathAttributes::ebgp(AsPath::sequence(vec![3356, 64512]), 0),
+/// );
+/// let mut collector = Collector::new();
+/// collector.feed(&msg.encode());
+/// assert_eq!(collector.table().len(), 1);
+/// assert_eq!(collector.updates_processed(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Collector {
+    buffer: BytesMut,
+    table: RouteTable,
+    updates: u64,
+    other_messages: u64,
+    errors: u64,
+}
+
+/// Minimum BGP message size (marker + length + type).
+const HEADER_LEN: usize = 19;
+/// Maximum BGP message size (RFC 4271).
+const MAX_MESSAGE: usize = 4096;
+
+impl Collector {
+    /// A collector with an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current routing view.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    /// Takes the routing view out of the collector.
+    pub fn into_table(self) -> RouteTable {
+        self.table
+    }
+
+    /// UPDATE messages applied so far.
+    pub fn updates_processed(&self) -> u64 {
+        self.updates
+    }
+
+    /// Non-UPDATE messages skipped (OPEN/KEEPALIVE/NOTIFICATION).
+    pub fn other_messages(&self) -> u64 {
+        self.other_messages
+    }
+
+    /// Messages dropped as malformed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Bytes buffered awaiting the rest of a partial message.
+    pub fn pending_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Feeds a chunk of stream bytes; applies every complete message found.
+    /// Partial trailing messages are buffered for the next call.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+        loop {
+            if self.buffer.len() < HEADER_LEN {
+                return;
+            }
+            let declared =
+                u16::from_be_bytes([self.buffer[16], self.buffer[17]]) as usize;
+            if !(HEADER_LEN..=MAX_MESSAGE).contains(&declared) {
+                // Unrecoverable framing damage: resynchronize by scanning for
+                // the next marker-looking position.
+                self.errors += 1;
+                self.resync();
+                continue;
+            }
+            if self.buffer.len() < declared {
+                return; // wait for more bytes
+            }
+            let message: Bytes = self.buffer.copy_to_bytes(declared);
+            match UpdateMessage::decode(message) {
+                Ok(update) => {
+                    self.table.apply_update(&update);
+                    self.updates += 1;
+                }
+                Err(UpdateError::NotUpdate(_)) => {
+                    self.other_messages += 1;
+                }
+                Err(_) => {
+                    self.errors += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips one byte and discards input until a plausible message start
+    /// (16 bytes of 0xFF) heads the buffer, or the buffer is too short to
+    /// tell.
+    fn resync(&mut self) {
+        self.buffer.advance(1);
+        while self.buffer.len() >= 16 {
+            if self.buffer[..16].iter().all(|&b| b == 0xFF) {
+                return;
+            }
+            self.buffer.advance(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, PathAttributes};
+    use p2o_net::Prefix;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn announce(prefix: &str, origin: u32) -> UpdateMessage {
+        UpdateMessage::announce(
+            vec![p(prefix)],
+            PathAttributes::ebgp(AsPath::sequence(vec![3356, origin]), 0x0A000001),
+        )
+    }
+
+    #[test]
+    fn applies_a_stream_of_updates() {
+        let mut c = Collector::new();
+        for i in 0..10u32 {
+            let msg = announce(&format!("10.{i}.0.0/16"), 64512 + i);
+            c.feed(&msg.encode());
+        }
+        assert_eq!(c.updates_processed(), 10);
+        assert_eq!(c.table().len(), 10);
+        assert_eq!(c.errors(), 0);
+    }
+
+    #[test]
+    fn handles_messages_split_across_reads() {
+        let msg = announce("203.0.113.0/24", 64512);
+        let wire = msg.encode();
+        let mut c = Collector::new();
+        // Byte-at-a-time delivery.
+        for b in wire.iter() {
+            c.feed(&[*b]);
+        }
+        assert_eq!(c.updates_processed(), 1);
+        assert_eq!(c.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn handles_multiple_messages_per_read() {
+        let mut blob = Vec::new();
+        for i in 0..5u32 {
+            blob.extend_from_slice(&announce(&format!("10.{i}.0.0/16"), 1).encode());
+        }
+        let mut c = Collector::new();
+        c.feed(&blob);
+        assert_eq!(c.updates_processed(), 5);
+    }
+
+    #[test]
+    fn withdrawals_remove_routes() {
+        let mut c = Collector::new();
+        c.feed(&announce("10.0.0.0/8", 64512).encode());
+        assert!(c.table().contains(&p("10.0.0.0/8")));
+        let withdraw = UpdateMessage {
+            withdrawn: vec![p("10.0.0.0/8")],
+            attrs: PathAttributes::default(),
+            announced: vec![],
+        };
+        c.feed(&withdraw.encode());
+        assert!(!c.table().contains(&p("10.0.0.0/8")));
+        assert_eq!(c.updates_processed(), 2);
+    }
+
+    #[test]
+    fn non_update_messages_are_counted_not_fatal() {
+        // A KEEPALIVE: marker + length 19 + type 4.
+        let mut keepalive = vec![0xFFu8; 16];
+        keepalive.extend_from_slice(&19u16.to_be_bytes());
+        keepalive.push(4);
+        let mut c = Collector::new();
+        c.feed(&keepalive);
+        c.feed(&announce("10.0.0.0/8", 1).encode());
+        assert_eq!(c.other_messages(), 1);
+        assert_eq!(c.updates_processed(), 1);
+    }
+
+    #[test]
+    fn garbage_between_messages_resyncs() {
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&announce("10.0.0.0/8", 1).encode());
+        blob.extend_from_slice(b"\x00\x01garbage bytes that are not bgp");
+        blob.extend_from_slice(&announce("11.0.0.0/8", 1).encode());
+        let mut c = Collector::new();
+        c.feed(&blob);
+        assert_eq!(c.updates_processed(), 2, "errors: {}", c.errors());
+        assert!(c.errors() >= 1);
+        assert!(c.table().contains(&p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn absurd_length_field_resyncs() {
+        let mut blob = vec![0xFFu8; 16];
+        blob.extend_from_slice(&5u16.to_be_bytes()); // shorter than a header
+        blob.push(2);
+        blob.extend_from_slice(&announce("10.0.0.0/8", 1).encode());
+        let mut c = Collector::new();
+        c.feed(&blob);
+        assert_eq!(c.updates_processed(), 1);
+        assert!(c.errors() >= 1);
+    }
+}

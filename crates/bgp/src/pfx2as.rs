@@ -1,0 +1,162 @@
+//! CAIDA `routeviews-prefix2as` text format.
+//!
+//! CAIDA has published daily prefix→origin files since 2005 (paper §3);
+//! they are the lingua franca for prefix-to-AS studies. The format is one
+//! line per prefix:
+//!
+//! ```text
+//! 198.51.100.0\t24\t64512
+//! 203.0.113.0\t24\t64512_64513      # MOAS: multiple origins
+//! 192.0.2.0\t24\t64496,64497        # AS-set origin
+//! ```
+//!
+//! This module writes a [`RouteTable`] to that format and reads one back,
+//! treating both `_`-separated MOAS lists and `,`-separated AS sets as
+//! plain origin sets (which is how Prefix2Org consumes them).
+
+use p2o_net::{Prefix, Prefix4, Prefix6};
+
+use crate::table::RouteTable;
+
+/// Serializes a route table in prefix2as form (IPv4 first, then IPv6, both
+/// sorted).
+pub fn write(table: &RouteTable) -> String {
+    let mut out = String::new();
+    for (prefix, origins) in table.iter() {
+        let (addr, len) = match prefix {
+            Prefix::V4(p) => (p.addr_string(), p.len()),
+            Prefix::V6(p) => (p.addr_string(), p.len()),
+        };
+        let origins: Vec<String> = origins.iter().map(|o| o.to_string()).collect();
+        out.push_str(&addr);
+        out.push('\t');
+        out.push_str(&len.to_string());
+        out.push('\t');
+        out.push_str(&origins.join("_"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses prefix2as text into a route table (applying the usual visibility
+/// filter). Returns the table plus per-line problems.
+pub fn parse(text: &str) -> (RouteTable, Vec<String>) {
+    let mut table = RouteTable::new();
+    let mut problems = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (Some(addr), Some(len), Some(origins)) =
+            (fields.next(), fields.next(), fields.next())
+        else {
+            problems.push(format!("line {}: expected 3 tab-separated fields", idx + 1));
+            continue;
+        };
+        let Ok(len) = len.parse::<u8>() else {
+            problems.push(format!("line {}: bad length {len:?}", idx + 1));
+            continue;
+        };
+        let prefix: Prefix = if addr.contains(':') {
+            match p2o_net::v6::parse_addr(addr) {
+                Ok(bits) if len <= 128 => Prefix6::new_truncated(bits, len).into(),
+                _ => {
+                    problems.push(format!("line {}: bad v6 prefix", idx + 1));
+                    continue;
+                }
+            }
+        } else {
+            match p2o_net::v4::parse_addr(addr) {
+                Ok(bits) if len <= 32 => Prefix4::new_truncated(bits, len).into(),
+                _ => {
+                    problems.push(format!("line {}: bad v4 prefix", idx + 1));
+                    continue;
+                }
+            }
+        };
+        let mut any = false;
+        for part in origins.split(['_', ',']) {
+            match part.parse::<u32>() {
+                Ok(asn) => {
+                    table.add_route(prefix, asn);
+                    any = true;
+                }
+                Err(_) => {
+                    problems.push(format!("line {}: bad origin {part:?}", idx + 1));
+                }
+            }
+        }
+        if !any && !origins.is_empty() {
+            // already recorded per-part problems
+        }
+    }
+    (table, problems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let mut table = RouteTable::new();
+        table.add_route(p("198.51.100.0/24"), 64512);
+        table.add_route(p("203.0.113.0/24"), 64512);
+        table.add_route(p("203.0.113.0/24"), 64513); // MOAS
+        table.add_route(p("2001:db8::/32"), 64514);
+        let text = write(&table);
+        assert!(text.contains("203.0.113.0\t24\t64512_64513"));
+        let (back, problems) = parse(&text);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(back.len(), table.len());
+        assert_eq!(
+            back.origins(&p("203.0.113.0/24")),
+            table.origins(&p("203.0.113.0/24"))
+        );
+        assert_eq!(back.origins(&p("2001:db8::/32")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn as_set_comma_form_accepted() {
+        let (table, problems) = parse("192.0.2.0\t24\t64496,64497\n");
+        assert!(problems.is_empty());
+        assert_eq!(table.origins(&p("192.0.2.0/24")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn visibility_filter_applies() {
+        let (table, problems) = parse("0.0.0.0\t0\t64512\n10.0.0.0\t8\t64512\n");
+        assert!(problems.is_empty());
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.filtered_count(), 1);
+    }
+
+    #[test]
+    fn bad_lines_reported_not_fatal() {
+        let text = "\
+not-an-ip\t24\t1
+10.0.0.0\tx\t1
+10.0.0.0\t8\tnot-an-asn
+10.0.0.0\t40\t1
+10.0.0.0\t24
+11.0.0.0\t8\t2
+";
+        let (table, problems) = parse(text);
+        assert_eq!(table.len(), 1);
+        assert_eq!(problems.len(), 5);
+        assert!(problems[0].contains("line 1"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let (table, problems) = parse("# header\n\n10.0.0.0\t8\t1\n");
+        assert!(problems.is_empty());
+        assert_eq!(table.len(), 1);
+    }
+}

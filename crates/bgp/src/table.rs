@@ -1,0 +1,225 @@
+//! The prefix → origin-ASN view the pipeline consumes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use p2o_net::Prefix;
+
+use crate::mrt::{MrtParseError, MrtReader, RibRecord};
+use crate::update::UpdateMessage;
+
+/// All routed prefixes with their origin ASNs, as seen across collectors.
+///
+/// This is the paper's §4.1 artifact: the list of routed prefixes with
+/// origins, after dropping prefixes less specific than /8 (IPv4) and /16
+/// (IPv6), "since no such IP delegations have been made by RIRs". Prefixes
+/// can have multiple origins (MOAS); all are kept.
+#[derive(Debug, Default, Clone)]
+pub struct RouteTable {
+    routes: BTreeMap<Prefix, BTreeSet<u32>>,
+    filtered: usize,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the paper's visibility filter accepts the prefix.
+    pub fn accepts(prefix: &Prefix) -> bool {
+        match prefix {
+            Prefix::V4(p) => p.len() >= 8,
+            Prefix::V6(p) => p.len() >= 16,
+        }
+    }
+
+    /// Records `origin` for `prefix`; silently drops filtered prefixes and
+    /// counts them.
+    pub fn add_route(&mut self, prefix: Prefix, origin: u32) {
+        if !Self::accepts(&prefix) {
+            self.filtered += 1;
+            return;
+        }
+        self.routes.entry(prefix).or_default().insert(origin);
+    }
+
+    /// Ingests one RIB record (every peer's origins).
+    pub fn add_rib_record(&mut self, record: &RibRecord) {
+        for entry in &record.entries {
+            for origin in entry.attrs.origin_asns() {
+                self.add_route(record.prefix, origin);
+            }
+        }
+    }
+
+    /// Builds a table from a binary MRT dump.
+    pub fn from_mrt(data: bytes::Bytes) -> Result<Self, MrtParseError> {
+        let mut reader = MrtReader::new(data)?;
+        let mut table = RouteTable::new();
+        while let Some(record) = reader.next_rib()? {
+            table.add_rib_record(&record);
+        }
+        Ok(table)
+    }
+
+    /// Applies a live UPDATE message: withdrawals remove the prefix
+    /// (entirely — per-peer state is out of scope for snapshots),
+    /// announcements add the message's origins.
+    pub fn apply_update(&mut self, update: &UpdateMessage) {
+        for p in &update.withdrawn {
+            self.routes.remove(p);
+        }
+        let origins = update.attrs.origin_asns();
+        for p in &update.announced {
+            for &o in &origins {
+                self.add_route(*p, o);
+            }
+        }
+    }
+
+    /// Merges another table into this one (multi-collector union).
+    pub fn merge(&mut self, other: &RouteTable) {
+        for (prefix, origins) in &other.routes {
+            self.routes
+                .entry(*prefix)
+                .or_default()
+                .extend(origins.iter().copied());
+        }
+        self.filtered += other.filtered;
+    }
+
+    /// Number of routed prefixes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Number of IPv4 prefixes.
+    pub fn v4_count(&self) -> usize {
+        self.routes.keys().filter(|p| p.as_v4().is_some()).count()
+    }
+
+    /// Number of IPv6 prefixes.
+    pub fn v6_count(&self) -> usize {
+        self.routes.keys().filter(|p| p.as_v6().is_some()).count()
+    }
+
+    /// Prefixes dropped by the visibility filter.
+    pub fn filtered_count(&self) -> usize {
+        self.filtered
+    }
+
+    /// The origins of a prefix, if routed.
+    pub fn origins(&self, prefix: &Prefix) -> Option<&BTreeSet<u32>> {
+        self.routes.get(prefix)
+    }
+
+    /// Whether the exact prefix is routed.
+    pub fn contains(&self, prefix: &Prefix) -> bool {
+        self.routes.contains_key(prefix)
+    }
+
+    /// Iterates `(prefix, origins)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &BTreeSet<u32>)> {
+        self.routes.iter()
+    }
+
+    /// All distinct origin ASNs.
+    pub fn all_origins(&self) -> BTreeSet<u32> {
+        self.routes.values().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, PathAttributes};
+    use crate::mrt::{MrtWriter, PeerEntry, RibEntry};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn visibility_filter() {
+        assert!(RouteTable::accepts(&p("10.0.0.0/8")));
+        assert!(!RouteTable::accepts(&p("0.0.0.0/0")));
+        assert!(!RouteTable::accepts(&p("8.0.0.0/7")));
+        assert!(RouteTable::accepts(&p("2001::/16")));
+        assert!(!RouteTable::accepts(&p("2000::/12")));
+        let mut t = RouteTable::new();
+        t.add_route(p("0.0.0.0/0"), 1);
+        t.add_route(p("10.0.0.0/8"), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.filtered_count(), 1);
+    }
+
+    #[test]
+    fn moas_prefixes_keep_all_origins() {
+        let mut t = RouteTable::new();
+        t.add_route(p("203.0.113.0/24"), 64512);
+        t.add_route(p("203.0.113.0/24"), 64513);
+        t.add_route(p("203.0.113.0/24"), 64512);
+        let origins = t.origins(&p("203.0.113.0/24")).unwrap();
+        assert_eq!(origins.iter().copied().collect::<Vec<_>>(), vec![64512, 64513]);
+    }
+
+    #[test]
+    fn from_mrt_end_to_end() {
+        let peers = vec![PeerEntry { bgp_id: 1, asn: 3356 }];
+        let mut w = MrtWriter::new(0, 1, &peers);
+        w.push(
+            p("203.0.113.0/24"),
+            &[RibEntry {
+                peer_index: 0,
+                originated_time: 0,
+                attrs: PathAttributes::ebgp(AsPath::sequence(vec![3356, 18692]), 0),
+            }],
+        );
+        w.push(
+            p("2001:db8::/32"),
+            &[RibEntry {
+                peer_index: 0,
+                originated_time: 0,
+                attrs: PathAttributes::ebgp(AsPath::sequence(vec![3356, 701]), 0),
+            }],
+        );
+        let t = RouteTable::from_mrt(w.finish()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.v4_count(), 1);
+        assert_eq!(t.v6_count(), 1);
+        assert!(t.origins(&p("203.0.113.0/24")).unwrap().contains(&18692));
+        assert_eq!(t.all_origins().len(), 2);
+    }
+
+    #[test]
+    fn apply_update_announce_and_withdraw() {
+        let mut t = RouteTable::new();
+        let attrs = PathAttributes::ebgp(AsPath::sequence(vec![1, 2, 64512]), 0);
+        t.apply_update(&UpdateMessage::announce(vec![p("10.0.0.0/8")], attrs.clone()));
+        assert!(t.contains(&p("10.0.0.0/8")));
+        let withdraw = UpdateMessage {
+            withdrawn: vec![p("10.0.0.0/8")],
+            attrs: PathAttributes::default(),
+            announced: vec![],
+        };
+        t.apply_update(&withdraw);
+        assert!(!t.contains(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn merge_unions_collectors() {
+        let mut a = RouteTable::new();
+        a.add_route(p("10.0.0.0/8"), 1);
+        let mut b = RouteTable::new();
+        b.add_route(p("10.0.0.0/8"), 2);
+        b.add_route(p("11.0.0.0/8"), 3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.origins(&p("10.0.0.0/8")).unwrap().len(), 2);
+    }
+}

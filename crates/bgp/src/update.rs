@@ -1,0 +1,415 @@
+//! BGP UPDATE messages (RFC 4271 §4.3, with RFC 4760 MP_REACH for IPv6).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use p2o_net::{Prefix, Prefix4, Prefix6};
+
+use crate::attrs::{AttrError, PathAttributes};
+
+/// A BGP UPDATE message: withdrawn routes, path attributes, and announced
+/// NLRI.
+///
+/// IPv4 NLRI travel in the classic body fields; IPv6 NLRI in an
+/// MP_REACH_NLRI-style attribute (type 14). The encoder produces a full BGP
+/// message with the 16-byte all-ones marker, and the decoder validates it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateMessage {
+    /// Withdrawn prefixes (both families).
+    pub withdrawn: Vec<Prefix>,
+    /// Path attributes applying to every announced prefix.
+    pub attrs: PathAttributes,
+    /// Announced prefixes (both families).
+    pub announced: Vec<Prefix>,
+}
+
+/// Message-level parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The 16-byte marker was not all ones.
+    BadMarker,
+    /// The message type was not UPDATE (2).
+    NotUpdate(u8),
+    /// The declared length disagrees with the available bytes or bounds.
+    BadLength,
+    /// An inner structure failed to parse.
+    Attr(AttrError),
+}
+
+impl From<AttrError> for UpdateError {
+    fn from(e: AttrError) -> Self {
+        UpdateError::Attr(e)
+    }
+}
+
+impl core::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UpdateError::BadMarker => write!(f, "bad BGP marker"),
+            UpdateError::NotUpdate(t) => write!(f, "not an UPDATE message (type {t})"),
+            UpdateError::BadLength => write!(f, "bad message length"),
+            UpdateError::Attr(e) => write!(f, "attribute error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+const MARKER: [u8; 16] = [0xFF; 16];
+const MSG_TYPE_UPDATE: u8 = 2;
+/// MP_REACH_NLRI attribute type (RFC 4760).
+const ATTR_MP_REACH: u8 = 14;
+/// MP_UNREACH_NLRI attribute type (RFC 4760).
+const ATTR_MP_UNREACH: u8 = 15;
+const AFI_IPV6: u16 = 2;
+const SAFI_UNICAST: u8 = 1;
+
+impl UpdateMessage {
+    /// A simple announcement of `prefixes` with the given attributes.
+    pub fn announce(prefixes: Vec<Prefix>, attrs: PathAttributes) -> Self {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs,
+            announced: prefixes,
+        }
+    }
+
+    /// Encodes the UPDATE as a full BGP message (marker + length + type +
+    /// body).
+    pub fn encode(&self) -> Bytes {
+        let (w4, w6): (Vec<&Prefix>, Vec<&Prefix>) =
+            self.withdrawn.iter().partition(|p| p.as_v4().is_some());
+        let (a4, a6): (Vec<&Prefix>, Vec<&Prefix>) =
+            self.announced.iter().partition(|p| p.as_v4().is_some());
+
+        let mut body = BytesMut::new();
+        // Withdrawn routes (IPv4 only in the classic field).
+        let mut withdrawn = BytesMut::new();
+        for p in &w4 {
+            encode_nlri4(&mut withdrawn, &p.as_v4().unwrap());
+        }
+        body.put_u16(withdrawn.len() as u16);
+        body.put_slice(&withdrawn);
+
+        // Path attributes, with MP_REACH/MP_UNREACH synthesized for IPv6.
+        let mut attr_bytes = BytesMut::from(&self.attrs.encode()[..]);
+        if !a6.is_empty() {
+            let mut mp = BytesMut::new();
+            mp.put_u16(AFI_IPV6);
+            mp.put_u8(SAFI_UNICAST);
+            mp.put_u8(0); // next-hop length (we carry none in the snapshot path)
+            mp.put_u8(0); // reserved
+            for p in &a6 {
+                encode_nlri6(&mut mp, &p.as_v6().unwrap());
+            }
+            put_raw_attr(&mut attr_bytes, ATTR_MP_REACH, &mp);
+        }
+        if !w6.is_empty() {
+            let mut mp = BytesMut::new();
+            mp.put_u16(AFI_IPV6);
+            mp.put_u8(SAFI_UNICAST);
+            for p in &w6 {
+                encode_nlri6(&mut mp, &p.as_v6().unwrap());
+            }
+            put_raw_attr(&mut attr_bytes, ATTR_MP_UNREACH, &mp);
+        }
+        body.put_u16(attr_bytes.len() as u16);
+        body.put_slice(&attr_bytes);
+
+        // Classic NLRI (IPv4).
+        for p in &a4 {
+            encode_nlri4(&mut body, &p.as_v4().unwrap());
+        }
+
+        let mut out = BytesMut::with_capacity(19 + body.len());
+        out.put_slice(&MARKER);
+        out.put_u16(19 + body.len() as u16);
+        out.put_u8(MSG_TYPE_UPDATE);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Decodes a full BGP message as an UPDATE.
+    pub fn decode(mut buf: Bytes) -> Result<Self, UpdateError> {
+        if buf.remaining() < 19 {
+            return Err(UpdateError::BadLength);
+        }
+        let marker = buf.copy_to_bytes(16);
+        if marker[..] != MARKER {
+            return Err(UpdateError::BadMarker);
+        }
+        let declared = buf.get_u16() as usize;
+        let msg_type = buf.get_u8();
+        if msg_type != MSG_TYPE_UPDATE {
+            return Err(UpdateError::NotUpdate(msg_type));
+        }
+        if declared < 23 || declared - 19 != buf.remaining() {
+            return Err(UpdateError::BadLength);
+        }
+
+        // Withdrawn routes.
+        if buf.remaining() < 2 {
+            return Err(UpdateError::BadLength);
+        }
+        let wlen = buf.get_u16() as usize;
+        if buf.remaining() < wlen {
+            return Err(UpdateError::BadLength);
+        }
+        let mut wbuf = buf.copy_to_bytes(wlen);
+        let mut withdrawn = Vec::new();
+        while wbuf.has_remaining() {
+            withdrawn.push(Prefix::V4(decode_nlri4(&mut wbuf)?));
+        }
+
+        // Path attributes.
+        if buf.remaining() < 2 {
+            return Err(UpdateError::BadLength);
+        }
+        let alen = buf.get_u16() as usize;
+        if buf.remaining() < alen {
+            return Err(UpdateError::BadLength);
+        }
+        let abuf = buf.copy_to_bytes(alen);
+        let mut attrs = PathAttributes::decode(abuf)?;
+
+        let mut announced: Vec<Prefix> = Vec::new();
+        // Extract MP_REACH/MP_UNREACH from the unknown bucket.
+        let mut keep = Vec::new();
+        for u in std::mem::take(&mut attrs.unknown) {
+            match u.type_code {
+                ATTR_MP_REACH => {
+                    let mut mp = u.value.clone();
+                    if mp.remaining() < 5 {
+                        return Err(UpdateError::Attr(AttrError::Truncated("MP_REACH header")));
+                    }
+                    let afi = mp.get_u16();
+                    let _safi = mp.get_u8();
+                    let nh_len = mp.get_u8() as usize;
+                    if mp.remaining() < nh_len + 1 {
+                        return Err(UpdateError::Attr(AttrError::Truncated("MP_REACH nexthop")));
+                    }
+                    mp.advance(nh_len);
+                    mp.get_u8(); // reserved
+                    if afi == AFI_IPV6 {
+                        while mp.has_remaining() {
+                            announced.push(Prefix::V6(decode_nlri6(&mut mp)?));
+                        }
+                    }
+                }
+                ATTR_MP_UNREACH => {
+                    let mut mp = u.value.clone();
+                    if mp.remaining() < 3 {
+                        return Err(UpdateError::Attr(AttrError::Truncated("MP_UNREACH header")));
+                    }
+                    let afi = mp.get_u16();
+                    let _safi = mp.get_u8();
+                    if afi == AFI_IPV6 {
+                        while mp.has_remaining() {
+                            withdrawn.push(Prefix::V6(decode_nlri6(&mut mp)?));
+                        }
+                    }
+                }
+                _ => keep.push(u),
+            }
+        }
+        attrs.unknown = keep;
+
+        // Classic NLRI.
+        while buf.has_remaining() {
+            announced.push(Prefix::V4(decode_nlri4(&mut buf)?));
+        }
+
+        Ok(UpdateMessage {
+            withdrawn,
+            attrs,
+            announced,
+        })
+    }
+}
+
+fn put_raw_attr(out: &mut BytesMut, type_code: u8, value: &[u8]) {
+    const FLAG_OPTIONAL: u8 = 0x80;
+    const FLAG_EXT_LEN: u8 = 0x10;
+    if value.len() > 255 {
+        out.put_u8(FLAG_OPTIONAL | FLAG_EXT_LEN);
+        out.put_u8(type_code);
+        out.put_u16(value.len() as u16);
+    } else {
+        out.put_u8(FLAG_OPTIONAL);
+        out.put_u8(type_code);
+        out.put_u8(value.len() as u8);
+    }
+    out.put_slice(value);
+}
+
+/// Encodes an IPv4 prefix in NLRI form: length byte + minimal prefix octets.
+pub(crate) fn encode_nlri4(out: &mut BytesMut, p: &Prefix4) {
+    out.put_u8(p.len());
+    let octets = p.bits().to_be_bytes();
+    out.put_slice(&octets[..p.len().div_ceil(8) as usize]);
+}
+
+/// Decodes an IPv4 NLRI element.
+pub(crate) fn decode_nlri4(buf: &mut Bytes) -> Result<Prefix4, AttrError> {
+    if !buf.has_remaining() {
+        return Err(AttrError::Truncated("NLRI length"));
+    }
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(AttrError::Malformed("NLRI length"));
+    }
+    let nbytes = len.div_ceil(8) as usize;
+    if buf.remaining() < nbytes {
+        return Err(AttrError::Truncated("NLRI body"));
+    }
+    let mut octets = [0u8; 4];
+    for o in octets.iter_mut().take(nbytes) {
+        *o = buf.get_u8();
+    }
+    Ok(Prefix4::new_truncated(u32::from_be_bytes(octets), len))
+}
+
+/// Encodes an IPv6 prefix in NLRI form.
+pub(crate) fn encode_nlri6(out: &mut BytesMut, p: &Prefix6) {
+    out.put_u8(p.len());
+    let octets = p.bits().to_be_bytes();
+    out.put_slice(&octets[..p.len().div_ceil(8) as usize]);
+}
+
+/// Decodes an IPv6 NLRI element.
+pub(crate) fn decode_nlri6(buf: &mut Bytes) -> Result<Prefix6, AttrError> {
+    if !buf.has_remaining() {
+        return Err(AttrError::Truncated("NLRI length"));
+    }
+    let len = buf.get_u8();
+    if len > 128 {
+        return Err(AttrError::Malformed("NLRI length"));
+    }
+    let nbytes = len.div_ceil(8) as usize;
+    if buf.remaining() < nbytes {
+        return Err(AttrError::Truncated("NLRI body"));
+    }
+    let mut octets = [0u8; 16];
+    for o in octets.iter_mut().take(nbytes) {
+        *o = buf.get_u8();
+    }
+    Ok(Prefix6::new_truncated(u128::from_be_bytes(octets), len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs(path: &[u32]) -> PathAttributes {
+        PathAttributes::ebgp(AsPath::sequence(path.to_vec()), 0xC0000201)
+    }
+
+    #[test]
+    fn v4_announce_round_trip() {
+        let msg = UpdateMessage::announce(
+            vec![p("203.0.113.0/24"), p("10.0.0.0/8")],
+            attrs(&[3356, 18692]),
+        );
+        let decoded = UpdateMessage::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.attrs.origin_asns(), vec![18692]);
+    }
+
+    #[test]
+    fn v6_announce_travels_in_mp_reach() {
+        let msg = UpdateMessage::announce(vec![p("2001:db8::/32")], attrs(&[701]));
+        let wire = msg.encode();
+        let decoded = UpdateMessage::decode(wire).unwrap();
+        assert_eq!(decoded.announced, vec![p("2001:db8::/32")]);
+        assert!(decoded.attrs.unknown.is_empty());
+    }
+
+    #[test]
+    fn mixed_families_and_withdrawals() {
+        let msg = UpdateMessage {
+            withdrawn: vec![p("192.0.2.0/24"), p("2001:db8:dead::/48")],
+            attrs: attrs(&[1]),
+            announced: vec![p("198.51.100.0/24"), p("2001:db8:beef::/48")],
+        };
+        let decoded = UpdateMessage::decode(msg.encode()).unwrap();
+        // Order within a family is preserved; v4 withdrawn come first.
+        assert!(decoded.withdrawn.contains(&p("192.0.2.0/24")));
+        assert!(decoded.withdrawn.contains(&p("2001:db8:dead::/48")));
+        assert!(decoded.announced.contains(&p("198.51.100.0/24")));
+        assert!(decoded.announced.contains(&p("2001:db8:beef::/48")));
+    }
+
+    #[test]
+    fn default_route_nlri_is_zero_bytes() {
+        let msg = UpdateMessage::announce(vec![p("0.0.0.0/0")], attrs(&[1]));
+        let decoded = UpdateMessage::decode(msg.encode()).unwrap();
+        assert_eq!(decoded.announced, vec![p("0.0.0.0/0")]);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let msg = UpdateMessage::announce(vec![p("10.0.0.0/8")], attrs(&[1]));
+        let mut wire = BytesMut::from(&msg.encode()[..]);
+        wire[0] = 0;
+        assert_eq!(
+            UpdateMessage::decode(wire.freeze()),
+            Err(UpdateError::BadMarker)
+        );
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let msg = UpdateMessage::announce(vec![p("10.0.0.0/8")], attrs(&[1]));
+        let mut wire = BytesMut::from(&msg.encode()[..]);
+        wire[18] = 1; // OPEN
+        assert_eq!(
+            UpdateMessage::decode(wire.freeze()),
+            Err(UpdateError::NotUpdate(1))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let msg = UpdateMessage {
+            withdrawn: vec![p("192.0.2.0/24")],
+            attrs: attrs(&[1, 2, 3]),
+            announced: vec![p("198.51.100.0/24"), p("2001:db8::/32")],
+        };
+        let wire = msg.encode();
+        for cut in 0..wire.len() {
+            assert!(
+                UpdateMessage::decode(wire.slice(..cut)).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random_updates(
+            v4 in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..20),
+            v6 in proptest::collection::vec((any::<u128>(), 0u8..=128), 0..20),
+            path in proptest::collection::vec(any::<u32>(), 1..6),
+        ) {
+            let announced: Vec<Prefix> = v4
+                .iter()
+                .map(|&(b, l)| Prefix::V4(Prefix4::new_truncated(b, l)))
+                .chain(v6.iter().map(|&(b, l)| Prefix::V6(Prefix6::new_truncated(b, l))))
+                .collect();
+            let msg = UpdateMessage::announce(announced.clone(), attrs(&path));
+            let decoded = UpdateMessage::decode(msg.encode()).unwrap();
+            let mut got = decoded.announced.clone();
+            let mut want = announced;
+            got.sort();
+            got.dedup();
+            want.sort();
+            want.dedup();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

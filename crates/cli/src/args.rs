@@ -1,0 +1,96 @@
+//! Minimal `--flag value` argument parsing (no CLI crates offline; the
+//! grammar here is small enough that hand-rolling beats a dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command arguments: `--key value` options plus positional args.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    options: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Parsed {
+    /// Parses an argument list. Every `--key` must be followed by a value.
+    pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+        let mut parsed = Parsed::default();
+        let mut iter = argv.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                if parsed
+                    .options
+                    .insert(key.to_string(), value.clone())
+                    .is_some()
+                {
+                    return Err(format!("--{key} given twice"));
+                }
+            } else {
+                parsed.positional.push(arg.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// A required option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// An optional option parsed as an integer.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_and_positionals() {
+        let p = Parsed::parse(&v(&["--out", "dir", "10.0.0.0/8", "--seed", "7", "extra"])).unwrap();
+        assert_eq!(p.require("out").unwrap(), "dir");
+        assert_eq!(p.get_num::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(p.positional(), &["10.0.0.0/8", "extra"]);
+        assert_eq!(p.get("missing"), None);
+        assert!(p.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_and_duplicate_flags() {
+        assert!(Parsed::parse(&v(&["--out"])).is_err());
+        assert!(Parsed::parse(&v(&["--out", "a", "--out", "b"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let p = Parsed::parse(&v(&["--seed", "xyz"])).unwrap();
+        assert!(p.get_num::<u64>("seed").is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! The `prefix2org` subcommand implementations.
+
+use std::fs;
+use std::path::Path;
+
+use p2o_net::{AddressFamily, Prefix};
+use p2o_radix::PrefixMap;
+use p2o_synth::{World, WorldConfig};
+use prefix2org::{ExportRecord, Pipeline, PipelineInputs};
+
+use crate::args::Parsed;
+use crate::store;
+
+/// `generate`: materialize a synthetic Internet on disk.
+pub fn generate(args: &Parsed) -> Result<(), String> {
+    let out = Path::new(args.require("out")?);
+    let seed = args.get_num::<u64>("seed")?.unwrap_or(0x2024_0901);
+    let transfers = args.get_num::<usize>("transfers")?.unwrap_or(0);
+    let config = match args.get("scale").unwrap_or("default") {
+        "tiny" => WorldConfig::tiny(seed),
+        "default" => WorldConfig::default_scale(seed),
+        "bench" => WorldConfig::bench_scale(seed),
+        other => return Err(format!("unknown scale {other:?} (tiny|default|bench)")),
+    }
+    .with_transfers(transfers);
+
+    eprintln!("generating world (seed {seed:#x}, {} orgs)...", config.total_orgs());
+    let world = World::generate(config);
+    store::write_world(&world, out)?;
+    println!(
+        "wrote {} WHOIS dumps, {} RPKI objects, {} byte RIB, {} truth lists to {}",
+        world.whois_dumps.len(),
+        world.rpki.cert_count() + world.rpki.roa_count(),
+        world.mrt.len(),
+        world.truth.published_lists.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `build`: parse a snapshot directory, run the pipeline, write JSONL.
+pub fn build(args: &Parsed) -> Result<(), String> {
+    let dir = Path::new(args.require("in")?);
+    let out = Path::new(args.require("out")?);
+    let threads = args.get_num::<usize>("threads")?.unwrap_or(4);
+
+    let inputs = store::load_inputs(dir)?;
+    // The paper's §4.1 footnote check against the delegation files, when
+    // present: no delegation larger than /8 (IPv4) or /16 (IPv6).
+    let delegated_dir = dir.join("delegated");
+    if delegated_dir.is_dir() {
+        let mut oversized = 0usize;
+        if let Ok(entries) = fs::read_dir(&delegated_dir) {
+            for entry in entries.flatten() {
+                if let Ok(text) = fs::read_to_string(entry.path()) {
+                    let (records, _) = p2o_whois::delegated::parse(&text);
+                    oversized += p2o_whois::delegated::oversized_delegations(&records).len();
+                }
+            }
+        }
+        if oversized > 0 {
+            eprintln!("warning: {oversized} delegations exceed /8 (v4) or /16 (v6)");
+        } else {
+            eprintln!("delegation-file check: no delegation larger than /8 or /16 (paper §4.1)");
+        }
+    }
+    if !inputs.rpki_problems.is_empty() {
+        eprintln!(
+            "warning: {} invalid RPKI objects excluded (first: {:?})",
+            inputs.rpki_problems.len(),
+            inputs.rpki_problems.first()
+        );
+    }
+    eprintln!(
+        "loaded: {} WHOIS records -> {} blocks ({} superseded, {} unresolved handles), \
+         {} routed prefixes, snapshot {}; resolving with {threads} threads...",
+        inputs.whois_stats.raw_records,
+        inputs.tree.len(),
+        inputs.whois_stats.superseded,
+        inputs.whois_stats.unresolved_handles,
+        inputs.routes.len(),
+        inputs.snapshot_date,
+    );
+    let dataset = Pipeline::with_threads(threads).run(&PipelineInputs {
+        delegations: &inputs.tree,
+        routes: &inputs.routes,
+        asn_clusters: &inputs.clusters,
+        rpki: &inputs.rpki,
+    });
+    fs::write(out, prefix2org::to_jsonl(&dataset))
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+
+    let m = dataset.metrics();
+    println!("dataset: {} prefixes -> {}", dataset.len(), out.display());
+    println!(
+        "  IPv4 {} / IPv6 {}; {} Direct Owners, {} base names, {} final clusters",
+        m.ipv4_prefixes, m.ipv6_prefixes, m.direct_owners, m.base_names, m.final_clusters
+    );
+    println!(
+        "  multi-name clusters: {} holding {:.1}% of routed IPv4 space",
+        m.multi_name_clusters, m.pct_v4_space_multi_name
+    );
+    println!(
+        "  unresolved prefixes: {} ({:.3}%)",
+        m.unresolved_prefixes,
+        100.0 * m.unresolved_prefixes as f64 / inputs.routes.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn load_dataset(path: &str) -> Result<Vec<ExportRecord>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    prefix2org::from_jsonl(&text)
+}
+
+/// `lookup`: longest-match queries against a JSONL snapshot.
+pub fn lookup(args: &Parsed) -> Result<(), String> {
+    let records = load_dataset(args.require("dataset")?)?;
+    if args.positional().is_empty() {
+        return Err("lookup needs at least one prefix argument".into());
+    }
+    let mut map: PrefixMap<usize> = PrefixMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        map.insert(rec.prefix, i);
+    }
+    for q in args.positional() {
+        let prefix: Prefix = q.parse().map_err(|e| format!("{q:?}: {e}"))?;
+        match map.longest_match(&prefix) {
+            None => println!("{prefix}: no covering routed prefix in the snapshot"),
+            Some((covering, &idx)) => {
+                let rec = &records[idx];
+                println!("{prefix} -> routed as {covering}");
+                println!("  Direct Owner : {} ({})", rec.direct_owner, rec.do_alloc);
+                println!("  DO block     : {} via {}", rec.do_prefix, rec.registry);
+                for (name, block, alloc) in &rec.delegated_customers {
+                    println!("  Customer     : {name} ({} on {block})", alloc.keyword());
+                }
+                println!("  Cluster      : {}", rec.final_cluster);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `org`: list the prefixes attributed to an organization name fragment.
+pub fn org(args: &Parsed) -> Result<(), String> {
+    let records = load_dataset(args.require("dataset")?)?;
+    let needle = args
+        .positional()
+        .first()
+        .ok_or("org needs a NAME argument")?;
+    let needle = p2o_strings::clean::basic_clean(needle);
+    // Match cluster labels and owner names, like the validation path.
+    let mut clusters: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for rec in &records {
+        if p2o_strings::clean::basic_clean(&rec.direct_owner).contains(&needle)
+            || rec.final_cluster == needle
+            || rec.final_cluster.starts_with(&format!("{needle}-"))
+        {
+            clusters.insert(&rec.final_cluster);
+        }
+    }
+    if clusters.is_empty() {
+        println!("no organization matching {needle:?}");
+        return Ok(());
+    }
+    for cluster in clusters {
+        println!("{cluster}:");
+        for rec in records.iter().filter(|r| r.final_cluster == cluster) {
+            println!("  {}  {} [{}]", rec.prefix, rec.direct_owner, rec.do_alloc.keyword());
+        }
+    }
+    Ok(())
+}
+
+/// `stats`: summarize a JSONL snapshot.
+pub fn stats(args: &Parsed) -> Result<(), String> {
+    let records = load_dataset(args.require("dataset")?)?;
+    let mut v4 = 0usize;
+    let mut v6 = 0usize;
+    let mut owners = std::collections::BTreeSet::new();
+    let mut clusters: std::collections::BTreeMap<&str, (usize, u64)> =
+        std::collections::BTreeMap::new();
+    let mut per_registry: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut legacy = 0usize;
+    let mut with_customers = 0usize;
+    for rec in &records {
+        match rec.prefix {
+            Prefix::V4(p) => {
+                v4 += 1;
+                let slot = clusters.entry(&rec.final_cluster).or_default();
+                slot.0 += 1;
+                slot.1 += p.num_addrs();
+            }
+            Prefix::V6(_) => {
+                v6 += 1;
+                clusters.entry(&rec.final_cluster).or_default().0 += 1;
+            }
+        }
+        owners.insert(rec.direct_owner.as_str());
+        *per_registry.entry(rec.registry.to_string()).or_default() += 1;
+        if rec.do_alloc.is_legacy() {
+            legacy += 1;
+        }
+        if !rec.delegated_customers.is_empty() {
+            with_customers += 1;
+        }
+    }
+    println!("prefixes        : {} ({v4} IPv4, {v6} IPv6)", records.len());
+    println!("direct owners   : {}", owners.len());
+    println!("final clusters  : {}", clusters.len());
+    println!("legacy-typed    : {legacy}");
+    println!("with customers  : {with_customers}");
+    println!("per registry    :");
+    for (registry, count) in &per_registry {
+        println!("  {registry:<8} {count}");
+    }
+    let mut ranked: Vec<(&&str, &(usize, u64))> = clusters.iter().collect();
+    ranked.sort_by_key(|e| std::cmp::Reverse(e.1 .1));
+    println!("largest clusters by IPv4 addresses:");
+    for (label, (prefixes, addrs)) in ranked.into_iter().take(10) {
+        println!("  {label:<24} {prefixes:>5} prefixes  {addrs:>12} addresses");
+    }
+    Ok(())
+}
+
+/// `diff`: compare two JSONL snapshots.
+pub fn diff(args: &Parsed) -> Result<(), String> {
+    let old = load_dataset(args.require("old")?)?;
+    let new = load_dataset(args.require("new")?)?;
+    let delta = prefix2org::delta::diff_exports(&old, &new);
+    println!(
+        "snapshots: {} -> {} prefixes; {} unchanged",
+        old.len(),
+        new.len(),
+        delta.unchanged
+    );
+    println!(
+        "added {} / removed {} / owner changes {} / customer churn {}",
+        delta.added.len(),
+        delta.removed.len(),
+        delta.owner_changes.len(),
+        delta.customer_changes.len()
+    );
+    for change in delta.owner_changes.iter().take(20) {
+        println!("  transfer {}: {} -> {}", change.prefix, change.from, change.to);
+    }
+    if delta.owner_changes.len() > 20 {
+        println!("  ... {} more", delta.owner_changes.len() - 20);
+    }
+    Ok(())
+}
+
+/// `validate`: evaluate a snapshot against a directory's ground truth.
+pub fn validate(args: &Parsed) -> Result<(), String> {
+    let dir = Path::new(args.require("in")?);
+    let records = load_dataset(args.require("dataset")?)?;
+    let inputs = store::load_inputs(dir)?;
+    if inputs.truth.is_empty() {
+        return Err(format!("{} has no truth/lists.tsv", dir.display()));
+    }
+
+    // Rebuild a queryable dataset view from the export: org -> prefixes via
+    // cluster labels.
+    let mut by_cluster: std::collections::HashMap<&str, Vec<Prefix>> =
+        std::collections::HashMap::new();
+    let mut owners: std::collections::HashMap<Prefix, &ExportRecord> =
+        std::collections::HashMap::new();
+    for rec in &records {
+        by_cluster.entry(&rec.final_cluster).or_default().push(rec.prefix);
+        owners.insert(rec.prefix, rec);
+    }
+    let predicted_for = |org_name: &str| -> Vec<Prefix> {
+        let needle = p2o_strings::clean::basic_clean(org_name);
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for rec in &records {
+            if p2o_strings::clean::basic_clean(&rec.direct_owner).contains(&needle)
+                && seen.insert(rec.final_cluster.as_str())
+            {
+                out.extend(by_cluster[rec.final_cluster.as_str()].iter().copied());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    };
+
+    println!(
+        "{:<40} {:>5} {:>5} {:>5} {:>5} {:>5} {:>9} {:>7}",
+        "Organization", "True", "Pred", "TP", "FP", "FN", "Precision", "Recall"
+    );
+    let mut tot = (0usize, 0usize, 0usize, 0usize, 0usize);
+    for list in &inputs.truth {
+        for family in [AddressFamily::V4, AddressFamily::V6] {
+            let truth: Vec<Prefix> = list
+                .prefixes
+                .iter()
+                .filter(|p| p.family() == family && owners.contains_key(p))
+                .copied()
+                .collect();
+            if truth.is_empty() {
+                continue;
+            }
+            let predicted: Vec<Prefix> = predicted_for(&list.org_name)
+                .into_iter()
+                .filter(|p| p.family() == family)
+                .collect();
+            let tp = predicted
+                .iter()
+                .filter(|p| truth.iter().any(|t| t.contains(p)))
+                .count();
+            let fp = predicted.len() - tp;
+            let fnn = truth
+                .iter()
+                .filter(|t| !predicted.iter().any(|p| t.contains(p) || p.contains(t)))
+                .count();
+            let precision = if tp + fp == 0 { 100.0 } else { 100.0 * tp as f64 / (tp + fp) as f64 };
+            let recall = 100.0 * (truth.len() - fnn) as f64 / truth.len() as f64;
+            let kind = if list.exhaustive { "exhaustive" } else { "public" };
+            println!(
+                "{:<40} {:>5} {:>5} {:>5} {:>5} {:>5} {:>9.2} {:>7.2}",
+                format!("{} ({family}, {kind})", list.org_name),
+                truth.len(),
+                predicted.len(),
+                tp,
+                fp,
+                fnn,
+                precision,
+                recall
+            );
+            tot = (
+                tot.0 + truth.len(),
+                tot.1 + predicted.len(),
+                tot.2 + tp,
+                tot.3 + fp,
+                tot.4 + fnn,
+            );
+        }
+    }
+    let precision = if tot.2 + tot.3 == 0 {
+        100.0
+    } else {
+        100.0 * tot.2 as f64 / (tot.2 + tot.3) as f64
+    };
+    let recall = if tot.0 == 0 {
+        100.0
+    } else {
+        100.0 * (tot.0 - tot.4) as f64 / tot.0 as f64
+    };
+    println!(
+        "{:<40} {:>5} {:>5} {:>5} {:>5} {:>5} {:>9.2} {:>7.2}",
+        "Total", tot.0, tot.1, tot.2, tot.3, tot.4, precision, recall
+    );
+    Ok(())
+}

@@ -1,0 +1,256 @@
+//! The on-disk layout shared by `generate` and `build`:
+//!
+//! ```text
+//! DIR/
+//!   whois/<REGISTRY>.txt   bulk dumps in each registry's native flavour
+//!   rib.mrt                MRT TABLE_DUMP_V2 RIB snapshot
+//!   as2org.tsv             asn, org_id, org_name, country
+//!   siblings.tsv           asn_a, asn_b (as2org+/IIL-style edges)
+//!   jpnic_alloc.tsv        prefix, allocation-type keyword (the JPNIC
+//!                          per-prefix query service, §4.2)
+//!   rpki.jsonl             certificates and ROAs (p2o-rpki persist format)
+//!   delegated/<RIR>.txt    NRO delegated-extended statistics per RIR
+//!   pfx2as.txt             CAIDA routeviews-prefix2as view of the RIB
+//!   truth/lists.tsv        org_name, exhaustive, prefix (ground truth)
+//!   meta.tsv               key, value (snapshot date, seed)
+//! ```
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use p2o_bgp::RouteTable;
+use p2o_net::Prefix;
+use p2o_synth::World;
+use p2o_util::tsv;
+use p2o_whois::alloc::AllocationType;
+use p2o_whois::{DelegationTree, Registry, Rir, WhoisDb};
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> String {
+    format!("{what} {}: {e}", path.display())
+}
+
+/// Writes a generated world to `dir`.
+pub fn write_world(world: &World, dir: &Path) -> Result<(), String> {
+    let whois_dir = dir.join("whois");
+    fs::create_dir_all(&whois_dir).map_err(|e| io_err("creating", &whois_dir, e))?;
+    let truth_dir = dir.join("truth");
+    fs::create_dir_all(&truth_dir).map_err(|e| io_err("creating", &truth_dir, e))?;
+
+    for dump in &world.whois_dumps {
+        let path = whois_dir.join(format!("{}.txt", dump.registry));
+        fs::write(&path, &dump.text).map_err(|e| io_err("writing", &path, e))?;
+    }
+    let path = dir.join("rib.mrt");
+    fs::write(&path, &world.mrt).map_err(|e| io_err("writing", &path, e))?;
+
+    let path = dir.join("as2org.tsv");
+    fs::write(&path, world.as2org.records_tsv()).map_err(|e| io_err("writing", &path, e))?;
+
+    // Sibling edges are not exposed by As2OrgDb directly; regenerate them
+    // from the cluster structure: spanning edges per cluster are enough to
+    // reproduce identical clustering.
+    let clusters = world.as2org.cluster();
+    let mut edges: Vec<Vec<String>> = Vec::new();
+    for (_, members) in clusters.iter() {
+        for pair in members.windows(2) {
+            edges.push(vec![pair[0].to_string(), pair[1].to_string()]);
+        }
+    }
+    let path = dir.join("siblings.tsv");
+    fs::write(&path, tsv::write_rows(&edges)).map_err(|e| io_err("writing", &path, e))?;
+
+    let mut rows: Vec<Vec<String>> = world
+        .jpnic_alloc
+        .iter()
+        .map(|(p, t)| vec![p.to_string(), t.keyword().to_string()])
+        .collect();
+    rows.sort();
+    let path = dir.join("jpnic_alloc.tsv");
+    fs::write(&path, tsv::write_rows(&rows)).map_err(|e| io_err("writing", &path, e))?;
+
+    let path = dir.join("rpki.jsonl");
+    fs::write(&path, p2o_rpki::persist::to_jsonl(&world.rpki))
+        .map_err(|e| io_err("writing", &path, e))?;
+
+    // Delegated-extended statistics (the paper's §4.1 footnote source).
+    let delegated_dir = dir.join("delegated");
+    fs::create_dir_all(&delegated_dir).map_err(|e| io_err("creating", &delegated_dir, e))?;
+    for (rir, text) in world.delegated_files() {
+        let path = delegated_dir.join(format!("{}.txt", rir.name()));
+        fs::write(&path, text).map_err(|e| io_err("writing", &path, e))?;
+    }
+
+    // A CAIDA prefix2as rendering of the RIB for interchange with existing
+    // tooling.
+    let routes = RouteTable::from_mrt(world.mrt.clone())
+        .map_err(|e| format!("generated MRT must parse: {e}"))?;
+    let path = dir.join("pfx2as.txt");
+    fs::write(&path, p2o_bgp::pfx2as::write(&routes)).map_err(|e| io_err("writing", &path, e))?;
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for list in &world.truth.published_lists {
+        for prefix in &list.prefixes {
+            rows.push(vec![
+                list.org_name.clone(),
+                list.exhaustive.to_string(),
+                prefix.to_string(),
+            ]);
+        }
+    }
+    let path = truth_dir.join("lists.tsv");
+    fs::write(&path, tsv::write_rows(&rows)).map_err(|e| io_err("writing", &path, e))?;
+
+    let meta = vec![
+        vec!["snapshot_date".to_string(), world.config.snapshot_date.to_string()],
+        vec!["seed".to_string(), world.config.seed.to_string()],
+        vec!["transfers".to_string(), world.config.transfers.to_string()],
+    ];
+    let path = dir.join("meta.tsv");
+    fs::write(&path, tsv::write_rows(&meta)).map_err(|e| io_err("writing", &path, e))?;
+    Ok(())
+}
+
+/// One ground-truth list loaded from disk.
+pub struct TruthList {
+    /// The organization's display name.
+    pub org_name: String,
+    /// Whether the list is exhaustive.
+    pub exhaustive: bool,
+    /// The listed prefixes.
+    pub prefixes: Vec<Prefix>,
+}
+
+/// Everything `build`/`validate` load from a snapshot directory.
+pub struct LoadedInputs {
+    /// WHOIS delegation tree.
+    pub tree: DelegationTree,
+    /// WHOIS build statistics.
+    pub whois_stats: p2o_whois::db::BuildStats,
+    /// Routed prefixes with origins.
+    pub routes: RouteTable,
+    /// ASN sibling clusters.
+    pub clusters: p2o_as2org::AsnClusters,
+    /// Validated RPKI view.
+    pub rpki: p2o_rpki::ValidatedRepo,
+    /// RPKI validation problems.
+    pub rpki_problems: Vec<p2o_rpki::RepoProblem>,
+    /// Ground-truth lists (empty when the directory has none).
+    pub truth: Vec<TruthList>,
+    /// Snapshot date from `meta.tsv` (defaults to 20240901).
+    pub snapshot_date: u32,
+}
+
+/// Loads and parses a snapshot directory through the real substrate paths.
+pub fn load_inputs(dir: &Path) -> Result<LoadedInputs, String> {
+    let read = |path: PathBuf| -> Result<String, String> {
+        fs::read_to_string(&path).map_err(|e| io_err("reading", &path, e))
+    };
+
+    // Meta first (the snapshot date drives RPKI validation).
+    let mut snapshot_date = 20240901u32;
+    if let Ok(meta) = read(dir.join("meta.tsv")) {
+        for row in tsv::parse_rows(&meta, 2).map_err(|e| e.to_string())? {
+            if row[0] == "snapshot_date" {
+                snapshot_date = row[1]
+                    .parse()
+                    .map_err(|_| format!("bad snapshot_date {:?}", row[1]))?;
+            }
+        }
+    }
+
+    // WHOIS dumps: the file stem names the registry; the registry picks the
+    // parser.
+    let whois_dir = dir.join("whois");
+    let mut db = WhoisDb::new();
+    let mut entries: Vec<PathBuf> = fs::read_dir(&whois_dir)
+        .map_err(|e| io_err("listing", &whois_dir, e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("bad whois file name {}", path.display()))?;
+        let registry: Registry = stem
+            .parse()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = read(path.clone())?;
+        match registry {
+            Registry::Rir(Rir::Arin) => db.add_arin(&text),
+            Registry::Rir(Rir::Lacnic)
+            | Registry::Nir(p2o_whois::Nir::NicBr)
+            | Registry::Nir(p2o_whois::Nir::NicMx) => db.add_lacnic(&text, registry),
+            reg => db.add_rpsl(&text, reg),
+        };
+    }
+
+    // JPNIC back-fill.
+    if let Ok(text) = read(dir.join("jpnic_alloc.tsv")) {
+        let mut map: HashMap<Prefix, AllocationType> = HashMap::new();
+        for row in tsv::parse_rows(&text, 2).map_err(|e| e.to_string())? {
+            let prefix: Prefix = row[0]
+                .parse()
+                .map_err(|e| format!("jpnic_alloc.tsv: {e}"))?;
+            let alloc = AllocationType::parse_keyword(Rir::Apnic, &row[1])
+                .ok_or_else(|| format!("jpnic_alloc.tsv: unknown type {:?}", row[1]))?;
+            map.insert(prefix, alloc);
+        }
+        db.fill_jpnic_alloc(|p| map.get(p).copied());
+    }
+    let (tree, whois_stats) = db.build();
+
+    // BGP.
+    let path = dir.join("rib.mrt");
+    let mrt = fs::read(&path).map_err(|e| io_err("reading", &path, e))?;
+    let routes = RouteTable::from_mrt(bytes::Bytes::from(mrt)).map_err(|e| e.to_string())?;
+
+    // AS2Org + siblings.
+    let mut as2org = p2o_as2org::As2OrgDb::new();
+    as2org.load_records_tsv(&read(dir.join("as2org.tsv"))?)?;
+    if let Ok(text) = read(dir.join("siblings.tsv")) {
+        as2org.load_siblings_tsv(&text)?;
+    }
+    let clusters = as2org.cluster();
+
+    // RPKI.
+    let repo = p2o_rpki::persist::from_jsonl(&read(dir.join("rpki.jsonl"))?)?;
+    let (rpki, rpki_problems) = repo.validate(snapshot_date);
+
+    // Ground truth (optional).
+    let mut truth: Vec<TruthList> = Vec::new();
+    if let Ok(text) = read(dir.join("truth").join("lists.tsv")) {
+        let mut by_org: HashMap<(String, bool), Vec<Prefix>> = HashMap::new();
+        for row in tsv::parse_rows(&text, 3).map_err(|e| e.to_string())? {
+            let exhaustive = row[1] == "true";
+            let prefix: Prefix = row[2].parse().map_err(|e| format!("lists.tsv: {e}"))?;
+            by_org
+                .entry((row[0].clone(), exhaustive))
+                .or_default()
+                .push(prefix);
+        }
+        let mut keys: Vec<(String, bool)> = by_org.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let prefixes = by_org.remove(&key).expect("key listed");
+            truth.push(TruthList {
+                org_name: key.0,
+                exhaustive: key.1,
+                prefixes,
+            });
+        }
+    }
+
+    Ok(LoadedInputs {
+        tree,
+        whois_stats,
+        routes,
+        clusters,
+        rpki,
+        rpki_problems,
+        truth,
+        snapshot_date,
+    })
+}

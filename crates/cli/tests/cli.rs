@@ -1,0 +1,136 @@
+//! End-to-end tests of the `prefix2org` binary: generate → build → query →
+//! diff → validate, via real process invocations on a temp directory.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_prefix2org")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p2o-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn generate_and_build(dir: &Path, transfers: Option<&str>) -> PathBuf {
+    let dataset = dir.join("dataset.jsonl");
+    let dir_s = dir.to_str().unwrap();
+    let mut args = vec!["generate", "--out", dir_s, "--scale", "tiny", "--seed", "99"];
+    if let Some(t) = transfers {
+        args.extend_from_slice(&["--transfers", t]);
+    }
+    run_ok(&args);
+    run_ok(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        dataset.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    dataset
+}
+
+#[test]
+fn generate_build_lookup_org_validate() {
+    let dir = temp_dir("main");
+    let dataset = generate_and_build(&dir, None);
+    let dataset = dataset.to_str().unwrap();
+
+    // The snapshot directory has the documented layout.
+    for file in ["rib.mrt", "as2org.tsv", "rpki.jsonl", "meta.tsv"] {
+        assert!(dir.join(file).exists(), "missing {file}");
+    }
+    assert!(dir.join("whois").join("ARIN.txt").exists());
+
+    // Lookup: a covered address resolves, a bogus one reports cleanly.
+    let out = run_ok(&["lookup", "--dataset", dataset, "63.0.0.1/32", "198.51.100.0/24"]);
+    assert!(out.contains("Direct Owner"), "{out}");
+    assert!(out.contains("no covering routed prefix"), "{out}");
+
+    // Org query: grab an owner name from the dataset itself.
+    let text = std::fs::read_to_string(dataset).unwrap();
+    let first: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+    let owner = first["direct_owner"].as_str().unwrap();
+    let out = run_ok(&["org", "--dataset", dataset, owner]);
+    assert!(out.contains(first["prefix"].as_str().unwrap()), "{out}");
+
+    // Stats summary.
+    let out = run_ok(&["stats", "--dataset", dataset]);
+    assert!(out.contains("direct owners"), "{out}");
+    assert!(out.contains("per registry"), "{out}");
+
+    // Validate against the generated ground truth: total recall line.
+    let out = run_ok(&["validate", "--in", dir.to_str().unwrap(), "--dataset", dataset]);
+    assert!(out.contains("Total"), "{out}");
+    assert!(out.lines().count() > 3);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_detects_transfers() {
+    let dir_a = temp_dir("diff-a");
+    let dir_b = temp_dir("diff-b");
+    let ds_a = generate_and_build(&dir_a, None);
+    let ds_b = generate_and_build(&dir_b, Some("3"));
+    let out = run_ok(&[
+        "diff",
+        "--old",
+        ds_a.to_str().unwrap(),
+        "--new",
+        ds_b.to_str().unwrap(),
+    ]);
+    assert!(out.contains("owner changes"), "{out}");
+    assert!(out.contains("transfer "), "expected transfer lines:\n{out}");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown command.
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required option.
+    let out = run(&["build", "--in", "/nonexistent"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    // Nonexistent input directory.
+    let out = run(&["build", "--in", "/nonexistent", "--out", "/tmp/x.jsonl"]);
+    assert!(!out.status.success());
+
+    // Bad dataset path for lookup.
+    let out = run(&["lookup", "--dataset", "/nonexistent.jsonl", "10.0.0.0/8"]);
+    assert!(!out.status.success());
+
+    // Help succeeds.
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

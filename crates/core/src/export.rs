@@ -1,0 +1,169 @@
+//! Dataset export/import — the "public dataset" surface of the paper
+//! (the authors publish Prefix2Org on Zenodo as per-prefix JSON records;
+//! Listing 1 shows the shape).
+//!
+//! The export format is JSON Lines: one self-contained object per routed
+//! prefix, with stable machine-friendly field names (the pretty Listing-1
+//! rendering with display names lives in
+//! [`Prefix2OrgDataset::record_json`]). Import round-trips every field
+//! needed to query a snapshot without re-running the pipeline.
+
+use p2o_net::Prefix;
+use p2o_whois::alloc::AllocationType;
+use p2o_whois::Registry;
+
+use crate::dataset::{Prefix2OrgDataset, PrefixRecord};
+
+/// One exported record, with plain serde field names.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExportRecord {
+    /// The routed prefix.
+    pub prefix: Prefix,
+    /// The registry of the Direct Owner record.
+    pub registry: Registry,
+    /// The Direct Owner's WHOIS organization name.
+    pub direct_owner: String,
+    /// The Direct Owner delegation's block.
+    pub do_prefix: Prefix,
+    /// The Direct Owner delegation's allocation type.
+    pub do_alloc: AllocationType,
+    /// Delegated Customer chain: `(name, prefix, allocation type)`.
+    pub delegated_customers: Vec<(String, Prefix, AllocationType)>,
+    /// The Direct Owner's base name.
+    pub base_name: String,
+    /// The child-most Resource Certificate id, colon-hex.
+    pub rpki_certificate: Option<String>,
+    /// The origin ASN cluster ids.
+    pub origin_asn_clusters: Vec<u32>,
+    /// The final cluster label.
+    pub final_cluster: String,
+}
+
+impl From<&PrefixRecord> for ExportRecord {
+    fn from(rec: &PrefixRecord) -> Self {
+        ExportRecord {
+            prefix: rec.prefix,
+            registry: rec.registry,
+            direct_owner: rec.direct_owner.clone(),
+            do_prefix: rec.do_prefix,
+            do_alloc: rec.do_alloc,
+            delegated_customers: rec
+                .delegated_customers
+                .iter()
+                .map(|s| (s.org_name.clone(), s.prefix, s.alloc))
+                .collect(),
+            base_name: rec.base_name.clone(),
+            rpki_certificate: rec.rpki_certificate.clone(),
+            origin_asn_clusters: rec.origin_asn_clusters.clone(),
+            final_cluster: rec.final_cluster_label.clone(),
+        }
+    }
+}
+
+/// Serializes the whole dataset as JSON Lines.
+pub fn to_jsonl(dataset: &Prefix2OrgDataset) -> String {
+    let mut out = String::new();
+    for rec in dataset.records() {
+        let export = ExportRecord::from(rec);
+        out.push_str(&serde_json::to_string(&export).expect("record serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON Lines export back into records.
+///
+/// Blank lines are skipped; the first malformed line aborts with its line
+/// number.
+pub fn from_jsonl(text: &str) -> Result<Vec<ExportRecord>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: ExportRecord = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: {e}", idx + 1))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineInputs};
+    use p2o_bgp::RouteTable;
+    use p2o_rpki::RpkiRepository;
+    use p2o_whois::WhoisDb;
+
+    fn dataset() -> Prefix2OrgDataset {
+        let mut db = WhoisDb::new();
+        db.add_arin(
+            "\
+NetRange: 63.64.0.0 - 63.127.255.255\nNetType: Allocation\nOrgName: Verizon Business\nUpdated: 2024-05-20\n\n\
+NetRange: 63.80.52.0 - 63.80.52.255\nNetType: Reassignment\nOrgName: Ceva Inc\nUpdated: 2024-06-02\n",
+        );
+        db.add_rpsl(
+            "inet6num: 2001:db8::/32\ndescr: Verizon Business\nstatus: ALLOCATED-BY-RIR\nsource: RIPE\n",
+            p2o_whois::Registry::Rir(p2o_whois::Rir::Ripe),
+        );
+        let (tree, _) = db.build();
+        let mut routes = RouteTable::new();
+        routes.add_route("63.80.52.0/24".parse().unwrap(), 701);
+        routes.add_route("2001:db8::/32".parse().unwrap(), 701);
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        Pipeline::default().run(&PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        })
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let ds = dataset();
+        let text = to_jsonl(&ds);
+        assert_eq!(text.lines().count(), ds.len());
+        let parsed = from_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), ds.len());
+        for (exp, rec) in parsed.iter().zip(ds.records()) {
+            assert_eq!(exp, &ExportRecord::from(rec));
+        }
+    }
+
+    #[test]
+    fn exported_fields_are_complete() {
+        let ds = dataset();
+        let parsed = from_jsonl(&to_jsonl(&ds)).unwrap();
+        let v4 = parsed
+            .iter()
+            .find(|r| r.prefix == "63.80.52.0/24".parse().unwrap())
+            .unwrap();
+        assert_eq!(v4.direct_owner, "Verizon Business");
+        assert_eq!(v4.do_alloc, AllocationType::Allocation);
+        assert_eq!(v4.delegated_customers.len(), 1);
+        assert_eq!(v4.delegated_customers[0].0, "Ceva Inc");
+        assert_eq!(v4.origin_asn_clusters, vec![701]);
+        assert!(!v4.final_cluster.is_empty());
+    }
+
+    #[test]
+    fn import_rejects_garbage_with_line_number() {
+        let err = from_jsonl("{\"not\": \"a record\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let ds = dataset();
+        let mut text = to_jsonl(&ds);
+        text.push_str("this is not json\n");
+        let err = from_jsonl(&text).unwrap_err();
+        assert!(err.contains(&format!("line {}", ds.len() + 1)), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let ds = dataset();
+        let text = to_jsonl(&ds).replace('\n', "\n\n");
+        assert_eq!(from_jsonl(&text).unwrap().len(), ds.len());
+    }
+}

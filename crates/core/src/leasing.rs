@@ -1,0 +1,217 @@
+//! IP-leasing inference (paper §9 future work, Appendix E).
+//!
+//! The paper observes that Prefix2Org "can help identify organizations that
+//! hold specific IP address blocks and further sub-delegate them, which may
+//! aid in detecting addresses involved in the IP leasing market", and leaves
+//! the inference as future work citing Du et al.'s finding that 4.1% of
+//! routed IPv4 prefixes were leased.
+//!
+//! This module implements that inference over the Prefix2Org dataset: a
+//! Direct Owner whose prefixes are announced by many *unrelated* origin-AS
+//! clusters is behaving like a lessor — connectivity customers cluster
+//! under their provider's ASes, lessees scatter across the ASes of whoever
+//! rented the space.
+
+use std::collections::HashSet;
+
+use crate::dataset::Prefix2OrgDataset;
+
+/// One inferred lessor organization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeasingCandidate {
+    /// The organization's cluster label.
+    pub label: String,
+    /// Prefixes it Direct-Owns.
+    pub prefixes: usize,
+    /// Of those, prefixes it has sub-delegated (a Delegated Customer chain
+    /// exists).
+    pub delegated_prefixes: usize,
+    /// Sub-delegated prefixes announced only by ASes outside the org's own
+    /// clusters.
+    pub externally_originated: usize,
+    /// Distinct external origin-AS clusters across those prefixes.
+    pub external_origin_clusters: usize,
+    /// The leasing score: the fraction of sub-delegated prefixes that are
+    /// externally originated, in `[0, 1]`. Connectivity customers keep the
+    /// Direct Owner as upstream (provider-AS origination); lessees route
+    /// from their own ASes — so a high fraction marks a lessor.
+    pub score: f64,
+}
+
+/// Tuning knobs for [`infer_leasing`].
+#[derive(Debug, Clone, Copy)]
+pub struct LeasingOptions {
+    /// Minimum *sub-delegated* prefixes a Direct Owner needs before it can
+    /// be a candidate.
+    pub min_prefixes: usize,
+    /// Minimum distinct external origin clusters.
+    pub min_external_origins: usize,
+    /// Minimum score.
+    pub min_score: f64,
+}
+
+impl Default for LeasingOptions {
+    fn default() -> Self {
+        LeasingOptions {
+            min_prefixes: 5,
+            min_external_origins: 3,
+            min_score: 0.5,
+        }
+    }
+}
+
+/// Ranks Direct Owner clusters by lessor-likeness.
+///
+/// For each cluster, its "own" origin-AS clusters are those announcing the
+/// org's self-operated prefixes (no Delegated Customer chain). A
+/// *sub-delegated* prefix counts as externally originated when none of its
+/// origins is an own cluster; the score is the externally-originated share
+/// of sub-delegated space, which separates lessors (lessees announce from
+/// their own ASes) from connectivity providers (customers keep the provider
+/// as upstream and origin).
+pub fn infer_leasing(
+    dataset: &Prefix2OrgDataset,
+    options: LeasingOptions,
+) -> Vec<LeasingCandidate> {
+    let mut out = Vec::new();
+    for (id, recs) in dataset.clusters() {
+        // Own clusters: origin clusters announcing prefixes with no
+        // Delegated Customer (the org's self-operated space).
+        let mut own: HashSet<u32> = HashSet::new();
+        for rec in &recs {
+            if rec.delegated_customers.is_empty() {
+                own.extend(rec.origin_asn_clusters.iter().copied());
+            }
+        }
+        let mut delegated_prefixes = 0usize;
+        let mut external_prefixes = 0usize;
+        let mut external_clusters: HashSet<u32> = HashSet::new();
+        for rec in &recs {
+            if rec.delegated_customers.is_empty() || rec.origin_asn_clusters.is_empty() {
+                continue;
+            }
+            delegated_prefixes += 1;
+            if rec.origin_asn_clusters.iter().all(|c| !own.contains(c)) {
+                external_prefixes += 1;
+                external_clusters.extend(rec.origin_asn_clusters.iter().copied());
+            }
+        }
+        if delegated_prefixes < options.min_prefixes
+            || external_clusters.len() < options.min_external_origins
+        {
+            continue;
+        }
+        let score = external_prefixes as f64 / delegated_prefixes as f64;
+        if score < options.min_score {
+            continue;
+        }
+        out.push(LeasingCandidate {
+            label: dataset.cluster_label(id).to_string(),
+            prefixes: recs.len(),
+            delegated_prefixes,
+            externally_originated: external_prefixes,
+            external_origin_clusters: external_clusters.len(),
+            score: score.min(1.0),
+        });
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite")
+            .then(b.external_origin_clusters.cmp(&a.external_origin_clusters))
+            .then(a.label.cmp(&b.label))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineInputs};
+    use p2o_synth::{OrgKind, World, WorldConfig};
+
+    #[test]
+    fn synthetic_lessors_rank_high() {
+        let world = World::generate(WorldConfig::default_scale(0x1EA5));
+        let built = world.build_inputs();
+        let dataset = Pipeline::with_threads(4).run(&PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        });
+        let candidates = infer_leasing(&dataset, LeasingOptions::default());
+        assert!(!candidates.is_empty());
+
+        // Every leasing entity with a reasonable customer count must be
+        // detected, under the label of its base word.
+        let labels: Vec<&str> = candidates.iter().map(|c| c.label.as_str()).collect();
+        let mut found = 0usize;
+        let mut eligible = 0usize;
+        for org in world.orgs_of_kind(OrgKind::Leasing) {
+            let prefixes = dataset.prefixes_of_org(org.hq_name());
+            if prefixes.len() < 8 {
+                continue;
+            }
+            eligible += 1;
+            if labels.iter().any(|l| l.starts_with(&org.base)) {
+                found += 1;
+            }
+        }
+        assert!(eligible > 0, "world generated no sizable leasing entities");
+        assert_eq!(found, eligible, "missed lessors; detected: {labels:?}");
+
+        // Precision: the top candidates should be dominated by true leasing
+        // entities (other archetypes originate their own space).
+        let leasing_bases: Vec<&str> = world
+            .orgs_of_kind(OrgKind::Leasing)
+            .map(|o| o.base.as_str())
+            .collect();
+        let top: Vec<&LeasingCandidate> = candidates.iter().take(eligible).collect();
+        let hits = top
+            .iter()
+            .filter(|c| leasing_bases.iter().any(|b| c.label.starts_with(b)))
+            .count();
+        assert!(
+            hits * 2 >= top.len(),
+            "top candidates are not mostly lessors: {top:?}"
+        );
+    }
+
+    #[test]
+    fn thresholds_filter() {
+        let world = World::generate(WorldConfig::tiny(0x1EA5));
+        let built = world.build_inputs();
+        let dataset = Pipeline::default().run(&PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        });
+        let strict = infer_leasing(
+            &dataset,
+            LeasingOptions {
+                min_prefixes: 10_000,
+                ..LeasingOptions::default()
+            },
+        );
+        assert!(strict.is_empty());
+        let loose = infer_leasing(
+            &dataset,
+            LeasingOptions {
+                min_prefixes: 1,
+                min_external_origins: 1,
+                min_score: 0.0,
+            },
+        );
+        // Scores are sane and sorted.
+        for w in loose.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for c in &loose {
+            assert!(c.score >= 0.0 && c.score <= 1.0);
+            assert!(c.externally_originated <= c.delegated_prefixes);
+            assert!(c.delegated_prefixes <= c.prefixes);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end orchestration of the Prefix2Org pipeline (paper Figure 2).
+
+use p2o_as2org::AsnClusters;
+use p2o_bgp::RouteTable;
+use p2o_net::Prefix;
+use p2o_rpki::ValidatedRepo;
+use p2o_whois::DelegationTree;
+
+use crate::cluster::{ClusterOptions, Clusterer};
+use crate::dataset::Prefix2OrgDataset;
+use crate::resolve::{OwnershipRecord, Resolver};
+
+/// The four data sources of Figure 2, already parsed/validated.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineInputs<'a> {
+    /// WHOIS delegation trees (§4.2, §5.2).
+    pub delegations: &'a DelegationTree,
+    /// Routed prefixes with origins (§4.1).
+    pub routes: &'a RouteTable,
+    /// ASN sibling clusters (§4.4).
+    pub asn_clusters: &'a AsnClusters,
+    /// The validated RPKI view (§4.3).
+    pub rpki: &'a ValidatedRepo,
+}
+
+/// The pipeline: resolution (§5.2) then clustering (§5.3).
+///
+/// Resolution is embarrassingly parallel per prefix; `threads > 1` shards
+/// the routed-prefix list across `crossbeam` scoped threads (the guides'
+/// recommendation for CPU-bound fan-out — no async runtime involved).
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// Clustering options (ablations flip these).
+    pub cluster_options: ClusterOptions,
+    /// Worker threads for the resolution stage.
+    pub threads: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            cluster_options: ClusterOptions::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with `threads` resolution workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Pipeline {
+            threads: threads.max(1),
+            ..Pipeline::default()
+        }
+    }
+
+    /// Runs the full pipeline and assembles the dataset.
+    pub fn run(&self, inputs: &PipelineInputs<'_>) -> Prefix2OrgDataset {
+        let prefixes: Vec<Prefix> = inputs.routes.iter().map(|(p, _)| *p).collect();
+        let (ownership, unresolved) = self.resolve_stage(inputs.delegations, &prefixes);
+        let clustering = Clusterer::new(self.cluster_options).cluster(
+            &ownership,
+            inputs.routes,
+            inputs.asn_clusters,
+            inputs.rpki,
+        );
+        Prefix2OrgDataset::assemble(
+            ownership,
+            clustering,
+            unresolved,
+            inputs.routes.all_origins().len(),
+        )
+    }
+
+    /// The resolution stage alone (exposed for benches).
+    pub fn resolve_stage(
+        &self,
+        tree: &DelegationTree,
+        prefixes: &[Prefix],
+    ) -> (Vec<OwnershipRecord>, usize) {
+        if self.threads <= 1 || prefixes.len() < 2 * self.threads {
+            return Resolver.resolve_all(tree, prefixes.iter());
+        }
+        let chunk = prefixes.len().div_ceil(self.threads);
+        let mut shard_results: Vec<(Vec<OwnershipRecord>, usize)> =
+            Vec::with_capacity(self.threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = prefixes
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move |_| Resolver.resolve_all(tree, shard.iter())))
+                .collect();
+            for h in handles {
+                shard_results.push(h.join().expect("resolver shard panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut records = Vec::with_capacity(prefixes.len());
+        let mut unresolved = 0;
+        for (mut shard, misses) in shard_results {
+            records.append(&mut shard);
+            unresolved += misses;
+        }
+        (records, unresolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2o_net::Prefix4;
+    use p2o_rpki::RpkiRepository;
+    use p2o_whois::alloc::AllocationType;
+    use p2o_whois::record::{OrgRef, RawWhoisRecord};
+    use p2o_whois::{Registry, Rir, WhoisDb};
+
+    fn world(n_blocks: u32) -> (DelegationTree, RouteTable) {
+        let mut db = WhoisDb::new();
+        let mut routes = RouteTable::new();
+        for i in 0..n_blocks {
+            let block = Prefix4::new_truncated(0x0A00_0000 | (i << 12), 20);
+            db.add_record(RawWhoisRecord {
+                net: p2o_net::IpRange::V4(p2o_net::Range4::from_prefix(&block)),
+                org: OrgRef::Name(format!("Org {i} Inc")),
+                alloc: Some(AllocationType::Allocation),
+                source: Registry::Rir(Rir::Arin),
+                last_modified: 20240101,
+            });
+            // Route two /24s out of each block.
+            for j in 0..2u32 {
+                let routed = Prefix4::new_truncated(block.bits() | (j << 8), 24);
+                routes.add_route(routed.into(), 64512 + i);
+            }
+        }
+        (db.build().0, routes)
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let (tree, routes) = world(64);
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        let inputs = PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        };
+        let seq = Pipeline::default().run(&inputs);
+        let par = Pipeline::with_threads(4).run(&inputs);
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.metrics(), par.metrics());
+        for rec in seq.records() {
+            let other = par.record(&rec.prefix).unwrap();
+            assert_eq!(other.direct_owner, rec.direct_owner);
+            assert_eq!(other.base_name, rec.base_name);
+        }
+    }
+
+    #[test]
+    fn every_routed_prefix_is_mapped() {
+        let (tree, routes) = world(16);
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        let ds = Pipeline::default().run(&PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        });
+        assert_eq!(ds.len(), routes.len());
+        assert_eq!(ds.metrics().unresolved_prefixes, 0);
+        assert_eq!(ds.metrics().origin_asns, 16);
+        for (prefix, _) in routes.iter() {
+            assert!(ds.record(prefix).is_some(), "{prefix} unmapped");
+        }
+    }
+
+    #[test]
+    fn unresolved_prefixes_are_counted_not_dropped_silently() {
+        let (tree, mut routes) = world(4);
+        routes.add_route("192.0.2.0/24".parse().unwrap(), 65000); // no WHOIS
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        let ds = Pipeline::default().run(&PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        });
+        assert_eq!(ds.metrics().unresolved_prefixes, 1);
+        assert_eq!(ds.len(), routes.len() - 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type shared by all textual parsers in this crate.
+
+use core::fmt;
+
+/// Error returned when parsing a prefix, address, or range from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input was empty or structurally malformed (missing `/`, stray
+    /// separators, bad hex/decimal groups, ...).
+    Malformed(String),
+    /// The prefix length is larger than the address family allows.
+    LengthOutOfRange {
+        /// The offending length as written.
+        len: u32,
+        /// The maximum valid length for the family (32 or 128).
+        max: u8,
+    },
+    /// The address has non-zero bits below the prefix length; the prefix is
+    /// not in canonical form (e.g. `10.0.0.1/8`).
+    HostBitsSet(String),
+    /// A range's end address is smaller than its start address.
+    InvertedRange(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(s) => write!(f, "malformed input: {s:?}"),
+            ParseError::LengthOutOfRange { len, max } => {
+                write!(f, "prefix length {len} out of range (max {max})")
+            }
+            ParseError::HostBitsSet(s) => {
+                write!(f, "host bits set below prefix length: {s:?}")
+            }
+            ParseError::InvertedRange(s) => {
+                write!(f, "range end precedes range start: {s:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::LengthOutOfRange { len: 33, max: 32 };
+        assert_eq!(e.to_string(), "prefix length 33 out of range (max 32)");
+        assert!(ParseError::Malformed("x".into()).to_string().contains("x"));
+        assert!(ParseError::HostBitsSet("10.0.0.1/8".into())
+            .to_string()
+            .contains("10.0.0.1/8"));
+        assert!(ParseError::InvertedRange("b - a".into())
+            .to_string()
+            .contains("b - a"));
+    }
+}

@@ -1,0 +1,148 @@
+//! The key trait that lets one tree implementation serve both families.
+
+use p2o_net::{Prefix4, Prefix6};
+
+/// A fixed-width bit-string prefix usable as a radix-tree key.
+///
+/// Implementations must be canonical (no bits set beyond [`RadixKey::len`])
+/// and cheap to copy. The default-route value ([`RadixKey::DEFAULT`]) is the
+/// tree root.
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length, not a container size
+pub trait RadixKey: Copy + Eq + core::fmt::Debug {
+    /// The zero-length prefix (default route) — the root of every tree.
+    const DEFAULT: Self;
+
+    /// Maximum prefix length of the family (32 or 128).
+    const MAX_LEN: u8;
+
+    /// Prefix length in bits.
+    fn len(&self) -> u8;
+
+    /// Bit at `index` (0 = most significant). `index` must be `< MAX_LEN`.
+    fn bit(&self, index: u8) -> bool;
+
+    /// This prefix truncated to `len` bits (`len <= self.len()`).
+    fn truncated(&self, len: u8) -> Self;
+
+    /// Whether this prefix equals or is a supernet of `other`.
+    fn contains(&self, other: &Self) -> bool;
+
+    /// Length of the longest common prefix of the two keys, capped at
+    /// `min(self.len(), other.len())`.
+    fn common_len(&self, other: &Self) -> u8 {
+        let max = self.len().min(other.len());
+        let mut i = 0;
+        while i < max && self.bit(i) == other.bit(i) {
+            i += 1;
+        }
+        i
+    }
+}
+
+impl RadixKey for Prefix4 {
+    const DEFAULT: Self = Prefix4::DEFAULT;
+    const MAX_LEN: u8 = 32;
+
+    #[inline]
+    fn len(&self) -> u8 {
+        Prefix4::len(self)
+    }
+
+    #[inline]
+    fn bit(&self, index: u8) -> bool {
+        Prefix4::bit(self, index)
+    }
+
+    #[inline]
+    fn truncated(&self, len: u8) -> Self {
+        Prefix4::new_truncated(self.bits(), len)
+    }
+
+    #[inline]
+    fn contains(&self, other: &Self) -> bool {
+        Prefix4::contains(self, other)
+    }
+
+    /// Word-level longest-common-prefix (faster than the bit loop).
+    fn common_len(&self, other: &Self) -> u8 {
+        let max = RadixKey::len(self).min(RadixKey::len(other)) as u32;
+        let diff = self.bits() ^ other.bits();
+        (diff.leading_zeros().min(max)) as u8
+    }
+}
+
+impl RadixKey for Prefix6 {
+    const DEFAULT: Self = Prefix6::DEFAULT;
+    const MAX_LEN: u8 = 128;
+
+    #[inline]
+    fn len(&self) -> u8 {
+        Prefix6::len(self)
+    }
+
+    #[inline]
+    fn bit(&self, index: u8) -> bool {
+        Prefix6::bit(self, index)
+    }
+
+    #[inline]
+    fn truncated(&self, len: u8) -> Self {
+        Prefix6::new_truncated(self.bits(), len)
+    }
+
+    #[inline]
+    fn contains(&self, other: &Self) -> bool {
+        Prefix6::contains(self, other)
+    }
+
+    fn common_len(&self, other: &Self) -> u8 {
+        let max = RadixKey::len(self).min(RadixKey::len(other)) as u32;
+        let diff = self.bits() ^ other.bits();
+        (diff.leading_zeros().min(max)) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_len_v4() {
+        let a: Prefix4 = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix4 = "11.0.0.0/8".parse().unwrap();
+        // 10 = 0000_1010, 11 = 0000_1011: common bits = 7.
+        assert_eq!(a.common_len(&b), 7);
+        let c: Prefix4 = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(a.common_len(&c), 8); // capped by a's length
+        assert_eq!(a.common_len(&a), 8);
+    }
+
+    #[test]
+    fn common_len_v6() {
+        let a: Prefix6 = "2001:db8::/32".parse().unwrap();
+        let b: Prefix6 = "2001:db9::/32".parse().unwrap();
+        assert_eq!(a.common_len(&b), 31);
+        assert_eq!(a.common_len(&a), 32);
+    }
+
+    #[test]
+    fn common_len_matches_bit_loop() {
+        // The u32 fast path must agree with the default trait implementation.
+        fn slow<K: RadixKey>(a: &K, b: &K) -> u8 {
+            let max = a.len().min(b.len());
+            let mut i = 0;
+            while i < max && a.bit(i) == b.bit(i) {
+                i += 1;
+            }
+            i
+        }
+        let cases: [(Prefix4, Prefix4); 3] = [
+            ("0.0.0.0/0".parse().unwrap(), "128.0.0.0/1".parse().unwrap()),
+            ("192.0.2.0/24".parse().unwrap(), "192.0.3.0/24".parse().unwrap()),
+            ("255.255.255.255/32".parse().unwrap(), "255.255.255.254/32".parse().unwrap()),
+        ];
+        for (a, b) in cases {
+            assert_eq!(a.common_len(&b), slow(&a, &b), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Dual-family façade over two radix trees.
+
+use p2o_net::{AddressFamily, Prefix, Prefix4, Prefix6};
+
+use crate::tree::RadixTree;
+
+/// A map keyed by [`Prefix`] of either family, backed by one
+/// [`RadixTree`] per family.
+///
+/// This is the type most of the pipeline holds; hot single-family loops can
+/// borrow the inner trees via [`PrefixMap::v4`]/[`PrefixMap::v6`].
+#[derive(Debug, Clone)]
+pub struct PrefixMap<V> {
+    v4: RadixTree<Prefix4, V>,
+    v6: RadixTree<Prefix6, V>,
+}
+
+impl<V> Default for PrefixMap<V> {
+    fn default() -> Self {
+        PrefixMap::new()
+    }
+}
+
+impl<V> PrefixMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PrefixMap {
+            v4: RadixTree::new(),
+            v6: RadixTree::new(),
+        }
+    }
+
+    /// The IPv4 tree.
+    pub fn v4(&self) -> &RadixTree<Prefix4, V> {
+        &self.v4
+    }
+
+    /// The IPv6 tree.
+    pub fn v6(&self) -> &RadixTree<Prefix6, V> {
+        &self.v6
+    }
+
+    /// Total number of stored prefixes across both families.
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// Number of stored prefixes in one family.
+    pub fn len_family(&self, family: AddressFamily) -> usize {
+        match family {
+            AddressFamily::V4 => self.v4.len(),
+            AddressFamily::V6 => self.v6.len(),
+        }
+    }
+
+    /// Whether no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a prefix, returning any previous value.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        match prefix {
+            Prefix::V4(p) => self.v4.insert(p, value),
+            Prefix::V6(p) => self.v6.insert(p, value),
+        }
+    }
+
+    /// The stored value for exactly `prefix`.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        match prefix {
+            Prefix::V4(p) => self.v4.get(p),
+            Prefix::V6(p) => self.v6.get(p),
+        }
+    }
+
+    /// Mutable access to the value for exactly `prefix`.
+    pub fn get_mut(&mut self, prefix: &Prefix) -> Option<&mut V> {
+        match prefix {
+            Prefix::V4(p) => self.v4.get_mut(p),
+            Prefix::V6(p) => self.v6.get_mut(p),
+        }
+    }
+
+    /// Whether exactly `prefix` is stored.
+    pub fn contains_key(&self, prefix: &Prefix) -> bool {
+        self.get(prefix).is_some()
+    }
+
+    /// Removes and returns the value stored at exactly `prefix`.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        match prefix {
+            Prefix::V4(p) => self.v4.remove(p),
+            Prefix::V6(p) => self.v6.remove(p),
+        }
+    }
+
+    /// The most specific stored prefix equal to or covering `key`.
+    pub fn longest_match(&self, key: &Prefix) -> Option<(Prefix, &V)> {
+        match key {
+            Prefix::V4(p) => self.v4.longest_match(p).map(|(k, v)| (k.into(), v)),
+            Prefix::V6(p) => self.v6.longest_match(p).map(|(k, v)| (k.into(), v)),
+        }
+    }
+
+    /// The covering chain for `key`, most specific first.
+    pub fn covering(&self, key: &Prefix) -> Vec<(Prefix, &V)> {
+        match key {
+            Prefix::V4(p) => self.v4.covering(p).map(|(k, v)| (k.into(), v)).collect(),
+            Prefix::V6(p) => self.v6.covering(p).map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// All stored prefixes contained in `key`, in sorted order.
+    pub fn subtree(&self, key: &Prefix) -> Vec<(Prefix, &V)> {
+        match key {
+            Prefix::V4(p) => self.v4.subtree(p).map(|(k, v)| (k.into(), v)).collect(),
+            Prefix::V6(p) => self.v6.subtree(p).map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Iterates all stored pairs: IPv4 first (sorted), then IPv6 (sorted).
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        self.v4
+            .iter()
+            .map(|(k, v)| (Prefix::from(k), v))
+            .chain(self.v6.iter().map(|(k, v)| (Prefix::from(k), v)))
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixMap<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> Self {
+        let mut map = PrefixMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn families_do_not_interfere() {
+        let mut m = PrefixMap::new();
+        m.insert(p("10.0.0.0/8"), "v4");
+        m.insert(p("2001:db8::/32"), "v6");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.len_family(AddressFamily::V4), 1);
+        assert_eq!(m.len_family(AddressFamily::V6), 1);
+        assert_eq!(m.get(&p("10.0.0.0/8")), Some(&"v4"));
+        assert_eq!(m.longest_match(&p("2001:db8:1::/48")).unwrap().1, &"v6");
+        assert_eq!(m.longest_match(&p("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn covering_and_subtree_dispatch() {
+        let mut m = PrefixMap::new();
+        m.insert(p("10.0.0.0/8"), 1);
+        m.insert(p("10.1.0.0/16"), 2);
+        let chain = m.covering(&p("10.1.2.0/24"));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(*chain[0].1, 2);
+        let sub = m.subtree(&p("10.0.0.0/8"));
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn iter_v4_then_v6() {
+        let mut m = PrefixMap::new();
+        m.insert(p("2001:db8::/32"), 0);
+        m.insert(p("10.0.0.0/8"), 0);
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![p("10.0.0.0/8"), p("2001:db8::/32")]);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut m = PrefixMap::new();
+        m.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(m.remove(&p("10.0.0.0/8")), Some(1));
+        assert!(m.is_empty());
+        m.insert(p("10.0.0.0/8"), 2);
+        assert_eq!(m.get(&p("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: PrefixMap<u32> = [(p("10.0.0.0/8"), 1), (p("2001:db8::/32"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests: the radix tree must agree with a naive model on
+//! every operation.
+
+use proptest::prelude::*;
+
+use p2o_net::Prefix4;
+
+use crate::tree::RadixTree;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix4> {
+    // Constrain the universe so collisions/nesting actually happen.
+    (0u32..64, 8u8..=24).prop_map(|(hi, len)| Prefix4::new_truncated(hi << 24, len))
+}
+
+fn arb_dense_prefix() -> impl Strategy<Value = Prefix4> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix4::new_truncated(bits, len))
+}
+
+/// Naive reference: a vector of (prefix, value) pairs.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(Prefix4, u32)>,
+}
+
+impl Model {
+    fn insert(&mut self, p: Prefix4, v: u32) -> Option<u32> {
+        for e in self.entries.iter_mut() {
+            if e.0 == p {
+                return Some(std::mem::replace(&mut e.1, v));
+            }
+        }
+        self.entries.push((p, v));
+        None
+    }
+
+    fn remove(&mut self, p: &Prefix4) -> Option<u32> {
+        let idx = self.entries.iter().position(|e| e.0 == *p)?;
+        Some(self.entries.swap_remove(idx).1)
+    }
+
+    fn get(&self, p: &Prefix4) -> Option<u32> {
+        self.entries.iter().find(|e| e.0 == *p).map(|e| e.1)
+    }
+
+    fn covering(&self, p: &Prefix4) -> Vec<(Prefix4, u32)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|e| e.0.contains(p))
+            .copied()
+            .collect();
+        // Most specific first.
+        v.sort_by_key(|e| core::cmp::Reverse(e.0.len()));
+        v
+    }
+
+    fn subtree(&self, p: &Prefix4) -> Vec<(Prefix4, u32)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|e| p.contains(&e.0))
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Prefix4, u32),
+    Remove(Prefix4),
+    Get(Prefix4),
+    LongestMatch(Prefix4),
+    Covering(Prefix4),
+    Subtree(Prefix4),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+        arb_prefix().prop_map(Op::Remove),
+        arb_prefix().prop_map(Op::Get),
+        arb_prefix().prop_map(Op::LongestMatch),
+        arb_prefix().prop_map(Op::Covering),
+        arb_prefix().prop_map(Op::Subtree),
+    ]
+}
+
+proptest! {
+    /// Random operation sequences: tree and naive model agree on every
+    /// observable result.
+    #[test]
+    fn tree_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut tree: RadixTree<Prefix4, u32> = RadixTree::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Insert(p, v) => {
+                    prop_assert_eq!(tree.insert(p, v), model.insert(p, v));
+                }
+                Op::Remove(p) => {
+                    prop_assert_eq!(tree.remove(&p), model.remove(&p));
+                }
+                Op::Get(p) => {
+                    prop_assert_eq!(tree.get(&p).copied(), model.get(&p));
+                }
+                Op::LongestMatch(p) => {
+                    let got = tree.longest_match(&p).map(|(k, v)| (k, *v));
+                    let want = model.covering(&p).first().copied();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Covering(p) => {
+                    let got: Vec<_> = tree.covering(&p).map(|(k, v)| (k, *v)).collect();
+                    prop_assert_eq!(got, model.covering(&p));
+                }
+                Op::Subtree(p) => {
+                    let got: Vec<_> = tree.subtree(&p).map(|(k, v)| (k, *v)).collect();
+                    prop_assert_eq!(got, model.subtree(&p));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.entries.len());
+        }
+    }
+
+    /// Iteration yields exactly the stored set, sorted, for arbitrary dense
+    /// prefixes (full 32-bit universe).
+    #[test]
+    fn iteration_sorted_and_complete(prefixes in proptest::collection::btree_set(arb_dense_prefix(), 0..100)) {
+        let tree: RadixTree<Prefix4, u32> =
+            prefixes.iter().map(|p| (*p, 0u32)).collect();
+        let keys: Vec<_> = tree.keys().collect();
+        let want: Vec<_> = prefixes.into_iter().collect(); // BTreeSet is sorted
+        prop_assert_eq!(keys, want);
+    }
+
+    /// The covering chain is always sorted most-specific-first and every
+    /// element contains the query.
+    #[test]
+    fn covering_chain_invariants(
+        prefixes in proptest::collection::vec(arb_dense_prefix(), 0..100),
+        query in arb_dense_prefix(),
+    ) {
+        let tree: RadixTree<Prefix4, u32> =
+            prefixes.into_iter().map(|p| (p, 0u32)).collect();
+        let chain: Vec<_> = tree.covering(&query).map(|(k, _)| k).collect();
+        for w in chain.windows(2) {
+            prop_assert!(w[0].len() > w[1].len());
+            prop_assert!(w[1].contains(&w[0]));
+        }
+        for k in &chain {
+            prop_assert!(k.contains(&query));
+        }
+    }
+}
+
+/// The same model-equivalence property for IPv6 keys (128-bit paths exercise
+/// different glue-node geometry than 32-bit ones).
+mod v6 {
+    use super::*;
+    use p2o_net::Prefix6;
+
+    fn arb_prefix6() -> impl Strategy<Value = Prefix6> {
+        // A constrained universe under 2001:db8::/28 so nesting happens.
+        (0u128..64, 32u8..=64)
+            .prop_map(|(hi, len)| Prefix6::new_truncated((0x2001_0db8u128 << 96) | (hi << 60), len))
+    }
+
+    proptest! {
+        #[test]
+        fn v6_tree_matches_naive_filter(
+            prefixes in proptest::collection::vec(arb_prefix6(), 0..60),
+            query in arb_prefix6(),
+        ) {
+            let tree: RadixTree<Prefix6, usize> = prefixes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (*p, i))
+                .collect();
+            // Deduplicate like the tree does (later value wins).
+            let mut entries: Vec<(Prefix6, usize)> = Vec::new();
+            for (i, p) in prefixes.iter().enumerate() {
+                if let Some(e) = entries.iter_mut().find(|e| e.0 == *p) {
+                    e.1 = i;
+                } else {
+                    entries.push((*p, i));
+                }
+            }
+            // Covering chain.
+            let got: Vec<_> = tree.covering(&query).map(|(k, v)| (k, *v)).collect();
+            let mut want: Vec<_> = entries
+                .iter()
+                .filter(|(k, _)| k.contains(&query))
+                .copied()
+                .collect();
+            want.sort_by_key(|(k, _)| core::cmp::Reverse(k.len()));
+            prop_assert_eq!(got, want);
+            // Subtree.
+            let got: Vec<_> = tree.subtree(&query).map(|(k, v)| (k, *v)).collect();
+            let mut want: Vec<_> = entries
+                .iter()
+                .filter(|(k, _)| query.contains(k))
+                .copied()
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want);
+            // Exact membership.
+            for (k, v) in &entries {
+                prop_assert_eq!(tree.get(k), Some(v));
+            }
+        }
+    }
+}

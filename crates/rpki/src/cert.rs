@@ -1,0 +1,258 @@
+//! Resource Certificates and Route Origin Authorizations.
+
+use core::fmt;
+
+use p2o_net::Prefix;
+use p2o_util::Digest;
+
+use crate::resources::IpResourceSet;
+
+/// A certificate identifier — the Subject Key Identifier in real RPKI. Here
+/// a deterministic digest of the issuance context (see DESIGN.md §1 on the
+/// crypto substitution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CertId(pub Digest);
+
+impl CertId {
+    /// The paper-style short display, e.g. `0E:65:A4`.
+    pub fn short(&self) -> String {
+        self.0.short()
+    }
+}
+
+impl fmt::Display for CertId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A Resource Certificate: attests that `subject`'s key speaks for
+/// `resources`.
+///
+/// Trust anchors are self-issued (`issuer == None`); every other certificate
+/// must chain to its issuer with resources contained in the issuer's
+/// (RFC 3779). Prefix2Org's clustering signal is precisely "which prefixes
+/// appear together in the same child-most certificate".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceCert {
+    /// This certificate's key identifier (SKI).
+    pub id: CertId,
+    /// The issuing certificate's key identifier (AKI); `None` for a trust
+    /// anchor.
+    pub issuer: Option<CertId>,
+    /// The holder's resource-account label. One account can cover many WHOIS
+    /// organization names — that is the signal §5.3.2 exploits.
+    pub subject: String,
+    /// The IP resources this certificate speaks for.
+    pub resources: IpResourceSet,
+    /// Validity window start, as a `YYYYMMDD` ordinal.
+    pub not_before: u32,
+    /// Validity window end, as a `YYYYMMDD` ordinal (inclusive).
+    pub not_after: u32,
+    /// Simulated signature: a digest over the content under the signer's key.
+    pub signature: Digest,
+}
+
+impl ResourceCert {
+    /// The digest of the to-be-signed content.
+    pub fn content_digest(&self) -> Digest {
+        cert_content_digest(
+            &self.id,
+            self.issuer.as_ref(),
+            &self.subject,
+            &self.resources,
+            self.not_before,
+            self.not_after,
+        )
+    }
+
+    /// Recomputes the expected signature under `signer` (the issuer's id,
+    /// or the certificate's own id for a trust anchor).
+    pub fn expected_signature(&self, signer: &CertId) -> Digest {
+        signer.0.chain(self.content_digest())
+    }
+
+    /// Whether the validity window covers `date` (a `YYYYMMDD` ordinal).
+    pub fn valid_at(&self, date: u32) -> bool {
+        self.not_before <= date && date <= self.not_after
+    }
+}
+
+/// Computes the deterministic content digest of a certificate.
+pub(crate) fn cert_content_digest(
+    id: &CertId,
+    issuer: Option<&CertId>,
+    subject: &str,
+    resources: &IpResourceSet,
+    not_before: u32,
+    not_after: u32,
+) -> Digest {
+    let issuer_bytes = issuer.map(|i| i.0 .0.to_be_bytes()).unwrap_or([0u8; 8]);
+    Digest::of_parts([
+        id.0 .0.to_be_bytes().as_slice(),
+        issuer_bytes.as_slice(),
+        subject.as_bytes(),
+        resources.canonical_bytes().as_slice(),
+        not_before.to_be_bytes().as_slice(),
+        not_after.to_be_bytes().as_slice(),
+    ])
+}
+
+/// One `(prefix, maxLength)` entry of a ROA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoaPrefix {
+    /// The authorized prefix.
+    pub prefix: Prefix,
+    /// The longest more-specific announcement the ROA authorizes.
+    pub max_len: u8,
+}
+
+impl RoaPrefix {
+    /// A ROA prefix whose `maxLength` equals the prefix length (the common
+    /// and recommended case).
+    pub fn exact(prefix: Prefix) -> Self {
+        RoaPrefix {
+            max_len: prefix.len(),
+            prefix,
+        }
+    }
+}
+
+/// A Route Origin Authorization: `asn` may originate the listed prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Roa {
+    /// The authorized origin AS.
+    pub asn: u32,
+    /// The authorized prefixes with their max lengths.
+    pub prefixes: Vec<RoaPrefix>,
+    /// The Resource Certificate under which the ROA is issued.
+    pub parent: CertId,
+    /// Validity window start (`YYYYMMDD`).
+    pub not_before: u32,
+    /// Validity window end (`YYYYMMDD`, inclusive).
+    pub not_after: u32,
+    /// Simulated signature under the parent certificate's key.
+    pub signature: Digest,
+}
+
+impl Roa {
+    /// The digest of the to-be-signed content.
+    pub fn content_digest(&self) -> Digest {
+        let mut parts: Vec<Vec<u8>> = vec![
+            self.asn.to_be_bytes().to_vec(),
+            self.not_before.to_be_bytes().to_vec(),
+            self.not_after.to_be_bytes().to_vec(),
+        ];
+        for rp in &self.prefixes {
+            parts.push(rp.prefix.to_string().into_bytes());
+            parts.push(vec![rp.max_len]);
+        }
+        Digest::of_parts(parts.iter().map(|p| p.as_slice()))
+    }
+
+    /// The expected signature under the parent key.
+    pub fn expected_signature(&self) -> Digest {
+        self.parent.0.chain(self.content_digest())
+    }
+
+    /// Whether the validity window covers `date`.
+    pub fn valid_at(&self, date: u32) -> bool {
+        self.not_before <= date && date <= self.not_after
+    }
+
+    /// The resources the ROA claims, as a set (for overclaim checking).
+    pub fn claimed_resources(&self) -> IpResourceSet {
+        self.prefixes.iter().map(|rp| rp.prefix).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cert(subject: &str, prefixes: &[&str]) -> ResourceCert {
+        let resources: IpResourceSet = prefixes.iter().map(|s| p(s)).collect();
+        let id = CertId(Digest::of_bytes(subject.as_bytes()));
+        let mut c = ResourceCert {
+            id,
+            issuer: None,
+            subject: subject.into(),
+            resources,
+            not_before: 20240101,
+            not_after: 20251231,
+            signature: Digest(0),
+        };
+        c.signature = c.expected_signature(&id);
+        c
+    }
+
+    #[test]
+    fn content_digest_covers_all_fields() {
+        let a = cert("acct-a", &["10.0.0.0/8"]);
+        let mut b = a.clone();
+        b.subject = "acct-b".into();
+        assert_ne!(a.content_digest(), b.content_digest());
+        let mut c = a.clone();
+        c.not_after = 20261231;
+        assert_ne!(a.content_digest(), c.content_digest());
+        let mut d = a.clone();
+        d.resources = [p("11.0.0.0/8")].into_iter().collect();
+        assert_ne!(a.content_digest(), d.content_digest());
+    }
+
+    #[test]
+    fn signature_verifies_only_under_signer() {
+        let a = cert("acct-a", &["10.0.0.0/8"]);
+        assert_eq!(a.signature, a.expected_signature(&a.id));
+        let other = CertId(Digest::of_bytes(b"other"));
+        assert_ne!(a.signature, a.expected_signature(&other));
+    }
+
+    #[test]
+    fn validity_window_is_inclusive() {
+        let a = cert("acct-a", &["10.0.0.0/8"]);
+        assert!(a.valid_at(20240101));
+        assert!(a.valid_at(20251231));
+        assert!(!a.valid_at(20231231));
+        assert!(!a.valid_at(20260101));
+    }
+
+    #[test]
+    fn roa_digest_and_claims() {
+        let parent = CertId(Digest::of_bytes(b"parent"));
+        let mut roa = Roa {
+            asn: 701,
+            prefixes: vec![RoaPrefix::exact(p("65.196.14.0/24"))],
+            parent,
+            not_before: 20240101,
+            not_after: 20250101,
+            signature: Digest(0),
+        };
+        roa.signature = roa.expected_signature();
+        assert_eq!(roa.signature, roa.expected_signature());
+        assert!(roa.claimed_resources().contains_prefix(&p("65.196.14.0/24")));
+        let mut other = roa.clone();
+        other.prefixes[0].max_len = 28;
+        assert_ne!(roa.content_digest(), other.content_digest());
+        let mut other_asn = roa.clone();
+        other_asn.asn = 702;
+        assert_ne!(roa.content_digest(), other_asn.content_digest());
+    }
+
+    #[test]
+    fn roa_prefix_exact() {
+        let rp = RoaPrefix::exact(p("10.0.0.0/8"));
+        assert_eq!(rp.max_len, 8);
+    }
+
+    #[test]
+    fn cert_id_display() {
+        let id = CertId(Digest(0x0E65A40000000000));
+        assert_eq!(id.short(), "0E:65:A4");
+        assert!(id.to_string().starts_with("0E:65:A4:"));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! RPKI substrate for Prefix2Org.
+//!
+//! The Resource Public Key Infrastructure binds Internet number resources to
+//! the keys of their holders. Prefix2Org uses one structural property of the
+//! system (§4.3): *all prefixes listed in the same Resource Certificate are
+//! managed through the same resource account*, so co-occurrence in the
+//! child-most certificate is strong evidence of common management.
+//!
+//! This crate models the parts of RPKI that property depends on:
+//!
+//! - [`IpResourceSet`] — RFC 3779 IP resource extensions as normalized
+//!   interval sets with subset/union/intersection algebra;
+//! - [`ResourceCert`] and [`Roa`] — certificates and Route Origin
+//!   Authorizations, with *simulated* signatures (deterministic content
+//!   digests — see DESIGN.md §1: no crypto crates are available offline, and
+//!   Prefix2Org never relies on cryptographic strength, only on the
+//!   certificate tree's structure);
+//! - [`RpkiRepository`] — a repository of trust anchors, certificates and
+//!   ROAs supporting issuance (used by the synthetic generator exactly the
+//!   way RIR/NIR systems issue in reality) and chain validation (resource
+//!   containment per RFC 3779, signature integrity, validity windows);
+//! - [`ValidatedRepo`] — the validated view, exposing the child-most
+//!   Resource Certificate per prefix (§B.1) and RFC 6811 route origin
+//!   validation for the paper's ROA-coverage case study (§8.2).
+
+pub mod cert;
+pub mod persist;
+pub mod repo;
+pub mod resources;
+pub mod rov;
+
+pub use cert::{CertId, ResourceCert, Roa, RoaPrefix};
+pub use repo::{RepoProblem, RpkiRepository, ValidatedRepo};
+pub use resources::IpResourceSet;
+pub use rov::RovStatus;

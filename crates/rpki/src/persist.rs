@@ -1,0 +1,210 @@
+//! Repository persistence as JSON Lines.
+//!
+//! Real RPKI repositories are trees of DER-encoded objects fetched over
+//! rsync/RRDP; this reproduction's simulated objects persist as one JSON
+//! object per line instead (`{"type":"cert",...}` / `{"type":"roa",...}`).
+//! Signatures and key ids are stored verbatim, so a tampered file fails
+//! chain validation on load exactly like a tampered repository would.
+
+use p2o_net::Prefix;
+use p2o_util::Digest;
+
+use crate::cert::{CertId, ResourceCert, Roa, RoaPrefix};
+use crate::repo::RpkiRepository;
+use crate::resources::IpResourceSet;
+
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+enum Line {
+    Cert {
+        id: u64,
+        issuer: Option<u64>,
+        subject: String,
+        resources: Vec<Prefix>,
+        not_before: u32,
+        not_after: u32,
+        signature: u64,
+    },
+    Roa {
+        asn: u32,
+        prefixes: Vec<(Prefix, u8)>,
+        parent: u64,
+        not_before: u32,
+        not_after: u32,
+        signature: u64,
+    },
+}
+
+/// Serializes a repository (trust anchors, certificates, ROAs) to JSONL.
+pub fn to_jsonl(repo: &RpkiRepository) -> String {
+    let mut out = String::new();
+    for cert in repo.certs_in_order() {
+        let line = Line::Cert {
+            id: cert.id.0 .0,
+            issuer: cert.issuer.map(|i| i.0 .0),
+            subject: cert.subject.clone(),
+            resources: cert.resources.to_prefixes(),
+            not_before: cert.not_before,
+            not_after: cert.not_after,
+            signature: cert.signature.0,
+        };
+        out.push_str(&serde_json::to_string(&line).expect("line serializes"));
+        out.push('\n');
+    }
+    for roa in repo.roas_in_order() {
+        let line = Line::Roa {
+            asn: roa.asn,
+            prefixes: roa.prefixes.iter().map(|rp| (rp.prefix, rp.max_len)).collect(),
+            parent: roa.parent.0 .0,
+            not_before: roa.not_before,
+            not_after: roa.not_after,
+            signature: roa.signature.0,
+        };
+        out.push_str(&serde_json::to_string(&line).expect("line serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Reconstructs a repository from JSONL. Objects are restored verbatim
+/// (ids and signatures included); integrity is *not* checked here — run
+/// [`RpkiRepository::validate`] as usual.
+pub fn from_jsonl(text: &str) -> Result<RpkiRepository, String> {
+    let mut repo = RpkiRepository::new();
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line: Line =
+            serde_json::from_str(raw).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        match line {
+            Line::Cert {
+                id,
+                issuer,
+                subject,
+                resources,
+                not_before,
+                not_after,
+                signature,
+            } => {
+                let resources: IpResourceSet = resources.into_iter().collect();
+                repo.restore_cert(ResourceCert {
+                    id: CertId(Digest(id)),
+                    issuer: issuer.map(|i| CertId(Digest(i))),
+                    subject,
+                    resources,
+                    not_before,
+                    not_after,
+                    signature: Digest(signature),
+                });
+            }
+            Line::Roa {
+                asn,
+                prefixes,
+                parent,
+                not_before,
+                not_after,
+                signature,
+            } => {
+                repo.restore_roa(Roa {
+                    asn,
+                    prefixes: prefixes
+                        .into_iter()
+                        .map(|(prefix, max_len)| RoaPrefix { prefix, max_len })
+                        .collect(),
+                    parent: CertId(Digest(parent)),
+                    not_before,
+                    not_after,
+                    signature: Digest(signature),
+                });
+            }
+        }
+    }
+    Ok(repo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::RoaPrefix;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample_repo() -> RpkiRepository {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor(
+            "ARIN",
+            [p("63.0.0.0/8"), p("2600::/12")].into_iter().collect(),
+            20200101,
+            20301231,
+        );
+        let member = repo
+            .issue_cert(
+                ta,
+                "member-account",
+                [p("63.64.0.0/10")].into_iter().collect(),
+                20200101,
+                20301231,
+            )
+            .unwrap();
+        repo.issue_roa(
+            member,
+            701,
+            vec![RoaPrefix {
+                prefix: p("63.64.0.0/10"),
+                max_len: 24,
+            }],
+            20200101,
+            20301231,
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn round_trip_preserves_validation_results() {
+        let repo = sample_repo();
+        let restored = from_jsonl(&to_jsonl(&repo)).unwrap();
+        assert_eq!(restored.cert_count(), repo.cert_count());
+        assert_eq!(restored.roa_count(), repo.roa_count());
+        assert_eq!(restored.trust_anchors().len(), 1);
+
+        let (a, pa) = repo.validate(20240901);
+        let (b, pb) = restored.validate(20240901);
+        assert_eq!(pa, pb);
+        assert!(pa.is_empty());
+        assert_eq!(a.cert_count(), b.cert_count());
+        let q = p("63.80.0.0/16");
+        assert_eq!(a.child_most_rc(&q), b.child_most_rc(&q));
+        assert_eq!(a.rov(&q, 701), b.rov(&q, 701));
+    }
+
+    #[test]
+    fn tampered_file_fails_validation_not_parsing() {
+        let repo = sample_repo();
+        // Flip a resource in the member cert line: the signature no longer
+        // matches the content.
+        let text = to_jsonl(&repo).replace("63.64.0.0/10", "63.0.0.0/9");
+        let restored = from_jsonl(&text).unwrap();
+        let (_, problems) = restored.validate(20240901);
+        assert!(!problems.is_empty(), "tampering must be caught by validation");
+    }
+
+    #[test]
+    fn garbage_reports_line_numbers() {
+        let err = from_jsonl("{}\n").unwrap_err();
+        assert!(err.starts_with("line 1"), "{err}");
+        let mut text = to_jsonl(&sample_repo());
+        text.push_str("{\"type\":\"alien\"}\n");
+        let err = from_jsonl(&text).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = to_jsonl(&sample_repo()).replace('\n', "\n\n");
+        assert!(from_jsonl(&text).is_ok());
+    }
+}

@@ -1,0 +1,691 @@
+//! The RPKI repository: issuance and chain validation.
+
+use std::collections::HashMap;
+
+use p2o_net::Prefix;
+use p2o_radix::PrefixMap;
+use p2o_util::Digest;
+
+use crate::cert::{cert_content_digest, CertId, ResourceCert, Roa, RoaPrefix};
+use crate::resources::IpResourceSet;
+use crate::rov::{RovStatus, Vrp};
+
+/// A problem found during validation. Invalid objects are excluded from the
+/// validated view but do not abort validation — mirroring real relying-party
+/// software.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoProblem {
+    /// A certificate's issuer is not in the repository.
+    UnknownIssuer {
+        /// The dangling certificate.
+        cert: CertId,
+    },
+    /// A certificate's signature does not verify under its issuer's key.
+    BadSignature {
+        /// The offending certificate.
+        cert: CertId,
+    },
+    /// A certificate claims resources its issuer does not hold (RFC 3779
+    /// violation).
+    ResourceOverclaim {
+        /// The offending certificate.
+        cert: CertId,
+    },
+    /// A certificate is outside its validity window.
+    Expired {
+        /// The offending certificate.
+        cert: CertId,
+    },
+    /// A certificate chains (transitively) to an invalid certificate.
+    InvalidParent {
+        /// The affected certificate.
+        cert: CertId,
+    },
+    /// A ROA names a parent certificate that is missing or invalid.
+    RoaBadParent {
+        /// The authorized ASN, for diagnostics.
+        asn: u32,
+    },
+    /// A ROA's signature does not verify under its parent certificate.
+    RoaBadSignature {
+        /// The authorized ASN.
+        asn: u32,
+    },
+    /// A ROA authorizes prefixes outside its parent's resources.
+    RoaOverclaim {
+        /// The authorized ASN.
+        asn: u32,
+    },
+    /// A ROA is outside its validity window.
+    RoaExpired {
+        /// The authorized ASN.
+        asn: u32,
+    },
+}
+
+/// A repository of trust anchors, Resource Certificates, and ROAs.
+///
+/// Issuance follows the real delegation flow: RIR trust anchors self-issue,
+/// member/NIR certificates are issued under them, NIR customers under those,
+/// and ROAs under any certificate. Validation replays the chain checks a
+/// relying party performs.
+#[derive(Debug, Default)]
+pub struct RpkiRepository {
+    certs: HashMap<CertId, ResourceCert>,
+    order: Vec<CertId>,
+    roas: Vec<Roa>,
+    trust_anchors: Vec<CertId>,
+}
+
+impl RpkiRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of certificates (including trust anchors).
+    pub fn cert_count(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Number of ROAs.
+    pub fn roa_count(&self) -> usize {
+        self.roas.len()
+    }
+
+    /// The trust anchor certificate ids.
+    pub fn trust_anchors(&self) -> &[CertId] {
+        &self.trust_anchors
+    }
+
+    fn make_id(&self, subject: &str, issuer: Option<&CertId>) -> CertId {
+        // Deterministic but unique: subject + issuer + a per-repo counter.
+        let issuer_bytes = issuer.map(|i| i.0 .0.to_be_bytes()).unwrap_or([0u8; 8]);
+        let count = self.certs.len() as u64;
+        CertId(Digest::of_parts([
+            subject.as_bytes(),
+            issuer_bytes.as_slice(),
+            count.to_be_bytes().as_slice(),
+        ]))
+    }
+
+    /// Issues a self-signed trust anchor (one per RIR in practice).
+    pub fn issue_trust_anchor(
+        &mut self,
+        subject: &str,
+        resources: IpResourceSet,
+        not_before: u32,
+        not_after: u32,
+    ) -> CertId {
+        let id = self.make_id(subject, None);
+        let content = cert_content_digest(&id, None, subject, &resources, not_before, not_after);
+        let cert = ResourceCert {
+            id,
+            issuer: None,
+            subject: subject.to_string(),
+            resources,
+            not_before,
+            not_after,
+            signature: id.0.chain(content),
+        };
+        self.certs.insert(id, cert);
+        self.order.push(id);
+        self.trust_anchors.push(id);
+        id
+    }
+
+    /// Issues a child certificate under `parent`. Refuses (like a real CA)
+    /// when the parent is unknown or the resources are not a subset of the
+    /// parent's.
+    pub fn issue_cert(
+        &mut self,
+        parent: CertId,
+        subject: &str,
+        resources: IpResourceSet,
+        not_before: u32,
+        not_after: u32,
+    ) -> Result<CertId, String> {
+        let parent_cert = self
+            .certs
+            .get(&parent)
+            .ok_or_else(|| format!("unknown parent certificate {parent}"))?;
+        if !resources.is_subset_of(&parent_cert.resources) {
+            return Err(format!(
+                "resources of {subject:?} exceed parent {parent}"
+            ));
+        }
+        Ok(self.insert_cert_unchecked(parent, subject, resources, not_before, not_after))
+    }
+
+    /// Inserts a child certificate without issuance checks — for fault
+    /// injection in tests (validation must catch what issuance would refuse).
+    pub fn insert_cert_unchecked(
+        &mut self,
+        parent: CertId,
+        subject: &str,
+        resources: IpResourceSet,
+        not_before: u32,
+        not_after: u32,
+    ) -> CertId {
+        let id = self.make_id(subject, Some(&parent));
+        let content =
+            cert_content_digest(&id, Some(&parent), subject, &resources, not_before, not_after);
+        let cert = ResourceCert {
+            id,
+            issuer: Some(parent),
+            subject: subject.to_string(),
+            resources,
+            not_before,
+            not_after,
+            signature: parent.0.chain(content),
+        };
+        self.certs.insert(id, cert);
+        self.order.push(id);
+        id
+    }
+
+    /// Iterates certificates in issuance order (persistence support).
+    pub fn certs_in_order(&self) -> impl Iterator<Item = &ResourceCert> {
+        self.order.iter().map(|id| &self.certs[id])
+    }
+
+    /// Iterates ROAs in issuance order (persistence support).
+    pub fn roas_in_order(&self) -> impl Iterator<Item = &Roa> {
+        self.roas.iter()
+    }
+
+    /// Restores a fully-specified certificate verbatim — for
+    /// [`crate::persist`] deserialization. No integrity checks happen here;
+    /// `validate` re-checks signatures and resources as usual.
+    pub fn restore_cert(&mut self, cert: ResourceCert) {
+        if cert.issuer.is_none() {
+            self.trust_anchors.push(cert.id);
+        }
+        self.order.push(cert.id);
+        self.certs.insert(cert.id, cert);
+    }
+
+    /// Restores a fully-specified ROA verbatim (persistence support).
+    pub fn restore_roa(&mut self, roa: Roa) {
+        self.roas.push(roa);
+    }
+
+    /// Corrupts a certificate's signature (test fault injection).
+    pub fn corrupt_signature(&mut self, id: CertId) {
+        if let Some(c) = self.certs.get_mut(&id) {
+            c.signature = Digest(c.signature.0 ^ 1);
+        }
+    }
+
+    /// Issues a ROA under `parent` authorizing `asn` to originate `prefixes`.
+    /// Refuses when a prefix is outside the parent's resources.
+    pub fn issue_roa(
+        &mut self,
+        parent: CertId,
+        asn: u32,
+        prefixes: Vec<RoaPrefix>,
+        not_before: u32,
+        not_after: u32,
+    ) -> Result<(), String> {
+        let parent_cert = self
+            .certs
+            .get(&parent)
+            .ok_or_else(|| format!("unknown parent certificate {parent}"))?;
+        for rp in &prefixes {
+            if !parent_cert.resources.contains_prefix(&rp.prefix) {
+                return Err(format!("ROA prefix {} outside parent resources", rp.prefix));
+            }
+        }
+        self.insert_roa_unchecked(parent, asn, prefixes, not_before, not_after);
+        Ok(())
+    }
+
+    /// Inserts a ROA without issuance checks (fault injection).
+    pub fn insert_roa_unchecked(
+        &mut self,
+        parent: CertId,
+        asn: u32,
+        prefixes: Vec<RoaPrefix>,
+        not_before: u32,
+        not_after: u32,
+    ) {
+        let mut roa = Roa {
+            asn,
+            prefixes,
+            parent,
+            not_before,
+            not_after,
+            signature: Digest(0),
+        };
+        roa.signature = roa.expected_signature();
+        self.roas.push(roa);
+    }
+
+    /// A certificate by id (validated or not).
+    pub fn cert(&self, id: &CertId) -> Option<&ResourceCert> {
+        self.certs.get(id)
+    }
+
+    /// Validates the repository at `date` (`YYYYMMDD`), returning the
+    /// validated view and all problems found.
+    pub fn validate(&self, date: u32) -> (ValidatedRepo, Vec<RepoProblem>) {
+        let mut problems = Vec::new();
+        // Depth and validity are computed top-down; `order` preserves
+        // issuance order so parents precede children, but re-derive depth
+        // robustly by walking issuer links.
+        let mut status: HashMap<CertId, Option<u32>> = HashMap::new(); // Some(depth) if valid
+
+        // Iteratively resolve (certificates may appear in any order).
+        let mut pending: Vec<&ResourceCert> = self.order.iter().map(|id| &self.certs[id]).collect();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut still_pending = Vec::new();
+            for cert in pending {
+                match cert.issuer {
+                    None => {
+                        // Trust anchor: self-signed.
+                        let ok_sig = cert.signature == cert.expected_signature(&cert.id);
+                        let ok_time = cert.valid_at(date);
+                        if !ok_sig {
+                            problems.push(RepoProblem::BadSignature { cert: cert.id });
+                            status.insert(cert.id, None);
+                        } else if !ok_time {
+                            problems.push(RepoProblem::Expired { cert: cert.id });
+                            status.insert(cert.id, None);
+                        } else {
+                            status.insert(cert.id, Some(0));
+                        }
+                        progressed = true;
+                    }
+                    Some(parent_id) => {
+                        let Some(parent) = self.certs.get(&parent_id) else {
+                            problems.push(RepoProblem::UnknownIssuer { cert: cert.id });
+                            status.insert(cert.id, None);
+                            progressed = true;
+                            continue;
+                        };
+                        match status.get(&parent_id) {
+                            None => {
+                                still_pending.push(cert); // parent not yet resolved
+                                continue;
+                            }
+                            Some(None) => {
+                                problems.push(RepoProblem::InvalidParent { cert: cert.id });
+                                status.insert(cert.id, None);
+                                progressed = true;
+                                continue;
+                            }
+                            Some(Some(parent_depth)) => {
+                                let ok_sig =
+                                    cert.signature == cert.expected_signature(&parent_id);
+                                let ok_res = cert.resources.is_subset_of(&parent.resources);
+                                let ok_time = cert.valid_at(date);
+                                if !ok_sig {
+                                    problems.push(RepoProblem::BadSignature { cert: cert.id });
+                                    status.insert(cert.id, None);
+                                } else if !ok_res {
+                                    problems
+                                        .push(RepoProblem::ResourceOverclaim { cert: cert.id });
+                                    status.insert(cert.id, None);
+                                } else if !ok_time {
+                                    problems.push(RepoProblem::Expired { cert: cert.id });
+                                    status.insert(cert.id, None);
+                                } else {
+                                    status.insert(cert.id, Some(parent_depth + 1));
+                                }
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            pending = still_pending;
+            if pending.is_empty() {
+                break;
+            }
+        }
+        // Anything still pending is in an issuer cycle — impossible via the
+        // issuance API but guard anyway.
+        for cert in pending {
+            problems.push(RepoProblem::UnknownIssuer { cert: cert.id });
+            status.insert(cert.id, None);
+        }
+
+        // Index valid certificates by their resource prefixes.
+        let mut by_prefix: PrefixMap<Vec<(CertId, u32)>> = PrefixMap::new();
+        let mut valid_certs: HashMap<CertId, u32> = HashMap::new();
+        for id in &self.order {
+            if let Some(Some(depth)) = status.get(id) {
+                valid_certs.insert(*id, *depth);
+                for p in self.certs[id].resources.to_prefixes() {
+                    match by_prefix.get_mut(&p) {
+                        Some(v) => v.push((*id, *depth)),
+                        None => {
+                            by_prefix.insert(p, vec![(*id, *depth)]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Validate ROAs and build the VRP index.
+        let mut vrps: PrefixMap<Vec<Vrp>> = PrefixMap::new();
+        let mut valid_roas = Vec::new();
+        for roa in &self.roas {
+            let Some(parent) = self.certs.get(&roa.parent) else {
+                problems.push(RepoProblem::RoaBadParent { asn: roa.asn });
+                continue;
+            };
+            if !valid_certs.contains_key(&roa.parent) {
+                problems.push(RepoProblem::RoaBadParent { asn: roa.asn });
+                continue;
+            }
+            if roa.signature != roa.expected_signature() {
+                problems.push(RepoProblem::RoaBadSignature { asn: roa.asn });
+                continue;
+            }
+            if !roa.claimed_resources().is_subset_of(&parent.resources) {
+                problems.push(RepoProblem::RoaOverclaim { asn: roa.asn });
+                continue;
+            }
+            if !roa.valid_at(date) {
+                problems.push(RepoProblem::RoaExpired { asn: roa.asn });
+                continue;
+            }
+            for rp in &roa.prefixes {
+                let vrp = Vrp {
+                    prefix: rp.prefix,
+                    max_len: rp.max_len,
+                    asn: roa.asn,
+                };
+                match vrps.get_mut(&rp.prefix) {
+                    Some(v) => v.push(vrp),
+                    None => {
+                        vrps.insert(rp.prefix, vec![vrp]);
+                    }
+                }
+            }
+            valid_roas.push(roa.clone());
+        }
+
+        (
+            ValidatedRepo {
+                certs: self
+                    .certs
+                    .iter()
+                    .filter(|(id, _)| valid_certs.contains_key(id))
+                    .map(|(id, c)| (*id, c.clone()))
+                    .collect(),
+                by_prefix,
+                vrps,
+                valid_roas,
+            },
+            problems,
+        )
+    }
+}
+
+/// The validated view of a repository: only chain-valid objects, indexed for
+/// the queries Prefix2Org performs.
+#[derive(Debug)]
+pub struct ValidatedRepo {
+    certs: HashMap<CertId, ResourceCert>,
+    by_prefix: PrefixMap<Vec<(CertId, u32)>>,
+    vrps: PrefixMap<Vec<Vrp>>,
+    valid_roas: Vec<Roa>,
+}
+
+impl ValidatedRepo {
+    /// Number of valid certificates.
+    pub fn cert_count(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// A valid certificate by id.
+    pub fn cert(&self, id: &CertId) -> Option<&ResourceCert> {
+        self.certs.get(id)
+    }
+
+    /// The valid ROAs.
+    pub fn roas(&self) -> &[Roa] {
+        &self.valid_roas
+    }
+
+    /// The **child-most** valid Resource Certificate covering `prefix`
+    /// (§B.1): among all valid *member* certificates whose resources contain
+    /// the prefix, the one deepest in the tree (ties broken by certificate
+    /// id for determinism).
+    ///
+    /// Trust anchors are excluded: an RIR's TA covers everything the RIR
+    /// administers, so TA-level co-occurrence carries no common-management
+    /// signal — the paper's 𝓡 evidence is membership in an issued Resource
+    /// Certificate.
+    pub fn child_most_rc(&self, prefix: &Prefix) -> Option<CertId> {
+        let mut best: Option<(u32, CertId)> = None;
+        for (_, entries) in self.covering_entries(prefix) {
+            for (id, depth) in entries {
+                if *depth == 0 {
+                    continue; // trust anchor
+                }
+                // The resource-prefix node covering `prefix` guarantees this
+                // certificate's resources contain it.
+                match best {
+                    None => best = Some((*depth, *id)),
+                    Some((bd, bid)) => {
+                        if *depth > bd || (*depth == bd && *id < bid) {
+                            best = Some((*depth, *id));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    fn covering_entries(&self, prefix: &Prefix) -> Vec<(Prefix, &Vec<(CertId, u32)>)> {
+        self.by_prefix.covering(prefix)
+    }
+
+    /// Whether any valid member certificate (not a trust anchor) covers the
+    /// prefix — the paper's "found in the RPKI Resource Certificates"
+    /// coverage metric (§5.3.2; 88% of IPv4, with the gap coming from ARIN
+    /// holders without agreements).
+    pub fn covered(&self, prefix: &Prefix) -> bool {
+        self.child_most_rc(prefix).is_some()
+    }
+
+    /// RFC 6811 route origin validation of `(prefix, origin)`.
+    pub fn rov(&self, prefix: &Prefix, origin: u32) -> RovStatus {
+        crate::rov::validate(&self.vrps, prefix, origin)
+    }
+
+    /// Whether the route has a covering VRP at all (`!= NotFound`), i.e. the
+    /// prefix "has ROA coverage" in the §8.2 sense.
+    pub fn has_roa_coverage(&self, prefix: &Prefix) -> bool {
+        self.rov(prefix, u32::MAX) != RovStatus::NotFound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn rs(prefixes: &[&str]) -> IpResourceSet {
+        prefixes.iter().map(|s| p(s)).collect()
+    }
+
+    const D0: u32 = 20240101;
+    const D1: u32 = 20991231;
+    const TODAY: u32 = 20240901;
+
+    #[test]
+    fn valid_chain_validates_cleanly() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("ARIN", rs(&["63.0.0.0/8"]), D0, D1);
+        let member = repo
+            .issue_cert(ta, "verizon-account", rs(&["63.64.0.0/10"]), D0, D1)
+            .unwrap();
+        repo.issue_roa(
+            member,
+            701,
+            vec![RoaPrefix::exact(p("63.64.0.0/10"))],
+            D0,
+            D1,
+        )
+        .unwrap();
+        let (valid, problems) = repo.validate(TODAY);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(valid.cert_count(), 2);
+        assert_eq!(valid.roas().len(), 1);
+        assert_eq!(valid.child_most_rc(&p("63.80.52.0/24")), Some(member));
+        assert!(valid.covered(&p("63.80.52.0/24")));
+        assert!(!valid.covered(&p("64.0.0.0/8")));
+    }
+
+    #[test]
+    fn issuance_refuses_overclaim() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("ARIN", rs(&["63.0.0.0/8"]), D0, D1);
+        assert!(repo
+            .issue_cert(ta, "greedy", rs(&["64.0.0.0/8"]), D0, D1)
+            .is_err());
+        assert!(repo
+            .issue_roa(ta, 1, vec![RoaPrefix::exact(p("64.0.0.0/8"))], D0, D1)
+            .is_err());
+    }
+
+    #[test]
+    fn validation_catches_injected_overclaim() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("ARIN", rs(&["63.0.0.0/8"]), D0, D1);
+        let bad = repo.insert_cert_unchecked(ta, "greedy", rs(&["64.0.0.0/8"]), D0, D1);
+        let (valid, problems) = repo.validate(TODAY);
+        assert!(problems.contains(&RepoProblem::ResourceOverclaim { cert: bad }));
+        assert_eq!(valid.cert_count(), 1);
+        assert!(!valid.covered(&p("64.0.0.0/8")));
+    }
+
+    #[test]
+    fn validation_catches_bad_signature_and_poisons_descendants() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("RIPE", rs(&["80.0.0.0/8"]), D0, D1);
+        let mid = repo
+            .issue_cert(ta, "lir-account", rs(&["80.1.0.0/16"]), D0, D1)
+            .unwrap();
+        let leaf = repo
+            .issue_cert(mid, "customer", rs(&["80.1.2.0/24"]), D0, D1)
+            .unwrap();
+        repo.corrupt_signature(mid);
+        let (valid, problems) = repo.validate(TODAY);
+        assert!(problems.contains(&RepoProblem::BadSignature { cert: mid }));
+        assert!(problems.contains(&RepoProblem::InvalidParent { cert: leaf }));
+        assert_eq!(valid.cert_count(), 1); // only the TA survives
+        // TAs are not member certificates: no child-most RC remains.
+        assert_eq!(valid.child_most_rc(&p("80.1.2.0/24")), None);
+        let _ = ta;
+    }
+
+    #[test]
+    fn expired_certificates_are_excluded() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("APNIC", rs(&["100.0.0.0/8"]), D0, D1);
+        let old = repo
+            .issue_cert(ta, "stale", rs(&["100.1.0.0/16"]), 20200101, 20210101)
+            .unwrap();
+        let (valid, problems) = repo.validate(TODAY);
+        assert!(problems.contains(&RepoProblem::Expired { cert: old }));
+        assert_eq!(valid.cert_count(), 1);
+    }
+
+    #[test]
+    fn child_most_prefers_deepest() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("APNIC", rs(&["100.0.0.0/8"]), D0, D1);
+        let nir = repo
+            .issue_cert(ta, "JPNIC", rs(&["100.1.0.0/16", "100.2.0.0/16"]), D0, D1)
+            .unwrap();
+        let customer = repo
+            .issue_cert(nir, "iij-account", rs(&["100.1.0.0/16"]), D0, D1)
+            .unwrap();
+        let (valid, _) = repo.validate(TODAY);
+        // The NIR cert also lists 100.1.0.0/16, but the customer cert is
+        // deeper: it is the child-most.
+        assert_eq!(valid.child_most_rc(&p("100.1.2.0/24")), Some(customer));
+        // Space only the NIR holds resolves to the NIR cert.
+        assert_eq!(valid.child_most_rc(&p("100.2.0.0/24")), Some(nir));
+        // Space only the TA holds has no member certificate.
+        assert_eq!(valid.child_most_rc(&p("100.9.0.0/24")), None);
+        let _ = ta;
+    }
+
+    #[test]
+    fn roa_under_invalid_parent_is_rejected() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("ARIN", rs(&["63.0.0.0/8"]), D0, D1);
+        let member = repo
+            .issue_cert(ta, "member", rs(&["63.64.0.0/10"]), D0, D1)
+            .unwrap();
+        repo.issue_roa(member, 701, vec![RoaPrefix::exact(p("63.64.0.0/10"))], D0, D1)
+            .unwrap();
+        repo.corrupt_signature(member);
+        let (valid, problems) = repo.validate(TODAY);
+        assert!(problems.contains(&RepoProblem::RoaBadParent { asn: 701 }));
+        assert!(valid.roas().is_empty());
+    }
+
+    #[test]
+    fn rov_statuses() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("ARIN", rs(&["63.0.0.0/8"]), D0, D1);
+        let member = repo
+            .issue_cert(ta, "member", rs(&["63.64.0.0/10"]), D0, D1)
+            .unwrap();
+        repo.issue_roa(
+            member,
+            701,
+            vec![RoaPrefix {
+                prefix: p("63.64.0.0/10"),
+                max_len: 16,
+            }],
+            D0,
+            D1,
+        )
+        .unwrap();
+        let (valid, _) = repo.validate(TODAY);
+        assert_eq!(valid.rov(&p("63.64.0.0/10"), 701), RovStatus::Valid);
+        assert_eq!(valid.rov(&p("63.65.0.0/16"), 701), RovStatus::Valid);
+        // Too specific (beyond maxLength).
+        assert_eq!(valid.rov(&p("63.65.1.0/24"), 701), RovStatus::Invalid);
+        // Wrong origin.
+        assert_eq!(valid.rov(&p("63.65.0.0/16"), 702), RovStatus::Invalid);
+        // No covering VRP at all.
+        assert_eq!(valid.rov(&p("64.0.0.0/10"), 701), RovStatus::NotFound);
+        assert!(valid.has_roa_coverage(&p("63.65.0.0/16")));
+        assert!(!valid.has_roa_coverage(&p("64.0.0.0/10")));
+    }
+
+    #[test]
+    fn shared_certificate_groups_multiple_orgs_space() {
+        // RIPE's legacy-space shared certificate scenario (§5.3.2): one cert
+        // lists resources of several organizations.
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("RIPE", rs(&["80.0.0.0/8", "81.0.0.0/8"]), D0, D1);
+        let shared = repo
+            .issue_cert(
+                ta,
+                "ripe-legacy-shared",
+                rs(&["80.1.0.0/16", "81.2.0.0/16"]),
+                D0,
+                D1,
+            )
+            .unwrap();
+        let (valid, _) = repo.validate(TODAY);
+        assert_eq!(valid.child_most_rc(&p("80.1.0.0/24")), Some(shared));
+        assert_eq!(valid.child_most_rc(&p("81.2.0.0/24")), Some(shared));
+    }
+}

@@ -1,0 +1,473 @@
+//! RFC 3779 IP resource sets: normalized interval algebra over both families.
+
+use p2o_net::{IpRange, Prefix, Prefix4, Prefix6, Range4, Range6};
+
+/// A set of IP address resources (both families), stored as sorted, disjoint,
+/// maximally-merged intervals.
+///
+/// This is the semantic content of an RFC 3779 `IPAddrBlocks` extension: the
+/// exact set of addresses a certificate speaks for. All the containment logic
+/// the RPKI validation path needs reduces to interval algebra here.
+///
+/// ```
+/// use p2o_net::Prefix;
+/// use p2o_rpki::IpResourceSet;
+///
+/// let parent: IpResourceSet = ["10.0.0.0/8", "2001:db8::/32"]
+///     .iter().map(|s| s.parse::<Prefix>().unwrap()).collect();
+/// let child: IpResourceSet = ["10.5.0.0/16"]
+///     .iter().map(|s| s.parse::<Prefix>().unwrap()).collect();
+/// assert!(child.is_subset_of(&parent));
+/// assert!(!parent.is_subset_of(&child));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IpResourceSet {
+    v4: Vec<(u32, u32)>,
+    v6: Vec<(u128, u128)>,
+}
+
+impl IpResourceSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set holding all of both address spaces (what IANA starts with).
+    pub fn everything() -> Self {
+        IpResourceSet {
+            v4: vec![(0, u32::MAX)],
+            v6: vec![(0, u128::MAX)],
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.v4.is_empty() && self.v6.is_empty()
+    }
+
+    /// Adds a prefix to the set.
+    pub fn add_prefix(&mut self, p: &Prefix) {
+        match p {
+            Prefix::V4(p) => insert(&mut self.v4, p.first_addr(), p.last_addr()),
+            Prefix::V6(p) => insert(&mut self.v6, p.first_addr(), p.last_addr()),
+        }
+    }
+
+    /// Adds an arbitrary range to the set.
+    pub fn add_range(&mut self, r: &IpRange) {
+        match r {
+            IpRange::V4(r) => insert(&mut self.v4, r.first(), r.last()),
+            IpRange::V6(r) => insert(&mut self.v6, r.first(), r.last()),
+        }
+    }
+
+    /// Whether the set fully covers the prefix.
+    pub fn contains_prefix(&self, p: &Prefix) -> bool {
+        match p {
+            Prefix::V4(p) => covers(&self.v4, p.first_addr(), p.last_addr()),
+            Prefix::V6(p) => covers(&self.v6, p.first_addr(), p.last_addr()),
+        }
+    }
+
+    /// Whether every address in `self` is also in `other` (RFC 3779 resource
+    /// containment — the condition a child certificate must satisfy).
+    pub fn is_subset_of(&self, other: &IpResourceSet) -> bool {
+        subset(&self.v4, &other.v4) && subset(&self.v6, &other.v6)
+    }
+
+    /// Whether the two sets share any address.
+    pub fn intersects(&self, other: &IpResourceSet) -> bool {
+        intersects(&self.v4, &other.v4) || intersects(&self.v6, &other.v6)
+    }
+
+    /// The intersection of the two sets.
+    pub fn intersection(&self, other: &IpResourceSet) -> IpResourceSet {
+        IpResourceSet {
+            v4: intersect_lists(&self.v4, &other.v4),
+            v6: intersect_lists(&self.v6, &other.v6),
+        }
+    }
+
+    /// The union of the two sets.
+    pub fn union(&self, other: &IpResourceSet) -> IpResourceSet {
+        let mut out = self.clone();
+        for &(a, b) in &other.v4 {
+            insert(&mut out.v4, a, b);
+        }
+        for &(a, b) in &other.v6 {
+            insert(&mut out.v6, a, b);
+        }
+        out
+    }
+
+    /// The minimal CIDR decomposition of the whole set, sorted (IPv4 first).
+    pub fn to_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.v4 {
+            out.extend(
+                Range4::new(a, b)
+                    .expect("normalized interval")
+                    .to_prefixes()
+                    .into_iter()
+                    .map(Prefix::from),
+            );
+        }
+        for &(a, b) in &self.v6 {
+            out.extend(
+                Range6::new(a, b)
+                    .expect("normalized interval")
+                    .to_prefixes()
+                    .into_iter()
+                    .map(Prefix::from),
+            );
+        }
+        out
+    }
+
+    /// Number of disjoint intervals (diagnostics).
+    pub fn interval_count(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// Stable byte encoding used by the simulated signature scheme: each
+    /// interval as big-endian bounds with a family tag.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.v4.len() * 9 + self.v6.len() * 33);
+        for &(a, b) in &self.v4 {
+            out.push(4);
+            out.extend_from_slice(&a.to_be_bytes());
+            out.extend_from_slice(&b.to_be_bytes());
+        }
+        for &(a, b) in &self.v6 {
+            out.push(6);
+            out.extend_from_slice(&a.to_be_bytes());
+            out.extend_from_slice(&b.to_be_bytes());
+        }
+        out
+    }
+}
+
+impl FromIterator<Prefix> for IpResourceSet {
+    fn from_iter<I: IntoIterator<Item = Prefix>>(iter: I) -> Self {
+        let mut set = IpResourceSet::new();
+        for p in iter {
+            set.add_prefix(&p);
+        }
+        set
+    }
+}
+
+impl FromIterator<IpRange> for IpResourceSet {
+    fn from_iter<I: IntoIterator<Item = IpRange>>(iter: I) -> Self {
+        let mut set = IpResourceSet::new();
+        for r in iter {
+            set.add_range(&r);
+        }
+        set
+    }
+}
+
+impl From<Prefix4> for IpResourceSet {
+    fn from(p: Prefix4) -> Self {
+        [Prefix::from(p)].into_iter().collect()
+    }
+}
+
+impl From<Prefix6> for IpResourceSet {
+    fn from(p: Prefix6) -> Self {
+        [Prefix::from(p)].into_iter().collect()
+    }
+}
+
+// --- interval machinery (generic over the two unsigned widths) ---
+
+trait Bound: Copy + Ord {
+    fn succ(self) -> Option<Self>;
+}
+impl Bound for u32 {
+    fn succ(self) -> Option<Self> {
+        self.checked_add(1)
+    }
+}
+impl Bound for u128 {
+    fn succ(self) -> Option<Self> {
+        self.checked_add(1)
+    }
+}
+
+/// Inserts `[first, last]`, keeping the vector sorted, disjoint, and merged
+/// (overlap or adjacency collapses).
+fn insert<T: Bound>(v: &mut Vec<(T, T)>, first: T, last: T) {
+    debug_assert!(first <= last);
+    // Find insertion window via binary search on interval starts.
+    let mut lo = v.partition_point(|&(_, b)| match b.succ() {
+        Some(next) => next < first,
+        None => false, // b == MAX: can always merge if first <= MAX
+    });
+    let mut new_first = first;
+    let mut new_last = last;
+    let mut hi = lo;
+    while hi < v.len() {
+        let (a, b) = v[hi];
+        let touches = match new_last.succ() {
+            Some(next) => a <= next,
+            None => true,
+        };
+        if !touches {
+            break;
+        }
+        if a < new_first {
+            new_first = a;
+        }
+        if b > new_last {
+            new_last = b;
+        }
+        hi += 1;
+    }
+    v.splice(lo..hi, [(new_first, new_last)]);
+    // `lo` may point past merged region start if earlier interval adjacent —
+    // handled by partition_point condition above.
+    let _ = &mut lo;
+}
+
+/// Whether the normalized interval list fully covers `[first, last]`.
+fn covers<T: Bound>(v: &[(T, T)], first: T, last: T) -> bool {
+    // The covering interval, if any, is the last one starting <= first.
+    let idx = v.partition_point(|&(a, _)| a <= first);
+    if idx == 0 {
+        return false;
+    }
+    let (_, b) = v[idx - 1];
+    b >= last
+}
+
+/// Whether every interval of `a` is covered by some interval of `b`.
+fn subset<T: Bound>(a: &[(T, T)], b: &[(T, T)]) -> bool {
+    a.iter().all(|&(x, y)| covers(b, x, y))
+}
+
+/// Intersection of two normalized interval lists (merge walk).
+fn intersect_lists<T: Bound>(a: &[(T, T)], b: &[(T, T)]) -> Vec<(T, T)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo <= hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Whether any intervals of the two normalized lists overlap.
+fn intersects<T: Bound>(a: &[(T, T)], b: &[(T, T)]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (a1, a2) = a[i];
+        let (b1, b2) = b[j];
+        if a2 < b1 {
+            i += 1;
+        } else if b2 < a1 {
+            j += 1;
+        } else {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(prefixes: &[&str]) -> IpResourceSet {
+        prefixes.iter().map(|s| s.parse::<Prefix>().unwrap()).collect()
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = IpResourceSet::new();
+        assert!(e.is_empty());
+        assert!(e.is_subset_of(&e));
+        assert!(!e.contains_prefix(&p("10.0.0.0/8")));
+        assert!(e.to_prefixes().is_empty());
+        assert!(!e.intersects(&IpResourceSet::everything()));
+    }
+
+    #[test]
+    fn everything_contains_all() {
+        let all = IpResourceSet::everything();
+        assert!(all.contains_prefix(&p("0.0.0.0/0")));
+        assert!(all.contains_prefix(&p("::/0")));
+        assert!(set(&["10.0.0.0/8"]).is_subset_of(&all));
+    }
+
+    #[test]
+    fn adjacency_merges() {
+        let s = set(&["10.0.0.0/25", "10.0.0.128/25"]);
+        assert_eq!(s.interval_count(), 1);
+        assert!(s.contains_prefix(&p("10.0.0.0/24")));
+        assert_eq!(s.to_prefixes(), vec![p("10.0.0.0/24")]);
+    }
+
+    #[test]
+    fn disjoint_intervals_stay_disjoint() {
+        let s = set(&["10.0.0.0/24", "10.0.2.0/24"]);
+        assert_eq!(s.interval_count(), 2);
+        assert!(!s.contains_prefix(&p("10.0.1.0/24")));
+        assert!(!s.contains_prefix(&p("10.0.0.0/23")));
+    }
+
+    #[test]
+    fn subset_requires_full_cover() {
+        let parent = set(&["10.0.0.0/8", "192.0.2.0/24"]);
+        assert!(set(&["10.1.0.0/16"]).is_subset_of(&parent));
+        assert!(set(&["10.1.0.0/16", "192.0.2.128/25"]).is_subset_of(&parent));
+        assert!(!set(&["11.0.0.0/8"]).is_subset_of(&parent));
+        // A set spanning in and out of the parent is not a subset.
+        assert!(!set(&["192.0.2.0/23"]).is_subset_of(&parent));
+    }
+
+    #[test]
+    fn families_are_independent() {
+        let s = set(&["10.0.0.0/8"]);
+        assert!(!s.contains_prefix(&p("2001:db8::/32")));
+        let both = set(&["10.0.0.0/8", "2001:db8::/32"]);
+        assert!(s.is_subset_of(&both));
+        assert!(!both.is_subset_of(&s));
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a = set(&["10.0.0.0/16"]);
+        let b = set(&["10.1.0.0/16"]);
+        assert!(!a.intersects(&b));
+        let u = a.union(&b);
+        assert!(a.is_subset_of(&u) && b.is_subset_of(&u));
+        assert_eq!(u.interval_count(), 1); // adjacent -> merged into /15
+        assert!(u.intersects(&set(&["10.0.128.0/17"])));
+    }
+
+    #[test]
+    fn intersection_algebra() {
+        let a = set(&["10.0.0.0/8", "2001:db8::/32"]);
+        let b = set(&["10.128.0.0/9", "192.0.2.0/24", "2001:db8:ff00::/40"]);
+        let i = a.intersection(&b);
+        assert!(i.contains_prefix(&p("10.128.0.0/9")));
+        assert!(i.contains_prefix(&p("2001:db8:ff00::/40")));
+        assert!(!i.contains_prefix(&p("10.0.0.0/9")));
+        assert!(!i.contains_prefix(&p("192.0.2.0/24")));
+        // Laws: A∩A = A; A∩∅ = ∅; A∩B ⊆ A and ⊆ B; consistent with
+        // intersects().
+        assert_eq!(a.intersection(&a), a);
+        assert!(a.intersection(&IpResourceSet::new()).is_empty());
+        assert!(i.is_subset_of(&a) && i.is_subset_of(&b));
+        assert_eq!(a.intersects(&b), !i.is_empty());
+        // Disjoint sets intersect to empty.
+        let c = set(&["11.0.0.0/8"]);
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn add_range_handles_non_cidr() {
+        let mut s = IpResourceSet::new();
+        s.add_range(&"10.0.0.3 - 10.0.0.16".parse().unwrap());
+        assert!(s.contains_prefix(&p("10.0.0.8/30")));
+        assert!(!s.contains_prefix(&p("10.0.0.0/27")));
+    }
+
+    #[test]
+    fn canonical_bytes_stable_under_insertion_order() {
+        let a = set(&["10.0.0.0/24", "192.0.2.0/24", "2001:db8::/32"]);
+        let b = set(&["2001:db8::/32", "192.0.2.0/24", "10.0.0.0/24"]);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert!(!a.canonical_bytes().is_empty());
+    }
+
+    #[test]
+    fn boundary_at_address_space_edges() {
+        let mut s = IpResourceSet::new();
+        s.add_prefix(&p("255.255.255.255/32"));
+        s.add_prefix(&p("0.0.0.0/32"));
+        assert!(s.contains_prefix(&p("255.255.255.255/32")));
+        assert!(s.contains_prefix(&p("0.0.0.0/32")));
+        assert_eq!(s.interval_count(), 2);
+        // Merging up to MAX must not overflow.
+        s.add_prefix(&p("255.255.255.254/31"));
+        assert!(s.contains_prefix(&p("255.255.255.254/31")));
+    }
+
+    proptest! {
+        /// Set membership matches a brute-force model on a small universe.
+        #[test]
+        fn interval_set_matches_model(
+            ops in proptest::collection::vec((0u32..1024, 0u32..1024), 1..40),
+            probe in (0u32..1024, 0u32..1024),
+        ) {
+            let mut v: Vec<(u32, u32)> = Vec::new();
+            let mut model = std::collections::HashSet::new();
+            for (a, b) in ops {
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                insert(&mut v, a, b);
+                for x in a..=b {
+                    model.insert(x);
+                }
+            }
+            // Normalization invariants.
+            for w in v.windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "sorted/disjoint");
+                prop_assert!(w[0].1 + 1 < w[1].0, "non-adjacent");
+            }
+            let total: u64 = v.iter().map(|&(a, b)| (b - a) as u64 + 1).sum();
+            prop_assert_eq!(total, model.len() as u64);
+            // covers() agrees with the model.
+            let (pa, pb) = if probe.0 <= probe.1 { probe } else { (probe.1, probe.0) };
+            let want = (pa..=pb).all(|x| model.contains(&x));
+            prop_assert_eq!(covers(&v, pa, pb), want);
+        }
+
+        /// Subset relation is a partial order consistent with union.
+        #[test]
+        fn subset_laws(
+            xs in proptest::collection::vec((0u32..256, 0u32..256), 0..10),
+            ys in proptest::collection::vec((0u32..256, 0u32..256), 0..10),
+        ) {
+            let mk = |pairs: &[(u32, u32)]| {
+                let mut v = Vec::new();
+                for &(a, b) in pairs {
+                    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                    insert(&mut v, a, b);
+                }
+                v
+            };
+            let a = mk(&xs);
+            let b = mk(&ys);
+            prop_assert!(subset(&a, &a));
+            let mut u = a.clone();
+            for &(x, y) in &b {
+                insert(&mut u, x, y);
+            }
+            prop_assert!(subset(&a, &u));
+            prop_assert!(subset(&b, &u));
+            if subset(&a, &b) && subset(&b, &a) {
+                prop_assert_eq!(a.clone(), b.clone());
+            }
+            // intersects is symmetric and consistent with subset.
+            prop_assert_eq!(intersects(&a, &b), intersects(&b, &a));
+            if !a.is_empty() && subset(&a, &b) {
+                prop_assert!(intersects(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! RFC 6811 route origin validation.
+
+use p2o_net::Prefix;
+use p2o_radix::PrefixMap;
+
+/// A Validated ROA Payload: one `(prefix, maxLength, asn)` triple from a
+/// valid ROA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vrp {
+    /// The authorized prefix.
+    pub prefix: Prefix,
+    /// Longest authorized announcement length.
+    pub max_len: u8,
+    /// Authorized origin AS.
+    pub asn: u32,
+}
+
+/// RFC 6811 validation state of a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RovStatus {
+    /// A covering VRP authorizes this origin at this length.
+    Valid,
+    /// Covering VRPs exist, but none authorizes this `(origin, length)`.
+    Invalid,
+    /// No VRP covers the prefix.
+    NotFound,
+}
+
+/// Validates route `(prefix, origin)` against a VRP index keyed by ROA
+/// prefix.
+///
+/// Per RFC 6811: the route is `Valid` if at least one VRP covers the prefix
+/// with `vrp.asn == origin` and `prefix.len() <= vrp.max_len`; `Invalid` if
+/// covering VRPs exist but none matches; `NotFound` otherwise.
+pub fn validate(vrps: &PrefixMap<Vec<Vrp>>, prefix: &Prefix, origin: u32) -> RovStatus {
+    let mut found_cover = false;
+    for (_, entries) in vrps.covering(prefix) {
+        for vrp in entries {
+            found_cover = true;
+            if vrp.asn == origin && prefix.len() <= vrp.max_len {
+                return RovStatus::Valid;
+            }
+        }
+    }
+    if found_cover {
+        RovStatus::Invalid
+    } else {
+        RovStatus::NotFound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn index(vrps: &[(&str, u8, u32)]) -> PrefixMap<Vec<Vrp>> {
+        let mut map: PrefixMap<Vec<Vrp>> = PrefixMap::new();
+        for &(prefix, max_len, asn) in vrps {
+            let prefix = p(prefix);
+            let vrp = Vrp {
+                prefix,
+                max_len,
+                asn,
+            };
+            match map.get_mut(&prefix) {
+                Some(v) => v.push(vrp),
+                None => {
+                    map.insert(prefix, vec![vrp]);
+                }
+            }
+        }
+        map
+    }
+
+    #[test]
+    fn exact_match_valid() {
+        let idx = index(&[("10.0.0.0/16", 16, 64512)]);
+        assert_eq!(validate(&idx, &p("10.0.0.0/16"), 64512), RovStatus::Valid);
+    }
+
+    #[test]
+    fn more_specific_within_maxlen_valid() {
+        let idx = index(&[("10.0.0.0/16", 24, 64512)]);
+        assert_eq!(validate(&idx, &p("10.0.5.0/24"), 64512), RovStatus::Valid);
+    }
+
+    #[test]
+    fn more_specific_beyond_maxlen_invalid() {
+        let idx = index(&[("10.0.0.0/16", 16, 64512)]);
+        assert_eq!(validate(&idx, &p("10.0.5.0/24"), 64512), RovStatus::Invalid);
+    }
+
+    #[test]
+    fn wrong_origin_invalid_but_second_vrp_can_rescue() {
+        let idx = index(&[("10.0.0.0/16", 16, 64512), ("10.0.0.0/16", 16, 64513)]);
+        assert_eq!(validate(&idx, &p("10.0.0.0/16"), 64513), RovStatus::Valid);
+        assert_eq!(validate(&idx, &p("10.0.0.0/16"), 64514), RovStatus::Invalid);
+    }
+
+    #[test]
+    fn uncovered_not_found() {
+        let idx = index(&[("10.0.0.0/16", 16, 64512)]);
+        assert_eq!(validate(&idx, &p("11.0.0.0/16"), 64512), RovStatus::NotFound);
+        // A *less* specific route than the VRP prefix is not covered.
+        assert_eq!(validate(&idx, &p("10.0.0.0/8"), 64512), RovStatus::NotFound);
+    }
+
+    #[test]
+    fn covering_vrp_from_supernet_node() {
+        // VRP on /8, route on /24: covering() must find the supernet entry.
+        let idx = index(&[("10.0.0.0/8", 24, 64512)]);
+        assert_eq!(validate(&idx, &p("10.9.9.0/24"), 64512), RovStatus::Valid);
+    }
+
+    #[test]
+    fn v6_routes() {
+        let idx = index(&[("2001:db8::/32", 48, 64512)]);
+        assert_eq!(
+            validate(&idx, &p("2001:db8:1::/48"), 64512),
+            RovStatus::Valid
+        );
+        assert_eq!(
+            validate(&idx, &p("2001:db8:1:1::/64"), 64512),
+            RovStatus::Invalid
+        );
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! WHOIS organization-name processing for Prefix2Org.
+//!
+//! Organizations register address space under many name variants — legal
+//! entities per country, subsidiaries, spelling differences, embedded
+//! addresses and remarks. §5.3.1 of the paper distills each WHOIS Direct
+//! Owner name to a **base name** through a four-step rule pipeline that
+//! out-performed fuzzy string matching and generic entity resolution in the
+//! authors' experiments. This crate implements:
+//!
+//! - [`clean`] — the pipeline steps: initial cleaning and formatting, regex
+//!   noise removal, spelling standardization, corporate/frequent word
+//!   removal, geographic filtering, and the short-name refill rule;
+//! - [`pipeline::BaseNameExtractor`] — the corpus-aware extractor (frequent-
+//!   word removal needs corpus-wide word frequencies) with the per-step
+//!   funnel statistics that regenerate paper Table 2;
+//! - [`lexicon`] — the supporting word lists (legal entity endings, spelling
+//!   variants, countries/endonyms, large cities), standing in for the
+//!   paper's Wikipedia/ISO-3166 scrapes;
+//! - [`baselines`] — Levenshtein, Jaro-Winkler and token-set-ratio scorers,
+//!   the fuzzy alternatives the paper evaluated and rejected (kept here for
+//!   the comparison benches).
+
+pub mod baselines;
+pub mod clean;
+pub mod lexicon;
+pub mod pipeline;
+
+pub use clean::CleanTrace;
+pub use pipeline::{BaseNameExtractor, FunnelStats};

@@ -1,0 +1,179 @@
+//! Address-space carving: bump allocation of aligned CIDR blocks out of
+//! per-RIR pools, mirroring how IANA → RIR → org delegation actually nests.
+
+use p2o_net::{Prefix4, Prefix6};
+use p2o_whois::Rir;
+
+/// The IPv4 /8 pools each RIR administers in the synthetic world (loosely
+/// modeled on reality — the exact numbers only matter for internal
+/// consistency).
+pub fn v4_pools(rir: Rir) -> &'static [u8] {
+    match rir {
+        Rir::Arin => &[63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73, 74, 75, 76, 12],
+        Rir::Ripe => &[77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91],
+        Rir::Apnic => &[101, 103, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120],
+        Rir::Lacnic => &[177, 179, 181, 186, 187, 189, 190, 191, 200, 201],
+        Rir::Afrinic => &[41, 102, 105, 154, 196, 197],
+    }
+}
+
+/// The IPv6 /12 pool base of each RIR.
+pub fn v6_pool(rir: Rir) -> Prefix6 {
+    let base: u128 = match rir {
+        Rir::Arin => 0x2600 << 112,
+        Rir::Ripe => 0x2a00 << 112,
+        Rir::Apnic => 0x2400 << 112,
+        Rir::Lacnic => 0x2800 << 112,
+        Rir::Afrinic => 0x2c00 << 112,
+    };
+    Prefix6::new_truncated(base, 12)
+}
+
+/// Bump allocator over one RIR's IPv4 pools.
+#[derive(Debug, Clone)]
+pub struct CarverV4 {
+    pools: &'static [u8],
+    pool_idx: usize,
+    cursor: u32, // next free address within the current pool
+}
+
+impl CarverV4 {
+    /// A carver over `rir`'s pools.
+    pub fn new(rir: Rir) -> Self {
+        let pools = v4_pools(rir);
+        CarverV4 {
+            pools,
+            pool_idx: 0,
+            cursor: (pools[0] as u32) << 24,
+        }
+    }
+
+    /// Allocates the next aligned block of length `len`. Panics when the
+    /// RIR's pools are exhausted (generation bug, not a runtime condition).
+    pub fn alloc(&mut self, len: u8) -> Prefix4 {
+        assert!((8..=32).contains(&len), "carve length {len} out of range");
+        let size = 1u64 << (32 - len as u32);
+        loop {
+            let pool_base = (self.pools[self.pool_idx] as u32) << 24;
+            let pool_end = pool_base as u64 + (1 << 24);
+            // Align the cursor up to the block size.
+            let aligned = (self.cursor as u64).div_ceil(size) * size;
+            if aligned + size <= pool_end && aligned >= pool_base as u64 {
+                self.cursor = (aligned + size) as u32;
+                return Prefix4::new_truncated(aligned as u32, len);
+            }
+            self.pool_idx += 1;
+            assert!(
+                self.pool_idx < self.pools.len(),
+                "IPv4 pool exhausted for this RIR — shrink the world config"
+            );
+            self.cursor = (self.pools[self.pool_idx] as u32) << 24;
+        }
+    }
+}
+
+/// Bump allocator over one RIR's IPv6 /12 pool.
+#[derive(Debug, Clone)]
+pub struct CarverV6 {
+    pool: Prefix6,
+    cursor: u128,
+}
+
+impl CarverV6 {
+    /// A carver over `rir`'s /12.
+    pub fn new(rir: Rir) -> Self {
+        let pool = v6_pool(rir);
+        CarverV6 {
+            pool,
+            cursor: pool.first_addr(),
+        }
+    }
+
+    /// Allocates the next aligned block of length `len` (12..=64).
+    pub fn alloc(&mut self, len: u8) -> Prefix6 {
+        assert!((12..=64).contains(&len), "carve length {len} out of range");
+        let size = 1u128 << (128 - len as u32);
+        let aligned = self.cursor.div_ceil(size) * size;
+        assert!(
+            aligned + size - 1 <= self.pool.last_addr(),
+            "IPv6 pool exhausted — shrink the world config"
+        );
+        self.cursor = aligned + size;
+        Prefix6::new_truncated(aligned, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_blocks_are_disjoint_aligned_and_in_pool() {
+        let mut c = CarverV4::new(Rir::Arin);
+        let mut blocks = Vec::new();
+        for len in [16u8, 20, 14, 24, 24, 12, 22] {
+            blocks.push(c.alloc(len));
+        }
+        for (i, a) in blocks.iter().enumerate() {
+            assert_eq!(a.bits() as u64 % a.num_addrs(), 0, "{a} misaligned");
+            let in_pool = v4_pools(Rir::Arin).contains(&((a.bits() >> 24) as u8));
+            assert!(in_pool, "{a} outside ARIN pools");
+            for b in &blocks[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn v4_pool_rollover() {
+        let mut c = CarverV4::new(Rir::Afrinic);
+        // 3 x /8 fills the first three pools exactly.
+        let a = c.alloc(8);
+        let b = c.alloc(8);
+        let d = c.alloc(8);
+        assert_eq!(a.bits() >> 24, 41);
+        assert_eq!(b.bits() >> 24, 102);
+        assert_eq!(d.bits() >> 24, 105);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool exhausted")]
+    fn v4_exhaustion_panics() {
+        let mut c = CarverV4::new(Rir::Afrinic);
+        for _ in 0..7 {
+            c.alloc(8);
+        }
+    }
+
+    #[test]
+    fn v6_blocks_disjoint_and_in_pool() {
+        let mut c = CarverV6::new(Rir::Ripe);
+        let pool = v6_pool(Rir::Ripe);
+        let mut blocks = Vec::new();
+        for len in [32u8, 48, 29, 48, 32] {
+            blocks.push(c.alloc(len));
+        }
+        for (i, a) in blocks.iter().enumerate() {
+            assert!(pool.contains(a), "{a} outside pool");
+            for b in &blocks[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn pools_do_not_overlap_across_rirs() {
+        let mut all: Vec<u8> = Vec::new();
+        for rir in Rir::ALL {
+            all.extend_from_slice(v4_pools(rir));
+        }
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len(), "shared /8 across RIR pools");
+        let v6: Vec<Prefix6> = Rir::ALL.iter().map(|&r| v6_pool(r)).collect();
+        for (i, a) in v6.iter().enumerate() {
+            for b in &v6[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+    }
+}

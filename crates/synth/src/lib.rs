@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Deterministic synthetic-Internet generation for Prefix2Org.
+//!
+//! The paper's inputs are bulk datasets that cannot ship with this
+//! reproduction (bulk WHOIS requires RIR agreements; RouteViews/RIS and
+//! RPKIviews snapshots are tens of gigabytes; two validation lists were
+//! private). This crate generates a *coherent* synthetic Internet whose
+//! ground truth is known by construction, and — crucially — emits it in the
+//! **native formats of each source** so the real parsers run end-to-end:
+//!
+//! - WHOIS as textual bulk dumps per registry flavour (RPSL / ARIN /
+//!   LACNIC), with the paper's noise reproduced: `org:` handle indirection
+//!   in RIPE, names in `descr:` for APNIC/AFRINIC, superseded duplicate
+//!   records, JPNIC dumps without allocation types (plus the per-prefix
+//!   query service that backfills them), legacy space with and without
+//!   registry agreements;
+//! - BGP as an MRT TABLE_DUMP_V2 byte stream ([`p2o_bgp::MrtWriter`]);
+//! - RPKI as issued certificate/ROA objects in an [`p2o_rpki::RpkiRepository`]
+//!   (RIR trust anchors, per-account member certificates shared by an
+//!   organization's regional name variants, NIR chains, the RIPE shared
+//!   legacy certificate, ARIN non-signer gaps);
+//! - AS2Org records plus as2org+-style sibling edges.
+//!
+//! The generated world contains the organization archetypes the paper's
+//! evaluation depends on: global carriers with country subsidiaries,
+//! cloud providers with (incomplete) public IP range lists, ISPs originating
+//! customer space, IP leasing entities, small single-prefix organizations,
+//! educational institutions, and organizations without any ASN.
+//!
+//! Everything is seeded: the same [`WorldConfig`] always produces the same
+//! world, bit for bit.
+
+pub mod carver;
+pub mod config;
+pub mod names;
+pub mod truth;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use truth::GroundTruth;
+pub use world::{BuiltInputs, OrgKind, SynthOrg, World};

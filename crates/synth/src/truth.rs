@@ -1,0 +1,67 @@
+//! Ground truth emitted alongside the synthetic world.
+
+use std::collections::HashMap;
+
+use p2o_net::Prefix;
+
+/// A published IP range list for one organization, as used in §7 validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishedList {
+    /// The organization's id in the world.
+    pub org: usize,
+    /// The validation display name (the org's headquarters name).
+    pub org_name: String,
+    /// The published prefixes. For `exhaustive == false` lists this is a
+    /// strict subset of the org's true routed prefixes, possibly plus
+    /// partner prefixes (the Amazon-China phenomenon), mirroring the
+    /// paper's observation that public lists are non-exhaustive and
+    /// sometimes include space the org does not hold.
+    pub prefixes: Vec<Prefix>,
+    /// Whether the list is complete (the Cloudflare/IIJ private-list case:
+    /// precision can be evaluated meaningfully).
+    pub exhaustive: bool,
+}
+
+/// Everything the generator knows to be true about the world.
+#[derive(Debug, Default)]
+pub struct GroundTruth {
+    /// For every org: the routed prefixes whose Direct Owner it truly is.
+    pub org_routed_prefixes: HashMap<usize, Vec<Prefix>>,
+    /// Published validation lists (public-style and exhaustive-style).
+    pub published_lists: Vec<PublishedList>,
+    /// For every org with ASNs: `(own-prefix, has ROA)` pairs plus the set
+    /// of prefixes its ASes originate — the §8.2 ROA-coverage ground truth
+    /// is derivable from the dataset itself, so this only records which
+    /// orgs adopted RPKI.
+    pub rpki_adopters: Vec<usize>,
+}
+
+impl GroundTruth {
+    /// The true routed prefixes of an org (empty slice if none).
+    pub fn prefixes_of(&self, org: usize) -> &[Prefix] {
+        self.org_routed_prefixes
+            .get(&org)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total routed prefixes across all orgs.
+    pub fn total_prefixes(&self) -> usize {
+        self.org_routed_prefixes.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut t = GroundTruth::default();
+        t.org_routed_prefixes
+            .insert(3, vec!["10.0.0.0/24".parse().unwrap()]);
+        assert_eq!(t.prefixes_of(3).len(), 1);
+        assert!(t.prefixes_of(99).is_empty());
+        assert_eq!(t.total_prefixes(), 1);
+    }
+}

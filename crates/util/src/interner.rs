@@ -1,0 +1,131 @@
+//! String interning with dense `u32` symbols.
+
+use std::collections::HashMap;
+
+/// A handle to an interned string. Symbols are dense (`0..len`) and therefore
+/// usable directly as vector indices, e.g. into a [`crate::UnionFind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns strings, assigning each distinct string a dense [`Symbol`].
+///
+/// ```
+/// use p2o_util::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("verizon");
+/// let b = i.intern("fastly");
+/// assert_eq!(i.intern("verizon"), a);
+/// assert_ne!(a, b);
+/// assert_eq!(i.resolve(a), "verizon");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Looks up the symbol for `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Returns the string for a symbol. Panics on a foreign symbol.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let a2 = i.intern("a");
+        assert_eq!(a, a2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let syms: Vec<_> = ["x", "y", "z"].iter().map(|s| i.intern(s)).collect();
+        for (sym, s) in syms.iter().zip(["x", "y", "z"]) {
+            assert_eq!(i.resolve(*sym), s);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("nope"), None);
+        let s = i.intern("yes");
+        assert_eq!(i.get("yes"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut i = Interner::new();
+        i.intern("first");
+        i.intern("second");
+        let got: Vec<_> = i.iter().map(|(s, t)| (s.index(), t.to_string())).collect();
+        assert_eq!(got, vec![(0, "first".into()), (1, "second".into())]);
+    }
+
+    #[test]
+    fn empty_strings_are_valid_keys() {
+        let mut i = Interner::new();
+        let e = i.intern("");
+        assert_eq!(i.resolve(e), "");
+        assert_eq!(i.intern(""), e);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the Prefix2Org workspace.
+//!
+//! Small, dependency-free building blocks used by several crates:
+//!
+//! - [`UnionFind`] — disjoint-set forest with path compression and union by
+//!   rank; the engine behind ASN sibling clustering and the §5.3.3 prefix
+//!   cluster merge.
+//! - [`Interner`] — string interner handing out dense `u32` symbols, so hot
+//!   paths compare organization names by id instead of by string.
+//! - [`digest`] — deterministic FNV-1a content digests, used to simulate
+//!   RPKI key identifiers and certificate signatures.
+//! - [`tsv`] — a minimal, strict TSV reader/writer for the flat data-set
+//!   files the substrates exchange.
+
+pub mod digest;
+pub mod interner;
+pub mod tsv;
+pub mod union_find;
+
+pub use digest::{fnv1a_64, Digest};
+pub use interner::{Interner, Symbol};
+pub use union_find::UnionFind;

@@ -1,0 +1,129 @@
+//! Minimal, strict tab-separated-values reader/writer.
+//!
+//! The substrates exchange flat files (AS2Org records, sibling edge lists,
+//! ground-truth IP lists) in a simple TSV dialect: one record per line,
+//! fields separated by a single tab, `#`-prefixed comment lines and blank
+//! lines ignored. Fields may not contain tabs or newlines; this is a data
+//! format for machine-generated files, not a general CSV implementation.
+
+use core::fmt;
+
+/// Error produced when a TSV line has the wrong number of fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldCountError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Number of fields expected.
+    pub expected: usize,
+    /// Number of fields found.
+    pub found: usize,
+}
+
+impl fmt::Display for FieldCountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: expected {} tab-separated fields, found {}",
+            self.line, self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for FieldCountError {}
+
+/// Parses TSV text into rows of exactly `fields` columns.
+///
+/// Blank lines and lines starting with `#` are skipped. Returns an error on
+/// the first line with the wrong column count.
+pub fn parse_rows(text: &str, fields: usize) -> Result<Vec<Vec<String>>, FieldCountError> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<String> = trimmed.split('\t').map(str::to_string).collect();
+        if cols.len() != fields {
+            return Err(FieldCountError {
+                line: idx + 1,
+                expected: fields,
+                found: cols.len(),
+            });
+        }
+        rows.push(cols);
+    }
+    Ok(rows)
+}
+
+/// Serializes rows to TSV text, asserting no field contains a tab or newline.
+pub fn write_rows<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, field) in row.iter().enumerate() {
+            let f = field.as_ref();
+            assert!(
+                !f.contains('\t') && !f.contains('\n'),
+                "TSV field may not contain tab or newline: {f:?}"
+            );
+            if i > 0 {
+                out.push('\t');
+            }
+            out.push_str(f);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let rows = vec![
+            vec!["64512", "Example Org"],
+            vec!["64513", "Another Org"],
+        ];
+        let text = write_rows(&rows);
+        let parsed = parse_rows(&text, 2).unwrap();
+        assert_eq!(parsed, rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect::<Vec<_>>()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n1\ta\n# mid\n2\tb\n";
+        let rows = parse_rows(text, 2).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["2", "b"]);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count_with_line_number() {
+        let text = "1\ta\n2\n";
+        let err = parse_rows(text, 2).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.expected, 2);
+        assert_eq!(err.found, 1);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn tolerates_crlf() {
+        let text = "1\ta\r\n2\tb\r\n";
+        let rows = parse_rows(text, 2).unwrap();
+        assert_eq!(rows[0][1], "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "TSV field may not contain")]
+    fn write_rejects_embedded_tab() {
+        write_rows(&[vec!["a\tb"]]);
+    }
+
+    #[test]
+    fn empty_fields_are_preserved() {
+        let rows = parse_rows("a\t\tb\n", 3).unwrap();
+        assert_eq!(rows[0], vec!["a", "", "b"]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Disjoint-set forest (union-find) with path compression and union by rank.
+
+/// A disjoint-set forest over the dense index range `0..len`.
+///
+/// Used for ASN sibling clustering (`p2o-as2org`) and the Prefix2Org cluster
+/// merge (§5.3.3): start with every element in its own set, `union` related
+/// elements, then read off connected components.
+///
+/// ```
+/// use p2o_util::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same_set(0, 1));
+/// assert!(!uf.same_set(1, 2));
+/// assert_eq!(uf.num_sets(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates a forest of `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "UnionFind supports up to 2^32-1 elements");
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+            num_sets: len,
+        }
+    }
+
+    /// Number of elements in the forest.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Appends a new singleton element and returns its index.
+    pub fn push(&mut self) -> usize {
+        let idx = self.parent.len();
+        assert!(idx < u32::MAX as usize);
+        self.parent.push(idx as u32);
+        self.rank.push(0);
+        self.num_sets += 1;
+        idx
+    }
+
+    /// Returns the canonical representative of `x`'s set, compressing the
+    /// path on the way.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression: point every node on the walk directly at the root.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Read-only find (no compression); useful behind shared references.
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        root as usize
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if the sets
+    /// were distinct (a merge happened).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups all elements by set; each group is sorted ascending, and groups
+    /// are ordered by their smallest element.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::BTreeMap;
+        let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..self.len() {
+            let r = self.find(i);
+            by_root.entry(r).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_reduces_set_count_once() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(0, 3));
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut uf = UnionFind::new(1);
+        let i = uf.push();
+        assert_eq!(i, 1);
+        assert_eq!(uf.num_sets(), 2);
+        uf.union(0, 1);
+        assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn components_are_sorted_partition() {
+        let mut uf = UnionFind::new(6);
+        uf.union(5, 0);
+        uf.union(2, 4);
+        let comps = uf.components();
+        assert_eq!(comps, vec![vec![0, 5], vec![1], vec![2, 4], vec![3]]);
+    }
+
+    #[test]
+    fn empty_forest() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+        assert!(uf.components().is_empty());
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find_immutable(i), root);
+        }
+    }
+
+    proptest! {
+        /// Union-find implements an equivalence relation consistent with the
+        /// naive "label propagation" model.
+        #[test]
+        fn matches_naive_model(
+            n in 1usize..64,
+            ops in proptest::collection::vec((any::<usize>(), any::<usize>()), 0..128)
+        ) {
+            let mut uf = UnionFind::new(n);
+            let mut labels: Vec<usize> = (0..n).collect();
+            for (a, b) in ops {
+                let (a, b) = (a % n, b % n);
+                uf.union(a, b);
+                let (la, lb) = (labels[a], labels[b]);
+                if la != lb {
+                    for l in labels.iter_mut() {
+                        if *l == lb {
+                            *l = la;
+                        }
+                    }
+                }
+            }
+            // Same partition.
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(uf.same_set(i, j), labels[i] == labels[j]);
+                }
+            }
+            // Set count agrees.
+            let distinct: std::collections::HashSet<_> = labels.iter().collect();
+            prop_assert_eq!(uf.num_sets(), distinct.len());
+        }
+    }
+}

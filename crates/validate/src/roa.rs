@@ -1,0 +1,186 @@
+//! §8.2 — AS-centric vs prefix-centric ROA coverage (Table 7).
+
+use p2o_bgp::RouteTable;
+use p2o_rpki::ValidatedRepo;
+use prefix2org::Prefix2OrgDataset;
+
+/// One Table 7 row: an organization's ROA coverage measured two ways.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoaCoverageRow {
+    /// The organization's display name.
+    pub org_name: String,
+    /// The origin ASNs attributed to the organization.
+    pub asns: Vec<u32>,
+    /// Prefixes originated by the org's ASNs *and* Direct-Owned by the org
+    /// (prefix-centric denominator).
+    pub own_prefixes: usize,
+    /// Of those, how many are covered by a ROA.
+    pub own_covered: usize,
+    /// All prefixes originated by the org's ASNs (AS-centric denominator).
+    pub origin_prefixes: usize,
+    /// Of those, how many are covered by a ROA.
+    pub origin_covered: usize,
+}
+
+impl RoaCoverageRow {
+    /// Prefix-centric coverage % ("Own Prefix ROA %" in Table 7).
+    pub fn own_pct(&self) -> f64 {
+        pct(self.own_covered, self.own_prefixes)
+    }
+
+    /// AS-centric coverage % ("Origin Prefix ROA %").
+    pub fn origin_pct(&self) -> f64 {
+        pct(self.origin_covered, self.origin_prefixes)
+    }
+
+    /// The gap the paper highlights: own-view minus origin-view.
+    pub fn disparity(&self) -> f64 {
+        self.own_pct() - self.origin_pct()
+    }
+}
+
+fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Computes both coverage views for one organization.
+///
+/// - AS-centric: every routed prefix originated by one of `asns`.
+/// - Prefix-centric: the subset of those whose Direct Owner cluster is the
+///   organization's (matched via [`Prefix2OrgDataset::prefixes_of_org`]).
+pub fn roa_coverage(
+    dataset: &Prefix2OrgDataset,
+    routes: &RouteTable,
+    rpki: &ValidatedRepo,
+    org_name: &str,
+    asns: &[u32],
+) -> RoaCoverageRow {
+    let owned: std::collections::HashSet<_> =
+        dataset.prefixes_of_org(org_name).into_iter().collect();
+    let mut row = RoaCoverageRow {
+        org_name: org_name.to_string(),
+        asns: asns.to_vec(),
+        own_prefixes: 0,
+        own_covered: 0,
+        origin_prefixes: 0,
+        origin_covered: 0,
+    };
+    for (prefix, origins) in routes.iter() {
+        if !origins.iter().any(|o| asns.contains(o)) {
+            continue;
+        }
+        let covered = rpki.has_roa_coverage(prefix);
+        row.origin_prefixes += 1;
+        if covered {
+            row.origin_covered += 1;
+        }
+        if owned.contains(prefix) {
+            row.own_prefixes += 1;
+            if covered {
+                row.own_covered += 1;
+            }
+        }
+    }
+    row
+}
+
+// Test helper: build a single-prefix resource set from a Prefix.
+#[cfg(test)]
+trait IntoIterSet {
+    fn into_iter_set(self) -> p2o_rpki::IpResourceSet;
+}
+
+#[cfg(test)]
+impl IntoIterSet for p2o_net::Prefix {
+    fn into_iter_set(self) -> p2o_rpki::IpResourceSet {
+        [self].into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2o_net::Prefix;
+    use p2o_rpki::{IpResourceSet, RoaPrefix, RpkiRepository};
+    use p2o_whois::WhoisDb;
+    use prefix2org::{Pipeline, PipelineInputs};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// ISP owns 10.0.0.0/8 (ROA'd) and originates a customer's 20.0.0.0/16
+    /// (no ROA, customer is Direct Owner of its own PI block).
+    #[test]
+    fn isp_disparity_reproduced() {
+        let mut db = WhoisDb::new();
+        db.add_arin(
+            "\
+NetRange: 10.0.0.0 - 10.255.255.255\nNetType: Allocation\nOrgName: Good ISP\nUpdated: 2024-01-01\n\n\
+NetRange: 20.0.0.0 - 20.0.255.255\nNetType: Allocation\nOrgName: Customer PI Org\nUpdated: 2024-01-01\n",
+        );
+        let (tree, _) = db.build();
+
+        let mut routes = RouteTable::new();
+        routes.add_route(p("10.0.0.0/8"), 65001);
+        routes.add_route(p("10.1.0.0/16"), 65001);
+        routes.add_route(p("20.0.0.0/16"), 65001); // originated for customer
+
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor(
+            "ARIN",
+            IpResourceSet::everything(),
+            20200101,
+            20301231,
+        );
+        let isp = repo
+            .issue_cert(ta, "good-isp", p("10.0.0.0/8").into_iter_set(), 20200101, 20301231)
+            .unwrap();
+        repo.issue_roa(isp, 65001, vec![RoaPrefix { prefix: p("10.0.0.0/8"), max_len: 16 }], 20200101, 20301231)
+            .unwrap();
+        let (rpki, problems) = repo.validate(20240901);
+        assert!(problems.is_empty());
+
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let ds = Pipeline::default().run(&PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        });
+
+        let row = roa_coverage(&ds, &routes, &rpki, "Good ISP", &[65001]);
+        assert_eq!(row.own_prefixes, 2);
+        assert_eq!(row.own_covered, 2);
+        assert_eq!(row.origin_prefixes, 3);
+        assert_eq!(row.origin_covered, 2);
+        assert_eq!(row.own_pct(), 100.0);
+        assert!(row.origin_pct() < 100.0);
+        assert!(row.disparity() > 0.0);
+    }
+
+    #[test]
+    fn empty_asn_list_is_all_zero() {
+        let mut db = WhoisDb::new();
+        db.add_arin("NetRange: 10.0.0.0 - 10.255.255.255\nNetType: Allocation\nOrgName: X\nUpdated: 2024-01-01\n");
+        let (tree, _) = db.build();
+        let mut routes = RouteTable::new();
+        routes.add_route(p("10.0.0.0/8"), 1);
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        let ds = Pipeline::default().run(&PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        });
+        let row = roa_coverage(&ds, &routes, &rpki, "X", &[]);
+        assert_eq!(row.origin_prefixes, 0);
+        assert_eq!(row.own_pct(), 0.0);
+    }
+}
+

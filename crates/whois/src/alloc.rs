@@ -1,0 +1,565 @@
+//! The allocation-type taxonomy and its mapping to rights and ownership.
+//!
+//! This module encodes the paper's central taxonomy work (§5.1, Appendix B):
+//! the 22 allocation-type keywords used across the five RIRs, the two types
+//! the paper introduces for legacy space without registry agreements, each
+//! type's three operational rights, and the Table 1 mapping onto *Direct
+//! Owner* vs *Delegated Customer*.
+
+use core::fmt;
+
+use crate::registry::Rir;
+
+/// The three operational rights the paper identifies for address space
+/// (§2.2):
+///
+/// - `provider_independence` (R1) — the holder may choose any upstream;
+/// - `sub_delegation` (R2) — the holder may re-delegate (parts of) the block;
+/// - `rpki_issuance` (R3) — the holder may issue RPKI certificates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Rights {
+    /// R1 — change upstream provider.
+    pub provider_independence: bool,
+    /// R2 — further sub-delegate the address space.
+    pub sub_delegation: bool,
+    /// R3 — issue RPKI certificates for the space.
+    pub rpki_issuance: bool,
+}
+
+impl Rights {
+    /// Convenience constructor in (R1, R2, R3) order.
+    pub const fn new(r1: bool, r2: bool, r3: bool) -> Self {
+        Rights {
+            provider_independence: r1,
+            sub_delegation: r2,
+            rpki_issuance: r3,
+        }
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = |b| if b { "✓" } else { "✗" };
+        write!(
+            f,
+            "R1:{} R2:{} R3:{}",
+            mark(self.provider_independence),
+            mark(self.sub_delegation),
+            mark(self.rpki_issuance)
+        )
+    }
+}
+
+/// The two macro-levels of control over address space (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum OwnershipLevel {
+    /// Holder of a direct RIR/NIR delegation: provider independent, may
+    /// sub-delegate, can (arrange to) issue RPKI certificates.
+    DirectOwner,
+    /// Holder of a sub-delegation; rights bounded by the Direct Owner's
+    /// contract.
+    DelegatedCustomer,
+}
+
+impl fmt::Display for OwnershipLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OwnershipLevel::DirectOwner => f.write_str("Direct Owner"),
+            OwnershipLevel::DelegatedCustomer => f.write_str("Delegated Customer"),
+        }
+    }
+}
+
+/// Every allocation type found in RIR WHOIS data (paper Tables 8–12).
+///
+/// The variants cover the 22 distinct keywords across the five RIRs plus the
+/// two *modified* types the paper introduces: [`AllocationType::AllocationLegacy`]
+/// (ARIN legacy space whose holder has not signed a registry agreement) and
+/// [`AllocationType::LegacyNotSponsored`] (RIPE legacy space not under a
+/// member/sponsoring account). RIPE and AFRINIC share several keywords; those
+/// share a variant because the granted rights are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum AllocationType {
+    // --- ARIN (Table 8) ---
+    /// ARIN `Allocation` — direct delegation to an ISP/LIR.
+    Allocation,
+    /// ARIN legacy space without a Registration Services Agreement
+    /// (paper-modified type; cannot issue ROAs).
+    AllocationLegacy,
+    /// ARIN `Reallocation` — sub-delegation that may be further delegated.
+    Reallocation,
+    /// ARIN `Reassignment` — terminal sub-delegation.
+    Reassignment,
+
+    // --- LACNIC (Table 9) ---
+    /// LACNIC `Allocated` — direct delegation to an ISP.
+    LacnicAllocated,
+    /// LACNIC `Assigned` — direct assignment to an end user (rarely further
+    /// reassigned, but permitted).
+    LacnicAssigned,
+    /// LACNIC `Reallocated` — sub-delegation allowing further delegation.
+    LacnicReallocated,
+    /// LACNIC `Reassigned` — terminal sub-delegation.
+    LacnicReassigned,
+
+    // --- APNIC (Table 10) ---
+    /// APNIC `Allocated Portable` — direct, provider-independent allocation.
+    AllocatedPortable,
+    /// APNIC `Allocated Non-Portable` — sub-delegation by an upstream LIR.
+    AllocatedNonPortable,
+    /// APNIC `Assigned Portable` — direct, provider-independent assignment.
+    AssignedPortable,
+    /// APNIC `Assigned Non-Portable` — terminal sub-assignment.
+    AssignedNonPortable,
+
+    // --- RIPE & AFRINIC shared keywords (Tables 11–12) ---
+    /// `ALLOCATED PA` — direct allocation to an LIR.
+    AllocatedPa,
+    /// `ASSIGNED PI` — direct provider-independent assignment.
+    AssignedPi,
+    /// `SUB-ALLOCATED PA` — LIR sub-allocation to a downstream.
+    SubAllocatedPa,
+    /// `ASSIGNED ANYCAST` — direct assignment for anycast use.
+    AssignedAnycast,
+    /// `ALLOCATED-BY-RIR` (IPv6) — direct RIR allocation.
+    AllocatedByRir,
+    /// `ASSIGNED PA` — terminal assignment out of provider aggregatable space.
+    AssignedPa,
+
+    // --- RIPE only (Table 11) ---
+    /// RIPE `LEGACY` (IPv4) — pre-RIR space under member/sponsor service.
+    Legacy,
+    /// RIPE legacy space with no member or sponsoring LIR
+    /// (paper-modified type; cannot issue ROAs).
+    LegacyNotSponsored,
+    /// RIPE `ALLOCATED-ASSIGNED PA` — allocation used entirely as a single
+    /// assignment.
+    AllocatedAssignedPa,
+    /// RIPE `ALLOCATED-BY-LIR` (IPv6) — LIR sub-allocation.
+    AllocatedByLir,
+    /// RIPE `ASSIGNED` (IPv6) — terminal assignment.
+    Assigned6,
+    /// RIPE `AGGREGATED-BY-LIR` (IPv6) — aggregated terminal assignments.
+    AggregatedByLir,
+}
+
+impl AllocationType {
+    /// All variants, in declaration order (for exhaustive sweeps in tests and
+    /// the Table 8–12 experiment).
+    pub const ALL: [AllocationType; 24] = [
+        AllocationType::Allocation,
+        AllocationType::AllocationLegacy,
+        AllocationType::Reallocation,
+        AllocationType::Reassignment,
+        AllocationType::LacnicAllocated,
+        AllocationType::LacnicAssigned,
+        AllocationType::LacnicReallocated,
+        AllocationType::LacnicReassigned,
+        AllocationType::AllocatedPortable,
+        AllocationType::AllocatedNonPortable,
+        AllocationType::AssignedPortable,
+        AllocationType::AssignedNonPortable,
+        AllocationType::AllocatedPa,
+        AllocationType::AssignedPi,
+        AllocationType::SubAllocatedPa,
+        AllocationType::AssignedAnycast,
+        AllocationType::AllocatedByRir,
+        AllocationType::AssignedPa,
+        AllocationType::Legacy,
+        AllocationType::LegacyNotSponsored,
+        AllocationType::AllocatedAssignedPa,
+        AllocationType::AllocatedByLir,
+        AllocationType::Assigned6,
+        AllocationType::AggregatedByLir,
+    ];
+
+    /// The operational rights this type grants, per paper Tables 8–12.
+    pub fn rights(&self) -> Rights {
+        use AllocationType::*;
+        match self {
+            // ARIN (Table 8)
+            Allocation => Rights::new(true, true, true),
+            AllocationLegacy => Rights::new(true, true, false),
+            Reallocation => Rights::new(false, true, false),
+            Reassignment => Rights::new(false, false, false),
+            // LACNIC (Table 9)
+            LacnicAllocated => Rights::new(true, true, true),
+            LacnicAssigned => Rights::new(true, true, true),
+            LacnicReallocated => Rights::new(false, true, false),
+            LacnicReassigned => Rights::new(false, false, false),
+            // APNIC (Table 10)
+            AllocatedPortable => Rights::new(true, true, true),
+            AllocatedNonPortable => Rights::new(false, true, false),
+            AssignedPortable => Rights::new(true, false, true),
+            AssignedNonPortable => Rights::new(false, false, false),
+            // RIPE/AFRINIC shared (Tables 11–12)
+            AllocatedPa => Rights::new(true, true, true),
+            AssignedPi => Rights::new(true, false, true),
+            SubAllocatedPa => Rights::new(false, true, false),
+            AssignedAnycast => Rights::new(true, false, true),
+            AllocatedByRir => Rights::new(true, true, true),
+            AssignedPa => Rights::new(false, false, false),
+            // RIPE only (Table 11)
+            Legacy => Rights::new(true, true, true),
+            LegacyNotSponsored => Rights::new(true, true, false),
+            AllocatedAssignedPa => Rights::new(true, false, true),
+            AllocatedByLir => Rights::new(false, true, false),
+            Assigned6 => Rights::new(false, false, false),
+            AggregatedByLir => Rights::new(false, true, false),
+        }
+    }
+
+    /// The Table 1 classification: Direct Owner for direct RIR/NIR
+    /// delegations, Delegated Customer for sub-delegations.
+    ///
+    /// The classifying signal is provider independence (R1): every direct
+    /// delegation is provider independent, every sub-delegation type is not
+    /// (§B.2). The modified legacy types keep Direct Owner status even
+    /// though they lack R3 — issuing certificates only requires signing an
+    /// agreement, which is the holder's choice.
+    pub fn ownership_level(&self) -> OwnershipLevel {
+        if self.rights().provider_independence {
+            OwnershipLevel::DirectOwner
+        } else {
+            OwnershipLevel::DelegatedCustomer
+        }
+    }
+
+    /// Depth of the type in a delegation chain: `0` for direct delegations,
+    /// `1` for re-delegations that may delegate further, `2` for terminal
+    /// sub-delegations. Used to order multiple Delegated Customer records on
+    /// the same prefix (§5.2: "a chain of Allocation to Reallocation to
+    /// Reassignment in ARIN").
+    pub fn chain_depth(&self) -> u8 {
+        use AllocationType::*;
+        match self.ownership_level() {
+            OwnershipLevel::DirectOwner => 0,
+            OwnershipLevel::DelegatedCustomer => match self {
+                Reallocation | LacnicReallocated | AllocatedNonPortable | SubAllocatedPa
+                | AllocatedByLir | AggregatedByLir => 1,
+                _ => 2,
+            },
+        }
+    }
+
+    /// Whether the type marks legacy address space.
+    pub fn is_legacy(&self) -> bool {
+        matches!(
+            self,
+            AllocationType::AllocationLegacy
+                | AllocationType::Legacy
+                | AllocationType::LegacyNotSponsored
+        )
+    }
+
+    /// The RIRs whose WHOIS data uses this keyword.
+    pub fn used_by(&self) -> &'static [Rir] {
+        use AllocationType::*;
+        match self {
+            Allocation | AllocationLegacy | Reallocation | Reassignment => &[Rir::Arin],
+            LacnicAllocated | LacnicAssigned | LacnicReallocated | LacnicReassigned => {
+                &[Rir::Lacnic]
+            }
+            AllocatedPortable | AllocatedNonPortable | AssignedPortable
+            | AssignedNonPortable => &[Rir::Apnic],
+            AllocatedPa | AssignedPi | SubAllocatedPa | AssignedAnycast | AllocatedByRir
+            | AssignedPa => &[Rir::Ripe, Rir::Afrinic],
+            Legacy | LegacyNotSponsored | AllocatedAssignedPa | AllocatedByLir | Assigned6
+            | AggregatedByLir => &[Rir::Ripe],
+        }
+    }
+
+    /// The keyword as it appears in WHOIS `status:`/`NetType:` fields.
+    pub fn keyword(&self) -> &'static str {
+        use AllocationType::*;
+        match self {
+            Allocation => "Allocation",
+            AllocationLegacy => "Allocation-Legacy",
+            Reallocation => "Reallocation",
+            Reassignment => "Reassignment",
+            LacnicAllocated => "allocated",
+            LacnicAssigned => "assigned",
+            LacnicReallocated => "reallocated",
+            LacnicReassigned => "reassigned",
+            AllocatedPortable => "ALLOCATED PORTABLE",
+            AllocatedNonPortable => "ALLOCATED NON-PORTABLE",
+            AssignedPortable => "ASSIGNED PORTABLE",
+            AssignedNonPortable => "ASSIGNED NON-PORTABLE",
+            AllocatedPa => "ALLOCATED PA",
+            AssignedPi => "ASSIGNED PI",
+            SubAllocatedPa => "SUB-ALLOCATED PA",
+            AssignedAnycast => "ASSIGNED ANYCAST",
+            AllocatedByRir => "ALLOCATED-BY-RIR",
+            AssignedPa => "ASSIGNED PA",
+            Legacy => "LEGACY",
+            LegacyNotSponsored => "LEGACY-NOT-SPONSORED",
+            AllocatedAssignedPa => "ALLOCATED-ASSIGNED PA",
+            AllocatedByLir => "ALLOCATED-BY-LIR",
+            Assigned6 => "ASSIGNED",
+            AggregatedByLir => "AGGREGATED-BY-LIR",
+        }
+    }
+
+    /// Parses a `status:`/`NetType:` keyword in the context of the RIR whose
+    /// policy framework applies (NIR records use the parent RIR's
+    /// vocabulary). Matching is case-insensitive; `None` for unknown
+    /// keywords.
+    pub fn parse_keyword(rir: Rir, keyword: &str) -> Option<AllocationType> {
+        use AllocationType::*;
+        let k = keyword.trim().to_ascii_uppercase();
+        let t = match rir {
+            Rir::Arin => match k.as_str() {
+                "ALLOCATION" | "DIRECT ALLOCATION" => Allocation,
+                "ALLOCATION-LEGACY" => AllocationLegacy,
+                "REALLOCATION" => Reallocation,
+                "REASSIGNMENT" => Reassignment,
+                // ARIN also uses "Direct Assignment" for end-user space;
+                // rights match Allocation for our purposes (direct, PI, RPKI).
+                "DIRECT ASSIGNMENT" | "ASSIGNMENT" => Allocation,
+                _ => return None,
+            },
+            Rir::Lacnic => match k.as_str() {
+                "ALLOCATED" => LacnicAllocated,
+                "ASSIGNED" => LacnicAssigned,
+                "REALLOCATED" => LacnicReallocated,
+                "REASSIGNED" => LacnicReassigned,
+                _ => return None,
+            },
+            Rir::Apnic => match k.as_str() {
+                "ALLOCATED PORTABLE" => AllocatedPortable,
+                "ALLOCATED NON-PORTABLE" => AllocatedNonPortable,
+                "ASSIGNED PORTABLE" => AssignedPortable,
+                "ASSIGNED NON-PORTABLE" => AssignedNonPortable,
+                _ => return None,
+            },
+            Rir::Ripe => match k.as_str() {
+                "ALLOCATED PA" => AllocatedPa,
+                "ALLOCATED UNSPECIFIED" => AllocatedPa,
+                "ASSIGNED PI" => AssignedPi,
+                "SUB-ALLOCATED PA" => SubAllocatedPa,
+                "ASSIGNED ANYCAST" => AssignedAnycast,
+                "ALLOCATED-BY-RIR" => AllocatedByRir,
+                "ASSIGNED PA" => AssignedPa,
+                "LEGACY" => Legacy,
+                "LEGACY-NOT-SPONSORED" => LegacyNotSponsored,
+                "ALLOCATED-ASSIGNED PA" => AllocatedAssignedPa,
+                "ALLOCATED-BY-LIR" => AllocatedByLir,
+                "ASSIGNED" => Assigned6,
+                "AGGREGATED-BY-LIR" => AggregatedByLir,
+                _ => return None,
+            },
+            Rir::Afrinic => match k.as_str() {
+                "ALLOCATED PA" => AllocatedPa,
+                "ASSIGNED PI" => AssignedPi,
+                "SUB-ALLOCATED PA" => SubAllocatedPa,
+                "ASSIGNED ANYCAST" => AssignedAnycast,
+                "ALLOCATED-BY-RIR" => AllocatedByRir,
+                "ASSIGNED PA" => AssignedPa,
+                _ => return None,
+            },
+        };
+        Some(t)
+    }
+}
+
+impl fmt::Display for AllocationType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AllocationType::*;
+
+    #[test]
+    fn all_has_22_paper_types_plus_two_modified() {
+        assert_eq!(AllocationType::ALL.len(), 24);
+        let modified = AllocationType::ALL
+            .iter()
+            .filter(|t| matches!(t, AllocationLegacy | LegacyNotSponsored))
+            .count();
+        assert_eq!(modified, 2);
+    }
+
+    #[test]
+    fn table8_arin_rights() {
+        assert_eq!(Allocation.rights(), Rights::new(true, true, true));
+        assert_eq!(AllocationLegacy.rights(), Rights::new(true, true, false));
+        assert_eq!(Reallocation.rights(), Rights::new(false, true, false));
+        assert_eq!(Reassignment.rights(), Rights::new(false, false, false));
+    }
+
+    #[test]
+    fn table9_lacnic_rights() {
+        assert_eq!(LacnicAllocated.rights(), Rights::new(true, true, true));
+        assert_eq!(LacnicAssigned.rights(), Rights::new(true, true, true));
+        assert_eq!(LacnicReallocated.rights(), Rights::new(false, true, false));
+        assert_eq!(LacnicReassigned.rights(), Rights::new(false, false, false));
+    }
+
+    #[test]
+    fn table10_apnic_rights() {
+        assert_eq!(AllocatedPortable.rights(), Rights::new(true, true, true));
+        assert_eq!(
+            AllocatedNonPortable.rights(),
+            Rights::new(false, true, false)
+        );
+        assert_eq!(AssignedPortable.rights(), Rights::new(true, false, true));
+        assert_eq!(
+            AssignedNonPortable.rights(),
+            Rights::new(false, false, false)
+        );
+    }
+
+    #[test]
+    fn table11_ripe_rights() {
+        assert_eq!(AllocatedPa.rights(), Rights::new(true, true, true));
+        assert_eq!(AssignedPi.rights(), Rights::new(true, false, true));
+        assert_eq!(SubAllocatedPa.rights(), Rights::new(false, true, false));
+        assert_eq!(Legacy.rights(), Rights::new(true, true, true));
+        assert_eq!(LegacyNotSponsored.rights(), Rights::new(true, true, false));
+        assert_eq!(AllocatedAssignedPa.rights(), Rights::new(true, false, true));
+        assert_eq!(AssignedAnycast.rights(), Rights::new(true, false, true));
+        assert_eq!(AllocatedByRir.rights(), Rights::new(true, true, true));
+        assert_eq!(AllocatedByLir.rights(), Rights::new(false, true, false));
+        assert_eq!(AssignedPa.rights(), Rights::new(false, false, false));
+        assert_eq!(Assigned6.rights(), Rights::new(false, false, false));
+        assert_eq!(AggregatedByLir.rights(), Rights::new(false, true, false));
+    }
+
+    #[test]
+    fn table1_ownership_mapping() {
+        // Direct Owners per Table 1.
+        for t in [
+            Allocation,
+            AllocationLegacy,
+            LacnicAllocated,
+            LacnicAssigned,
+            AllocatedPa,
+            AssignedPi,
+            Legacy,
+            LegacyNotSponsored,
+            AllocatedByRir,
+            AssignedAnycast,
+            AllocatedAssignedPa,
+            AllocatedPortable,
+            AssignedPortable,
+        ] {
+            assert_eq!(t.ownership_level(), OwnershipLevel::DirectOwner, "{t}");
+        }
+        // Delegated Customers per Table 1.
+        for t in [
+            Reallocation,
+            Reassignment,
+            LacnicReallocated,
+            LacnicReassigned,
+            AssignedPa,
+            Assigned6,
+            SubAllocatedPa,
+            AllocatedByLir,
+            AggregatedByLir,
+            AllocatedNonPortable,
+            AssignedNonPortable,
+        ] {
+            assert_eq!(
+                t.ownership_level(),
+                OwnershipLevel::DelegatedCustomer,
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_owners_can_always_arrange_rpki() {
+        // Every Direct Owner type has R3, except the two modified legacy
+        // types where R3 merely requires signing an agreement.
+        for t in AllocationType::ALL {
+            if t.ownership_level() == OwnershipLevel::DirectOwner {
+                assert!(
+                    t.rights().rpki_issuance || t.is_legacy(),
+                    "{t} should have R3 or be legacy"
+                );
+            } else {
+                assert!(!t.rights().rpki_issuance, "{t} must not have R3");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_depth_orders_arin_chain() {
+        assert!(Allocation.chain_depth() < Reallocation.chain_depth());
+        assert!(Reallocation.chain_depth() < Reassignment.chain_depth());
+        assert_eq!(SubAllocatedPa.chain_depth(), 1);
+        assert_eq!(AssignedPa.chain_depth(), 2);
+    }
+
+    #[test]
+    fn keyword_round_trip_in_context() {
+        for t in AllocationType::ALL {
+            let rir = t.used_by()[0];
+            assert_eq!(
+                AllocationType::parse_keyword(rir, t.keyword()),
+                Some(t),
+                "{t} in {rir}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyword_context_disambiguates_assigned() {
+        // "ASSIGNED" is a Direct Owner in LACNIC but a terminal assignment in
+        // RIPE IPv6 — the same keyword maps differently by registry.
+        assert_eq!(
+            AllocationType::parse_keyword(Rir::Lacnic, "ASSIGNED"),
+            Some(LacnicAssigned)
+        );
+        assert_eq!(
+            AllocationType::parse_keyword(Rir::Ripe, "ASSIGNED"),
+            Some(Assigned6)
+        );
+        assert_ne!(
+            LacnicAssigned.ownership_level(),
+            Assigned6.ownership_level()
+        );
+    }
+
+    #[test]
+    fn unknown_keywords_are_none() {
+        assert_eq!(AllocationType::parse_keyword(Rir::Arin, "WIBBLE"), None);
+        assert_eq!(AllocationType::parse_keyword(Rir::Apnic, "ALLOCATED PA"), None);
+    }
+
+    #[test]
+    fn keywords_parse_case_insensitively() {
+        assert_eq!(
+            AllocationType::parse_keyword(Rir::Ripe, "allocated pa"),
+            Some(AllocatedPa)
+        );
+        assert_eq!(
+            AllocationType::parse_keyword(Rir::Arin, "reassignment"),
+            Some(Reassignment)
+        );
+    }
+
+    #[test]
+    fn legacy_flags() {
+        assert!(Legacy.is_legacy());
+        assert!(AllocationLegacy.is_legacy());
+        assert!(LegacyNotSponsored.is_legacy());
+        assert!(!Allocation.is_legacy());
+    }
+
+    #[test]
+    fn rights_display() {
+        assert_eq!(
+            Allocation.rights().to_string(),
+            "R1:✓ R2:✓ R3:✓"
+        );
+        assert_eq!(
+            Reassignment.rights().to_string(),
+            "R1:✗ R2:✗ R3:✗"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! ARIN bulk-WHOIS parsing.
+//!
+//! ARIN's dump format differs from RPSL: objects are `Key: value` blocks
+//! using CamelCase keys; networks are `NetRange` objects with an explicit
+//! `NetType` (the allocation type) and an inline `OrgName`.
+
+use p2o_net::{IpRange, Range4, Range6};
+
+use crate::alloc::AllocationType;
+use crate::record::{parse_date_ordinal, OrgRef, RawWhoisRecord};
+use crate::registry::{Registry, Rir};
+use crate::rpsl::RpslProblem;
+
+/// Result of parsing an ARIN bulk dump.
+#[derive(Debug, Default)]
+pub struct ArinDump {
+    /// Parsed network records.
+    pub records: Vec<RawWhoisRecord>,
+    /// Unparseable blocks.
+    pub problems: Vec<RpslProblem>,
+}
+
+/// Parses ARIN bulk WHOIS text.
+///
+/// Blocks are separated by blank lines; keys are matched case-insensitively.
+/// A block is a network record iff it has a `NetRange` key.
+pub fn parse_dump(text: &str) -> ArinDump {
+    let mut dump = ArinDump::default();
+    for block in blocks(text) {
+        let get = |key: &str| {
+            block
+                .attrs
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(key))
+                .map(|(_, v)| v.as_str())
+        };
+        let Some(net_range) = get("NetRange") else {
+            continue;
+        };
+        let net = match parse_net_range(net_range) {
+            Ok(net) => net,
+            Err(e) => {
+                dump.problems.push(RpslProblem {
+                    line: block.line,
+                    message: format!("bad NetRange {net_range:?}: {e}"),
+                });
+                continue;
+            }
+        };
+        let Some(org_name) = get("OrgName") else {
+            dump.problems.push(RpslProblem {
+                line: block.line,
+                message: "missing OrgName".into(),
+            });
+            continue;
+        };
+        let alloc = get("NetType").and_then(|t| AllocationType::parse_keyword(Rir::Arin, t));
+        if alloc.is_none() {
+            dump.problems.push(RpslProblem {
+                line: block.line,
+                message: format!("missing or unknown NetType {:?}", get("NetType")),
+            });
+            continue;
+        }
+        let last_modified = get("Updated").map(parse_date_ordinal).unwrap_or(0);
+        dump.records.push(RawWhoisRecord {
+            net,
+            org: OrgRef::Name(org_name.to_string()),
+            alloc,
+            source: Registry::Rir(Rir::Arin),
+            last_modified,
+        });
+    }
+    dump
+}
+
+struct Block {
+    line: usize,
+    attrs: Vec<(String, String)>,
+}
+
+fn blocks(text: &str) -> Vec<Block> {
+    let mut out = Vec::new();
+    let mut attrs: Vec<(String, String)> = Vec::new();
+    let mut start = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            if !attrs.is_empty() {
+                out.push(Block {
+                    line: start,
+                    attrs: std::mem::take(&mut attrs),
+                });
+            }
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if attrs.is_empty() {
+                start = idx + 1;
+            }
+            attrs.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    if !attrs.is_empty() {
+        out.push(Block { line: start, attrs });
+    }
+    out
+}
+
+fn parse_net_range(field: &str) -> Result<IpRange, String> {
+    if field.contains(':') {
+        let r: Range6 = field.parse().map_err(|e| format!("{e}"))?;
+        Ok(IpRange::V6(r))
+    } else {
+        let r: Range4 = field.parse().map_err(|e| format!("{e}"))?;
+        Ok(IpRange::V4(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARIN_DUMP: &str = "\
+# ARIN bulk excerpt
+
+NetRange:       63.64.0.0 - 63.127.255.255
+CIDR:           63.64.0.0/10
+NetName:        UUNET63
+NetHandle:      NET-63-64-0-0-1
+NetType:        Allocation
+OrgName:        Verizon Business
+Updated:        2024-05-20
+
+NetRange:       63.80.52.0 - 63.80.52.255
+CIDR:           63.80.52.0/24
+NetName:        BANDWIDTH-COM
+NetType:        Reallocation
+OrgName:        Bandwidth.com Inc.
+Updated:        2024-06-01
+
+NetRange:       63.80.52.0 - 63.80.52.255
+CIDR:           63.80.52.0/24
+NetName:        CEVA
+NetType:        Reassignment
+OrgName:        Ceva Inc
+Updated:        2024-06-02
+";
+
+    #[test]
+    fn parses_listing1_style_chain() {
+        let dump = parse_dump(ARIN_DUMP);
+        assert!(dump.problems.is_empty(), "{:?}", dump.problems);
+        assert_eq!(dump.records.len(), 3);
+        assert_eq!(
+            dump.records[0].net.as_prefix(),
+            Some("63.64.0.0/10".parse().unwrap())
+        );
+        assert_eq!(dump.records[0].alloc, Some(AllocationType::Allocation));
+        assert_eq!(dump.records[1].alloc, Some(AllocationType::Reallocation));
+        assert_eq!(dump.records[2].alloc, Some(AllocationType::Reassignment));
+        assert_eq!(
+            dump.records[2].org,
+            OrgRef::Name("Ceva Inc".into())
+        );
+    }
+
+    #[test]
+    fn v6_net_ranges() {
+        let text = "\
+NetRange:       2600:: - 2600:ffff:ffff:ffff:ffff:ffff:ffff:ffff
+NetType:        Allocation
+OrgName:        Big ISP LLC
+Updated:        2024-01-01
+";
+        let dump = parse_dump(text);
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(
+            dump.records[0].net.as_prefix(),
+            Some("2600::/16".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn legacy_modified_type_parses() {
+        let text = "\
+NetRange:       12.0.0.0 - 12.255.255.255
+NetType:        Allocation-Legacy
+OrgName:        Ancient Holder Corp
+Updated:        1995-03-02
+";
+        let dump = parse_dump(text);
+        assert_eq!(
+            dump.records[0].alloc,
+            Some(AllocationType::AllocationLegacy)
+        );
+        assert_eq!(dump.records[0].last_modified, 19950302);
+    }
+
+    #[test]
+    fn non_network_blocks_are_skipped() {
+        let text = "\
+OrgName:        Just An Org Record
+OrgId:          JAOR
+
+NetRange:       198.51.100.0 - 198.51.100.255
+NetType:        Reassignment
+OrgName:        Real Net
+Updated:        2024-01-01
+";
+        let dump = parse_dump(text);
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(dump.records[0].org, OrgRef::Name("Real Net".into()));
+    }
+
+    #[test]
+    fn problems_reported_with_line_numbers() {
+        let text = "NetRange:  bogus - range\nNetType: Allocation\nOrgName: X\n";
+        let dump = parse_dump(text);
+        assert!(dump.records.is_empty());
+        assert_eq!(dump.problems.len(), 1);
+        assert_eq!(dump.problems[0].line, 1);
+    }
+
+    #[test]
+    fn missing_org_or_type_is_a_problem() {
+        let text = "\
+NetRange:       198.51.100.0 - 198.51.100.255
+NetType:        Allocation
+
+NetRange:       203.0.113.0 - 203.0.113.255
+OrgName:        No Type Co
+";
+        let dump = parse_dump(text);
+        assert!(dump.records.is_empty());
+        assert_eq!(dump.problems.len(), 2);
+    }
+}

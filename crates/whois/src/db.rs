@@ -1,0 +1,568 @@
+//! Assembling parsed WHOIS dumps into queryable delegation trees.
+
+use std::collections::HashMap;
+
+use p2o_net::Prefix;
+use p2o_radix::PrefixMap;
+
+use crate::alloc::{AllocationType, OwnershipLevel};
+use crate::record::{OrgObject, OrgRef, RawWhoisRecord};
+use crate::registry::{Nir, Registry};
+
+/// One resolved delegation on a prefix: the holder organization, the
+/// allocation type, and provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelegationEntry {
+    /// The holder's organization name (handles already resolved).
+    pub org_name: String,
+    /// The allocation type of this (sub-)delegation.
+    pub alloc: AllocationType,
+    /// The registry the record came from.
+    pub registry: Registry,
+    /// `YYYYMMDD` ordinal of the record's last modification.
+    pub last_modified: u32,
+}
+
+impl DelegationEntry {
+    /// Table 1 classification of this entry.
+    pub fn ownership_level(&self) -> OwnershipLevel {
+        self.alloc.ownership_level()
+    }
+}
+
+/// The per-family delegation trees built from WHOIS records (§5.2 "Building
+/// IP Delegation Tree").
+///
+/// Each stored prefix carries *all* its delegation entries, sorted by
+/// [`AllocationType::chain_depth`] — a prefix registered both as an ARIN
+/// `Reallocation` and a `Reassignment` (Listing 1) keeps both, in hierarchy
+/// order.
+#[derive(Debug, Default)]
+pub struct DelegationTree {
+    map: PrefixMap<Vec<DelegationEntry>>,
+}
+
+impl DelegationTree {
+    /// The delegation entries registered exactly on `prefix`.
+    pub fn entries(&self, prefix: &Prefix) -> Option<&Vec<DelegationEntry>> {
+        self.map.get(prefix)
+    }
+
+    /// The covering chain for a routed prefix: every registered block that
+    /// equals or contains it, most specific first, with its entries.
+    pub fn covering_chain(&self, prefix: &Prefix) -> Vec<(Prefix, &Vec<DelegationEntry>)> {
+        self.map.covering(prefix)
+    }
+
+    /// All registered blocks inside `prefix` (used for the §B.1 data-driven
+    /// check of which allocation types re-delegate).
+    pub fn subtree(&self, prefix: &Prefix) -> Vec<(Prefix, &Vec<DelegationEntry>)> {
+        self.map.subtree(prefix)
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates all `(prefix, entries)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &Vec<DelegationEntry>)> {
+        self.map.iter()
+    }
+}
+
+/// Statistics reported by [`WhoisDb::build`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Raw records ingested.
+    pub raw_records: usize,
+    /// Records whose `org:` handle had no `organisation` object; the handle
+    /// string itself is used as the name (real WHOIS is like this too).
+    pub unresolved_handles: usize,
+    /// Records dropped as older duplicates of the same (prefix, type).
+    pub superseded: usize,
+    /// Records still missing an allocation type after back-fill; they are
+    /// excluded from the tree.
+    pub missing_alloc: usize,
+    /// Distinct prefixes in the resulting tree.
+    pub prefixes: usize,
+}
+
+/// Per-allocation-type re-delegation statistics — the paper's §B.1
+/// data-driven check ("we constructed prefix trees from WHOIS records to
+/// examine which allocation types are associated with further
+/// re-delegations").
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RedelegationStats {
+    /// Per type: `(blocks observed, blocks with at least one registered
+    /// sub-delegation strictly inside them)`.
+    pub per_type: std::collections::BTreeMap<AllocationType, (usize, usize)>,
+}
+
+impl RedelegationStats {
+    /// Fraction of blocks of `t` that re-delegate, or `None` when unseen.
+    pub fn redelegation_rate(&self, t: AllocationType) -> Option<f64> {
+        self.per_type
+            .get(&t)
+            .map(|&(blocks, with)| with as f64 / blocks.max(1) as f64)
+    }
+}
+
+/// Computes [`RedelegationStats`] over a delegation tree: for every
+/// registered block, does any *more specific* registered block exist below
+/// it?
+pub fn redelegation_stats(tree: &DelegationTree) -> RedelegationStats {
+    let mut stats = RedelegationStats::default();
+    for (prefix, entries) in tree.iter() {
+        // A block re-delegates if its subtree holds any strictly-more-
+        // specific registered block.
+        let has_sub = tree
+            .subtree(&prefix)
+            .iter()
+            .any(|(sub, _)| *sub != prefix);
+        for entry in entries {
+            let slot = stats.per_type.entry(entry.alloc).or_insert((0, 0));
+            slot.0 += 1;
+            if has_sub {
+                slot.1 += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Accumulates parsed WHOIS data from all registries, then builds the
+/// delegation tree.
+///
+/// ```
+/// use p2o_whois::{WhoisDb, Registry, Rir};
+///
+/// let mut db = WhoisDb::new();
+/// db.add_rpsl("\
+/// inetnum:  206.238.0.0 - 206.238.255.255\n\
+/// descr:    PSINet, Inc\n\
+/// status:   ALLOCATED PA\n\
+/// source:   AFRINIC\n", Registry::Rir(Rir::Afrinic));
+/// let (tree, stats) = db.build();
+/// assert_eq!(tree.len(), 1);
+/// assert_eq!(stats.raw_records, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct WhoisDb {
+    records: Vec<RawWhoisRecord>,
+    orgs: HashMap<String, String>,
+}
+
+impl WhoisDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests an RPSL-flavour dump (RIPE, APNIC, AFRINIC, RPSL NIRs).
+    /// Returns the number of problems encountered.
+    pub fn add_rpsl(&mut self, text: &str, source: Registry) -> usize {
+        let dump = crate::rpsl::parse_dump(text, source);
+        for org in dump.orgs {
+            self.orgs.insert(org.handle, org.name);
+        }
+        self.records.extend(dump.records);
+        dump.problems.len()
+    }
+
+    /// Ingests an ARIN-flavour dump. Returns the number of problems.
+    pub fn add_arin(&mut self, text: &str) -> usize {
+        let dump = crate::arin::parse_dump(text);
+        self.records.extend(dump.records);
+        dump.problems.len()
+    }
+
+    /// Ingests a LACNIC-flavour dump. Returns the number of problems.
+    pub fn add_lacnic(&mut self, text: &str, source: Registry) -> usize {
+        let dump = crate::lacnic::parse_dump(text, source);
+        self.records.extend(dump.records);
+        dump.problems.len()
+    }
+
+    /// Adds a single pre-parsed record (used by the synthetic generator's
+    /// direct path and by tests).
+    pub fn add_record(&mut self, record: RawWhoisRecord) {
+        self.records.push(record);
+    }
+
+    /// Registers an `organisation` object for handle resolution.
+    pub fn add_org(&mut self, handle: &str, name: &str) {
+        self.orgs.insert(handle.to_string(), name.to_string());
+    }
+
+    /// Adds an organisation object.
+    pub fn add_org_object(&mut self, org: OrgObject) {
+        self.orgs.insert(org.handle, org.name);
+    }
+
+    /// Number of raw records ingested so far.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Back-fills missing allocation types via a per-prefix query service.
+    ///
+    /// JPNIC bulk data omits allocation types; the paper performs individual
+    /// WHOIS queries to retrieve them (§4.2). `query` receives each prefix of
+    /// the record's block and returns its type; the first `Some` wins.
+    /// Returns how many records were filled.
+    pub fn fill_missing_alloc<F>(&mut self, registry: Registry, query: F) -> usize
+    where
+        F: Fn(&Prefix) -> Option<AllocationType>,
+    {
+        let mut filled = 0;
+        for rec in self.records.iter_mut() {
+            if rec.alloc.is_some() || rec.source != registry {
+                continue;
+            }
+            for p in rec.net.to_prefixes() {
+                if let Some(t) = query(&p) {
+                    rec.alloc = Some(t);
+                    filled += 1;
+                    break;
+                }
+            }
+        }
+        filled
+    }
+
+    /// Convenience for the common JPNIC case.
+    pub fn fill_jpnic_alloc<F>(&mut self, query: F) -> usize
+    where
+        F: Fn(&Prefix) -> Option<AllocationType>,
+    {
+        self.fill_missing_alloc(Registry::Nir(Nir::Jpnic), query)
+    }
+
+    /// Builds the delegation tree: resolves handles, deduplicates by
+    /// `(prefix, allocation type)` keeping the latest record (§4.2),
+    /// decomposes non-CIDR ranges, and sorts each prefix's entries by chain
+    /// depth.
+    pub fn build(self) -> (DelegationTree, BuildStats) {
+        let mut stats = BuildStats {
+            raw_records: self.records.len(),
+            ..Default::default()
+        };
+
+        // Key: (prefix, alloc). Value: the winning entry so far.
+        let mut best: HashMap<(Prefix, AllocationType), DelegationEntry> = HashMap::new();
+        for rec in self.records {
+            let Some(alloc) = rec.alloc else {
+                stats.missing_alloc += 1;
+                continue;
+            };
+            let org_name = match &rec.org {
+                OrgRef::Name(n) => n.clone(),
+                OrgRef::Handle(h) => match self.orgs.get(h) {
+                    Some(n) => n.clone(),
+                    None => {
+                        stats.unresolved_handles += 1;
+                        h.clone()
+                    }
+                },
+            };
+            for prefix in rec.net.to_prefixes() {
+                let entry = DelegationEntry {
+                    org_name: org_name.clone(),
+                    alloc,
+                    registry: rec.source,
+                    last_modified: rec.last_modified,
+                };
+                match best.entry((prefix, alloc)) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if rec.last_modified >= o.get().last_modified {
+                            o.insert(entry);
+                        }
+                        stats.superseded += 1;
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(entry);
+                    }
+                }
+            }
+        }
+
+        let mut map: PrefixMap<Vec<DelegationEntry>> = PrefixMap::new();
+        for ((prefix, _), entry) in best {
+            match map.get_mut(&prefix) {
+                Some(v) => v.push(entry),
+                None => {
+                    map.insert(prefix, vec![entry]);
+                }
+            }
+        }
+        // Order each prefix's entries: Direct Owner first, then intermediate
+        // delegations, then terminal assignments; newest first within a depth.
+        // (A mutable full iteration over PrefixMap is not exposed; collect the
+        // keys first.)
+        let keys: Vec<Prefix> = map.iter().map(|(k, _)| k).collect();
+        for k in keys {
+            let v = map.get_mut(&k).expect("key just listed");
+            v.sort_by(|a, b| {
+                a.alloc
+                    .chain_depth()
+                    .cmp(&b.alloc.chain_depth())
+                    .then(b.last_modified.cmp(&a.last_modified))
+                    .then(a.org_name.cmp(&b.org_name))
+            });
+        }
+        stats.prefixes = map.len();
+        (DelegationTree { map }, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Rir;
+    use p2o_net::{IpRange, Range4};
+
+    fn rec(net: &str, org: &str, alloc: AllocationType, updated: u32) -> RawWhoisRecord {
+        let net: IpRange = if net.contains('/') {
+            let p: p2o_net::Prefix4 = net.parse().unwrap();
+            IpRange::V4(Range4::from_prefix(&p))
+        } else {
+            net.parse().unwrap()
+        };
+        RawWhoisRecord {
+            net,
+            org: OrgRef::Name(org.into()),
+            alloc: Some(alloc),
+            source: Registry::Rir(Rir::Arin),
+            last_modified: updated,
+        }
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn figure1_chain_builds() {
+        let mut db = WhoisDb::new();
+        db.add_record(rec("206.238.0.0/16", "PSINet, Inc", AllocationType::Allocation, 20240101));
+        db.add_record(rec(
+            "206.238.0.0/16",
+            "Tcloudnet, Inc",
+            AllocationType::Reassignment,
+            20240301,
+        ));
+        let (tree, stats) = db.build();
+        assert_eq!(stats.prefixes, 1);
+        let entries = tree.entries(&p("206.238.0.0/16")).unwrap();
+        assert_eq!(entries.len(), 2);
+        // Direct Owner first.
+        assert_eq!(entries[0].org_name, "PSINet, Inc");
+        assert_eq!(entries[0].ownership_level(), OwnershipLevel::DirectOwner);
+        assert_eq!(entries[1].org_name, "Tcloudnet, Inc");
+        assert_eq!(
+            entries[1].ownership_level(),
+            OwnershipLevel::DelegatedCustomer
+        );
+    }
+
+    #[test]
+    fn dedup_keeps_latest_per_type() {
+        let mut db = WhoisDb::new();
+        db.add_record(rec("10.0.0.0/8", "Old Name", AllocationType::Allocation, 20200101));
+        db.add_record(rec("10.0.0.0/8", "New Name", AllocationType::Allocation, 20240101));
+        let (tree, stats) = db.build();
+        assert_eq!(stats.superseded, 1);
+        let entries = tree.entries(&p("10.0.0.0/8")).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].org_name, "New Name");
+    }
+
+    #[test]
+    fn dedup_is_order_independent() {
+        let mut db = WhoisDb::new();
+        db.add_record(rec("10.0.0.0/8", "New Name", AllocationType::Allocation, 20240101));
+        db.add_record(rec("10.0.0.0/8", "Old Name", AllocationType::Allocation, 20200101));
+        let (tree, _) = db.build();
+        assert_eq!(
+            tree.entries(&p("10.0.0.0/8")).unwrap()[0].org_name,
+            "New Name"
+        );
+    }
+
+    #[test]
+    fn non_cidr_range_spreads_to_all_blocks() {
+        let mut db = WhoisDb::new();
+        db.add_record(rec(
+            "10.0.0.0 - 10.0.2.255",
+            "Spread Org",
+            AllocationType::Reassignment,
+            20240101,
+        ));
+        let (tree, stats) = db.build();
+        assert_eq!(stats.prefixes, 2); // /23 + /24
+        assert!(tree.entries(&p("10.0.0.0/23")).is_some());
+        assert!(tree.entries(&p("10.0.2.0/24")).is_some());
+    }
+
+    #[test]
+    fn handle_resolution_and_fallback() {
+        let mut db = WhoisDb::new();
+        db.add_org("ORG-VB1-RIPE", "Verizon Business");
+        db.add_record(RawWhoisRecord {
+            net: IpRange::V4(Range4::from_prefix(&"65.196.14.0/24".parse().unwrap())),
+            org: OrgRef::Handle("ORG-VB1-RIPE".into()),
+            alloc: Some(AllocationType::AllocatedPa),
+            source: Registry::Rir(Rir::Ripe),
+            last_modified: 20240101,
+        });
+        db.add_record(RawWhoisRecord {
+            net: IpRange::V4(Range4::from_prefix(&"65.196.15.0/24".parse().unwrap())),
+            org: OrgRef::Handle("ORG-MISSING".into()),
+            alloc: Some(AllocationType::AllocatedPa),
+            source: Registry::Rir(Rir::Ripe),
+            last_modified: 20240101,
+        });
+        let (tree, stats) = db.build();
+        assert_eq!(stats.unresolved_handles, 1);
+        assert_eq!(
+            tree.entries(&p("65.196.14.0/24")).unwrap()[0].org_name,
+            "Verizon Business"
+        );
+        assert_eq!(
+            tree.entries(&p("65.196.15.0/24")).unwrap()[0].org_name,
+            "ORG-MISSING"
+        );
+    }
+
+    #[test]
+    fn jpnic_backfill() {
+        let mut db = WhoisDb::new();
+        db.add_record(RawWhoisRecord {
+            net: IpRange::V4(Range4::from_prefix(&"202.12.30.0/24".parse().unwrap())),
+            org: OrgRef::Name("IIJ".into()),
+            alloc: None,
+            source: Registry::Nir(Nir::Jpnic),
+            last_modified: 20240101,
+        });
+        let filled = db.fill_jpnic_alloc(|prefix| {
+            (*prefix == p("202.12.30.0/24")).then_some(AllocationType::AllocatedPortable)
+        });
+        assert_eq!(filled, 1);
+        let (tree, stats) = db.build();
+        assert_eq!(stats.missing_alloc, 0);
+        assert_eq!(
+            tree.entries(&p("202.12.30.0/24")).unwrap()[0].alloc,
+            AllocationType::AllocatedPortable
+        );
+    }
+
+    #[test]
+    fn records_without_alloc_are_excluded_and_counted() {
+        let mut db = WhoisDb::new();
+        db.add_record(RawWhoisRecord {
+            net: IpRange::V4(Range4::from_prefix(&"202.12.30.0/24".parse().unwrap())),
+            org: OrgRef::Name("IIJ".into()),
+            alloc: None,
+            source: Registry::Nir(Nir::Jpnic),
+            last_modified: 20240101,
+        });
+        let (tree, stats) = db.build();
+        assert_eq!(stats.missing_alloc, 1);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn covering_chain_walks_up() {
+        let mut db = WhoisDb::new();
+        db.add_record(rec("63.64.0.0/10", "Verizon Business", AllocationType::Allocation, 1));
+        db.add_record(rec(
+            "63.80.52.0/24",
+            "Bandwidth.com Inc.",
+            AllocationType::Reallocation,
+            2,
+        ));
+        db.add_record(rec("63.80.52.0/24", "Ceva Inc", AllocationType::Reassignment, 3));
+        let (tree, _) = db.build();
+        let chain = tree.covering_chain(&p("63.80.52.0/24"));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].0, p("63.80.52.0/24"));
+        assert_eq!(chain[0].1.len(), 2);
+        assert_eq!(chain[0].1[0].org_name, "Bandwidth.com Inc."); // depth 1 first
+        assert_eq!(chain[0].1[1].org_name, "Ceva Inc");
+        assert_eq!(chain[1].0, p("63.64.0.0/10"));
+        assert_eq!(chain[1].1[0].org_name, "Verizon Business");
+    }
+
+    #[test]
+    fn redelegation_stats_distinguish_alloc_from_assign() {
+        // §B.1's empirical check: Allocation blocks re-delegate, terminal
+        // Reassignments do not.
+        let mut db = WhoisDb::new();
+        db.add_record(rec("10.0.0.0/8", "Carrier", AllocationType::Allocation, 1));
+        db.add_record(rec("10.1.0.0/16", "Cust A", AllocationType::Reassignment, 2));
+        db.add_record(rec("10.2.0.0/16", "Cust B", AllocationType::Reassignment, 2));
+        db.add_record(rec("11.0.0.0/8", "Lone End User", AllocationType::Allocation, 1));
+        let (tree, _) = db.build();
+        let stats = redelegation_stats(&tree);
+        assert_eq!(stats.per_type[&AllocationType::Allocation], (2, 1));
+        assert_eq!(stats.per_type[&AllocationType::Reassignment], (2, 0));
+        assert_eq!(
+            stats.redelegation_rate(AllocationType::Allocation),
+            Some(0.5)
+        );
+        assert_eq!(
+            stats.redelegation_rate(AllocationType::Reassignment),
+            Some(0.0)
+        );
+        assert_eq!(stats.redelegation_rate(AllocationType::Legacy), None);
+    }
+
+    #[test]
+    fn end_to_end_from_dump_texts() {
+        let mut db = WhoisDb::new();
+        let problems = db.add_rpsl(
+            "\
+inetnum:        206.238.0.0 - 206.238.255.255
+org:            ORG-PS1-RIPE
+status:         ALLOCATED PA
+last-modified:  2024-08-01T00:00:00Z
+source:         RIPE
+
+organisation:   ORG-PS1-RIPE
+org-name:       PSINet, Inc
+",
+            Registry::Rir(Rir::Ripe),
+        );
+        assert_eq!(problems, 0);
+        db.add_arin(
+            "\
+NetRange:       63.64.0.0 - 63.127.255.255
+NetType:        Allocation
+OrgName:        Verizon Business
+Updated:        2024-05-20
+",
+        );
+        db.add_lacnic(
+            "\
+inetnum:     200.44.0.0/16
+status:      allocated
+owner:       Telefonica del Peru S.A.A.
+changed:     20240801
+",
+            Registry::Rir(Rir::Lacnic),
+        );
+        let (tree, stats) = db.build();
+        assert_eq!(stats.raw_records, 3);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(
+            tree.entries(&p("206.238.0.0/16")).unwrap()[0].org_name,
+            "PSINet, Inc"
+        );
+    }
+}

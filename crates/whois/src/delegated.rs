@@ -1,0 +1,331 @@
+//! The NRO "delegated-extended" statistics file format.
+//!
+//! Each RIR publishes a daily pipe-separated file listing the status of
+//! every resource it manages. The paper uses these files for the §4.1
+//! sanity check ("We check RIR delegation files ... and verify that there
+//! is no larger delegation than /8 and /16 for IPv4 and IPv6") and they are
+//! the standard interchange format for delegation studies.
+//!
+//! Format (one record per line):
+//!
+//! ```text
+//! registry|cc|type|start|value|date|status[|opaque-id]
+//! arin|US|ipv4|63.64.0.0|4194304|20240501|allocated|acct-1
+//! apnic|JP|ipv6|2400::|29|20240501|allocated|acct-2
+//! ```
+//!
+//! For IPv4 `value` is an address *count* (not necessarily a power of two);
+//! for IPv6 it is a prefix length. Version and summary header lines are
+//! recognized and skipped.
+
+use core::fmt;
+
+use p2o_net::{IpRange, Prefix4, Prefix6, Range4, Range6};
+
+use crate::registry::Rir;
+
+/// Resource status in a delegated file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DelegatedStatus {
+    /// Delegated to an ISP/LIR.
+    Allocated,
+    /// Delegated to an end user.
+    Assigned,
+    /// In the RIR's free pool.
+    Available,
+    /// Held back by the RIR.
+    Reserved,
+}
+
+impl DelegatedStatus {
+    fn keyword(&self) -> &'static str {
+        match self {
+            DelegatedStatus::Allocated => "allocated",
+            DelegatedStatus::Assigned => "assigned",
+            DelegatedStatus::Available => "available",
+            DelegatedStatus::Reserved => "reserved",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "allocated" => Some(DelegatedStatus::Allocated),
+            "assigned" => Some(DelegatedStatus::Assigned),
+            "available" => Some(DelegatedStatus::Available),
+            "reserved" => Some(DelegatedStatus::Reserved),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DelegatedStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One IP record of a delegated-extended file (ASN records are skipped by
+/// the parser — Prefix2Org works on address space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelegatedRecord {
+    /// The publishing RIR.
+    pub registry: Rir,
+    /// ISO country code (may be empty for reserved space).
+    pub country: String,
+    /// The address block.
+    pub range: IpRange,
+    /// Delegation date, `YYYYMMDD` ordinal (0 when absent).
+    pub date: u32,
+    /// Resource status.
+    pub status: DelegatedStatus,
+    /// The per-holder opaque id (same holder ⇒ same id), if present.
+    pub opaque_id: Option<String>,
+}
+
+/// Parses a delegated-extended file. Returns records plus per-line problems
+/// (real files contain oddities; one bad line must not abort a study).
+pub fn parse(text: &str) -> (Vec<DelegatedRecord>, Vec<String>) {
+    let mut records = Vec::new();
+    let mut problems = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        // Version header: `2|arin|20240901|...`; summary: `arin|*|ipv4|*|n|summary`.
+        if fields.first().is_some_and(|f| f.chars().all(|c| c.is_ascii_digit()))
+            || fields.last() == Some(&"summary")
+        {
+            continue;
+        }
+        if fields.len() < 7 {
+            problems.push(format!("line {}: only {} fields", idx + 1, fields.len()));
+            continue;
+        }
+        let Ok(registry) = fields[0].parse::<Rir>() else {
+            problems.push(format!("line {}: unknown registry {:?}", idx + 1, fields[0]));
+            continue;
+        };
+        let afi = fields[2];
+        if afi == "asn" {
+            continue;
+        }
+        let range = match afi {
+            "ipv4" => {
+                let start = match p2o_net::v4::parse_addr(fields[3]) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        problems.push(format!("line {}: {e}", idx + 1));
+                        continue;
+                    }
+                };
+                let count: u64 = match fields[4].parse() {
+                    Ok(c) if c > 0 => c,
+                    _ => {
+                        problems.push(format!("line {}: bad count {:?}", idx + 1, fields[4]));
+                        continue;
+                    }
+                };
+                let last = start as u64 + count - 1;
+                if last > u32::MAX as u64 {
+                    problems.push(format!("line {}: range overflows IPv4 space", idx + 1));
+                    continue;
+                }
+                IpRange::V4(Range4::new(start, last as u32).expect("start <= last"))
+            }
+            "ipv6" => {
+                let start = match p2o_net::v6::parse_addr(fields[3]) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        problems.push(format!("line {}: {e}", idx + 1));
+                        continue;
+                    }
+                };
+                let len: u8 = match fields[4].parse() {
+                    Ok(l) if l <= 128 => l,
+                    _ => {
+                        problems.push(format!("line {}: bad length {:?}", idx + 1, fields[4]));
+                        continue;
+                    }
+                };
+                let prefix = Prefix6::new_truncated(start, len);
+                IpRange::V6(Range6::from_prefix(&prefix))
+            }
+            other => {
+                problems.push(format!("line {}: unknown afi {other:?}", idx + 1));
+                continue;
+            }
+        };
+        let Some(status) = DelegatedStatus::parse(fields[6]) else {
+            problems.push(format!("line {}: unknown status {:?}", idx + 1, fields[6]));
+            continue;
+        };
+        records.push(DelegatedRecord {
+            registry,
+            country: fields[1].to_string(),
+            range,
+            date: crate::record::parse_date_ordinal(fields[5]),
+            status,
+            opaque_id: fields.get(7).map(|s| s.to_string()),
+        });
+    }
+    (records, problems)
+}
+
+/// Serializes records as a delegated-extended file with version and summary
+/// headers.
+pub fn write(rir: Rir, snapshot_date: u32, records: &[DelegatedRecord]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let v4 = records
+        .iter()
+        .filter(|r| matches!(r.range, IpRange::V4(_)))
+        .count();
+    let v6 = records.len() - v4;
+    let _ = writeln!(
+        out,
+        "2|{}|{snapshot_date}|{}|19830101|{snapshot_date}|+0000",
+        rir.name().to_lowercase(),
+        records.len()
+    );
+    let _ = writeln!(out, "{}|*|ipv4|*|{v4}|summary", rir.name().to_lowercase());
+    let _ = writeln!(out, "{}|*|ipv6|*|{v6}|summary", rir.name().to_lowercase());
+    for rec in records {
+        let (afi, start, value) = match rec.range {
+            IpRange::V4(r) => (
+                "ipv4",
+                Prefix4::new_truncated(r.first(), 32).addr_string(),
+                r.num_addrs().to_string(),
+            ),
+            IpRange::V6(r) => {
+                let prefix = r.as_prefix().expect("v6 delegations are CIDR");
+                ("ipv6", prefix.addr_string(), prefix.len().to_string())
+            }
+        };
+        let _ = write!(
+            out,
+            "{}|{}|{afi}|{start}|{value}|{}|{}",
+            rec.registry.name().to_lowercase(),
+            rec.country,
+            rec.date,
+            rec.status
+        );
+        if let Some(id) = &rec.opaque_id {
+            let _ = write!(out, "|{id}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The paper's §4.1 footnote check: no delegation larger than /8 (IPv4) or
+/// /16 (IPv6). Returns the offending records.
+pub fn oversized_delegations(records: &[DelegatedRecord]) -> Vec<&DelegatedRecord> {
+    records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.status,
+                DelegatedStatus::Allocated | DelegatedStatus::Assigned
+            ) && match r.range {
+                IpRange::V4(range) => range.num_addrs() > 1 << 24,
+                IpRange::V6(range) => {
+                    range.as_prefix().map(|p| p.len() < 16).unwrap_or(true)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+2|arin|20240901|4|19830101|20240901|+0000
+arin|*|ipv4|*|3|summary
+arin|*|ipv6|*|1|summary
+arin|US|ipv4|63.64.0.0|4194304|20240501|allocated|acct-1
+arin|US|ipv4|63.80.52.0|256|20240601|assigned|acct-2
+arin||ipv4|7.0.0.0|16777216|19950101|reserved
+arin|US|ipv6|2600::|29|20240501|allocated|acct-1
+arin|US|asn|64512|1|20240501|assigned|acct-3
+";
+
+    #[test]
+    fn parses_sample_skipping_headers_and_asn() {
+        let (records, problems) = parse(SAMPLE);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].registry, Rir::Arin);
+        assert_eq!(
+            records[0].range,
+            IpRange::V4("63.64.0.0 - 63.127.255.255".parse().unwrap())
+        );
+        assert_eq!(records[0].status, DelegatedStatus::Allocated);
+        assert_eq!(records[0].opaque_id.as_deref(), Some("acct-1"));
+        assert_eq!(records[2].status, DelegatedStatus::Reserved);
+        assert_eq!(records[2].opaque_id, None);
+        assert_eq!(
+            records[3].range.as_prefix(),
+            Some("2600::/29".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let (records, _) = parse(SAMPLE);
+        let text = write(Rir::Arin, 20240901, &records);
+        let (back, problems) = parse(&text);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn bad_lines_become_problems() {
+        let text = "\
+arin|US|ipv4|not.an.ip|256|20240601|assigned|x
+arin|US|ipv4|10.0.0.0|0|20240601|assigned|x
+arin|US|ipv4|255.255.255.0|512|20240601|assigned|x
+arin|US|ipv6|2600::|300|20240601|assigned|x
+arin|US|ipv9|2600::|29|20240601|assigned|x
+arin|US|ipv4|10.0.0.0|256|20240601|mystery|x
+mars|US|ipv4|10.0.0.0|256|20240601|assigned|x
+too|few|fields
+";
+        let (records, problems) = parse(text);
+        assert!(records.is_empty());
+        assert_eq!(problems.len(), 8);
+        assert!(problems[0].contains("line 1"));
+    }
+
+    #[test]
+    fn non_power_of_two_v4_counts_supported() {
+        // Real ARIN files contain counts like 768 (three /24s).
+        let text = "arin|US|ipv4|192.0.2.0|768|20240601|assigned|x\n";
+        let (records, problems) = parse(text);
+        assert!(problems.is_empty());
+        let IpRange::V4(r) = records[0].range else {
+            panic!()
+        };
+        assert_eq!(r.num_addrs(), 768);
+        assert_eq!(r.to_prefixes().len(), 2); // /23 + /24
+    }
+
+    #[test]
+    fn footnote_check_flags_oversized_only() {
+        let text = "\
+arin|US|ipv4|16.0.0.0|33554432|19950101|allocated|big
+arin|US|ipv4|63.64.0.0|4194304|20240501|allocated|ok
+ripe|EU|ipv6|2a00::|12|20240501|reserved
+ripe|NL|ipv6|2a00::|15|20240501|allocated|big6
+";
+        let (records, _) = parse(text);
+        let oversized = oversized_delegations(&records);
+        assert_eq!(oversized.len(), 2);
+        assert_eq!(oversized[0].opaque_id.as_deref(), Some("big")); // /7-equivalent
+        assert_eq!(oversized[1].opaque_id.as_deref(), Some("big6")); // /15
+        // The reserved /12 is exempt: it is pool space, not a delegation.
+    }
+}

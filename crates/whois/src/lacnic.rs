@@ -1,0 +1,170 @@
+//! LACNIC bulk-WHOIS parsing.
+//!
+//! LACNIC (and NIC.br / NIC.mx under it) publishes blocks in a third flavour:
+//! lowercase keys, CIDR `inetnum:` values, the holder in `owner:`, the
+//! allocation type in `status:` (lowercase keywords), and dates in the
+//! compact `changed: 20240801` form.
+
+use p2o_net::{IpRange, Range4, Range6};
+
+use crate::alloc::AllocationType;
+use crate::record::{parse_date_ordinal, OrgRef, RawWhoisRecord};
+use crate::registry::Registry;
+use crate::rpsl::{split_objects, RpslProblem};
+
+/// Result of parsing a LACNIC-flavour bulk dump.
+#[derive(Debug, Default)]
+pub struct LacnicDump {
+    /// Parsed network records.
+    pub records: Vec<RawWhoisRecord>,
+    /// Unparseable blocks.
+    pub problems: Vec<RpslProblem>,
+}
+
+/// Parses a LACNIC-flavour dump. `source` is [`Registry::Rir`]`(Lacnic)` or
+/// one of its NIRs ([`crate::Nir::NicBr`], [`crate::Nir::NicMx`]).
+pub fn parse_dump(text: &str, source: Registry) -> LacnicDump {
+    let mut dump = LacnicDump::default();
+    let rir = source.policy_rir();
+    for obj in split_objects(text) {
+        if obj.class() != "inetnum" {
+            continue;
+        }
+        let net_field = obj.first("inetnum").unwrap_or("");
+        let net = match parse_net(net_field) {
+            Ok(net) => net,
+            Err(e) => {
+                dump.problems.push(RpslProblem {
+                    line: obj.line,
+                    message: format!("bad inetnum {net_field:?}: {e}"),
+                });
+                continue;
+            }
+        };
+        let Some(owner) = obj.first("owner") else {
+            dump.problems.push(RpslProblem {
+                line: obj.line,
+                message: "missing owner".into(),
+            });
+            continue;
+        };
+        let alloc = obj
+            .first("status")
+            .and_then(|s| AllocationType::parse_keyword(rir, s));
+        if alloc.is_none() {
+            dump.problems.push(RpslProblem {
+                line: obj.line,
+                message: format!("missing or unknown status {:?}", obj.first("status")),
+            });
+            continue;
+        }
+        let last_modified = obj
+            .first("changed")
+            .map(parse_date_ordinal)
+            .unwrap_or(0);
+        dump.records.push(RawWhoisRecord {
+            net,
+            org: OrgRef::Name(owner.to_string()),
+            alloc,
+            source,
+            last_modified,
+        });
+    }
+    dump
+}
+
+fn parse_net(field: &str) -> Result<IpRange, String> {
+    // LACNIC uses CIDR, but tolerate ranges for robustness.
+    if field.contains('-') {
+        if field.contains(':') {
+            Ok(IpRange::V6(field.parse::<Range6>().map_err(|e| e.to_string())?))
+        } else {
+            Ok(IpRange::V4(field.parse::<Range4>().map_err(|e| e.to_string())?))
+        }
+    } else if field.contains(':') {
+        let p: p2o_net::Prefix6 = field.parse().map_err(|e| format!("{e}"))?;
+        Ok(IpRange::V6(Range6::from_prefix(&p)))
+    } else {
+        let p: p2o_net::Prefix4 = field.parse().map_err(|e| format!("{e}"))?;
+        Ok(IpRange::V4(Range4::from_prefix(&p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Nir, Rir};
+
+    const LACNIC_DUMP: &str = "\
+inetnum:     200.44.0.0/16
+status:      allocated
+owner:       Telefonica del Peru S.A.A.
+ownerid:     PE-TDPS-LACNIC
+responsible: Admin Contact
+changed:     20240801
+
+inetnum:     200.44.32.0/20
+status:      reassigned
+owner:       Cliente Corporativo SAC
+changed:     20240815
+
+inetnum:     2801:80::/28
+status:      allocated
+owner:       Universidade Federal
+changed:     20240712
+";
+
+    #[test]
+    fn parses_lacnic_dump() {
+        let dump = parse_dump(LACNIC_DUMP, Registry::Rir(Rir::Lacnic));
+        assert!(dump.problems.is_empty(), "{:?}", dump.problems);
+        assert_eq!(dump.records.len(), 3);
+        assert_eq!(
+            dump.records[0].alloc,
+            Some(AllocationType::LacnicAllocated)
+        );
+        assert_eq!(
+            dump.records[0].org,
+            OrgRef::Name("Telefonica del Peru S.A.A.".into())
+        );
+        assert_eq!(dump.records[0].last_modified, 20240801);
+        assert_eq!(
+            dump.records[1].alloc,
+            Some(AllocationType::LacnicReassigned)
+        );
+        assert!(matches!(dump.records[2].net, IpRange::V6(_)));
+    }
+
+    #[test]
+    fn nicbr_uses_lacnic_vocabulary() {
+        let text = "\
+inetnum:     200.160.0.0/20
+status:      assigned
+owner:       Nucleo de Informacao e Coordenacao
+changed:     20240101
+";
+        let dump = parse_dump(text, Registry::Nir(Nir::NicBr));
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(dump.records[0].alloc, Some(AllocationType::LacnicAssigned));
+        assert_eq!(dump.records[0].source, Registry::Nir(Nir::NicBr));
+    }
+
+    #[test]
+    fn unknown_status_is_a_problem() {
+        let text = "inetnum: 200.0.0.0/16\nstatus: mystery\nowner: X\nchanged: 20240101\n";
+        let dump = parse_dump(text, Registry::Rir(Rir::Lacnic));
+        assert!(dump.records.is_empty());
+        assert_eq!(dump.problems.len(), 1);
+    }
+
+    #[test]
+    fn range_form_tolerated() {
+        let text = "inetnum: 200.0.0.0 - 200.0.1.255\nstatus: allocated\nowner: X\n";
+        let dump = parse_dump(text, Registry::Rir(Rir::Lacnic));
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(
+            dump.records[0].net.as_prefix(),
+            Some("200.0.0.0/23".parse().unwrap())
+        );
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Bulk WHOIS substrate for Prefix2Org.
+//!
+//! WHOIS registration data is the primary input of the paper (§4.2): every
+//! address-block (sub-)delegation has an `inetnum`/`inet6num`/`NetRange`
+//! record naming the holder organization and an *allocation type* keyword.
+//! This crate provides:
+//!
+//! - the complete allocation-type taxonomy across the five RIRs — all 22
+//!   keywords from paper Tables 8–12 plus the two types the paper adds
+//!   (`Allocation-Legacy` for ARIN legacy space without a registry agreement,
+//!   `Legacy-Not-Sponsored` for RIPE) — with each type's operational rights
+//!   (R1 provider independence, R2 sub-delegation, R3 RPKI issuance) and its
+//!   Direct Owner / Delegated Customer classification (Table 1);
+//! - parsers for the three bulk-dump flavours: RPSL (RIPE, APNIC, AFRINIC and
+//!   the RPSL-based NIRs), ARIN `NetRange` blocks, and LACNIC CIDR blocks;
+//! - [`WhoisDb`], which deduplicates records (latest `last-modified` wins per
+//!   prefix and ownership level, §4.2), resolves RIPE-style `org:` handle
+//!   indirection, back-fills JPNIC allocation types via per-prefix queries
+//!   (JPNIC bulk data omits them, §4.2), and builds the per-family
+//!   [delegation trees](crate::db::DelegationTree) that §5.2 walks.
+
+pub mod alloc;
+pub mod arin;
+pub mod db;
+pub mod delegated;
+pub mod lacnic;
+pub mod record;
+pub mod registry;
+pub mod rpsl;
+
+pub use alloc::{AllocationType, OwnershipLevel, Rights};
+pub use db::{redelegation_stats, DelegationEntry, DelegationTree, RedelegationStats, WhoisDb};
+pub use record::{OrgRef, RawWhoisRecord};
+pub use registry::{Nir, Registry, Rir};

@@ -1,0 +1,97 @@
+//! The normalized WHOIS record model the parsers produce.
+
+use p2o_net::IpRange;
+
+use crate::alloc::AllocationType;
+use crate::registry::Registry;
+
+/// How a record names its holder organization — directly (APNIC/AFRINIC
+/// `descr:`, ARIN `OrgName:`, LACNIC `owner:`) or via an organization handle
+/// that must be resolved against `organisation` objects (RIPE `org:`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OrgRef {
+    /// The organization name appears inline in the record.
+    Name(String),
+    /// A handle like `ORG-VB1-RIPE`; resolved by [`crate::WhoisDb`].
+    Handle(String),
+}
+
+impl OrgRef {
+    /// The inline name, if this is one.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            OrgRef::Name(n) => Some(n),
+            OrgRef::Handle(_) => None,
+        }
+    }
+}
+
+/// One parsed `inetnum`/`inet6num`/`NetRange` object, before organization
+/// handle resolution and deduplication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawWhoisRecord {
+    /// The registered block. WHOIS blocks are ranges; many but not all are
+    /// exact CIDR blocks.
+    pub net: IpRange,
+    /// The holder organization (inline name or handle).
+    pub org: OrgRef,
+    /// The allocation type, if present. JPNIC bulk data omits it (§4.2);
+    /// such records carry `None` until back-filled by per-prefix queries.
+    pub alloc: Option<AllocationType>,
+    /// The registry the record came from.
+    pub source: Registry,
+    /// `last-modified`/`Updated`/`changed` as a sortable ordinal
+    /// (`YYYYMMDD`), 0 when absent.
+    pub last_modified: u32,
+}
+
+/// One parsed `organisation` object (RIPE-style handle indirection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrgObject {
+    /// The handle, e.g. `ORG-VB1-RIPE`.
+    pub handle: String,
+    /// The organization's registered name.
+    pub name: String,
+}
+
+/// Parses a WHOIS timestamp into a `YYYYMMDD` ordinal.
+///
+/// Accepts `2024-08-01T00:00:00Z`, `2024-08-01`, and the LACNIC `20240801`
+/// form. Returns 0 for anything unparseable (records without usable dates
+/// simply lose dedup ties).
+pub fn parse_date_ordinal(s: &str) -> u32 {
+    let s = s.trim();
+    let digits: String = s
+        .chars()
+        .take(10) // at most YYYY-MM-DD
+        .filter(|c| c.is_ascii_digit())
+        .collect();
+    if digits.len() >= 8 {
+        digits[..8].parse().unwrap_or(0)
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_ordinal_forms() {
+        assert_eq!(parse_date_ordinal("2024-08-01T00:00:00Z"), 20240801);
+        assert_eq!(parse_date_ordinal("2024-08-01"), 20240801);
+        assert_eq!(parse_date_ordinal("20240801"), 20240801);
+        assert_eq!(parse_date_ordinal(" 2024-09-15 "), 20240915);
+        assert_eq!(parse_date_ordinal("not a date"), 0);
+        assert_eq!(parse_date_ordinal(""), 0);
+        // Ordering property: later dates compare greater.
+        assert!(parse_date_ordinal("2024-09-01") > parse_date_ordinal("2024-08-31"));
+    }
+
+    #[test]
+    fn org_ref_accessor() {
+        assert_eq!(OrgRef::Name("Acme".into()).as_name(), Some("Acme"));
+        assert_eq!(OrgRef::Handle("ORG-A1-RIPE".into()).as_name(), None);
+    }
+}

@@ -1,0 +1,406 @@
+//! RPSL bulk-dump parsing (RIPE, APNIC, AFRINIC, and RPSL-based NIRs).
+//!
+//! RPSL databases are sequences of objects separated by blank lines; each
+//! object is `key: value` lines, with `%`/`#` comment lines and leading-
+//! whitespace continuation lines. The object class is the key of the first
+//! line (`inetnum`, `inet6num`, `organisation`, ...).
+//!
+//! Interpretation differences the paper calls out (§4.2) and we reproduce:
+//!
+//! - RIPE names holders via an `org:` handle that must be resolved against
+//!   `organisation` objects; APNIC and AFRINIC put the name in the first
+//!   `descr:` line.
+//! - `inetnum` blocks are `first - last` ranges; `inet6num` blocks are CIDR.
+//! - The allocation type lives in `status:`.
+
+use p2o_net::{IpRange, Range4, Range6};
+
+use crate::alloc::AllocationType;
+use crate::record::{parse_date_ordinal, OrgObject, OrgRef, RawWhoisRecord};
+use crate::registry::Registry;
+
+/// A parse problem, reported per object so one bad object does not abort a
+/// whole bulk dump (real dumps always contain junk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpslProblem {
+    /// 1-based line number of the start of the offending object.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Everything extracted from one RPSL bulk dump.
+#[derive(Debug, Default)]
+pub struct RpslDump {
+    /// Parsed `inetnum`/`inet6num` records.
+    pub records: Vec<RawWhoisRecord>,
+    /// Parsed `organisation` objects.
+    pub orgs: Vec<OrgObject>,
+    /// Objects that could not be interpreted.
+    pub problems: Vec<RpslProblem>,
+}
+
+/// One raw RPSL object: ordered `(key, value)` pairs.
+#[derive(Debug, Clone)]
+pub struct RpslObject {
+    /// 1-based line number where the object starts.
+    pub line: usize,
+    /// Attribute list in file order; keys are lowercased.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl RpslObject {
+    /// The object class: the key of the first attribute.
+    pub fn class(&self) -> &str {
+        self.attrs.first().map(|(k, _)| k.as_str()).unwrap_or("")
+    }
+
+    /// First value for `key`, if any.
+    pub fn first(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Splits RPSL text into raw objects, handling comments and continuation
+/// lines.
+pub fn split_objects(text: &str) -> Vec<RpslObject> {
+    let mut objects = Vec::new();
+    let mut attrs: Vec<(String, String)> = Vec::new();
+    let mut start_line = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            if !attrs.is_empty() {
+                objects.push(RpslObject {
+                    line: start_line,
+                    attrs: std::mem::take(&mut attrs),
+                });
+            }
+            continue;
+        }
+        if (line.starts_with(' ') || line.starts_with('\t') || line.starts_with('+'))
+            && !attrs.is_empty()
+        {
+            // Continuation of the previous attribute value.
+            let cont = line.trim_start_matches('+').trim();
+            if let Some(last) = attrs.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(cont);
+            }
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if attrs.is_empty() {
+                start_line = idx + 1;
+            }
+            attrs.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+        // Lines without a colon outside comments are junk; skip silently like
+        // real-world parsers must.
+    }
+    if !attrs.is_empty() {
+        objects.push(RpslObject {
+            line: start_line,
+            attrs,
+        });
+    }
+    objects
+}
+
+/// Parses an RPSL bulk dump for the given registry.
+///
+/// `source` selects both the allocation-type vocabulary (the policy RIR) and
+/// the organization-naming convention: RIPE resolves `org:` handles, the
+/// others read `descr:`.
+pub fn parse_dump(text: &str, source: Registry) -> RpslDump {
+    let mut dump = RpslDump::default();
+    let rir = source.policy_rir();
+    for obj in split_objects(text) {
+        match obj.class() {
+            "inetnum" | "inet6num" => {
+                let is_v6 = obj.class() == "inet6num";
+                let net_field = match obj.first(obj.class()) {
+                    Some(v) => v,
+                    None => continue,
+                };
+                let net = match parse_net(net_field, is_v6) {
+                    Ok(net) => net,
+                    Err(e) => {
+                        dump.problems.push(RpslProblem {
+                            line: obj.line,
+                            message: format!("bad {} {net_field:?}: {e}", obj.class()),
+                        });
+                        continue;
+                    }
+                };
+                // Organization: RIPE-style handle beats descr when present.
+                let org = if let Some(handle) = obj.first("org") {
+                    OrgRef::Handle(handle.to_string())
+                } else if let Some(descr) = obj.first("descr") {
+                    OrgRef::Name(descr.to_string())
+                } else if let Some(netname) = obj.first("netname") {
+                    // Last resort, mirroring the paper's noisy-WHOIS reality.
+                    OrgRef::Name(netname.to_string())
+                } else {
+                    dump.problems.push(RpslProblem {
+                        line: obj.line,
+                        message: "no org/descr/netname".to_string(),
+                    });
+                    continue;
+                };
+                let alloc = obj
+                    .first("status")
+                    .and_then(|s| AllocationType::parse_keyword(rir, s));
+                if alloc.is_none() && obj.first("status").is_some() {
+                    dump.problems.push(RpslProblem {
+                        line: obj.line,
+                        message: format!(
+                            "unknown status {:?} for {rir}",
+                            obj.first("status").unwrap()
+                        ),
+                    });
+                }
+                let last_modified = obj
+                    .first("last-modified")
+                    .or_else(|| obj.first("changed"))
+                    .map(parse_date_ordinal)
+                    .unwrap_or(0);
+                dump.records.push(RawWhoisRecord {
+                    net,
+                    org,
+                    alloc,
+                    source,
+                    last_modified,
+                });
+            }
+            "organisation" => {
+                let handle = obj.first("organisation").unwrap_or("").to_string();
+                let name = obj
+                    .first("org-name")
+                    .unwrap_or_default()
+                    .to_string();
+                if handle.is_empty() || name.is_empty() {
+                    dump.problems.push(RpslProblem {
+                        line: obj.line,
+                        message: "organisation object missing handle or org-name".into(),
+                    });
+                } else {
+                    dump.orgs.push(OrgObject { handle, name });
+                }
+            }
+            _ => {} // person, route, mntner, ... — not needed
+        }
+    }
+    dump
+}
+
+fn parse_net(field: &str, is_v6: bool) -> Result<IpRange, String> {
+    if is_v6 {
+        // inet6num is CIDR.
+        let p: p2o_net::Prefix6 = field.parse().map_err(|e| format!("{e}"))?;
+        Ok(IpRange::V6(Range6::from_prefix(&p)))
+    } else if field.contains('-') {
+        let r: Range4 = field.parse().map_err(|e| format!("{e}"))?;
+        Ok(IpRange::V4(r))
+    } else {
+        let p: p2o_net::Prefix4 = field.parse().map_err(|e| format!("{e}"))?;
+        Ok(IpRange::V4(Range4::from_prefix(&p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Nir, Rir};
+    use p2o_net::Prefix4;
+
+    const RIPE_DUMP: &str = "\
+% RIPE bulk dump excerpt
+
+inetnum:        206.238.0.0 - 206.238.255.255
+netname:        PSINET-BLOCK
+org:            ORG-PS1-RIPE
+country:        US
+status:         ALLOCATED PA
+last-modified:  2024-08-01T10:22:00Z
+source:         RIPE
+
+inetnum:        206.238.0.0 - 206.238.255.255
+netname:        TCLOUD-NET
+org:            ORG-TC1-RIPE
+status:         SUB-ALLOCATED PA
+last-modified:  2024-08-15T00:00:00Z
+source:         RIPE
+
+organisation:   ORG-PS1-RIPE
+org-name:       PSINet, Inc
+source:         RIPE
+
+organisation:   ORG-TC1-RIPE
+org-name:       Tcloudnet, Inc
+source:         RIPE
+
+inet6num:       2001:db8::/32
+org:            ORG-PS1-RIPE
+status:         ALLOCATED-BY-RIR
+last-modified:  2024-07-01T00:00:00Z
+source:         RIPE
+";
+
+    #[test]
+    fn parses_ripe_dump() {
+        let dump = parse_dump(RIPE_DUMP, Registry::Rir(Rir::Ripe));
+        assert!(dump.problems.is_empty(), "{:?}", dump.problems);
+        assert_eq!(dump.records.len(), 3);
+        assert_eq!(dump.orgs.len(), 2);
+
+        let r0 = &dump.records[0];
+        assert_eq!(
+            r0.net.as_prefix(),
+            Some("206.238.0.0/16".parse().unwrap())
+        );
+        assert_eq!(r0.org, OrgRef::Handle("ORG-PS1-RIPE".into()));
+        assert_eq!(r0.alloc, Some(AllocationType::AllocatedPa));
+        assert_eq!(r0.last_modified, 20240801);
+
+        let r1 = &dump.records[1];
+        assert_eq!(r1.alloc, Some(AllocationType::SubAllocatedPa));
+
+        let r2 = &dump.records[2];
+        assert_eq!(r2.alloc, Some(AllocationType::AllocatedByRir));
+        assert!(matches!(r2.net, IpRange::V6(_)));
+    }
+
+    #[test]
+    fn apnic_style_uses_descr() {
+        let text = "\
+inetnum:        210.80.198.0 - 210.80.198.255
+netname:        VERIZON-JP
+descr:          Verizon Japan Ltd
+descr:          Tokyo
+country:        JP
+status:         ASSIGNED PORTABLE
+last-modified:  2024-06-30T00:00:00Z
+source:         APNIC
+";
+        let dump = parse_dump(text, Registry::Rir(Rir::Apnic));
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(
+            dump.records[0].org,
+            OrgRef::Name("Verizon Japan Ltd".into())
+        );
+        assert_eq!(dump.records[0].alloc, Some(AllocationType::AssignedPortable));
+    }
+
+    #[test]
+    fn nir_records_use_parent_vocabulary() {
+        let text = "\
+inetnum:        202.12.30.0 - 202.12.30.255
+descr:          Internet Initiative Japan Inc.
+status:         ALLOCATED PORTABLE
+source:         JPNIC
+";
+        let dump = parse_dump(text, Registry::Nir(Nir::Jpnic));
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(
+            dump.records[0].alloc,
+            Some(AllocationType::AllocatedPortable)
+        );
+        assert_eq!(dump.records[0].source, Registry::Nir(Nir::Jpnic));
+    }
+
+    #[test]
+    fn jpnic_missing_status_yields_none_without_problem() {
+        let text = "\
+inetnum:        203.0.113.0 - 203.0.113.255
+descr:          Example KK
+source:         JPNIC
+";
+        let dump = parse_dump(text, Registry::Nir(Nir::Jpnic));
+        assert_eq!(dump.records.len(), 1);
+        assert_eq!(dump.records[0].alloc, None);
+        assert!(dump.problems.is_empty());
+    }
+
+    #[test]
+    fn continuation_lines_extend_values() {
+        let text = "\
+inetnum:        198.51.100.0 - 198.51.100.255
+descr:          Very Long Organization
++               Name Continued
+status:         ALLOCATED PA
+source:         AFRINIC
+";
+        let dump = parse_dump(text, Registry::Rir(Rir::Afrinic));
+        assert_eq!(
+            dump.records[0].org,
+            OrgRef::Name("Very Long Organization Name Continued".into())
+        );
+    }
+
+    #[test]
+    fn bad_objects_become_problems_not_aborts() {
+        let text = "\
+inetnum:        999.0.0.0 - 999.0.0.255
+descr:          Broken
+status:         ALLOCATED PA
+source:         AFRINIC
+
+inetnum:        198.51.100.0 - 198.51.100.255
+descr:          Fine
+status:         ALLOCATED PA
+source:         AFRINIC
+
+inetnum:        198.51.101.0 - 198.51.101.255
+descr:          Unknown Status
+status:         TOTALLY NEW TYPE
+source:         AFRINIC
+";
+        let dump = parse_dump(text, Registry::Rir(Rir::Afrinic));
+        assert_eq!(dump.records.len(), 2); // broken net dropped, unknown-status kept
+        assert_eq!(dump.problems.len(), 2);
+        assert_eq!(dump.records[1].alloc, None);
+    }
+
+    #[test]
+    fn non_cidr_range_is_preserved() {
+        let text = "\
+inetnum:        198.51.100.0 - 198.51.102.255
+descr:          Odd Range Co
+status:         ASSIGNED PA
+source:         RIPE
+";
+        let dump = parse_dump(text, Registry::Rir(Rir::Ripe));
+        let net = dump.records[0].net;
+        assert_eq!(net.as_prefix(), None);
+        let blocks = net.to_prefixes();
+        assert_eq!(blocks.len(), 2); // /23 + /24
+        assert_eq!(blocks[0], "198.51.100.0/23".parse::<Prefix4>().unwrap().into());
+    }
+
+    #[test]
+    fn netname_fallback_when_no_descr() {
+        let text = "\
+inetnum:        198.51.100.0 - 198.51.100.255
+netname:        FALLBACK-NET
+status:         ASSIGNED PI
+source:         AFRINIC
+";
+        let dump = parse_dump(text, Registry::Rir(Rir::Afrinic));
+        assert_eq!(dump.records[0].org, OrgRef::Name("FALLBACK-NET".into()));
+    }
+
+    #[test]
+    fn empty_and_comment_only_input() {
+        assert!(parse_dump("", Registry::Rir(Rir::Ripe)).records.is_empty());
+        assert!(parse_dump("% nothing here\n\n% more\n", Registry::Rir(Rir::Ripe))
+            .records
+            .is_empty());
+    }
+}

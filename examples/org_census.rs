@@ -1,0 +1,59 @@
+//! Organization census: who holds the Internet's address space?
+//!
+//! Exercises the analytics layer over a full synthetic world: the largest
+//! organizations by IPv4 space with their name variants and customer counts
+//! (the paper's "Top 100 Clusters" discussion), and the §8.1 census of
+//! organizations that hold space without operating any ASN.
+//!
+//! Run with: `cargo run --example org_census`
+
+use p2o_synth::{World, WorldConfig};
+use prefix2org::analytics::{orgs_without_asn, top_cluster_curve, top_clusters, GroupingMethod};
+use prefix2org::{Pipeline, PipelineInputs};
+
+fn main() {
+    let world = World::generate(WorldConfig::default_scale(0xCE5));
+    let built = world.build_inputs();
+    let dataset = Pipeline::with_threads(4).run(&PipelineInputs {
+        delegations: &built.tree,
+        routes: &built.routes,
+        asn_clusters: &built.clusters,
+        rpki: &built.rpki,
+    });
+
+    println!("Largest Direct Owner organizations by IPv4 address space:\n");
+    println!(
+        "{:<22} {:>14} {:>9} {:>6} {:>10}",
+        "Cluster", "IPv4 addresses", "Prefixes", "Names", "Customers"
+    );
+    for row in top_clusters(&dataset, 15) {
+        println!(
+            "{:<22} {:>14} {:>9} {:>6} {:>10}",
+            row.label, row.v4_addresses, row.prefixes, row.names, row.delegated_customers
+        );
+    }
+
+    let p2o = top_cluster_curve(&dataset, GroupingMethod::Prefix2Org, 100);
+    let whois = top_cluster_curve(&dataset, GroupingMethod::WhoisOrgName, 100);
+    println!(
+        "\nTop-100 clusters hold {:.1}% of routed IPv4 space ({:.1}% if grouping by raw WHOIS names).",
+        100.0 * p2o.space_fraction.last().unwrap(),
+        100.0 * whois.space_fraction.last().unwrap(),
+    );
+
+    let report = orgs_without_asn(&dataset, &world.as2org, 5);
+    println!(
+        "\n{} of {} organizations ({:.1}%) operate no ASN; they hold {:.1}% of routed IPv4 prefixes.",
+        report.orgs_without_asn,
+        report.total_orgs,
+        100.0 * report.orgs_without_asn as f64 / report.total_orgs as f64,
+        report.pct_v4_prefixes
+    );
+    println!("Largest of them:");
+    for (label, prefixes, addrs, origins) in &report.top {
+        println!(
+            "  {:<22} {} prefixes, {} addresses, routed via {} provider AS(es)",
+            label, prefixes, addrs, origins
+        );
+    }
+}

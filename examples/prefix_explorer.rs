@@ -1,0 +1,118 @@
+//! Prefix explorer: an interactive-style lookup tool over a full synthetic
+//! Internet — the "WHOIS, but organization-aware" workflow the paper
+//! motivates.
+//!
+//! Generates a world, runs the pipeline, then answers lookups: for a routed
+//! prefix it prints the Direct Owner, the customer chain, the sibling
+//! prefixes of the owning cluster, and the RPKI state of the route.
+//!
+//! Run with: `cargo run --example prefix_explorer [PREFIX]`
+//! Without an argument it explores three representative prefixes.
+
+use p2o_net::Prefix;
+use p2o_synth::{World, WorldConfig};
+use prefix2org::{Pipeline, PipelineInputs};
+
+fn main() {
+    let world = World::generate(WorldConfig::default_scale(0x10E));
+    let built = world.build_inputs();
+    let dataset = Pipeline::with_threads(4).run(&PipelineInputs {
+        delegations: &built.tree,
+        routes: &built.routes,
+        asn_clusters: &built.clusters,
+        rpki: &built.rpki,
+    });
+    println!(
+        "World: {} routed prefixes, {} organizations, {} final clusters\n",
+        built.routes.len(),
+        world.orgs.len(),
+        dataset.cluster_count()
+    );
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<Prefix> = if args.is_empty() {
+        // Defaults: a sub-delegated prefix, a plain one, and a v6 one.
+        let mut picks = Vec::new();
+        let mut seen_chain = false;
+        let mut seen_plain = false;
+        let mut seen_v6 = false;
+        for rec in dataset.records() {
+            if !seen_chain && rec.delegated_customers.len() >= 2 {
+                picks.push(rec.prefix);
+                seen_chain = true;
+            } else if !seen_plain
+                && rec.delegated_customers.is_empty()
+                && rec.prefix.as_v4().is_some()
+            {
+                picks.push(rec.prefix);
+                seen_plain = true;
+            } else if !seen_v6 && rec.prefix.as_v6().is_some() {
+                picks.push(rec.prefix);
+                seen_v6 = true;
+            }
+            if picks.len() == 3 {
+                break;
+            }
+        }
+        picks
+    } else {
+        args.iter()
+            .map(|a| a.parse().unwrap_or_else(|e| panic!("bad prefix {a:?}: {e}")))
+            .collect()
+    };
+
+    for prefix in targets {
+        explore(&dataset, &built, prefix);
+    }
+}
+
+fn explore(
+    dataset: &prefix2org::Prefix2OrgDataset,
+    built: &p2o_synth::BuiltInputs,
+    prefix: Prefix,
+) {
+    println!("=== {prefix}");
+    let Some(rec) = dataset.record(&prefix) else {
+        println!("  not a routed prefix in this world\n");
+        return;
+    };
+    println!(
+        "  Direct Owner    : {} [{}] via {} ({})",
+        rec.direct_owner, rec.base_name, rec.registry, rec.do_alloc
+    );
+    println!("  DO block        : {}", rec.do_prefix);
+    for (i, step) in rec.delegated_customers.iter().enumerate() {
+        println!(
+            "  Customer {:>2}     : {} ({} on {})",
+            i + 1,
+            step.org_name,
+            step.alloc,
+            step.prefix
+        );
+    }
+    if let Some(origins) = built.routes.origins(&prefix) {
+        for &asn in origins {
+            let rov = built.rpki.rov(&prefix, asn);
+            println!("  Origin AS{asn:<7}: RPKI {rov:?}");
+        }
+    }
+    match &rec.rpki_certificate {
+        Some(cert) => println!("  Child-most RC   : {cert}"),
+        None => println!("  Child-most RC   : none (legacy space without agreement?)"),
+    }
+    println!("  Final cluster   : {}", rec.final_cluster_label);
+    let siblings: Vec<_> = dataset
+        .cluster_records(rec.cluster)
+        .filter(|r| r.prefix != prefix)
+        .take(5)
+        .map(|r| r.prefix.to_string())
+        .collect();
+    if !siblings.is_empty() {
+        println!("  Sibling prefixes: {}", siblings.join(", "));
+    }
+    let names = dataset.cluster_names(rec.cluster);
+    if names.len() > 1 {
+        println!("  Cluster names   : {}", names.join(" | "));
+    }
+    println!();
+}

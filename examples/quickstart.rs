@@ -1,0 +1,91 @@
+//! Quickstart: map one routed prefix to its organizations.
+//!
+//! Rebuilds the paper's Figure 1 / Listing 1 scenario by hand — a Verizon
+//! direct allocation with a two-step customer chain below it, plus the
+//! PSINet → Tcloudnet re-assignment — and prints the resulting Prefix2Org
+//! records.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use p2o_bgp::RouteTable;
+use p2o_net::Prefix;
+use p2o_rpki::RpkiRepository;
+use p2o_whois::WhoisDb;
+use prefix2org::{Pipeline, PipelineInputs};
+
+fn main() {
+    // 1. WHOIS bulk data (ARIN flavour), exactly the Listing 1 chain.
+    let mut whois = WhoisDb::new();
+    whois.add_arin(
+        "\
+NetRange:       63.64.0.0 - 63.127.255.255
+CIDR:           63.64.0.0/10
+NetType:        Allocation
+OrgName:        Verizon Business
+Updated:        2024-05-20
+
+NetRange:       63.80.52.0 - 63.80.52.255
+NetType:        Reallocation
+OrgName:        Bandwidth.com Inc.
+Updated:        2024-06-01
+
+NetRange:       63.80.52.0 - 63.80.52.255
+NetType:        Reassignment
+OrgName:        Ceva Inc
+Updated:        2024-06-02
+
+NetRange:       206.238.0.0 - 206.238.255.255
+NetType:        Allocation
+OrgName:        PSINet, Inc
+Updated:        2024-03-10
+
+NetRange:       206.238.0.0 - 206.238.255.255
+NetType:        Reassignment
+OrgName:        Tcloudnet, Inc
+Updated:        2024-04-01
+",
+    );
+    let (tree, stats) = whois.build();
+    println!(
+        "WHOIS: {} records -> {} registered blocks",
+        stats.raw_records, stats.prefixes
+    );
+
+    // 2. The BGP view: both prefixes routed.
+    let mut routes = RouteTable::new();
+    routes.add_route("63.80.52.0/24".parse().unwrap(), 701);
+    routes.add_route("206.238.0.0/16".parse().unwrap(), 399077);
+
+    // 3. Run the pipeline (no RPKI/AS2Org evidence needed for resolution).
+    let asn_clusters = p2o_as2org::As2OrgDb::new().cluster();
+    let (rpki, _) = RpkiRepository::new().validate(20240901);
+    let dataset = Pipeline::default().run(&PipelineInputs {
+        delegations: &tree,
+        routes: &routes,
+        asn_clusters: &asn_clusters,
+        rpki: &rpki,
+    });
+
+    // 4. Query it.
+    for prefix in ["63.80.52.0/24", "206.238.0.0/16"] {
+        let prefix: Prefix = prefix.parse().unwrap();
+        let rec = dataset.record(&prefix).expect("mapped");
+        println!("\n{prefix}");
+        println!("  Direct Owner : {} ({} on {})", rec.direct_owner, rec.do_alloc, rec.do_prefix);
+        if rec.delegated_customers.is_empty() {
+            println!("  Customers    : none (owner operates the block itself)");
+        }
+        for step in &rec.delegated_customers {
+            println!("  Customer     : {} ({} on {})", step.org_name, step.alloc, step.prefix);
+        }
+        println!("  Final cluster: {}", rec.final_cluster_label);
+    }
+
+    // 5. The Listing 1 JSON form.
+    println!(
+        "\nListing-1 JSON for 63.80.52.0/24:\n{}",
+        dataset
+            .record_json(&"63.80.52.0/24".parse().unwrap())
+            .unwrap()
+    );
+}

@@ -1,0 +1,61 @@
+//! RPKI adoption, organization by organization — the paper's §8.2 case
+//! study as a runnable report.
+//!
+//! For every provider organization the example computes ROA coverage from
+//! the traditional AS-centric view (everything its ASes originate) and the
+//! Prefix2Org prefix-centric view (only the space it Direct-Owns), and
+//! flags the organizations whose apparent laggardness is really their
+//! customers' missing ROAs.
+//!
+//! Run with: `cargo run --example rpki_adoption`
+
+use p2o_synth::{OrgKind, World, WorldConfig};
+use p2o_validate::roa_coverage;
+use prefix2org::{Pipeline, PipelineInputs};
+
+fn main() {
+    let world = World::generate(WorldConfig::default_scale(0x82));
+    let built = world.build_inputs();
+    let dataset = Pipeline::with_threads(4).run(&PipelineInputs {
+        delegations: &built.tree,
+        routes: &built.routes,
+        asn_clusters: &built.clusters,
+        rpki: &built.rpki,
+    });
+
+    println!("AS-centric vs prefix-centric RPKI adoption (§8.2)\n");
+    let mut misjudged = 0usize;
+    let mut total = 0usize;
+    for org in &world.orgs {
+        if org.asns.is_empty()
+            || !matches!(org.kind, OrgKind::Carrier | OrgKind::Isp | OrgKind::Cloud)
+        {
+            continue;
+        }
+        let row = roa_coverage(&dataset, &built.routes, &built.rpki, org.hq_name(), &org.asns);
+        if row.origin_prefixes < 5 {
+            continue;
+        }
+        total += 1;
+        // The paper's headline phenomenon: an org that looks like an RPKI
+        // laggard from the AS view (<60%) but has actually secured all of
+        // its own space (>95%).
+        if row.origin_pct() < 60.0 && row.own_pct() > 95.0 {
+            misjudged += 1;
+            println!(
+                "  {:<40} AS-view {:>5.1}%  but own-space view {:>5.1}%  ({} own / {} originated)",
+                row.org_name,
+                row.origin_pct(),
+                row.own_pct(),
+                row.own_prefixes,
+                row.origin_prefixes
+            );
+        }
+    }
+    println!(
+        "\n{misjudged} of {total} providers would be misjudged as RPKI laggards by the AS-centric view."
+    );
+    println!(
+        "(IIJ confirmed to the authors that its real coverage is ~100% while the AS view showed 43.7%.)"
+    );
+}

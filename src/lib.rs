@@ -1,0 +1,18 @@
+//! Workspace façade crate.
+//!
+//! This package exists to host the runnable [examples](../examples) and the
+//! cross-crate [integration tests](../tests) at the repository root. The
+//! library surface simply re-exports the member crates under one roof so the
+//! examples can use a single dependency.
+
+pub use p2o_as2org as as2org;
+pub use p2o_bgp as bgp;
+pub use p2o_net as net;
+pub use p2o_radix as radix;
+pub use p2o_rpki as rpki;
+pub use p2o_strings as strings;
+pub use p2o_synth as synth;
+pub use p2o_util as util;
+pub use p2o_validate as validate;
+pub use p2o_whois as whois;
+pub use prefix2org as core;

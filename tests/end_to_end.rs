@@ -1,0 +1,239 @@
+//! End-to-end integration: synthetic world → native dumps → real parsers →
+//! pipeline → evaluation, asserting the paper's headline shapes.
+
+use p2o_net::AddressFamily;
+use p2o_synth::{OrgKind, World, WorldConfig};
+use p2o_validate::{evaluate_org, roa_coverage, ValidationReport};
+use prefix2org::analytics::{top_cluster_curve, GroupingMethod};
+use prefix2org::{Pipeline, PipelineInputs};
+
+fn build_world() -> (World, prefix2org::Prefix2OrgDataset, p2o_synth::BuiltInputs) {
+    let world = World::generate(WorldConfig::default_scale(0xE2E));
+    let built = world.build_inputs();
+    assert!(built.rpki_problems.is_empty(), "{:?}", built.rpki_problems);
+    let dataset = Pipeline::with_threads(4).run(&PipelineInputs {
+        delegations: &built.tree,
+        routes: &built.routes,
+        asn_clusters: &built.clusters,
+        rpki: &built.rpki,
+    });
+    (world, dataset, built)
+}
+
+#[test]
+fn full_pipeline_shapes_match_the_paper() {
+    let (world, dataset, built) = build_world();
+    let m = dataset.metrics();
+
+    // --- Coverage (paper: 99.96% / 99.99% of routed prefixes mapped). ---
+    let mapped = dataset.len() as f64;
+    let routed = built.routes.len() as f64;
+    assert!(
+        mapped / routed > 0.999,
+        "coverage {:.4} too low ({} of {})",
+        mapped / routed,
+        dataset.len(),
+        built.routes.len()
+    );
+
+    // --- Table 4 shapes. ---
+    assert!(m.ipv4_prefixes > 1000, "world too small: {m:?}");
+    assert!(m.ipv6_prefixes > 100);
+    assert!(m.direct_owners > 500);
+    assert!(m.base_names <= m.direct_owners);
+    assert!(m.final_clusters <= m.direct_owners);
+    assert!(
+        m.final_clusters < m.direct_owners,
+        "aggregation did nothing: {} clusters of {} owners",
+        m.final_clusters,
+        m.direct_owners
+    );
+    assert!(m.multi_name_clusters > 0);
+    // Multi-name clusters are few but hold a disproportionate share of
+    // space (paper: 2.4% of clusters, 36.9% of v4 space).
+    let cluster_share = m.multi_name_clusters as f64 / m.final_clusters as f64;
+    assert!(cluster_share < 0.35, "too many multi-name clusters: {cluster_share}");
+    assert!(
+        m.pct_v4_space_multi_name > 2.0 * 100.0 * cluster_share,
+        "multi-name clusters should hold outsized space: {}% space vs {}% clusters",
+        m.pct_v4_space_multi_name,
+        100.0 * cluster_share
+    );
+    // RPKI covers most prefixes but not all (ARIN legacy gap; paper: 88%).
+    assert!(m.pct_prefixes_rpki_covered > 60.0);
+    assert!(m.pct_prefixes_rpki_covered < 100.0);
+    // A substantial minority of prefixes is used by an external customer
+    // (paper: 31.7% of v4).
+    assert!(m.v4_external_customer_prefixes > 0);
+
+    // --- §7.1-style validation: exhaustive lists -> perfect precision,
+    // ~100% recall; public lists -> high recall, lower precision. ---
+    let mut exhaustive = ValidationReport::default();
+    let mut public = ValidationReport::default();
+    for list in &world.truth.published_lists {
+        let row = evaluate_org(&dataset, &list.org_name, &list.prefixes, AddressFamily::V4);
+        if list.exhaustive {
+            exhaustive.push(row);
+        } else {
+            public.push(row);
+        }
+    }
+    assert!(
+        exhaustive.recall() > 97.0,
+        "exhaustive recall {:.2} too low",
+        exhaustive.recall()
+    );
+    assert!(
+        public.recall() > 90.0,
+        "public-list recall {:.2} too low",
+        public.recall()
+    );
+    assert!(
+        public.precision() < exhaustive.precision(),
+        "public lists should inflate FPs: public {:.1} vs exhaustive {:.1}",
+        public.precision(),
+        exhaustive.precision()
+    );
+
+    // --- Figure 4 shape: Prefix2Org top-k covers at least as much space as
+    // exact WHOIS names, strictly more somewhere. ---
+    let k = 100;
+    let p2o = top_cluster_curve(&dataset, GroupingMethod::Prefix2Org, k);
+    let whois = top_cluster_curve(&dataset, GroupingMethod::WhoisOrgName, k);
+    let last = p2o.space_fraction.len().min(whois.space_fraction.len()) - 1;
+    assert!(
+        p2o.space_fraction[last] >= whois.space_fraction[last] - 1e-9,
+        "Prefix2Org curve below WHOIS curve: {} vs {}",
+        p2o.space_fraction[last],
+        whois.space_fraction[last]
+    );
+    // Figure 5 shape: top-100 Prefix2Org clusters span many more unique
+    // names than the WHOIS grouping (which is 1 name per group).
+    assert!(p2o.unique_names[last] > whois.unique_names[last]);
+
+    // --- §8.1: organizations without ASNs exist and hold space. ---
+    let report = prefix2org::analytics::orgs_without_asn(&dataset, &world.as2org, 10);
+    assert!(report.orgs_without_asn > 0);
+    assert!(report.pct_v4_prefixes > 0.0);
+    assert!(!report.top.is_empty());
+
+    // --- §8.2 / Table 7: some RPKI-adopting carrier shows own-coverage >
+    // origin-coverage. ---
+    let mut max_disparity = 0.0f64;
+    for org in world.orgs_of_kind(OrgKind::Carrier) {
+        if !org.rpki_adopter {
+            continue;
+        }
+        let row = roa_coverage(&dataset, &built.routes, &built.rpki, org.hq_name(), &org.asns);
+        if row.own_prefixes >= 3 && row.origin_prefixes > row.own_prefixes {
+            max_disparity = max_disparity.max(row.disparity());
+        }
+    }
+    assert!(
+        max_disparity > 10.0,
+        "no carrier shows the Table 7 disparity (max {max_disparity:.1})"
+    );
+}
+
+#[test]
+fn dataset_invariants_hold() {
+    let (_world, dataset, built) = build_world();
+    for rec in dataset.records() {
+        // Every record's DO block covers its prefix.
+        assert!(
+            rec.do_prefix.contains(&rec.prefix) || rec.do_prefix == rec.prefix,
+            "{} not covered by DO block {}",
+            rec.prefix,
+            rec.do_prefix
+        );
+        // DO allocation types are always Direct Owner types.
+        assert_eq!(
+            rec.do_alloc.ownership_level(),
+            p2o_whois::OwnershipLevel::DirectOwner,
+            "{}: {:?}",
+            rec.prefix,
+            rec.do_alloc
+        );
+        // DC chains are ordered by depth and all DC-typed.
+        for step in &rec.delegated_customers {
+            assert_eq!(
+                step.alloc.ownership_level(),
+                p2o_whois::OwnershipLevel::DelegatedCustomer
+            );
+            assert!(step.prefix.contains(&rec.prefix) || step.prefix == rec.prefix);
+        }
+        // Origin ASN clusters must match the route table's origins.
+        let origins = built.routes.origins(&rec.prefix).expect("routed");
+        for &o in origins {
+            assert!(rec
+                .origin_asn_clusters
+                .contains(&built.clusters.cluster_id(o)));
+        }
+        // Base names are never empty for non-empty owners.
+        assert!(!rec.base_name.is_empty(), "{}", rec.direct_owner);
+    }
+
+    // Cluster partition: every record in exactly one cluster; labels unique.
+    let mut label_set = std::collections::HashSet::new();
+    for (id, _) in dataset.clusters() {
+        assert!(label_set.insert(dataset.cluster_label(id).to_string()));
+    }
+    let total: usize = dataset.clusters().map(|(_, recs)| recs.len()).sum();
+    assert_eq!(total, dataset.len());
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let (_, a, _) = build_world();
+    let (_, b, _) = build_world();
+    assert_eq!(a.metrics(), b.metrics());
+}
+
+/// §5.3.2: resources of different organizations sponsored by the same RIPE
+/// LIR share one Resource Certificate — this must NOT merge unrelated
+/// organizations, because their base names differ (the paper's argument for
+/// why shared-certificate evidence is safe).
+#[test]
+fn sponsoring_certs_do_not_merge_unrelated_orgs() {
+    let (world, dataset, _built) = build_world();
+    // Find prefixes of different orgs sharing a sponsoring-lir certificate.
+    let mut by_cert: std::collections::HashMap<&str, Vec<&prefix2org::PrefixRecord>> =
+        std::collections::HashMap::new();
+    for rec in dataset.records() {
+        if let Some(cert) = &rec.rpki_certificate {
+            by_cert.entry(cert.as_str()).or_default().push(rec);
+        }
+    }
+    let mut shared_cert_org_pairs = 0usize;
+    for records in by_cert.values() {
+        let mut bases: Vec<&str> = records.iter().map(|r| r.base_name.as_str()).collect();
+        bases.sort();
+        bases.dedup();
+        if bases.len() < 2 {
+            continue;
+        }
+        // Multiple distinct base names in one certificate (sponsoring LIR or
+        // legacy-shared scenario): their clusters must stay distinct.
+        for pair in records.windows(2) {
+            if pair[0].base_name != pair[1].base_name {
+                shared_cert_org_pairs += 1;
+                assert_ne!(
+                    pair[0].cluster, pair[1].cluster,
+                    "{} and {} merged via shared certificate despite different bases",
+                    pair[0].direct_owner, pair[1].direct_owner
+                );
+            }
+        }
+    }
+    assert!(
+        shared_cert_org_pairs > 0,
+        "world generated no shared-certificate scenarios (sponsoring LIRs / legacy)"
+    );
+    // Ensure the generator actually produced sponsoring certificates.
+    let sponsoring = world
+        .rpki
+        .certs_in_order()
+        .filter(|c| c.subject.starts_with("sponsoring-lir-"))
+        .count();
+    assert!(sponsoring > 0, "no sponsoring-LIR certificates generated");
+}
