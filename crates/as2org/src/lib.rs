@@ -77,8 +77,12 @@ impl As2OrgDb {
         let rows = tsv::parse_rows(text, 2).map_err(|e| e.to_string())?;
         let n = rows.len();
         for row in rows {
-            let a: u32 = row[0].parse().map_err(|_| format!("bad ASN {:?}", row[0]))?;
-            let b: u32 = row[1].parse().map_err(|_| format!("bad ASN {:?}", row[1]))?;
+            let a: u32 = row[0]
+                .parse()
+                .map_err(|_| format!("bad ASN {:?}", row[0]))?;
+            let b: u32 = row[1]
+                .parse()
+                .map_err(|_| format!("bad ASN {:?}", row[1]))?;
             self.add_sibling_edge(a, b);
         }
         Ok(n)
@@ -138,8 +142,7 @@ impl As2OrgDb {
         }
         asns.sort_unstable();
         asns.dedup();
-        let index: HashMap<u32, usize> =
-            asns.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let index: HashMap<u32, usize> = asns.iter().enumerate().map(|(i, &a)| (a, i)).collect();
 
         let mut uf = UnionFind::new(asns.len());
         // Group by org id.

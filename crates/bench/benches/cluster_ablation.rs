@@ -1,46 +1,37 @@
-//! Criterion benches for the clustering stage under the evidence ablations
-//! of `exp_ablation` — how much of the stage's cost each evidence source
+//! Benches for the clustering stage under the evidence ablations of
+//! `exp_ablation` — how much of the stage's cost each evidence source
 //! accounts for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use p2o_bench::timing::{bench, group};
 use p2o_synth::{World, WorldConfig};
 use prefix2org::cluster::{ClusterOptions, Clusterer};
 use prefix2org::{Pipeline, PipelineInputs};
 
-fn bench_cluster(c: &mut Criterion) {
+fn main() {
     let world = World::generate(WorldConfig::default_scale(0xAB1A));
     let built = world.build_inputs();
     // Resolve once; bench only the clustering stage.
     let prefixes: Vec<p2o_net::Prefix> = built.routes.iter().map(|(p, _)| *p).collect();
     let (records, _) = Pipeline::default().resolve_stage(&built.tree, &prefixes);
 
-    let mut group = c.benchmark_group("cluster_stage");
-    group.sample_size(10);
+    group("cluster_stage");
     for (label, use_rpki, use_asn) in [
         ("w_only", false, false),
         ("w_plus_r", true, false),
         ("w_plus_a", false, true),
         ("full", true, true),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
-            let clusterer = Clusterer::new(ClusterOptions {
-                use_rpki,
-                use_asn,
-                ..ClusterOptions::default()
-            });
-            b.iter(|| {
-                black_box(clusterer.cluster(
-                    &records,
-                    &built.routes,
-                    &built.clusters,
-                    &built.rpki,
-                ))
-            });
+        let clusterer = Clusterer::new(ClusterOptions {
+            use_rpki,
+            use_asn,
+            ..ClusterOptions::default()
+        });
+        bench(label, || {
+            black_box(clusterer.cluster(&records, &built.routes, &built.clusters, &built.rpki))
         });
     }
-    group.finish();
 
     // For context: the full pipeline including resolution.
     let inputs = PipelineInputs {
@@ -49,16 +40,9 @@ fn bench_cluster(c: &mut Criterion) {
         asn_clusters: &built.clusters,
         rpki: &built.rpki,
     };
-    let mut group = c.benchmark_group("cluster_vs_resolve");
-    group.sample_size(10);
-    group.bench_function("resolve_only", |b| {
-        b.iter(|| black_box(Pipeline::default().resolve_stage(&built.tree, &prefixes)));
+    group("cluster_vs_resolve");
+    bench("resolve_only", || {
+        black_box(Pipeline::default().resolve_stage(&built.tree, &prefixes))
     });
-    group.bench_function("end_to_end", |b| {
-        b.iter(|| black_box(Pipeline::default().run(&inputs)));
-    });
-    group.finish();
+    bench("end_to_end", || black_box(Pipeline::default().run(&inputs)));
 }
-
-criterion_group!(benches, bench_cluster);
-criterion_main!(benches);

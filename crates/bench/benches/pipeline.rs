@@ -1,16 +1,15 @@
-//! Criterion benches for the end-to-end pipeline: resolution + clustering
-//! at two world scales, and resolution-stage scaling across threads.
+//! Benches for the end-to-end pipeline: resolution + clustering at two
+//! world scales, and resolution-stage scaling across threads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use p2o_bench::timing::{bench, group};
 use p2o_net::Prefix;
 use p2o_synth::{World, WorldConfig};
 use prefix2org::{Pipeline, PipelineInputs};
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_full");
-    group.sample_size(10);
+fn bench_full_pipeline() {
+    group("pipeline_full");
     for (label, config) in [
         ("tiny", WorldConfig::tiny(0xF1F0)),
         ("default", WorldConfig::default_scale(0xF1F0)),
@@ -23,31 +22,24 @@ fn bench_full_pipeline(c: &mut Criterion) {
             asn_clusters: &built.clusters,
             rpki: &built.rpki,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &inputs, |b, inputs| {
-            b.iter(|| black_box(Pipeline::default().run(inputs)));
-        });
+        bench(label, || black_box(Pipeline::default().run(&inputs)));
     }
-    group.finish();
 }
 
-fn bench_resolution_threads(c: &mut Criterion) {
+fn bench_resolution_threads() {
     let world = World::generate(WorldConfig::bench_scale(0xF1F0));
     let built = world.build_inputs();
     let prefixes: Vec<Prefix> = built.routes.iter().map(|(p, _)| *p).collect();
-    let mut group = c.benchmark_group("resolution_threads");
-    group.sample_size(10);
+    group("resolution_threads");
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                let pipeline = Pipeline::with_threads(threads);
-                b.iter(|| black_box(pipeline.resolve_stage(&built.tree, &prefixes)));
-            },
-        );
+        let pipeline = Pipeline::with_threads(threads);
+        bench(&format!("threads_{threads}"), || {
+            black_box(pipeline.resolve_stage(&built.tree, &prefixes))
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_resolution_threads);
-criterion_main!(benches);
+fn main() {
+    bench_full_pipeline();
+    bench_resolution_threads();
+}

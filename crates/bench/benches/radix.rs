@@ -1,9 +1,9 @@
-//! Criterion benches for the radix-tree substrate: insertion, longest
-//! match, the §5.2 covering-chain walk, and subtree enumeration.
+//! Benches for the radix-tree substrate: insertion, longest match, the
+//! §5.2 covering-chain walk, and subtree enumeration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use p2o_bench::timing::{bench, group};
 use p2o_net::Prefix4;
 use p2o_radix::RadixTree;
 use rand::rngs::StdRng;
@@ -12,31 +12,25 @@ use rand::{Rng, SeedableRng};
 fn random_prefixes(n: usize, seed: u64) -> Vec<Prefix4> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| Prefix4::new_truncated(rng.random::<u32>(), rng.random_range(8..=24)))
+        .map(|_| Prefix4::new_truncated(rng.random_range(0..=u32::MAX), rng.random_range(8..=24)))
         .collect()
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("radix_insert");
+fn bench_insert() {
+    group("radix_insert");
     for n in [1_000usize, 10_000, 100_000] {
         let prefixes = random_prefixes(n, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &prefixes, |b, prefixes| {
-            b.iter_batched(
-                RadixTree::<Prefix4, u32>::new,
-                |mut tree| {
-                    for (i, p) in prefixes.iter().enumerate() {
-                        tree.insert(*p, i as u32);
-                    }
-                    tree
-                },
-                BatchSize::SmallInput,
-            );
+        bench(&format!("insert_{n}"), || {
+            let mut tree = RadixTree::<Prefix4, u32>::new();
+            for (i, p) in prefixes.iter().enumerate() {
+                tree.insert(*p, i as u32);
+            }
+            tree
         });
     }
-    group.finish();
 }
 
-fn bench_lookups(c: &mut Criterion) {
+fn bench_lookups() {
     let prefixes = random_prefixes(100_000, 2);
     let tree: RadixTree<Prefix4, u32> = prefixes
         .iter()
@@ -45,34 +39,27 @@ fn bench_lookups(c: &mut Criterion) {
         .collect();
     let queries = random_prefixes(1_000, 3);
 
-    let mut group = c.benchmark_group("radix_query");
-    group.bench_function("longest_match_1k", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(tree.longest_match(q));
-            }
-        });
+    group("radix_query");
+    bench("longest_match_1k", || {
+        for q in &queries {
+            black_box(tree.longest_match(q));
+        }
     });
-    group.bench_function("covering_chain_1k", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(tree.covering(q).count());
-            }
-        });
+    bench("covering_chain_1k", || {
+        for q in &queries {
+            black_box(tree.covering(q).count());
+        }
     });
-    group.bench_function("exact_get_1k", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(tree.get(q));
-            }
-        });
+    bench("exact_get_1k", || {
+        for q in &queries {
+            black_box(tree.get(q));
+        }
     });
-    group.bench_function("subtree_slash12", |b| {
-        let root = Prefix4::new_truncated(0, 12);
-        b.iter(|| black_box(tree.subtree(&root).count()));
-    });
-    group.finish();
+    let root = Prefix4::new_truncated(0, 12);
+    bench("subtree_slash12", || black_box(tree.subtree(&root).count()));
 }
 
-criterion_group!(benches, bench_insert, bench_lookups);
-criterion_main!(benches);
+fn main() {
+    bench_insert();
+    bench_lookups();
+}

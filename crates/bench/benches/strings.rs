@@ -1,13 +1,13 @@
-//! Criterion benches comparing the rule-based cleaning pipeline against the
-//! fuzzy baselines the paper evaluated and rejected (§5.3): throughput of
+//! Benches comparing the rule-based cleaning pipeline against the fuzzy
+//! baselines the paper evaluated and rejected (§5.3): throughput of
 //! base-name extraction vs pairwise similarity scoring.
 //!
 //! Beyond speed, the rule-based approach is O(n) in corpus size while any
 //! pairwise fuzzy scheme is O(n²) — the benches make that asymmetry visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use p2o_bench::timing::{bench, group};
 use p2o_strings::baselines::{jaro_winkler, levenshtein_similarity, token_set_ratio};
 use p2o_strings::BaseNameExtractor;
 use p2o_synth::{World, WorldConfig};
@@ -21,46 +21,44 @@ fn corpus() -> Vec<String> {
         .collect()
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let names = corpus();
-    let mut group = c.benchmark_group("name_cleaning");
-    group.bench_function("build_extractor", |b| {
-        b.iter(|| black_box(BaseNameExtractor::build(names.iter(), 100)));
+fn bench_pipeline(names: &[String]) {
+    group("name_cleaning");
+    bench("build_extractor", || {
+        black_box(BaseNameExtractor::build(names.iter(), 100))
     });
     let extractor = BaseNameExtractor::build(names.iter(), 100);
-    group.bench_function("extract_all", |b| {
-        b.iter(|| {
-            for name in &names {
-                black_box(extractor.extract(name));
-            }
-        });
+    bench("extract_all", || {
+        for name in names {
+            black_box(extractor.extract(name));
+        }
     });
-    group.finish();
 }
 
-fn bench_baselines(c: &mut Criterion) {
-    let names = corpus();
+fn bench_baselines(names: &[String]) {
     let sample: Vec<&String> = names.iter().take(100).collect();
-    let mut group = c.benchmark_group("fuzzy_baselines_100x100");
+    group("fuzzy_baselines_100x100");
     for (label, f) in [
-        ("levenshtein", levenshtein_similarity as fn(&str, &str) -> f64),
+        (
+            "levenshtein",
+            levenshtein_similarity as fn(&str, &str) -> f64,
+        ),
         ("jaro_winkler", jaro_winkler as fn(&str, &str) -> f64),
         ("token_set_ratio", token_set_ratio as fn(&str, &str) -> f64),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &f, |b, f| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for a in &sample {
-                    for bn in &sample {
-                        acc += f(a, bn);
-                    }
+        bench(label, || {
+            let mut acc = 0.0;
+            for a in &sample {
+                for bn in &sample {
+                    acc += f(a, bn);
                 }
-                black_box(acc)
-            });
+            }
+            black_box(acc)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_baselines);
-criterion_main!(benches);
+fn main() {
+    let names = corpus();
+    bench_pipeline(&names);
+    bench_baselines(&names);
+}

@@ -1,9 +1,9 @@
-//! Criterion benches for bulk-WHOIS parsing throughput: RPSL, ARIN, and
-//! LACNIC flavours over generated dump text, plus delegation-tree build.
+//! Benches for bulk-WHOIS parsing throughput: RPSL, ARIN, and LACNIC
+//! flavours over generated dump text, plus delegation-tree build.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use p2o_bench::timing::{bench, bench_throughput, group};
 use p2o_synth::{World, WorldConfig};
 use p2o_whois::{Registry, Rir, WhoisDb};
 
@@ -16,44 +16,39 @@ fn dumps() -> Vec<(Registry, String)> {
         .collect()
 }
 
-fn bench_parse(c: &mut Criterion) {
-    let dumps = dumps();
-    let mut group = c.benchmark_group("whois_parse");
-    for (registry, text) in &dumps {
-        let label = format!("{registry}");
-        group.throughput(Throughput::Bytes(text.len() as u64));
-        group.bench_function(&label, |b| {
-            b.iter(|| {
-                let mut db = WhoisDb::new();
-                match registry {
-                    Registry::Rir(Rir::Arin) => db.add_arin(black_box(text)),
-                    Registry::Rir(Rir::Lacnic) => db.add_lacnic(black_box(text), *registry),
-                    reg => db.add_rpsl(black_box(text), *reg),
-                };
-                black_box(db.record_count())
-            });
+fn bench_parse(dumps: &[(Registry, String)]) {
+    group("whois_parse");
+    for (registry, text) in dumps {
+        bench_throughput(&format!("{registry}"), text.len() as u64, || {
+            let mut db = WhoisDb::new();
+            match registry {
+                Registry::Rir(Rir::Arin) => db.add_arin(black_box(text)),
+                Registry::Rir(Rir::Lacnic) => db.add_lacnic(black_box(text), *registry),
+                reg => db.add_rpsl(black_box(text), *reg),
+            };
+            black_box(db.record_count())
         });
     }
-    group.finish();
 }
 
-fn bench_tree_build(c: &mut Criterion) {
-    let dumps = dumps();
-    c.bench_function("whois_tree_build", |b| {
-        b.iter(|| {
-            let mut db = WhoisDb::new();
-            for (registry, text) in &dumps {
-                match registry {
-                    Registry::Rir(Rir::Arin) => db.add_arin(text),
-                    Registry::Rir(Rir::Lacnic) => db.add_lacnic(text, *registry),
-                    reg => db.add_rpsl(text, *reg),
-                };
-            }
-            let (tree, stats) = db.build();
-            black_box((tree.len(), stats))
-        });
+fn bench_tree_build(dumps: &[(Registry, String)]) {
+    group("whois_tree_build");
+    bench("whois_tree_build", || {
+        let mut db = WhoisDb::new();
+        for (registry, text) in dumps {
+            match registry {
+                Registry::Rir(Rir::Arin) => db.add_arin(text),
+                Registry::Rir(Rir::Lacnic) => db.add_lacnic(text, *registry),
+                reg => db.add_rpsl(text, *reg),
+            };
+        }
+        let (tree, stats) = db.build();
+        black_box((tree.len(), stats))
     });
 }
 
-criterion_group!(benches, bench_parse, bench_tree_build);
-criterion_main!(benches);
+fn main() {
+    let dumps = dumps();
+    bench_parse(&dumps);
+    bench_tree_build(&dumps);
+}

@@ -39,7 +39,12 @@ fn main() {
         })
         .collect();
     p2o_bench::print_table(
-        &["Cluster", "Prefixes", "IPv4 addresses", "Distinct origin ASNs"],
+        &[
+            "Cluster",
+            "Prefixes",
+            "IPv4 addresses",
+            "Distinct origin ASNs",
+        ],
         &rows,
     );
 

@@ -34,7 +34,10 @@ fn main() {
             get(&as2org),
         ]);
     }
-    p2o_bench::print_table(&["k", "WHOIS OrgNames", "Prefix2Org", "AS2Org+siblings"], &rows);
+    p2o_bench::print_table(
+        &["k", "WHOIS OrgNames", "Prefix2Org", "AS2Org+siblings"],
+        &rows,
+    );
 
     let last = |c: &prefix2org::analytics::TopClusterCurve| {
         c.space_fraction.last().copied().unwrap_or(0.0)

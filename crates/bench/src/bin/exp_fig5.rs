@@ -32,11 +32,13 @@ fn main() {
             get(&as2org),
         ]);
     }
-    p2o_bench::print_table(&["k", "WHOIS OrgNames", "Prefix2Org", "AS2Org+siblings"], &rows);
+    p2o_bench::print_table(
+        &["k", "WHOIS OrgNames", "Prefix2Org", "AS2Org+siblings"],
+        &rows,
+    );
 
-    let last = |c: &prefix2org::analytics::TopClusterCurve| {
-        c.unique_names.last().copied().unwrap_or(0)
-    };
+    let last =
+        |c: &prefix2org::analytics::TopClusterCurve| c.unique_names.last().copied().unwrap_or(0);
     println!(
         "\nTop-100 unique names: WHOIS {} (identity), Prefix2Org {}, AS2Org {}",
         last(&whois),

@@ -44,8 +44,7 @@ fn main() {
         .orgs_of_kind(OrgKind::Leasing)
         .map(|o| o.base.as_str())
         .collect();
-    let is_lessor =
-        |label: &str| lessor_bases.iter().any(|b| label.starts_with(b));
+    let is_lessor = |label: &str| lessor_bases.iter().any(|b| label.starts_with(b));
     let detected: Vec<&str> = candidates.iter().map(|c| c.label.as_str()).collect();
     let found = lessor_bases
         .iter()

@@ -26,9 +26,18 @@ fn main() {
         vec!["Original".to_string(), funnel.original.to_string()],
         vec!["Basic Cleaning".to_string(), funnel.basic.to_string()],
         vec!["Regex drop".to_string(), funnel.regex.to_string()],
-        vec!["Corporate words drop".to_string(), funnel.corporate.to_string()],
-        vec!["Frequent words drop".to_string(), funnel.frequent.to_string()],
-        vec!["Geographic words drop".to_string(), funnel.geographic.to_string()],
+        vec![
+            "Corporate words drop".to_string(),
+            funnel.corporate.to_string(),
+        ],
+        vec![
+            "Frequent words drop".to_string(),
+            funnel.frequent.to_string(),
+        ],
+        vec![
+            "Geographic words drop".to_string(),
+            funnel.geographic.to_string(),
+        ],
         vec![
             "Refilling words with length <= 3".to_string(),
             funnel.base.to_string(),

@@ -109,7 +109,12 @@ fn main() {
         .collect();
     p2o_bench::print_table(
         &[
-            "No.", "Prefix", "Direct Owner", "Base Name", "RPKI Cluster", "ASN Cluster",
+            "No.",
+            "Prefix",
+            "Direct Owner",
+            "Base Name",
+            "RPKI Cluster",
+            "ASN Cluster",
             "Final Cluster",
         ],
         &rows,
@@ -117,7 +122,10 @@ fn main() {
 
     // The paper's claims, asserted:
     let c: Vec<_> = out.info.iter().map(|i| i.cluster).collect();
-    assert!(c[0] == c[1] && c[1] == c[2] && c[2] == c[3], "Verizon must merge");
+    assert!(
+        c[0] == c[1] && c[1] == c[2] && c[2] == c[3],
+        "Verizon must merge"
+    );
     assert!(c[4] == c[5], "Fastly Inc prefixes must merge");
     assert!(c[6] != c[4], "Fastly Network Solution must stay separate");
     println!("\nP1-P4 merged; P5/P6 merged; P7 separate — matches the paper.");

@@ -15,10 +15,16 @@ fn main() {
         vec!["IPv4 Prefixes".into(), m.ipv4_prefixes.to_string()],
         vec!["IPv6 Prefixes".into(), m.ipv6_prefixes.to_string()],
         vec!["Direct Owners".into(), m.direct_owners.to_string()],
-        vec!["Delegated Customers".into(), m.delegated_customers.to_string()],
+        vec![
+            "Delegated Customers".into(),
+            m.delegated_customers.to_string(),
+        ],
         vec!["Base Names".into(), m.base_names.to_string()],
         vec!["Origin ASN".into(), m.origin_asns.to_string()],
-        vec!["Prefix RPKI Groups".into(), m.prefix_rpki_groups.to_string()],
+        vec![
+            "Prefix RPKI Groups".into(),
+            m.prefix_rpki_groups.to_string(),
+        ],
         vec!["Prefix ASN Groups".into(), m.prefix_asn_groups.to_string()],
         vec!["Base Cluster".into(), m.direct_owners.to_string()],
         vec![
@@ -50,7 +56,9 @@ fn main() {
     p2o_bench::print_table(&["Metric", "Count"], &rows);
 
     let coverage = 100.0 * dataset.len() as f64 / built.routes.len() as f64;
-    println!("\nCoverage: {coverage:.2}% of routed prefixes mapped (paper: 99.96% IPv4 / 99.99% IPv6)");
+    println!(
+        "\nCoverage: {coverage:.2}% of routed prefixes mapped (paper: 99.96% IPv4 / 99.99% IPv6)"
+    );
     println!(
         "Prefixes in member Resource Certificates: {:.1}% (paper: 88% IPv4 / 96.7% IPv6)",
         m.pct_prefixes_rpki_covered

@@ -32,7 +32,12 @@ fn main() {
         }
         rows.push(vec![
             list.org_name.clone(),
-            if list.exhaustive { "exhaustive" } else { "public" }.to_string(),
+            if list.exhaustive {
+                "exhaustive"
+            } else {
+                "public"
+            }
+            .to_string(),
             v.true_prefixes.to_string(),
             v.predicted_prefixes.to_string(),
             v.true_positives.to_string(),
@@ -71,7 +76,15 @@ fn main() {
     ]);
     p2o_bench::print_table(
         &[
-            "Organization", "List", "True", "Pred", "TP", "FP", "FN", "Precision", "Recall",
+            "Organization",
+            "List",
+            "True",
+            "Pred",
+            "TP",
+            "FP",
+            "FN",
+            "Precision",
+            "Recall",
         ],
         &rows,
     );

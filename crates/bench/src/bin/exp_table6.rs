@@ -65,8 +65,20 @@ fn main() {
         p2o_bench::pct(report.recall()),
     ]);
     p2o_bench::print_table(
-        &["Organization", "True", "Pred", "TP", "FP", "FN", "Precision", "Recall"],
+        &[
+            "Organization",
+            "True",
+            "Pred",
+            "TP",
+            "FP",
+            "FN",
+            "Precision",
+            "Recall",
+        ],
         &rows,
     );
-    println!("\nOverall IPv6 recall: {:.2}% (paper: 99.31%)", report.recall());
+    println!(
+        "\nOverall IPv6 recall: {:.2}% (paper: 99.31%)",
+        report.recall()
+    );
 }

@@ -20,7 +20,13 @@ fn main() {
         if org.asns.is_empty() {
             continue;
         }
-        let row = roa_coverage(&dataset, &built.routes, &built.rpki, org.hq_name(), &org.asns);
+        let row = roa_coverage(
+            &dataset,
+            &built.routes,
+            &built.rpki,
+            org.hq_name(),
+            &org.asns,
+        );
         if row.origin_prefixes < 3 {
             continue;
         }
@@ -31,7 +37,11 @@ fn main() {
     // disparity, the table's top half), and ASes originating well-covered
     // space they do not own — leased/lessor-ROA'd space (negative, bottom
     // half).
-    rows_data.sort_by(|a, b| b.1.disparity().partial_cmp(&a.1.disparity()).expect("finite"));
+    rows_data.sort_by(|a, b| {
+        b.1.disparity()
+            .partial_cmp(&a.1.disparity())
+            .expect("finite")
+    });
     let positives: Vec<_> = rows_data.iter().take(10).cloned().collect();
     let mut negatives: Vec<_> = rows_data.iter().rev().take(5).cloned().collect();
     negatives.reverse();
@@ -69,16 +79,23 @@ fn main() {
 
     // Aggregate view per archetype.
     println!("\nPer-archetype means:");
-    for kind in [OrgKind::Carrier, OrgKind::Isp, OrgKind::Leasing, OrgKind::Cloud] {
+    for kind in [
+        OrgKind::Carrier,
+        OrgKind::Isp,
+        OrgKind::Leasing,
+        OrgKind::Cloud,
+    ] {
         let subset: Vec<_> = rows_data.iter().filter(|(k, _)| *k == kind).collect();
         if subset.is_empty() {
             continue;
         }
-        let own: f64 =
-            subset.iter().map(|(_, r)| r.own_pct()).sum::<f64>() / subset.len() as f64;
+        let own: f64 = subset.iter().map(|(_, r)| r.own_pct()).sum::<f64>() / subset.len() as f64;
         let origin: f64 =
             subset.iter().map(|(_, r)| r.origin_pct()).sum::<f64>() / subset.len() as f64;
-        println!("  {kind:?}: own {own:.1}% vs origin {origin:.1}% over {} orgs", subset.len());
+        println!(
+            "  {kind:?}: own {own:.1}% vs origin {origin:.1}% over {} orgs",
+            subset.len()
+        );
     }
     println!("\nPaper shape: adopters' own-view ~100% while AS-centric view is 20-55%.");
 }

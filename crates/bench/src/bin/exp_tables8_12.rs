@@ -62,12 +62,23 @@ fn main() {
                 blocks.to_string(),
                 with.to_string(),
                 format!("{:.0}%", 100.0 * with as f64 / blocks.max(1) as f64),
-                if t.rights().sub_delegation { "yes" } else { "no" }.to_string(),
+                if t.rights().sub_delegation {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]
         })
         .collect();
     p2o_bench::print_table(
-        &["Allocation Type", "Blocks", "Re-delegating", "Rate", "R2 (encoded)"],
+        &[
+            "Allocation Type",
+            "Blocks",
+            "Re-delegating",
+            "Rate",
+            "R2 (encoded)",
+        ],
         &rows,
     );
     // Terminal assignment types must show (near-)zero observed

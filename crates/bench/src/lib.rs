@@ -8,7 +8,7 @@
 //! comparison.
 
 use p2o_synth::{BuiltInputs, World, WorldConfig};
-use prefix2org::{Pipeline, Prefix2OrgDataset, PipelineInputs};
+use prefix2org::{Pipeline, PipelineInputs, Prefix2OrgDataset};
 
 /// The fixed seed all experiments share.
 pub const STANDARD_SEED: u64 = 0x20240901;
@@ -57,7 +57,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", out.trim_end());
     };
     line(headers.iter().map(|h| h.to_string()).collect());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         line(row.clone());
     }
@@ -68,12 +71,79 @@ pub fn pct(x: f64) -> String {
     format!("{x:.2}")
 }
 
+pub mod timing {
+    //! A minimal wall-clock bench harness for the `[[bench]]` targets
+    //! (`harness = false`; no bench framework offline).
+    //!
+    //! Each case warms up, then repeats until a time budget is spent and
+    //! prints mean wall time per iteration. `P2O_BENCH_MS` overrides the
+    //! per-case budget (milliseconds) — set it to `1` for a smoke run.
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    fn budget() -> Duration {
+        let ms = std::env::var("P2O_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Duration::from_millis(ms.max(1))
+    }
+
+    fn human_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+
+    /// Times `f` and prints `label  <iters> iters  <mean>/iter`. Returns the
+    /// mean nanoseconds per iteration.
+    pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> f64 {
+        black_box(f());
+        let budget = budget();
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while (spent < budget && started.elapsed() < budget * 4) || iters == 0 {
+            let t = Instant::now();
+            black_box(f());
+            spent += t.elapsed();
+            iters += 1;
+        }
+        let per = spent.as_nanos() as f64 / iters as f64;
+        println!("{label:<44} {iters:>7} iters  {:>12}/iter", human_ns(per));
+        per
+    }
+
+    /// [`bench`] plus a MB/s throughput column derived from `bytes` of input
+    /// processed per iteration.
+    pub fn bench_throughput<T>(label: &str, bytes: u64, f: impl FnMut() -> T) {
+        let per_ns = bench(label, f);
+        if per_ns > 0.0 {
+            let mbps = bytes as f64 / (per_ns / 1e9) / 1e6;
+            println!("{:<44} {mbps:>28.1} MB/s", format!("{label} (throughput)"));
+        }
+    }
+
+    /// Prints a group heading.
+    pub fn group(name: &str) {
+        println!("\n=== {name} ===");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn standard_world_builds() {
         // Smoke: the shared fixture the binaries depend on stays healthy.
-        let (_, built, dataset) = super::world_at(p2o_synth::WorldConfig::tiny(super::STANDARD_SEED));
+        let (_, built, dataset) =
+            super::world_at(p2o_synth::WorldConfig::tiny(super::STANDARD_SEED));
         assert!(!dataset.is_empty());
         assert!(built.routes.len() >= dataset.len());
     }

@@ -102,9 +102,7 @@ impl AsPath {
     pub fn origin_asns(&self) -> Vec<u32> {
         match self.segments.last() {
             None => Vec::new(),
-            Some(AsPathSegment::Sequence(seq)) => {
-                seq.last().map(|&a| vec![a]).unwrap_or_default()
-            }
+            Some(AsPathSegment::Sequence(seq)) => seq.last().map(|&a| vec![a]).unwrap_or_default(),
             Some(AsPathSegment::Set(set)) => set.clone(),
         }
     }
@@ -284,7 +282,7 @@ fn put_attr(out: &mut BytesMut, flags: u8, type_code: u8, value: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use p2o_util::check::run_cases;
 
     #[test]
     fn origin_extraction_sequence() {
@@ -382,27 +380,23 @@ mod tests {
         assert!(PathAttributes::decode(out.freeze()).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn round_trip_random_paths(
-            segs in proptest::collection::vec(
-                (any::<bool>(), proptest::collection::vec(any::<u32>(), 1..10)),
-                0..5
-            ),
-            next_hop in any::<u32>(),
-        ) {
+    #[test]
+    fn round_trip_random_paths() {
+        run_cases(256, |g| {
             let path = AsPath {
-                segments: segs
-                    .into_iter()
-                    .map(|(is_set, asns)| if is_set {
-                        AsPathSegment::Set(asns)
-                    } else {
-                        AsPathSegment::Sequence(asns)
+                segments: (0..g.below(5))
+                    .map(|_| {
+                        let asns: Vec<u32> = (0..g.range(1, 9)).map(|_| g.u32()).collect();
+                        if g.bool() {
+                            AsPathSegment::Set(asns)
+                        } else {
+                            AsPathSegment::Sequence(asns)
+                        }
                     })
                     .collect(),
             };
-            let attrs = PathAttributes::ebgp(path, next_hop);
-            prop_assert_eq!(PathAttributes::decode(attrs.encode()).unwrap(), attrs);
-        }
+            let attrs = PathAttributes::ebgp(path, g.u32());
+            assert_eq!(PathAttributes::decode(attrs.encode()).unwrap(), attrs);
+        });
     }
 }

@@ -11,7 +11,7 @@
 use bytes::{Buf, Bytes, BytesMut};
 
 use crate::table::RouteTable;
-use crate::update::{UpdateMessage, UpdateError};
+use crate::update::{UpdateError, UpdateMessage};
 
 /// An incremental BGP message stream processor.
 ///
@@ -86,8 +86,7 @@ impl Collector {
             if self.buffer.len() < HEADER_LEN {
                 return;
             }
-            let declared =
-                u16::from_be_bytes([self.buffer[16], self.buffer[17]]) as usize;
+            let declared = u16::from_be_bytes([self.buffer[16], self.buffer[17]]) as usize;
             if !(HEADER_LEN..=MAX_MESSAGE).contains(&declared) {
                 // Unrecoverable framing damage: resynchronize by scanning for
                 // the next marker-looking position.

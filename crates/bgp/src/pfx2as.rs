@@ -49,8 +49,7 @@ pub fn parse(text: &str) -> (RouteTable, Vec<String>) {
             continue;
         }
         let mut fields = line.split('\t');
-        let (Some(addr), Some(len), Some(origins)) =
-            (fields.next(), fields.next(), fields.next())
+        let (Some(addr), Some(len), Some(origins)) = (fields.next(), fields.next(), fields.next())
         else {
             problems.push(format!("line {}: expected 3 tab-separated fields", idx + 1));
             continue;

@@ -13,7 +13,7 @@ use crate::update::UpdateMessage;
 /// origins, after dropping prefixes less specific than /8 (IPv4) and /16
 /// (IPv6), "since no such IP delegations have been made by RIRs". Prefixes
 /// can have multiple origins (MOAS); all are kept.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RouteTable {
     routes: BTreeMap<Prefix, BTreeSet<u32>>,
     filtered: usize,
@@ -59,6 +59,27 @@ impl RouteTable {
         while let Some(record) = reader.next_rib()? {
             table.add_rib_record(&record);
         }
+        Ok(table)
+    }
+
+    /// Builds a table from a binary MRT dump with observability: ticks the
+    /// reader's `mrt.*` counters and records a `bgp.parse` stage whose item
+    /// count is the number of RIB records.
+    pub fn from_mrt_instrumented(
+        data: bytes::Bytes,
+        obs: &p2o_obs::Obs,
+    ) -> Result<Self, MrtParseError> {
+        let mut timer = obs.stage("bgp.parse");
+        let mut reader = MrtReader::new(data)?;
+        reader.instrument(obs);
+        let mut table = RouteTable::new();
+        let mut records = 0u64;
+        while let Some(record) = reader.next_rib()? {
+            table.add_rib_record(&record);
+            records += 1;
+        }
+        timer.items(records);
+        timer.finish();
         Ok(table)
     }
 
@@ -165,12 +186,18 @@ mod tests {
         t.add_route(p("203.0.113.0/24"), 64513);
         t.add_route(p("203.0.113.0/24"), 64512);
         let origins = t.origins(&p("203.0.113.0/24")).unwrap();
-        assert_eq!(origins.iter().copied().collect::<Vec<_>>(), vec![64512, 64513]);
+        assert_eq!(
+            origins.iter().copied().collect::<Vec<_>>(),
+            vec![64512, 64513]
+        );
     }
 
     #[test]
     fn from_mrt_end_to_end() {
-        let peers = vec![PeerEntry { bgp_id: 1, asn: 3356 }];
+        let peers = vec![PeerEntry {
+            bgp_id: 1,
+            asn: 3356,
+        }];
         let mut w = MrtWriter::new(0, 1, &peers);
         w.push(
             p("203.0.113.0/24"),
@@ -200,7 +227,10 @@ mod tests {
     fn apply_update_announce_and_withdraw() {
         let mut t = RouteTable::new();
         let attrs = PathAttributes::ebgp(AsPath::sequence(vec![1, 2, 64512]), 0);
-        t.apply_update(&UpdateMessage::announce(vec![p("10.0.0.0/8")], attrs.clone()));
+        t.apply_update(&UpdateMessage::announce(
+            vec![p("10.0.0.0/8")],
+            attrs.clone(),
+        ));
         assert!(t.contains(&p("10.0.0.0/8")));
         let withdraw = UpdateMessage {
             withdrawn: vec![p("10.0.0.0/8")],

@@ -24,7 +24,10 @@ pub fn generate(args: &Parsed) -> Result<(), String> {
     }
     .with_transfers(transfers);
 
-    eprintln!("generating world (seed {seed:#x}, {} orgs)...", config.total_orgs());
+    eprintln!(
+        "generating world (seed {seed:#x}, {} orgs)...",
+        config.total_orgs()
+    );
     let world = World::generate(config);
     store::write_world(&world, out)?;
     println!(
@@ -43,8 +46,10 @@ pub fn build(args: &Parsed) -> Result<(), String> {
     let dir = Path::new(args.require("in")?);
     let out = Path::new(args.require("out")?);
     let threads = args.get_num::<usize>("threads")?.unwrap_or(4);
+    let report_path = args.get("report");
+    let obs = report_path.map(|_| p2o_obs::Obs::new());
 
-    let inputs = store::load_inputs(dir)?;
+    let inputs = store::load_inputs_with(dir, obs.as_ref())?;
     // The paper's §4.1 footnote check against the delegation files, when
     // present: no delegation larger than /8 (IPv4) or /16 (IPv6).
     let delegated_dir = dir.join("delegated");
@@ -81,14 +86,27 @@ pub fn build(args: &Parsed) -> Result<(), String> {
         inputs.routes.len(),
         inputs.snapshot_date,
     );
-    let dataset = Pipeline::with_threads(threads).run(&PipelineInputs {
+    let pipeline = Pipeline::with_threads(threads);
+    let pipeline_inputs = PipelineInputs {
         delegations: &inputs.tree,
         routes: &inputs.routes,
         asn_clusters: &inputs.clusters,
         rpki: &inputs.rpki,
-    });
+    };
+    let dataset = match &obs {
+        Some(o) => pipeline.run_with_obs(&pipeline_inputs, o),
+        None => pipeline.run(&pipeline_inputs),
+    };
     fs::write(out, prefix2org::to_jsonl(&dataset))
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
+
+    if let (Some(o), Some(path)) = (&obs, report_path) {
+        let report = o.report();
+        fs::write(path, report.to_json_string())
+            .map_err(|e| format!("writing report {path}: {e}"))?;
+        eprint!("{}", report.summary_table());
+        eprintln!("run report written to {path}");
+    }
 
     let m = dataset.metrics();
     println!("dataset: {} prefixes -> {}", dataset.len(), out.display());
@@ -109,8 +127,7 @@ pub fn build(args: &Parsed) -> Result<(), String> {
 }
 
 fn load_dataset(path: &str) -> Result<Vec<ExportRecord>, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     prefix2org::from_jsonl(&text)
 }
 
@@ -168,7 +185,12 @@ pub fn org(args: &Parsed) -> Result<(), String> {
     for cluster in clusters {
         println!("{cluster}:");
         for rec in records.iter().filter(|r| r.final_cluster == cluster) {
-            println!("  {}  {} [{}]", rec.prefix, rec.direct_owner, rec.do_alloc.keyword());
+            println!(
+                "  {}  {} [{}]",
+                rec.prefix,
+                rec.direct_owner,
+                rec.do_alloc.keyword()
+            );
         }
     }
     Ok(())
@@ -245,7 +267,10 @@ pub fn diff(args: &Parsed) -> Result<(), String> {
         delta.customer_changes.len()
     );
     for change in delta.owner_changes.iter().take(20) {
-        println!("  transfer {}: {} -> {}", change.prefix, change.from, change.to);
+        println!(
+            "  transfer {}: {} -> {}",
+            change.prefix, change.from, change.to
+        );
     }
     if delta.owner_changes.len() > 20 {
         println!("  ... {} more", delta.owner_changes.len() - 20);
@@ -269,7 +294,10 @@ pub fn validate(args: &Parsed) -> Result<(), String> {
     let mut owners: std::collections::HashMap<Prefix, &ExportRecord> =
         std::collections::HashMap::new();
     for rec in &records {
-        by_cluster.entry(&rec.final_cluster).or_default().push(rec.prefix);
+        by_cluster
+            .entry(&rec.final_cluster)
+            .or_default()
+            .push(rec.prefix);
         owners.insert(rec.prefix, rec);
     }
     let predicted_for = |org_name: &str| -> Vec<Prefix> {
@@ -317,9 +345,17 @@ pub fn validate(args: &Parsed) -> Result<(), String> {
                 .iter()
                 .filter(|t| !predicted.iter().any(|p| t.contains(p) || p.contains(t)))
                 .count();
-            let precision = if tp + fp == 0 { 100.0 } else { 100.0 * tp as f64 / (tp + fp) as f64 };
+            let precision = if tp + fp == 0 {
+                100.0
+            } else {
+                100.0 * tp as f64 / (tp + fp) as f64
+            };
             let recall = 100.0 * (truth.len() - fnn) as f64 / truth.len() as f64;
-            let kind = if list.exhaustive { "exhaustive" } else { "public" };
+            let kind = if list.exhaustive {
+                "exhaustive"
+            } else {
+                "public"
+            };
             println!(
                 "{:<40} {:>5} {:>5} {:>5} {:>5} {:>5} {:>9.2} {:>7.2}",
                 format!("{} ({family}, {kind})", list.org_name),

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
-//! prefix2org build    --in DIR --out FILE.jsonl [--threads N]
+//! prefix2org build    --in DIR --out FILE.jsonl [--threads N] [--report RUN.json]
 //! prefix2org lookup   --dataset FILE.jsonl PREFIX...
 //! prefix2org stats    --dataset FILE.jsonl
 //! prefix2org org      --dataset FILE.jsonl NAME
@@ -66,9 +66,11 @@ USAGE:
       Materialize a synthetic Internet: WHOIS bulk dumps (native formats),
       an MRT RIB snapshot, AS2Org + sibling TSVs, RPKI objects, ground truth.
 
-  prefix2org build --in DIR --out FILE.jsonl [--threads N]
+  prefix2org build --in DIR --out FILE.jsonl [--threads N] [--report RUN.json]
       Parse a generated (or compatible) directory and run the full pipeline;
       write the per-prefix dataset as JSON Lines and print Table-4 metrics.
+      --report writes a JSON run report (per-stage wall times, counters,
+      histograms) and prints its summary table to stderr.
 
   prefix2org lookup --dataset FILE.jsonl PREFIX...
       Longest-match lookup of prefixes in a built snapshot.

@@ -102,7 +102,10 @@ pub fn write_world(world: &World, dir: &Path) -> Result<(), String> {
     fs::write(&path, tsv::write_rows(&rows)).map_err(|e| io_err("writing", &path, e))?;
 
     let meta = vec![
-        vec!["snapshot_date".to_string(), world.config.snapshot_date.to_string()],
+        vec![
+            "snapshot_date".to_string(),
+            world.config.snapshot_date.to_string(),
+        ],
         vec!["seed".to_string(), world.config.seed.to_string()],
         vec!["transfers".to_string(), world.config.transfers.to_string()],
     ];
@@ -143,6 +146,13 @@ pub struct LoadedInputs {
 
 /// Loads and parses a snapshot directory through the real substrate paths.
 pub fn load_inputs(dir: &Path) -> Result<LoadedInputs, String> {
+    load_inputs_with(dir, None)
+}
+
+/// [`load_inputs`] with optional observability: when `obs` is given, the
+/// WHOIS and MRT parsers tick their `whois.*` / `mrt.*` / `bgp.parse`
+/// counters and stages into it.
+pub fn load_inputs_with(dir: &Path, obs: Option<&p2o_obs::Obs>) -> Result<LoadedInputs, String> {
     let read = |path: PathBuf| -> Result<String, String> {
         fs::read_to_string(&path).map_err(|e| io_err("reading", &path, e))
     };
@@ -163,6 +173,9 @@ pub fn load_inputs(dir: &Path) -> Result<LoadedInputs, String> {
     // parser.
     let whois_dir = dir.join("whois");
     let mut db = WhoisDb::new();
+    if let Some(o) = obs {
+        db.instrument(o);
+    }
     let mut entries: Vec<PathBuf> = fs::read_dir(&whois_dir)
         .map_err(|e| io_err("listing", &whois_dir, e))?
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -205,7 +218,12 @@ pub fn load_inputs(dir: &Path) -> Result<LoadedInputs, String> {
     // BGP.
     let path = dir.join("rib.mrt");
     let mrt = fs::read(&path).map_err(|e| io_err("reading", &path, e))?;
-    let routes = RouteTable::from_mrt(bytes::Bytes::from(mrt)).map_err(|e| e.to_string())?;
+    let mrt = bytes::Bytes::from(mrt);
+    let routes = match obs {
+        Some(o) => RouteTable::from_mrt_instrumented(mrt, o),
+        None => RouteTable::from_mrt(mrt),
+    }
+    .map_err(|e| e.to_string())?;
 
     // AS2Org + siblings.
     let mut as2org = p2o_as2org::As2OrgDb::new();

@@ -36,7 +36,9 @@ fn temp_dir(name: &str) -> PathBuf {
 fn generate_and_build(dir: &Path, transfers: Option<&str>) -> PathBuf {
     let dataset = dir.join("dataset.jsonl");
     let dir_s = dir.to_str().unwrap();
-    let mut args = vec!["generate", "--out", dir_s, "--scale", "tiny", "--seed", "99"];
+    let mut args = vec![
+        "generate", "--out", dir_s, "--scale", "tiny", "--seed", "99",
+    ];
     if let Some(t) = transfers {
         args.extend_from_slice(&["--transfers", t]);
     }
@@ -66,16 +68,29 @@ fn generate_build_lookup_org_validate() {
     assert!(dir.join("whois").join("ARIN.txt").exists());
 
     // Lookup: a covered address resolves, a bogus one reports cleanly.
-    let out = run_ok(&["lookup", "--dataset", dataset, "63.0.0.1/32", "198.51.100.0/24"]);
+    let out = run_ok(&[
+        "lookup",
+        "--dataset",
+        dataset,
+        "63.0.0.1/32",
+        "198.51.100.0/24",
+    ]);
     assert!(out.contains("Direct Owner"), "{out}");
     assert!(out.contains("no covering routed prefix"), "{out}");
 
     // Org query: grab an owner name from the dataset itself.
     let text = std::fs::read_to_string(dataset).unwrap();
-    let first: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
-    let owner = first["direct_owner"].as_str().unwrap();
+    let first = p2o_util::Json::parse(text.lines().next().unwrap()).unwrap();
+    let owner = first
+        .get("direct_owner")
+        .and_then(p2o_util::Json::as_str)
+        .unwrap();
     let out = run_ok(&["org", "--dataset", dataset, owner]);
-    assert!(out.contains(first["prefix"].as_str().unwrap()), "{out}");
+    let prefix = first
+        .get("prefix")
+        .and_then(p2o_util::Json::as_str)
+        .unwrap();
+    assert!(out.contains(prefix), "{out}");
 
     // Stats summary.
     let out = run_ok(&["stats", "--dataset", dataset]);
@@ -83,9 +98,71 @@ fn generate_build_lookup_org_validate() {
     assert!(out.contains("per registry"), "{out}");
 
     // Validate against the generated ground truth: total recall line.
-    let out = run_ok(&["validate", "--in", dir.to_str().unwrap(), "--dataset", dataset]);
+    let out = run_ok(&[
+        "validate",
+        "--in",
+        dir.to_str().unwrap(),
+        "--dataset",
+        dataset,
+    ]);
     assert!(out.contains("Total"), "{out}");
     assert!(out.lines().count() > 3);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn build_report_emits_run_report() {
+    let dir = temp_dir("report");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&["generate", "--out", dir_s, "--scale", "tiny", "--seed", "7"]);
+    let dataset = dir.join("dataset.jsonl");
+    let report = dir.join("run.json");
+    let out = run(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        dataset.to_str().unwrap(),
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // The report file is a valid RunReport with stages and counters.
+    let text = std::fs::read_to_string(&report).unwrap();
+    let doc = p2o_util::Json::parse(&text).unwrap();
+    let parsed = p2o_obs::RunReport::from_json(&doc).unwrap();
+    assert!(!parsed.stages.is_empty(), "report has no stages");
+    for stage in [
+        "whois.build",
+        "bgp.parse",
+        "pipeline.resolve",
+        "pipeline.cluster",
+    ] {
+        let s = parsed
+            .stage(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert!(s.wall_ns > 0, "stage {stage} has no wall time");
+    }
+    assert!(
+        parsed.counters.len() >= 10,
+        "expected >= 10 counters, got {}",
+        parsed.counters.len()
+    );
+    assert!(parsed.counter("whois.records").unwrap() > 0);
+    assert!(parsed.counter("mrt.entries").unwrap() > 0);
+    assert_eq!(
+        parsed.counter("pipeline.resolved").unwrap()
+            + parsed.counter("pipeline.unresolved").unwrap(),
+        parsed.counter("pipeline.routed_prefixes").unwrap()
+    );
+
+    // The stderr summary table lists the stages and counters.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stages"), "{stderr}");
+    assert!(stderr.contains("pipeline.resolve"), "{stderr}");
+    assert!(stderr.contains("whois.records"), "{stderr}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -136,7 +136,11 @@ pub fn top_clusters(dataset: &Prefix2OrgDataset, k: usize) -> Vec<TopCluster> {
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.v4_addresses.cmp(&a.v4_addresses).then(a.label.cmp(&b.label)));
+    rows.sort_by(|a, b| {
+        b.v4_addresses
+            .cmp(&a.v4_addresses)
+            .then(a.label.cmp(&b.label))
+    });
     rows.truncate(k);
     rows
 }
@@ -201,7 +205,11 @@ pub struct NoAsnReport {
 /// Identifies organizations absent from AS2Org (§8.1): a final cluster is
 /// "without ASN" when none of its WHOIS names appears (basic-cleaned) among
 /// AS2Org organization names.
-pub fn orgs_without_asn(dataset: &Prefix2OrgDataset, as2org: &As2OrgDb, top_k: usize) -> NoAsnReport {
+pub fn orgs_without_asn(
+    dataset: &Prefix2OrgDataset,
+    as2org: &As2OrgDb,
+    top_k: usize,
+) -> NoAsnReport {
     let known: HashSet<String> = as2org.all_org_names().map(basic_clean).collect();
     let mut total_orgs = 0usize;
     let mut without = 0usize;
@@ -293,18 +301,17 @@ mod tests {
     fn dataset(records: Vec<OwnershipRecord>, routes: &RouteTable) -> Prefix2OrgDataset {
         let clusters = p2o_as2org::As2OrgDb::new().cluster();
         let (rpki, _) = RpkiRepository::new().validate(20240901);
-        let clustering = Clusterer::new(ClusterOptions::default()).cluster(
-            &records, routes, &clusters, &rpki,
-        );
+        let clustering =
+            Clusterer::new(ClusterOptions::default()).cluster(&records, routes, &clusters, &rpki);
         Prefix2OrgDataset::assemble(records, clustering, 0, 4)
     }
 
     fn fixture() -> Prefix2OrgDataset {
         let records = vec![
-            rec("10.0.0.0/8", "Big Carrier Inc"),     // 2^24 addrs
-            rec("20.0.0.0/16", "Mid Corp"),           // 2^16
-            rec("30.0.0.0/24", "Small LLC"),          // 2^8
-            rec("2001:db8::/32", "Big Carrier Inc"),  // v6
+            rec("10.0.0.0/8", "Big Carrier Inc"),    // 2^24 addrs
+            rec("20.0.0.0/16", "Mid Corp"),          // 2^16
+            rec("30.0.0.0/24", "Small LLC"),         // 2^8
+            rec("2001:db8::/32", "Big Carrier Inc"), // v6
         ];
         let mut routes = RouteTable::new();
         routes.add_route(p("10.0.0.0/8"), 100);
@@ -319,7 +326,7 @@ mod tests {
         let ds = fixture();
         let curve = top_cluster_curve(&ds, GroupingMethod::Prefix2Org, 10);
         assert_eq!(curve.space_fraction.len(), 3); // 3 clusters
-        // Monotone non-decreasing, ends at 1.0 (all space covered).
+                                                   // Monotone non-decreasing, ends at 1.0 (all space covered).
         for w in curve.space_fraction.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -346,7 +353,10 @@ mod tests {
     fn as2org_method_overaggregates_customer_prefixes() {
         // Two different orgs' prefixes originated by the same ASN: the
         // AS2Org method lumps them; Prefix2Org keeps them apart.
-        let records = vec![rec("10.0.0.0/8", "Carrier"), rec("20.0.0.0/8", "Customer Co")];
+        let records = vec![
+            rec("10.0.0.0/8", "Carrier"),
+            rec("20.0.0.0/8", "Customer Co"),
+        ];
         let mut routes = RouteTable::new();
         routes.add_route(p("10.0.0.0/8"), 100);
         routes.add_route(p("20.0.0.0/8"), 100); // same origin!

@@ -326,20 +326,15 @@ mod tests {
         }
     }
 
-    fn table3_fixture() -> (
-        Vec<OwnershipRecord>,
-        RouteTable,
-        AsnClusters,
-        ValidatedRepo,
-    ) {
+    fn table3_fixture() -> (Vec<OwnershipRecord>, RouteTable, AsnClusters, ValidatedRepo) {
         let records = vec![
-            rec("210.80.198.0/24", "Verizon Japan Ltd"),       // P1
-            rec("2404:e8:100::/40", "Verizon Asia Pte Ltd"),   // P2
-            rec("203.193.92.0/24", "Verizon Hong Kong Ltd"),   // P3
-            rec("65.196.14.0/24", "Verizon Business"),         // P4
-            rec("2a04:4e40:8440::/48", "Fastly, Inc."),        // P5
-            rec("172.111.123.0/24", "Fastly, Inc."),           // P6
-            rec("103.186.154.0/24", "Fastly Network Solution"),// P7
+            rec("210.80.198.0/24", "Verizon Japan Ltd"),        // P1
+            rec("2404:e8:100::/40", "Verizon Asia Pte Ltd"),    // P2
+            rec("203.193.92.0/24", "Verizon Hong Kong Ltd"),    // P3
+            rec("65.196.14.0/24", "Verizon Business"),          // P4
+            rec("2a04:4e40:8440::/48", "Fastly, Inc."),         // P5
+            rec("172.111.123.0/24", "Fastly, Inc."),            // P6
+            rec("103.186.154.0/24", "Fastly Network Solution"), // P7
         ];
 
         let mut routes = RouteTable::new();
@@ -362,7 +357,8 @@ mod tests {
         let ta = repo.issue_trust_anchor("IANA", everything, 20200101, 20991231);
         let mut issue = |prefixes: &[&str], subject: &str| {
             let rs: IpResourceSet = prefixes.iter().map(|s| p(s)).collect();
-            repo.issue_cert(ta, subject, rs, 20200101, 20991231).unwrap()
+            repo.issue_cert(ta, subject, rs, 20200101, 20991231)
+                .unwrap()
         };
         issue(
             &["210.80.198.0/24", "2404:e8:100::/40", "203.193.92.0/24"],
@@ -381,8 +377,7 @@ mod tests {
     #[test]
     fn table3_verizon_merges_fastly_splits() {
         let (records, routes, clusters, rpki) = table3_fixture();
-        let out =
-            Clusterer::new(topts(true, true)).cluster(&records, &routes, &clusters, &rpki);
+        let out = Clusterer::new(topts(true, true)).cluster(&records, &routes, &clusters, &rpki);
 
         // P1-P3 share (verizon, cert); P3-P4 share (verizon, AS395753):
         // all four Verizon names end in one final cluster.
@@ -425,8 +420,7 @@ mod tests {
     fn ablation_rpki_only_and_asn_only() {
         let (records, routes, clusters, rpki) = table3_fixture();
         // RPKI only: P1-P3 merge, P4 stays separate (needs the ASN bridge).
-        let out =
-            Clusterer::new(topts(true, false)).cluster(&records, &routes, &clusters, &rpki);
+        let out = Clusterer::new(topts(true, false)).cluster(&records, &routes, &clusters, &rpki);
         let c: Vec<ClusterId> = out.info.iter().map(|i| i.cluster).collect();
         assert_eq!(c[0], c[2]);
         assert_ne!(c[2], c[3]);
@@ -436,8 +430,7 @@ mod tests {
         assert_ne!(c[6], c[4]);
 
         // ASN only: P3-P4 merge (shared origin), P1/P2 stay separate.
-        let out =
-            Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki);
+        let out = Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki);
         let c: Vec<ClusterId> = out.info.iter().map(|i| i.cluster).collect();
         assert_eq!(c[2], c[3]);
         assert_ne!(c[0], c[2]);
@@ -447,8 +440,7 @@ mod tests {
     #[test]
     fn no_evidence_means_default_clusters() {
         let (records, routes, clusters, rpki) = table3_fixture();
-        let out =
-            Clusterer::new(topts(false, false)).cluster(&records, &routes, &clusters, &rpki);
+        let out = Clusterer::new(topts(false, false)).cluster(&records, &routes, &clusters, &rpki);
         // Every distinct exact name is its own final cluster.
         assert_eq!(out.final_clusters, out.w_clusters);
     }
@@ -462,8 +454,7 @@ mod tests {
         db.add_sibling_edge(18692, 701);
         db.add_sibling_edge(18692, 395753);
         let clusters = db.cluster();
-        let out =
-            Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki);
+        let out = Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki);
         let c: Vec<ClusterId> = out.info.iter().map(|i| i.cluster).collect();
         assert_eq!(c[0], c[1]);
         assert_eq!(c[1], c[3]);
@@ -471,7 +462,10 @@ mod tests {
 
     #[test]
     fn moas_prefix_joins_both_asn_groups() {
-        let mut records = vec![rec("10.0.0.0/16", "Acme East"), rec("10.1.0.0/16", "Acme West")];
+        let mut records = vec![
+            rec("10.0.0.0/16", "Acme East"),
+            rec("10.1.0.0/16", "Acme West"),
+        ];
         records[0].direct_owner = "Acme East Inc".into();
         records[1].direct_owner = "Acme West Inc".into();
         let mut routes = RouteTable::new();

@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use p2o_net::{AddressFamily, AddressSpan, Prefix};
+use p2o_util::Json;
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::Registry;
 
@@ -11,66 +12,71 @@ use crate::cluster::{ClusterId, ClusteringOutput};
 use crate::resolve::{DelegationStep, OwnershipRecord};
 
 /// One dataset record — the fields of paper Listing 1.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrefixRecord {
     /// The routed prefix.
-    #[serde(skip)]
     pub prefix: Prefix,
     /// The registry of the Direct Owner record ("RIR" in Listing 1).
-    #[serde(rename = "RIR", serialize_with = "ser_registry")]
     pub registry: Registry,
     /// The Direct Owner's WHOIS organization name.
-    #[serde(rename = "Direct Owner (DO)")]
     pub direct_owner: String,
     /// The Direct Owner delegation's block.
-    #[serde(rename = "DO Prefix", serialize_with = "ser_prefix")]
     pub do_prefix: Prefix,
     /// The Direct Owner delegation's allocation type.
-    #[serde(rename = "DO Allocation Type", serialize_with = "ser_alloc")]
     pub do_alloc: AllocationType,
     /// The Delegated Customers in hierarchical order.
-    #[serde(rename = "Delegated Customer(s) (DC)", serialize_with = "ser_dc_names")]
     pub delegated_customers: Vec<DelegationStep>,
     /// The Direct Owner's base name.
-    #[serde(rename = "Base name")]
     pub base_name: String,
     /// The child-most Resource Certificate, rendered paper-style.
-    #[serde(rename = "RPKI Certificate")]
     pub rpki_certificate: Option<String>,
     /// The origin ASN cluster id(s).
-    #[serde(rename = "Origin ASN Cluster")]
     pub origin_asn_clusters: Vec<u32>,
     /// The final cluster label (e.g. `verizon-I`).
-    #[serde(rename = "Final Cluster")]
     pub final_cluster_label: String,
     /// The final cluster id (for programmatic grouping).
-    #[serde(skip)]
     pub cluster: ClusterId,
 }
 
-fn ser_registry<S: serde::Serializer>(r: &Registry, s: S) -> Result<S::Ok, S::Error> {
-    s.collect_str(r)
-}
-
-fn ser_prefix<S: serde::Serializer>(p: &Prefix, s: S) -> Result<S::Ok, S::Error> {
-    s.collect_str(p)
-}
-
-fn ser_alloc<S: serde::Serializer>(t: &AllocationType, s: S) -> Result<S::Ok, S::Error> {
-    s.collect_str(&t.keyword().to_uppercase())
-}
-
-fn ser_dc_names<S: serde::Serializer>(dc: &[DelegationStep], s: S) -> Result<S::Ok, S::Error> {
-    use serde::ser::SerializeSeq;
-    let mut seq = s.serialize_seq(Some(dc.len()))?;
-    for step in dc {
-        seq.serialize_element(step)?;
+impl PrefixRecord {
+    /// The record body as a Listing 1 JSON object, with the paper's display
+    /// field names (the prefix itself is the enclosing key, see
+    /// [`Prefix2OrgDataset::record_json`]).
+    pub fn listing1_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("RIR", self.registry.to_string());
+        o.set("Direct Owner (DO)", self.direct_owner.as_str());
+        o.set("DO Prefix", self.do_prefix.to_string());
+        o.set("DO Allocation Type", self.do_alloc.keyword().to_uppercase());
+        o.set(
+            "Delegated Customer(s) (DC)",
+            self.delegated_customers
+                .iter()
+                .map(|step| step.to_json())
+                .collect::<Vec<Json>>(),
+        );
+        o.set("Base name", self.base_name.as_str());
+        o.set(
+            "RPKI Certificate",
+            match &self.rpki_certificate {
+                Some(id) => Json::from(id.as_str()),
+                None => Json::Null,
+            },
+        );
+        o.set(
+            "Origin ASN Cluster",
+            self.origin_asn_clusters
+                .iter()
+                .map(|&c| Json::from(c))
+                .collect::<Vec<Json>>(),
+        );
+        o.set("Final Cluster", self.final_cluster_label.as_str());
+        o
     }
-    seq.end()
 }
 
 /// The Table 4 key metrics of a dataset build.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DatasetMetrics {
     /// Routed IPv4 prefixes mapped.
     pub ipv4_prefixes: usize,
@@ -264,8 +270,7 @@ impl Prefix2OrgDataset {
             pct_v4_space_multi_name: if v4_space_all.v4_addresses() == 0 {
                 0.0
             } else {
-                100.0 * v4_space_multi.v4_addresses() as f64
-                    / v4_space_all.v4_addresses() as f64
+                100.0 * v4_space_multi.v4_addresses() as f64 / v4_space_all.v4_addresses() as f64
             },
             pct_prefixes_rpki_covered: pct(clustering.rpki_covered_prefixes, records.len()),
             v4_external_customer_prefixes: v4_ext,
@@ -346,8 +351,7 @@ impl Prefix2OrgDataset {
         let needle = p2o_strings::clean::basic_clean(org_name_fragment);
         let mut out = Vec::new();
         for (id, idxs) in &self.by_cluster {
-            let label_hit = self.labels[id.0 as usize]
-                .starts_with(&format!("{needle}-"))
+            let label_hit = self.labels[id.0 as usize].starts_with(&format!("{needle}-"))
                 || self.labels[id.0 as usize] == needle;
             let name_hit = self.cluster_org_names[id.0 as usize]
                 .iter()
@@ -364,12 +368,9 @@ impl Prefix2OrgDataset {
     /// Serializes one record as the Listing 1 JSON object (keyed by prefix).
     pub fn record_json(&self, prefix: &Prefix) -> Option<String> {
         let rec = self.record(prefix)?;
-        let mut root = serde_json::Map::new();
-        root.insert(
-            prefix.to_string(),
-            serde_json::to_value(rec).expect("record serializes"),
-        );
-        serde_json::to_string_pretty(&serde_json::Value::Object(root)).ok()
+        let mut root = Json::object();
+        root.set(prefix.to_string(), rec.listing1_json());
+        Some(root.to_string_pretty())
     }
 }
 
@@ -414,12 +415,8 @@ Updated:        2024-06-02
         let (ownership, unresolved) = Resolver.resolve_all(&tree, prefixes.iter());
         let clusters = p2o_as2org::As2OrgDb::new().cluster();
         let (rpki, _) = RpkiRepository::new().validate(20240901);
-        let clustering = Clusterer::new(ClusterOptions::default()).cluster(
-            &ownership,
-            &routes,
-            &clusters,
-            &rpki,
-        );
+        let clustering = Clusterer::new(ClusterOptions::default())
+            .cluster(&ownership, &routes, &clusters, &rpki);
         Prefix2OrgDataset::assemble(ownership, clustering, unresolved, 1)
     }
 
@@ -489,7 +486,12 @@ Updated:        2024-06-02
     fn metrics_display_is_complete() {
         let ds = build();
         let text = ds.metrics().to_string();
-        for needle in ["IPv4 prefixes", "Direct Owners", "Final clusters", "multi-name"] {
+        for needle in [
+            "IPv4 prefixes",
+            "Direct Owners",
+            "Final clusters",
+            "multi-name",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -45,7 +45,9 @@ pub struct DatasetDelta {
 impl DatasetDelta {
     /// Total number of prefixes that differ in any way.
     pub fn changed(&self) -> usize {
-        self.added.len() + self.removed.len() + self.owner_changes.len()
+        self.added.len()
+            + self.removed.len()
+            + self.owner_changes.len()
             + self.customer_changes.len()
     }
 }
@@ -73,8 +75,8 @@ pub fn diff(old: &Prefix2OrgDataset, new: &Prefix2OrgDataset) -> DatasetDelta {
         };
         let old_name = basic_clean(&old_rec.direct_owner);
         let new_name = basic_clean(&new_rec.direct_owner);
-        let same_owner = old_name == new_name
-            || new.cluster_names(new_rec.cluster).contains(&old_name);
+        let same_owner =
+            old_name == new_name || new.cluster_names(new_rec.cluster).contains(&old_name);
         if !same_owner {
             delta.owner_changes.push(OwnerChange {
                 prefix: old_rec.prefix,
@@ -109,10 +111,7 @@ pub fn diff(old: &Prefix2OrgDataset, new: &Prefix2OrgDataset) -> DatasetDelta {
 /// Compares two *exported* snapshots ([`crate::ExportRecord`] lists, e.g.
 /// loaded from JSONL files). Owner identity uses basic-cleaned names and
 /// base-name equality (cluster membership is not available offline).
-pub fn diff_exports(
-    old: &[crate::ExportRecord],
-    new: &[crate::ExportRecord],
-) -> DatasetDelta {
+pub fn diff_exports(old: &[crate::ExportRecord], new: &[crate::ExportRecord]) -> DatasetDelta {
     use std::collections::HashMap;
     let new_by_prefix: HashMap<Prefix, &crate::ExportRecord> =
         new.iter().map(|r| (r.prefix, r)).collect();
@@ -129,8 +128,7 @@ pub fn diff_exports(
             delta.removed.push(old_rec.prefix);
             continue;
         };
-        let same_owner = basic_clean(&old_rec.direct_owner)
-            == basic_clean(&new_rec.direct_owner)
+        let same_owner = basic_clean(&old_rec.direct_owner) == basic_clean(&new_rec.direct_owner)
             || old_rec.base_name == new_rec.base_name;
         if !same_owner {
             delta.owner_changes.push(OwnerChange {
@@ -260,8 +258,8 @@ mod tests {
         // Two worlds differing only in the transfer count: the delta must
         // find ownership changes and no spurious added/removed prefixes
         // beyond re-homing effects.
-        use p2o_synth::{World, WorldConfig};
         use crate::pipeline::{Pipeline, PipelineInputs};
+        use p2o_synth::{World, WorldConfig};
 
         let build = |config| {
             let world = World::generate(config);

@@ -9,13 +9,14 @@
 //! needed to query a snapshot without re-running the pipeline.
 
 use p2o_net::Prefix;
+use p2o_util::Json;
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::Registry;
 
 use crate::dataset::{Prefix2OrgDataset, PrefixRecord};
 
-/// One exported record, with plain serde field names.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// One exported record, with plain machine-friendly field names.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExportRecord {
     /// The routed prefix.
     pub prefix: Prefix,
@@ -60,12 +61,127 @@ impl From<&PrefixRecord> for ExportRecord {
     }
 }
 
+fn alloc_name(t: AllocationType) -> String {
+    format!("{t:?}")
+}
+
+fn parse_alloc(s: &str) -> Option<AllocationType> {
+    AllocationType::ALL
+        .into_iter()
+        .find(|t| format!("{t:?}") == s)
+}
+
+impl ExportRecord {
+    /// The record as one JSON object (prefixes and the registry as their
+    /// display strings, allocation types as their variant names).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("prefix", self.prefix.to_string());
+        o.set("registry", self.registry.to_string());
+        o.set("direct_owner", self.direct_owner.as_str());
+        o.set("do_prefix", self.do_prefix.to_string());
+        o.set("do_alloc", alloc_name(self.do_alloc));
+        o.set(
+            "delegated_customers",
+            self.delegated_customers
+                .iter()
+                .map(|(name, prefix, alloc)| {
+                    Json::Arr(vec![
+                        Json::from(name.as_str()),
+                        Json::from(prefix.to_string()),
+                        Json::from(alloc_name(*alloc)),
+                    ])
+                })
+                .collect::<Vec<Json>>(),
+        );
+        o.set("base_name", self.base_name.as_str());
+        o.set(
+            "rpki_certificate",
+            match &self.rpki_certificate {
+                Some(id) => Json::from(id.as_str()),
+                None => Json::Null,
+            },
+        );
+        o.set(
+            "origin_asn_clusters",
+            self.origin_asn_clusters
+                .iter()
+                .map(|&c| Json::from(c))
+                .collect::<Vec<Json>>(),
+        );
+        o.set("final_cluster", self.final_cluster.as_str());
+        o
+    }
+
+    /// Parses one JSON object back into a record.
+    pub fn from_json(doc: &Json) -> Result<ExportRecord, String> {
+        fn str_field<'a>(doc: &'a Json, name: &str) -> Result<&'a str, String> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing or non-string field {name:?}"))
+        }
+        fn prefix_field(doc: &Json, name: &str) -> Result<Prefix, String> {
+            str_field(doc, name)?
+                .parse()
+                .map_err(|e| format!("field {name:?}: {e}"))
+        }
+        let delegated_customers = doc
+            .get("delegated_customers")
+            .and_then(Json::as_array)
+            .ok_or("missing delegated_customers")?
+            .iter()
+            .map(|step| {
+                let items = step
+                    .as_array()
+                    .filter(|a| a.len() == 3)
+                    .ok_or("bad delegated customer step")?;
+                let name = items[0].as_str().ok_or("bad customer name")?.to_string();
+                let prefix: Prefix = items[1]
+                    .as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad customer prefix")?;
+                let alloc = items[2]
+                    .as_str()
+                    .and_then(parse_alloc)
+                    .ok_or("bad customer alloc")?;
+                Ok((name, prefix, alloc))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ExportRecord {
+            prefix: prefix_field(doc, "prefix")?,
+            registry: str_field(doc, "registry")?
+                .parse()
+                .map_err(|e| format!("field \"registry\": {e}"))?,
+            direct_owner: str_field(doc, "direct_owner")?.to_string(),
+            do_prefix: prefix_field(doc, "do_prefix")?,
+            do_alloc: parse_alloc(str_field(doc, "do_alloc")?).ok_or("bad do_alloc")?,
+            delegated_customers,
+            base_name: str_field(doc, "base_name")?.to_string(),
+            rpki_certificate: match doc.get("rpki_certificate") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_str().ok_or("bad rpki_certificate")?.to_string()),
+            },
+            origin_asn_clusters: doc
+                .get("origin_asn_clusters")
+                .and_then(Json::as_array)
+                .ok_or("missing origin_asn_clusters")?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| "bad cluster id".to_string())
+                })
+                .collect::<Result<Vec<u32>, String>>()?,
+            final_cluster: str_field(doc, "final_cluster")?.to_string(),
+        })
+    }
+}
+
 /// Serializes the whole dataset as JSON Lines.
 pub fn to_jsonl(dataset: &Prefix2OrgDataset) -> String {
     let mut out = String::new();
     for rec in dataset.records() {
-        let export = ExportRecord::from(rec);
-        out.push_str(&serde_json::to_string(&export).expect("record serializes"));
+        out.push_str(&ExportRecord::from(rec).to_json().to_string());
         out.push('\n');
     }
     out
@@ -81,8 +197,8 @@ pub fn from_jsonl(text: &str) -> Result<Vec<ExportRecord>, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let rec: ExportRecord = serde_json::from_str(line)
-            .map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let rec = ExportRecord::from_json(&doc).map_err(|e| format!("line {}: {e}", idx + 1))?;
         out.push(rec);
     }
     Ok(out)

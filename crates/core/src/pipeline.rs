@@ -26,8 +26,8 @@ pub struct PipelineInputs<'a> {
 /// The pipeline: resolution (§5.2) then clustering (§5.3).
 ///
 /// Resolution is embarrassingly parallel per prefix; `threads > 1` shards
-/// the routed-prefix list across `crossbeam` scoped threads (the guides'
-/// recommendation for CPU-bound fan-out — no async runtime involved).
+/// the routed-prefix list across `std::thread` scoped threads (CPU-bound
+/// fan-out — no async runtime involved).
 #[derive(Debug, Clone, Copy)]
 pub struct Pipeline {
     /// Clustering options (ablations flip these).
@@ -56,20 +56,86 @@ impl Pipeline {
 
     /// Runs the full pipeline and assembles the dataset.
     pub fn run(&self, inputs: &PipelineInputs<'_>) -> Prefix2OrgDataset {
+        self.run_inner(inputs, None)
+    }
+
+    /// Runs the full pipeline with observability: per-stage wall times
+    /// (`pipeline.resolve`, `pipeline.cluster`, `pipeline.assemble`) plus
+    /// resolution and cluster-merge counters on `obs`.
+    pub fn run_with_obs(
+        &self,
+        inputs: &PipelineInputs<'_>,
+        obs: &p2o_obs::Obs,
+    ) -> Prefix2OrgDataset {
+        self.run_inner(inputs, Some(obs))
+    }
+
+    fn run_inner(
+        &self,
+        inputs: &PipelineInputs<'_>,
+        obs: Option<&p2o_obs::Obs>,
+    ) -> Prefix2OrgDataset {
         let prefixes: Vec<Prefix> = inputs.routes.iter().map(|(p, _)| *p).collect();
+        if let Some(o) = obs {
+            o.counter("pipeline.routed_prefixes")
+                .add(prefixes.len() as u64);
+            let moas = inputs
+                .routes
+                .iter()
+                .filter(|(_, origins)| origins.len() > 1)
+                .count();
+            o.counter("pipeline.moas_prefixes").add(moas as u64);
+        }
+
+        let resolve_timer = obs.map(|o| o.stage("pipeline.resolve"));
         let (ownership, unresolved) = self.resolve_stage(inputs.delegations, &prefixes);
+        if let Some(mut t) = resolve_timer {
+            t.items(prefixes.len() as u64);
+            t.finish();
+        }
+        if let Some(o) = obs {
+            o.counter("pipeline.resolved").add(ownership.len() as u64);
+            o.counter("pipeline.unresolved").add(unresolved as u64);
+        }
+
+        let cluster_timer = obs.map(|o| o.stage("pipeline.cluster"));
         let clustering = Clusterer::new(self.cluster_options).cluster(
             &ownership,
             inputs.routes,
             inputs.asn_clusters,
             inputs.rpki,
         );
-        Prefix2OrgDataset::assemble(
+        if let Some(mut t) = cluster_timer {
+            t.items(ownership.len() as u64);
+            t.finish();
+        }
+        if let Some(o) = obs {
+            o.counter("cluster.w_clusters")
+                .add(clustering.w_clusters as u64);
+            o.counter("cluster.r_groups")
+                .add(clustering.r_groups as u64);
+            o.counter("cluster.a_groups")
+                .add(clustering.a_groups as u64);
+            o.counter("cluster.merged_w_clusters")
+                .add((clustering.w_clusters - clustering.final_clusters) as u64);
+            o.counter("cluster.final_clusters")
+                .add(clustering.final_clusters as u64);
+            o.counter("cluster.rpki_covered_prefixes")
+                .add(clustering.rpki_covered_prefixes as u64);
+        }
+
+        let assemble_timer = obs.map(|o| o.stage("pipeline.assemble"));
+        let dataset = Prefix2OrgDataset::assemble(
             ownership,
             clustering,
             unresolved,
             inputs.routes.all_origins().len(),
-        )
+        );
+        if let Some(mut t) = assemble_timer {
+            t.items(dataset.len() as u64);
+            t.finish();
+        }
+        dataset
     }
 
     /// The resolution stage alone (exposed for benches).
@@ -84,16 +150,15 @@ impl Pipeline {
         let chunk = prefixes.len().div_ceil(self.threads);
         let mut shard_results: Vec<(Vec<OwnershipRecord>, usize)> =
             Vec::with_capacity(self.threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = prefixes
                 .chunks(chunk)
-                .map(|shard| scope.spawn(move |_| Resolver.resolve_all(tree, shard.iter())))
+                .map(|shard| scope.spawn(move || Resolver.resolve_all(tree, shard.iter())))
                 .collect();
             for h in handles {
                 shard_results.push(h.join().expect("resolver shard panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let mut records = Vec::with_capacity(prefixes.len());
         let mut unresolved = 0;
         for (mut shard, misses) in shard_results {

@@ -5,19 +5,26 @@ use p2o_whois::alloc::{AllocationType, OwnershipLevel};
 use p2o_whois::{DelegationEntry, DelegationTree, Registry};
 
 /// One step in a prefix's delegation chain below the Direct Owner.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DelegationStep {
     /// The Delegated Customer's organization name.
     pub org_name: String,
     /// The registered block of this sub-delegation.
     pub prefix: Prefix,
     /// Its allocation type.
-    #[serde(serialize_with = "ser_alloc")]
     pub alloc: AllocationType,
 }
 
-fn ser_alloc<S: serde::Serializer>(t: &AllocationType, s: S) -> Result<S::Ok, S::Error> {
-    s.collect_str(&t.keyword().to_uppercase())
+impl DelegationStep {
+    /// The step as a JSON object: the prefix as a string, the allocation
+    /// type as its uppercase WHOIS keyword.
+    pub fn to_json(&self) -> p2o_util::Json {
+        let mut o = p2o_util::Json::object();
+        o.set("org_name", self.org_name.as_str());
+        o.set("prefix", self.prefix.to_string());
+        o.set("alloc", self.alloc.keyword().to_uppercase());
+        o
+    }
 }
 
 /// The resolved ownership of one routed prefix (§5.2): the Direct Owner, and
@@ -176,7 +183,11 @@ mod tests {
 
     #[test]
     fn direct_owner_only() {
-        let t = tree(vec![rec("63.64.0.0/10", "Verizon Business", AllocationType::Allocation)]);
+        let t = tree(vec![rec(
+            "63.64.0.0/10",
+            "Verizon Business",
+            AllocationType::Allocation,
+        )]);
         let r = Resolver.resolve(&t, &p("63.80.52.0/24")).unwrap();
         assert_eq!(r.direct_owner, "Verizon Business");
         assert_eq!(r.do_prefix, p("63.64.0.0/10"));
@@ -193,8 +204,16 @@ mod tests {
         // DCs Bandwidth.com (REALLOCATION) then Ceva (REASSIGNMENT), both on
         // the /24 itself.
         let t = tree(vec![
-            rec("63.64.0.0/10", "Verizon Business", AllocationType::Allocation),
-            rec("63.80.52.0/24", "Bandwidth.com Inc.", AllocationType::Reallocation),
+            rec(
+                "63.64.0.0/10",
+                "Verizon Business",
+                AllocationType::Allocation,
+            ),
+            rec(
+                "63.80.52.0/24",
+                "Bandwidth.com Inc.",
+                AllocationType::Reallocation,
+            ),
             rec("63.80.52.0/24", "Ceva Inc", AllocationType::Reassignment),
         ]);
         let r = Resolver.resolve(&t, &p("63.80.52.0/24")).unwrap();
@@ -216,7 +235,11 @@ mod tests {
         // whole block to Tcloudnet — two records on the same prefix.
         let t = tree(vec![
             rec("206.238.0.0/16", "PSINet, Inc", AllocationType::Allocation),
-            rec("206.238.0.0/16", "Tcloudnet, Inc", AllocationType::Reassignment),
+            rec(
+                "206.238.0.0/16",
+                "Tcloudnet, Inc",
+                AllocationType::Reassignment,
+            ),
         ]);
         let r = Resolver.resolve(&t, &p("206.238.0.0/16")).unwrap();
         assert_eq!(r.direct_owner, "PSINet, Inc");
@@ -260,7 +283,11 @@ mod tests {
 
     #[test]
     fn unresolved_prefix() {
-        let t = tree(vec![rec("63.64.0.0/10", "Verizon Business", AllocationType::Allocation)]);
+        let t = tree(vec![rec(
+            "63.64.0.0/10",
+            "Verizon Business",
+            AllocationType::Allocation,
+        )]);
         assert!(Resolver.resolve(&t, &p("200.0.0.0/16")).is_none());
         let prefixes = [p("63.80.52.0/24"), p("200.0.0.0/16")];
         let (records, unresolved) = Resolver.resolve_all(&t, prefixes.iter());
@@ -281,13 +308,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_of_delegation_step() {
+    fn json_of_delegation_step() {
         let step = DelegationStep {
             org_name: "Ceva Inc".into(),
             prefix: p("63.80.52.0/24"),
             alloc: AllocationType::Reassignment,
         };
-        let json = serde_json::to_string(&step).unwrap();
+        let json = step.to_json().to_string();
         assert!(json.contains("\"REASSIGNMENT\""));
         assert!(json.contains("63.80.52.0/24"));
     }

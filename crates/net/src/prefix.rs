@@ -164,19 +164,6 @@ impl PartialOrd for Prefix {
     }
 }
 
-impl serde::Serialize for Prefix {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_str(self)
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(serde::de::Error::custom)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,11 +214,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_both_families() {
+    fn json_string_round_trip_both_families() {
         for s in ["10.0.0.0/8", "2001:db8::/32"] {
             let p: Prefix = s.parse().unwrap();
-            let j = serde_json::to_string(&p).unwrap();
-            assert_eq!(serde_json::from_str::<Prefix>(&j).unwrap(), p);
+            let j = p2o_util::Json::str(p.to_string()).to_string();
+            let back = p2o_util::Json::parse(&j).unwrap();
+            assert_eq!(back.as_str().unwrap().parse::<Prefix>().unwrap(), p);
         }
     }
 }

@@ -1,132 +1,167 @@
 //! Property-based tests for prefix and range arithmetic.
 
-use proptest::prelude::*;
+use p2o_util::check::{run_cases, Gen};
 
 use crate::range::{Range4, Range6};
 use crate::v4::Prefix4;
 use crate::v6::Prefix6;
 use crate::{AddressSpan, Prefix};
 
-fn arb_prefix4() -> impl Strategy<Value = Prefix4> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix4::new_truncated(bits, len))
+fn gen_prefix4(g: &mut Gen) -> Prefix4 {
+    Prefix4::new_truncated(g.u32(), g.range(0, 32) as u8)
 }
 
-fn arb_prefix6() -> impl Strategy<Value = Prefix6> {
-    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix6::new_truncated(bits, len))
+fn gen_prefix6(g: &mut Gen) -> Prefix6 {
+    Prefix6::new_truncated(g.u128(), g.range(0, 128) as u8)
 }
 
-proptest! {
-    #[test]
-    fn v4_display_parse_round_trip(p in arb_prefix4()) {
-        let s = p.to_string();
-        prop_assert_eq!(s.parse::<Prefix4>().unwrap(), p);
-    }
+#[test]
+fn v4_display_parse_round_trip() {
+    run_cases(256, |g| {
+        let p = gen_prefix4(g);
+        assert_eq!(p.to_string().parse::<Prefix4>().unwrap(), p);
+    });
+}
 
-    #[test]
-    fn v6_display_parse_round_trip(p in arb_prefix6()) {
-        let s = p.to_string();
-        prop_assert_eq!(s.parse::<Prefix6>().unwrap(), p);
-    }
+#[test]
+fn v6_display_parse_round_trip() {
+    run_cases(256, |g| {
+        let p = gen_prefix6(g);
+        assert_eq!(p.to_string().parse::<Prefix6>().unwrap(), p);
+    });
+}
 
-    #[test]
-    fn family_enum_round_trip(p in prop_oneof![
-        arb_prefix4().prop_map(Prefix::V4),
-        arb_prefix6().prop_map(Prefix::V6),
-    ]) {
-        prop_assert_eq!(p.to_string().parse::<Prefix>().unwrap(), p);
-    }
+#[test]
+fn family_enum_round_trip() {
+    run_cases(256, |g| {
+        let p = if g.bool() {
+            Prefix::V4(gen_prefix4(g))
+        } else {
+            Prefix::V6(gen_prefix6(g))
+        };
+        assert_eq!(p.to_string().parse::<Prefix>().unwrap(), p);
+    });
+}
 
-    #[test]
-    fn v4_containment_is_reflexive_and_antisymmetric(a in arb_prefix4(), b in arb_prefix4()) {
-        prop_assert!(a.contains(&a));
+#[test]
+fn v4_containment_is_reflexive_and_antisymmetric() {
+    run_cases(256, |g| {
+        let a = gen_prefix4(g);
+        let b = gen_prefix4(g);
+        assert!(a.contains(&a));
         if a.contains(&b) && b.contains(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn v4_supernet_contains(p in arb_prefix4()) {
+#[test]
+fn v4_supernet_contains() {
+    run_cases(256, |g| {
+        let p = gen_prefix4(g);
         if let Some(s) = p.supernet() {
-            prop_assert!(s.contains(&p));
+            assert!(s.contains(&p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn v4_subnets_partition(p in arb_prefix4()) {
+#[test]
+fn v4_subnets_partition() {
+    run_cases(256, |g| {
+        let p = gen_prefix4(g);
         if let Some((lo, hi)) = p.subnets() {
-            prop_assert!(p.contains(&lo) && p.contains(&hi));
-            prop_assert!(!lo.overlaps(&hi));
-            prop_assert_eq!(lo.num_addrs() + hi.num_addrs(), p.num_addrs());
+            assert!(p.contains(&lo) && p.contains(&hi));
+            assert!(!lo.overlaps(&hi));
+            assert_eq!(lo.num_addrs() + hi.num_addrs(), p.num_addrs());
         }
-    }
+    });
+}
 
-    /// CIDR decomposition of a range covers it exactly: blocks are sorted,
-    /// contiguous, start at first, end at last.
-    #[test]
-    fn v4_range_decomposition_exact_cover(a in any::<u32>(), b in any::<u32>()) {
+/// CIDR decomposition of a range covers it exactly: blocks are sorted,
+/// contiguous, start at first, end at last.
+#[test]
+fn v4_range_decomposition_exact_cover() {
+    run_cases(256, |g| {
+        let (a, b) = (g.u32(), g.u32());
         let (first, last) = if a <= b { (a, b) } else { (b, a) };
         let r = Range4::new(first, last).unwrap();
         let blocks = r.to_prefixes();
-        prop_assert!(!blocks.is_empty());
-        prop_assert_eq!(blocks.first().unwrap().first_addr(), first);
-        prop_assert_eq!(blocks.last().unwrap().last_addr(), last);
+        assert!(!blocks.is_empty());
+        assert_eq!(blocks.first().unwrap().first_addr(), first);
+        assert_eq!(blocks.last().unwrap().last_addr(), last);
         for w in blocks.windows(2) {
-            prop_assert_eq!(w[0].last_addr() as u64 + 1, w[1].first_addr() as u64);
+            assert_eq!(w[0].last_addr() as u64 + 1, w[1].first_addr() as u64);
         }
         let total: u64 = blocks.iter().map(|p| p.num_addrs()).sum();
-        prop_assert_eq!(total, r.num_addrs());
-    }
+        assert_eq!(total, r.num_addrs());
+    });
+}
 
-    /// Decomposition is minimal: no two consecutive blocks could merge into
-    /// a single aligned block.
-    #[test]
-    fn v4_range_decomposition_minimal(a in any::<u32>(), b in any::<u32>()) {
+/// Decomposition is minimal: no two consecutive blocks could merge into
+/// a single aligned block.
+#[test]
+fn v4_range_decomposition_minimal() {
+    run_cases(256, |g| {
+        let (a, b) = (g.u32(), g.u32());
         let (first, last) = if a <= b { (a, b) } else { (b, a) };
         let blocks = Range4::new(first, last).unwrap().to_prefixes();
         for w in blocks.windows(2) {
             if w[0].len() == w[1].len() {
                 if let Some(sup) = w[0].supernet() {
                     // If both fit in the same supernet they should have merged.
-                    prop_assert!(!(sup.contains(&w[0]) && sup.contains(&w[1])));
+                    assert!(!(sup.contains(&w[0]) && sup.contains(&w[1])));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn v4_range_prefix_round_trip(p in arb_prefix4()) {
+#[test]
+fn v4_range_prefix_round_trip() {
+    run_cases(256, |g| {
+        let p = gen_prefix4(g);
         let r = Range4::from_prefix(&p);
-        prop_assert_eq!(r.as_prefix(), Some(p));
-        prop_assert_eq!(r.to_prefixes(), vec![p]);
-    }
+        assert_eq!(r.as_prefix(), Some(p));
+        assert_eq!(r.to_prefixes(), vec![p]);
+    });
+}
 
-    #[test]
-    fn v6_range_prefix_round_trip(p in arb_prefix6()) {
+#[test]
+fn v6_range_prefix_round_trip() {
+    run_cases(256, |g| {
+        let p = gen_prefix6(g);
         let r = Range6::from_prefix(&p);
-        prop_assert_eq!(r.as_prefix(), Some(p));
-        prop_assert_eq!(r.to_prefixes(), vec![p]);
-    }
+        assert_eq!(r.as_prefix(), Some(p));
+        assert_eq!(r.to_prefixes(), vec![p]);
+    });
+}
 
-    #[test]
-    fn v6_range_decomposition_exact_cover(a in any::<u128>(), b in any::<u128>()) {
+#[test]
+fn v6_range_decomposition_exact_cover() {
+    run_cases(256, |g| {
+        let (a, b) = (g.u128(), g.u128());
         let (first, last) = if a <= b { (a, b) } else { (b, a) };
         let r = Range6::new(first, last).unwrap();
         let blocks = r.to_prefixes();
-        prop_assert!(!blocks.is_empty());
-        prop_assert_eq!(blocks.first().unwrap().first_addr(), first);
-        prop_assert_eq!(blocks.last().unwrap().last_addr(), last);
+        assert!(!blocks.is_empty());
+        assert_eq!(blocks.first().unwrap().first_addr(), first);
+        assert_eq!(blocks.last().unwrap().last_addr(), last);
         for w in blocks.windows(2) {
-            prop_assert_eq!(w[0].last_addr().wrapping_add(1), w[1].first_addr());
+            assert_eq!(w[0].last_addr().wrapping_add(1), w[1].first_addr());
         }
-    }
+    });
+}
 
-    /// The span of a set of prefixes equals the brute-force union size on a
-    /// constrained 16-bit sub-universe (so brute force is feasible).
-    #[test]
-    fn span_matches_brute_force(prefixes in proptest::collection::vec((any::<u16>(), 18u8..=32), 1..20)) {
-        let prefixes: Vec<Prefix4> = prefixes
-            .into_iter()
-            .map(|(hi, len)| Prefix4::new_truncated((hi as u32) << 16, len))
+/// The span of a set of prefixes equals the brute-force union size on a
+/// constrained 16-bit sub-universe (so brute force is feasible).
+#[test]
+fn span_matches_brute_force() {
+    run_cases(128, |g| {
+        let prefixes: Vec<Prefix4> = (0..g.range(1, 19))
+            .map(|_| {
+                let hi = g.u32() >> 16;
+                Prefix4::new_truncated(hi << 16, g.range(18, 32) as u8)
+            })
             .collect();
         let mut span = AddressSpan::new();
         let mut brute = std::collections::HashSet::new();
@@ -138,6 +173,6 @@ proptest! {
                 brute.insert(a);
             }
         }
-        prop_assert_eq!(span.v4_addresses(), brute.len() as u64);
-    }
+        assert_eq!(span.v4_addresses(), brute.len() as u64);
+    });
 }

@@ -205,11 +205,7 @@ impl Range6 {
         let mut out = Vec::new();
         let mut cur = self.first;
         loop {
-            let align = if cur == 0 {
-                128
-            } else {
-                cur.trailing_zeros()
-            };
+            let align = if cur == 0 { 128 } else { cur.trailing_zeros() };
             // Remaining span minus one fits u128 even for the full space.
             let remaining_minus_one = self.last - cur;
             let span_bits = if remaining_minus_one == u128::MAX {
@@ -235,7 +231,12 @@ impl Range6 {
 
 impl fmt::Display for Range6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} - {}", v6::fmt_addr(self.first), v6::fmt_addr(self.last))
+        write!(
+            f,
+            "{} - {}",
+            v6::fmt_addr(self.first),
+            v6::fmt_addr(self.last)
+        )
     }
 }
 
@@ -337,10 +338,7 @@ mod tests {
         // 10.0.0.0 - 10.0.0.11 = /29 + /30 (8 + 4 addresses).
         let r: Range4 = "10.0.0.0 - 10.0.0.11".parse().unwrap();
         assert_eq!(r.as_prefix(), None);
-        assert_eq!(
-            r.to_prefixes(),
-            vec![p4("10.0.0.0/29"), p4("10.0.0.8/30")]
-        );
+        assert_eq!(r.to_prefixes(), vec![p4("10.0.0.0/29"), p4("10.0.0.8/30")]);
     }
 
     #[test]
@@ -414,10 +412,7 @@ mod tests {
         let v4: IpRange = "10.0.0.0 - 10.0.0.255".parse().unwrap();
         assert_eq!(v4.to_prefixes().len(), 1);
         let v6: IpRange = "2001:db8:: - 2001:db8::ffff".parse().unwrap();
-        assert_eq!(
-            v6.as_prefix(),
-            Some("2001:db8::/112".parse().unwrap())
-        );
+        assert_eq!(v6.as_prefix(), Some("2001:db8::/112".parse().unwrap()));
         assert_eq!(v4.to_string(), "10.0.0.0 - 10.0.0.255");
     }
 }

@@ -64,18 +64,12 @@ impl AddressSpan {
 
     /// Number of unique IPv4 addresses covered.
     pub fn v4_addresses(&self) -> u64 {
-        self.v4
-            .iter()
-            .map(|(a, b)| (*b - *a) as u64 + 1)
-            .sum()
+        self.v4.iter().map(|(a, b)| (*b - *a) as u64 + 1).sum()
     }
 
     /// Number of unique IPv6 /64 subnets covered (partial /64s round up).
     pub fn v6_slash64(&self) -> u128 {
-        self.v6
-            .iter()
-            .map(|(a, b)| (b >> 64) - (a >> 64) + 1)
-            .sum()
+        self.v6.iter().map(|(a, b)| (b >> 64) - (a >> 64) + 1).sum()
     }
 
     /// Whether nothing has been added.

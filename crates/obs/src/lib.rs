@@ -1,0 +1,666 @@
+#![warn(missing_docs)]
+
+//! Pipeline observability for the Prefix2Org workspace.
+//!
+//! The pipeline (WHOIS → radix delegation tree → BGP route table → DO/DC
+//! resolution → clustering) used to run as an opaque batch job. This crate
+//! gives every stage cheap, structured introspection without any tracing
+//! dependency:
+//!
+//! - [`Counter`] — a relaxed `AtomicU64`; one add per event, lock-free on
+//!   the hot path and safe to bump from worker threads.
+//! - [`Histogram`] — power-of-two bucketed value distribution (latencies,
+//!   record sizes) with count/sum/min/max, all atomics.
+//! - [`StageTimer`] — RAII wall-clock timer; attach an item count and the
+//!   report derives a rate (records/s, entries/s).
+//! - [`Obs`] — the registry handle. Cloning is cheap (`Arc`); every clone
+//!   feeds the same registry, so a pipeline can hand one to each substrate.
+//! - [`RunReport`] — an ordered snapshot of everything above,
+//!   serializable to JSON (via [`p2o_util::json`]) for `--report` and
+//!   renderable as an aligned summary table for stderr.
+//!
+//! Counters and histograms are deterministic for a deterministic input,
+//! which turns the report into a regression-detection surface: the
+//! golden-snapshot test pins exact counter values for a fixed-seed world.
+//! Wall-clock fields are the only nondeterministic part.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use p2o_util::json::Json;
+
+/// A monotonically increasing event counter.
+///
+/// Increments are relaxed atomic adds: safe from any thread, no ordering
+/// obligations, no locks. Clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A power-of-two bucketed distribution of `u64` samples.
+///
+/// Bucket `i` holds samples whose bit length is `i` (bucket 0 is the value
+/// zero), so the histogram spans the full `u64` range in 65 cells with one
+/// `leading_zeros` per record. Quantiles read from bucket midpoints —
+/// coarse, but plenty to tell a 2 µs lookup from a 2 ms one.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            cells: Arc::new(HistogramCells {
+                buckets: [const { AtomicU64::new(0) }; BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        let c = &self.cells;
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.min.fetch_min(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramReport {
+        let c = &self.cells;
+        let buckets: Vec<u64> = c
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = c.count.load(Ordering::Relaxed);
+        HistogramReport {
+            name: name.to_string(),
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                c.min.load(Ordering::Relaxed)
+            },
+            max: c.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// RAII wall-clock timer for one pipeline stage.
+///
+/// Records elapsed time into the registry on drop (or [`finish`]). Attach
+/// an item count with [`items`] and the report derives a throughput rate.
+///
+/// [`finish`]: StageTimer::finish
+/// [`items`]: StageTimer::items
+pub struct StageTimer {
+    obs: Obs,
+    name: String,
+    started: Instant,
+    items: Option<u64>,
+    done: bool,
+}
+
+impl StageTimer {
+    /// Associates an item count (records parsed, prefixes resolved…) so the
+    /// report can derive items/second.
+    pub fn items(&mut self, n: u64) {
+        self.items = Some(n);
+    }
+
+    /// Stops the timer now and records the stage.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        let mut stages = self.obs.inner.stages.lock().expect("obs stages lock");
+        stages.push(StageReport {
+            name: std::mem::take(&mut self.name),
+            wall_ns,
+            items: self.items,
+        });
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[derive(Default)]
+struct ObsInner {
+    counters: Mutex<Vec<(String, Counter)>>,
+    histograms: Mutex<Vec<(String, Histogram)>>,
+    stages: Mutex<Vec<StageReport>>,
+}
+
+/// The observability registry handle.
+///
+/// Cheap to clone; all clones share one registry. Registration (the
+/// `counter`/`histogram` lookups) takes a mutex and is meant for stage
+/// setup; the returned handles are lock-free for recording.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let counters = self.inner.counters.lock().expect("obs lock").len();
+        let stages = self.inner.stages.lock().expect("obs lock").len();
+        f.debug_struct("Obs")
+            .field("counters", &counters)
+            .field("stages", &stages)
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A fresh, empty registry.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero on first
+    /// use. Repeated calls with the same name share one cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock().expect("obs counters lock");
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// The histogram registered under `name`, creating it empty on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut hists = self.inner.histograms.lock().expect("obs histograms lock");
+        if let Some((_, h)) = hists.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::default();
+        hists.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Starts a wall-clock timer for stage `name`; the stage is recorded
+    /// when the returned guard drops.
+    pub fn stage(&self, name: &str) -> StageTimer {
+        StageTimer {
+            obs: self.clone(),
+            name: name.to_string(),
+            started: Instant::now(),
+            items: None,
+            done: false,
+        }
+    }
+
+    /// Times `f` as stage `name` and returns its value.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let timer = self.stage(name);
+        let out = f();
+        timer.finish();
+        out
+    }
+
+    /// An ordered snapshot of every stage, counter, and histogram.
+    pub fn report(&self) -> RunReport {
+        let stages = self.inner.stages.lock().expect("obs stages lock").clone();
+        let counters: Vec<(String, u64)> = self
+            .inner
+            .counters
+            .lock()
+            .expect("obs counters lock")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let histograms: Vec<HistogramReport> = self
+            .inner
+            .histograms
+            .lock()
+            .expect("obs histograms lock")
+            .iter()
+            .map(|(n, h)| h.snapshot(n))
+            .collect();
+        RunReport {
+            stages,
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// One completed stage in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name (e.g. `whois.parse`).
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_ns: u64,
+    /// Items processed, when the stage attached a count.
+    pub items: Option<u64>,
+}
+
+impl StageReport {
+    /// Items per second, when an item count was attached and time elapsed.
+    pub fn rate(&self) -> Option<f64> {
+        let items = self.items?;
+        if self.wall_ns == 0 {
+            return None;
+        }
+        Some(items as f64 * 1e9 / self.wall_ns as f64)
+    }
+}
+
+/// One histogram's snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// Histogram name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Power-of-two bucket counts; bucket `i` holds values of bit length `i`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramReport {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from bucket midpoints.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Midpoint of bucket i: values with bit length i.
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)).saturating_add(1 << (i - 1) >> 1)
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// A full observability snapshot of one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Stages in completion order.
+    pub stages: Vec<StageReport>,
+    /// Counters in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms in registration order.
+    pub histograms: Vec<HistogramReport>,
+}
+
+impl RunReport {
+    /// The value of counter `name`, when registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The stage named `name`, when recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The histogram named `name`, when registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for s in &self.stages {
+            let mut obj = Json::object();
+            obj.set("name", s.name.as_str());
+            obj.set("wall_ns", s.wall_ns);
+            if let Some(items) = s.items {
+                obj.set("items", items);
+                if let Some(rate) = s.rate() {
+                    obj.set("per_second", (rate * 10.0).round() / 10.0);
+                }
+            }
+            stages.push(obj);
+        }
+        root.set("stages", Json::Arr(stages));
+
+        let mut counters = Json::object();
+        for (name, value) in &self.counters {
+            counters.set(name.as_str(), *value);
+        }
+        root.set("counters", counters);
+
+        let mut hists = Vec::with_capacity(self.histograms.len());
+        for h in &self.histograms {
+            let mut obj = Json::object();
+            obj.set("name", h.name.as_str());
+            obj.set("count", h.count);
+            obj.set("sum", h.sum);
+            obj.set("min", h.min);
+            obj.set("max", h.max);
+            obj.set("p50", h.quantile(0.50));
+            obj.set("p99", h.quantile(0.99));
+            hists.push(obj);
+        }
+        root.set("histograms", Json::Arr(hists));
+        root
+    }
+
+    /// Pretty JSON text, ready to write to a `--report` file.
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_string_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Reads back the deterministic fields of a report written by
+    /// [`to_json_string`] (wall times and rates come back verbatim too).
+    ///
+    /// [`to_json_string`]: RunReport::to_json_string
+    pub fn from_json(doc: &Json) -> Result<RunReport, String> {
+        let stages = doc
+            .get("stages")
+            .and_then(Json::as_array)
+            .ok_or("report missing stages")?
+            .iter()
+            .map(|s| {
+                Ok(StageReport {
+                    name: s
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("stage missing name")?
+                        .to_string(),
+                    wall_ns: s
+                        .get("wall_ns")
+                        .and_then(Json::as_u64)
+                        .ok_or("stage missing wall_ns")?,
+                    items: s.get("items").and_then(Json::as_u64),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let counters = doc
+            .get("counters")
+            .and_then(Json::as_object)
+            .ok_or("report missing counters")?
+            .iter()
+            .map(|(name, v)| {
+                v.as_u64()
+                    .map(|v| (name.clone(), v))
+                    .ok_or_else(|| format!("counter {name} not an integer"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let histograms = doc
+            .get("histograms")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|h| {
+                Ok(HistogramReport {
+                    name: h
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("histogram missing name")?
+                        .to_string(),
+                    count: h.get("count").and_then(Json::as_u64).unwrap_or(0),
+                    sum: h.get("sum").and_then(Json::as_u64).unwrap_or(0),
+                    min: h.get("min").and_then(Json::as_u64).unwrap_or(0),
+                    max: h.get("max").and_then(Json::as_u64).unwrap_or(0),
+                    buckets: Vec::new(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunReport {
+            stages,
+            counters,
+            histograms,
+        })
+    }
+
+    /// An aligned, human-readable summary (one stage/counter/histogram per
+    /// line) for stderr.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .chain(self.counters.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        out.push_str("stages\n");
+        for s in &self.stages {
+            let ms = s.wall_ns as f64 / 1e6;
+            match s.rate() {
+                Some(rate) => out.push_str(&format!(
+                    "  {:width$}  {:>10.2} ms  {:>12} items  {:>14}/s\n",
+                    s.name,
+                    ms,
+                    s.items.unwrap_or(0),
+                    format_rate(rate),
+                )),
+                None => out.push_str(&format!("  {:width$}  {:>10.2} ms\n", s.name, ms)),
+            }
+        }
+        out.push_str("counters\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:width$}  {value:>10}\n"));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:width$}  n={} min={} mean={:.1} p50~{} p99~{} max={}\n",
+                    h.name,
+                    h.count,
+                    h.min,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max,
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_by_name() {
+        let obs = Obs::new();
+        let a = obs.counter("x");
+        let b = obs.counter("x");
+        a.add(2);
+        b.incr();
+        assert_eq!(obs.counter("x").get(), 3);
+        assert_eq!(obs.report().counter("x"), Some(3));
+        assert_eq!(obs.report().counter("y"), None);
+    }
+
+    #[test]
+    fn counters_survive_threads() {
+        let obs = Obs::new();
+        let c = obs.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn stage_timer_records_on_drop_with_items() {
+        let obs = Obs::new();
+        {
+            let mut t = obs.stage("parse");
+            t.items(500);
+        }
+        let report = obs.report();
+        let stage = report.stage("parse").expect("stage recorded");
+        assert_eq!(stage.items, Some(500));
+        assert!(stage.rate().is_none() || stage.rate().unwrap() > 0.0);
+        let value = obs.time("compute", || 7);
+        assert_eq!(value, 7);
+        assert!(obs.report().stage("compute").is_some());
+    }
+
+    #[test]
+    fn histogram_tracks_distribution() {
+        let obs = Obs::new();
+        let h = obs.histogram("sizes");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let r = obs.report();
+        let snap = r.histogram("sizes").unwrap();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1106);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        assert!(snap.mean() > 200.0);
+        assert!(snap.quantile(0.0) <= snap.quantile(1.0));
+    }
+
+    #[test]
+    fn report_json_round_trips_deterministic_fields() {
+        let obs = Obs::new();
+        obs.counter("resolved").add(12);
+        obs.counter("unresolved").add(3);
+        obs.histogram("h").record(9);
+        obs.time("stage-a", || ());
+        let report = obs.report();
+        let text = report.to_json_string();
+        let doc = p2o_util::Json::parse(&text).expect("valid json");
+        let back = RunReport::from_json(&doc).expect("parses");
+        assert_eq!(back.counter("resolved"), Some(12));
+        assert_eq!(back.counter("unresolved"), Some(3));
+        assert_eq!(back.stages.len(), 1);
+        assert_eq!(back.stages[0].name, "stage-a");
+        assert_eq!(back.histograms.len(), 1);
+        assert_eq!(back.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn summary_table_lists_everything() {
+        let obs = Obs::new();
+        obs.counter("whois.records").add(10);
+        obs.histogram("bgp.bytes").record(64);
+        {
+            let mut t = obs.stage("whois.parse");
+            t.items(10);
+        }
+        let table = obs.report().summary_table();
+        assert!(table.contains("whois.parse"));
+        assert!(table.contains("whois.records"));
+        assert!(table.contains("bgp.bytes"));
+    }
+}

@@ -138,8 +138,14 @@ mod tests {
         }
         let cases: [(Prefix4, Prefix4); 3] = [
             ("0.0.0.0/0".parse().unwrap(), "128.0.0.0/1".parse().unwrap()),
-            ("192.0.2.0/24".parse().unwrap(), "192.0.3.0/24".parse().unwrap()),
-            ("255.255.255.255/32".parse().unwrap(), "255.255.255.254/32".parse().unwrap()),
+            (
+                "192.0.2.0/24".parse().unwrap(),
+                "192.0.3.0/24".parse().unwrap(),
+            ),
+            (
+                "255.255.255.255/32".parse().unwrap(),
+                "255.255.255.254/32".parse().unwrap(),
+            ),
         ];
         for (a, b) in cases {
             assert_eq!(a.common_len(&b), slow(&a, &b), "{a} vs {b}");

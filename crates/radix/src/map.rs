@@ -40,6 +40,13 @@ impl<V> PrefixMap<V> {
         &self.v6
     }
 
+    /// Attaches observability counters to both family trees; the counters
+    /// are shared, so `inserts`/`lookups` aggregate across families.
+    pub fn instrument(&mut self, inserts: p2o_obs::Counter, lookups: p2o_obs::Counter) {
+        self.v4.instrument(inserts.clone(), lookups.clone());
+        self.v6.instrument(inserts, lookups);
+    }
+
     /// Total number of stored prefixes across both families.
     pub fn len(&self) -> usize {
         self.v4.len() + self.v6.len()
@@ -188,6 +195,19 @@ mod tests {
         assert!(m.is_empty());
         m.insert(p("10.0.0.0/8"), 2);
         assert_eq!(m.get(&p("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn instrumented_map_counts_both_families() {
+        let obs = p2o_obs::Obs::new();
+        let mut m = PrefixMap::new();
+        m.instrument(obs.counter("radix.inserts"), obs.counter("radix.lookups"));
+        m.insert(p("10.0.0.0/8"), 1);
+        m.insert(p("2001:db8::/32"), 2);
+        let _ = m.longest_match(&p("10.1.0.0/16"));
+        let _ = m.get(&p("2001:db8::/32"));
+        assert_eq!(obs.counter("radix.inserts").get(), 2);
+        assert_eq!(obs.counter("radix.lookups").get(), 2);
     }
 
     #[test]

@@ -1,19 +1,21 @@
 //! Property-based tests: the radix tree must agree with a naive model on
 //! every operation.
 
-use proptest::prelude::*;
+use p2o_util::check::{run_cases, Gen};
 
 use p2o_net::Prefix4;
 
 use crate::tree::RadixTree;
 
-fn arb_prefix() -> impl Strategy<Value = Prefix4> {
-    // Constrain the universe so collisions/nesting actually happen.
-    (0u32..64, 8u8..=24).prop_map(|(hi, len)| Prefix4::new_truncated(hi << 24, len))
+/// A constrained universe (top bits in `0..64`, lengths 8..=24) so
+/// collisions/nesting actually happen.
+fn gen_prefix(g: &mut Gen) -> Prefix4 {
+    Prefix4::new_truncated((g.below(64) as u32) << 24, g.range(8, 24) as u8)
 }
 
-fn arb_dense_prefix() -> impl Strategy<Value = Prefix4> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix4::new_truncated(bits, len))
+/// The full 32-bit universe.
+fn gen_dense_prefix(g: &mut Gen) -> Prefix4 {
+    Prefix4::new_truncated(g.u32(), g.range(0, 32) as u8)
 }
 
 /// Naive reference: a vector of (prefix, value) pairs.
@@ -66,117 +68,135 @@ impl Model {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Op {
-    Insert(Prefix4, u32),
-    Remove(Prefix4),
-    Get(Prefix4),
-    LongestMatch(Prefix4),
-    Covering(Prefix4),
-    Subtree(Prefix4),
-}
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
-        arb_prefix().prop_map(Op::Remove),
-        arb_prefix().prop_map(Op::Get),
-        arb_prefix().prop_map(Op::LongestMatch),
-        arb_prefix().prop_map(Op::Covering),
-        arb_prefix().prop_map(Op::Subtree),
-    ]
-}
-
-proptest! {
-    /// Random operation sequences: tree and naive model agree on every
-    /// observable result.
-    #[test]
-    fn tree_matches_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+/// Random operation sequences: tree and naive model agree on every
+/// observable result.
+#[test]
+fn tree_matches_model() {
+    run_cases(128, |g| {
         let mut tree: RadixTree<Prefix4, u32> = RadixTree::new();
         let mut model = Model::default();
-        for op in ops {
-            match op {
-                Op::Insert(p, v) => {
-                    prop_assert_eq!(tree.insert(p, v), model.insert(p, v));
+        for _ in 0..g.range(1, 199) {
+            let p = gen_prefix(g);
+            match g.below(6) {
+                0 => {
+                    let v = g.u32();
+                    assert_eq!(tree.insert(p, v), model.insert(p, v));
                 }
-                Op::Remove(p) => {
-                    prop_assert_eq!(tree.remove(&p), model.remove(&p));
+                1 => {
+                    assert_eq!(tree.remove(&p), model.remove(&p));
                 }
-                Op::Get(p) => {
-                    prop_assert_eq!(tree.get(&p).copied(), model.get(&p));
+                2 => {
+                    assert_eq!(tree.get(&p).copied(), model.get(&p));
                 }
-                Op::LongestMatch(p) => {
+                3 => {
                     let got = tree.longest_match(&p).map(|(k, v)| (k, *v));
                     let want = model.covering(&p).first().copied();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
-                Op::Covering(p) => {
+                4 => {
                     let got: Vec<_> = tree.covering(&p).map(|(k, v)| (k, *v)).collect();
-                    prop_assert_eq!(got, model.covering(&p));
+                    assert_eq!(got, model.covering(&p));
                 }
-                Op::Subtree(p) => {
+                _ => {
                     let got: Vec<_> = tree.subtree(&p).map(|(k, v)| (k, *v)).collect();
-                    prop_assert_eq!(got, model.subtree(&p));
+                    assert_eq!(got, model.subtree(&p));
                 }
             }
-            prop_assert_eq!(tree.len(), model.entries.len());
+            assert_eq!(tree.len(), model.entries.len());
         }
-    }
-
-    /// Iteration yields exactly the stored set, sorted, for arbitrary dense
-    /// prefixes (full 32-bit universe).
-    #[test]
-    fn iteration_sorted_and_complete(prefixes in proptest::collection::btree_set(arb_dense_prefix(), 0..100)) {
-        let tree: RadixTree<Prefix4, u32> =
-            prefixes.iter().map(|p| (*p, 0u32)).collect();
-        let keys: Vec<_> = tree.keys().collect();
-        let want: Vec<_> = prefixes.into_iter().collect(); // BTreeSet is sorted
-        prop_assert_eq!(keys, want);
-    }
-
-    /// The covering chain is always sorted most-specific-first and every
-    /// element contains the query.
-    #[test]
-    fn covering_chain_invariants(
-        prefixes in proptest::collection::vec(arb_dense_prefix(), 0..100),
-        query in arb_dense_prefix(),
-    ) {
-        let tree: RadixTree<Prefix4, u32> =
-            prefixes.into_iter().map(|p| (p, 0u32)).collect();
-        let chain: Vec<_> = tree.covering(&query).map(|(k, _)| k).collect();
-        for w in chain.windows(2) {
-            prop_assert!(w[0].len() > w[1].len());
-            prop_assert!(w[1].contains(&w[0]));
-        }
-        for k in &chain {
-            prop_assert!(k.contains(&query));
-        }
-    }
+    });
 }
 
-/// The same model-equivalence property for IPv6 keys (128-bit paths exercise
-/// different glue-node geometry than 32-bit ones).
+/// Iteration yields exactly the stored set, sorted, for arbitrary dense
+/// prefixes (full 32-bit universe).
+#[test]
+fn iteration_sorted_and_complete() {
+    run_cases(128, |g| {
+        let prefixes: std::collections::BTreeSet<Prefix4> =
+            (0..g.below(100)).map(|_| gen_dense_prefix(g)).collect();
+        let tree: RadixTree<Prefix4, u32> = prefixes.iter().map(|p| (*p, 0u32)).collect();
+        let keys: Vec<_> = tree.keys().collect();
+        let want: Vec<_> = prefixes.into_iter().collect(); // BTreeSet is sorted
+        assert_eq!(keys, want);
+    });
+}
+
+/// The covering chain is always sorted most-specific-first and every
+/// element contains the query.
+#[test]
+fn covering_chain_invariants() {
+    run_cases(128, |g| {
+        let prefixes: Vec<Prefix4> = (0..g.below(100)).map(|_| gen_dense_prefix(g)).collect();
+        let query = gen_dense_prefix(g);
+        let tree: RadixTree<Prefix4, u32> = prefixes.into_iter().map(|p| (p, 0u32)).collect();
+        let chain: Vec<_> = tree.covering(&query).map(|(k, _)| k).collect();
+        for w in chain.windows(2) {
+            assert!(w[0].len() > w[1].len());
+            assert!(w[1].contains(&w[0]));
+        }
+        for k in &chain {
+            assert!(k.contains(&query));
+        }
+    });
+}
+
+/// Longest-prefix match against a naive linear scan over random prefix
+/// sets — the routing-table query the whole pipeline leans on, checked on
+/// both the clustered and the dense universe.
+#[test]
+fn longest_match_agrees_with_linear_scan_v4() {
+    run_cases(256, |g| {
+        let dense = g.bool();
+        let draw = |g: &mut Gen| {
+            if dense {
+                gen_dense_prefix(g)
+            } else {
+                gen_prefix(g)
+            }
+        };
+        let prefixes: Vec<Prefix4> = (0..g.range(1, 80)).map(|_| draw(g)).collect();
+        let tree: RadixTree<Prefix4, usize> =
+            prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        for _ in 0..32 {
+            let query = draw(g);
+            let got = tree.longest_match(&query).map(|(k, _)| k);
+            // Naive scan: the longest stored prefix containing the query.
+            let want = prefixes
+                .iter()
+                .filter(|p| p.contains(&query))
+                .max_by_key(|p| p.len())
+                .copied();
+            assert_eq!(got, want, "query {query}");
+        }
+    });
+}
+
+/// The same model-equivalence properties for IPv6 keys (128-bit paths
+/// exercise different glue-node geometry than 32-bit ones).
 mod v6 {
     use super::*;
     use p2o_net::Prefix6;
 
-    fn arb_prefix6() -> impl Strategy<Value = Prefix6> {
-        // A constrained universe under 2001:db8::/28 so nesting happens.
-        (0u128..64, 32u8..=64)
-            .prop_map(|(hi, len)| Prefix6::new_truncated((0x2001_0db8u128 << 96) | (hi << 60), len))
+    /// A constrained universe under 2001:db8::/28 so nesting happens.
+    fn gen_prefix6(g: &mut Gen) -> Prefix6 {
+        Prefix6::new_truncated(
+            (0x2001_0db8u128 << 96) | ((g.below(64) as u128) << 60),
+            g.range(32, 64) as u8,
+        )
     }
 
-    proptest! {
-        #[test]
-        fn v6_tree_matches_naive_filter(
-            prefixes in proptest::collection::vec(arb_prefix6(), 0..60),
-            query in arb_prefix6(),
-        ) {
-            let tree: RadixTree<Prefix6, usize> = prefixes
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (*p, i))
-                .collect();
+    /// The full 128-bit universe.
+    fn gen_dense_prefix6(g: &mut Gen) -> Prefix6 {
+        Prefix6::new_truncated(g.u128(), g.range(0, 128) as u8)
+    }
+
+    #[test]
+    fn v6_tree_matches_naive_filter() {
+        run_cases(128, |g| {
+            let prefixes: Vec<Prefix6> = (0..g.below(60)).map(|_| gen_prefix6(g)).collect();
+            let query = gen_prefix6(g);
+            let tree: RadixTree<Prefix6, usize> =
+                prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
             // Deduplicate like the tree does (later value wins).
             let mut entries: Vec<(Prefix6, usize)> = Vec::new();
             for (i, p) in prefixes.iter().enumerate() {
@@ -194,7 +214,7 @@ mod v6 {
                 .copied()
                 .collect();
             want.sort_by_key(|(k, _)| core::cmp::Reverse(k.len()));
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
             // Subtree.
             let got: Vec<_> = tree.subtree(&query).map(|(k, v)| (k, *v)).collect();
             let mut want: Vec<_> = entries
@@ -203,11 +223,39 @@ mod v6 {
                 .copied()
                 .collect();
             want.sort();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
             // Exact membership.
             for (k, v) in &entries {
-                prop_assert_eq!(tree.get(k), Some(v));
+                assert_eq!(tree.get(k), Some(v));
             }
-        }
+        });
+    }
+
+    /// Longest-prefix match against a naive linear scan, IPv6.
+    #[test]
+    fn longest_match_agrees_with_linear_scan_v6() {
+        run_cases(256, |g| {
+            let dense = g.bool();
+            let draw = |g: &mut Gen| {
+                if dense {
+                    gen_dense_prefix6(g)
+                } else {
+                    gen_prefix6(g)
+                }
+            };
+            let prefixes: Vec<Prefix6> = (0..g.range(1, 80)).map(|_| draw(g)).collect();
+            let tree: RadixTree<Prefix6, usize> =
+                prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+            for _ in 0..32 {
+                let query = draw(g);
+                let got = tree.longest_match(&query).map(|(k, _)| k);
+                let want = prefixes
+                    .iter()
+                    .filter(|p| p.contains(&query))
+                    .max_by_key(|p| p.len())
+                    .copied();
+                assert_eq!(got, want, "query {query}");
+            }
+        });
     }
 }

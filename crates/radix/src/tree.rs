@@ -1,5 +1,7 @@
 //! The arena-backed, path-compressed radix tree.
 
+use p2o_obs::Counter;
+
 use crate::key::RadixKey;
 
 /// Index of a node in the arena. The root is always index 0.
@@ -35,6 +37,8 @@ struct Node<K, V> {
 pub struct RadixTree<K, V> {
     nodes: Vec<Node<K, V>>,
     len: usize,
+    inserts: Option<Counter>,
+    lookups: Option<Counter>,
 }
 
 impl<K: RadixKey, V> Default for RadixTree<K, V> {
@@ -53,6 +57,25 @@ impl<K: RadixKey, V> RadixTree<K, V> {
                 children: [None, None],
             }],
             len: 0,
+            inserts: None,
+            lookups: None,
+        }
+    }
+
+    /// Attaches observability counters: `inserts` ticks once per [`insert`],
+    /// `lookups` once per query (`get`/`get_mut`/`remove`/`covering`/
+    /// `longest_match`/`subtree`). Uninstrumented trees pay one branch.
+    ///
+    /// [`insert`]: RadixTree::insert
+    pub fn instrument(&mut self, inserts: Counter, lookups: Counter) {
+        self.inserts = Some(inserts);
+        self.lookups = Some(lookups);
+    }
+
+    #[inline]
+    fn tick_lookup(&self) {
+        if let Some(c) = &self.lookups {
+            c.incr();
         }
     }
 
@@ -85,6 +108,9 @@ impl<K: RadixKey, V> RadixTree<K, V> {
     /// Inserts `prefix` with `value`, returning the previous value if the
     /// prefix was already present.
     pub fn insert(&mut self, prefix: K, value: V) -> Option<V> {
+        if let Some(c) = &self.inserts {
+            c.incr();
+        }
         let mut cur: NodeId = 0;
         loop {
             let cur_prefix = self.nodes[cur as usize].prefix;
@@ -151,8 +177,9 @@ impl<K: RadixKey, V> RadixTree<K, V> {
             }
             let branch = prefix.bit(node.prefix.len()) as usize;
             match node.children[branch] {
-                Some(child) if self.nodes[child as usize].prefix.contains(prefix)
-                    || self.nodes[child as usize].prefix == *prefix =>
+                Some(child)
+                    if self.nodes[child as usize].prefix.contains(prefix)
+                        || self.nodes[child as usize].prefix == *prefix =>
                 {
                     cur = child;
                 }
@@ -170,12 +197,14 @@ impl<K: RadixKey, V> RadixTree<K, V> {
 
     /// Returns the stored value for exactly `prefix`.
     pub fn get(&self, prefix: &K) -> Option<&V> {
+        self.tick_lookup();
         self.find_node(prefix)
             .and_then(|id| self.nodes[id as usize].value.as_ref())
     }
 
     /// Mutable access to the stored value for exactly `prefix`.
     pub fn get_mut(&mut self, prefix: &K) -> Option<&mut V> {
+        self.tick_lookup();
         self.find_node(prefix)
             .and_then(|id| self.nodes[id as usize].value.as_mut())
     }
@@ -191,6 +220,7 @@ impl<K: RadixKey, V> RadixTree<K, V> {
     /// shrinks physically); with the workloads in this project removals are
     /// rare, so we trade a little memory for simplicity and stable node ids.
     pub fn remove(&mut self, prefix: &K) -> Option<V> {
+        self.tick_lookup();
         let id = self.find_node(prefix)?;
         let old = self.nodes[id as usize].value.take();
         if old.is_some() {
@@ -208,6 +238,7 @@ impl<K: RadixKey, V> RadixTree<K, V> {
     /// Iterates all stored prefixes that equal or cover `key`, **most
     /// specific first** — the §5.2 ownership-chain walk.
     pub fn covering<'a>(&'a self, key: &K) -> Covering<'a, K, V> {
+        self.tick_lookup();
         let mut chain: Vec<NodeId> = Vec::new();
         let mut cur: NodeId = 0;
         loop {
@@ -232,6 +263,7 @@ impl<K: RadixKey, V> RadixTree<K, V> {
     /// Iterates all stored `(prefix, value)` pairs contained in `key`
     /// (including `key` itself if stored), in sorted order.
     pub fn subtree<'a>(&'a self, key: &K) -> Iter<'a, K, V> {
+        self.tick_lookup();
         // Descend to the highest node whose prefix is contained in `key`.
         let mut cur: NodeId = 0;
         let root = loop {
@@ -291,7 +323,10 @@ impl<'a, K: RadixKey, V> Iterator for Covering<'a, K, V> {
     fn next(&mut self) -> Option<Self::Item> {
         let id = self.chain.pop()?;
         let node = &self.tree.nodes[id as usize];
-        Some((node.prefix, node.value.as_ref().expect("chain nodes carry values")))
+        Some((
+            node.prefix,
+            node.value.as_ref().expect("chain nodes carry values"),
+        ))
     }
 }
 
@@ -413,7 +448,10 @@ mod tests {
             "206.238.10.0/24",
             "100.0.0.0/8",
         ]);
-        let chain: Vec<_> = t.covering(&p("206.238.10.128/26")).map(|(k, _)| k).collect();
+        let chain: Vec<_> = t
+            .covering(&p("206.238.10.128/26"))
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(
             chain,
             vec![p("206.238.10.0/24"), p("206.238.0.0/16"), p("206.0.0.0/8")]
@@ -479,12 +517,7 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted() {
-        let t = tree(&[
-            "11.0.0.0/8",
-            "10.20.30.0/24",
-            "10.0.0.0/8",
-            "10.20.0.0/16",
-        ]);
+        let t = tree(&["11.0.0.0/8", "10.20.30.0/24", "10.0.0.0/8", "10.20.0.0/16"]);
         let keys: Vec<_> = t.keys().collect();
         let mut sorted = keys.clone();
         sorted.sort();

@@ -234,7 +234,9 @@ mod tests {
         };
         roa.signature = roa.expected_signature();
         assert_eq!(roa.signature, roa.expected_signature());
-        assert!(roa.claimed_resources().contains_prefix(&p("65.196.14.0/24")));
+        assert!(roa
+            .claimed_resources()
+            .contains_prefix(&p("65.196.14.0/24")));
         let mut other = roa.clone();
         other.prefixes[0].max_len = 28;
         assert_ne!(roa.content_digest(), other.content_digest());

@@ -5,65 +5,121 @@
 //! object per line instead (`{"type":"cert",...}` / `{"type":"roa",...}`).
 //! Signatures and key ids are stored verbatim, so a tampered file fails
 //! chain validation on load exactly like a tampered repository would.
+//!
+//! Ids and signatures are full 64-bit digests, which do not fit in a JSON
+//! number without loss; they are stored as decimal strings.
 
 use p2o_net::Prefix;
-use p2o_util::Digest;
+use p2o_util::{Digest, Json};
 
 use crate::cert::{CertId, ResourceCert, Roa, RoaPrefix};
 use crate::repo::RpkiRepository;
 use crate::resources::IpResourceSet;
 
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
-enum Line {
-    Cert {
-        id: u64,
-        issuer: Option<u64>,
-        subject: String,
-        resources: Vec<Prefix>,
-        not_before: u32,
-        not_after: u32,
-        signature: u64,
-    },
-    Roa {
-        asn: u32,
-        prefixes: Vec<(Prefix, u8)>,
-        parent: u64,
-        not_before: u32,
-        not_after: u32,
-        signature: u64,
-    },
+fn u64_str(v: u64) -> Json {
+    Json::from(v.to_string())
+}
+
+fn cert_line(cert: &ResourceCert) -> Json {
+    let mut line = Json::object();
+    line.set("type", "cert");
+    line.set("id", u64_str(cert.id.0 .0));
+    line.set(
+        "issuer",
+        match cert.issuer {
+            Some(i) => u64_str(i.0 .0),
+            None => Json::Null,
+        },
+    );
+    line.set("subject", cert.subject.as_str());
+    line.set(
+        "resources",
+        cert.resources
+            .to_prefixes()
+            .iter()
+            .map(|p| Json::from(p.to_string()))
+            .collect::<Vec<Json>>(),
+    );
+    line.set("not_before", cert.not_before);
+    line.set("not_after", cert.not_after);
+    line.set("signature", u64_str(cert.signature.0));
+    line
+}
+
+fn roa_line(roa: &Roa) -> Json {
+    let mut line = Json::object();
+    line.set("type", "roa");
+    line.set("asn", roa.asn);
+    line.set(
+        "prefixes",
+        roa.prefixes
+            .iter()
+            .map(|rp| {
+                Json::Arr(vec![
+                    Json::from(rp.prefix.to_string()),
+                    Json::from(rp.max_len as u32),
+                ])
+            })
+            .collect::<Vec<Json>>(),
+    );
+    line.set("parent", u64_str(roa.parent.0 .0));
+    line.set("not_before", roa.not_before);
+    line.set("not_after", roa.not_after);
+    line.set("signature", u64_str(roa.signature.0));
+    line
 }
 
 /// Serializes a repository (trust anchors, certificates, ROAs) to JSONL.
 pub fn to_jsonl(repo: &RpkiRepository) -> String {
     let mut out = String::new();
     for cert in repo.certs_in_order() {
-        let line = Line::Cert {
-            id: cert.id.0 .0,
-            issuer: cert.issuer.map(|i| i.0 .0),
-            subject: cert.subject.clone(),
-            resources: cert.resources.to_prefixes(),
-            not_before: cert.not_before,
-            not_after: cert.not_after,
-            signature: cert.signature.0,
-        };
-        out.push_str(&serde_json::to_string(&line).expect("line serializes"));
+        out.push_str(&cert_line(cert).to_string());
         out.push('\n');
     }
     for roa in repo.roas_in_order() {
-        let line = Line::Roa {
-            asn: roa.asn,
-            prefixes: roa.prefixes.iter().map(|rp| (rp.prefix, rp.max_len)).collect(),
-            parent: roa.parent.0 .0,
-            not_before: roa.not_before,
-            not_after: roa.not_after,
-            signature: roa.signature.0,
-        };
-        out.push_str(&serde_json::to_string(&line).expect("line serializes"));
+        out.push_str(&roa_line(roa).to_string());
         out.push('\n');
     }
     out
+}
+
+struct LineReader<'a> {
+    doc: &'a Json,
+    idx: usize,
+}
+
+impl<'a> LineReader<'a> {
+    fn field(&self, name: &str) -> Result<&'a Json, String> {
+        self.doc
+            .get(name)
+            .ok_or_else(|| format!("line {}: missing field {name:?}", self.idx + 1))
+    }
+
+    fn u64_field(&self, name: &str) -> Result<u64, String> {
+        let v = self.field(name)?;
+        v.as_str()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| format!("line {}: field {name:?} is not a u64 string", self.idx + 1))
+    }
+
+    fn u32_field(&self, name: &str) -> Result<u32, String> {
+        self.field(name)?
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| format!("line {}: field {name:?} is not a u32", self.idx + 1))
+    }
+
+    fn str_field(&self, name: &str) -> Result<&'a str, String> {
+        self.field(name)?
+            .as_str()
+            .ok_or_else(|| format!("line {}: field {name:?} is not a string", self.idx + 1))
+    }
+
+    fn prefix(&self, v: &Json) -> Result<Prefix, String> {
+        v.as_str()
+            .and_then(|s| s.parse::<Prefix>().ok())
+            .ok_or_else(|| format!("line {}: bad prefix", self.idx + 1))
+    }
 }
 
 /// Reconstructs a repository from JSONL. Objects are restored verbatim
@@ -75,48 +131,69 @@ pub fn from_jsonl(text: &str) -> Result<RpkiRepository, String> {
         if raw.trim().is_empty() {
             continue;
         }
-        let line: Line =
-            serde_json::from_str(raw).map_err(|e| format!("line {}: {e}", idx + 1))?;
-        match line {
-            Line::Cert {
-                id,
-                issuer,
-                subject,
-                resources,
-                not_before,
-                not_after,
-                signature,
-            } => {
-                let resources: IpResourceSet = resources.into_iter().collect();
+        let doc = Json::parse(raw).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let line = LineReader { doc: &doc, idx };
+        match line.str_field("type")? {
+            "cert" => {
+                let issuer = match line.field("issuer")? {
+                    Json::Null => None,
+                    v => Some(
+                        v.as_str()
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| format!("line {}: bad issuer", idx + 1))?,
+                    ),
+                };
+                let resources: IpResourceSet = line
+                    .field("resources")?
+                    .as_array()
+                    .ok_or_else(|| format!("line {}: resources is not an array", idx + 1))?
+                    .iter()
+                    .map(|v| line.prefix(v))
+                    .collect::<Result<Vec<Prefix>, String>>()?
+                    .into_iter()
+                    .collect();
                 repo.restore_cert(ResourceCert {
-                    id: CertId(Digest(id)),
+                    id: CertId(Digest(line.u64_field("id")?)),
                     issuer: issuer.map(|i| CertId(Digest(i))),
-                    subject,
+                    subject: line.str_field("subject")?.to_string(),
                     resources,
-                    not_before,
-                    not_after,
-                    signature: Digest(signature),
+                    not_before: line.u32_field("not_before")?,
+                    not_after: line.u32_field("not_after")?,
+                    signature: Digest(line.u64_field("signature")?),
                 });
             }
-            Line::Roa {
-                asn,
-                prefixes,
-                parent,
-                not_before,
-                not_after,
-                signature,
-            } => {
+            "roa" => {
+                let prefixes = line
+                    .field("prefixes")?
+                    .as_array()
+                    .ok_or_else(|| format!("line {}: prefixes is not an array", idx + 1))?
+                    .iter()
+                    .map(|pair| {
+                        let items = pair
+                            .as_array()
+                            .filter(|a| a.len() == 2)
+                            .ok_or_else(|| format!("line {}: bad roa prefix pair", idx + 1))?;
+                        let max_len = items[1]
+                            .as_u64()
+                            .and_then(|v| u8::try_from(v).ok())
+                            .ok_or_else(|| format!("line {}: bad max_len", idx + 1))?;
+                        Ok(RoaPrefix {
+                            prefix: line.prefix(&items[0])?,
+                            max_len,
+                        })
+                    })
+                    .collect::<Result<Vec<RoaPrefix>, String>>()?;
                 repo.restore_roa(Roa {
-                    asn,
-                    prefixes: prefixes
-                        .into_iter()
-                        .map(|(prefix, max_len)| RoaPrefix { prefix, max_len })
-                        .collect(),
-                    parent: CertId(Digest(parent)),
-                    not_before,
-                    not_after,
-                    signature: Digest(signature),
+                    asn: line.u32_field("asn")?,
+                    prefixes,
+                    parent: CertId(Digest(line.u64_field("parent")?)),
+                    not_before: line.u32_field("not_before")?,
+                    not_after: line.u32_field("not_after")?,
+                    signature: Digest(line.u64_field("signature")?),
                 });
+            }
+            other => {
+                return Err(format!("line {}: unknown object type {other:?}", idx + 1));
             }
         }
     }
@@ -189,7 +266,10 @@ mod tests {
         let text = to_jsonl(&repo).replace("63.64.0.0/10", "63.0.0.0/9");
         let restored = from_jsonl(&text).unwrap();
         let (_, problems) = restored.validate(20240901);
-        assert!(!problems.is_empty(), "tampering must be caught by validation");
+        assert!(
+            !problems.is_empty(),
+            "tampering must be caught by validation"
+        );
     }
 
     #[test]
@@ -206,5 +286,20 @@ mod tests {
     fn blank_lines_are_skipped() {
         let text = to_jsonl(&sample_repo()).replace('\n', "\n\n");
         assert!(from_jsonl(&text).is_ok());
+    }
+
+    #[test]
+    fn large_digests_survive_round_trip_exactly() {
+        // 64-bit ids/signatures exceed f64's 53-bit mantissa; string encoding
+        // must preserve them bit-for-bit.
+        let repo = sample_repo();
+        let restored = from_jsonl(&to_jsonl(&repo)).unwrap();
+        for (a, b) in repo.certs_in_order().zip(restored.certs_in_order()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.signature, b.signature);
+        }
+        for (a, b) in repo.roas_in_order().zip(restored.roas_in_order()) {
+            assert_eq!(a.signature, b.signature);
+        }
     }
 }

@@ -150,9 +150,7 @@ impl RpkiRepository {
             .get(&parent)
             .ok_or_else(|| format!("unknown parent certificate {parent}"))?;
         if !resources.is_subset_of(&parent_cert.resources) {
-            return Err(format!(
-                "resources of {subject:?} exceed parent {parent}"
-            ));
+            return Err(format!("resources of {subject:?} exceed parent {parent}"));
         }
         Ok(self.insert_cert_unchecked(parent, subject, resources, not_before, not_after))
     }
@@ -168,8 +166,14 @@ impl RpkiRepository {
         not_after: u32,
     ) -> CertId {
         let id = self.make_id(subject, Some(&parent));
-        let content =
-            cert_content_digest(&id, Some(&parent), subject, &resources, not_before, not_after);
+        let content = cert_content_digest(
+            &id,
+            Some(&parent),
+            subject,
+            &resources,
+            not_before,
+            not_after,
+        );
         let cert = ResourceCert {
             id,
             issuer: Some(parent),
@@ -317,16 +321,14 @@ impl RpkiRepository {
                                 continue;
                             }
                             Some(Some(parent_depth)) => {
-                                let ok_sig =
-                                    cert.signature == cert.expected_signature(&parent_id);
+                                let ok_sig = cert.signature == cert.expected_signature(&parent_id);
                                 let ok_res = cert.resources.is_subset_of(&parent.resources);
                                 let ok_time = cert.valid_at(date);
                                 if !ok_sig {
                                     problems.push(RepoProblem::BadSignature { cert: cert.id });
                                     status.insert(cert.id, None);
                                 } else if !ok_res {
-                                    problems
-                                        .push(RepoProblem::ResourceOverclaim { cert: cert.id });
+                                    problems.push(RepoProblem::ResourceOverclaim { cert: cert.id });
                                     status.insert(cert.id, None);
                                 } else if !ok_time {
                                     problems.push(RepoProblem::Expired { cert: cert.id });
@@ -585,7 +587,7 @@ mod tests {
         assert!(problems.contains(&RepoProblem::BadSignature { cert: mid }));
         assert!(problems.contains(&RepoProblem::InvalidParent { cert: leaf }));
         assert_eq!(valid.cert_count(), 1); // only the TA survives
-        // TAs are not member certificates: no child-most RC remains.
+                                           // TAs are not member certificates: no child-most RC remains.
         assert_eq!(valid.child_most_rc(&p("80.1.2.0/24")), None);
         let _ = ta;
     }
@@ -630,8 +632,14 @@ mod tests {
         let member = repo
             .issue_cert(ta, "member", rs(&["63.64.0.0/10"]), D0, D1)
             .unwrap();
-        repo.issue_roa(member, 701, vec![RoaPrefix::exact(p("63.64.0.0/10"))], D0, D1)
-            .unwrap();
+        repo.issue_roa(
+            member,
+            701,
+            vec![RoaPrefix::exact(p("63.64.0.0/10"))],
+            D0,
+            D1,
+        )
+        .unwrap();
         repo.corrupt_signature(member);
         let (valid, problems) = repo.validate(TODAY);
         assert!(problems.contains(&RepoProblem::RoaBadParent { asn: 701 }));

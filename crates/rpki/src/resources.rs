@@ -285,10 +285,13 @@ fn intersects<T: Bound>(a: &[(T, T)], b: &[(T, T)]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use p2o_util::check::{run_cases, Gen};
 
     fn set(prefixes: &[&str]) -> IpResourceSet {
-        prefixes.iter().map(|s| s.parse::<Prefix>().unwrap()).collect()
+        prefixes
+            .iter()
+            .map(|s| s.parse::<Prefix>().unwrap())
+            .collect()
     }
 
     fn p(s: &str) -> Prefix {
@@ -408,13 +411,14 @@ mod tests {
         assert!(s.contains_prefix(&p("255.255.255.254/31")));
     }
 
-    proptest! {
-        /// Set membership matches a brute-force model on a small universe.
-        #[test]
-        fn interval_set_matches_model(
-            ops in proptest::collection::vec((0u32..1024, 0u32..1024), 1..40),
-            probe in (0u32..1024, 0u32..1024),
-        ) {
+    /// Set membership matches a brute-force model on a small universe.
+    #[test]
+    fn interval_set_matches_model() {
+        run_cases(256, |g| {
+            let ops: Vec<(u32, u32)> = (0..g.range(1, 39))
+                .map(|_| (g.below(1024) as u32, g.below(1024) as u32))
+                .collect();
+            let probe = (g.below(1024) as u32, g.below(1024) as u32);
             let mut v: Vec<(u32, u32)> = Vec::new();
             let mut model = std::collections::HashSet::new();
             for (a, b) in ops {
@@ -426,23 +430,31 @@ mod tests {
             }
             // Normalization invariants.
             for w in v.windows(2) {
-                prop_assert!(w[0].1 < w[1].0, "sorted/disjoint");
-                prop_assert!(w[0].1 + 1 < w[1].0, "non-adjacent");
+                assert!(w[0].1 < w[1].0, "sorted/disjoint");
+                assert!(w[0].1 + 1 < w[1].0, "non-adjacent");
             }
             let total: u64 = v.iter().map(|&(a, b)| (b - a) as u64 + 1).sum();
-            prop_assert_eq!(total, model.len() as u64);
+            assert_eq!(total, model.len() as u64);
             // covers() agrees with the model.
-            let (pa, pb) = if probe.0 <= probe.1 { probe } else { (probe.1, probe.0) };
+            let (pa, pb) = if probe.0 <= probe.1 {
+                probe
+            } else {
+                (probe.1, probe.0)
+            };
             let want = (pa..=pb).all(|x| model.contains(&x));
-            prop_assert_eq!(covers(&v, pa, pb), want);
-        }
+            assert_eq!(covers(&v, pa, pb), want);
+        });
+    }
 
-        /// Subset relation is a partial order consistent with union.
-        #[test]
-        fn subset_laws(
-            xs in proptest::collection::vec((0u32..256, 0u32..256), 0..10),
-            ys in proptest::collection::vec((0u32..256, 0u32..256), 0..10),
-        ) {
+    /// Subset relation is a partial order consistent with union.
+    #[test]
+    fn subset_laws() {
+        fn pairs(g: &mut Gen) -> Vec<(u32, u32)> {
+            (0..g.below(10))
+                .map(|_| (g.below(256) as u32, g.below(256) as u32))
+                .collect()
+        }
+        run_cases(256, |g| {
             let mk = |pairs: &[(u32, u32)]| {
                 let mut v = Vec::new();
                 for &(a, b) in pairs {
@@ -451,23 +463,23 @@ mod tests {
                 }
                 v
             };
-            let a = mk(&xs);
-            let b = mk(&ys);
-            prop_assert!(subset(&a, &a));
+            let a = mk(&pairs(g));
+            let b = mk(&pairs(g));
+            assert!(subset(&a, &a));
             let mut u = a.clone();
             for &(x, y) in &b {
                 insert(&mut u, x, y);
             }
-            prop_assert!(subset(&a, &u));
-            prop_assert!(subset(&b, &u));
+            assert!(subset(&a, &u));
+            assert!(subset(&b, &u));
             if subset(&a, &b) && subset(&b, &a) {
-                prop_assert_eq!(a.clone(), b.clone());
+                assert_eq!(a, b);
             }
             // intersects is symmetric and consistent with subset.
-            prop_assert_eq!(intersects(&a, &b), intersects(&b, &a));
+            assert_eq!(intersects(&a, &b), intersects(&b, &a));
             if !a.is_empty() && subset(&a, &b) {
-                prop_assert!(intersects(&a, &b));
+                assert!(intersects(&a, &b));
             }
-        }
+        });
     }
 }

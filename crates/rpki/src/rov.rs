@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn uncovered_not_found() {
         let idx = index(&[("10.0.0.0/16", 16, 64512)]);
-        assert_eq!(validate(&idx, &p("11.0.0.0/16"), 64512), RovStatus::NotFound);
+        assert_eq!(
+            validate(&idx, &p("11.0.0.0/16"), 64512),
+            RovStatus::NotFound
+        );
         // A *less* specific route than the VRP prefix is not covered.
         assert_eq!(validate(&idx, &p("10.0.0.0/8"), 64512), RovStatus::NotFound);
     }

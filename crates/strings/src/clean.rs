@@ -48,7 +48,10 @@ impl core::fmt::Display for CleanTrace {
 /// Step 0 (footnote 4): lowercase and collapse whitespace. This alone defines
 /// the 𝒲 "Default Clusters".
 pub fn basic_clean(name: &str) -> String {
-    name.to_lowercase().split_whitespace().collect::<Vec<_>>().join(" ")
+    name.to_lowercase()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Steps (i)+(ii): strip noise phrases, punctuation, mis-encoded bytes, and
@@ -126,7 +129,7 @@ const MOJIBAKE: &[(&str, &str)] = &[
     ("\u{c3}\u{bc}", "u"), // ü
     ("\u{c3}\u{b1}", "n"), // ñ
     ("\u{c3}\u{a7}", "c"), // ç
-    ("\u{c2}", ""),          // stray continuation artifact (e.g. Â before NBSP)
+    ("\u{c2}", ""),        // stray continuation artifact (e.g. Â before NBSP)
 ];
 
 /// Step (iii) first half: drop legal entity endings unless they are the first
@@ -203,7 +206,10 @@ mod tests {
         assert_eq!(regex_clean("fastly, inc."), "fastly inc");
         assert_eq!(regex_clean("c.t.c. corp s.a."), "ctc corp sa");
         assert_eq!(regex_clean("t-systems"), "t systems");
-        assert_eq!(regex_clean("telefonica del peru s.a.a."), "telefonica del peru saa");
+        assert_eq!(
+            regex_clean("telefonica del peru s.a.a."),
+            "telefonica del peru saa"
+        );
     }
 
     #[test]
@@ -236,7 +242,10 @@ mod tests {
     #[test]
     fn regex_clean_repairs_mojibake() {
         // "Telefónica" whose ó arrived as the UTF-8 bytes read in Latin-1.
-        assert_eq!(regex_clean("telef\u{c3}\u{b3}nica del peru"), "telefonica del peru");
+        assert_eq!(
+            regex_clean("telef\u{c3}\u{b3}nica del peru"),
+            "telefonica del peru"
+        );
         // A stray Â artifact (UTF-8 NBSP misread) disappears.
         assert_eq!(regex_clean("acme\u{c2} hosting"), "acme hosting");
         // Genuine accented text typed correctly is preserved as letters.
@@ -246,16 +255,16 @@ mod tests {
     #[test]
     fn regex_clean_standardizes_spelling() {
         assert_eq!(regex_clean("data centre"), "data center");
-        assert_eq!(
-            regex_clean("british telecommunications"),
-            "british telecom"
-        );
+        assert_eq!(regex_clean("british telecommunications"), "british telecom");
     }
 
     #[test]
     fn corporate_drop_keeps_first_word() {
         assert_eq!(drop_corporate_words("fastly inc"), "fastly");
-        assert_eq!(drop_corporate_words("verizon business ltd"), "verizon business");
+        assert_eq!(
+            drop_corporate_words("verizon business ltd"),
+            "verizon business"
+        );
         // A legal ending as the *first* word is kept (it may be the name).
         assert_eq!(drop_corporate_words("corp tech inc"), "corp tech");
     }
@@ -267,7 +276,10 @@ mod tests {
             drop_frequent_words("fastly network solution", frequent),
             "fastly"
         );
-        assert_eq!(drop_frequent_words("network rail", frequent), "network rail");
+        assert_eq!(
+            drop_frequent_words("network rail", frequent),
+            "network rail"
+        );
     }
 
     #[test]
@@ -275,7 +287,10 @@ mod tests {
         assert_eq!(drop_geo_words("verizon japan"), "verizon");
         assert_eq!(drop_geo_words("telefonica chile"), "telefonica");
         assert_eq!(drop_geo_words("japan telecom"), "japan telecom");
-        assert_eq!(drop_geo_words("deutsche telekom deutschland"), "deutsche telekom");
+        assert_eq!(
+            drop_geo_words("deutsche telekom deutschland"),
+            "deutsche telekom"
+        );
     }
 
     #[test]

@@ -11,16 +11,77 @@
 /// Legal entity endings (lowercased, punctuation already stripped).
 pub const LEGAL_ENTITY_ENDINGS: &[&str] = &[
     // Anglosphere
-    "inc", "incorporated", "llc", "llp", "lp", "ltd", "limited", "corp", "corporation", "co",
-    "company", "plc", "pllc", "pc", "holdings", "group", "trust",
+    "inc",
+    "incorporated",
+    "llc",
+    "llp",
+    "lp",
+    "ltd",
+    "limited",
+    "corp",
+    "corporation",
+    "co",
+    "company",
+    "plc",
+    "pllc",
+    "pc",
+    "holdings",
+    "group",
+    "trust",
     // Europe
-    "gmbh", "ag", "kg", "ug", "ev", "sarl", "sas", "sa", "snc", "bv", "nv", "ab", "as", "asa",
-    "aps", "oy", "oyj", "spa", "srl", "sro", "zrt", "kft", "doo", "dd", "ad", "ooo", "oao",
-    "zao", "pao", "sp", "spzoo",
+    "gmbh",
+    "ag",
+    "kg",
+    "ug",
+    "ev",
+    "sarl",
+    "sas",
+    "sa",
+    "snc",
+    "bv",
+    "nv",
+    "ab",
+    "as",
+    "asa",
+    "aps",
+    "oy",
+    "oyj",
+    "spa",
+    "srl",
+    "sro",
+    "zrt",
+    "kft",
+    "doo",
+    "dd",
+    "ad",
+    "ooo",
+    "oao",
+    "zao",
+    "pao",
+    "sp",
+    "spzoo",
     // Latin America
-    "saa", "sac", "sacv", "sadecv", "ltda", "eirl", "cv", "sab",
+    "saa",
+    "sac",
+    "sacv",
+    "sadecv",
+    "ltda",
+    "eirl",
+    "cv",
+    "sab",
     // Asia-Pacific
-    "pte", "pty", "sdn", "bhd", "kk", "yk", "gk", "pvt", "pt", "tbk", "jsc", "psc",
+    "pte",
+    "pty",
+    "sdn",
+    "bhd",
+    "kk",
+    "yk",
+    "gk",
+    "pvt",
+    "pt",
+    "tbk",
+    "jsc",
+    "psc",
 ];
 
 /// Spelling variants mapped to a standard token.
@@ -52,35 +113,205 @@ pub const SPELLING_STANDARDIZATION: &[(&str, &str)] = &[
 
 /// Country names, frequent endonyms, and ISO 3166 short names (lowercased).
 pub const GEO_COUNTRIES: &[&str] = &[
-    "afghanistan", "albania", "algeria", "argentina", "armenia", "australia", "austria",
-    "azerbaijan", "bangladesh", "belarus", "belgium", "bolivia", "brasil", "brazil", "bulgaria",
-    "cambodia", "cameroon", "canada", "chile", "china", "colombia", "congo", "croatia", "cuba",
-    "cyprus", "czechia", "denmark", "deutschland", "ecuador", "egypt", "espana", "estonia",
-    "ethiopia", "finland", "france", "georgia", "germany", "ghana", "greece", "guatemala",
-    "honduras", "hungary", "iceland", "india", "indonesia", "iran", "iraq", "ireland", "israel",
-    "italia", "italy", "japan", "jordan", "kazakhstan", "kenya", "korea", "kuwait", "laos",
-    "latvia", "lebanon", "libya", "lithuania", "luxembourg", "malaysia", "mexico", "moldova",
-    "mongolia", "morocco", "mozambique", "myanmar", "nederland", "nepal", "netherlands",
-    "nicaragua", "nigeria", "norway", "oman", "pakistan", "panama", "paraguay", "peru",
-    "philippines", "polska", "poland", "portugal", "qatar", "romania", "russia", "rwanda",
-    "senegal", "serbia", "singapore", "slovakia", "slovenia", "somalia", "spain", "sverige",
-    "sweden", "switzerland", "syria", "taiwan", "tanzania", "thailand", "tunisia", "turkey",
-    "turkiye", "uganda", "ukraine", "uruguay", "usa", "uzbekistan", "venezuela", "vietnam",
-    "yemen", "zambia", "zimbabwe",
+    "afghanistan",
+    "albania",
+    "algeria",
+    "argentina",
+    "armenia",
+    "australia",
+    "austria",
+    "azerbaijan",
+    "bangladesh",
+    "belarus",
+    "belgium",
+    "bolivia",
+    "brasil",
+    "brazil",
+    "bulgaria",
+    "cambodia",
+    "cameroon",
+    "canada",
+    "chile",
+    "china",
+    "colombia",
+    "congo",
+    "croatia",
+    "cuba",
+    "cyprus",
+    "czechia",
+    "denmark",
+    "deutschland",
+    "ecuador",
+    "egypt",
+    "espana",
+    "estonia",
+    "ethiopia",
+    "finland",
+    "france",
+    "georgia",
+    "germany",
+    "ghana",
+    "greece",
+    "guatemala",
+    "honduras",
+    "hungary",
+    "iceland",
+    "india",
+    "indonesia",
+    "iran",
+    "iraq",
+    "ireland",
+    "israel",
+    "italia",
+    "italy",
+    "japan",
+    "jordan",
+    "kazakhstan",
+    "kenya",
+    "korea",
+    "kuwait",
+    "laos",
+    "latvia",
+    "lebanon",
+    "libya",
+    "lithuania",
+    "luxembourg",
+    "malaysia",
+    "mexico",
+    "moldova",
+    "mongolia",
+    "morocco",
+    "mozambique",
+    "myanmar",
+    "nederland",
+    "nepal",
+    "netherlands",
+    "nicaragua",
+    "nigeria",
+    "norway",
+    "oman",
+    "pakistan",
+    "panama",
+    "paraguay",
+    "peru",
+    "philippines",
+    "polska",
+    "poland",
+    "portugal",
+    "qatar",
+    "romania",
+    "russia",
+    "rwanda",
+    "senegal",
+    "serbia",
+    "singapore",
+    "slovakia",
+    "slovenia",
+    "somalia",
+    "spain",
+    "sverige",
+    "sweden",
+    "switzerland",
+    "syria",
+    "taiwan",
+    "tanzania",
+    "thailand",
+    "tunisia",
+    "turkey",
+    "turkiye",
+    "uganda",
+    "ukraine",
+    "uruguay",
+    "usa",
+    "uzbekistan",
+    "venezuela",
+    "vietnam",
+    "yemen",
+    "zambia",
+    "zimbabwe",
 ];
 
 /// Large cities and common WHOIS locality tokens (lowercased).
 pub const GEO_CITIES: &[&str] = &[
-    "amsterdam", "ankara", "athens", "atlanta", "auckland", "baghdad", "bangkok", "barcelona",
-    "beijing", "berlin", "bogota", "boston", "brussels", "bucharest", "budapest", "cairo",
-    "caracas", "chengdu", "chicago", "copenhagen", "dallas", "delhi", "dhaka", "dubai",
-    "dublin", "frankfurt", "guangzhou", "hamburg", "hanoi", "havana", "helsinki", "hongkong",
-    "houston", "istanbul", "jakarta", "johannesburg", "karachi", "kyiv", "lagos", "lahore",
-    "lima", "lisbon", "london", "madrid", "manila", "melbourne", "miami", "milan", "montreal",
-    "moscow", "mumbai", "munich", "nagoya", "nairobi", "osaka", "oslo", "paris", "prague",
-    "pyongyang", "quito", "riyadh", "rome", "santiago", "seattle", "seoul", "shanghai",
-    "shenzhen", "singapore", "stockholm", "sydney", "taipei", "tehran", "tokyo", "toronto",
-    "vienna", "warsaw", "wuhan", "yokohama", "zurich",
+    "amsterdam",
+    "ankara",
+    "athens",
+    "atlanta",
+    "auckland",
+    "baghdad",
+    "bangkok",
+    "barcelona",
+    "beijing",
+    "berlin",
+    "bogota",
+    "boston",
+    "brussels",
+    "bucharest",
+    "budapest",
+    "cairo",
+    "caracas",
+    "chengdu",
+    "chicago",
+    "copenhagen",
+    "dallas",
+    "delhi",
+    "dhaka",
+    "dubai",
+    "dublin",
+    "frankfurt",
+    "guangzhou",
+    "hamburg",
+    "hanoi",
+    "havana",
+    "helsinki",
+    "hongkong",
+    "houston",
+    "istanbul",
+    "jakarta",
+    "johannesburg",
+    "karachi",
+    "kyiv",
+    "lagos",
+    "lahore",
+    "lima",
+    "lisbon",
+    "london",
+    "madrid",
+    "manila",
+    "melbourne",
+    "miami",
+    "milan",
+    "montreal",
+    "moscow",
+    "mumbai",
+    "munich",
+    "nagoya",
+    "nairobi",
+    "osaka",
+    "oslo",
+    "paris",
+    "prague",
+    "pyongyang",
+    "quito",
+    "riyadh",
+    "rome",
+    "santiago",
+    "seattle",
+    "seoul",
+    "shanghai",
+    "shenzhen",
+    "singapore",
+    "stockholm",
+    "sydney",
+    "taipei",
+    "tehran",
+    "tokyo",
+    "toronto",
+    "vienna",
+    "warsaw",
+    "wuhan",
+    "yokohama",
+    "zurich",
 ];
 
 /// Generic remark phrases scrubbed during regex cleaning (lowercased
@@ -98,8 +329,19 @@ pub const NOISE_PHRASES: &[&str] = &[
 /// Street-address indicator tokens: a token list ending in one of these with
 /// a number nearby is an address fragment, not a name.
 pub const STREET_TOKENS: &[&str] = &[
-    "street", "str", "st", "avenue", "ave", "road", "rd", "blvd", "boulevard", "suite", "floor",
-    "building", "bldg",
+    "street",
+    "str",
+    "st",
+    "avenue",
+    "ave",
+    "road",
+    "rd",
+    "blvd",
+    "boulevard",
+    "suite",
+    "floor",
+    "building",
+    "bldg",
 ];
 
 use std::collections::{HashMap, HashSet};

@@ -11,7 +11,9 @@ pub fn v4_pools(rir: Rir) -> &'static [u8] {
     match rir {
         Rir::Arin => &[63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73, 74, 75, 76, 12],
         Rir::Ripe => &[77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91],
-        Rir::Apnic => &[101, 103, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120],
+        Rir::Apnic => &[
+            101, 103, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120,
+        ],
         Rir::Lacnic => &[177, 179, 181, 186, 187, 189, 190, 191, 200, 201],
         Rir::Afrinic => &[41, 102, 105, 154, 196, 197],
     }

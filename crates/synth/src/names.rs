@@ -18,22 +18,74 @@ const SYLLABLES: &[&str] = &[
 ];
 
 const SECTORS: &[&str] = &[
-    "Telecom", "Networks", "Communications", "Cloud", "Hosting", "Data Centre", "Internet",
-    "Broadband", "Digital", "Online", "Systems", "Technologies",
+    "Telecom",
+    "Networks",
+    "Communications",
+    "Cloud",
+    "Hosting",
+    "Data Centre",
+    "Internet",
+    "Broadband",
+    "Digital",
+    "Online",
+    "Systems",
+    "Technologies",
 ];
 
 const LEGAL: &[&str] = &[
-    "Inc", "Inc.", "LLC", "Ltd", "Ltd.", "Limited", "Corp", "Corporation", "GmbH", "S.A.",
-    "S.A.A.", "Pte Ltd", "Pty Ltd", "B.V.", "AB", "Co., Ltd.", "K.K.", "SARL", "Ltda", "PLC",
+    "Inc",
+    "Inc.",
+    "LLC",
+    "Ltd",
+    "Ltd.",
+    "Limited",
+    "Corp",
+    "Corporation",
+    "GmbH",
+    "S.A.",
+    "S.A.A.",
+    "Pte Ltd",
+    "Pty Ltd",
+    "B.V.",
+    "AB",
+    "Co., Ltd.",
+    "K.K.",
+    "SARL",
+    "Ltda",
+    "PLC",
 ];
 
 /// Countries/cities used for regional variants, aligned with the cleaning
 /// lexicon so geographic filtering recovers the base.
 const REGIONS: &[&str] = &[
-    "Japan", "Chile", "Peru", "Brazil", "Germany", "Deutschland", "France", "Espana", "India",
-    "Korea", "Taiwan", "Vietnam", "Mexico", "Canada", "Australia", "Singapore", "Tokyo",
-    "London", "Paris", "Madrid", "Seoul", "Taipei", "Lima", "Santiago", "Sydney", "Nairobi",
-    "Lagos", "Cairo",
+    "Japan",
+    "Chile",
+    "Peru",
+    "Brazil",
+    "Germany",
+    "Deutschland",
+    "France",
+    "Espana",
+    "India",
+    "Korea",
+    "Taiwan",
+    "Vietnam",
+    "Mexico",
+    "Canada",
+    "Australia",
+    "Singapore",
+    "Tokyo",
+    "London",
+    "Paris",
+    "Madrid",
+    "Seoul",
+    "Taipei",
+    "Lima",
+    "Santiago",
+    "Sydney",
+    "Nairobi",
+    "Lagos",
+    "Cairo",
 ];
 
 /// Generates the unique base word for organization `id`.
@@ -153,7 +205,10 @@ mod tests {
         let mut corpus: Vec<String> = Vec::new();
         let mut per_org: Vec<(usize, Vec<String>)> = Vec::new();
         for id in 0..300 {
-            let vs: Vec<String> = variants(&mut rng, id, 4).into_iter().map(|v| v.name).collect();
+            let vs: Vec<String> = variants(&mut rng, id, 4)
+                .into_iter()
+                .map(|v| v.name)
+                .collect();
             corpus.extend(vs.iter().cloned());
             per_org.push((id, vs));
         }

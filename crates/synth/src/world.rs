@@ -173,13 +173,27 @@ impl World {
     /// Parses the world's native-format outputs through the real substrate
     /// code paths and returns pipeline-ready inputs.
     pub fn build_inputs(&self) -> BuiltInputs {
+        self.build_inputs_with(None)
+    }
+
+    /// [`build_inputs`] with optional observability: when `obs` is given the
+    /// WHOIS parser, MRT reader, and radix trees tick their counters and
+    /// stages into it (the same wiring the CLI `--report` path uses).
+    ///
+    /// [`build_inputs`]: World::build_inputs
+    pub fn build_inputs_with(&self, obs: Option<&p2o_obs::Obs>) -> BuiltInputs {
         let mut db = WhoisDb::new();
+        if let Some(o) = obs {
+            db.instrument(o);
+        }
         for dump in &self.whois_dumps {
             match dump.registry {
                 Registry::Rir(Rir::Arin) => {
                     db.add_arin(&dump.text);
                 }
-                Registry::Rir(Rir::Lacnic) | Registry::Nir(Nir::NicBr) | Registry::Nir(Nir::NicMx) => {
+                Registry::Rir(Rir::Lacnic)
+                | Registry::Nir(Nir::NicBr)
+                | Registry::Nir(Nir::NicMx) => {
                     db.add_lacnic(&dump.text, dump.registry);
                 }
                 reg => {
@@ -189,7 +203,11 @@ impl World {
         }
         db.fill_jpnic_alloc(|p| self.jpnic_alloc.get(p).copied());
         let (tree, whois_stats) = db.build();
-        let routes = RouteTable::from_mrt(self.mrt.clone()).expect("generated MRT parses");
+        let routes = match obs {
+            Some(o) => RouteTable::from_mrt_instrumented(self.mrt.clone(), o),
+            None => RouteTable::from_mrt(self.mrt.clone()),
+        }
+        .expect("generated MRT parses");
         let clusters = self.as2org.cluster();
         let (rpki, rpki_problems) = self.rpki.validate(self.config.snapshot_date);
         BuiltInputs {
@@ -351,9 +369,21 @@ impl Generator {
             for _ in 0..count {
                 let id = self.orgs.len();
                 let (n_names, n_asns, adopt_p) = match kind {
-                    OrgKind::Carrier => (self.rng.random_range(4..=6), self.rng.random_range(3..=5), 0.85),
-                    OrgKind::Cloud => (self.rng.random_range(2..=3), self.rng.random_range(1..=2), 0.9),
-                    OrgKind::Isp => (self.rng.random_range(1..=2), self.rng.random_range(1..=2), 0.5),
+                    OrgKind::Carrier => (
+                        self.rng.random_range(4..=6),
+                        self.rng.random_range(3..=5),
+                        0.85,
+                    ),
+                    OrgKind::Cloud => (
+                        self.rng.random_range(2..=3),
+                        self.rng.random_range(1..=2),
+                        0.9,
+                    ),
+                    OrgKind::Isp => (
+                        self.rng.random_range(1..=2),
+                        self.rng.random_range(1..=2),
+                        0.5,
+                    ),
                     OrgKind::Leasing => (self.rng.random_range(1..=2), 1, 0.8),
                     OrgKind::Enterprise => (1, usize::from(self.rng.random_bool(0.5)), 0.4),
                     OrgKind::SmallOrg => (1, usize::from(self.rng.random_bool(0.7)), 0.35),
@@ -444,7 +474,12 @@ impl Generator {
             let mut hq_used = false;
             for &rir in &org.regions {
                 let (v4_blocks, v4_lo, v4_hi, v6_blocks): (usize, u8, u8, usize) = match org.kind {
-                    OrgKind::Carrier => (self.rng.random_range(1..=3), 12, 16, self.rng.random_range(1..=2)),
+                    OrgKind::Carrier => (
+                        self.rng.random_range(1..=3),
+                        12,
+                        16,
+                        self.rng.random_range(1..=2),
+                    ),
                     OrgKind::Cloud => (self.rng.random_range(2..=4), 14, 18, 1),
                     OrgKind::Isp => (self.rng.random_range(1..=2), 16, 19, 1),
                     OrgKind::Leasing => (self.rng.random_range(2..=5), 16, 18, 0),
@@ -768,8 +803,7 @@ impl Generator {
                     // Educational institutions mostly announce a single
                     // aggregate (the paper's Internet2 cohort: 64% hold one
                     // prefix).
-                    let edu_single =
-                        org.kind == OrgKind::Edu && self.rng.random_bool(0.72);
+                    let edu_single = org.kind == OrgKind::Edu && self.rng.random_bool(0.72);
                     if block.len() <= 20 && !edu_single {
                         let extra = if org.kind == OrgKind::Edu {
                             1
@@ -777,10 +811,8 @@ impl Generator {
                             self.rng.random_range(1..=3)
                         };
                         for _ in 0..extra {
-                            let len = (block.len() + self.rng.random_range(2..=6)).min(24);
-                            let offset = self
-                                .rng
-                                .random_range(0..(1u32 << (len - block.len())));
+                            let len = (block.len() + self.rng.random_range(2..=6u8)).min(24);
+                            let offset = self.rng.random_range(0..(1u32 << (len - block.len())));
                             let bits = block.bits() | (offset << (32 - len as u32));
                             let spec = Prefix4::new_truncated(bits, len);
                             self.push_route(spec.into(), origin, alloc.org);
@@ -843,9 +875,18 @@ impl Generator {
 
     fn make_mrt(&mut self) -> Bytes {
         let peers = vec![
-            PeerEntry { bgp_id: 0x0A000001, asn: 3356 },
-            PeerEntry { bgp_id: 0x0A000002, asn: 174 },
-            PeerEntry { bgp_id: 0x0A000003, asn: 2914 },
+            PeerEntry {
+                bgp_id: 0x0A000001,
+                asn: 3356,
+            },
+            PeerEntry {
+                bgp_id: 0x0A000002,
+                asn: 174,
+            },
+            PeerEntry {
+                bgp_id: 0x0A000003,
+                asn: 2914,
+            },
         ];
         let mut writer = MrtWriter::new(1_725_148_800, 7, &peers);
         // Stable output order regardless of generation order.
@@ -908,7 +949,13 @@ impl Generator {
         for nir in nirs {
             let ta = tas[&nir.parent()];
             let id = repo
-                .issue_cert(ta, nir.name(), nir_resources[&nir].clone(), VALID_FROM, VALID_TO)
+                .issue_cert(
+                    ta,
+                    nir.name(),
+                    nir_resources[&nir].clone(),
+                    VALID_FROM,
+                    VALID_TO,
+                )
                 .expect("NIR resources within TA");
             nir_certs.insert(nir, id);
         }
@@ -1154,8 +1201,16 @@ impl Generator {
                         &fmt_date(alloc.date),
                     );
                 }
-                Registry::Rir(Rir::Lacnic) | Registry::Nir(Nir::NicBr) | Registry::Nir(Nir::NicMx) => {
-                    write_lacnic_block(text, &alloc.prefix, &name, alloc.alloc.keyword(), alloc.date);
+                Registry::Rir(Rir::Lacnic)
+                | Registry::Nir(Nir::NicBr)
+                | Registry::Nir(Nir::NicMx) => {
+                    write_lacnic_block(
+                        text,
+                        &alloc.prefix,
+                        &name,
+                        alloc.alloc.keyword(),
+                        alloc.date,
+                    );
                 }
                 Registry::Rir(Rir::Ripe) => {
                     let handle = ripe_orgs
@@ -1448,8 +1503,16 @@ mod tests {
         let b = World::generate(WorldConfig::tiny(42));
         assert_eq!(a.orgs.len(), b.orgs.len());
         assert_eq!(a.mrt, b.mrt);
-        let mut ta: Vec<_> = a.whois_dumps.iter().map(|d| (&d.registry, &d.text)).collect();
-        let mut tb: Vec<_> = b.whois_dumps.iter().map(|d| (&d.registry, &d.text)).collect();
+        let mut ta: Vec<_> = a
+            .whois_dumps
+            .iter()
+            .map(|d| (&d.registry, &d.text))
+            .collect();
+        let mut tb: Vec<_> = b
+            .whois_dumps
+            .iter()
+            .map(|d| (&d.registry, &d.text))
+            .collect();
         ta.sort_by_key(|(r, _)| format!("{r}"));
         tb.sort_by_key(|(r, _)| format!("{r}"));
         assert_eq!(ta, tb);
@@ -1469,7 +1532,9 @@ mod tests {
         assert_eq!(w.orgs.len(), WorldConfig::tiny(7).total_orgs());
         assert!(w.orgs_of_kind(OrgKind::NoAsn).all(|o| o.asns.is_empty()));
         assert!(w.orgs_of_kind(OrgKind::Carrier).all(|o| o.asns.len() >= 3));
-        assert!(w.orgs_of_kind(OrgKind::Carrier).all(|o| o.regions.len() >= 2));
+        assert!(w
+            .orgs_of_kind(OrgKind::Carrier)
+            .all(|o| o.regions.len() >= 2));
         assert!(w.rpki.cert_count() > Rir::ALL.len());
         assert!(!w.whois_dumps.is_empty());
         assert!(w.truth.total_prefixes() > 0);
@@ -1521,7 +1586,10 @@ mod tests {
             .iter()
             .find(|d| d.registry == Registry::Nir(Nir::Jpnic));
         if let Some(dump) = jpnic {
-            assert!(!dump.text.contains("status:"), "JPNIC dump must omit status");
+            assert!(
+                !dump.text.contains("status:"),
+                "JPNIC dump must omit status"
+            );
             assert!(!w.jpnic_alloc.is_empty());
         }
     }

@@ -1,0 +1,160 @@
+//! A miniature property-testing harness.
+//!
+//! The workspace's randomized invariant tests used to run on `proptest`;
+//! building offline rules that out, so this module supplies the minimal
+//! machinery those tests actually need: a deterministic case generator
+//! ([`Gen`]) and a runner ([`run_cases`]) that replays every case from a
+//! fixed stream and names the failing case index on panic. No shrinking —
+//! cases are kept small instead, which in practice localizes failures just
+//! as fast for these data shapes.
+
+/// Deterministic generator handed to each property case.
+///
+/// SplitMix64 underneath; every method consumes from the same stream, so a
+/// failing case index fully determines the inputs.
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// A generator seeded for reproducibility.
+    pub fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 random bits.
+    pub fn u32(&mut self) -> u32 {
+        (self.u64() >> 32) as u32
+    }
+
+    /// The next 128 random bits.
+    pub fn u128(&mut self) -> u128 {
+        ((self.u64() as u128) << 64) | self.u64() as u128
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Gen::below(0)");
+        let bound = n as u64;
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.u64();
+            if v <= zone {
+                return (v % bound) as usize;
+            }
+        }
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly chosen element of `xs`.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// An ASCII string of length `0..=max_len` drawn from `alphabet`.
+    pub fn string_from(&mut self, alphabet: &str, max_len: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| *self.pick(&chars)).collect()
+    }
+
+    /// An arbitrary Unicode string of up to `max_len` scalar values,
+    /// mixing ASCII, wide characters, and astral-plane code points.
+    pub fn unicode_string(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| match self.below(5) {
+                0 | 1 => char::from(self.range(0x20, 0x7E) as u8),
+                2 => char::from_u32(self.range(0xA0, 0x2FF) as u32).unwrap_or('ø'),
+                3 => char::from_u32(self.range(0x3040, 0x30FF) as u32).unwrap_or('あ'),
+                _ => char::from_u32(self.range(0x1F300, 0x1F5FF) as u32).unwrap_or('😀'),
+            })
+            .collect()
+    }
+}
+
+/// Runs `cases` property cases, each with a fresh deterministic [`Gen`].
+///
+/// On failure the panic is re-raised after naming the case index, so a
+/// red run pinpoints exactly which stream to replay under a debugger:
+/// `Gen::new(case_seed(i))`.
+pub fn run_cases(cases: u64, mut property: impl FnMut(&mut Gen)) {
+    for i in 0..cases {
+        let mut g = Gen::new(case_seed(i));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut g)));
+        if let Err(payload) = outcome {
+            eprintln!("property failed on case {i} (seed {:#x})", case_seed(i));
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The seed used for case `i` of every [`run_cases`] loop.
+pub fn case_seed(i: u64) -> u64 {
+    0x5DEE_CE66_D1CE_5EEDu64.wrapping_mul(i.wrapping_add(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        run_cases(5, |g| first.push(g.u64()));
+        let mut second = Vec::new();
+        run_cases(5, |g| second.push(g.u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        run_cases(20, |g| {
+            let n = g.range(1, 50);
+            assert!(g.below(n) < n);
+            let (lo, hi) = (g.below(10), 10 + g.below(10));
+            let v = g.range(lo, hi);
+            assert!((lo..=hi).contains(&v));
+        });
+    }
+
+    #[test]
+    fn failing_case_propagates_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            run_cases(3, |_| panic!("boom"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn unicode_strings_are_valid_and_bounded() {
+        run_cases(50, |g| {
+            let s = g.unicode_string(12);
+            assert!(s.chars().count() <= 12);
+        });
+    }
+}

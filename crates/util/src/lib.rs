@@ -13,12 +13,20 @@
 //!   RPKI key identifiers and certificate signatures.
 //! - [`tsv`] — a minimal, strict TSV reader/writer for the flat data-set
 //!   files the substrates exchange.
+//! - [`json`] — a dependency-free JSON value/parser/writer; the workspace
+//!   builds with no registry access, so everything that would use
+//!   `serde_json` goes through this instead.
+//! - [`check`] — a miniature deterministic property-testing harness
+//!   standing in for `proptest` under the same no-registry constraint.
 
+pub mod check;
 pub mod digest;
 pub mod interner;
+pub mod json;
 pub mod tsv;
 pub mod union_find;
 
 pub use digest::{fnv1a_64, Digest};
 pub use interner::{Interner, Symbol};
+pub use json::Json;
 pub use union_find::UnionFind;

@@ -81,13 +81,15 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let rows = vec![
-            vec!["64512", "Example Org"],
-            vec!["64513", "Another Org"],
-        ];
+        let rows = vec![vec!["64512", "Example Org"], vec!["64513", "Another Org"]];
         let text = write_rows(&rows);
         let parsed = parse_rows(&text, 2).unwrap();
-        assert_eq!(parsed, rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect::<Vec<_>>()).collect::<Vec<_>>());
+        assert_eq!(
+            parsed,
+            rows.iter()
+                .map(|r| r.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

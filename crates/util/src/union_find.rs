@@ -25,7 +25,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates a forest of `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        assert!(len <= u32::MAX as usize, "UnionFind supports up to 2^32-1 elements");
+        assert!(
+            len <= u32::MAX as usize,
+            "UnionFind supports up to 2^32-1 elements"
+        );
         UnionFind {
             parent: (0..len as u32).collect(),
             rank: vec![0; len],
@@ -128,7 +131,7 @@ impl UnionFind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::check::run_cases;
 
     #[test]
     fn singletons_initially() {
@@ -196,18 +199,18 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Union-find implements an equivalence relation consistent with the
-        /// naive "label propagation" model.
-        #[test]
-        fn matches_naive_model(
-            n in 1usize..64,
-            ops in proptest::collection::vec((any::<usize>(), any::<usize>()), 0..128)
-        ) {
+    /// Union-find implements an equivalence relation consistent with the
+    /// naive "label propagation" model.
+    #[test]
+    fn matches_naive_model() {
+        run_cases(64, |g| {
+            let n = g.range(1, 63);
+            let ops: Vec<(usize, usize)> = (0..g.below(128))
+                .map(|_| (g.below(n), g.below(n)))
+                .collect();
             let mut uf = UnionFind::new(n);
             let mut labels: Vec<usize> = (0..n).collect();
             for (a, b) in ops {
-                let (a, b) = (a % n, b % n);
                 uf.union(a, b);
                 let (la, lb) = (labels[a], labels[b]);
                 if la != lb {
@@ -221,12 +224,12 @@ mod tests {
             // Same partition.
             for i in 0..n {
                 for j in 0..n {
-                    prop_assert_eq!(uf.same_set(i, j), labels[i] == labels[j]);
+                    assert_eq!(uf.same_set(i, j), labels[i] == labels[j]);
                 }
             }
             // Set count agrees.
             let distinct: std::collections::HashSet<_> = labels.iter().collect();
-            prop_assert_eq!(uf.num_sets(), distinct.len());
-        }
+            assert_eq!(uf.num_sets(), distinct.len());
+        });
     }
 }

@@ -39,8 +39,7 @@ impl OrgValidation {
         if self.true_prefixes == 0 {
             100.0
         } else {
-            100.0 * (self.true_prefixes - self.false_negatives) as f64
-                / self.true_prefixes as f64
+            100.0 * (self.true_prefixes - self.false_negatives) as f64 / self.true_prefixes as f64
         }
     }
 }
@@ -168,11 +167,7 @@ impl ValidationReport {
     /// The share of the dataset's routed IPv4 address space covered by the
     /// campaign's ground truth (the paper validates 9.3% of routed IPv4
     /// space).
-    pub fn validated_space_share(
-        &self,
-        dataset: &Prefix2OrgDataset,
-        truths: &[&[Prefix]],
-    ) -> f64 {
+    pub fn validated_space_share(&self, dataset: &Prefix2OrgDataset, truths: &[&[Prefix]]) -> f64 {
         let mut total = AddressSpan::new();
         for rec in dataset.records() {
             total.add(&rec.prefix);

@@ -131,17 +131,27 @@ NetRange: 20.0.0.0 - 20.0.255.255\nNetType: Allocation\nOrgName: Customer PI Org
         routes.add_route(p("20.0.0.0/16"), 65001); // originated for customer
 
         let mut repo = RpkiRepository::new();
-        let ta = repo.issue_trust_anchor(
-            "ARIN",
-            IpResourceSet::everything(),
+        let ta = repo.issue_trust_anchor("ARIN", IpResourceSet::everything(), 20200101, 20301231);
+        let isp = repo
+            .issue_cert(
+                ta,
+                "good-isp",
+                p("10.0.0.0/8").into_iter_set(),
+                20200101,
+                20301231,
+            )
+            .unwrap();
+        repo.issue_roa(
+            isp,
+            65001,
+            vec![RoaPrefix {
+                prefix: p("10.0.0.0/8"),
+                max_len: 16,
+            }],
             20200101,
             20301231,
-        );
-        let isp = repo
-            .issue_cert(ta, "good-isp", p("10.0.0.0/8").into_iter_set(), 20200101, 20301231)
-            .unwrap();
-        repo.issue_roa(isp, 65001, vec![RoaPrefix { prefix: p("10.0.0.0/8"), max_len: 16 }], 20200101, 20301231)
-            .unwrap();
+        )
+        .unwrap();
         let (rpki, problems) = repo.validate(20240901);
         assert!(problems.is_empty());
 
@@ -183,4 +193,3 @@ NetRange: 20.0.0.0 - 20.0.255.255\nNetType: Allocation\nOrgName: Customer PI Org
         assert_eq!(row.own_pct(), 0.0);
     }
 }
-

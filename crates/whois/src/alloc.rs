@@ -16,7 +16,7 @@ use crate::registry::Rir;
 /// - `provider_independence` (R1) — the holder may choose any upstream;
 /// - `sub_delegation` (R2) — the holder may re-delegate (parts of) the block;
 /// - `rpki_issuance` (R3) — the holder may issue RPKI certificates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rights {
     /// R1 — change upstream provider.
     pub provider_independence: bool,
@@ -51,7 +51,7 @@ impl fmt::Display for Rights {
 }
 
 /// The two macro-levels of control over address space (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OwnershipLevel {
     /// Holder of a direct RIR/NIR delegation: provider independent, may
     /// sub-delegate, can (arrange to) issue RPKI certificates.
@@ -78,7 +78,7 @@ impl fmt::Display for OwnershipLevel {
 /// [`AllocationType::LegacyNotSponsored`] (RIPE legacy space not under a
 /// member/sponsoring account). RIPE and AFRINIC share several keywords; those
 /// share a variant because the granted rights are identical.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AllocationType {
     // --- ARIN (Table 8) ---
     /// ARIN `Allocation` — direct delegation to an ISP/LIR.
@@ -260,8 +260,9 @@ impl AllocationType {
             LacnicAllocated | LacnicAssigned | LacnicReallocated | LacnicReassigned => {
                 &[Rir::Lacnic]
             }
-            AllocatedPortable | AllocatedNonPortable | AssignedPortable
-            | AssignedNonPortable => &[Rir::Apnic],
+            AllocatedPortable | AllocatedNonPortable | AssignedPortable | AssignedNonPortable => {
+                &[Rir::Apnic]
+            }
             AllocatedPa | AssignedPi | SubAllocatedPa | AssignedAnycast | AllocatedByRir
             | AssignedPa => &[Rir::Ripe, Rir::Afrinic],
             Legacy | LegacyNotSponsored | AllocatedAssignedPa | AllocatedByLir | Assigned6
@@ -528,7 +529,10 @@ mod tests {
     #[test]
     fn unknown_keywords_are_none() {
         assert_eq!(AllocationType::parse_keyword(Rir::Arin, "WIBBLE"), None);
-        assert_eq!(AllocationType::parse_keyword(Rir::Apnic, "ALLOCATED PA"), None);
+        assert_eq!(
+            AllocationType::parse_keyword(Rir::Apnic, "ALLOCATED PA"),
+            None
+        );
     }
 
     #[test]
@@ -553,13 +557,7 @@ mod tests {
 
     #[test]
     fn rights_display() {
-        assert_eq!(
-            Allocation.rights().to_string(),
-            "R1:✓ R2:✓ R3:✓"
-        );
-        assert_eq!(
-            Reassignment.rights().to_string(),
-            "R1:✗ R2:✗ R3:✗"
-        );
+        assert_eq!(Allocation.rights().to_string(), "R1:✓ R2:✓ R3:✓");
+        assert_eq!(Reassignment.rights().to_string(), "R1:✗ R2:✗ R3:✗");
     }
 }

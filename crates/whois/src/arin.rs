@@ -162,10 +162,7 @@ Updated:        2024-06-02
         assert_eq!(dump.records[0].alloc, Some(AllocationType::Allocation));
         assert_eq!(dump.records[1].alloc, Some(AllocationType::Reallocation));
         assert_eq!(dump.records[2].alloc, Some(AllocationType::Reassignment));
-        assert_eq!(
-            dump.records[2].org,
-            OrgRef::Name("Ceva Inc".into())
-        );
+        assert_eq!(dump.records[2].org, OrgRef::Name("Ceva Inc".into()));
     }
 
     #[test]

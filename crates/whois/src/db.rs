@@ -121,10 +121,7 @@ pub fn redelegation_stats(tree: &DelegationTree) -> RedelegationStats {
     for (prefix, entries) in tree.iter() {
         // A block re-delegates if its subtree holds any strictly-more-
         // specific registered block.
-        let has_sub = tree
-            .subtree(&prefix)
-            .iter()
-            .any(|(sub, _)| *sub != prefix);
+        let has_sub = tree.subtree(&prefix).iter().any(|(sub, _)| *sub != prefix);
         for entry in entries {
             let slot = stats.per_type.entry(entry.alloc).or_insert((0, 0));
             slot.0 += 1;
@@ -156,12 +153,26 @@ pub fn redelegation_stats(tree: &DelegationTree) -> RedelegationStats {
 pub struct WhoisDb {
     records: Vec<RawWhoisRecord>,
     orgs: HashMap<String, String>,
+    obs: Option<p2o_obs::Obs>,
 }
 
 impl WhoisDb {
     /// Creates an empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an observability registry. Subsequent ingestion ticks
+    /// `whois.records` / `whois.malformed`, and [`WhoisDb::build`] records a
+    /// `whois.build` stage plus build-statistics counters.
+    pub fn instrument(&mut self, obs: &p2o_obs::Obs) {
+        self.obs = Some(obs.clone());
+    }
+
+    fn tick(&self, name: &str, n: u64) {
+        if let Some(obs) = &self.obs {
+            obs.counter(name).add(n);
+        }
     }
 
     /// Ingests an RPSL-flavour dump (RIPE, APNIC, AFRINIC, RPSL NIRs).
@@ -171,6 +182,8 @@ impl WhoisDb {
         for org in dump.orgs {
             self.orgs.insert(org.handle, org.name);
         }
+        self.tick("whois.records", dump.records.len() as u64);
+        self.tick("whois.malformed", dump.problems.len() as u64);
         self.records.extend(dump.records);
         dump.problems.len()
     }
@@ -178,6 +191,8 @@ impl WhoisDb {
     /// Ingests an ARIN-flavour dump. Returns the number of problems.
     pub fn add_arin(&mut self, text: &str) -> usize {
         let dump = crate::arin::parse_dump(text);
+        self.tick("whois.records", dump.records.len() as u64);
+        self.tick("whois.malformed", dump.problems.len() as u64);
         self.records.extend(dump.records);
         dump.problems.len()
     }
@@ -185,6 +200,8 @@ impl WhoisDb {
     /// Ingests a LACNIC-flavour dump. Returns the number of problems.
     pub fn add_lacnic(&mut self, text: &str, source: Registry) -> usize {
         let dump = crate::lacnic::parse_dump(text, source);
+        self.tick("whois.records", dump.records.len() as u64);
+        self.tick("whois.malformed", dump.problems.len() as u64);
         self.records.extend(dump.records);
         dump.problems.len()
     }
@@ -192,6 +209,7 @@ impl WhoisDb {
     /// Adds a single pre-parsed record (used by the synthetic generator's
     /// direct path and by tests).
     pub fn add_record(&mut self, record: RawWhoisRecord) {
+        self.tick("whois.records", 1);
         self.records.push(record);
     }
 
@@ -249,6 +267,12 @@ impl WhoisDb {
     /// decomposes non-CIDR ranges, and sorts each prefix's entries by chain
     /// depth.
     pub fn build(self) -> (DelegationTree, BuildStats) {
+        let obs = self.obs.clone();
+        let timer = obs.as_ref().map(|o| {
+            let mut t = o.stage("whois.build");
+            t.items(self.records.len() as u64);
+            t
+        });
         let mut stats = BuildStats {
             raw_records: self.records.len(),
             ..Default::default()
@@ -293,6 +317,9 @@ impl WhoisDb {
         }
 
         let mut map: PrefixMap<Vec<DelegationEntry>> = PrefixMap::new();
+        if let Some(o) = &obs {
+            map.instrument(o.counter("radix.inserts"), o.counter("radix.lookups"));
+        }
         for ((prefix, _), entry) in best {
             match map.get_mut(&prefix) {
                 Some(v) => v.push(entry),
@@ -317,6 +344,19 @@ impl WhoisDb {
             });
         }
         stats.prefixes = map.len();
+        if let Some(o) = &obs {
+            o.counter("whois.unresolved_handles")
+                .add(stats.unresolved_handles as u64);
+            o.counter("whois.superseded").add(stats.superseded as u64);
+            o.counter("whois.missing_alloc")
+                .add(stats.missing_alloc as u64);
+            o.counter("whois.prefixes").add(stats.prefixes as u64);
+            let h = o.histogram("whois.entries_per_prefix");
+            for (_, v) in map.iter() {
+                h.record(v.len() as u64);
+            }
+        }
+        drop(timer);
         (DelegationTree { map }, stats)
     }
 }
@@ -350,7 +390,12 @@ mod tests {
     #[test]
     fn figure1_chain_builds() {
         let mut db = WhoisDb::new();
-        db.add_record(rec("206.238.0.0/16", "PSINet, Inc", AllocationType::Allocation, 20240101));
+        db.add_record(rec(
+            "206.238.0.0/16",
+            "PSINet, Inc",
+            AllocationType::Allocation,
+            20240101,
+        ));
         db.add_record(rec(
             "206.238.0.0/16",
             "Tcloudnet, Inc",
@@ -374,8 +419,18 @@ mod tests {
     #[test]
     fn dedup_keeps_latest_per_type() {
         let mut db = WhoisDb::new();
-        db.add_record(rec("10.0.0.0/8", "Old Name", AllocationType::Allocation, 20200101));
-        db.add_record(rec("10.0.0.0/8", "New Name", AllocationType::Allocation, 20240101));
+        db.add_record(rec(
+            "10.0.0.0/8",
+            "Old Name",
+            AllocationType::Allocation,
+            20200101,
+        ));
+        db.add_record(rec(
+            "10.0.0.0/8",
+            "New Name",
+            AllocationType::Allocation,
+            20240101,
+        ));
         let (tree, stats) = db.build();
         assert_eq!(stats.superseded, 1);
         let entries = tree.entries(&p("10.0.0.0/8")).unwrap();
@@ -386,8 +441,18 @@ mod tests {
     #[test]
     fn dedup_is_order_independent() {
         let mut db = WhoisDb::new();
-        db.add_record(rec("10.0.0.0/8", "New Name", AllocationType::Allocation, 20240101));
-        db.add_record(rec("10.0.0.0/8", "Old Name", AllocationType::Allocation, 20200101));
+        db.add_record(rec(
+            "10.0.0.0/8",
+            "New Name",
+            AllocationType::Allocation,
+            20240101,
+        ));
+        db.add_record(rec(
+            "10.0.0.0/8",
+            "Old Name",
+            AllocationType::Allocation,
+            20200101,
+        ));
         let (tree, _) = db.build();
         assert_eq!(
             tree.entries(&p("10.0.0.0/8")).unwrap()[0].org_name,
@@ -480,14 +545,24 @@ mod tests {
     #[test]
     fn covering_chain_walks_up() {
         let mut db = WhoisDb::new();
-        db.add_record(rec("63.64.0.0/10", "Verizon Business", AllocationType::Allocation, 1));
+        db.add_record(rec(
+            "63.64.0.0/10",
+            "Verizon Business",
+            AllocationType::Allocation,
+            1,
+        ));
         db.add_record(rec(
             "63.80.52.0/24",
             "Bandwidth.com Inc.",
             AllocationType::Reallocation,
             2,
         ));
-        db.add_record(rec("63.80.52.0/24", "Ceva Inc", AllocationType::Reassignment, 3));
+        db.add_record(rec(
+            "63.80.52.0/24",
+            "Ceva Inc",
+            AllocationType::Reassignment,
+            3,
+        ));
         let (tree, _) = db.build();
         let chain = tree.covering_chain(&p("63.80.52.0/24"));
         assert_eq!(chain.len(), 2);
@@ -505,9 +580,24 @@ mod tests {
         // Reassignments do not.
         let mut db = WhoisDb::new();
         db.add_record(rec("10.0.0.0/8", "Carrier", AllocationType::Allocation, 1));
-        db.add_record(rec("10.1.0.0/16", "Cust A", AllocationType::Reassignment, 2));
-        db.add_record(rec("10.2.0.0/16", "Cust B", AllocationType::Reassignment, 2));
-        db.add_record(rec("11.0.0.0/8", "Lone End User", AllocationType::Allocation, 1));
+        db.add_record(rec(
+            "10.1.0.0/16",
+            "Cust A",
+            AllocationType::Reassignment,
+            2,
+        ));
+        db.add_record(rec(
+            "10.2.0.0/16",
+            "Cust B",
+            AllocationType::Reassignment,
+            2,
+        ));
+        db.add_record(rec(
+            "11.0.0.0/8",
+            "Lone End User",
+            AllocationType::Allocation,
+            1,
+        ));
         let (tree, _) = db.build();
         let stats = redelegation_stats(&tree);
         assert_eq!(stats.per_type[&AllocationType::Allocation], (2, 1));
@@ -564,5 +654,36 @@ changed:     20240801
             tree.entries(&p("206.238.0.0/16")).unwrap()[0].org_name,
             "PSINet, Inc"
         );
+    }
+
+    #[test]
+    fn instrumented_build_reports_counters_and_stage() {
+        let obs = p2o_obs::Obs::new();
+        let mut db = WhoisDb::new();
+        db.instrument(&obs);
+        db.add_rpsl(
+            "\
+inetnum:        206.238.0.0 - 206.238.255.255
+org:            ORG-UNKNOWN
+status:         ALLOCATED PA
+source:         RIPE
+
+inetnum:        not a range at all
+source:         RIPE
+",
+            Registry::Rir(Rir::Ripe),
+        );
+        db.add_record(rec("10.0.0.0/8", "Acme", AllocationType::Allocation, 1));
+        let (tree, _) = db.build();
+        let report = obs.report();
+        assert_eq!(report.counter("whois.records"), Some(2));
+        assert_eq!(report.counter("whois.malformed"), Some(1));
+        assert_eq!(report.counter("whois.unresolved_handles"), Some(1));
+        assert_eq!(report.counter("whois.prefixes"), Some(2));
+        assert!(report.stage("whois.build").is_some());
+        assert_eq!(report.stage("whois.build").unwrap().items, Some(2));
+        // The instrumented tree ticks lookup counters on queries.
+        let _ = tree.covering_chain(&p("206.238.0.0/24"));
+        assert!(obs.counter("radix.lookups").get() >= 1);
     }
 }

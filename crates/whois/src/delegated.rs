@@ -94,7 +94,9 @@ pub fn parse(text: &str) -> (Vec<DelegatedRecord>, Vec<String>) {
         }
         let fields: Vec<&str> = line.split('|').collect();
         // Version header: `2|arin|20240901|...`; summary: `arin|*|ipv4|*|n|summary`.
-        if fields.first().is_some_and(|f| f.chars().all(|c| c.is_ascii_digit()))
+        if fields
+            .first()
+            .is_some_and(|f| f.chars().all(|c| c.is_ascii_digit()))
             || fields.last() == Some(&"summary")
         {
             continue;
@@ -104,7 +106,11 @@ pub fn parse(text: &str) -> (Vec<DelegatedRecord>, Vec<String>) {
             continue;
         }
         let Ok(registry) = fields[0].parse::<Rir>() else {
-            problems.push(format!("line {}: unknown registry {:?}", idx + 1, fields[0]));
+            problems.push(format!(
+                "line {}: unknown registry {:?}",
+                idx + 1,
+                fields[0]
+            ));
             continue;
         };
         let afi = fields[2];
@@ -230,9 +236,7 @@ pub fn oversized_delegations(records: &[DelegatedRecord]) -> Vec<&DelegatedRecor
                 DelegatedStatus::Allocated | DelegatedStatus::Assigned
             ) && match r.range {
                 IpRange::V4(range) => range.num_addrs() > 1 << 24,
-                IpRange::V6(range) => {
-                    range.as_prefix().map(|p| p.len() < 16).unwrap_or(true)
-                }
+                IpRange::V6(range) => range.as_prefix().map(|p| p.len() < 16).unwrap_or(true),
             }
         })
         .collect()
@@ -326,6 +330,6 @@ ripe|NL|ipv6|2a00::|15|20240501|allocated|big6
         assert_eq!(oversized.len(), 2);
         assert_eq!(oversized[0].opaque_id.as_deref(), Some("big")); // /7-equivalent
         assert_eq!(oversized[1].opaque_id.as_deref(), Some("big6")); // /15
-        // The reserved /12 is exempt: it is pool space, not a delegation.
+                                                                     // The reserved /12 is exempt: it is pool space, not a delegation.
     }
 }

@@ -58,10 +58,7 @@ pub fn parse_dump(text: &str, source: Registry) -> LacnicDump {
             });
             continue;
         }
-        let last_modified = obj
-            .first("changed")
-            .map(parse_date_ordinal)
-            .unwrap_or(0);
+        let last_modified = obj.first("changed").map(parse_date_ordinal).unwrap_or(0);
         dump.records.push(RawWhoisRecord {
             net,
             org: OrgRef::Name(owner.to_string()),
@@ -77,9 +74,13 @@ fn parse_net(field: &str) -> Result<IpRange, String> {
     // LACNIC uses CIDR, but tolerate ranges for robustness.
     if field.contains('-') {
         if field.contains(':') {
-            Ok(IpRange::V6(field.parse::<Range6>().map_err(|e| e.to_string())?))
+            Ok(IpRange::V6(
+                field.parse::<Range6>().map_err(|e| e.to_string())?,
+            ))
         } else {
-            Ok(IpRange::V4(field.parse::<Range4>().map_err(|e| e.to_string())?))
+            Ok(IpRange::V4(
+                field.parse::<Range4>().map_err(|e| e.to_string())?,
+            ))
         }
     } else if field.contains(':') {
         let p: p2o_net::Prefix6 = field.parse().map_err(|e| format!("{e}"))?;
@@ -119,10 +120,7 @@ changed:     20240712
         let dump = parse_dump(LACNIC_DUMP, Registry::Rir(Rir::Lacnic));
         assert!(dump.problems.is_empty(), "{:?}", dump.problems);
         assert_eq!(dump.records.len(), 3);
-        assert_eq!(
-            dump.records[0].alloc,
-            Some(AllocationType::LacnicAllocated)
-        );
+        assert_eq!(dump.records[0].alloc, Some(AllocationType::LacnicAllocated));
         assert_eq!(
             dump.records[0].org,
             OrgRef::Name("Telefonica del Peru S.A.A.".into())

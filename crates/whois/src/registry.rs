@@ -4,7 +4,7 @@ use core::fmt;
 use core::str::FromStr;
 
 /// The five Regional Internet Registries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rir {
     /// AFRINIC — Africa.
     Afrinic,
@@ -58,7 +58,7 @@ impl FromStr for Rir {
 /// The nine National Internet Registries (§B.1): seven under APNIC, two
 /// under LACNIC. NIR direct delegations carry the same rights as RIR direct
 /// delegations, including RPKI certificate issuance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Nir {
     /// JPNIC — Japan (APNIC). Bulk data omits allocation types (§4.2).
     Jpnic,
@@ -97,7 +97,12 @@ impl Nir {
     /// The parent RIR whose allocation-type vocabulary and policies apply.
     pub fn parent(&self) -> Rir {
         match self {
-            Nir::Jpnic | Nir::Twnic | Nir::Krnic | Nir::Cnnic | Nir::Irinn | Nir::Idnic
+            Nir::Jpnic
+            | Nir::Twnic
+            | Nir::Krnic
+            | Nir::Cnnic
+            | Nir::Irinn
+            | Nir::Idnic
             | Nir::Vnnic => Rir::Apnic,
             Nir::NicBr | Nir::NicMx => Rir::Lacnic,
         }
@@ -158,7 +163,7 @@ impl FromStr for Nir {
 }
 
 /// The registry a WHOIS record came from: an RIR or an NIR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Registry {
     /// One of the five RIRs.
     Rir(Rir),
@@ -231,7 +236,10 @@ mod tests {
     fn nir_rpki_models() {
         // Eight of nine run their own systems; NIC.mx is integrated.
         assert_eq!(
-            Nir::ALL.iter().filter(|n| n.runs_own_resource_system()).count(),
+            Nir::ALL
+                .iter()
+                .filter(|n| n.runs_own_resource_system())
+                .count(),
             8
         );
         // IRINN and VNNIC sign on behalf of customers.

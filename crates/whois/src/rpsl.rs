@@ -181,10 +181,7 @@ pub fn parse_dump(text: &str, source: Registry) -> RpslDump {
             }
             "organisation" => {
                 let handle = obj.first("organisation").unwrap_or("").to_string();
-                let name = obj
-                    .first("org-name")
-                    .unwrap_or_default()
-                    .to_string();
+                let name = obj.first("org-name").unwrap_or_default().to_string();
                 if handle.is_empty() || name.is_empty() {
                     dump.problems.push(RpslProblem {
                         line: obj.line,
@@ -261,10 +258,7 @@ source:         RIPE
         assert_eq!(dump.orgs.len(), 2);
 
         let r0 = &dump.records[0];
-        assert_eq!(
-            r0.net.as_prefix(),
-            Some("206.238.0.0/16".parse().unwrap())
-        );
+        assert_eq!(r0.net.as_prefix(), Some("206.238.0.0/16".parse().unwrap()));
         assert_eq!(r0.org, OrgRef::Handle("ORG-PS1-RIPE".into()));
         assert_eq!(r0.alloc, Some(AllocationType::AllocatedPa));
         assert_eq!(r0.last_modified, 20240801);
@@ -295,7 +289,10 @@ source:         APNIC
             dump.records[0].org,
             OrgRef::Name("Verizon Japan Ltd".into())
         );
-        assert_eq!(dump.records[0].alloc, Some(AllocationType::AssignedPortable));
+        assert_eq!(
+            dump.records[0].alloc,
+            Some(AllocationType::AssignedPortable)
+        );
     }
 
     #[test]
@@ -381,7 +378,10 @@ source:         RIPE
         assert_eq!(net.as_prefix(), None);
         let blocks = net.to_prefixes();
         assert_eq!(blocks.len(), 2); // /23 + /24
-        assert_eq!(blocks[0], "198.51.100.0/23".parse::<Prefix4>().unwrap().into());
+        assert_eq!(
+            blocks[0],
+            "198.51.100.0/23".parse::<Prefix4>().unwrap().into()
+        );
     }
 
     #[test]
@@ -399,8 +399,10 @@ source:         AFRINIC
     #[test]
     fn empty_and_comment_only_input() {
         assert!(parse_dump("", Registry::Rir(Rir::Ripe)).records.is_empty());
-        assert!(parse_dump("% nothing here\n\n% more\n", Registry::Rir(Rir::Ripe))
-            .records
-            .is_empty());
+        assert!(
+            parse_dump("% nothing here\n\n% more\n", Registry::Rir(Rir::Ripe))
+                .records
+                .is_empty()
+        );
     }
 }

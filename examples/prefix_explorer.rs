@@ -57,7 +57,10 @@ fn main() {
         picks
     } else {
         args.iter()
-            .map(|a| a.parse().unwrap_or_else(|e| panic!("bad prefix {a:?}: {e}")))
+            .map(|a| {
+                a.parse()
+                    .unwrap_or_else(|e| panic!("bad prefix {a:?}: {e}"))
+            })
             .collect()
     };
 

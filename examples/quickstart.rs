@@ -71,12 +71,18 @@ Updated:        2024-04-01
         let prefix: Prefix = prefix.parse().unwrap();
         let rec = dataset.record(&prefix).expect("mapped");
         println!("\n{prefix}");
-        println!("  Direct Owner : {} ({} on {})", rec.direct_owner, rec.do_alloc, rec.do_prefix);
+        println!(
+            "  Direct Owner : {} ({} on {})",
+            rec.direct_owner, rec.do_alloc, rec.do_prefix
+        );
         if rec.delegated_customers.is_empty() {
             println!("  Customers    : none (owner operates the block itself)");
         }
         for step in &rec.delegated_customers {
-            println!("  Customer     : {} ({} on {})", step.org_name, step.alloc, step.prefix);
+            println!(
+                "  Customer     : {} ({} on {})",
+                step.org_name, step.alloc, step.prefix
+            );
         }
         println!("  Final cluster: {}", rec.final_cluster_label);
     }

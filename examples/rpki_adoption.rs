@@ -32,7 +32,13 @@ fn main() {
         {
             continue;
         }
-        let row = roa_coverage(&dataset, &built.routes, &built.rpki, org.hq_name(), &org.asns);
+        let row = roa_coverage(
+            &dataset,
+            &built.routes,
+            &built.rpki,
+            org.hq_name(),
+            &org.asns,
+        );
         if row.origin_prefixes < 5 {
             continue;
         }

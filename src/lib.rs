@@ -8,6 +8,7 @@
 pub use p2o_as2org as as2org;
 pub use p2o_bgp as bgp;
 pub use p2o_net as net;
+pub use p2o_obs as obs;
 pub use p2o_radix as radix;
 pub use p2o_rpki as rpki;
 pub use p2o_strings as strings;

@@ -52,7 +52,10 @@ fn full_pipeline_shapes_match_the_paper() {
     // Multi-name clusters are few but hold a disproportionate share of
     // space (paper: 2.4% of clusters, 36.9% of v4 space).
     let cluster_share = m.multi_name_clusters as f64 / m.final_clusters as f64;
-    assert!(cluster_share < 0.35, "too many multi-name clusters: {cluster_share}");
+    assert!(
+        cluster_share < 0.35,
+        "too many multi-name clusters: {cluster_share}"
+    );
     assert!(
         m.pct_v4_space_multi_name > 2.0 * 100.0 * cluster_share,
         "multi-name clusters should hold outsized space: {}% space vs {}% clusters",
@@ -124,7 +127,13 @@ fn full_pipeline_shapes_match_the_paper() {
         if !org.rpki_adopter {
             continue;
         }
-        let row = roa_coverage(&dataset, &built.routes, &built.rpki, org.hq_name(), &org.asns);
+        let row = roa_coverage(
+            &dataset,
+            &built.routes,
+            &built.rpki,
+            org.hq_name(),
+            &org.asns,
+        );
         if row.own_prefixes >= 3 && row.origin_prefixes > row.own_prefixes {
             max_disparity = max_disparity.max(row.disparity());
         }

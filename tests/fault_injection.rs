@@ -56,7 +56,10 @@ source:         RIPE
     });
     assert_eq!(ds.len(), 1);
     assert_eq!(ds.metrics().unresolved_prefixes, 1);
-    assert_eq!(ds.record(&p("10.1.0.0/16")).unwrap().direct_owner, "Survivor Org");
+    assert_eq!(
+        ds.record(&p("10.1.0.0/16")).unwrap().direct_owner,
+        "Survivor Org"
+    );
 }
 
 #[test]
@@ -100,8 +103,7 @@ fn corrupted_rpki_weakens_clustering_without_breaking_it() {
     // But the RPKI-coverage metric collapses and clustering can only get
     // coarser or equal (fewer merges), never finer than W-only.
     assert!(
-        degraded.metrics().pct_prefixes_rpki_covered
-            < baseline.metrics().pct_prefixes_rpki_covered
+        degraded.metrics().pct_prefixes_rpki_covered < baseline.metrics().pct_prefixes_rpki_covered
     );
     assert!(degraded.metrics().final_clusters >= baseline.metrics().final_clusters);
 }

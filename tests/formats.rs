@@ -71,7 +71,11 @@ fn rpki_persistence_preserves_world_scale_validation() {
     for (prefix, origins) in routes.iter() {
         assert_eq!(a.child_most_rc(prefix), b.child_most_rc(prefix), "{prefix}");
         for &origin in origins {
-            assert_eq!(a.rov(prefix, origin), b.rov(prefix, origin), "{prefix} {origin}");
+            assert_eq!(
+                a.rov(prefix, origin),
+                b.rov(prefix, origin),
+                "{prefix} {origin}"
+            );
         }
     }
 }
@@ -123,9 +127,15 @@ fn dataset_jsonl_is_one_valid_object_per_line() {
     let text = prefix2org::to_jsonl(&dataset);
     assert_eq!(text.lines().count(), dataset.len());
     for line in text.lines() {
-        let value: serde_json::Value = serde_json::from_str(line).unwrap();
+        let value = p2o_util::Json::parse(line).unwrap();
         // Stable machine field names present on every record.
-        for field in ["prefix", "direct_owner", "do_prefix", "do_alloc", "final_cluster"] {
+        for field in [
+            "prefix",
+            "direct_owner",
+            "do_prefix",
+            "do_alloc",
+            "final_cluster",
+        ] {
             assert!(value.get(field).is_some(), "missing {field}: {line}");
         }
     }

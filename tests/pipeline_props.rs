@@ -1,8 +1,8 @@
 //! Property-based integration tests: pipeline invariants over randomly
 //! seeded synthetic worlds. The world seed is the property input, so every
-//! proptest case is a structurally different Internet.
+//! case is a structurally different Internet.
 
-use proptest::prelude::*;
+use p2o_util::check::run_cases;
 
 use p2o_net::Prefix;
 use p2o_synth::{World, WorldConfig};
@@ -21,94 +21,113 @@ fn build(seed: u64, transfers: usize) -> (World, p2o_synth::BuiltInputs, Prefix2
     (world, built, dataset)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every routed prefix of every world is mapped, with structurally valid
-    /// records.
-    #[test]
-    fn mapping_is_total_and_well_formed(seed in any::<u64>()) {
+/// Every routed prefix of every world is mapped, with structurally valid
+/// records.
+#[test]
+fn mapping_is_total_and_well_formed() {
+    run_cases(12, |g| {
+        let seed = g.u64();
         let (_world, built, dataset) = build(seed, 0);
-        prop_assert_eq!(dataset.len() + dataset.metrics().unresolved_prefixes, built.routes.len());
-        prop_assert_eq!(dataset.metrics().unresolved_prefixes, 0, "synthetic worlds are fully covered");
+        assert_eq!(
+            dataset.len() + dataset.metrics().unresolved_prefixes,
+            built.routes.len()
+        );
+        assert_eq!(
+            dataset.metrics().unresolved_prefixes,
+            0,
+            "synthetic worlds are fully covered"
+        );
         for rec in dataset.records() {
-            prop_assert!(rec.do_prefix.contains(&rec.prefix));
-            prop_assert_eq!(rec.do_alloc.ownership_level(), OwnershipLevel::DirectOwner);
+            assert!(rec.do_prefix.contains(&rec.prefix));
+            assert_eq!(rec.do_alloc.ownership_level(), OwnershipLevel::DirectOwner);
             let mut last_depth = 0u8;
             let mut last_len = rec.do_prefix.len();
             for step in &rec.delegated_customers {
-                prop_assert_eq!(
+                assert_eq!(
                     step.alloc.ownership_level(),
                     OwnershipLevel::DelegatedCustomer
                 );
-                prop_assert!(step.prefix.contains(&rec.prefix));
+                assert!(step.prefix.contains(&rec.prefix));
                 // Chains narrow monotonically: each later step is on an
                 // equal-or-more-specific block, and within a block the
                 // allocation depth increases.
                 if step.prefix.len() == last_len {
-                    prop_assert!(step.alloc.chain_depth() >= last_depth);
+                    assert!(step.alloc.chain_depth() >= last_depth);
                 } else {
-                    prop_assert!(step.prefix.len() > last_len);
+                    assert!(step.prefix.len() > last_len);
                 }
                 last_depth = step.alloc.chain_depth();
                 last_len = step.prefix.len();
             }
         }
-    }
+    });
+}
 
-    /// Final clusters partition the records, labels are unique, and every
-    /// cluster's members share one base name.
-    #[test]
-    fn clustering_is_a_labeled_partition(seed in any::<u64>()) {
+/// Final clusters partition the records, labels are unique, and every
+/// cluster's members share one base name.
+#[test]
+fn clustering_is_a_labeled_partition() {
+    run_cases(12, |g| {
+        let seed = g.u64();
         let (_world, _built, dataset) = build(seed, 0);
         let total: usize = dataset.clusters().map(|(_, recs)| recs.len()).sum();
-        prop_assert_eq!(total, dataset.len());
+        assert_eq!(total, dataset.len());
         let mut labels = std::collections::HashSet::new();
         for (id, recs) in dataset.clusters() {
-            prop_assert!(labels.insert(dataset.cluster_label(id).to_string()));
+            assert!(labels.insert(dataset.cluster_label(id).to_string()));
             let base = &recs[0].base_name;
             for rec in &recs {
-                prop_assert_eq!(&rec.base_name, base, "cluster mixes base names");
-                prop_assert_eq!(rec.cluster, id);
+                assert_eq!(&rec.base_name, base, "cluster mixes base names");
+                assert_eq!(rec.cluster, id);
             }
-            prop_assert!(dataset.cluster_label(id).starts_with(base.as_str()));
+            assert!(dataset.cluster_label(id).starts_with(base.as_str()));
         }
-    }
+    });
+}
 
-    /// The export round-trips losslessly for every world.
-    #[test]
-    fn export_round_trip(seed in any::<u64>()) {
+/// The export round-trips losslessly for every world.
+#[test]
+fn export_round_trip() {
+    run_cases(12, |g| {
+        let seed = g.u64();
         let (_world, _built, dataset) = build(seed, 0);
         let parsed = prefix2org::from_jsonl(&prefix2org::to_jsonl(&dataset)).unwrap();
-        prop_assert_eq!(parsed.len(), dataset.len());
+        assert_eq!(parsed.len(), dataset.len());
         for (exp, rec) in parsed.iter().zip(dataset.records()) {
-            prop_assert_eq!(exp, &prefix2org::ExportRecord::from(rec));
+            assert_eq!(exp, &prefix2org::ExportRecord::from(rec));
         }
-    }
+    });
+}
 
-    /// Transfers between snapshots surface as owner changes and never as
-    /// route-set churn; the diff of a snapshot with itself is empty.
-    #[test]
-    fn snapshot_diff_laws(seed in any::<u64>(), transfers in 1usize..5) {
+/// Transfers between snapshots surface as owner changes and never as
+/// route-set churn; the diff of a snapshot with itself is empty.
+#[test]
+fn snapshot_diff_laws() {
+    run_cases(12, |g| {
+        let seed = g.u64();
+        let transfers = 1 + g.below(4);
         let (_w1, _b1, before) = build(seed, 0);
         let (_w2, _b2, same) = build(seed, 0);
         let d = prefix2org::diff(&before, &same);
-        prop_assert_eq!(d.changed(), 0);
+        assert_eq!(d.changed(), 0);
 
         let (_w3, _b3, after) = build(seed, transfers);
         let d = prefix2org::diff(&before, &after);
-        prop_assert!(d.added.is_empty(), "transfers must not add prefixes");
-        prop_assert!(d.removed.is_empty(), "transfers must not remove prefixes");
+        assert!(d.added.is_empty(), "transfers must not add prefixes");
+        assert!(d.removed.is_empty(), "transfers must not remove prefixes");
         // Transferred end-user blocks show up as owner changes (at least
         // one per distinct transferred block that is routed; collisions in
         // the transfer plan can reduce the count below `transfers`).
-        prop_assert!(d.owner_changes.len() + d.customer_changes.len() > 0);
-    }
+        assert!(d.owner_changes.len() + d.customer_changes.len() > 0);
+    });
+}
 
-    /// Resolution agrees with a naive re-derivation from the delegation
-    /// tree for a sample of prefixes.
-    #[test]
-    fn resolution_matches_naive_walk(seed in any::<u64>()) {
+/// Resolution agrees with a naive re-derivation from the delegation
+/// tree for a sample of prefixes.
+#[test]
+fn resolution_matches_naive_walk() {
+    run_cases(12, |g| {
+        let seed = g.u64();
         let (_world, built, dataset) = build(seed, 0);
         for rec in dataset.records().iter().step_by(7) {
             // Naive: scan the covering chain for the first Direct Owner
@@ -124,14 +143,17 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(naive_do, Some(rec.direct_owner.as_str()), "{}", rec.prefix);
+            assert_eq!(naive_do, Some(rec.direct_owner.as_str()), "{}", rec.prefix);
         }
-    }
+    });
+}
 
-    /// The origin ASN clusters recorded per prefix are exactly the route
-    /// table's origins mapped through sibling clustering.
-    #[test]
-    fn origin_clusters_faithful(seed in any::<u64>()) {
+/// The origin ASN clusters recorded per prefix are exactly the route
+/// table's origins mapped through sibling clustering.
+#[test]
+fn origin_clusters_faithful() {
+    run_cases(12, |g| {
+        let seed = g.u64();
         let (_world, built, dataset) = build(seed, 0);
         for rec in dataset.records().iter().step_by(5) {
             let origins = built.routes.origins(&rec.prefix).expect("routed");
@@ -141,9 +163,9 @@ proptest! {
                 .collect();
             want.sort_unstable();
             want.dedup();
-            prop_assert_eq!(&rec.origin_asn_clusters, &want);
+            assert_eq!(&rec.origin_asn_clusters, &want);
         }
-    }
+    });
 }
 
 /// Prefixes in the same world never map to different Direct Owners across
@@ -182,7 +204,9 @@ fn ground_truth_owner_names_land_in_the_right_cluster() {
     for (org_id, prefixes) in &world.truth.org_routed_prefixes {
         let org = world.org(*org_id);
         for prefix in prefixes.iter().take(3) {
-            let Some(rec) = dataset.record(prefix) else { continue };
+            let Some(rec) = dataset.record(prefix) else {
+                continue;
+            };
             // The record's Direct Owner name must be one of the org's
             // variants (possibly registry-decorated, so compare by base).
             let owner = p2o_strings::clean::basic_clean(&rec.direct_owner);
@@ -214,7 +238,11 @@ fn default_scale_world_smoke() {
     let mut prefixes: Vec<Prefix> = dataset.records().iter().map(|r| r.prefix).collect();
     prefixes.sort();
     prefixes.dedup();
-    assert_eq!(prefixes.len(), dataset.len(), "duplicate prefixes in dataset");
+    assert_eq!(
+        prefixes.len(),
+        dataset.len(),
+        "duplicate prefixes in dataset"
+    );
 }
 
 /// Bench-scale world end-to-end (tens of thousands of prefixes). Run with
