@@ -29,7 +29,13 @@ fn main() {
             ..ClusterOptions::default()
         });
         bench(label, || {
-            black_box(clusterer.cluster(&records, &built.routes, &built.clusters, &built.rpki))
+            black_box(clusterer.cluster(
+                &records,
+                &built.routes,
+                &built.clusters,
+                &built.rpki,
+                built.tree.names(),
+            ))
         });
     }
 

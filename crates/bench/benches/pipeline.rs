@@ -1,11 +1,24 @@
 //! Benches for the end-to-end pipeline: resolution + clustering at two
-//! world scales, and resolution-stage scaling across threads.
+//! world scales, resolution-stage scaling across threads, and — with
+//! `--json` — a sequential-vs-parallel comparison of the three hot stages
+//! (parse, resolve, cluster) persisted to `BENCH_pipeline.json` at the
+//! repository root.
+//!
+//! ```text
+//! cargo bench -p p2o-bench --bench pipeline            # human-readable
+//! cargo bench -p p2o-bench --bench pipeline -- --json  # + BENCH_pipeline.json
+//! P2O_BENCH_MS=1 cargo bench ... -- --json             # CI smoke run
+//! ```
 
 use std::hint::black_box;
 
 use p2o_bench::timing::{bench, group};
+use p2o_bgp::RouteTable;
 use p2o_net::Prefix;
 use p2o_synth::{World, WorldConfig};
+use p2o_util::Json;
+use p2o_whois::{Registry, Rir, WhoisDb};
+use prefix2org::cluster::{ClusterOptions, Clusterer};
 use prefix2org::{Pipeline, PipelineInputs};
 
 fn bench_full_pipeline() {
@@ -39,7 +52,144 @@ fn bench_resolution_threads() {
     }
 }
 
+/// Parses every WHOIS dump and decodes the MRT RIB on `threads` threads —
+/// the ingest work `prefix2org build` does before the pipeline proper.
+fn run_parse(world: &World, threads: usize) {
+    let mut db = WhoisDb::new();
+    for dump in &world.whois_dumps {
+        match dump.registry {
+            Registry::Rir(Rir::Arin) => db.add_arin_parallel(&dump.text, threads),
+            Registry::Rir(Rir::Lacnic)
+            | Registry::Nir(p2o_whois::Nir::NicBr)
+            | Registry::Nir(p2o_whois::Nir::NicMx) => {
+                db.add_lacnic_parallel(&dump.text, dump.registry, threads)
+            }
+            reg => db.add_rpsl_parallel(&dump.text, reg, threads),
+        };
+    }
+    black_box(db);
+    let routes = if threads > 1 {
+        RouteTable::from_mrt_threaded(world.mrt.clone(), threads)
+    } else {
+        RouteTable::from_mrt(world.mrt.clone())
+    };
+    black_box(routes.expect("synthetic MRT parses"));
+}
+
+/// The sequential-vs-parallel stage comparison behind `--json`: for each
+/// scale and thread count, the mean wall time of the parse, resolve, and
+/// cluster stages. Written as `BENCH_pipeline.json` at the repo root so the
+/// baseline rides along with the code that produced it.
+fn bench_json(budget_ms: u64) {
+    let max_threads = prefix2org::default_threads().clamp(2, 8);
+    let thread_counts = [1usize, max_threads];
+
+    let mut parse_cases: Vec<Json> = Vec::new();
+    let mut resolve_cases: Vec<Json> = Vec::new();
+    let mut cluster_cases: Vec<Json> = Vec::new();
+    let mut speedups: Vec<Json> = Vec::new();
+
+    for (scale, config) in [
+        ("default", WorldConfig::default_scale(0xF1F0)),
+        ("bench", WorldConfig::bench_scale(0xF1F0)),
+    ] {
+        let world = World::generate(config);
+        let built = world.build_inputs();
+        let prefixes: Vec<Prefix> = built.routes.iter().map(|(p, _)| *p).collect();
+        let (records, _) =
+            Pipeline::with_threads(max_threads).resolve_stage(&built.tree, &prefixes);
+
+        group(&format!("json_{scale}"));
+        let mut stage_means: Vec<(&str, usize, f64)> = Vec::new();
+        for &threads in &thread_counts {
+            let mean = bench(&format!("parse/{scale}/threads_{threads}"), || {
+                run_parse(&world, threads)
+            });
+            stage_means.push(("parse", threads, mean));
+
+            let pipeline = Pipeline::with_threads(threads);
+            let mean = bench(&format!("resolve/{scale}/threads_{threads}"), || {
+                black_box(pipeline.resolve_stage(&built.tree, &prefixes))
+            });
+            stage_means.push(("resolve", threads, mean));
+
+            let clusterer = Clusterer::new(ClusterOptions::default()).with_threads(threads);
+            let mean = bench(&format!("cluster/{scale}/threads_{threads}"), || {
+                black_box(clusterer.cluster(
+                    &records,
+                    &built.routes,
+                    &built.clusters,
+                    &built.rpki,
+                    built.tree.names(),
+                ))
+            });
+            stage_means.push(("cluster", threads, mean));
+        }
+
+        for &(stage, threads, mean_ns) in &stage_means {
+            let mut case = Json::object();
+            case.set("scale", scale);
+            case.set("threads", threads);
+            case.set("mean_ns", mean_ns);
+            match stage {
+                "parse" => parse_cases.push(case),
+                "resolve" => resolve_cases.push(case),
+                _ => cluster_cases.push(case),
+            }
+        }
+        for stage in ["parse", "resolve", "cluster"] {
+            let at = |threads: usize| {
+                stage_means
+                    .iter()
+                    .find(|&&(s, t, _)| s == stage && t == threads)
+                    .map(|&(_, _, m)| m)
+                    .expect("stage measured at every thread count")
+            };
+            let (seq, par) = (at(1), at(max_threads));
+            let mut s = Json::object();
+            s.set("stage", stage);
+            s.set("scale", scale);
+            s.set("threads", max_threads);
+            s.set(
+                "speedup_vs_sequential",
+                if par > 0.0 { seq / par } else { 0.0 },
+            );
+            speedups.push(s);
+        }
+    }
+
+    let mut doc = Json::object();
+    doc.set("bench", "pipeline");
+    doc.set("seed", "0xF1F0");
+    doc.set("budget_ms", budget_ms);
+    // Available cores on the recording machine: speedups only make sense
+    // relative to this (on a single-core box fan-out overhead dominates).
+    doc.set("cpus", prefix2org::default_threads());
+    doc.set(
+        "threads_compared",
+        Json::Arr(thread_counts.iter().map(|&t| Json::from(t)).collect()),
+    );
+    let mut groups = Json::object();
+    groups.set("parse", Json::Arr(parse_cases));
+    groups.set("resolve", Json::Arr(resolve_cases));
+    groups.set("cluster", Json::Arr(cluster_cases));
+    doc.set("groups", groups);
+    doc.set("speedups", Json::Arr(speedups));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, doc.to_string_pretty() + "\n").expect("writing BENCH_pipeline.json");
+    println!("\nwrote {path}");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        let budget_ms = std::env::var("P2O_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        bench_json(budget_ms);
+        return;
+    }
     bench_full_pipeline();
     bench_resolution_threads();
 }

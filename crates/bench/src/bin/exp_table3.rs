@@ -11,6 +11,7 @@ use p2o_as2org::As2OrgDb;
 use p2o_bgp::RouteTable;
 use p2o_net::Prefix;
 use p2o_rpki::{IpResourceSet, RpkiRepository};
+use p2o_util::Interner;
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::{Registry, Rir};
 use prefix2org::cluster::{ClusterOptions, Clusterer};
@@ -20,10 +21,10 @@ fn p(s: &str) -> Prefix {
     s.parse().unwrap()
 }
 
-fn rec(prefix: &str, owner: &str) -> OwnershipRecord {
+fn rec(names: &mut Interner, prefix: &str, owner: &str) -> OwnershipRecord {
     OwnershipRecord {
         prefix: p(prefix),
-        direct_owner: owner.to_string(),
+        direct_owner: names.intern(owner),
         do_prefix: p(prefix),
         do_alloc: AllocationType::Allocation,
         do_registry: Registry::Rir(Rir::Arin),
@@ -33,14 +34,15 @@ fn rec(prefix: &str, owner: &str) -> OwnershipRecord {
 
 fn main() {
     // P1-P7 exactly as in Table 3.
+    let mut names = Interner::new();
     let records = vec![
-        rec("210.80.198.0/24", "Verizon Japan Ltd"),
-        rec("2404:e8:100::/40", "Verizon Asia Pte Ltd"),
-        rec("203.193.92.0/24", "Verizon Hong Kong Ltd"),
-        rec("65.196.14.0/24", "Verizon Business"),
-        rec("2a04:4e40:8440::/48", "Fastly, Inc."),
-        rec("172.111.123.0/24", "Fastly, Inc."),
-        rec("103.186.154.0/24", "Fastly Network Solution"),
+        rec(&mut names, "210.80.198.0/24", "Verizon Japan Ltd"),
+        rec(&mut names, "2404:e8:100::/40", "Verizon Asia Pte Ltd"),
+        rec(&mut names, "203.193.92.0/24", "Verizon Hong Kong Ltd"),
+        rec(&mut names, "65.196.14.0/24", "Verizon Business"),
+        rec(&mut names, "2a04:4e40:8440::/48", "Fastly, Inc."),
+        rec(&mut names, "172.111.123.0/24", "Fastly, Inc."),
+        rec(&mut names, "103.186.154.0/24", "Fastly Network Solution"),
     ];
 
     let mut routes = RouteTable::new();
@@ -82,7 +84,7 @@ fn main() {
         frequency_threshold: 0,
         ..ClusterOptions::default()
     })
-    .cluster(&records, &routes, &clusters, &rpki);
+    .cluster(&records, &routes, &clusters, &rpki, &names);
 
     println!("Table 3: Aggregation of Verizon and Fastly prefixes\n");
     let rows: Vec<Vec<String>> = records
@@ -93,7 +95,7 @@ fn main() {
             vec![
                 format!("P{}", i + 1),
                 rec.prefix.to_string(),
-                rec.direct_owner.clone(),
+                names.resolve(rec.direct_owner).to_string(),
                 info.base_name.clone(),
                 info.rpki_cert
                     .map(|c| format!("({},{})", info.base_name, c.short()))

@@ -62,6 +62,18 @@ impl RouteTable {
         Ok(table)
     }
 
+    /// Like [`from_mrt`](Self::from_mrt), but decodes RIB record bodies on
+    /// `threads` threads via [`MrtReader::read_all_parallel`]. The resulting
+    /// table is identical.
+    pub fn from_mrt_threaded(data: bytes::Bytes, threads: usize) -> Result<Self, MrtParseError> {
+        let reader = MrtReader::new(data)?;
+        let mut table = RouteTable::new();
+        for record in reader.read_all_parallel(threads)? {
+            table.add_rib_record(&record);
+        }
+        Ok(table)
+    }
+
     /// Builds a table from a binary MRT dump with observability: ticks the
     /// reader's `mrt.*` counters and records a `bgp.parse` stage whose item
     /// count is the number of RIB records.
@@ -79,6 +91,30 @@ impl RouteTable {
             records += 1;
         }
         timer.items(records);
+        timer.finish();
+        Ok(table)
+    }
+
+    /// Threaded variant of [`from_mrt_instrumented`](Self::from_mrt_instrumented):
+    /// same `bgp.parse` stage and `mrt.*` counters, plus one `mrt.decode`
+    /// stage per decode shard when `threads > 1`.
+    pub fn from_mrt_instrumented_threaded(
+        data: bytes::Bytes,
+        obs: &p2o_obs::Obs,
+        threads: usize,
+    ) -> Result<Self, MrtParseError> {
+        if threads <= 1 {
+            return Self::from_mrt_instrumented(data, obs);
+        }
+        let mut timer = obs.stage("bgp.parse");
+        let mut reader = MrtReader::new(data)?;
+        reader.instrument(obs);
+        let mut table = RouteTable::new();
+        let records = reader.read_all_parallel(threads)?;
+        timer.items(records.len() as u64);
+        for record in &records {
+            table.add_rib_record(record);
+        }
         timer.finish();
         Ok(table)
     }
@@ -215,8 +251,10 @@ mod tests {
                 attrs: PathAttributes::ebgp(AsPath::sequence(vec![3356, 701]), 0),
             }],
         );
-        let t = RouteTable::from_mrt(w.finish()).unwrap();
+        let data = w.finish();
+        let t = RouteTable::from_mrt(data.clone()).unwrap();
         assert_eq!(t.len(), 2);
+        assert_eq!(RouteTable::from_mrt_threaded(data, 4).unwrap(), t);
         assert_eq!(t.v4_count(), 1);
         assert_eq!(t.v6_count(), 1);
         assert!(t.origins(&p("203.0.113.0/24")).unwrap().contains(&18692));

@@ -45,11 +45,14 @@ pub fn generate(args: &Parsed) -> Result<(), String> {
 pub fn build(args: &Parsed) -> Result<(), String> {
     let dir = Path::new(args.require("in")?);
     let out = Path::new(args.require("out")?);
-    let threads = args.get_num::<usize>("threads")?.unwrap_or(4);
+    let threads = args
+        .get_num::<usize>("threads")?
+        .unwrap_or_else(prefix2org::default_threads)
+        .max(1);
     let report_path = args.get("report");
     let obs = report_path.map(|_| p2o_obs::Obs::new());
 
-    let inputs = store::load_inputs_with(dir, obs.as_ref())?;
+    let inputs = store::load_inputs_with(dir, obs.as_ref(), threads)?;
     // The paper's §4.1 footnote check against the delegation files, when
     // present: no delegation larger than /8 (IPv4) or /16 (IPv6).
     let delegated_dir = dir.join("delegated");

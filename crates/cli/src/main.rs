@@ -69,6 +69,8 @@ USAGE:
   prefix2org build --in DIR --out FILE.jsonl [--threads N] [--report RUN.json]
       Parse a generated (or compatible) directory and run the full pipeline;
       write the per-prefix dataset as JSON Lines and print Table-4 metrics.
+      --threads defaults to the number of available cores; 1 forces the
+      fully sequential path (the output is identical either way).
       --report writes a JSON run report (per-stage wall times, counters,
       histograms) and prints its summary table to stderr.
 

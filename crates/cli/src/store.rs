@@ -146,13 +146,19 @@ pub struct LoadedInputs {
 
 /// Loads and parses a snapshot directory through the real substrate paths.
 pub fn load_inputs(dir: &Path) -> Result<LoadedInputs, String> {
-    load_inputs_with(dir, None)
+    load_inputs_with(dir, None, 1)
 }
 
-/// [`load_inputs`] with optional observability: when `obs` is given, the
-/// WHOIS and MRT parsers tick their `whois.*` / `mrt.*` / `bgp.parse`
-/// counters and stages into it.
-pub fn load_inputs_with(dir: &Path, obs: Option<&p2o_obs::Obs>) -> Result<LoadedInputs, String> {
+/// [`load_inputs`] with optional observability and parallelism: when `obs`
+/// is given, the WHOIS and MRT parsers tick their `whois.*` / `mrt.*` /
+/// `bgp.parse` counters and stages into it; when `threads > 1`, WHOIS dumps
+/// are parsed in object-boundary shards and MRT RIB bodies are decoded in
+/// chunks on that many threads (identical outputs either way).
+pub fn load_inputs_with(
+    dir: &Path,
+    obs: Option<&p2o_obs::Obs>,
+    threads: usize,
+) -> Result<LoadedInputs, String> {
     let read = |path: PathBuf| -> Result<String, String> {
         fs::read_to_string(&path).map_err(|e| io_err("reading", &path, e))
     };
@@ -192,11 +198,13 @@ pub fn load_inputs_with(dir: &Path, obs: Option<&p2o_obs::Obs>) -> Result<Loaded
             .map_err(|e| format!("{}: {e}", path.display()))?;
         let text = read(path.clone())?;
         match registry {
-            Registry::Rir(Rir::Arin) => db.add_arin(&text),
+            Registry::Rir(Rir::Arin) => db.add_arin_parallel(&text, threads),
             Registry::Rir(Rir::Lacnic)
             | Registry::Nir(p2o_whois::Nir::NicBr)
-            | Registry::Nir(p2o_whois::Nir::NicMx) => db.add_lacnic(&text, registry),
-            reg => db.add_rpsl(&text, reg),
+            | Registry::Nir(p2o_whois::Nir::NicMx) => {
+                db.add_lacnic_parallel(&text, registry, threads)
+            }
+            reg => db.add_rpsl_parallel(&text, reg, threads),
         };
     }
 
@@ -220,7 +228,8 @@ pub fn load_inputs_with(dir: &Path, obs: Option<&p2o_obs::Obs>) -> Result<Loaded
     let mrt = fs::read(&path).map_err(|e| io_err("reading", &path, e))?;
     let mrt = bytes::Bytes::from(mrt);
     let routes = match obs {
-        Some(o) => RouteTable::from_mrt_instrumented(mrt, o),
+        Some(o) => RouteTable::from_mrt_instrumented_threaded(mrt, o, threads),
+        None if threads > 1 => RouteTable::from_mrt_threaded(mrt, threads),
         None => RouteTable::from_mrt(mrt),
     }
     .map_err(|e| e.to_string())?;

@@ -280,6 +280,7 @@ mod tests {
     use p2o_bgp::RouteTable;
     use p2o_net::Prefix;
     use p2o_rpki::RpkiRepository;
+    use p2o_util::Interner;
     use p2o_whois::alloc::AllocationType;
     use p2o_whois::{Registry, Rir};
 
@@ -287,10 +288,10 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn rec(prefix: &str, owner: &str) -> OwnershipRecord {
+    fn rec(names: &mut Interner, prefix: &str, owner: &str) -> OwnershipRecord {
         OwnershipRecord {
             prefix: p(prefix),
-            direct_owner: owner.to_string(),
+            direct_owner: names.intern(owner),
             do_prefix: p(prefix),
             do_alloc: AllocationType::Allocation,
             do_registry: Registry::Rir(Rir::Arin),
@@ -298,27 +299,32 @@ mod tests {
         }
     }
 
-    fn dataset(records: Vec<OwnershipRecord>, routes: &RouteTable) -> Prefix2OrgDataset {
+    fn dataset(
+        records: Vec<OwnershipRecord>,
+        routes: &RouteTable,
+        names: &Interner,
+    ) -> Prefix2OrgDataset {
         let clusters = p2o_as2org::As2OrgDb::new().cluster();
         let (rpki, _) = RpkiRepository::new().validate(20240901);
-        let clustering =
-            Clusterer::new(ClusterOptions::default()).cluster(&records, routes, &clusters, &rpki);
-        Prefix2OrgDataset::assemble(records, clustering, 0, 4)
+        let clustering = Clusterer::new(ClusterOptions::default())
+            .cluster(&records, routes, &clusters, &rpki, names);
+        Prefix2OrgDataset::assemble(records, clustering, 0, 4, names)
     }
 
     fn fixture() -> Prefix2OrgDataset {
+        let mut names = Interner::new();
         let records = vec![
-            rec("10.0.0.0/8", "Big Carrier Inc"),    // 2^24 addrs
-            rec("20.0.0.0/16", "Mid Corp"),          // 2^16
-            rec("30.0.0.0/24", "Small LLC"),         // 2^8
-            rec("2001:db8::/32", "Big Carrier Inc"), // v6
+            rec(&mut names, "10.0.0.0/8", "Big Carrier Inc"), // 2^24 addrs
+            rec(&mut names, "20.0.0.0/16", "Mid Corp"),       // 2^16
+            rec(&mut names, "30.0.0.0/24", "Small LLC"),      // 2^8
+            rec(&mut names, "2001:db8::/32", "Big Carrier Inc"), // v6
         ];
         let mut routes = RouteTable::new();
         routes.add_route(p("10.0.0.0/8"), 100);
         routes.add_route(p("20.0.0.0/16"), 200);
         routes.add_route(p("30.0.0.0/24"), 300);
         routes.add_route(p("2001:db8::/32"), 100);
-        dataset(records, &routes)
+        dataset(records, &routes, &names)
     }
 
     #[test]
@@ -353,14 +359,15 @@ mod tests {
     fn as2org_method_overaggregates_customer_prefixes() {
         // Two different orgs' prefixes originated by the same ASN: the
         // AS2Org method lumps them; Prefix2Org keeps them apart.
+        let mut names = Interner::new();
         let records = vec![
-            rec("10.0.0.0/8", "Carrier"),
-            rec("20.0.0.0/8", "Customer Co"),
+            rec(&mut names, "10.0.0.0/8", "Carrier"),
+            rec(&mut names, "20.0.0.0/8", "Customer Co"),
         ];
         let mut routes = RouteTable::new();
         routes.add_route(p("10.0.0.0/8"), 100);
         routes.add_route(p("20.0.0.0/8"), 100); // same origin!
-        let ds = dataset(records, &routes);
+        let ds = dataset(records, &routes, &names);
         let p2o = top_cluster_curve(&ds, GroupingMethod::Prefix2Org, 10);
         let as2org = top_cluster_curve(&ds, GroupingMethod::As2OrgSiblings, 10);
         assert_eq!(p2o.space_fraction.len(), 2);
@@ -416,7 +423,7 @@ mod tests {
     #[test]
     fn empty_dataset_curves() {
         let routes = RouteTable::new();
-        let ds = dataset(Vec::new(), &routes);
+        let ds = dataset(Vec::new(), &routes, &Interner::new());
         let curve = top_cluster_curve(&ds, GroupingMethod::Prefix2Org, 10);
         assert!(curve.space_fraction.is_empty());
         assert!(top_clusters(&ds, 5).is_empty());

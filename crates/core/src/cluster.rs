@@ -92,66 +92,44 @@ impl Default for ClusterOptions {
     }
 }
 
-/// The clustering engine.
-#[derive(Debug, Default)]
-pub struct Clusterer {
-    /// Options for this run.
-    pub options: ClusterOptions,
+/// Per-shard accumulator of the 𝓡/𝓐 group-build pass. Shards cover
+/// contiguous record ranges, so appending the per-key member vectors in
+/// shard order reproduces the sequential per-key member order exactly —
+/// which is what keeps union-find inputs, cluster ids and labels
+/// byte-identical between the threaded and sequential paths.
+#[derive(Default)]
+struct GroupShard {
+    r_groups: HashMap<(Symbol, CertId), Vec<Symbol>>,
+    a_groups: HashMap<(Symbol, u32), Vec<Symbol>>,
+    rpki_cert_of: Vec<Option<CertId>>,
+    asn_clusters_of: Vec<Vec<u32>>,
+    rpki_covered: usize,
 }
 
-impl Clusterer {
-    /// A clusterer with the given options.
-    pub fn new(options: ClusterOptions) -> Self {
-        Clusterer { options }
-    }
-
-    /// Runs §5.3 over resolved ownership records.
-    pub fn cluster(
-        &self,
+impl GroupShard {
+    fn build(
         records: &[OwnershipRecord],
+        w_of_record: &[Symbol],
+        base_of_w: &[Symbol],
         routes: &RouteTable,
         asn_clusters: &AsnClusters,
         rpki: &ValidatedRepo,
-    ) -> ClusteringOutput {
-        // --- Base names (§5.3.1): corpus = all Direct Owner names. ---
-        let extractor = BaseNameExtractor::build(
-            records.iter().map(|r| r.direct_owner.as_str()),
-            self.options.frequency_threshold,
-        );
-
-        // --- 𝒲 clusters: exact (basic-cleaned) Direct Owner name. ---
-        let mut w_names = Interner::new();
-        let mut base_names = Interner::new();
-        let mut w_of_record: Vec<Symbol> = Vec::with_capacity(records.len());
-        let mut base_of_w: Vec<Symbol> = Vec::new();
-        for rec in records {
-            let w_key = basic_clean(&rec.direct_owner);
-            let w = w_names.intern(&w_key);
-            if w.index() == base_of_w.len() {
-                // Fresh 𝒲 cluster: compute its base name once.
-                base_of_w.push(base_names.intern(&extractor.extract(&rec.direct_owner)));
-            }
-            w_of_record.push(w);
-        }
-
-        // --- 𝓡 groups: (base name, child-most RC). ---
-        // --- 𝓐 groups: (base name, origin ASN cluster). ---
-        let mut r_groups: HashMap<(Symbol, CertId), Vec<Symbol>> = HashMap::new();
-        let mut a_groups: HashMap<(Symbol, u32), Vec<Symbol>> = HashMap::new();
-        let mut rpki_cert_of: Vec<Option<CertId>> = Vec::with_capacity(records.len());
-        let mut asn_clusters_of: Vec<Vec<u32>> = Vec::with_capacity(records.len());
-        let mut rpki_covered_prefixes = 0usize;
-        for (idx, rec) in records.iter().enumerate() {
-            let w = w_of_record[idx];
+    ) -> GroupShard {
+        let mut shard = GroupShard {
+            rpki_cert_of: Vec::with_capacity(records.len()),
+            asn_clusters_of: Vec::with_capacity(records.len()),
+            ..GroupShard::default()
+        };
+        for (rec, &w) in records.iter().zip(w_of_record) {
             let base = base_of_w[w.index()];
             let cert = rpki.child_most_rc(&rec.prefix);
             if cert.is_some() {
-                rpki_covered_prefixes += 1;
+                shard.rpki_covered += 1;
             }
             if let Some(cert) = cert {
-                r_groups.entry((base, cert)).or_default().push(w);
+                shard.r_groups.entry((base, cert)).or_default().push(w);
             }
-            rpki_cert_of.push(cert);
+            shard.rpki_cert_of.push(cert);
             let mut clusters: Vec<u32> = routes
                 .origins(&rec.prefix)
                 .map(|origins| {
@@ -164,10 +142,135 @@ impl Clusterer {
             clusters.sort_unstable();
             clusters.dedup();
             for &c in &clusters {
-                a_groups.entry((base, c)).or_default().push(w);
+                shard.a_groups.entry((base, c)).or_default().push(w);
             }
-            asn_clusters_of.push(clusters);
+            shard.asn_clusters_of.push(clusters);
         }
+        shard
+    }
+
+    /// Appends `other` (the next contiguous record range) onto `self`.
+    fn merge(&mut self, other: GroupShard) {
+        for (k, v) in other.r_groups {
+            self.r_groups.entry(k).or_default().extend(v);
+        }
+        for (k, v) in other.a_groups {
+            self.a_groups.entry(k).or_default().extend(v);
+        }
+        self.rpki_cert_of.extend(other.rpki_cert_of);
+        self.asn_clusters_of.extend(other.asn_clusters_of);
+        self.rpki_covered += other.rpki_covered;
+    }
+}
+
+/// The clustering engine.
+#[derive(Debug, Default)]
+pub struct Clusterer {
+    /// Options for this run.
+    pub options: ClusterOptions,
+    /// Worker threads for the 𝓡/𝓐 group-build pass; `0` and `1` both mean
+    /// sequential. The output is byte-identical at any thread count.
+    pub threads: usize,
+}
+
+impl Clusterer {
+    /// A clusterer with the given options (sequential group build).
+    pub fn new(options: ClusterOptions) -> Self {
+        Clusterer {
+            options,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count for the group-build pass.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs §5.3 over resolved ownership records. `names` is the interner
+    /// that produced the records' [`Symbol`]s (the delegation tree's, in the
+    /// pipeline).
+    pub fn cluster(
+        &self,
+        records: &[OwnershipRecord],
+        routes: &RouteTable,
+        asn_clusters: &AsnClusters,
+        rpki: &ValidatedRepo,
+        names: &Interner,
+    ) -> ClusteringOutput {
+        // --- Base names (§5.3.1): corpus = all Direct Owner names. ---
+        let extractor = BaseNameExtractor::build(
+            records.iter().map(|r| names.resolve(r.direct_owner)),
+            self.options.frequency_threshold,
+        );
+
+        // --- 𝒲 clusters: exact (basic-cleaned) Direct Owner name. ---
+        // Cleaning is cached per owner *symbol*: the first record carrying a
+        // given owner is also the first record that could mint its 𝒲
+        // cluster, so skipping repeat owners cannot change 𝒲 numbering.
+        let mut w_names = Interner::new();
+        let mut base_names = Interner::new();
+        let mut w_of_record: Vec<Symbol> = Vec::with_capacity(records.len());
+        let mut base_of_w: Vec<Symbol> = Vec::new();
+        let mut w_of_owner: HashMap<Symbol, Symbol> = HashMap::new();
+        for rec in records {
+            let w = match w_of_owner.get(&rec.direct_owner) {
+                Some(&w) => w,
+                None => {
+                    let owner = names.resolve(rec.direct_owner);
+                    let w = w_names.intern(&basic_clean(owner));
+                    if w.index() == base_of_w.len() {
+                        // Fresh 𝒲 cluster: compute its base name once.
+                        base_of_w.push(base_names.intern(&extractor.extract(owner)));
+                    }
+                    w_of_owner.insert(rec.direct_owner, w);
+                    w
+                }
+            };
+            w_of_record.push(w);
+        }
+
+        // --- 𝓡 groups: (base name, child-most RC). ---
+        // --- 𝓐 groups: (base name, origin ASN cluster). ---
+        let threads = self.threads.max(1);
+        let groups = if threads > 1 && records.len() >= 2 * threads {
+            let chunk = records.len().div_ceil(threads);
+            let shards: Vec<GroupShard> = std::thread::scope(|scope| {
+                let handles: Vec<_> = records
+                    .chunks(chunk)
+                    .zip(w_of_record.chunks(chunk))
+                    .map(|(recs, ws)| {
+                        let base_of_w = &base_of_w;
+                        scope.spawn(move || {
+                            GroupShard::build(recs, ws, base_of_w, routes, asn_clusters, rpki)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut merged = GroupShard::default();
+            for shard in shards {
+                merged.merge(shard);
+            }
+            merged
+        } else {
+            GroupShard::build(
+                records,
+                &w_of_record,
+                &base_of_w,
+                routes,
+                asn_clusters,
+                rpki,
+            )
+        };
+        let GroupShard {
+            r_groups,
+            a_groups,
+            rpki_cert_of,
+            asn_clusters_of,
+            rpki_covered: rpki_covered_prefixes,
+        } = groups;
 
         // --- Merge (§5.3.3): union 𝒲 clusters sharing an 𝓡 or 𝓐 group. ---
         let mut uf = UnionFind::new(w_names.len());
@@ -204,7 +307,9 @@ impl Clusterer {
             let root = uf.find(w);
             let id = *cluster_of_root.entry(root).or_insert_with(|| {
                 let id = ClusterId(cluster_base.len() as u32);
-                cluster_base.push(base_of_w[root]);
+                // Base of the first-seen member. Identical to the root's
+                // base: 𝓡/𝓐 merges only join 𝒲 clusters sharing a base.
+                cluster_base.push(base_of_w[w]);
                 cluster_names.push(Vec::new());
                 id
             });
@@ -300,10 +405,10 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn rec(prefix: &str, owner: &str) -> OwnershipRecord {
+    fn rec(names: &mut Interner, prefix: &str, owner: &str) -> OwnershipRecord {
         OwnershipRecord {
             prefix: p(prefix),
-            direct_owner: owner.to_string(),
+            direct_owner: names.intern(owner),
             do_prefix: p(prefix),
             do_alloc: AllocationType::Allocation,
             do_registry: Registry::Rir(Rir::Arin),
@@ -326,15 +431,24 @@ mod tests {
         }
     }
 
-    fn table3_fixture() -> (Vec<OwnershipRecord>, RouteTable, AsnClusters, ValidatedRepo) {
+    type Table3World = (
+        Vec<OwnershipRecord>,
+        RouteTable,
+        AsnClusters,
+        ValidatedRepo,
+        Interner,
+    );
+
+    fn table3_fixture() -> Table3World {
+        let mut names = Interner::new();
         let records = vec![
-            rec("210.80.198.0/24", "Verizon Japan Ltd"),        // P1
-            rec("2404:e8:100::/40", "Verizon Asia Pte Ltd"),    // P2
-            rec("203.193.92.0/24", "Verizon Hong Kong Ltd"),    // P3
-            rec("65.196.14.0/24", "Verizon Business"),          // P4
-            rec("2a04:4e40:8440::/48", "Fastly, Inc."),         // P5
-            rec("172.111.123.0/24", "Fastly, Inc."),            // P6
-            rec("103.186.154.0/24", "Fastly Network Solution"), // P7
+            rec(&mut names, "210.80.198.0/24", "Verizon Japan Ltd"), // P1
+            rec(&mut names, "2404:e8:100::/40", "Verizon Asia Pte Ltd"), // P2
+            rec(&mut names, "203.193.92.0/24", "Verizon Hong Kong Ltd"), // P3
+            rec(&mut names, "65.196.14.0/24", "Verizon Business"),   // P4
+            rec(&mut names, "2a04:4e40:8440::/48", "Fastly, Inc."),  // P5
+            rec(&mut names, "172.111.123.0/24", "Fastly, Inc."),     // P6
+            rec(&mut names, "103.186.154.0/24", "Fastly Network Solution"), // P7
         ];
 
         let mut routes = RouteTable::new();
@@ -371,13 +485,14 @@ mod tests {
         let (valid, problems) = repo.validate(20240901);
         assert!(problems.is_empty(), "{problems:?}");
 
-        (records, routes, clusters, valid)
+        (records, routes, clusters, valid, names)
     }
 
     #[test]
     fn table3_verizon_merges_fastly_splits() {
-        let (records, routes, clusters, rpki) = table3_fixture();
-        let out = Clusterer::new(topts(true, true)).cluster(&records, &routes, &clusters, &rpki);
+        let (records, routes, clusters, rpki, names) = table3_fixture();
+        let out =
+            Clusterer::new(topts(true, true)).cluster(&records, &routes, &clusters, &rpki, &names);
 
         // P1-P3 share (verizon, cert); P3-P4 share (verizon, AS395753):
         // all four Verizon names end in one final cluster.
@@ -418,9 +533,10 @@ mod tests {
 
     #[test]
     fn ablation_rpki_only_and_asn_only() {
-        let (records, routes, clusters, rpki) = table3_fixture();
+        let (records, routes, clusters, rpki, names) = table3_fixture();
         // RPKI only: P1-P3 merge, P4 stays separate (needs the ASN bridge).
-        let out = Clusterer::new(topts(true, false)).cluster(&records, &routes, &clusters, &rpki);
+        let out =
+            Clusterer::new(topts(true, false)).cluster(&records, &routes, &clusters, &rpki, &names);
         let c: Vec<ClusterId> = out.info.iter().map(|i| i.cluster).collect();
         assert_eq!(c[0], c[2]);
         assert_ne!(c[2], c[3]);
@@ -430,7 +546,8 @@ mod tests {
         assert_ne!(c[6], c[4]);
 
         // ASN only: P3-P4 merge (shared origin), P1/P2 stay separate.
-        let out = Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki);
+        let out =
+            Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki, &names);
         let c: Vec<ClusterId> = out.info.iter().map(|i| i.cluster).collect();
         assert_eq!(c[2], c[3]);
         assert_ne!(c[0], c[2]);
@@ -439,8 +556,9 @@ mod tests {
 
     #[test]
     fn no_evidence_means_default_clusters() {
-        let (records, routes, clusters, rpki) = table3_fixture();
-        let out = Clusterer::new(topts(false, false)).cluster(&records, &routes, &clusters, &rpki);
+        let (records, routes, clusters, rpki, names) = table3_fixture();
+        let out = Clusterer::new(topts(false, false))
+            .cluster(&records, &routes, &clusters, &rpki, &names);
         // Every distinct exact name is its own final cluster.
         assert_eq!(out.final_clusters, out.w_clusters);
     }
@@ -449,12 +567,13 @@ mod tests {
     fn sibling_asns_bridge_clusters() {
         // P1 originated by AS18692, P4 by AS701; making them siblings merges
         // the two Verizon names even without RPKI.
-        let (records, routes, _ignored, rpki) = table3_fixture();
+        let (records, routes, _ignored, rpki, names) = table3_fixture();
         let mut db = p2o_as2org::As2OrgDb::new();
         db.add_sibling_edge(18692, 701);
         db.add_sibling_edge(18692, 395753);
         let clusters = db.cluster();
-        let out = Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki);
+        let out =
+            Clusterer::new(topts(false, true)).cluster(&records, &routes, &clusters, &rpki, &names);
         let c: Vec<ClusterId> = out.info.iter().map(|i| i.cluster).collect();
         assert_eq!(c[0], c[1]);
         assert_eq!(c[1], c[3]);
@@ -462,12 +581,11 @@ mod tests {
 
     #[test]
     fn moas_prefix_joins_both_asn_groups() {
+        let mut names = Interner::new();
         let mut records = vec![
-            rec("10.0.0.0/16", "Acme East"),
-            rec("10.1.0.0/16", "Acme West"),
+            rec(&mut names, "10.0.0.0/16", "Acme East"),
+            rec(&mut names, "10.1.0.0/16", "Acme West"),
         ];
-        records[0].direct_owner = "Acme East Inc".into();
-        records[1].direct_owner = "Acme West Inc".into();
         let mut routes = RouteTable::new();
         // The first prefix is MOAS: both origins.
         routes.add_route(p("10.0.0.0/16"), 64512);
@@ -477,12 +595,35 @@ mod tests {
         let (valid, _) = RpkiRepository::new().validate(20240901);
         // Names share base "acme"? "acme east" vs "acme west" differ — use
         // identical bases by renaming.
-        records[0].direct_owner = "Acme Corporation".into();
-        records[1].direct_owner = "Acme Ltd".into();
-        let out = Clusterer::default().cluster(&records, &routes, &clusters, &valid);
+        records[0].direct_owner = names.intern("Acme Corporation");
+        records[1].direct_owner = names.intern("Acme Ltd");
+        let out = Clusterer::default().cluster(&records, &routes, &clusters, &valid, &names);
         assert_eq!(out.info[0].asn_clusters, vec![64512, 64513]);
         // Shared (acme, 64513) group merges the two W clusters.
         assert_eq!(out.info[0].cluster, out.info[1].cluster);
+    }
+
+    #[test]
+    fn threaded_group_build_is_byte_identical() {
+        let (records, routes, clusters, rpki, names) = table3_fixture();
+        let seq =
+            Clusterer::new(topts(true, true)).cluster(&records, &routes, &clusters, &rpki, &names);
+        for threads in [2, 3, 8] {
+            let par = Clusterer::new(topts(true, true))
+                .with_threads(threads)
+                .cluster(&records, &routes, &clusters, &rpki, &names);
+            assert_eq!(par.info, seq.info, "threads={threads}");
+            assert_eq!(par.labels, seq.labels);
+            assert_eq!(par.cluster_org_names, seq.cluster_org_names);
+            assert_eq!(par.final_clusters, seq.final_clusters);
+            assert_eq!(par.w_clusters, seq.w_clusters);
+            assert_eq!(par.r_groups, seq.r_groups);
+            assert_eq!(par.a_groups, seq.a_groups);
+            assert_eq!(par.w_with_r, seq.w_with_r);
+            assert_eq!(par.w_with_a, seq.w_with_a);
+            assert_eq!(par.base_names, seq.base_names);
+            assert_eq!(par.rpki_covered_prefixes, seq.rpki_covered_prefixes);
+        }
     }
 
     #[test]
@@ -502,7 +643,8 @@ mod tests {
         let routes = RouteTable::new();
         let clusters = p2o_as2org::As2OrgDb::new().cluster();
         let (valid, _) = RpkiRepository::new().validate(20240901);
-        let out = Clusterer::default().cluster(&[], &routes, &clusters, &valid);
+        let names = Interner::new();
+        let out = Clusterer::default().cluster(&[], &routes, &clusters, &valid, &names);
         assert_eq!(out.final_clusters, 0);
         assert_eq!(out.w_clusters, 0);
         assert!(out.info.is_empty());

@@ -4,12 +4,36 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use p2o_net::{AddressFamily, AddressSpan, Prefix};
-use p2o_util::Json;
+use p2o_util::{Interner, Json};
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::Registry;
 
 use crate::cluster::{ClusterId, ClusteringOutput};
-use crate::resolve::{DelegationStep, OwnershipRecord};
+use crate::resolve::OwnershipRecord;
+
+/// One materialized step in a prefix's delegation chain — the dataset-side
+/// counterpart of [`crate::resolve::DelegationStep`], with the organization
+/// name resolved from its [`p2o_util::Symbol`] to a string at assembly time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomerStep {
+    /// The Delegated Customer's organization name.
+    pub org_name: String,
+    /// The registered block of this sub-delegation.
+    pub prefix: Prefix,
+    /// Its allocation type.
+    pub alloc: AllocationType,
+}
+
+impl CustomerStep {
+    /// The step as a JSON object (Listing 1 chain element).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("org_name", self.org_name.as_str());
+        o.set("prefix", self.prefix.to_string());
+        o.set("alloc", self.alloc.keyword().to_uppercase());
+        o
+    }
+}
 
 /// One dataset record — the fields of paper Listing 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +49,7 @@ pub struct PrefixRecord {
     /// The Direct Owner delegation's allocation type.
     pub do_alloc: AllocationType,
     /// The Delegated Customers in hierarchical order.
-    pub delegated_customers: Vec<DelegationStep>,
+    pub delegated_customers: Vec<CustomerStep>,
     /// The Direct Owner's base name.
     pub base_name: String,
     /// The child-most Resource Certificate, rendered paper-style.
@@ -155,18 +179,24 @@ pub struct Prefix2OrgDataset {
 
 impl Prefix2OrgDataset {
     /// Assembles the dataset from resolution and clustering outputs.
-    /// `unresolved` is the count of routed prefixes with no covering record.
+    /// `unresolved` is the count of routed prefixes with no covering record;
+    /// `names` is the interner behind the ownership records' symbols (the
+    /// delegation tree's) — this is the boundary where symbols become
+    /// strings.
     pub fn assemble(
         ownership: Vec<OwnershipRecord>,
         clustering: ClusteringOutput,
         unresolved: usize,
         origin_asns: usize,
+        names: &Interner,
     ) -> Self {
         assert_eq!(ownership.len(), clustering.info.len());
         let mut records = Vec::with_capacity(ownership.len());
         let mut by_prefix = HashMap::with_capacity(ownership.len());
         let mut by_cluster: BTreeMap<ClusterId, Vec<usize>> = BTreeMap::new();
-        let mut dc_names: HashSet<&str> = HashSet::new();
+        // Symbols from one interner biject with names, so counting distinct
+        // symbols counts distinct names.
+        let mut dc_names: HashSet<p2o_util::Symbol> = HashSet::new();
 
         let mut v4 = 0usize;
         let mut v6 = 0usize;
@@ -193,10 +223,18 @@ impl Prefix2OrgDataset {
             records.push(PrefixRecord {
                 prefix: rec.prefix,
                 registry: rec.do_registry,
-                direct_owner: rec.direct_owner.clone(),
+                direct_owner: names.resolve(rec.direct_owner).to_string(),
                 do_prefix: rec.do_prefix,
                 do_alloc: rec.do_alloc,
-                delegated_customers: rec.delegated_customers.clone(),
+                delegated_customers: rec
+                    .delegated_customers
+                    .iter()
+                    .map(|step| CustomerStep {
+                        org_name: names.resolve(step.org_name).to_string(),
+                        prefix: step.prefix,
+                        alloc: step.alloc,
+                    })
+                    .collect(),
                 base_name: info.base_name.clone(),
                 rpki_certificate: info.rpki_cert.map(|c| c.to_string()),
                 origin_asn_clusters: info.asn_clusters.clone(),
@@ -206,12 +244,12 @@ impl Prefix2OrgDataset {
         }
         for rec in &ownership {
             for step in &rec.delegated_customers {
-                dc_names.insert(step.org_name.as_str());
+                dc_names.insert(step.org_name);
             }
             // A Direct Owner with no sub-delegation is also the prefix's
             // Delegated Customer (§5.2), so DO names count too.
             if rec.delegated_customers.is_empty() {
-                dc_names.insert(rec.direct_owner.as_str());
+                dc_names.insert(rec.direct_owner);
             }
         }
 
@@ -415,9 +453,14 @@ Updated:        2024-06-02
         let (ownership, unresolved) = Resolver.resolve_all(&tree, prefixes.iter());
         let clusters = p2o_as2org::As2OrgDb::new().cluster();
         let (rpki, _) = RpkiRepository::new().validate(20240901);
-        let clustering = Clusterer::new(ClusterOptions::default())
-            .cluster(&ownership, &routes, &clusters, &rpki);
-        Prefix2OrgDataset::assemble(ownership, clustering, unresolved, 1)
+        let clustering = Clusterer::new(ClusterOptions::default()).cluster(
+            &ownership,
+            &routes,
+            &clusters,
+            &rpki,
+            tree.names(),
+        );
+        Prefix2OrgDataset::assemble(ownership, clustering, unresolved, 1, tree.names())
     }
 
     #[test]

@@ -169,6 +169,7 @@ mod tests {
     use crate::resolve::{DelegationStep, OwnershipRecord};
     use p2o_bgp::RouteTable;
     use p2o_rpki::RpkiRepository;
+    use p2o_util::Interner;
     use p2o_whois::alloc::AllocationType;
     use p2o_whois::{Registry, Rir};
 
@@ -176,17 +177,22 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn rec(prefix: &str, owner: &str, customer: Option<&str>) -> OwnershipRecord {
+    fn rec(
+        names: &mut Interner,
+        prefix: &str,
+        owner: &str,
+        customer: Option<&str>,
+    ) -> OwnershipRecord {
         OwnershipRecord {
             prefix: p(prefix),
-            direct_owner: owner.to_string(),
+            direct_owner: names.intern(owner),
             do_prefix: p(prefix),
             do_alloc: AllocationType::Allocation,
             do_registry: Registry::Rir(Rir::Arin),
             delegated_customers: customer
                 .map(|c| {
                     vec![DelegationStep {
-                        org_name: c.to_string(),
+                        org_name: names.intern(c),
                         prefix: p(prefix),
                         alloc: AllocationType::Reassignment,
                     }]
@@ -195,21 +201,26 @@ mod tests {
         }
     }
 
-    fn dataset(records: Vec<OwnershipRecord>) -> Prefix2OrgDataset {
+    fn dataset(specs: &[(&str, &str, Option<&str>)]) -> Prefix2OrgDataset {
+        let mut names = Interner::new();
+        let records: Vec<OwnershipRecord> = specs
+            .iter()
+            .map(|&(prefix, owner, customer)| rec(&mut names, prefix, owner, customer))
+            .collect();
         let mut routes = RouteTable::new();
         for r in &records {
             routes.add_route(r.prefix, 64512);
         }
         let clusters = p2o_as2org::As2OrgDb::new().cluster();
         let (rpki, _) = RpkiRepository::new().validate(20240901);
-        let clustering = Clusterer::default().cluster(&records, &routes, &clusters, &rpki);
-        Prefix2OrgDataset::assemble(records, clustering, 0, 1)
+        let clustering = Clusterer::default().cluster(&records, &routes, &clusters, &rpki, &names);
+        Prefix2OrgDataset::assemble(records, clustering, 0, 1, &names)
     }
 
     #[test]
     fn identical_snapshots_diff_empty() {
-        let a = dataset(vec![rec("10.0.0.0/16", "Acme", None)]);
-        let b = dataset(vec![rec("10.0.0.0/16", "Acme", None)]);
+        let a = dataset(&[("10.0.0.0/16", "Acme", None)]);
+        let b = dataset(&[("10.0.0.0/16", "Acme", None)]);
         let d = diff(&a, &b);
         assert_eq!(d.changed(), 0);
         assert_eq!(d.unchanged, 1);
@@ -217,8 +228,8 @@ mod tests {
 
     #[test]
     fn added_and_removed() {
-        let a = dataset(vec![rec("10.0.0.0/16", "Acme", None)]);
-        let b = dataset(vec![rec("20.0.0.0/16", "Acme", None)]);
+        let a = dataset(&[("10.0.0.0/16", "Acme", None)]);
+        let b = dataset(&[("20.0.0.0/16", "Acme", None)]);
         let d = diff(&a, &b);
         assert_eq!(d.added, vec![p("20.0.0.0/16")]);
         assert_eq!(d.removed, vec![p("10.0.0.0/16")]);
@@ -227,8 +238,8 @@ mod tests {
 
     #[test]
     fn owner_transfer_detected() {
-        let a = dataset(vec![rec("10.0.0.0/16", "Seller Corp", None)]);
-        let b = dataset(vec![rec("10.0.0.0/16", "Buyer LLC", None)]);
+        let a = dataset(&[("10.0.0.0/16", "Seller Corp", None)]);
+        let b = dataset(&[("10.0.0.0/16", "Buyer LLC", None)]);
         let d = diff(&a, &b);
         assert_eq!(d.owner_changes.len(), 1);
         assert_eq!(d.owner_changes[0].from, "Seller Corp");
@@ -237,8 +248,8 @@ mod tests {
 
     #[test]
     fn case_change_is_not_a_transfer() {
-        let a = dataset(vec![rec("10.0.0.0/16", "ACME CORP", None)]);
-        let b = dataset(vec![rec("10.0.0.0/16", "Acme Corp", None)]);
+        let a = dataset(&[("10.0.0.0/16", "ACME CORP", None)]);
+        let b = dataset(&[("10.0.0.0/16", "Acme Corp", None)]);
         let d = diff(&a, &b);
         assert!(d.owner_changes.is_empty());
         assert_eq!(d.unchanged, 1);
@@ -246,8 +257,8 @@ mod tests {
 
     #[test]
     fn customer_churn_detected() {
-        let a = dataset(vec![rec("10.0.0.0/16", "Acme", Some("Old Customer"))]);
-        let b = dataset(vec![rec("10.0.0.0/16", "Acme", Some("New Customer"))]);
+        let a = dataset(&[("10.0.0.0/16", "Acme", Some("Old Customer"))]);
+        let b = dataset(&[("10.0.0.0/16", "Acme", Some("New Customer"))]);
         let d = diff(&a, &b);
         assert!(d.owner_changes.is_empty());
         assert_eq!(d.customer_changes, vec![p("10.0.0.0/16")]);

@@ -63,9 +63,9 @@ pub mod pipeline;
 pub mod resolve;
 
 pub use cluster::{ClusterId, Clusterer, ClusteringOutput};
-pub use dataset::{DatasetMetrics, Prefix2OrgDataset, PrefixRecord};
+pub use dataset::{CustomerStep, DatasetMetrics, Prefix2OrgDataset, PrefixRecord};
 pub use delta::{diff, DatasetDelta, OwnerChange};
 pub use export::{from_jsonl, to_jsonl, ExportRecord};
 pub use leasing::{infer_leasing, LeasingCandidate, LeasingOptions};
-pub use pipeline::{Pipeline, PipelineInputs};
+pub use pipeline::{default_threads, Pipeline, PipelineInputs};
 pub use resolve::{DelegationStep, OwnershipRecord, Resolver};

@@ -27,20 +27,31 @@ pub struct PipelineInputs<'a> {
 ///
 /// Resolution is embarrassingly parallel per prefix; `threads > 1` shards
 /// the routed-prefix list across `std::thread` scoped threads (CPU-bound
-/// fan-out — no async runtime involved).
+/// fan-out — no async runtime involved). The clustering group-build pass
+/// shards the same way. The default is [`default_threads`] (all cores);
+/// `threads = 1` forces the sequential path. Output is byte-identical at
+/// any thread count.
 #[derive(Debug, Clone, Copy)]
 pub struct Pipeline {
     /// Clustering options (ablations flip these).
     pub cluster_options: ClusterOptions,
-    /// Worker threads for the resolution stage.
+    /// Worker threads for the resolution and group-build stages.
     pub threads: usize,
+}
+
+/// The default pipeline worker count: one per available core, falling back
+/// to `1` when parallelism cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for Pipeline {
     fn default() -> Self {
         Pipeline {
             cluster_options: ClusterOptions::default(),
-            threads: 1,
+            threads: default_threads(),
         }
     }
 }
@@ -75,15 +86,19 @@ impl Pipeline {
         inputs: &PipelineInputs<'_>,
         obs: Option<&p2o_obs::Obs>,
     ) -> Prefix2OrgDataset {
-        let prefixes: Vec<Prefix> = inputs.routes.iter().map(|(p, _)| *p).collect();
+        // One pass over the table collects the prefix list and counts MOAS
+        // prefixes together.
+        let mut moas = 0usize;
+        let mut prefixes: Vec<Prefix> = Vec::with_capacity(inputs.routes.len());
+        for (p, origins) in inputs.routes.iter() {
+            if origins.len() > 1 {
+                moas += 1;
+            }
+            prefixes.push(*p);
+        }
         if let Some(o) = obs {
             o.counter("pipeline.routed_prefixes")
                 .add(prefixes.len() as u64);
-            let moas = inputs
-                .routes
-                .iter()
-                .filter(|(_, origins)| origins.len() > 1)
-                .count();
             o.counter("pipeline.moas_prefixes").add(moas as u64);
         }
 
@@ -99,12 +114,15 @@ impl Pipeline {
         }
 
         let cluster_timer = obs.map(|o| o.stage("pipeline.cluster"));
-        let clustering = Clusterer::new(self.cluster_options).cluster(
-            &ownership,
-            inputs.routes,
-            inputs.asn_clusters,
-            inputs.rpki,
-        );
+        let clustering = Clusterer::new(self.cluster_options)
+            .with_threads(self.threads)
+            .cluster(
+                &ownership,
+                inputs.routes,
+                inputs.asn_clusters,
+                inputs.rpki,
+                inputs.delegations.names(),
+            );
         if let Some(mut t) = cluster_timer {
             t.items(ownership.len() as u64);
             t.finish();
@@ -130,6 +148,7 @@ impl Pipeline {
             clustering,
             unresolved,
             inputs.routes.all_origins().len(),
+            inputs.delegations.names(),
         );
         if let Some(mut t) = assemble_timer {
             t.items(dataset.len() as u64);
@@ -210,14 +229,21 @@ mod tests {
             asn_clusters: &clusters,
             rpki: &rpki,
         };
-        let seq = Pipeline::default().run(&inputs);
+        let seq = Pipeline::with_threads(1).run(&inputs);
         let par = Pipeline::with_threads(4).run(&inputs);
         assert_eq!(seq.len(), par.len());
         assert_eq!(seq.metrics(), par.metrics());
         for rec in seq.records() {
             let other = par.record(&rec.prefix).unwrap();
-            assert_eq!(other.direct_owner, rec.direct_owner);
-            assert_eq!(other.base_name, rec.base_name);
+            assert_eq!(other, rec);
+        }
+        // Cluster ids, labels and member-name lists line up exactly — not
+        // just per-record fields.
+        assert_eq!(seq.cluster_count(), par.cluster_count());
+        for id in 0..seq.cluster_count() as u32 {
+            let id = crate::cluster::ClusterId(id);
+            assert_eq!(seq.cluster_label(id), par.cluster_label(id));
+            assert_eq!(seq.cluster_names(id), par.cluster_names(id));
         }
     }
 

@@ -1,30 +1,24 @@
 //! §5.2 — Finding Direct Owners and Delegated Customers of routed prefixes.
 
 use p2o_net::Prefix;
+use p2o_util::Symbol;
 use p2o_whois::alloc::{AllocationType, OwnershipLevel};
 use p2o_whois::{DelegationEntry, DelegationTree, Registry};
 
 /// One step in a prefix's delegation chain below the Direct Owner.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Organization names are [`Symbol`]s into the delegation tree's interner
+/// ([`DelegationTree::names`]); they stay symbols through resolution and
+/// clustering, and are materialized to strings only when the dataset is
+/// assembled (see `crate::dataset::CustomerStep`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DelegationStep {
     /// The Delegated Customer's organization name.
-    pub org_name: String,
+    pub org_name: Symbol,
     /// The registered block of this sub-delegation.
     pub prefix: Prefix,
     /// Its allocation type.
     pub alloc: AllocationType,
-}
-
-impl DelegationStep {
-    /// The step as a JSON object: the prefix as a string, the allocation
-    /// type as its uppercase WHOIS keyword.
-    pub fn to_json(&self) -> p2o_util::Json {
-        let mut o = p2o_util::Json::object();
-        o.set("org_name", self.org_name.as_str());
-        o.set("prefix", self.prefix.to_string());
-        o.set("alloc", self.alloc.keyword().to_uppercase());
-        o
-    }
 }
 
 /// The resolved ownership of one routed prefix (§5.2): the Direct Owner, and
@@ -38,8 +32,9 @@ impl DelegationStep {
 pub struct OwnershipRecord {
     /// The routed prefix.
     pub prefix: Prefix,
-    /// The Direct Owner's WHOIS organization name.
-    pub direct_owner: String,
+    /// The Direct Owner's WHOIS organization name (symbol into the source
+    /// tree's interner).
+    pub direct_owner: Symbol,
     /// The block of the Direct Owner delegation covering the prefix.
     pub do_prefix: Prefix,
     /// The Direct Owner delegation's allocation type.
@@ -54,16 +49,17 @@ impl OwnershipRecord {
     /// The most specific Delegated Customer — the paper's per-prefix "DC":
     /// the last chain entry, or the Direct Owner itself when no
     /// sub-delegation exists.
-    pub fn most_specific_customer(&self) -> &str {
+    pub fn most_specific_customer(&self) -> Symbol {
         self.delegated_customers
             .last()
-            .map(|s| s.org_name.as_str())
-            .unwrap_or(&self.direct_owner)
+            .map(|s| s.org_name)
+            .unwrap_or(self.direct_owner)
     }
 
     /// Whether the prefix is used by an organization other than its Direct
     /// Owner (the §6 "Delegated Customer is not the same organization"
-    /// statistic).
+    /// statistic). Symbol comparison is exact-name comparison because both
+    /// symbols come from the same interner.
     pub fn has_external_customer(&self) -> bool {
         self.delegated_customers
             .last()
@@ -99,7 +95,7 @@ impl Resolver {
                 match entry.ownership_level() {
                     OwnershipLevel::DelegatedCustomer => {
                         customers_rev.push(DelegationStep {
-                            org_name: entry.org_name.clone(),
+                            org_name: entry.org_name,
                             prefix: block,
                             alloc: entry.alloc,
                         });
@@ -108,7 +104,7 @@ impl Resolver {
                         customers_rev.reverse();
                         return Some(OwnershipRecord {
                             prefix: *prefix,
-                            direct_owner: entry.org_name.clone(),
+                            direct_owner: entry.org_name,
                             do_prefix: block,
                             do_alloc: entry.alloc,
                             do_registry: entry.registry,
@@ -189,12 +185,12 @@ mod tests {
             AllocationType::Allocation,
         )]);
         let r = Resolver.resolve(&t, &p("63.80.52.0/24")).unwrap();
-        assert_eq!(r.direct_owner, "Verizon Business");
+        assert_eq!(t.name(r.direct_owner), "Verizon Business");
         assert_eq!(r.do_prefix, p("63.64.0.0/10"));
         assert_eq!(r.do_alloc, AllocationType::Allocation);
         assert!(r.delegated_customers.is_empty());
         // DO doubles as the most specific customer.
-        assert_eq!(r.most_specific_customer(), "Verizon Business");
+        assert_eq!(t.name(r.most_specific_customer()), "Verizon Business");
         assert!(!r.has_external_customer());
     }
 
@@ -217,15 +213,15 @@ mod tests {
             rec("63.80.52.0/24", "Ceva Inc", AllocationType::Reassignment),
         ]);
         let r = Resolver.resolve(&t, &p("63.80.52.0/24")).unwrap();
-        assert_eq!(r.direct_owner, "Verizon Business");
+        assert_eq!(t.name(r.direct_owner), "Verizon Business");
         assert_eq!(r.do_prefix, p("63.64.0.0/10"));
         let names: Vec<_> = r
             .delegated_customers
             .iter()
-            .map(|s| s.org_name.as_str())
+            .map(|s| t.name(s.org_name))
             .collect();
         assert_eq!(names, vec!["Bandwidth.com Inc.", "Ceva Inc"]);
-        assert_eq!(r.most_specific_customer(), "Ceva Inc");
+        assert_eq!(t.name(r.most_specific_customer()), "Ceva Inc");
         assert!(r.has_external_customer());
     }
 
@@ -242,9 +238,9 @@ mod tests {
             ),
         ]);
         let r = Resolver.resolve(&t, &p("206.238.0.0/16")).unwrap();
-        assert_eq!(r.direct_owner, "PSINet, Inc");
+        assert_eq!(t.name(r.direct_owner), "PSINet, Inc");
         assert_eq!(r.delegated_customers.len(), 1);
-        assert_eq!(r.delegated_customers[0].org_name, "Tcloudnet, Inc");
+        assert_eq!(t.name(r.delegated_customers[0].org_name), "Tcloudnet, Inc");
     }
 
     #[test]
@@ -255,16 +251,16 @@ mod tests {
             rec("10.1.2.0/24", "End User", AllocationType::Reassignment),
         ]);
         let r = Resolver.resolve(&t, &p("10.1.2.0/24")).unwrap();
-        assert_eq!(r.direct_owner, "Carrier");
+        assert_eq!(t.name(r.direct_owner), "Carrier");
         let names: Vec<_> = r
             .delegated_customers
             .iter()
-            .map(|s| s.org_name.as_str())
+            .map(|s| t.name(s.org_name))
             .collect();
         assert_eq!(names, vec!["Regional ISP", "End User"]);
         // A routed prefix deeper than all records resolves identically.
         let r2 = Resolver.resolve(&t, &p("10.1.2.128/25")).unwrap();
-        assert_eq!(r2.direct_owner, "Carrier");
+        assert_eq!(t.name(r2.direct_owner), "Carrier");
         assert_eq!(r2.delegated_customers.len(), 2);
     }
 
@@ -277,7 +273,7 @@ mod tests {
             rec("100.50.0.0/16", "PI Holder", AllocationType::Allocation),
         ]);
         let r = Resolver.resolve(&t, &p("100.50.1.0/24")).unwrap();
-        assert_eq!(r.direct_owner, "PI Holder");
+        assert_eq!(t.name(r.direct_owner), "PI Holder");
         assert!(r.delegated_customers.is_empty());
     }
 
@@ -305,17 +301,5 @@ mod tests {
             AllocationType::Reassignment,
         )]);
         assert!(Resolver.resolve(&t, &p("10.1.2.0/24")).is_none());
-    }
-
-    #[test]
-    fn json_of_delegation_step() {
-        let step = DelegationStep {
-            org_name: "Ceva Inc".into(),
-            prefix: p("63.80.52.0/24"),
-            alloc: AllocationType::Reassignment,
-        };
-        let json = step.to_json().to_string();
-        assert!(json.contains("\"REASSIGNMENT\""));
-        assert!(json.contains("63.80.52.0/24"));
     }
 }

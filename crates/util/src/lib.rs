@@ -27,6 +27,6 @@ pub mod tsv;
 pub mod union_find;
 
 pub use digest::{fnv1a_64, Digest};
-pub use interner::{Interner, Symbol};
+pub use interner::{ConcurrentInterner, Interner, Symbol};
 pub use json::Json;
 pub use union_find::UnionFind;

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use p2o_net::Prefix;
 use p2o_radix::PrefixMap;
+use p2o_util::{ConcurrentInterner, Interner, Symbol};
 
 use crate::alloc::{AllocationType, OwnershipLevel};
 use crate::record::{OrgObject, OrgRef, RawWhoisRecord};
@@ -11,10 +12,11 @@ use crate::registry::{Nir, Registry};
 
 /// One resolved delegation on a prefix: the holder organization, the
 /// allocation type, and provenance.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DelegationEntry {
-    /// The holder's organization name (handles already resolved).
-    pub org_name: String,
+    /// The holder's organization name (handles already resolved), as a
+    /// symbol into the owning tree's [`DelegationTree::names`] interner.
+    pub org_name: Symbol,
     /// The allocation type of this (sub-)delegation.
     pub alloc: AllocationType,
     /// The registry the record came from.
@@ -40,12 +42,24 @@ impl DelegationEntry {
 #[derive(Debug, Default)]
 pub struct DelegationTree {
     map: PrefixMap<Vec<DelegationEntry>>,
+    names: Interner,
 }
 
 impl DelegationTree {
     /// The delegation entries registered exactly on `prefix`.
     pub fn entries(&self, prefix: &Prefix) -> Option<&Vec<DelegationEntry>> {
         self.map.get(prefix)
+    }
+
+    /// The interner that resolves every [`DelegationEntry::org_name`] symbol
+    /// produced by this tree (and everything derived from it downstream).
+    pub fn names(&self) -> &Interner {
+        &self.names
+    }
+
+    /// Resolves an organization-name symbol to its string.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.names.resolve(sym)
     }
 
     /// The covering chain for a routed prefix: every registered block that
@@ -206,6 +220,127 @@ impl WhoisDb {
         dump.problems.len()
     }
 
+    /// Like [`add_rpsl`](Self::add_rpsl), but splits the text at object
+    /// boundaries and parses the shards on `threads` scoped threads. The
+    /// resulting record/org order (and therefore everything downstream,
+    /// including symbol assignment in [`build`](Self::build)) is identical
+    /// to the sequential call.
+    pub fn add_rpsl_parallel(&mut self, text: &str, source: Registry, threads: usize) -> usize {
+        let dumps = self.parse_sharded(text, threads, move |shard| {
+            crate::rpsl::parse_dump(shard, source)
+        });
+        let Some(dumps) = dumps else {
+            return self.add_rpsl(text, source);
+        };
+        let mut problems = 0;
+        for (offset, mut dump) in dumps {
+            for org in dump.orgs {
+                self.orgs.insert(org.handle, org.name);
+            }
+            for p in &mut dump.problems {
+                p.line += offset;
+            }
+            self.tick("whois.records", dump.records.len() as u64);
+            self.tick("whois.malformed", dump.problems.len() as u64);
+            self.records.extend(dump.records);
+            problems += dump.problems.len();
+        }
+        problems
+    }
+
+    /// Parallel variant of [`add_arin`](Self::add_arin); see
+    /// [`add_rpsl_parallel`](Self::add_rpsl_parallel) for the guarantees.
+    pub fn add_arin_parallel(&mut self, text: &str, threads: usize) -> usize {
+        let dumps = self.parse_sharded(text, threads, |shard| {
+            let dump = crate::arin::parse_dump(shard);
+            crate::rpsl::RpslDump {
+                records: dump.records,
+                orgs: Vec::new(),
+                problems: dump.problems,
+            }
+        });
+        let Some(dumps) = dumps else {
+            return self.add_arin(text);
+        };
+        self.merge_record_dumps(dumps)
+    }
+
+    /// Parallel variant of [`add_lacnic`](Self::add_lacnic); see
+    /// [`add_rpsl_parallel`](Self::add_rpsl_parallel) for the guarantees.
+    pub fn add_lacnic_parallel(&mut self, text: &str, source: Registry, threads: usize) -> usize {
+        let dumps = self.parse_sharded(text, threads, move |shard| {
+            let dump = crate::lacnic::parse_dump(shard, source);
+            crate::rpsl::RpslDump {
+                records: dump.records,
+                orgs: Vec::new(),
+                problems: dump.problems,
+            }
+        });
+        let Some(dumps) = dumps else {
+            return self.add_lacnic(text, source);
+        };
+        self.merge_record_dumps(dumps)
+    }
+
+    /// Shards `text` at object boundaries and runs `parse` on each shard in
+    /// its own scoped thread, recording one `whois.parse` stage per shard.
+    /// Returns `None` when sharding is not worthwhile (one thread or one
+    /// shard) so callers fall back to the sequential path.
+    fn parse_sharded<F>(
+        &self,
+        text: &str,
+        threads: usize,
+        parse: F,
+    ) -> Option<Vec<(usize, crate::rpsl::RpslDump)>>
+    where
+        F: Fn(&str) -> crate::rpsl::RpslDump + Copy + Send,
+    {
+        if threads <= 1 {
+            return None;
+        }
+        let shards = crate::shard::split_at_object_boundaries(text, threads);
+        if shards.len() <= 1 {
+            return None;
+        }
+        let obs = self.obs.clone();
+        Some(std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    let obs = obs.clone();
+                    let shard = *shard;
+                    scope.spawn(move || {
+                        let timer = obs.as_ref().map(|o| o.stage("whois.parse"));
+                        let dump = parse(shard.text);
+                        if let Some(mut t) = timer {
+                            t.items(dump.records.len() as u64);
+                        }
+                        (shard.line_offset, dump)
+                    })
+                })
+                .collect();
+            // Joining in spawn order keeps the merged record order identical
+            // to the sequential parse.
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        }))
+    }
+
+    /// Merges per-shard dumps (already in shard order) for the org-less
+    /// ARIN/LACNIC flavours.
+    fn merge_record_dumps(&mut self, dumps: Vec<(usize, crate::rpsl::RpslDump)>) -> usize {
+        let mut problems = 0;
+        for (offset, mut dump) in dumps {
+            for p in &mut dump.problems {
+                p.line += offset;
+            }
+            self.tick("whois.records", dump.records.len() as u64);
+            self.tick("whois.malformed", dump.problems.len() as u64);
+            self.records.extend(dump.records);
+            problems += dump.problems.len();
+        }
+        problems
+    }
+
     /// Adds a single pre-parsed record (used by the synthetic generator's
     /// direct path and by tests).
     pub fn add_record(&mut self, record: RawWhoisRecord) {
@@ -278,6 +413,10 @@ impl WhoisDb {
             ..Default::default()
         };
 
+        // Records arrive in ingestion order, so interning here hands out the
+        // same symbols on every run even though the interner is the
+        // thread-safe variant.
+        let interner = ConcurrentInterner::new();
         // Key: (prefix, alloc). Value: the winning entry so far.
         let mut best: HashMap<(Prefix, AllocationType), DelegationEntry> = HashMap::new();
         for rec in self.records {
@@ -286,18 +425,18 @@ impl WhoisDb {
                 continue;
             };
             let org_name = match &rec.org {
-                OrgRef::Name(n) => n.clone(),
+                OrgRef::Name(n) => interner.intern(n),
                 OrgRef::Handle(h) => match self.orgs.get(h) {
-                    Some(n) => n.clone(),
+                    Some(n) => interner.intern(n),
                     None => {
                         stats.unresolved_handles += 1;
-                        h.clone()
+                        interner.intern(h)
                     }
                 },
             };
             for prefix in rec.net.to_prefixes() {
                 let entry = DelegationEntry {
-                    org_name: org_name.clone(),
+                    org_name,
                     alloc,
                     registry: rec.source,
                     last_modified: rec.last_modified,
@@ -332,6 +471,8 @@ impl WhoisDb {
         // delegations, then terminal assignments; newest first within a depth.
         // (A mutable full iteration over PrefixMap is not exposed; collect the
         // keys first.)
+        let hits = interner.hits();
+        let names = interner.freeze();
         let keys: Vec<Prefix> = map.iter().map(|(k, _)| k).collect();
         for k in keys {
             let v = map.get_mut(&k).expect("key just listed");
@@ -340,7 +481,10 @@ impl WhoisDb {
                     .chain_depth()
                     .cmp(&b.alloc.chain_depth())
                     .then(b.last_modified.cmp(&a.last_modified))
-                    .then(a.org_name.cmp(&b.org_name))
+                    // The final tie-break stays lexicographic on the *names*,
+                    // not the symbols, so entry order is independent of
+                    // interning order.
+                    .then(names.resolve(a.org_name).cmp(names.resolve(b.org_name)))
             });
         }
         stats.prefixes = map.len();
@@ -351,13 +495,15 @@ impl WhoisDb {
             o.counter("whois.missing_alloc")
                 .add(stats.missing_alloc as u64);
             o.counter("whois.prefixes").add(stats.prefixes as u64);
+            o.counter("interner.symbols").add(names.len() as u64);
+            o.counter("interner.hits").add(hits);
             let h = o.histogram("whois.entries_per_prefix");
             for (_, v) in map.iter() {
                 h.record(v.len() as u64);
             }
         }
         drop(timer);
-        (DelegationTree { map }, stats)
+        (DelegationTree { map, names }, stats)
     }
 }
 
@@ -407,9 +553,9 @@ mod tests {
         let entries = tree.entries(&p("206.238.0.0/16")).unwrap();
         assert_eq!(entries.len(), 2);
         // Direct Owner first.
-        assert_eq!(entries[0].org_name, "PSINet, Inc");
+        assert_eq!(tree.name(entries[0].org_name), "PSINet, Inc");
         assert_eq!(entries[0].ownership_level(), OwnershipLevel::DirectOwner);
-        assert_eq!(entries[1].org_name, "Tcloudnet, Inc");
+        assert_eq!(tree.name(entries[1].org_name), "Tcloudnet, Inc");
         assert_eq!(
             entries[1].ownership_level(),
             OwnershipLevel::DelegatedCustomer
@@ -435,7 +581,7 @@ mod tests {
         assert_eq!(stats.superseded, 1);
         let entries = tree.entries(&p("10.0.0.0/8")).unwrap();
         assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].org_name, "New Name");
+        assert_eq!(tree.name(entries[0].org_name), "New Name");
     }
 
     #[test]
@@ -455,7 +601,7 @@ mod tests {
         ));
         let (tree, _) = db.build();
         assert_eq!(
-            tree.entries(&p("10.0.0.0/8")).unwrap()[0].org_name,
+            tree.name(tree.entries(&p("10.0.0.0/8")).unwrap()[0].org_name),
             "New Name"
         );
     }
@@ -496,11 +642,11 @@ mod tests {
         let (tree, stats) = db.build();
         assert_eq!(stats.unresolved_handles, 1);
         assert_eq!(
-            tree.entries(&p("65.196.14.0/24")).unwrap()[0].org_name,
+            tree.name(tree.entries(&p("65.196.14.0/24")).unwrap()[0].org_name),
             "Verizon Business"
         );
         assert_eq!(
-            tree.entries(&p("65.196.15.0/24")).unwrap()[0].org_name,
+            tree.name(tree.entries(&p("65.196.15.0/24")).unwrap()[0].org_name),
             "ORG-MISSING"
         );
     }
@@ -568,10 +714,10 @@ mod tests {
         assert_eq!(chain.len(), 2);
         assert_eq!(chain[0].0, p("63.80.52.0/24"));
         assert_eq!(chain[0].1.len(), 2);
-        assert_eq!(chain[0].1[0].org_name, "Bandwidth.com Inc."); // depth 1 first
-        assert_eq!(chain[0].1[1].org_name, "Ceva Inc");
+        assert_eq!(tree.name(chain[0].1[0].org_name), "Bandwidth.com Inc."); // depth 1 first
+        assert_eq!(tree.name(chain[0].1[1].org_name), "Ceva Inc");
         assert_eq!(chain[1].0, p("63.64.0.0/10"));
-        assert_eq!(chain[1].1[0].org_name, "Verizon Business");
+        assert_eq!(tree.name(chain[1].1[0].org_name), "Verizon Business");
     }
 
     #[test]
@@ -651,9 +797,99 @@ changed:     20240801
         assert_eq!(stats.raw_records, 3);
         assert_eq!(tree.len(), 3);
         assert_eq!(
-            tree.entries(&p("206.238.0.0/16")).unwrap()[0].org_name,
+            tree.name(tree.entries(&p("206.238.0.0/16")).unwrap()[0].org_name),
             "PSINet, Inc"
         );
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential() {
+        let rpsl: String = (0..40)
+            .map(|i| {
+                format!(
+                    "inetnum:        10.{}.{}.0 - 10.{}.{}.255\n\
+                     org:            ORG-H{}\n\
+                     status:         ALLOCATED PA\n\
+                     last-modified:  2024-08-01T00:00:00Z\n\
+                     source:         RIPE\n\n\
+                     organisation:   ORG-H{}\n\
+                     org-name:       Holder {} Inc\n\n",
+                    i / 8,
+                    i % 8,
+                    i / 8,
+                    i % 8,
+                    i % 5,
+                    i % 5,
+                    i % 5
+                )
+            })
+            .collect();
+        let arin: String = (0..16)
+            .map(|i| {
+                format!(
+                    "NetRange:       198.51.{i}.0 - 198.51.{i}.255\n\
+                     NetType:        Reassignment\n\
+                     OrgName:        Customer {i} LLC\n\
+                     Updated:        2024-01-01\n\n"
+                )
+            })
+            .collect();
+        let lacnic: String = (0..12)
+            .map(|i| {
+                format!(
+                    "inetnum:     200.{i}.0.0/16\n\
+                     status:      allocated\n\
+                     owner:       Operadora {i} SA\n\
+                     changed:     20240101\n\n"
+                )
+            })
+            .collect();
+
+        let mut seq = WhoisDb::new();
+        let mut sp = 0;
+        sp += seq.add_rpsl(&rpsl, Registry::Rir(Rir::Ripe));
+        sp += seq.add_arin(&arin);
+        sp += seq.add_lacnic(&lacnic, Registry::Rir(Rir::Lacnic));
+
+        let obs = p2o_obs::Obs::new();
+        let mut par = WhoisDb::new();
+        par.instrument(&obs);
+        let mut pp = 0;
+        pp += par.add_rpsl_parallel(&rpsl, Registry::Rir(Rir::Ripe), 4);
+        pp += par.add_arin_parallel(&arin, 4);
+        pp += par.add_lacnic_parallel(&lacnic, Registry::Rir(Rir::Lacnic), 4);
+
+        assert_eq!(sp, pp);
+        assert_eq!(seq.records, par.records, "record order must match");
+        assert_eq!(seq.orgs, par.orgs);
+        let report = obs.report();
+        assert_eq!(report.counter("whois.records"), Some(68));
+        assert!(
+            report
+                .stages
+                .iter()
+                .filter(|s| s.name == "whois.parse")
+                .count()
+                > 1,
+            "parallel ingest must record one whois.parse stage per shard"
+        );
+
+        let (seq_tree, seq_stats) = seq.build();
+        let (par_tree, par_stats) = par.build();
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(seq_tree.len(), par_tree.len());
+        for ((pa, ea), (pb, eb)) in seq_tree.iter().zip(par_tree.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(ea, eb, "symbol assignment must be deterministic");
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_single_thread_falls_back() {
+        let text = "inetnum: 10.0.0.0 - 10.0.0.255\ndescr: Solo\nstatus: ALLOCATED PA\n";
+        let mut db = WhoisDb::new();
+        assert_eq!(db.add_rpsl_parallel(text, Registry::Rir(Rir::Ripe), 1), 0);
+        assert_eq!(db.record_count(), 1);
     }
 
     #[test]
@@ -680,6 +916,8 @@ source:         RIPE
         assert_eq!(report.counter("whois.malformed"), Some(1));
         assert_eq!(report.counter("whois.unresolved_handles"), Some(1));
         assert_eq!(report.counter("whois.prefixes"), Some(2));
+        assert_eq!(report.counter("interner.symbols"), Some(2));
+        assert_eq!(report.counter("interner.hits"), Some(0));
         assert!(report.stage("whois.build").is_some());
         assert_eq!(report.stage("whois.build").unwrap().items, Some(2));
         // The instrumented tree ticks lookup counters on queries.

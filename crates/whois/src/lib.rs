@@ -29,6 +29,7 @@ pub mod lacnic;
 pub mod record;
 pub mod registry;
 pub mod rpsl;
+pub mod shard;
 
 pub use alloc::{AllocationType, OwnershipLevel, Rights};
 pub use db::{redelegation_stats, DelegationEntry, DelegationTree, RedelegationStats, WhoisDb};

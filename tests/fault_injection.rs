@@ -184,7 +184,7 @@ fn conflicting_duplicate_records_resolve_to_latest() {
     assert_eq!(stats.superseded, 4);
     let entries = tree.entries(&p("10.0.0.0/8")).unwrap();
     assert_eq!(entries.len(), 1);
-    assert_eq!(entries[0].org_name, "Owner v1"); // the 2024 record
+    assert_eq!(tree.name(entries[0].org_name), "Owner v1"); // the 2024 record
 }
 
 #[test]

@@ -27,6 +27,8 @@ const GOLDEN_COUNTERS: &[(&str, u64)] = &[
     ("whois.superseded", 1),
     ("whois.missing_alloc", 0),
     ("whois.prefixes", 254),
+    ("interner.symbols", 50),
+    ("interner.hits", 243),
     ("radix.inserts", 254),
     ("radix.lookups", 884),
     ("mrt.records", 338),
