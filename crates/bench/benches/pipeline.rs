@@ -81,7 +81,8 @@ fn run_parse(world: &World, threads: usize) {
 /// cluster stages. Written as `BENCH_pipeline.json` at the repo root so the
 /// baseline rides along with the code that produced it.
 fn bench_json(budget_ms: u64) {
-    let max_threads = prefix2org::default_threads().clamp(2, 8);
+    let cpus = prefix2org::default_threads();
+    let max_threads = cpus.clamp(2, 8);
     let thread_counts = [1usize, max_threads];
 
     let mut parse_cases: Vec<Json> = Vec::new();
@@ -150,21 +151,34 @@ fn bench_json(budget_ms: u64) {
             s.set("stage", stage);
             s.set("scale", scale);
             s.set("threads", max_threads);
-            s.set(
-                "speedup_vs_sequential",
-                if par > 0.0 { seq / par } else { 0.0 },
-            );
+            if cpus == 1 {
+                // A single-core recorder cannot demonstrate parallel
+                // speedup — the "parallel" run just pays fan-out overhead —
+                // so refuse to report a number that would read as one.
+                s.set("speedup_vs_sequential", Json::Null);
+                s.set(
+                    "note",
+                    "not measured: recorder has 1 CPU, parallel runs only add fan-out overhead",
+                );
+            } else {
+                s.set(
+                    "speedup_vs_sequential",
+                    if par > 0.0 { seq / par } else { 0.0 },
+                );
+            }
             speedups.push(s);
         }
     }
 
     let mut doc = Json::object();
     doc.set("bench", "pipeline");
+    // Available cores on the recording machine, first so nobody reads the
+    // numbers without it: speedups only make sense relative to this (on a
+    // single-core box fan-out overhead dominates and `speedups` carry
+    // `null` instead of a misleading ratio).
+    doc.set("cpus", cpus);
     doc.set("seed", "0xF1F0");
     doc.set("budget_ms", budget_ms);
-    // Available cores on the recording machine: speedups only make sense
-    // relative to this (on a single-core box fan-out overhead dominates).
-    doc.set("cpus", prefix2org::default_threads());
     doc.set(
         "threads_compared",
         Json::Arr(thread_counts.iter().map(|&t| Json::from(t)).collect()),

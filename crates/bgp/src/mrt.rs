@@ -357,7 +357,21 @@ impl MrtReader {
     /// the failure point by other threads.)
     pub fn read_all_parallel(mut self, threads: usize) -> Result<Vec<RibRecord>, MrtParseError> {
         if threads <= 1 {
-            return self.read_all();
+            // Still trace the one-shard decode so `--trace` timelines stay
+            // populated on single-core runs.
+            let obs = self.obs.clone();
+            let log = obs.as_ref().and_then(|o| o.obs.thread_log("mrt.decode"));
+            let span = log.as_ref().map(|l| {
+                let s = l.span("mrt.decode");
+                s.arg("shard", 0);
+                s
+            });
+            let out = self.read_all();
+            if let (Some(s), Ok(recs)) = (&span, &out) {
+                s.arg("records", recs.len());
+            }
+            drop(span);
+            return out;
         }
         // Sequential frame scan: slicing `Bytes` is refcount bumps, not
         // copies, so this is a tiny fraction of the decode cost.
@@ -366,6 +380,16 @@ impl MrtReader {
             frames.push((subtype, body, self.offset));
         }
         if frames.len() < 2 * threads {
+            let log = self
+                .obs
+                .as_ref()
+                .and_then(|o| o.obs.thread_log("mrt.decode"));
+            let span = log.as_ref().map(|l| {
+                let s = l.span("mrt.decode");
+                s.arg("shard", 0);
+                s.arg("frames", frames.len());
+                s
+            });
             let mut out = Vec::new();
             for (subtype, body, offset) in frames {
                 if let Some(rec) = decode_rib_body(subtype, body, offset, &self.peers)? {
@@ -375,6 +399,9 @@ impl MrtReader {
                     out.push(rec);
                 }
             }
+            if let Some(s) = &span {
+                s.arg("records", out.len());
+            }
             return Ok(out);
         }
         let chunk = frames.len().div_ceil(threads);
@@ -383,8 +410,16 @@ impl MrtReader {
         let shards: Vec<Result<Vec<RibRecord>, MrtParseError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = frames
                 .chunks(chunk)
-                .map(|shard| {
+                .enumerate()
+                .map(|(idx, shard)| {
                     scope.spawn(move || {
+                        let log = obs.as_ref().and_then(|o| o.obs.thread_log("mrt.decode"));
+                        let span = log.as_ref().map(|l| {
+                            let s = l.span("mrt.decode");
+                            s.arg("shard", idx);
+                            s.arg("frames", shard.len());
+                            s
+                        });
                         let timer = obs.as_ref().map(|o| o.obs.stage("mrt.decode"));
                         let mut out = Vec::with_capacity(shard.len());
                         for (subtype, body, offset) in shard {
@@ -399,6 +434,9 @@ impl MrtReader {
                         }
                         if let Some(mut t) = timer {
                             t.items(out.len() as u64);
+                        }
+                        if let Some(s) = &span {
+                            s.arg("records", out.len());
                         }
                         Ok(out)
                     })

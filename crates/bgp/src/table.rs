@@ -97,15 +97,14 @@ impl RouteTable {
 
     /// Threaded variant of [`from_mrt_instrumented`](Self::from_mrt_instrumented):
     /// same `bgp.parse` stage and `mrt.*` counters, plus one `mrt.decode`
-    /// stage per decode shard when `threads > 1`.
+    /// stage per decode shard when `threads > 1`. At `threads <= 1` the
+    /// decode still routes through [`MrtReader::read_all_parallel`] so a
+    /// single-core `--trace` run records its one-shard `mrt.decode` span.
     pub fn from_mrt_instrumented_threaded(
         data: bytes::Bytes,
         obs: &p2o_obs::Obs,
         threads: usize,
     ) -> Result<Self, MrtParseError> {
-        if threads <= 1 {
-            return Self::from_mrt_instrumented(data, obs);
-        }
         let mut timer = obs.stage("bgp.parse");
         let mut reader = MrtReader::new(data)?;
         reader.instrument(obs);

@@ -50,7 +50,14 @@ pub fn build(args: &Parsed) -> Result<(), String> {
         .unwrap_or_else(prefix2org::default_threads)
         .max(1);
     let report_path = args.get("report");
-    let obs = report_path.map(|_| p2o_obs::Obs::new());
+    let trace_path = args.get("trace");
+    let metrics_path = args.get("metrics");
+    let obs = (report_path.is_some() || trace_path.is_some() || metrics_path.is_some())
+        .then(p2o_obs::Obs::new);
+    if trace_path.is_some() {
+        // Must be on before loading: the WHOIS/MRT parse shards trace too.
+        obs.as_ref().expect("obs created above").enable_tracing();
+    }
 
     let inputs = store::load_inputs_with(dir, obs.as_ref(), threads)?;
     // The paper's §4.1 footnote check against the delegation files, when
@@ -103,29 +110,94 @@ pub fn build(args: &Parsed) -> Result<(), String> {
     fs::write(out, prefix2org::to_jsonl(&dataset))
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
 
-    if let (Some(o), Some(path)) = (&obs, report_path) {
+    let report_to_stdout = report_path == Some("-");
+    if let Some(o) = &obs {
         let report = o.report();
-        fs::write(path, report.to_json_string())
-            .map_err(|e| format!("writing report {path}: {e}"))?;
-        eprint!("{}", report.summary_table());
-        eprintln!("run report written to {path}");
+        if let Some(path) = report_path {
+            if report_to_stdout {
+                println!("{}", report.to_json_string());
+            } else {
+                fs::write(path, report.to_json_string())
+                    .map_err(|e| format!("writing report {path}: {e}"))?;
+            }
+            eprint!("{}", report.summary_table());
+            if !report_to_stdout {
+                eprintln!("run report written to {path}");
+            }
+        }
+        if let Some(path) = metrics_path {
+            fs::write(path, p2o_obs::promexpo::to_prometheus(&report))
+                .map_err(|e| format!("writing metrics {path}: {e}"))?;
+            eprintln!("Prometheus metrics written to {path}");
+        }
+        if let Some(path) = trace_path {
+            let trace = o.take_trace();
+            fs::write(path, trace.to_chrome_json_string())
+                .map_err(|e| format!("writing trace {path}: {e}"))?;
+            eprintln!(
+                "Chrome trace ({} events across {} threads) written to {path}",
+                trace.event_count(),
+                trace.threads.len()
+            );
+        }
     }
 
+    // When the JSON report goes to stdout, the human summary must not
+    // corrupt it — divert the summary to stderr.
+    let say = |line: String| {
+        if report_to_stdout {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     let m = dataset.metrics();
-    println!("dataset: {} prefixes -> {}", dataset.len(), out.display());
-    println!(
+    say(format!(
+        "dataset: {} prefixes -> {}",
+        dataset.len(),
+        out.display()
+    ));
+    say(format!(
         "  IPv4 {} / IPv6 {}; {} Direct Owners, {} base names, {} final clusters",
         m.ipv4_prefixes, m.ipv6_prefixes, m.direct_owners, m.base_names, m.final_clusters
-    );
-    println!(
+    ));
+    say(format!(
         "  multi-name clusters: {} holding {:.1}% of routed IPv4 space",
         m.multi_name_clusters, m.pct_v4_space_multi_name
-    );
-    println!(
+    ));
+    say(format!(
         "  unresolved prefixes: {} ({:.3}%)",
         m.unresolved_prefixes,
         100.0 * m.unresolved_prefixes as f64 / inputs.routes.len().max(1) as f64
-    );
+    ));
+    Ok(())
+}
+
+/// `explain`: render the provenance rule chain behind prefix mappings.
+pub fn explain(args: &Parsed) -> Result<(), String> {
+    let dir = Path::new(args.require("in")?);
+    let threads = args
+        .get_num::<usize>("threads")?
+        .unwrap_or_else(prefix2org::default_threads)
+        .max(1);
+    if args.positional().is_empty() {
+        return Err("explain needs at least one prefix argument".into());
+    }
+    let inputs = store::load_inputs_with(dir, None, threads)?;
+    let pipeline = Pipeline::with_threads(threads);
+    let pipeline_inputs = PipelineInputs {
+        delegations: &inputs.tree,
+        routes: &inputs.routes,
+        asn_clusters: &inputs.clusters,
+        rpki: &inputs.rpki,
+    };
+    for (i, q) in args.positional().iter().enumerate() {
+        let prefix: Prefix = q.parse().map_err(|e| format!("{q:?}: {e}"))?;
+        if i > 0 {
+            println!();
+        }
+        print!("{}", pipeline.explain(&pipeline_inputs, &prefix).render());
+    }
     Ok(())
 }
 

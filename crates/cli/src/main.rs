@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
-//! prefix2org build    --in DIR --out FILE.jsonl [--threads N] [--report RUN.json]
+//! prefix2org build    --in DIR --out FILE.jsonl [--threads N] [--report RUN.json|-]
+//!                     [--trace TRACE.json] [--metrics METRICS.prom]
+//! prefix2org explain  --in DIR PREFIX... [--threads N]
 //! prefix2org lookup   --dataset FILE.jsonl PREFIX...
 //! prefix2org stats    --dataset FILE.jsonl
 //! prefix2org org      --dataset FILE.jsonl NAME
@@ -43,6 +45,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match command.as_str() {
         "generate" => commands::generate(&args::Parsed::parse(rest)?),
         "build" => commands::build(&args::Parsed::parse(rest)?),
+        "explain" => commands::explain(&args::Parsed::parse(rest)?),
         "lookup" => commands::lookup(&args::Parsed::parse(rest)?),
         "org" => commands::org(&args::Parsed::parse(rest)?),
         "diff" => commands::diff(&args::Parsed::parse(rest)?),
@@ -66,13 +69,26 @@ USAGE:
       Materialize a synthetic Internet: WHOIS bulk dumps (native formats),
       an MRT RIB snapshot, AS2Org + sibling TSVs, RPKI objects, ground truth.
 
-  prefix2org build --in DIR --out FILE.jsonl [--threads N] [--report RUN.json]
+  prefix2org build --in DIR --out FILE.jsonl [--threads N] [--report RUN.json|-]
+                   [--trace TRACE.json] [--metrics METRICS.prom]
       Parse a generated (or compatible) directory and run the full pipeline;
       write the per-prefix dataset as JSON Lines and print Table-4 metrics.
       --threads defaults to the number of available cores; 1 forces the
       fully sequential path (the output is identical either way).
       --report writes a JSON run report (per-stage wall times, counters,
-      histograms) and prints its summary table to stderr.
+      histograms) and prints its summary table to stderr; `--report -`
+      writes the JSON to stdout (the human summary moves to stderr).
+      --trace writes a Chrome trace-event file (load it in Perfetto or
+      chrome://tracing) with per-thread span timelines for the WHOIS
+      parse, MRT decode, resolution and cluster group-build shards.
+      --metrics writes every counter and histogram in Prometheus text
+      exposition format.
+
+  prefix2org explain --in DIR PREFIX... [--threads N]
+      Replay the mapping decision for each prefix and print the rule
+      chain behind it: routing-table lookup, radix LPM walk, WHOIS
+      delegation matches, base name, RPKI certificate, origin-ASN
+      clusters, cluster merges, final cluster label.
 
   prefix2org lookup --dataset FILE.jsonl PREFIX...
       Longest-match lookup of prefixes in a built snapshot.

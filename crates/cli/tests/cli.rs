@@ -168,6 +168,153 @@ fn build_report_emits_run_report() {
 }
 
 #[test]
+fn build_trace_and_metrics_emit_valid_artifacts() {
+    let dir = temp_dir("trace");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&["generate", "--out", dir_s, "--scale", "tiny", "--seed", "7"]);
+    let dataset = dir.join("dataset.jsonl");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.prom");
+    let out = run(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        dataset.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace is a Chrome trace-event JSON array with B/E span events
+    // carrying tid/ts, and covers every instrumented parallel stage.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = p2o_util::Json::parse(&text).unwrap();
+    let events = doc.as_array().expect("trace is a JSON array");
+    assert!(!events.is_empty());
+    let phase_of = |e: &p2o_util::Json| {
+        e.get("ph")
+            .and_then(p2o_util::Json::as_str)
+            .expect("event has ph")
+            .to_string()
+    };
+    for e in events {
+        let ph = phase_of(e);
+        assert!(["M", "B", "E"].contains(&ph.as_str()), "unknown phase {ph}");
+        assert!(e.get("tid").is_some(), "event without tid");
+        if ph != "M" {
+            assert!(e.get("ts").is_some(), "span event without ts");
+            assert!(e.get("name").is_some(), "span event without name");
+        }
+    }
+    for stage in [
+        "whois.parse",
+        "mrt.decode",
+        "resolve",
+        "cluster.group_build",
+    ] {
+        let begins = events
+            .iter()
+            .filter(|e| {
+                phase_of(e) == "B" && e.get("name").and_then(p2o_util::Json::as_str) == Some(stage)
+            })
+            .count();
+        assert!(begins >= 1, "no {stage} span in trace");
+    }
+
+    // The metrics dump follows the Prometheus text exposition grammar.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("# TYPE"), "{text}");
+    assert!(text.contains("p2o_pipeline_resolved_total"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn build_report_dash_writes_json_to_stdout() {
+    let dir = temp_dir("report-dash");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&["generate", "--out", dir_s, "--scale", "tiny", "--seed", "7"]);
+    let dataset = dir.join("dataset.jsonl");
+    let out = run(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        dataset.to_str().unwrap(),
+        "--report",
+        "-",
+    ]);
+    assert!(out.status.success());
+    // stdout is exactly the JSON report (the human summary moves to
+    // stderr so stdout stays machine-parseable).
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let doc = p2o_util::Json::parse(stdout.trim()).unwrap();
+    let parsed = p2o_obs::RunReport::from_json(&doc).unwrap();
+    assert!(!parsed.stages.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("dataset:"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_prints_deterministic_rule_chain() {
+    let dir = temp_dir("explain");
+    let dataset = generate_and_build(&dir, None);
+    let dir_s = dir.to_str().unwrap();
+
+    // Explain a prefix straight out of the built dataset.
+    let text = std::fs::read_to_string(&dataset).unwrap();
+    let first = p2o_util::Json::parse(text.lines().next().unwrap()).unwrap();
+    let prefix = first
+        .get("prefix")
+        .and_then(p2o_util::Json::as_str)
+        .unwrap();
+    let out = run_ok(&["explain", "--in", dir_s, prefix]);
+    assert!(out.starts_with(prefix), "{out}");
+    for rule in [
+        "bgp.origins",
+        "radix.lpm",
+        "whois.direct_owner",
+        "cluster.final",
+    ] {
+        assert!(out.contains(rule), "missing {rule}:\n{out}");
+    }
+    // The chain is deterministic across thread counts.
+    let seq = run_ok(&["explain", "--in", dir_s, prefix, "--threads", "1"]);
+    let par = run_ok(&["explain", "--in", dir_s, prefix, "--threads", "4"]);
+    assert_eq!(seq, par);
+
+    // A prefix with no covering delegation ends at the miss.
+    let out = run_ok(&["explain", "--in", dir_s, "198.51.100.0/24"]);
+    assert!(out.contains("whois.unresolved"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn diff_detects_transfers() {
     let dir_a = temp_dir("diff-a");
     let dir_b = temp_dir("diff-b");

@@ -67,6 +67,24 @@ pub struct ClusteringOutput {
     pub cluster_org_names: Vec<Vec<String>>,
     /// Number of routed prefixes covered by a valid Resource Certificate.
     pub rpki_covered_prefixes: usize,
+    /// The §5.3.3 merge evidence: which pairs of 𝒲 clusters were unioned
+    /// and why. Empty unless [`Clusterer::with_merge_evidence`] was set;
+    /// sorted and deduplicated, so the list is deterministic regardless of
+    /// group-map iteration order.
+    pub merge_edges: Vec<MergeEdge>,
+}
+
+/// One union applied during the §5.3.3 merge, with its evidence — the
+/// cluster-level provenance surfaced by `p2o explain`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MergeEdge {
+    /// Cleaned 𝒲 name of one merged cluster (lexicographically first).
+    pub a: String,
+    /// Cleaned 𝒲 name of the other.
+    pub b: String,
+    /// Human-readable evidence (`shared RPKI certificate …` or
+    /// `shared origin-ASN cluster …`).
+    pub evidence: String,
 }
 
 /// Options controlling the clustering stage — primarily for the ablation
@@ -171,6 +189,10 @@ pub struct Clusterer {
     /// Worker threads for the 𝓡/𝓐 group-build pass; `0` and `1` both mean
     /// sequential. The output is byte-identical at any thread count.
     pub threads: usize,
+    /// Record [`ClusteringOutput::merge_edges`]; off by default (the edge
+    /// list allocates per union and is only needed by `p2o explain`).
+    pub record_merge_evidence: bool,
+    obs: Option<p2o_obs::Obs>,
 }
 
 impl Clusterer {
@@ -179,12 +201,27 @@ impl Clusterer {
         Clusterer {
             options,
             threads: 1,
+            record_merge_evidence: false,
+            obs: None,
         }
     }
 
     /// Sets the worker-thread count for the group-build pass.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches an observability registry: group-build shards record
+    /// `cluster.group_build` spans when tracing is enabled on `obs`.
+    pub fn with_obs(mut self, obs: &p2o_obs::Obs) -> Self {
+        self.obs = Some(obs.clone());
+        self
+    }
+
+    /// Turns on [`ClusteringOutput::merge_edges`] recording.
+    pub fn with_merge_evidence(mut self) -> Self {
+        self.record_merge_evidence = true;
         self
     }
 
@@ -234,16 +271,31 @@ impl Clusterer {
         // --- 𝓡 groups: (base name, child-most RC). ---
         // --- 𝓐 groups: (base name, origin ASN cluster). ---
         let threads = self.threads.max(1);
+        let obs = self.obs.clone();
         let groups = if threads > 1 && records.len() >= 2 * threads {
             let chunk = records.len().div_ceil(threads);
             let shards: Vec<GroupShard> = std::thread::scope(|scope| {
                 let handles: Vec<_> = records
                     .chunks(chunk)
                     .zip(w_of_record.chunks(chunk))
-                    .map(|(recs, ws)| {
+                    .enumerate()
+                    .map(|(idx, (recs, ws))| {
                         let base_of_w = &base_of_w;
+                        let obs = obs.clone();
                         scope.spawn(move || {
-                            GroupShard::build(recs, ws, base_of_w, routes, asn_clusters, rpki)
+                            let log = obs
+                                .as_ref()
+                                .and_then(|o| o.thread_log("cluster.group_build"));
+                            let span = log.as_ref().map(|l| {
+                                let s = l.span("cluster.group_build");
+                                s.arg("shard", idx);
+                                s.arg("records", recs.len());
+                                s
+                            });
+                            let shard =
+                                GroupShard::build(recs, ws, base_of_w, routes, asn_clusters, rpki);
+                            drop(span);
+                            shard
                         })
                     })
                     .collect();
@@ -255,14 +307,25 @@ impl Clusterer {
             }
             merged
         } else {
-            GroupShard::build(
+            let log = obs
+                .as_ref()
+                .and_then(|o| o.thread_log("cluster.group_build"));
+            let span = log.as_ref().map(|l| {
+                let s = l.span("cluster.group_build");
+                s.arg("shard", 0);
+                s.arg("records", records.len());
+                s
+            });
+            let shard = GroupShard::build(
                 records,
                 &w_of_record,
                 &base_of_w,
                 routes,
                 asn_clusters,
                 rpki,
-            )
+            );
+            drop(span);
+            shard
         };
         let GroupShard {
             r_groups,
@@ -276,26 +339,66 @@ impl Clusterer {
         let mut uf = UnionFind::new(w_names.len());
         let mut w_with_r = vec![false; w_names.len()];
         let mut w_with_a = vec![false; w_names.len()];
+        let mut merge_edges: Vec<MergeEdge> = Vec::new();
+        let record_edge = |edges: &mut Vec<MergeEdge>, a: Symbol, b: Symbol, evidence: String| {
+            if a == b {
+                return;
+            }
+            let (a, b) = (w_names.resolve(a), w_names.resolve(b));
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            edges.push(MergeEdge {
+                a: a.to_string(),
+                b: b.to_string(),
+                evidence,
+            });
+        };
         if self.options.use_rpki {
-            for members in r_groups.values() {
+            for ((base, cert), members) in &r_groups {
                 for w in members {
                     w_with_r[w.index()] = true;
                 }
                 for pair in members.windows(2) {
                     uf.union(pair[0].index(), pair[1].index());
+                    if self.record_merge_evidence {
+                        record_edge(
+                            &mut merge_edges,
+                            pair[0],
+                            pair[1],
+                            format!(
+                                "shared RPKI certificate {cert} under base \"{}\"",
+                                base_names.resolve(*base)
+                            ),
+                        );
+                    }
                 }
             }
         }
         if self.options.use_asn {
-            for members in a_groups.values() {
+            for ((base, asn_cluster), members) in &a_groups {
                 for w in members {
                     w_with_a[w.index()] = true;
                 }
                 for pair in members.windows(2) {
                     uf.union(pair[0].index(), pair[1].index());
+                    if self.record_merge_evidence {
+                        record_edge(
+                            &mut merge_edges,
+                            pair[0],
+                            pair[1],
+                            format!(
+                                "shared origin-ASN cluster {asn_cluster} under base \"{}\"",
+                                base_names.resolve(*base)
+                            ),
+                        );
+                    }
                 }
             }
         }
+        // Group maps iterate in hash order; sorting (and deduplicating
+        // repeat pairs from multi-member groups) makes the evidence list
+        // deterministic.
+        merge_edges.sort();
+        merge_edges.dedup();
 
         // --- Final clusters and Table 3-style labels. ---
         let mut cluster_of_root: HashMap<usize, ClusterId> = HashMap::new();
@@ -357,6 +460,7 @@ impl Clusterer {
             base_names: base_names.len(),
             cluster_org_names: cluster_names,
             rpki_covered_prefixes,
+            merge_edges,
         }
     }
 }
@@ -623,6 +727,52 @@ mod tests {
             assert_eq!(par.w_with_a, seq.w_with_a);
             assert_eq!(par.base_names, seq.base_names);
             assert_eq!(par.rpki_covered_prefixes, seq.rpki_covered_prefixes);
+        }
+    }
+
+    #[test]
+    fn merge_evidence_is_deterministic_and_opt_in() {
+        let (records, routes, clusters, rpki, names) = table3_fixture();
+        let off =
+            Clusterer::new(topts(true, true)).cluster(&records, &routes, &clusters, &rpki, &names);
+        assert!(off.merge_edges.is_empty(), "evidence must be opt-in");
+
+        let run = |threads: usize| {
+            Clusterer::new(topts(true, true))
+                .with_merge_evidence()
+                .with_threads(threads)
+                .cluster(&records, &routes, &clusters, &rpki, &names)
+        };
+        let seq = run(1);
+        assert!(!seq.merge_edges.is_empty());
+        // P1-P3 share the verizon-apac certificate; P3-P4 share origin
+        // AS395753 — both kinds of evidence must appear, names sorted
+        // within each edge.
+        assert!(seq
+            .merge_edges
+            .iter()
+            .any(|e| e.evidence.contains("shared RPKI certificate")));
+        assert!(seq
+            .merge_edges
+            .iter()
+            .any(|e| e.evidence.contains("shared origin-ASN cluster")));
+        for e in &seq.merge_edges {
+            assert!(e.a < e.b, "edge endpoints must be sorted: {e:?}");
+        }
+        let sorted = {
+            let mut v = seq.merge_edges.clone();
+            v.sort();
+            v.dedup();
+            v
+        };
+        assert_eq!(seq.merge_edges, sorted, "edge list must be sorted+deduped");
+        // Thread count must not change the evidence.
+        for threads in [2, 3] {
+            assert_eq!(
+                run(threads).merge_edges,
+                seq.merge_edges,
+                "threads={threads}"
+            );
         }
     }
 

@@ -1,0 +1,208 @@
+//! `p2o explain <prefix>` — the provenance rule chain behind one mapping.
+//!
+//! [`Pipeline::explain`] replays the decision a full run would make for a
+//! single prefix and records every rule consulted along the way in a
+//! [`DecisionTrace`]: the routing-table lookup, the radix LPM walk over the
+//! delegation tree, each WHOIS delegation matched (Direct Owner and
+//! Delegated Customers), and the clustering evidence (base name, RPKI
+//! certificate, origin-ASN clusters, merge edges) behind its final cluster.
+
+use p2o_net::Prefix;
+use p2o_obs::DecisionTrace;
+
+use crate::cluster::Clusterer;
+use crate::dataset::Prefix2OrgDataset;
+use crate::pipeline::{Pipeline, PipelineInputs};
+use crate::resolve::Resolver;
+
+impl Pipeline {
+    /// Explains how `prefix` would be mapped by this pipeline: every rule
+    /// consulted, in application order.
+    ///
+    /// The chain is deterministic — it carries no timestamps, thread ids or
+    /// iteration-order artifacts, so identical inputs render the identical
+    /// explanation at any thread count. Prefixes absent from the routing
+    /// table are still explained (as a hypothetical mapping); prefixes with
+    /// no covering Direct Owner delegation end at a `whois.unresolved` step.
+    pub fn explain(&self, inputs: &PipelineInputs<'_>, prefix: &Prefix) -> DecisionTrace {
+        let mut trace = DecisionTrace::new(prefix.to_string());
+
+        let routed = inputs.routes.origins(prefix);
+        match routed {
+            Some(origins) => {
+                let list = origins
+                    .iter()
+                    .map(|a| format!("AS{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                trace.push("bgp.origins", format!("routed, announced by {list}"));
+            }
+            None => trace.push(
+                "bgp.origins",
+                "not in the routing table (hypothetical mapping)",
+            ),
+        }
+
+        if Resolver
+            .resolve_traced(inputs.delegations, prefix, &mut trace)
+            .is_none()
+        {
+            return trace;
+        }
+
+        // Re-run resolution over the routed table (plus this prefix, when it
+        // is not routed) and cluster with merge evidence, so the final label
+        // and every merge touching this owner can be reported.
+        let mut prefixes: Vec<Prefix> = inputs.routes.iter().map(|(p, _)| *p).collect();
+        if routed.is_none() {
+            prefixes.push(*prefix);
+        }
+        let (ownership, unresolved) = self.resolve_stage(inputs.delegations, &prefixes);
+        let clustering = Clusterer::new(self.cluster_options)
+            .with_threads(self.threads)
+            .with_merge_evidence()
+            .cluster(
+                &ownership,
+                inputs.routes,
+                inputs.asn_clusters,
+                inputs.rpki,
+                inputs.delegations.names(),
+            );
+        let merge_edges = clustering.merge_edges.clone();
+        let dataset = Prefix2OrgDataset::assemble(
+            ownership,
+            clustering,
+            unresolved,
+            inputs.routes.all_origins().len(),
+            inputs.delegations.names(),
+        );
+        let Some(record) = dataset.record(prefix) else {
+            return trace;
+        };
+
+        trace.push(
+            "cluster.base_name",
+            format!(
+                "\"{}\" reduces to base name \"{}\"",
+                record.direct_owner, record.base_name
+            ),
+        );
+        match &record.rpki_certificate {
+            Some(cert) => trace.push("rpki.certificate", format!("covered by {cert}")),
+            None => trace.push(
+                "rpki.certificate",
+                "no covering validated Resource Certificate",
+            ),
+        }
+        if record.origin_asn_clusters.is_empty() {
+            trace.push("as2org.clusters", "origin ASNs map to no sibling cluster");
+        } else {
+            let list = record
+                .origin_asn_clusters
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            trace.push("as2org.clusters", format!("origin ASN cluster(s) {list}"));
+        }
+        for edge in merge_edges
+            .iter()
+            .filter(|e| e.a == record.direct_owner || e.b == record.direct_owner)
+        {
+            let other = if edge.a == record.direct_owner {
+                &edge.b
+            } else {
+                &edge.a
+            };
+            trace.push(
+                "cluster.merge",
+                format!("merged with \"{other}\": {}", edge.evidence),
+            );
+        }
+        trace.push(
+            "cluster.final",
+            format!(
+                "final cluster \"{}\" ({} WHOIS name(s))",
+                record.final_cluster_label,
+                dataset.cluster_names(record.cluster).len()
+            ),
+        );
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2o_rpki::RpkiRepository;
+    use p2o_whois::WhoisDb;
+
+    fn fixture() -> (p2o_whois::DelegationTree, p2o_bgp::RouteTable) {
+        let mut whois = WhoisDb::new();
+        whois.add_arin(
+            "NetRange: 63.64.0.0 - 63.127.255.255\nNetType: Allocation\n\
+             OrgName: Verizon Business\nUpdated: 2024-05-20\n",
+        );
+        whois.add_arin(
+            "NetRange: 63.80.52.0 - 63.80.52.255\nNetType: Reallocation\n\
+             OrgName: Bandwidth.com Inc.\nUpdated: 2024-03-11\n",
+        );
+        let (tree, _) = whois.build();
+        let mut routes = p2o_bgp::RouteTable::new();
+        routes.add_route("63.80.52.0/24".parse().unwrap(), 701);
+        routes.add_route("63.64.0.0/16".parse().unwrap(), 701);
+        (tree, routes)
+    }
+
+    #[test]
+    fn explain_is_deterministic_and_names_every_rule() {
+        let (tree, routes) = fixture();
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        let inputs = PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        };
+        let prefix: Prefix = "63.80.52.0/24".parse().unwrap();
+        let seq = Pipeline::with_threads(1).explain(&inputs, &prefix);
+        for rule in [
+            "bgp.origins",
+            "radix.lpm",
+            "whois.delegated_customer",
+            "whois.direct_owner",
+            "cluster.base_name",
+            "rpki.certificate",
+            "cluster.final",
+        ] {
+            assert!(seq.used(rule), "missing rule {rule}:\n{}", seq.render());
+        }
+        assert_eq!(seq, Pipeline::with_threads(4).explain(&inputs, &prefix));
+    }
+
+    #[test]
+    fn explain_covers_unrouted_and_unresolved_prefixes() {
+        let (tree, routes) = fixture();
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        let inputs = PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        };
+
+        // Covered by WHOIS but not routed: hypothetical, still resolved.
+        let unrouted =
+            Pipeline::with_threads(1).explain(&inputs, &"63.100.0.0/16".parse().unwrap());
+        assert!(unrouted.used("bgp.origins"));
+        assert!(unrouted.used("whois.direct_owner"));
+        assert!(unrouted.used("cluster.final"));
+
+        // No covering delegation at all: the chain ends at the miss.
+        let miss = Pipeline::with_threads(1).explain(&inputs, &"198.51.100.0/24".parse().unwrap());
+        assert!(miss.used("whois.unresolved"));
+        assert!(!miss.used("cluster.final"));
+    }
+}

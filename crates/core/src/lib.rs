@@ -57,6 +57,7 @@ pub mod analytics;
 pub mod cluster;
 pub mod dataset;
 pub mod delta;
+pub mod explain;
 pub mod export;
 pub mod leasing;
 pub mod pipeline;

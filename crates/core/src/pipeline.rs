@@ -103,7 +103,7 @@ impl Pipeline {
         }
 
         let resolve_timer = obs.map(|o| o.stage("pipeline.resolve"));
-        let (ownership, unresolved) = self.resolve_stage(inputs.delegations, &prefixes);
+        let (ownership, unresolved) = self.resolve_shards(inputs.delegations, &prefixes, obs);
         if let Some(mut t) = resolve_timer {
             t.items(prefixes.len() as u64);
             t.finish();
@@ -114,15 +114,17 @@ impl Pipeline {
         }
 
         let cluster_timer = obs.map(|o| o.stage("pipeline.cluster"));
-        let clustering = Clusterer::new(self.cluster_options)
-            .with_threads(self.threads)
-            .cluster(
-                &ownership,
-                inputs.routes,
-                inputs.asn_clusters,
-                inputs.rpki,
-                inputs.delegations.names(),
-            );
+        let mut clusterer = Clusterer::new(self.cluster_options).with_threads(self.threads);
+        if let Some(o) = obs {
+            clusterer = clusterer.with_obs(o);
+        }
+        let clustering = clusterer.cluster(
+            &ownership,
+            inputs.routes,
+            inputs.asn_clusters,
+            inputs.rpki,
+            inputs.delegations.names(),
+        );
         if let Some(mut t) = cluster_timer {
             t.items(ownership.len() as u64);
             t.finish();
@@ -163,8 +165,30 @@ impl Pipeline {
         tree: &DelegationTree,
         prefixes: &[Prefix],
     ) -> (Vec<OwnershipRecord>, usize) {
+        self.resolve_shards(tree, prefixes, None)
+    }
+
+    /// [`Pipeline::resolve_stage`] with optional tracing: each shard worker
+    /// opens a `resolve` span on its own thread-local trace buffer.
+    fn resolve_shards(
+        &self,
+        tree: &DelegationTree,
+        prefixes: &[Prefix],
+        obs: Option<&p2o_obs::Obs>,
+    ) -> (Vec<OwnershipRecord>, usize) {
         if self.threads <= 1 || prefixes.len() < 2 * self.threads {
-            return Resolver.resolve_all(tree, prefixes.iter());
+            let log = obs.and_then(|o| o.thread_log("resolve"));
+            let span = log.as_ref().map(|l| {
+                let s = l.span("resolve");
+                s.arg("shard", 0);
+                s.arg("prefixes", prefixes.len());
+                s
+            });
+            let (records, unresolved) = Resolver.resolve_all(tree, prefixes.iter());
+            if let Some(s) = &span {
+                s.arg("resolved", records.len());
+            }
+            return (records, unresolved);
         }
         let chunk = prefixes.len().div_ceil(self.threads);
         let mut shard_results: Vec<(Vec<OwnershipRecord>, usize)> =
@@ -172,7 +196,23 @@ impl Pipeline {
         std::thread::scope(|scope| {
             let handles: Vec<_> = prefixes
                 .chunks(chunk)
-                .map(|shard| scope.spawn(move || Resolver.resolve_all(tree, shard.iter())))
+                .enumerate()
+                .map(|(idx, shard)| {
+                    scope.spawn(move || {
+                        let log = obs.and_then(|o| o.thread_log("resolve"));
+                        let span = log.as_ref().map(|l| {
+                            let s = l.span("resolve");
+                            s.arg("shard", idx);
+                            s.arg("prefixes", shard.len());
+                            s
+                        });
+                        let out = Resolver.resolve_all(tree, shard.iter());
+                        if let Some(s) = &span {
+                            s.arg("resolved", out.0.len());
+                        }
+                        out
+                    })
+                })
                 .collect();
             for h in handles {
                 shard_results.push(h.join().expect("resolver shard panicked"));

@@ -82,7 +82,39 @@ impl Resolver {
     /// block are already in hierarchy order (see
     /// [`AllocationType::chain_depth`]).
     pub fn resolve(&self, tree: &DelegationTree, prefix: &Prefix) -> Option<OwnershipRecord> {
-        let chain = tree.covering_chain(prefix);
+        self.resolve_inner(tree, prefix, None)
+    }
+
+    /// Like [`resolve`](Self::resolve), but records every rule the walk
+    /// applies — the radix LPM, each Delegated Customer record consulted,
+    /// and the Direct Owner match — into `trace`. The recorded chain is
+    /// deterministic: it depends only on the tree and the prefix.
+    pub fn resolve_traced(
+        &self,
+        tree: &DelegationTree,
+        prefix: &Prefix,
+        trace: &mut p2o_obs::DecisionTrace,
+    ) -> Option<OwnershipRecord> {
+        self.resolve_inner(tree, prefix, Some(trace))
+    }
+
+    fn resolve_inner(
+        &self,
+        tree: &DelegationTree,
+        prefix: &Prefix,
+        mut trace: Option<&mut p2o_obs::DecisionTrace>,
+    ) -> Option<OwnershipRecord> {
+        let (chain, visited) = tree.covering_chain_with_depth(prefix);
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(
+                "radix.lpm",
+                format!(
+                    "covering chain has {} registered block(s) ({} radix nodes walked)",
+                    chain.len(),
+                    visited
+                ),
+            );
+        }
         // Collected most-specific-first, then reversed into hierarchical
         // order at the end.
         let mut customers_rev: Vec<DelegationStep> = Vec::new();
@@ -94,6 +126,17 @@ impl Resolver {
             for entry in entries.iter().rev() {
                 match entry.ownership_level() {
                     OwnershipLevel::DelegatedCustomer => {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(
+                                "whois.delegated_customer",
+                                format!(
+                                    "{} via {} on {}",
+                                    tree.name(entry.org_name),
+                                    entry.alloc,
+                                    block
+                                ),
+                            );
+                        }
                         customers_rev.push(DelegationStep {
                             org_name: entry.org_name,
                             prefix: block,
@@ -101,6 +144,18 @@ impl Resolver {
                         });
                     }
                     OwnershipLevel::DirectOwner => {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(
+                                "whois.direct_owner",
+                                format!(
+                                    "{} via {} on {} [{}]",
+                                    tree.name(entry.org_name),
+                                    entry.alloc,
+                                    block,
+                                    entry.registry
+                                ),
+                            );
+                        }
                         customers_rev.reverse();
                         return Some(OwnershipRecord {
                             prefix: *prefix,
@@ -113,6 +168,12 @@ impl Resolver {
                     }
                 }
             }
+        }
+        if let Some(t) = trace {
+            t.push(
+                "whois.unresolved",
+                "no covering Direct Owner delegation — prefix stays unmapped",
+            );
         }
         None
     }
@@ -223,6 +284,58 @@ mod tests {
         assert_eq!(names, vec!["Bandwidth.com Inc.", "Ceva Inc"]);
         assert_eq!(t.name(r.most_specific_customer()), "Ceva Inc");
         assert!(r.has_external_customer());
+    }
+
+    #[test]
+    fn traced_resolution_pins_the_rule_chain() {
+        let t = tree(vec![
+            rec(
+                "63.64.0.0/10",
+                "Verizon Business",
+                AllocationType::Allocation,
+            ),
+            rec(
+                "63.80.52.0/24",
+                "Bandwidth.com Inc.",
+                AllocationType::Reallocation,
+            ),
+            rec("63.80.52.0/24", "Ceva Inc", AllocationType::Reassignment),
+        ]);
+        let mut trace = p2o_obs::DecisionTrace::new("63.80.52.0/24");
+        let traced = Resolver
+            .resolve_traced(&t, &p("63.80.52.0/24"), &mut trace)
+            .unwrap();
+        // Tracing must not change the answer.
+        assert_eq!(
+            Some(&traced),
+            Resolver.resolve(&t, &p("63.80.52.0/24")).as_ref()
+        );
+        // The chain is deterministic, so the full trace pins exactly.
+        let mut expected = p2o_obs::DecisionTrace::new("63.80.52.0/24");
+        expected.push(
+            "radix.lpm",
+            "covering chain has 2 registered block(s) (3 radix nodes walked)",
+        );
+        expected.push(
+            "whois.delegated_customer",
+            "Ceva Inc via Reassignment on 63.80.52.0/24",
+        );
+        expected.push(
+            "whois.delegated_customer",
+            "Bandwidth.com Inc. via Reallocation on 63.80.52.0/24",
+        );
+        expected.push(
+            "whois.direct_owner",
+            "Verizon Business via Allocation on 63.64.0.0/10 [ARIN]",
+        );
+        assert_eq!(trace, expected);
+
+        // An unresolved prefix records the miss.
+        let mut miss = p2o_obs::DecisionTrace::new("200.0.0.0/16");
+        assert!(Resolver
+            .resolve_traced(&t, &p("200.0.0.0/16"), &mut miss)
+            .is_none());
+        assert!(miss.used("whois.unresolved"));
     }
 
     #[test]

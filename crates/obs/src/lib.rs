@@ -23,6 +23,22 @@
 //! which turns the report into a regression-detection surface: the
 //! golden-snapshot test pins exact counter values for a fixed-seed world.
 //! Wall-clock fields are the only nondeterministic part.
+//!
+//! Three companion modules extend the registry:
+//!
+//! - [`trace`] — hierarchical spans in per-thread lock-free buffers with a
+//!   Chrome trace-event (Perfetto) export, enabled via
+//!   [`Obs::enable_tracing`];
+//! - [`promexpo`] — Prometheus text exposition of a [`RunReport`];
+//! - [`provenance`] — deterministic per-answer decision traces for
+//!   `p2o explain`.
+
+pub mod promexpo;
+pub mod provenance;
+pub mod trace;
+
+pub use provenance::{DecisionStep, DecisionTrace};
+pub use trace::{Span, ThreadLog, ThreadTrace, Trace, TraceEvent, TracePhase, Tracer};
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -193,6 +209,7 @@ struct ObsInner {
     counters: Mutex<Vec<(String, Counter)>>,
     histograms: Mutex<Vec<(String, Histogram)>>,
     stages: Mutex<Vec<StageReport>>,
+    tracer: Mutex<Option<Tracer>>,
 }
 
 /// The observability registry handle.
@@ -256,6 +273,37 @@ impl Obs {
             items: None,
             done: false,
         }
+    }
+
+    /// Turns on span tracing: subsequent [`thread_log`] calls hand out
+    /// recording buffers instead of `None`. Idempotent; returns the
+    /// tracer so callers can keep a handle.
+    ///
+    /// [`thread_log`]: Obs::thread_log
+    pub fn enable_tracing(&self) -> Tracer {
+        let mut slot = self.inner.tracer.lock().expect("obs tracer lock");
+        slot.get_or_insert_with(Tracer::new).clone()
+    }
+
+    /// The active tracer, when [`enable_tracing`] has been called.
+    ///
+    /// [`enable_tracing`]: Obs::enable_tracing
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.inner.tracer.lock().expect("obs tracer lock").clone()
+    }
+
+    /// A per-thread span buffer labelled `name`, or `None` when tracing
+    /// is off. Instrumented code threads the `Option` through so the
+    /// untraced hot path stays span-free.
+    pub fn thread_log(&self, name: &str) -> Option<ThreadLog> {
+        self.tracer().map(|t| t.thread_log(name))
+    }
+
+    /// Drains the recorded trace (empty when tracing was never enabled).
+    /// Worker `ThreadLog`s must have been dropped first — live buffers
+    /// are not included.
+    pub fn take_trace(&self) -> Trace {
+        self.tracer().map(|t| t.drain()).unwrap_or_default()
     }
 
     /// Times `f` as stage `name` and returns its value.
@@ -662,5 +710,53 @@ mod tests {
         assert!(table.contains("whois.parse"));
         assert!(table.contains("whois.records"));
         assert!(table.contains("bgp.bytes"));
+    }
+
+    #[test]
+    fn summary_table_renders_empty_histogram() {
+        let obs = Obs::new();
+        obs.histogram("empty.latency");
+        let report = obs.report();
+        let snap = report.histogram("empty.latency").unwrap();
+        assert_eq!((snap.count, snap.min, snap.max), (0, 0, 0));
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.quantile(0.5), 0);
+        let table = report.summary_table();
+        assert!(
+            table.contains("empty.latency  n=0 min=0 mean=0.0 p50~0 p99~0 max=0"),
+            "empty histogram must render zeros, got:\n{table}"
+        );
+        // A registry with nothing at all still renders its section headers.
+        let blank = Obs::new().report().summary_table();
+        assert!(blank.contains("stages\n"));
+        assert!(blank.contains("counters\n"));
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_is_lossless() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 5_000;
+        let obs = Obs::new();
+        let h = obs.histogram("stress");
+        // Each thread records a disjoint, known slice of values so the
+        // aggregate count/sum/min/max are all predictable.
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i + 1);
+                    }
+                });
+            }
+        });
+        let report = obs.report();
+        let snap = report.histogram("stress").unwrap();
+        let n = THREADS * PER_THREAD;
+        assert_eq!(snap.count, n, "count == sum of per-thread records");
+        assert_eq!(snap.sum, n * (n + 1) / 2);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, n);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), n);
     }
 }

@@ -1,0 +1,122 @@
+//! Decision provenance: the rule chain behind one pipeline answer.
+//!
+//! The paper's validation (§5) hinges on being able to audit *why* a
+//! prefix was assigned its Direct Owner and Delegated Customers — which
+//! covering delegations were consulted, which radix LPM nodes were
+//! walked, which WHOIS org matched, which merge joined the clusters.
+//! A [`DecisionTrace`] captures that chain as ordered, human-readable
+//! steps; `p2o explain <prefix>` renders it.
+//!
+//! Steps are plain `{rule, detail}` strings: this crate sits below
+//! `p2o-whois`/`p2o-core` in the dependency graph, so the domain layers
+//! format their own details and the trace stays type-agnostic. Unlike
+//! span timestamps, a decision trace is fully deterministic for a
+//! deterministic input — tests pin rendered traces verbatim.
+
+/// One applied rule in a decision chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionStep {
+    /// Short rule identifier (e.g. `radix.lpm`, `whois.direct_owner`).
+    pub rule: String,
+    /// Human-readable detail: what the rule matched and produced.
+    pub detail: String,
+}
+
+/// The ordered rule chain that produced one answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionTrace {
+    /// What is being explained (e.g. the prefix under resolution).
+    pub subject: String,
+    /// Applied rules, in application order.
+    pub steps: Vec<DecisionStep>,
+}
+
+impl DecisionTrace {
+    /// An empty trace for `subject`.
+    pub fn new(subject: impl Into<String>) -> DecisionTrace {
+        DecisionTrace {
+            subject: subject.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, rule: impl Into<String>, detail: impl Into<String>) {
+        self.steps.push(DecisionStep {
+            rule: rule.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Whether any step used rule `rule`.
+    pub fn used(&self, rule: &str) -> bool {
+        self.steps.iter().any(|s| s.rule == rule)
+    }
+
+    /// Renders the chain as numbered, rule-aligned lines:
+    ///
+    /// ```text
+    /// 203.0.113.0/24
+    ///   1. bgp.origins      announced by AS65001
+    ///   2. radix.lpm        covering chain has 2 blocks (7 nodes walked)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.subject);
+        out.push('\n');
+        let width = self.steps.iter().map(|s| s.rule.len()).max().unwrap_or(0);
+        let digits = self.steps.len().to_string().len();
+        for (i, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:>digits$}. {:width$}  {}\n",
+                i + 1,
+                step.rule,
+                step.detail,
+            ));
+        }
+        if self.steps.is_empty() {
+            out.push_str("  (no rules applied)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_numbered_and_aligned() {
+        let mut trace = DecisionTrace::new("203.0.113.0/24");
+        trace.push("bgp.origins", "announced by AS65001");
+        trace.push("radix.lpm", "covering chain has 2 blocks");
+        trace.push("whois.direct_owner", "Example Networks (allocation)");
+        let text = trace.render();
+        assert_eq!(
+            text,
+            "203.0.113.0/24\n\
+             \x20 1. bgp.origins         announced by AS65001\n\
+             \x20 2. radix.lpm           covering chain has 2 blocks\n\
+             \x20 3. whois.direct_owner  Example Networks (allocation)\n"
+        );
+        assert!(trace.used("radix.lpm"));
+        assert!(!trace.used("cluster.merge"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let trace = DecisionTrace::new("198.51.100.0/24");
+        assert_eq!(trace.render(), "198.51.100.0/24\n  (no rules applied)\n");
+    }
+
+    #[test]
+    fn traces_are_comparable_for_pinning() {
+        let mut a = DecisionTrace::new("s");
+        a.push("r", "d");
+        let mut b = DecisionTrace::new("s");
+        b.push("r", "d");
+        assert_eq!(a, b);
+        b.push("r2", "d2");
+        assert_ne!(a, b);
+    }
+}

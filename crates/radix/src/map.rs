@@ -112,9 +112,21 @@ impl<V> PrefixMap<V> {
 
     /// The covering chain for `key`, most specific first.
     pub fn covering(&self, key: &Prefix) -> Vec<(Prefix, &V)> {
+        self.covering_with_depth(key).0
+    }
+
+    /// The covering chain plus the number of radix nodes the LPM walk
+    /// visited (provenance for `p2o explain`).
+    pub fn covering_with_depth(&self, key: &Prefix) -> (Vec<(Prefix, &V)>, usize) {
         match key {
-            Prefix::V4(p) => self.v4.covering(p).map(|(k, v)| (k.into(), v)).collect(),
-            Prefix::V6(p) => self.v6.covering(p).map(|(k, v)| (k.into(), v)).collect(),
+            Prefix::V4(p) => {
+                let (iter, visited) = self.v4.covering_with_depth(p);
+                (iter.map(|(k, v)| (k.into(), v)).collect(), visited)
+            }
+            Prefix::V6(p) => {
+                let (iter, visited) = self.v6.covering_with_depth(p);
+                (iter.map(|(k, v)| (k.into(), v)).collect(), visited)
+            }
         }
     }
 

@@ -238,10 +238,19 @@ impl<K: RadixKey, V> RadixTree<K, V> {
     /// Iterates all stored prefixes that equal or cover `key`, **most
     /// specific first** — the §5.2 ownership-chain walk.
     pub fn covering<'a>(&'a self, key: &K) -> Covering<'a, K, V> {
+        self.covering_with_depth(key).0
+    }
+
+    /// Like [`covering`](Self::covering), but also reports how many arena
+    /// nodes the LPM walk visited (glue nodes included) — the `radix.lpm`
+    /// provenance detail surfaced by `p2o explain`.
+    pub fn covering_with_depth<'a>(&'a self, key: &K) -> (Covering<'a, K, V>, usize) {
         self.tick_lookup();
         let mut chain: Vec<NodeId> = Vec::new();
+        let mut visited = 0usize;
         let mut cur: NodeId = 0;
         loop {
+            visited += 1;
             let node = &self.nodes[cur as usize];
             if node.value.is_some() {
                 chain.push(cur);
@@ -257,7 +266,7 @@ impl<K: RadixKey, V> RadixTree<K, V> {
                 _ => break,
             }
         }
-        Covering { tree: self, chain }
+        (Covering { tree: self, chain }, visited)
     }
 
     /// Iterates all stored `(prefix, value)` pairs contained in `key`
@@ -456,6 +465,19 @@ mod tests {
             chain,
             vec![p("206.238.10.0/24"), p("206.238.0.0/16"), p("206.0.0.0/8")]
         );
+    }
+
+    #[test]
+    fn covering_with_depth_counts_walked_nodes() {
+        let t = tree(&["10.0.0.0/8", "10.20.0.0/16", "10.20.30.0/24"]);
+        let (iter, visited) = t.covering_with_depth(&p("10.20.30.128/25"));
+        assert_eq!(iter.count(), 3);
+        // root + /8 + /16 + /24.
+        assert_eq!(visited, 4);
+        // A miss still walks (and reports) the root.
+        let (iter, visited) = t.covering_with_depth(&p("11.0.0.0/8"));
+        assert_eq!(iter.count(), 0);
+        assert_eq!(visited, 1);
     }
 
     #[test]

@@ -68,6 +68,16 @@ impl DelegationTree {
         self.map.covering(prefix)
     }
 
+    /// Like [`covering_chain`](Self::covering_chain), but also reports how
+    /// many radix nodes the LPM walk visited — the `radix.lpm` provenance
+    /// detail for `p2o explain`.
+    pub fn covering_chain_with_depth(
+        &self,
+        prefix: &Prefix,
+    ) -> (Vec<(Prefix, &Vec<DelegationEntry>)>, usize) {
+        self.map.covering_with_depth(prefix)
+    }
+
     /// All registered blocks inside `prefix` (used for the §B.1 data-driven
     /// check of which allocation types re-delegate).
     pub fn subtree(&self, prefix: &Prefix) -> Vec<(Prefix, &Vec<DelegationEntry>)> {
@@ -230,7 +240,7 @@ impl WhoisDb {
             crate::rpsl::parse_dump(shard, source)
         });
         let Some(dumps) = dumps else {
-            return self.add_rpsl(text, source);
+            return self.trace_seq_parse(text.len(), |db| db.add_rpsl(text, source));
         };
         let mut problems = 0;
         for (offset, mut dump) in dumps {
@@ -260,7 +270,7 @@ impl WhoisDb {
             }
         });
         let Some(dumps) = dumps else {
-            return self.add_arin(text);
+            return self.trace_seq_parse(text.len(), |db| db.add_arin(text));
         };
         self.merge_record_dumps(dumps)
     }
@@ -277,9 +287,26 @@ impl WhoisDb {
             }
         });
         let Some(dumps) = dumps else {
-            return self.add_lacnic(text, source);
+            return self.trace_seq_parse(text.len(), |db| db.add_lacnic(text, source));
         };
         self.merge_record_dumps(dumps)
+    }
+
+    /// Traces a sequential-fallback dump parse as a single `whois.parse`
+    /// span (shard 0) so `--trace` timelines stay populated when sharding
+    /// is not worthwhile; the threaded path traces per shard instead.
+    fn trace_seq_parse<R>(&mut self, bytes: usize, parse: impl FnOnce(&mut Self) -> R) -> R {
+        let obs = self.obs.clone();
+        let log = obs.as_ref().and_then(|o| o.thread_log("whois.parse"));
+        let span = log.as_ref().map(|l| {
+            let s = l.span("whois.parse");
+            s.arg("shard", 0);
+            s.arg("bytes", bytes);
+            s
+        });
+        let out = parse(self);
+        drop(span);
+        out
     }
 
     /// Shards `text` at object boundaries and runs `parse` on each shard in
@@ -306,14 +333,22 @@ impl WhoisDb {
         Some(std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
-                .map(|shard| {
+                .enumerate()
+                .map(|(idx, shard)| {
                     let obs = obs.clone();
                     let shard = *shard;
                     scope.spawn(move || {
+                        let log = obs.as_ref().and_then(|o| o.thread_log("whois.parse"));
+                        let span = log.as_ref().map(|l| l.span("whois.parse"));
                         let timer = obs.as_ref().map(|o| o.stage("whois.parse"));
                         let dump = parse(shard.text);
                         if let Some(mut t) = timer {
                             t.items(dump.records.len() as u64);
+                        }
+                        if let Some(s) = &span {
+                            s.arg("shard", idx);
+                            s.arg("bytes", shard.text.len());
+                            s.arg("records", dump.records.len());
                         }
                         (shard.line_offset, dump)
                     })
