@@ -11,6 +11,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use p2o_net::Prefix;
+use p2o_util::ingest::{IngestErrorKind, QuarantinedRecord};
 
 use crate::attrs::PathAttributes;
 use crate::update::{decode_nlri4, decode_nlri6, encode_nlri4, encode_nlri6};
@@ -19,6 +20,11 @@ const MRT_TYPE_TABLE_DUMP_V2: u16 = 13;
 const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
 const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
 const SUBTYPE_RIB_IPV6_UNICAST: u16 = 4;
+
+/// Largest TABLE_DUMP_V2 subtype the resync scanner treats as plausible.
+/// RFC 6396 defines subtypes 1..=6; the margin tolerates extensions
+/// without accepting random bytes as headers.
+const MAX_PLAUSIBLE_SUBTYPE: u16 = 16;
 
 /// One peer in the PEER_INDEX_TABLE.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -442,7 +448,10 @@ impl MrtReader {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mrt decode shard panicked"))
+                .collect()
         });
         // Chunks are contiguous and in offset order, so the first chunk that
         // failed holds the earliest-offset error — the one the sequential
@@ -453,6 +462,241 @@ impl MrtReader {
         }
         Ok(out)
     }
+
+    /// Lenient open: where [`new`](Self::new) would fail on an unreadable
+    /// leading PEER_INDEX_TABLE, this yields no reader plus one quarantine
+    /// entry covering the whole input. Without a peer table no RIB entry
+    /// can be attributed, so nothing downstream is salvageable.
+    pub fn new_lenient(data: Bytes) -> (Option<MrtReader>, Vec<QuarantinedRecord>) {
+        match MrtReader::new(data.clone()) {
+            Ok(r) => (Some(r), Vec::new()),
+            Err(e) => {
+                let kind = if e.message.contains("MRT type")
+                    || e.message.contains("not PEER_INDEX_TABLE")
+                {
+                    IngestErrorKind::MrtBadType
+                } else {
+                    IngestErrorKind::MrtTruncated
+                };
+                let q = QuarantinedRecord::new(
+                    kind,
+                    0,
+                    &data,
+                    format!("unreadable peer index table: {}", e.message),
+                );
+                (None, vec![q])
+            }
+        }
+    }
+
+    /// Whether `pos` looks like the start of a TABLE_DUMP_V2 record whose
+    /// claimed body fits inside the input.
+    fn plausible_header(buf: &[u8], pos: usize) -> bool {
+        if buf.len() < pos + 12 {
+            return false;
+        }
+        let mrt_type = u16::from_be_bytes([buf[pos + 4], buf[pos + 5]]);
+        if mrt_type != MRT_TYPE_TABLE_DUMP_V2 {
+            return false;
+        }
+        let subtype = u16::from_be_bytes([buf[pos + 6], buf[pos + 7]]);
+        if subtype == 0 || subtype > MAX_PLAUSIBLE_SUBTYPE {
+            return false;
+        }
+        let len =
+            u32::from_be_bytes([buf[pos + 8], buf[pos + 9], buf[pos + 10], buf[pos + 11]]) as usize;
+        len <= buf.len() - pos - 12
+    }
+
+    /// Where parsing can resume after a framing error at `failed`.
+    ///
+    /// The length field is trusted first: if skipping `12 + len` bytes
+    /// lands exactly at EOF or on a plausible header, only this one record
+    /// is damaged. Otherwise the length itself is corrupt and the scanner
+    /// walks forward byte by byte looking for the next plausible header.
+    /// `None` means the rest of the input is unusable.
+    fn resync_from(&self, failed: usize) -> Option<usize> {
+        let buf = &self.buf[..];
+        if buf.len() - failed >= 12 {
+            let len = u32::from_be_bytes([
+                buf[failed + 8],
+                buf[failed + 9],
+                buf[failed + 10],
+                buf[failed + 11],
+            ]) as usize;
+            if let Some(cand) = (failed + 12).checked_add(len) {
+                if cand == buf.len() || Self::plausible_header(buf, cand) {
+                    return Some(cand);
+                }
+            }
+        }
+        (failed + 1..buf.len()).find(|&pos| Self::plausible_header(buf, pos))
+    }
+
+    /// Classifies a framing failure at the start of `rest` (`resynced` says
+    /// whether a later plausible header exists).
+    fn classify_framing(rest: &[u8], resynced: bool) -> IngestErrorKind {
+        if rest.len() < 12 {
+            IngestErrorKind::MrtTruncated
+        } else if u16::from_be_bytes([rest[4], rest[5]]) != MRT_TYPE_TABLE_DUMP_V2 {
+            IngestErrorKind::MrtBadType
+        } else if resynced {
+            IngestErrorKind::MrtBadLength
+        } else {
+            // The length field overruns the input and no later header
+            // exists: the dump was cut mid-record.
+            IngestErrorKind::MrtTruncated
+        }
+    }
+
+    /// Lenient frame scan: collects every well-framed record and
+    /// quarantines unreadable byte ranges, resyncing after each failure.
+    /// Frames are `(subtype, body, offset_after_record, record_start)`.
+    #[allow(clippy::type_complexity)]
+    fn scan_frames_lenient(&mut self) -> (Vec<(u16, Bytes, usize, usize)>, Vec<QuarantinedRecord>) {
+        let mut frames = Vec::new();
+        let mut quarantined = Vec::new();
+        loop {
+            let start = self.offset;
+            match self.next_record() {
+                Ok(None) => break,
+                Ok(Some((subtype, body))) => frames.push((subtype, body, self.offset, start)),
+                Err(e) => {
+                    let resync = self.resync_from(start);
+                    let end = resync.unwrap_or(self.buf.len());
+                    let kind = Self::classify_framing(&self.buf[start..], resync.is_some());
+                    quarantined.push(QuarantinedRecord::new(
+                        kind,
+                        start as u64,
+                        &self.buf[start..end],
+                        e.message,
+                    ));
+                    match resync {
+                        Some(next) => self.offset = next,
+                        None => {
+                            self.offset = self.buf.len();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        (frames, quarantined)
+    }
+
+    /// Decodes a slice of frames, quarantining bodies that fail to decode.
+    fn decode_frames_lenient(
+        frames: &[(u16, Bytes, usize, usize)],
+        peers: &[PeerEntry],
+        obs: &Option<MrtObs>,
+        quarantined: &mut Vec<QuarantinedRecord>,
+    ) -> Vec<RibRecord> {
+        let mut out = Vec::with_capacity(frames.len());
+        for (subtype, body, offset_after, start) in frames {
+            match decode_rib_body(*subtype, body.clone(), *offset_after, peers) {
+                Ok(Some(rec)) => {
+                    if let Some(o) = obs {
+                        o.tick_record(rec.entries.len());
+                    }
+                    out.push(rec);
+                }
+                Ok(None) => {} // unknown subtype, skipped like the strict path
+                Err(e) => quarantined.push(QuarantinedRecord::new(
+                    IngestErrorKind::MrtBadRecord,
+                    *start as u64,
+                    body,
+                    e.message,
+                )),
+            }
+        }
+        out
+    }
+
+    /// Lenient read: decodes every recoverable RIB record and quarantines
+    /// the rest — one bad record costs one record, not the run. Never
+    /// fails; an unrecoverable tail becomes a single quarantine entry.
+    /// Decode parallelism, tracing spans, and `mrt.*` counters mirror
+    /// [`read_all_parallel`](Self::read_all_parallel), so on clean input
+    /// the two paths are observationally identical.
+    pub fn read_all_lenient(mut self, threads: usize) -> LenientMrt {
+        let (frames, mut quarantined) = self.scan_frames_lenient();
+        let records = if threads <= 1 || frames.len() < 2 * threads {
+            let log = self
+                .obs
+                .as_ref()
+                .and_then(|o| o.obs.thread_log("mrt.decode"));
+            let span = log.as_ref().map(|l| {
+                let s = l.span("mrt.decode");
+                s.arg("shard", 0);
+                s.arg("frames", frames.len());
+                s
+            });
+            let out =
+                Self::decode_frames_lenient(&frames, &self.peers, &self.obs, &mut quarantined);
+            if let Some(s) = &span {
+                s.arg("records", out.len());
+            }
+            out
+        } else {
+            let chunk = frames.len().div_ceil(threads);
+            let peers = &self.peers;
+            let obs = &self.obs;
+            let shards: Vec<(Vec<RibRecord>, Vec<QuarantinedRecord>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = frames
+                        .chunks(chunk)
+                        .enumerate()
+                        .map(|(idx, shard)| {
+                            scope.spawn(move || {
+                                let log = obs.as_ref().and_then(|o| o.obs.thread_log("mrt.decode"));
+                                let span = log.as_ref().map(|l| {
+                                    let s = l.span("mrt.decode");
+                                    s.arg("shard", idx);
+                                    s.arg("frames", shard.len());
+                                    s
+                                });
+                                let timer = obs.as_ref().map(|o| o.obs.stage("mrt.decode"));
+                                let mut q = Vec::new();
+                                let out = Self::decode_frames_lenient(shard, peers, obs, &mut q);
+                                if let Some(mut t) = timer {
+                                    t.items(out.len() as u64);
+                                }
+                                if let Some(s) = &span {
+                                    s.arg("records", out.len());
+                                }
+                                (out, q)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("mrt decode shard panicked"))
+                        .collect()
+                });
+            let mut out = Vec::with_capacity(frames.len());
+            for (recs, q) in shards {
+                out.extend(recs);
+                quarantined.extend(q);
+            }
+            out
+        };
+        // Framing and body failures interleave; report them in byte order.
+        quarantined.sort_by_key(|q| q.offset);
+        LenientMrt {
+            records,
+            quarantined,
+        }
+    }
+}
+
+/// Outcome of a lenient MRT read: the decoded records plus a quarantine
+/// entry for every rejected record or unreadable byte range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientMrt {
+    /// Every RIB record that decoded, in dump order.
+    pub records: Vec<RibRecord>,
+    /// Every rejected record, in byte-offset order.
+    pub quarantined: Vec<QuarantinedRecord>,
 }
 
 #[cfg(test)]
@@ -731,6 +975,144 @@ mod tests {
                 .unwrap_err();
             assert_eq!(par_err, seq_err, "threads={threads}");
         }
+    }
+
+    /// Five-record dump plus the byte ranges of each RIB record
+    /// (excluding the peer table): `(start, end)` pairs.
+    fn dump_with_ranges() -> (Bytes, Vec<(usize, usize)>) {
+        let mut w = MrtWriter::new(0, 1, &peers());
+        let table_len = {
+            let w0 = MrtWriter::new(0, 1, &peers());
+            w0.finish().len()
+        };
+        let mut ranges = Vec::new();
+        let mut prev = table_len;
+        for i in 0..5u32 {
+            w.push(
+                Prefix::V4(p2o_net::Prefix4::new_truncated((10 + i) << 24, 8)),
+                &[entry(0, &[3356, 64512 + i])],
+            );
+            let end = w.buf.len();
+            ranges.push((prev, end));
+            prev = end;
+        }
+        (w.finish(), ranges)
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let (data, _) = dump_with_ranges();
+        let strict = MrtReader::new(data.clone()).unwrap().read_all().unwrap();
+        for threads in [1, 2, 4] {
+            let out = MrtReader::new(data.clone())
+                .unwrap()
+                .read_all_lenient(threads);
+            assert_eq!(out.records, strict, "threads={threads}");
+            assert!(out.quarantined.is_empty());
+        }
+    }
+
+    #[test]
+    fn lenient_resyncs_after_length_lie() {
+        let (data, ranges) = dump_with_ranges();
+        let mut bytes = data.to_vec();
+        // Lie in record 2's length field: claim a body far past EOF.
+        let (start, _) = ranges[2];
+        bytes[start + 8..start + 12].copy_from_slice(&0xFFFF_FF00u32.to_be_bytes());
+        let out = MrtReader::new(Bytes::from(bytes))
+            .unwrap()
+            .read_all_lenient(1);
+        assert_eq!(out.records.len(), 4, "one victim, four survivors");
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].kind, IngestErrorKind::MrtBadLength);
+        assert_eq!(out.quarantined[0].offset, start as u64);
+        assert!(!out.quarantined[0].excerpt.is_empty());
+    }
+
+    #[test]
+    fn lenient_skips_record_with_bad_type() {
+        let (data, ranges) = dump_with_ranges();
+        let mut bytes = data.to_vec();
+        // Record 1 claims a non-TABLE_DUMP_V2 type but an honest length,
+        // so the length-field skip resyncs without scanning.
+        let (start, _) = ranges[1];
+        bytes[start + 4..start + 6].copy_from_slice(&0x2222u16.to_be_bytes());
+        let out = MrtReader::new(Bytes::from(bytes))
+            .unwrap()
+            .read_all_lenient(1);
+        assert_eq!(out.records.len(), 4);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].kind, IngestErrorKind::MrtBadType);
+        assert_eq!(out.quarantined[0].offset, start as u64);
+    }
+
+    #[test]
+    fn lenient_quarantines_truncated_tail_as_one_record() {
+        let (data, ranges) = dump_with_ranges();
+        let (start, end) = ranges[4];
+        for cut in [start + 5, start + 12, (start + end) / 2] {
+            let out = MrtReader::new(data.slice(..cut))
+                .unwrap()
+                .read_all_lenient(2);
+            assert_eq!(out.records.len(), 4, "cut at {cut}");
+            assert_eq!(out.quarantined.len(), 1, "cut at {cut}");
+            assert_eq!(out.quarantined[0].kind, IngestErrorKind::MrtTruncated);
+            assert_eq!(out.quarantined[0].offset, start as u64);
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_undecodable_body() {
+        let (data, ranges) = dump_with_ranges();
+        let mut bytes = data.to_vec();
+        // Keep record 3's framing but fill its body with 0xFF: the NLRI
+        // length byte becomes 255, which no prefix decoder accepts.
+        let (start, end) = ranges[3];
+        for b in &mut bytes[start + 12..end] {
+            *b = 0xFF;
+        }
+        for threads in [1, 4] {
+            let out = MrtReader::new(Bytes::from(bytes.clone()))
+                .unwrap()
+                .read_all_lenient(threads);
+            assert_eq!(out.records.len(), 4, "threads={threads}");
+            assert_eq!(out.quarantined.len(), 1);
+            assert_eq!(out.quarantined[0].kind, IngestErrorKind::MrtBadRecord);
+            assert_eq!(out.quarantined[0].offset, start as u64);
+        }
+    }
+
+    #[test]
+    fn lenient_open_quarantines_garbage_input() {
+        let (reader, quarantined) = MrtReader::new_lenient(Bytes::from_static(b"not mrt data"));
+        assert!(reader.is_none());
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].offset, 0);
+        let (reader, quarantined) = MrtReader::new_lenient(Bytes::new());
+        assert!(reader.is_none());
+        assert_eq!(quarantined[0].kind, IngestErrorKind::MrtTruncated);
+        assert_eq!(quarantined.len(), 1);
+    }
+
+    #[test]
+    fn lenient_recovers_multiple_corruptions() {
+        let (data, ranges) = dump_with_ranges();
+        let mut bytes = data.to_vec();
+        let (s1, _) = ranges[1];
+        bytes[s1 + 4..s1 + 6].copy_from_slice(&0x2222u16.to_be_bytes());
+        let (s3, e3) = ranges[3];
+        for b in &mut bytes[s3 + 12..e3] {
+            *b = 0xFF;
+        }
+        let out = MrtReader::new(Bytes::from(bytes))
+            .unwrap()
+            .read_all_lenient(2);
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.quarantined.len(), 2);
+        // Quarantine entries arrive in byte order even though framing and
+        // body failures are detected in different phases.
+        assert_eq!(out.quarantined[0].offset, s1 as u64);
+        assert_eq!(out.quarantined[1].offset, s3 as u64);
     }
 
     #[test]

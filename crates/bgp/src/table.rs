@@ -4,8 +4,20 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use p2o_net::Prefix;
 
+use p2o_util::ingest::QuarantinedRecord;
+
 use crate::mrt::{MrtParseError, MrtReader, RibRecord};
 use crate::update::UpdateMessage;
+
+/// Outcome of a lenient MRT parse: the route table built from every
+/// recoverable record, plus one quarantine entry per rejected record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientTable {
+    /// The table built from the records that decoded.
+    pub table: RouteTable,
+    /// Every rejected record, in byte-offset order.
+    pub quarantined: Vec<QuarantinedRecord>,
+}
 
 /// All routed prefixes with their origin ASNs, as seen across collectors.
 ///
@@ -116,6 +128,39 @@ impl RouteTable {
         }
         timer.finish();
         Ok(table)
+    }
+
+    /// Lenient variant of the `from_mrt*` constructors: corrupt records
+    /// are quarantined instead of failing the parse — one bad record
+    /// costs one record, not the run. With `obs` the same `bgp.parse`
+    /// stage, `mrt.decode` spans, and `mrt.*` counters are recorded as
+    /// the strict instrumented path, so on clean input the two are
+    /// observationally identical.
+    pub fn from_mrt_lenient(
+        data: bytes::Bytes,
+        obs: Option<&p2o_obs::Obs>,
+        threads: usize,
+    ) -> LenientTable {
+        let timer = obs.map(|o| o.stage("bgp.parse"));
+        let (reader, mut quarantined) = MrtReader::new_lenient(data);
+        let mut table = RouteTable::new();
+        let mut records = 0u64;
+        if let Some(mut reader) = reader {
+            if let Some(o) = obs {
+                reader.instrument(o);
+            }
+            let parsed = reader.read_all_lenient(threads);
+            records = parsed.records.len() as u64;
+            for record in &parsed.records {
+                table.add_rib_record(record);
+            }
+            quarantined.extend(parsed.quarantined);
+        }
+        if let Some(mut t) = timer {
+            t.items(records);
+            t.finish();
+        }
+        LenientTable { table, quarantined }
     }
 
     /// Applies a live UPDATE message: withdrawals remove the prefix

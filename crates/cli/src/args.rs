@@ -13,18 +13,25 @@ pub struct Parsed {
 impl Parsed {
     /// Parses an argument list. Every `--key` must be followed by a value.
     pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+        Self::parse_with_switches(argv, &[])
+    }
+
+    /// [`parse`](Self::parse), except the listed `switches` are boolean
+    /// flags that take no value (stored as `"true"`, queried via
+    /// [`has`](Self::has)).
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Parsed, String> {
         let mut parsed = Parsed::default();
         let mut iter = argv.iter();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("--{key} requires a value"))?;
-                if parsed
-                    .options
-                    .insert(key.to_string(), value.clone())
-                    .is_some()
-                {
+                let value = if switches.contains(&key) {
+                    "true".to_string()
+                } else {
+                    iter.next()
+                        .ok_or_else(|| format!("--{key} requires a value"))?
+                        .clone()
+                };
+                if parsed.options.insert(key.to_string(), value).is_some() {
                     return Err(format!("--{key} given twice"));
                 }
             } else {
@@ -32,6 +39,11 @@ impl Parsed {
             }
         }
         Ok(parsed)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// A required option.
@@ -86,6 +98,19 @@ mod tests {
     fn rejects_dangling_and_duplicate_flags() {
         assert!(Parsed::parse(&v(&["--out"])).is_err());
         assert!(Parsed::parse(&v(&["--out", "a", "--out", "b"])).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let p = Parsed::parse_with_switches(&v(&["--strict", "--out", "dir", "pos"]), &["strict"])
+            .unwrap();
+        assert!(p.has("strict"));
+        assert!(!p.has("lenient"));
+        assert_eq!(p.require("out").unwrap(), "dir");
+        assert_eq!(p.positional(), &["pos"]);
+        // A trailing switch needs no value; an unknown trailing flag does.
+        assert!(Parsed::parse_with_switches(&v(&["--strict"]), &["strict"]).is_ok());
+        assert!(Parsed::parse_with_switches(&v(&["--out"]), &["strict"]).is_err());
     }
 
     #[test]

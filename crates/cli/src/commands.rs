@@ -5,22 +5,30 @@ use std::path::Path;
 
 use p2o_net::{AddressFamily, Prefix};
 use p2o_radix::PrefixMap;
+use p2o_synth::corrupt::{corrupt_world, CorruptionConfig};
 use p2o_synth::{World, WorldConfig};
+use p2o_util::ingest::IngestLayer;
 use prefix2org::{ExportRecord, Pipeline, PipelineInputs};
 
 use crate::args::Parsed;
 use crate::store;
+use crate::CliError;
 
 /// `generate`: materialize a synthetic Internet on disk.
-pub fn generate(args: &Parsed) -> Result<(), String> {
+pub fn generate(args: &Parsed) -> Result<(), CliError> {
     let out = Path::new(args.require("out")?);
     let seed = args.get_num::<u64>("seed")?.unwrap_or(0x2024_0901);
     let transfers = args.get_num::<usize>("transfers")?.unwrap_or(0);
+    let corrupt_rate = args.get_num::<f64>("corrupt-rate")?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&corrupt_rate) {
+        return Err(format!("--corrupt-rate must be in 0..=1, got {corrupt_rate}").into());
+    }
+    let corrupt_seed = args.get_num::<u64>("corrupt-seed")?.unwrap_or(seed);
     let config = match args.get("scale").unwrap_or("default") {
         "tiny" => WorldConfig::tiny(seed),
         "default" => WorldConfig::default_scale(seed),
         "bench" => WorldConfig::bench_scale(seed),
-        other => return Err(format!("unknown scale {other:?} (tiny|default|bench)")),
+        other => return Err(format!("unknown scale {other:?} (tiny|default|bench)").into()),
     }
     .with_transfers(transfers);
 
@@ -30,6 +38,30 @@ pub fn generate(args: &Parsed) -> Result<(), String> {
     );
     let world = World::generate(config);
     store::write_world(&world, out)?;
+    if corrupt_rate > 0.0 {
+        let corrupted = corrupt_world(
+            &world,
+            &CorruptionConfig::uniform(corrupt_seed, corrupt_rate),
+        );
+        for (registry, dump) in &corrupted.whois {
+            let path = out.join("whois").join(format!("{registry}.txt"));
+            fs::write(&path, &dump.data).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        let path = out.join("rib.mrt");
+        fs::write(&path, &corrupted.mrt.data)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let path = out.join("rpki.jsonl");
+        fs::write(&path, &corrupted.rpki_jsonl.data)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "injected {} faults (seed {corrupt_seed:#x}, rate {corrupt_rate}): \
+             mrt {}, whois {}, rpki {}",
+            corrupted.total_faults(),
+            corrupted.mrt.faults,
+            corrupted.whois_faults(),
+            corrupted.rpki_jsonl.faults,
+        );
+    }
     println!(
         "wrote {} WHOIS dumps, {} RPKI objects, {} byte RIB, {} truth lists to {}",
         world.whois_dumps.len(),
@@ -42,13 +74,18 @@ pub fn generate(args: &Parsed) -> Result<(), String> {
 }
 
 /// `build`: parse a snapshot directory, run the pipeline, write JSONL.
-pub fn build(args: &Parsed) -> Result<(), String> {
+pub fn build(args: &Parsed) -> Result<(), CliError> {
     let dir = Path::new(args.require("in")?);
     let out = Path::new(args.require("out")?);
     let threads = args
         .get_num::<usize>("threads")?
         .unwrap_or_else(prefix2org::default_threads)
         .max(1);
+    let mode = if args.has("strict") {
+        store::IngestMode::Strict
+    } else {
+        store::IngestMode::Lenient
+    };
     let report_path = args.get("report");
     let trace_path = args.get("trace");
     let metrics_path = args.get("metrics");
@@ -59,7 +96,27 @@ pub fn build(args: &Parsed) -> Result<(), String> {
         obs.as_ref().expect("obs created above").enable_tracing();
     }
 
-    let inputs = store::load_inputs_with(dir, obs.as_ref(), threads)?;
+    let outcome =
+        store::load_inputs_mode(dir, obs.as_ref(), threads, mode).map_err(|e| match e {
+            store::LoadError::Ingest(err) => CliError::Ingest(err.to_string()),
+            store::LoadError::Other(msg) => CliError::General(msg),
+        })?;
+    let store::LoadOutcome { inputs, quarantine } = outcome;
+    if !quarantine.is_empty() {
+        eprintln!(
+            "warning: {} corrupt records quarantined (mrt {}, whois {}, rpki {})",
+            quarantine.len(),
+            quarantine.count_for_layer(IngestLayer::Mrt),
+            quarantine.count_for_layer(IngestLayer::Whois),
+            quarantine.count_for_layer(IngestLayer::Rpki),
+        );
+        if inputs.whois_stats.raw_records == 0 && inputs.routes.is_empty() {
+            return Err(CliError::Ingest(format!(
+                "nothing survived ingest: all {} records quarantined",
+                quarantine.len()
+            )));
+        }
+    }
     // The paper's §4.1 footnote check against the delegation files, when
     // present: no delegation larger than /8 (IPv4) or /16 (IPv6).
     let delegated_dir = dir.join("delegated");
@@ -112,7 +169,10 @@ pub fn build(args: &Parsed) -> Result<(), String> {
 
     let report_to_stdout = report_path == Some("-");
     if let Some(o) = &obs {
-        let report = o.report();
+        let mut report = o.report();
+        // Always present, all-zero on clean input: consumers can rely on
+        // the section existing.
+        report.data_quality = Some(quarantine.summary(8));
         if let Some(path) = report_path {
             if report_to_stdout {
                 println!("{}", report.to_json_string());
@@ -174,7 +234,7 @@ pub fn build(args: &Parsed) -> Result<(), String> {
 }
 
 /// `explain`: render the provenance rule chain behind prefix mappings.
-pub fn explain(args: &Parsed) -> Result<(), String> {
+pub fn explain(args: &Parsed) -> Result<(), CliError> {
     let dir = Path::new(args.require("in")?);
     let threads = args
         .get_num::<usize>("threads")?
@@ -207,7 +267,7 @@ fn load_dataset(path: &str) -> Result<Vec<ExportRecord>, String> {
 }
 
 /// `lookup`: longest-match queries against a JSONL snapshot.
-pub fn lookup(args: &Parsed) -> Result<(), String> {
+pub fn lookup(args: &Parsed) -> Result<(), CliError> {
     let records = load_dataset(args.require("dataset")?)?;
     if args.positional().is_empty() {
         return Err("lookup needs at least one prefix argument".into());
@@ -236,7 +296,7 @@ pub fn lookup(args: &Parsed) -> Result<(), String> {
 }
 
 /// `org`: list the prefixes attributed to an organization name fragment.
-pub fn org(args: &Parsed) -> Result<(), String> {
+pub fn org(args: &Parsed) -> Result<(), CliError> {
     let records = load_dataset(args.require("dataset")?)?;
     let needle = args
         .positional()
@@ -272,7 +332,7 @@ pub fn org(args: &Parsed) -> Result<(), String> {
 }
 
 /// `stats`: summarize a JSONL snapshot.
-pub fn stats(args: &Parsed) -> Result<(), String> {
+pub fn stats(args: &Parsed) -> Result<(), CliError> {
     let records = load_dataset(args.require("dataset")?)?;
     let mut v4 = 0usize;
     let mut v6 = 0usize;
@@ -324,7 +384,7 @@ pub fn stats(args: &Parsed) -> Result<(), String> {
 }
 
 /// `diff`: compare two JSONL snapshots.
-pub fn diff(args: &Parsed) -> Result<(), String> {
+pub fn diff(args: &Parsed) -> Result<(), CliError> {
     let old = load_dataset(args.require("old")?)?;
     let new = load_dataset(args.require("new")?)?;
     let delta = prefix2org::delta::diff_exports(&old, &new);
@@ -354,12 +414,12 @@ pub fn diff(args: &Parsed) -> Result<(), String> {
 }
 
 /// `validate`: evaluate a snapshot against a directory's ground truth.
-pub fn validate(args: &Parsed) -> Result<(), String> {
+pub fn validate(args: &Parsed) -> Result<(), CliError> {
     let dir = Path::new(args.require("in")?);
     let records = load_dataset(args.require("dataset")?)?;
     let inputs = store::load_inputs(dir)?;
     if inputs.truth.is_empty() {
-        return Err(format!("{} has no truth/lists.tsv", dir.display()));
+        return Err(format!("{} has no truth/lists.tsv", dir.display()).into());
     }
 
     // Rebuild a queryable dataset view from the export: org -> prefixes via

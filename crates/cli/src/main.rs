@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
-//! prefix2org build    --in DIR --out FILE.jsonl [--threads N] [--report RUN.json|-]
-//!                     [--trace TRACE.json] [--metrics METRICS.prom]
+//!                     [--corrupt-rate R] [--corrupt-seed N]
+//! prefix2org build    --in DIR --out FILE.jsonl [--strict] [--threads N]
+//!                     [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
 //! prefix2org explain  --in DIR PREFIX... [--threads N]
 //! prefix2org lookup   --dataset FILE.jsonl PREFIX...
 //! prefix2org stats    --dataset FILE.jsonl
@@ -25,18 +26,44 @@ mod store;
 
 use std::process::ExitCode;
 
+/// A command failure, split by what exit code it maps to.
+pub enum CliError {
+    /// Usage / I/O / any other error: exit code 1.
+    General(String),
+    /// A typed ingest failure (strict-mode abort on a corrupt record, or a
+    /// lenient run where nothing at all parsed): exit code 2. The message
+    /// is the one-line diagnostic naming file, offset, and error variant.
+    Ingest(String),
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> Self {
+        CliError::General(e)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(e: &str) -> Self {
+        CliError::General(e.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::General(e)) => {
             eprintln!("prefix2org: error: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Ingest(e)) => {
+            eprintln!("prefix2org: ingest error: {e}");
+            ExitCode::from(2)
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
         print_usage();
         return Err("no command given".into());
@@ -44,7 +71,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let rest = &argv[1..];
     match command.as_str() {
         "generate" => commands::generate(&args::Parsed::parse(rest)?),
-        "build" => commands::build(&args::Parsed::parse(rest)?),
+        "build" => commands::build(&args::Parsed::parse_with_switches(rest, &["strict"])?),
         "explain" => commands::explain(&args::Parsed::parse(rest)?),
         "lookup" => commands::lookup(&args::Parsed::parse(rest)?),
         "org" => commands::org(&args::Parsed::parse(rest)?),
@@ -55,7 +82,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try `prefix2org help`")),
+        other => Err(format!("unknown command {other:?}; try `prefix2org help`").into()),
     }
 }
 
@@ -66,13 +93,22 @@ prefix2org — map BGP prefixes to organizations (IMC'25 reproduction)
 
 USAGE:
   prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
+                      [--corrupt-rate R] [--corrupt-seed N]
       Materialize a synthetic Internet: WHOIS bulk dumps (native formats),
       an MRT RIB snapshot, AS2Org + sibling TSVs, RPKI objects, ground truth.
+      --corrupt-rate injects seeded record-level corruption (truncation,
+      bit-flips, length-field lies, junk records) into the written WHOIS,
+      MRT and RPKI artifacts at the given per-record rate (0..=1);
+      --corrupt-seed decouples the fault pattern from the world seed.
 
-  prefix2org build --in DIR --out FILE.jsonl [--threads N] [--report RUN.json|-]
-                   [--trace TRACE.json] [--metrics METRICS.prom]
+  prefix2org build --in DIR --out FILE.jsonl [--strict] [--threads N]
+                   [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
       Parse a generated (or compatible) directory and run the full pipeline;
       write the per-prefix dataset as JSON Lines and print Table-4 metrics.
+      Corrupt input records are skipped and quarantined by default (counts
+      go to stderr and the report's data_quality section); exit code 2 is
+      reserved for ingest failures. --strict aborts on the first corrupt
+      record instead, naming its file, byte/line offset and error variant.
       --threads defaults to the number of available cores; 1 forces the
       fully sequential path (the output is identical either way).
       --report writes a JSON run report (per-stage wall times, counters,

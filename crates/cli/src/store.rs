@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 use p2o_bgp::RouteTable;
 use p2o_net::Prefix;
 use p2o_synth::World;
+use p2o_util::ingest::{IngestError, Quarantine, QuarantinedRecord};
 use p2o_util::tsv;
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::{DelegationTree, Registry, Rir, WhoisDb};
@@ -144,6 +145,51 @@ pub struct LoadedInputs {
     pub snapshot_date: u32,
 }
 
+/// How record-level corruption in the inputs is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Abort on the first corrupt record with a precise diagnostic
+    /// (file, offset, error variant). `build --strict`.
+    Strict,
+    /// Skip corrupt records, quarantining each one. The default.
+    Lenient,
+}
+
+/// A load failure: either a typed ingest abort (strict mode hitting a
+/// corrupt record) or any other I/O / format error.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Strict mode rejected a record; carries the full diagnostic.
+    Ingest(IngestError),
+    /// Everything else (missing files, unreadable TSVs, ...).
+    Other(String),
+}
+
+impl From<String> for LoadError {
+    fn from(e: String) -> Self {
+        LoadError::Other(e)
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Ingest(e) => write!(f, "{e}"),
+            LoadError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// What [`load_inputs_mode`] returns: the parsed inputs plus every record
+/// the lenient parsers rejected (empty on clean input, and always empty in
+/// strict mode — strict aborts instead).
+pub struct LoadOutcome {
+    /// The parsed snapshot inputs.
+    pub inputs: LoadedInputs,
+    /// Every rejected record, with file names stamped.
+    pub quarantine: Quarantine,
+}
+
 /// Loads and parses a snapshot directory through the real substrate paths.
 pub fn load_inputs(dir: &Path) -> Result<LoadedInputs, String> {
     load_inputs_with(dir, None, 1)
@@ -153,15 +199,49 @@ pub fn load_inputs(dir: &Path) -> Result<LoadedInputs, String> {
 /// is given, the WHOIS and MRT parsers tick their `whois.*` / `mrt.*` /
 /// `bgp.parse` counters and stages into it; when `threads > 1`, WHOIS dumps
 /// are parsed in object-boundary shards and MRT RIB bodies are decoded in
-/// chunks on that many threads (identical outputs either way).
+/// chunks on that many threads (identical outputs either way). Corrupt
+/// records are skipped leniently; callers that need the quarantine or
+/// strict aborts use [`load_inputs_mode`].
 pub fn load_inputs_with(
     dir: &Path,
     obs: Option<&p2o_obs::Obs>,
     threads: usize,
 ) -> Result<LoadedInputs, String> {
+    load_inputs_mode(dir, obs, threads, IngestMode::Lenient)
+        .map(|outcome| outcome.inputs)
+        .map_err(|e| e.to_string())
+}
+
+/// Picks the first bad record (lowest offset) from a per-file batch and
+/// turns it into the strict-mode abort.
+fn strict_abort(file: &str, records: Vec<QuarantinedRecord>) -> LoadError {
+    let mut first = records
+        .into_iter()
+        .min_by_key(|r| r.offset)
+        .expect("strict_abort called with a nonempty batch");
+    first.file = file.to_string();
+    LoadError::Ingest(first.to_error())
+}
+
+/// The full-control loader behind [`load_inputs_with`]: parses every input
+/// through the lenient (resyncing) parsers, quarantining rejected records.
+/// In [`IngestMode::Strict`] the first rejected record of any file aborts
+/// the load with its typed diagnostic instead.
+pub fn load_inputs_mode(
+    dir: &Path,
+    obs: Option<&p2o_obs::Obs>,
+    threads: usize,
+    mode: IngestMode,
+) -> Result<LoadOutcome, LoadError> {
     let read = |path: PathBuf| -> Result<String, String> {
         fs::read_to_string(&path).map_err(|e| io_err("reading", &path, e))
     };
+    let mut quarantine = Quarantine::new();
+    if let Some(o) = obs {
+        // Register the whole counter family up front so clean runs report
+        // explicit zeros rather than missing series.
+        p2o_obs::register_ingest_counters(o);
+    }
 
     // Meta first (the snapshot date drives RPKI validation).
     let mut snapshot_date = 20240901u32;
@@ -197,6 +277,7 @@ pub fn load_inputs_with(
             .parse()
             .map_err(|e| format!("{}: {e}", path.display()))?;
         let text = read(path.clone())?;
+        let before = db.problems().len();
         match registry {
             Registry::Rir(Rir::Arin) => db.add_arin_parallel(&text, threads),
             Registry::Rir(Rir::Lacnic)
@@ -206,6 +287,17 @@ pub fn load_inputs_with(
             }
             reg => db.add_rpsl_parallel(&text, reg, threads),
         };
+        let fresh: Vec<QuarantinedRecord> = db.problems()[before..]
+            .iter()
+            .map(|p| p.to_quarantined())
+            .collect();
+        if !fresh.is_empty() {
+            let label = format!("whois/{stem}.txt");
+            if mode == IngestMode::Strict {
+                return Err(strict_abort(&label, fresh));
+            }
+            quarantine.extend_from_file(&label, fresh);
+        }
     }
 
     // JPNIC back-fill.
@@ -223,16 +315,18 @@ pub fn load_inputs_with(
     }
     let (tree, whois_stats) = db.build();
 
-    // BGP.
+    // BGP: always the lenient (resyncing) reader — on clean input it is
+    // observationally identical to the strict instrumented path.
     let path = dir.join("rib.mrt");
     let mrt = fs::read(&path).map_err(|e| io_err("reading", &path, e))?;
-    let mrt = bytes::Bytes::from(mrt);
-    let routes = match obs {
-        Some(o) => RouteTable::from_mrt_instrumented_threaded(mrt, o, threads),
-        None if threads > 1 => RouteTable::from_mrt_threaded(mrt, threads),
-        None => RouteTable::from_mrt(mrt),
+    let lenient = RouteTable::from_mrt_lenient(bytes::Bytes::from(mrt), obs, threads);
+    if !lenient.quarantined.is_empty() {
+        if mode == IngestMode::Strict {
+            return Err(strict_abort("rib.mrt", lenient.quarantined));
+        }
+        quarantine.extend_from_file("rib.mrt", lenient.quarantined);
     }
-    .map_err(|e| e.to_string())?;
+    let routes = lenient.table;
 
     // AS2Org + siblings.
     let mut as2org = p2o_as2org::As2OrgDb::new();
@@ -243,7 +337,13 @@ pub fn load_inputs_with(
     let clusters = as2org.cluster();
 
     // RPKI.
-    let repo = p2o_rpki::persist::from_jsonl(&read(dir.join("rpki.jsonl"))?)?;
+    let (repo, rejected) = p2o_rpki::persist::from_jsonl_lenient(&read(dir.join("rpki.jsonl"))?);
+    if !rejected.is_empty() {
+        if mode == IngestMode::Strict {
+            return Err(strict_abort("rpki.jsonl", rejected));
+        }
+        quarantine.extend_from_file("rpki.jsonl", rejected);
+    }
     let (rpki, rpki_problems) = repo.validate(snapshot_date);
 
     // Ground truth (optional).
@@ -270,14 +370,21 @@ pub fn load_inputs_with(
         }
     }
 
-    Ok(LoadedInputs {
-        tree,
-        whois_stats,
-        routes,
-        clusters,
-        rpki,
-        rpki_problems,
-        truth,
-        snapshot_date,
+    if let Some(o) = obs {
+        p2o_obs::record_quarantine(o, &quarantine);
+    }
+
+    Ok(LoadOutcome {
+        inputs: LoadedInputs {
+            tree,
+            whois_stats,
+            routes,
+            clusters,
+            rpki,
+            rpki_problems,
+            truth,
+            snapshot_date,
+        },
+        quarantine,
     })
 }

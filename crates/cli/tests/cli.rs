@@ -334,6 +334,145 @@ fn diff_detects_transfers() {
 }
 
 #[test]
+fn corrupt_rate_zero_is_byte_identical_to_clean_generate() {
+    let clean = temp_dir("corrupt-zero-a");
+    let zeroed = temp_dir("corrupt-zero-b");
+    run_ok(&[
+        "generate",
+        "--out",
+        clean.to_str().unwrap(),
+        "--scale",
+        "tiny",
+        "--seed",
+        "42",
+    ]);
+    run_ok(&[
+        "generate",
+        "--out",
+        zeroed.to_str().unwrap(),
+        "--scale",
+        "tiny",
+        "--seed",
+        "42",
+        "--corrupt-rate",
+        "0",
+    ]);
+    for file in ["rib.mrt", "rpki.jsonl", "whois/RIPE.txt", "whois/ARIN.txt"] {
+        assert_eq!(
+            std::fs::read(clean.join(file)).unwrap(),
+            std::fs::read(zeroed.join(file)).unwrap(),
+            "--corrupt-rate 0 changed {file}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&zeroed);
+}
+
+#[test]
+fn lenient_build_survives_corruption_and_reports_data_quality() {
+    let dir = temp_dir("corrupt-lenient");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate",
+        "--out",
+        dir_s,
+        "--scale",
+        "tiny",
+        "--seed",
+        "42",
+        "--corrupt-rate",
+        "0.1",
+        "--corrupt-seed",
+        "7",
+    ]);
+    let dataset = dir.join("dataset.jsonl");
+    let report = dir.join("run.json");
+    let out = run(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        dataset.to_str().unwrap(),
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+    // Lenient is the default: the build completes (exit 0) and warns.
+    assert!(
+        out.status.success(),
+        "lenient build failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt records quarantined"), "{stderr}");
+    assert!(!std::fs::read_to_string(&dataset).unwrap().is_empty());
+
+    // The report carries a data_quality section with nonzero counts that
+    // agree with the ingest.quarantined counters.
+    let doc = p2o_util::Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    let parsed = p2o_obs::RunReport::from_json(&doc).unwrap();
+    let dq = parsed.data_quality.as_ref().expect("data_quality present");
+    assert!(dq.quarantined > 0, "nothing quarantined at rate 0.1");
+    assert_eq!(parsed.counter("ingest.quarantined"), Some(dq.quarantined));
+    let per_layer_sum: u64 = dq.per_layer.iter().map(|(_, n)| n).sum();
+    let per_kind_sum: u64 = dq.per_kind.iter().map(|(_, n)| n).sum();
+    assert_eq!(per_layer_sum, dq.quarantined);
+    assert_eq!(per_kind_sum, dq.quarantined);
+    assert!(!dq.samples.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_build_on_corrupt_input_exits_2_with_diagnostic() {
+    let dir = temp_dir("corrupt-strict");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate",
+        "--out",
+        dir_s,
+        "--scale",
+        "tiny",
+        "--seed",
+        "42",
+        "--corrupt-rate",
+        "0.1",
+        "--corrupt-seed",
+        "7",
+    ]);
+    let dataset = dir.join("dataset.jsonl");
+    let out = run(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        dataset.to_str().unwrap(),
+        "--strict",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "strict mode must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The one-line diagnostic names the file, the offset, and the variant.
+    assert!(stderr.contains("prefix2org: ingest error: "), "{stderr}");
+    assert!(
+        stderr.contains("rib.mrt") || stderr.contains("whois/") || stderr.contains("rpki.jsonl"),
+        "diagnostic names no file:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(" at byte ") || stderr.contains(" at line "),
+        "diagnostic has no offset:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("Mrt") || stderr.contains("Rpsl") || stderr.contains("Rpki"),
+        "diagnostic names no error variant:\n{stderr}"
+    );
+
+    // The same directory builds fine without --strict.
+    let out = run(&["build", "--in", dir_s, "--out", dataset.to_str().unwrap()]);
+    assert!(out.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     // Unknown command.
     let out = run(&["frobnicate"]);

@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use p2o_util::ingest::{IngestErrorKind, IngestLayer, Quarantine, QuarantineSummary};
 use p2o_util::json::Json;
 
 /// A monotonically increasing event counter.
@@ -337,7 +338,40 @@ impl Obs {
             stages,
             counters,
             histograms,
+            data_quality: None,
         }
+    }
+}
+
+/// Counter names ticked by [`record_quarantine`]: the aggregate, one per
+/// layer, and one per error variant (suffix = the variant's
+/// `counter_suffix`). Registering them up front (via
+/// [`register_ingest_counters`]) keeps clean runs and corrupted runs
+/// structurally identical in reports and Prometheus exports.
+pub const INGEST_QUARANTINED: &str = "ingest.quarantined";
+
+/// Registers the full quarantine counter family at zero.
+pub fn register_ingest_counters(obs: &Obs) {
+    obs.counter(INGEST_QUARANTINED);
+    for layer in IngestLayer::ALL {
+        obs.counter(&format!("{INGEST_QUARANTINED}.{}", layer.name()));
+    }
+    for kind in IngestErrorKind::ALL {
+        obs.counter(&format!("{INGEST_QUARANTINED}.{}", kind.counter_suffix()));
+    }
+}
+
+/// Adds a quarantine store's counts onto the counter family registered by
+/// [`register_ingest_counters`].
+pub fn record_quarantine(obs: &Obs, quarantine: &Quarantine) {
+    obs.counter(INGEST_QUARANTINED).add(quarantine.len());
+    for layer in IngestLayer::ALL {
+        obs.counter(&format!("{INGEST_QUARANTINED}.{}", layer.name()))
+            .add(quarantine.count_for_layer(layer));
+    }
+    for kind in IngestErrorKind::ALL {
+        obs.counter(&format!("{INGEST_QUARANTINED}.{}", kind.counter_suffix()))
+            .add(quarantine.count_for_kind(kind));
     }
 }
 
@@ -421,6 +455,9 @@ pub struct RunReport {
     pub counters: Vec<(String, u64)>,
     /// Histograms in registration order.
     pub histograms: Vec<HistogramReport>,
+    /// Ingest quarantine summary, when the run parsed external inputs
+    /// leniently (`None` for runs without an ingest phase).
+    pub data_quality: Option<QuarantineSummary>,
 }
 
 impl RunReport {
@@ -479,6 +516,9 @@ impl RunReport {
             hists.push(obj);
         }
         root.set("histograms", Json::Arr(hists));
+        if let Some(dq) = &self.data_quality {
+            root.set("data_quality", dq.to_json());
+        }
         root
     }
 
@@ -545,10 +585,15 @@ impl RunReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let data_quality = doc
+            .get("data_quality")
+            .map(QuarantineSummary::from_json)
+            .transpose()?;
         Ok(RunReport {
             stages,
             counters,
             histograms,
+            data_quality,
         })
     }
 
@@ -596,6 +641,18 @@ impl RunReport {
                     h.quantile(0.99),
                     h.max,
                 ));
+            }
+        }
+        if let Some(dq) = &self.data_quality {
+            out.push_str("data quality\n");
+            out.push_str(&format!(
+                "  {:width$}  {:>10}\n",
+                "quarantined", dq.quarantined
+            ));
+            for (layer, count) in &dq.per_layer {
+                if *count > 0 {
+                    out.push_str(&format!("  {layer:width$}  {count:>10}\n"));
+                }
             }
         }
         out
@@ -695,6 +752,35 @@ mod tests {
         assert_eq!(back.stages[0].name, "stage-a");
         assert_eq!(back.histograms.len(), 1);
         assert_eq!(back.histograms[0].count, 1);
+        assert_eq!(back.data_quality, None);
+    }
+
+    #[test]
+    fn data_quality_round_trips_and_ticks_counters() {
+        use p2o_util::ingest::QuarantinedRecord;
+        let obs = Obs::new();
+        register_ingest_counters(&obs);
+        let mut q = Quarantine::default();
+        q.push(QuarantinedRecord::new(
+            IngestErrorKind::MrtBadType,
+            24,
+            &[0xDE, 0xAD],
+            "record type 0x2222 is not TABLE_DUMP_V2",
+        ));
+        record_quarantine(&obs, &q);
+        let mut report = obs.report();
+        assert_eq!(report.counter("ingest.quarantined"), Some(1));
+        assert_eq!(report.counter("ingest.quarantined.mrt"), Some(1));
+        assert_eq!(report.counter("ingest.quarantined.whois"), Some(0));
+        assert_eq!(report.counter("ingest.quarantined.mrt_bad_type"), Some(1));
+        report.data_quality = Some(q.summary(4));
+        let text = report.to_json_string();
+        let doc = p2o_util::Json::parse(&text).expect("valid json");
+        let back = RunReport::from_json(&doc).expect("parses");
+        let dq = back.data_quality.expect("data_quality present");
+        assert_eq!(dq.quarantined, 1);
+        assert_eq!(dq.samples.len(), 1);
+        assert!(report.summary_table().contains("data quality"));
     }
 
     #[test]

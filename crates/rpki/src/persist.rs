@@ -10,6 +10,7 @@
 //! number without loss; they are stored as decimal strings.
 
 use p2o_net::Prefix;
+use p2o_util::ingest::{IngestErrorKind, QuarantinedRecord};
 use p2o_util::{Digest, Json};
 
 use crate::cert::{CertId, ResourceCert, Roa, RoaPrefix};
@@ -131,73 +132,117 @@ pub fn from_jsonl(text: &str) -> Result<RpkiRepository, String> {
         if raw.trim().is_empty() {
             continue;
         }
-        let doc = Json::parse(raw).map_err(|e| format!("line {}: {e}", idx + 1))?;
-        let line = LineReader { doc: &doc, idx };
-        match line.str_field("type")? {
-            "cert" => {
-                let issuer = match line.field("issuer")? {
-                    Json::Null => None,
-                    v => Some(
-                        v.as_str()
-                            .and_then(|s| s.parse::<u64>().ok())
-                            .ok_or_else(|| format!("line {}: bad issuer", idx + 1))?,
-                    ),
-                };
-                let resources: IpResourceSet = line
-                    .field("resources")?
-                    .as_array()
-                    .ok_or_else(|| format!("line {}: resources is not an array", idx + 1))?
-                    .iter()
-                    .map(|v| line.prefix(v))
-                    .collect::<Result<Vec<Prefix>, String>>()?
-                    .into_iter()
-                    .collect();
-                repo.restore_cert(ResourceCert {
-                    id: CertId(Digest(line.u64_field("id")?)),
-                    issuer: issuer.map(|i| CertId(Digest(i))),
-                    subject: line.str_field("subject")?.to_string(),
-                    resources,
-                    not_before: line.u32_field("not_before")?,
-                    not_after: line.u32_field("not_after")?,
-                    signature: Digest(line.u64_field("signature")?),
-                });
-            }
-            "roa" => {
-                let prefixes = line
-                    .field("prefixes")?
-                    .as_array()
-                    .ok_or_else(|| format!("line {}: prefixes is not an array", idx + 1))?
-                    .iter()
-                    .map(|pair| {
-                        let items = pair
-                            .as_array()
-                            .filter(|a| a.len() == 2)
-                            .ok_or_else(|| format!("line {}: bad roa prefix pair", idx + 1))?;
-                        let max_len = items[1]
-                            .as_u64()
-                            .and_then(|v| u8::try_from(v).ok())
-                            .ok_or_else(|| format!("line {}: bad max_len", idx + 1))?;
-                        Ok(RoaPrefix {
-                            prefix: line.prefix(&items[0])?,
-                            max_len,
-                        })
-                    })
-                    .collect::<Result<Vec<RoaPrefix>, String>>()?;
-                repo.restore_roa(Roa {
-                    asn: line.u32_field("asn")?,
-                    prefixes,
-                    parent: CertId(Digest(line.u64_field("parent")?)),
-                    not_before: line.u32_field("not_before")?,
-                    not_after: line.u32_field("not_after")?,
-                    signature: Digest(line.u64_field("signature")?),
-                });
-            }
-            other => {
-                return Err(format!("line {}: unknown object type {other:?}", idx + 1));
-            }
-        }
+        restore_line(idx, raw, &mut repo)?;
     }
     Ok(repo)
+}
+
+/// Lenient variant of [`from_jsonl`]: a line that fails to restore is
+/// quarantined (typed, with its 1-based line number and a hex excerpt)
+/// instead of aborting the load. The repository holds exactly the objects
+/// from the surviving lines, restored in file order.
+pub fn from_jsonl_lenient(text: &str) -> (RpkiRepository, Vec<QuarantinedRecord>) {
+    let mut repo = RpkiRepository::new();
+    let mut quarantined = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        if let Err(message) = restore_line(idx, raw, &mut repo) {
+            quarantined.push(QuarantinedRecord::new(
+                classify_rpki_error(&message),
+                (idx + 1) as u64,
+                raw.as_bytes(),
+                message,
+            ));
+        }
+    }
+    (repo, quarantined)
+}
+
+/// Maps a [`restore_line`] error message onto the ingest taxonomy.
+fn classify_rpki_error(message: &str) -> IngestErrorKind {
+    if message.contains("unknown object type") {
+        IngestErrorKind::RpkiBadObject
+    } else if message.contains("prefix")
+        || message.contains("resources")
+        || message.contains("max_len")
+    {
+        IngestErrorKind::RpkiBadResource
+    } else {
+        IngestErrorKind::RpkiBadLine
+    }
+}
+
+/// Restores one JSONL object line into `repo`. Errors are prefixed with
+/// the 1-based line number (`idx + 1`).
+fn restore_line(idx: usize, raw: &str, repo: &mut RpkiRepository) -> Result<(), String> {
+    let doc = Json::parse(raw).map_err(|e| format!("line {}: {e}", idx + 1))?;
+    let line = LineReader { doc: &doc, idx };
+    match line.str_field("type")? {
+        "cert" => {
+            let issuer = match line.field("issuer")? {
+                Json::Null => None,
+                v => Some(
+                    v.as_str()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| format!("line {}: bad issuer", idx + 1))?,
+                ),
+            };
+            let resources: IpResourceSet = line
+                .field("resources")?
+                .as_array()
+                .ok_or_else(|| format!("line {}: resources is not an array", idx + 1))?
+                .iter()
+                .map(|v| line.prefix(v))
+                .collect::<Result<Vec<Prefix>, String>>()?
+                .into_iter()
+                .collect();
+            repo.restore_cert(ResourceCert {
+                id: CertId(Digest(line.u64_field("id")?)),
+                issuer: issuer.map(|i| CertId(Digest(i))),
+                subject: line.str_field("subject")?.to_string(),
+                resources,
+                not_before: line.u32_field("not_before")?,
+                not_after: line.u32_field("not_after")?,
+                signature: Digest(line.u64_field("signature")?),
+            });
+        }
+        "roa" => {
+            let prefixes = line
+                .field("prefixes")?
+                .as_array()
+                .ok_or_else(|| format!("line {}: prefixes is not an array", idx + 1))?
+                .iter()
+                .map(|pair| {
+                    let items = pair
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| format!("line {}: bad roa prefix pair", idx + 1))?;
+                    let max_len = items[1]
+                        .as_u64()
+                        .and_then(|v| u8::try_from(v).ok())
+                        .ok_or_else(|| format!("line {}: bad max_len", idx + 1))?;
+                    Ok(RoaPrefix {
+                        prefix: line.prefix(&items[0])?,
+                        max_len,
+                    })
+                })
+                .collect::<Result<Vec<RoaPrefix>, String>>()?;
+            repo.restore_roa(Roa {
+                asn: line.u32_field("asn")?,
+                prefixes,
+                parent: CertId(Digest(line.u64_field("parent")?)),
+                not_before: line.u32_field("not_before")?,
+                not_after: line.u32_field("not_after")?,
+                signature: Digest(line.u64_field("signature")?),
+            });
+        }
+        other => {
+            return Err(format!("line {}: unknown object type {other:?}", idx + 1));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -280,6 +325,50 @@ mod tests {
         text.push_str("{\"type\":\"alien\"}\n");
         let err = from_jsonl(&text).unwrap_err();
         assert!(err.contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn lenient_load_quarantines_bad_lines_and_keeps_the_rest() {
+        let clean = to_jsonl(&sample_repo());
+        let mut lines: Vec<String> = clean.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 3);
+        // Garble the ROA line (line 3) and interleave junk before it.
+        let victim = lines[2].clone();
+        lines[2].truncate(victim.len() / 2);
+        lines.insert(2, "{\"type\":\"alien\"}".to_string());
+        let dirty = lines.join("\n") + "\n";
+
+        let (repo, quarantined) = from_jsonl_lenient(&dirty);
+        assert_eq!(quarantined.len(), 2);
+        assert_eq!(quarantined[0].kind, IngestErrorKind::RpkiBadObject);
+        assert_eq!(quarantined[0].offset, 3);
+        assert_eq!(quarantined[1].kind, IngestErrorKind::RpkiBadLine);
+        assert_eq!(quarantined[1].offset, 4);
+        assert_eq!(repo.cert_count(), 2);
+        assert_eq!(repo.roa_count(), 0);
+
+        // The surviving repository equals a strict parse of the clean text
+        // minus the victim lines.
+        let reduced = from_jsonl(&(lines[0].clone() + "\n" + &lines[1] + "\n")).unwrap();
+        assert_eq!(repo.cert_count(), reduced.cert_count());
+        let (a, pa) = repo.validate(20240901);
+        let (b, pb) = reduced.validate(20240901);
+        assert_eq!(pa, pb);
+        assert_eq!(a.cert_count(), b.cert_count());
+
+        // Clean input round-trips with nothing quarantined.
+        let (repo, quarantined) = from_jsonl_lenient(&clean);
+        assert!(quarantined.is_empty());
+        assert_eq!(repo.roa_count(), 1);
+    }
+
+    #[test]
+    fn bad_resources_classify_as_resource_errors() {
+        let clean = to_jsonl(&sample_repo());
+        let dirty = clean.replacen("63.0.0.0/8", "999.999.0.0/99", 1);
+        let (_, quarantined) = from_jsonl_lenient(&dirty);
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].kind, IngestErrorKind::RpkiBadResource);
     }
 
     #[test]

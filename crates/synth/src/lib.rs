@@ -33,6 +33,7 @@
 
 pub mod carver;
 pub mod config;
+pub mod corrupt;
 pub mod names;
 pub mod truth;
 pub mod world;

@@ -1,0 +1,556 @@
+//! Typed ingest-error taxonomy and the record quarantine store.
+//!
+//! Real-world inputs — bulk WHOIS dumps, MRT RIB snapshots, RPKI
+//! repositories — are dirty. The paper's pipeline must degrade gracefully:
+//! skip the bad record, keep the run, and account for every drop. This
+//! module is the shared vocabulary for that:
+//!
+//! - [`IngestErrorKind`] / [`IngestLayer`] — the per-layer error taxonomy
+//!   every parser classifies its failures into.
+//! - [`IngestError`] — a strict-mode abort diagnostic naming the file, the
+//!   offset (bytes for MRT, lines for text inputs), and the variant.
+//! - [`QuarantinedRecord`] / [`Quarantine`] — the lenient-mode store that
+//!   captures every rejected record with a truncated hex excerpt, feeding
+//!   the `ingest.quarantined*` counters and the `data_quality` report
+//!   section ([`QuarantineSummary`]).
+//!
+//! The parsers themselves return plain `Vec<QuarantinedRecord>` values (no
+//! shared state), so parallel parse shards stay deterministic; the
+//! orchestrator merges them into one [`Quarantine`] and stamps file names.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Which input layer a rejected record came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IngestLayer {
+    /// Binary MRT RIB dumps (offsets are byte offsets).
+    Mrt,
+    /// Bulk WHOIS / registry text (offsets are 1-based line numbers).
+    Whois,
+    /// RPKI repository JSONL (offsets are 1-based line numbers).
+    Rpki,
+}
+
+impl IngestLayer {
+    /// Stable lowercase name used in counters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IngestLayer::Mrt => "mrt",
+            IngestLayer::Whois => "whois",
+            IngestLayer::Rpki => "rpki",
+        }
+    }
+
+    /// What this layer's offsets count.
+    pub fn offset_unit(self) -> &'static str {
+        match self {
+            IngestLayer::Mrt => "byte",
+            IngestLayer::Whois | IngestLayer::Rpki => "line",
+        }
+    }
+
+    /// All layers, in report order.
+    pub const ALL: [IngestLayer; 3] = [IngestLayer::Mrt, IngestLayer::Whois, IngestLayer::Rpki];
+}
+
+/// The typed error taxonomy: every way a record can be rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IngestErrorKind {
+    /// MRT input ended inside a record header or body (mid-record EOF).
+    MrtTruncated,
+    /// An MRT record header carries a type other than TABLE_DUMP_V2.
+    MrtBadType,
+    /// An MRT length field is a lie: the claimed body overruns the input
+    /// but a plausible record header follows, so the length was corrupt.
+    MrtBadLength,
+    /// An MRT record framed correctly but its RIB body failed to decode.
+    MrtBadRecord,
+    /// A WHOIS dump ended mid-object (the final object is cut mid-line).
+    RpslUnterminated,
+    /// An RPSL-ish object carries an attribute with an unparseable value.
+    RpslBadAttr,
+    /// An RPSL-ish network object has an unparseable network field.
+    RpslBadNet,
+    /// An RPSL-ish object is missing a required attribute entirely.
+    RpslBadObject,
+    /// An RPKI JSONL line is not valid JSON or is missing required fields.
+    RpkiBadLine,
+    /// An RPKI object carries an unparseable resource (prefix, max_len).
+    RpkiBadResource,
+    /// An RPKI line declares an unknown object type.
+    RpkiBadObject,
+}
+
+impl IngestErrorKind {
+    /// The variant name as it appears in diagnostics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IngestErrorKind::MrtTruncated => "MrtTruncated",
+            IngestErrorKind::MrtBadType => "MrtBadType",
+            IngestErrorKind::MrtBadLength => "MrtBadLength",
+            IngestErrorKind::MrtBadRecord => "MrtBadRecord",
+            IngestErrorKind::RpslUnterminated => "RpslUnterminated",
+            IngestErrorKind::RpslBadAttr => "RpslBadAttr",
+            IngestErrorKind::RpslBadNet => "RpslBadNet",
+            IngestErrorKind::RpslBadObject => "RpslBadObject",
+            IngestErrorKind::RpkiBadLine => "RpkiBadLine",
+            IngestErrorKind::RpkiBadResource => "RpkiBadResource",
+            IngestErrorKind::RpkiBadObject => "RpkiBadObject",
+        }
+    }
+
+    /// Snake-case counter suffix (`ingest.quarantined.<suffix>`).
+    pub fn counter_suffix(self) -> &'static str {
+        match self {
+            IngestErrorKind::MrtTruncated => "mrt_truncated",
+            IngestErrorKind::MrtBadType => "mrt_bad_type",
+            IngestErrorKind::MrtBadLength => "mrt_bad_length",
+            IngestErrorKind::MrtBadRecord => "mrt_bad_record",
+            IngestErrorKind::RpslUnterminated => "rpsl_unterminated",
+            IngestErrorKind::RpslBadAttr => "rpsl_bad_attr",
+            IngestErrorKind::RpslBadNet => "rpsl_bad_net",
+            IngestErrorKind::RpslBadObject => "rpsl_bad_object",
+            IngestErrorKind::RpkiBadLine => "rpki_bad_line",
+            IngestErrorKind::RpkiBadResource => "rpki_bad_resource",
+            IngestErrorKind::RpkiBadObject => "rpki_bad_object",
+        }
+    }
+
+    /// The layer this variant belongs to.
+    pub fn layer(self) -> IngestLayer {
+        match self {
+            IngestErrorKind::MrtTruncated
+            | IngestErrorKind::MrtBadType
+            | IngestErrorKind::MrtBadLength
+            | IngestErrorKind::MrtBadRecord => IngestLayer::Mrt,
+            IngestErrorKind::RpslUnterminated
+            | IngestErrorKind::RpslBadAttr
+            | IngestErrorKind::RpslBadNet
+            | IngestErrorKind::RpslBadObject => IngestLayer::Whois,
+            IngestErrorKind::RpkiBadLine
+            | IngestErrorKind::RpkiBadResource
+            | IngestErrorKind::RpkiBadObject => IngestLayer::Rpki,
+        }
+    }
+
+    /// Every variant, in taxonomy order (counter registration order).
+    pub const ALL: [IngestErrorKind; 11] = [
+        IngestErrorKind::MrtTruncated,
+        IngestErrorKind::MrtBadType,
+        IngestErrorKind::MrtBadLength,
+        IngestErrorKind::MrtBadRecord,
+        IngestErrorKind::RpslUnterminated,
+        IngestErrorKind::RpslBadAttr,
+        IngestErrorKind::RpslBadNet,
+        IngestErrorKind::RpslBadObject,
+        IngestErrorKind::RpkiBadLine,
+        IngestErrorKind::RpkiBadResource,
+        IngestErrorKind::RpkiBadObject,
+    ];
+
+    /// Inverse of [`name`](Self::name), for report round-trips.
+    pub fn parse(name: &str) -> Option<IngestErrorKind> {
+        IngestErrorKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for IngestErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed ingest failure: what strict mode aborts with.
+///
+/// The `Display` form is the one-line diagnostic the CLI prints before
+/// exiting with code 2: file, offset (in the layer's unit), variant,
+/// detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestError {
+    /// The error variant.
+    pub kind: IngestErrorKind,
+    /// The input file (or source label) the record came from.
+    pub file: String,
+    /// Byte offset (MRT) or 1-based line number (text layers).
+    pub offset: u64,
+    /// Parser detail, e.g. the underlying parse error text.
+    pub message: String,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} at {} {}: {}",
+            self.file,
+            self.kind.name(),
+            self.kind.layer().offset_unit(),
+            self.offset,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// One rejected record, as captured by a lenient parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// The error variant the record was rejected with.
+    pub kind: IngestErrorKind,
+    /// Byte offset (MRT) or 1-based line number (text layers) of the
+    /// record start.
+    pub offset: u64,
+    /// Truncated hex excerpt of the record's leading bytes.
+    pub excerpt: String,
+    /// Parser detail.
+    pub message: String,
+    /// Source file; parsers leave this empty, the orchestrator stamps it.
+    pub file: String,
+}
+
+impl QuarantinedRecord {
+    /// Builds a record with an excerpt taken from `raw`; `file` is left
+    /// empty for the orchestrator to stamp.
+    pub fn new(kind: IngestErrorKind, offset: u64, raw: &[u8], message: impl Into<String>) -> Self {
+        QuarantinedRecord {
+            kind,
+            offset,
+            excerpt: hex_excerpt(raw, EXCERPT_BYTES),
+            message: message.into(),
+            file: String::new(),
+        }
+    }
+
+    /// The strict-mode diagnostic equivalent of this record.
+    pub fn to_error(&self) -> IngestError {
+        IngestError {
+            kind: self.kind,
+            file: self.file.clone(),
+            offset: self.offset,
+            message: self.message.clone(),
+        }
+    }
+}
+
+/// How many leading bytes of a rejected record the excerpt keeps.
+pub const EXCERPT_BYTES: usize = 16;
+
+/// Renders up to `max` bytes as a spaced hex excerpt, with a trailing
+/// ellipsis when truncated: `"de ad be ef …"`.
+pub fn hex_excerpt(bytes: &[u8], max: usize) -> String {
+    let mut out = String::with_capacity(3 * max + 1);
+    for (i, b) in bytes.iter().take(max).enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{b:02x}"));
+    }
+    if bytes.len() > max {
+        out.push_str(" …");
+    }
+    out
+}
+
+/// The quarantine store: every record rejected during one ingest run.
+///
+/// Counts are always complete; only the stored sample records are capped
+/// (at [`MAX_STORED`](Self::MAX_STORED)) so a pathologically corrupt input
+/// cannot balloon memory.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Quarantine {
+    records: Vec<QuarantinedRecord>,
+    dropped: u64,
+    per_kind: Vec<(IngestErrorKind, u64)>,
+}
+
+impl Quarantine {
+    /// Cap on stored sample records; counts keep accumulating past it.
+    pub const MAX_STORED: usize = 4096;
+
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one rejected record.
+    pub fn push(&mut self, record: QuarantinedRecord) {
+        match self.per_kind.iter_mut().find(|(k, _)| *k == record.kind) {
+            Some((_, n)) => *n += 1,
+            None => self.per_kind.push((record.kind, 1)),
+        }
+        if self.records.len() < Self::MAX_STORED {
+            self.records.push(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Adds a batch from one source file, stamping `file` on each record.
+    pub fn extend_from_file(&mut self, file: &str, records: Vec<QuarantinedRecord>) {
+        for mut r in records {
+            r.file = file.to_string();
+            self.push(r);
+        }
+    }
+
+    /// Total rejected records (including any past the storage cap).
+    pub fn len(&self) -> u64 {
+        self.records.len() as u64 + self.dropped
+    }
+
+    /// Whether nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored sample records, in insertion order.
+    pub fn records(&self) -> &[QuarantinedRecord] {
+        &self.records
+    }
+
+    /// Rejected-record count for one layer.
+    pub fn count_for_layer(&self, layer: IngestLayer) -> u64 {
+        self.per_kind
+            .iter()
+            .filter(|(k, _)| k.layer() == layer)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Rejected-record count for one variant.
+    pub fn count_for_kind(&self, kind: IngestErrorKind) -> u64 {
+        self.per_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// The stored record with the lowest `(file, offset)` — strict mode's
+    /// "first bad record".
+    pub fn first(&self) -> Option<&QuarantinedRecord> {
+        self.records
+            .iter()
+            .min_by(|a, b| (&a.file, a.offset).cmp(&(&b.file, b.offset)))
+    }
+
+    /// Snapshot for the `data_quality` report section, keeping at most
+    /// `max_samples` sample records.
+    pub fn summary(&self, max_samples: usize) -> QuarantineSummary {
+        let mut per_kind: Vec<(String, u64)> = self
+            .per_kind
+            .iter()
+            .map(|(k, n)| (k.name().to_string(), *n))
+            .collect();
+        per_kind.sort();
+        QuarantineSummary {
+            quarantined: self.len(),
+            per_layer: IngestLayer::ALL
+                .iter()
+                .map(|&l| (l.name().to_string(), self.count_for_layer(l)))
+                .collect(),
+            per_kind,
+            samples: self.records.iter().take(max_samples).cloned().collect(),
+        }
+    }
+}
+
+/// The `data_quality` section of a run report: aggregate quarantine counts
+/// plus a few sample records.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct QuarantineSummary {
+    /// Total rejected records.
+    pub quarantined: u64,
+    /// `(layer name, count)` for every layer, in report order.
+    pub per_layer: Vec<(String, u64)>,
+    /// `(variant name, count)` for variants that rejected anything, sorted.
+    pub per_kind: Vec<(String, u64)>,
+    /// Up to a handful of sample rejected records.
+    pub samples: Vec<QuarantinedRecord>,
+}
+
+impl QuarantineSummary {
+    /// Serializes to the `data_quality` JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set("quarantined", self.quarantined);
+        let mut layers = Json::object();
+        for (name, n) in &self.per_layer {
+            layers.set(name.clone(), *n);
+        }
+        root.set("per_layer", layers);
+        let mut kinds = Json::object();
+        for (name, n) in &self.per_kind {
+            kinds.set(name.clone(), *n);
+        }
+        root.set("per_kind", kinds);
+        let samples: Vec<Json> = self
+            .samples
+            .iter()
+            .map(|s| {
+                let mut o = Json::object();
+                o.set("file", s.file.as_str());
+                o.set("kind", s.kind.name());
+                o.set("offset", s.offset);
+                o.set("excerpt", s.excerpt.as_str());
+                o.set("message", s.message.as_str());
+                o
+            })
+            .collect();
+        root.set("samples", Json::Arr(samples));
+        root
+    }
+
+    /// Parses a `data_quality` JSON object back into a summary.
+    pub fn from_json(json: &Json) -> Result<QuarantineSummary, String> {
+        let quarantined = json
+            .get("quarantined")
+            .and_then(Json::as_u64)
+            .ok_or("data_quality: missing quarantined count")?;
+        let pairs = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            match json.get(key) {
+                None => Ok(Vec::new()),
+                Some(obj) => obj
+                    .as_object()
+                    .ok_or(format!("data_quality: {key} is not an object"))?
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_u64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or(format!("data_quality: {key}.{k} is not a count"))
+                    })
+                    .collect(),
+            }
+        };
+        let mut samples = Vec::new();
+        if let Some(arr) = json.get("samples").and_then(Json::as_array) {
+            for s in arr {
+                let field = |key: &str| -> Result<String, String> {
+                    s.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("data_quality sample: missing {key}"))
+                };
+                let kind_name = field("kind")?;
+                samples.push(QuarantinedRecord {
+                    kind: IngestErrorKind::parse(&kind_name)
+                        .ok_or(format!("data_quality sample: unknown kind {kind_name:?}"))?,
+                    offset: s
+                        .get("offset")
+                        .and_then(Json::as_u64)
+                        .ok_or("data_quality sample: missing offset")?,
+                    excerpt: field("excerpt")?,
+                    message: field("message")?,
+                    file: field("file")?,
+                });
+            }
+        }
+        Ok(QuarantineSummary {
+            quarantined,
+            per_layer: pairs("per_layer")?,
+            per_kind: pairs("per_kind")?,
+            samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: IngestErrorKind, offset: u64) -> QuarantinedRecord {
+        QuarantinedRecord::new(kind, offset, b"\xde\xad\xbe\xef", "boom")
+    }
+
+    #[test]
+    fn every_kind_maps_to_its_layer_and_back() {
+        for kind in IngestErrorKind::ALL {
+            assert_eq!(IngestErrorKind::parse(kind.name()), Some(kind));
+            assert!(!kind.counter_suffix().is_empty());
+            assert!(IngestLayer::ALL.contains(&kind.layer()));
+        }
+        assert_eq!(IngestErrorKind::parse("NotAKind"), None);
+    }
+
+    #[test]
+    fn hex_excerpt_truncates_with_ellipsis() {
+        assert_eq!(hex_excerpt(b"\xde\xad\xbe\xef", 16), "de ad be ef");
+        assert_eq!(hex_excerpt(b"\x00\x01\x02", 2), "00 01 …");
+        assert_eq!(hex_excerpt(b"", 4), "");
+    }
+
+    #[test]
+    fn error_display_names_file_offset_and_variant() {
+        let e = IngestError {
+            kind: IngestErrorKind::MrtBadLength,
+            file: "rib.mrt".into(),
+            offset: 1024,
+            message: "record body exceeds input".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "rib.mrt: MrtBadLength at byte 1024: record body exceeds input"
+        );
+        let w = IngestError {
+            kind: IngestErrorKind::RpslBadNet,
+            file: "whois/RIPE.txt".into(),
+            offset: 7,
+            message: "bad inetnum".into(),
+        };
+        assert!(w.to_string().contains("at line 7"));
+    }
+
+    #[test]
+    fn quarantine_counts_per_layer_and_kind() {
+        let mut q = Quarantine::new();
+        q.extend_from_file(
+            "rib.mrt",
+            vec![
+                rec(IngestErrorKind::MrtBadType, 12),
+                rec(IngestErrorKind::MrtBadType, 40),
+            ],
+        );
+        q.extend_from_file("whois/RIPE.txt", vec![rec(IngestErrorKind::RpslBadNet, 3)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.count_for_layer(IngestLayer::Mrt), 2);
+        assert_eq!(q.count_for_layer(IngestLayer::Whois), 1);
+        assert_eq!(q.count_for_layer(IngestLayer::Rpki), 0);
+        assert_eq!(q.count_for_kind(IngestErrorKind::MrtBadType), 2);
+        assert_eq!(q.records()[0].file, "rib.mrt");
+        let first = q.first().expect("nonempty");
+        assert_eq!((first.file.as_str(), first.offset), ("rib.mrt", 12));
+    }
+
+    #[test]
+    fn storage_cap_keeps_counts_complete() {
+        let mut q = Quarantine::new();
+        for i in 0..(Quarantine::MAX_STORED as u64 + 10) {
+            q.push(rec(IngestErrorKind::RpkiBadLine, i));
+        }
+        assert_eq!(q.len(), Quarantine::MAX_STORED as u64 + 10);
+        assert_eq!(q.records().len(), Quarantine::MAX_STORED);
+        assert_eq!(
+            q.count_for_kind(IngestErrorKind::RpkiBadLine),
+            Quarantine::MAX_STORED as u64 + 10
+        );
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut q = Quarantine::new();
+        q.extend_from_file("rpki.jsonl", vec![rec(IngestErrorKind::RpkiBadResource, 9)]);
+        let summary = q.summary(8);
+        let text = summary.to_json().to_string();
+        let back = QuarantineSummary::from_json(&Json::parse(&text).expect("valid json"))
+            .expect("round trip");
+        assert_eq!(back, summary);
+        assert_eq!(back.quarantined, 1);
+        assert_eq!(back.samples[0].excerpt, "de ad be ef");
+    }
+}

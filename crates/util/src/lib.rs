@@ -18,15 +18,19 @@
 //!   `serde_json` goes through this instead.
 //! - [`check`] — a miniature deterministic property-testing harness
 //!   standing in for `proptest` under the same no-registry constraint.
+//! - [`ingest`] — the typed ingest-error taxonomy and record quarantine
+//!   store shared by the MRT, WHOIS, and RPKI parsers.
 
 pub mod check;
 pub mod digest;
+pub mod ingest;
 pub mod interner;
 pub mod json;
 pub mod tsv;
 pub mod union_find;
 
 pub use digest::{fnv1a_64, Digest};
+pub use ingest::{IngestError, IngestErrorKind, IngestLayer, Quarantine, QuarantinedRecord};
 pub use interner::{ConcurrentInterner, Interner, Symbol};
 pub use json::Json;
 pub use union_find::UnionFind;

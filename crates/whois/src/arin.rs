@@ -5,6 +5,7 @@
 //! `NetType` (the allocation type) and an inline `OrgName`.
 
 use p2o_net::{IpRange, Range4, Range6};
+use p2o_util::ingest::IngestErrorKind;
 
 use crate::alloc::AllocationType;
 use crate::record::{parse_date_ordinal, OrgRef, RawWhoisRecord};
@@ -34,32 +35,52 @@ pub fn parse_dump(text: &str) -> ArinDump {
                 .find(|(k, _)| k.eq_ignore_ascii_case(key))
                 .map(|(_, v)| v.as_str())
         };
+        let head = block
+            .attrs
+            .first()
+            .map(|(k, v)| format!("{k}: {v}"))
+            .unwrap_or_default();
+        if block.unterminated {
+            dump.problems.push(RpslProblem::new(
+                block.line,
+                IngestErrorKind::RpslUnterminated,
+                &head,
+                "dump truncated mid-block (no terminating newline)",
+            ));
+            continue;
+        }
         let Some(net_range) = get("NetRange") else {
             continue;
         };
         let net = match parse_net_range(net_range) {
             Ok(net) => net,
             Err(e) => {
-                dump.problems.push(RpslProblem {
-                    line: block.line,
-                    message: format!("bad NetRange {net_range:?}: {e}"),
-                });
+                dump.problems.push(RpslProblem::new(
+                    block.line,
+                    IngestErrorKind::RpslBadNet,
+                    &head,
+                    format!("bad NetRange {net_range:?}: {e}"),
+                ));
                 continue;
             }
         };
         let Some(org_name) = get("OrgName") else {
-            dump.problems.push(RpslProblem {
-                line: block.line,
-                message: "missing OrgName".into(),
-            });
+            dump.problems.push(RpslProblem::new(
+                block.line,
+                IngestErrorKind::RpslBadObject,
+                &head,
+                "missing OrgName",
+            ));
             continue;
         };
         let alloc = get("NetType").and_then(|t| AllocationType::parse_keyword(Rir::Arin, t));
         if alloc.is_none() {
-            dump.problems.push(RpslProblem {
-                line: block.line,
-                message: format!("missing or unknown NetType {:?}", get("NetType")),
-            });
+            dump.problems.push(RpslProblem::new(
+                block.line,
+                IngestErrorKind::RpslBadAttr,
+                &head,
+                format!("missing or unknown NetType {:?}", get("NetType")),
+            ));
             continue;
         }
         let last_modified = get("Updated").map(parse_date_ordinal).unwrap_or(0);
@@ -77,6 +98,7 @@ pub fn parse_dump(text: &str) -> ArinDump {
 struct Block {
     line: usize,
     attrs: Vec<(String, String)>,
+    unterminated: bool,
 }
 
 fn blocks(text: &str) -> Vec<Block> {
@@ -93,6 +115,7 @@ fn blocks(text: &str) -> Vec<Block> {
                 out.push(Block {
                     line: start,
                     attrs: std::mem::take(&mut attrs),
+                    unterminated: false,
                 });
             }
             continue;
@@ -105,9 +128,23 @@ fn blocks(text: &str) -> Vec<Block> {
         }
     }
     if !attrs.is_empty() {
-        out.push(Block { line: start, attrs });
+        out.push(Block {
+            line: start,
+            attrs,
+            unterminated: ends_mid_block(text),
+        });
     }
     out
+}
+
+/// Whether the dump was cut mid-block: no trailing newline and a final
+/// colon-less, non-comment fragment (an attribute key severed by EOF).
+fn ends_mid_block(text: &str) -> bool {
+    !text.ends_with('\n')
+        && text.lines().next_back().is_some_and(|last| {
+            let t = last.trim_end();
+            !t.is_empty() && !t.starts_with('#') && !t.contains(':')
+        })
 }
 
 fn parse_net_range(field: &str) -> Result<IpRange, String> {
@@ -220,6 +257,16 @@ Updated:        2024-01-01
         assert!(dump.records.is_empty());
         assert_eq!(dump.problems.len(), 1);
         assert_eq!(dump.problems[0].line, 1);
+    }
+
+    #[test]
+    fn truncated_final_block_is_quarantined() {
+        let cut = ARIN_DUMP.rfind("Updated:").expect("final Updated attr") + 5;
+        let text = &ARIN_DUMP[..cut];
+        let dump = parse_dump(text);
+        assert_eq!(dump.records.len(), 2, "first two blocks survive");
+        assert_eq!(dump.problems.len(), 1);
+        assert_eq!(dump.problems[0].kind, IngestErrorKind::RpslUnterminated);
     }
 
     #[test]

@@ -177,6 +177,7 @@ pub fn redelegation_stats(tree: &DelegationTree) -> RedelegationStats {
 pub struct WhoisDb {
     records: Vec<RawWhoisRecord>,
     orgs: HashMap<String, String>,
+    problems: Vec<crate::rpsl::RpslProblem>,
     obs: Option<p2o_obs::Obs>,
 }
 
@@ -209,7 +210,9 @@ impl WhoisDb {
         self.tick("whois.records", dump.records.len() as u64);
         self.tick("whois.malformed", dump.problems.len() as u64);
         self.records.extend(dump.records);
-        dump.problems.len()
+        let n = dump.problems.len();
+        self.problems.extend(dump.problems);
+        n
     }
 
     /// Ingests an ARIN-flavour dump. Returns the number of problems.
@@ -218,7 +221,9 @@ impl WhoisDb {
         self.tick("whois.records", dump.records.len() as u64);
         self.tick("whois.malformed", dump.problems.len() as u64);
         self.records.extend(dump.records);
-        dump.problems.len()
+        let n = dump.problems.len();
+        self.problems.extend(dump.problems);
+        n
     }
 
     /// Ingests a LACNIC-flavour dump. Returns the number of problems.
@@ -227,7 +232,9 @@ impl WhoisDb {
         self.tick("whois.records", dump.records.len() as u64);
         self.tick("whois.malformed", dump.problems.len() as u64);
         self.records.extend(dump.records);
-        dump.problems.len()
+        let n = dump.problems.len();
+        self.problems.extend(dump.problems);
+        n
     }
 
     /// Like [`add_rpsl`](Self::add_rpsl), but splits the text at object
@@ -254,6 +261,7 @@ impl WhoisDb {
             self.tick("whois.malformed", dump.problems.len() as u64);
             self.records.extend(dump.records);
             problems += dump.problems.len();
+            self.problems.extend(dump.problems);
         }
         problems
     }
@@ -356,7 +364,10 @@ impl WhoisDb {
                 .collect();
             // Joining in spawn order keeps the merged record order identical
             // to the sequential parse.
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("whois parse shard panicked"))
+                .collect()
         }))
     }
 
@@ -372,6 +383,7 @@ impl WhoisDb {
             self.tick("whois.malformed", dump.problems.len() as u64);
             self.records.extend(dump.records);
             problems += dump.problems.len();
+            self.problems.extend(dump.problems);
         }
         problems
     }
@@ -396,6 +408,13 @@ impl WhoisDb {
     /// Number of raw records ingested so far.
     pub fn record_count(&self) -> usize {
         self.records.len()
+    }
+
+    /// Every parse problem collected so far, in ingestion order with
+    /// shard-rebased line numbers. The ingest orchestrator drains this
+    /// per input file to feed the quarantine store.
+    pub fn problems(&self) -> &[crate::rpsl::RpslProblem] {
+        &self.problems
     }
 
     /// Back-fills missing allocation types via a per-prefix query service.

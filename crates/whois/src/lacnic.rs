@@ -6,6 +6,7 @@
 //! compact `changed: 20240801` form.
 
 use p2o_net::{IpRange, Range4, Range6};
+use p2o_util::ingest::IngestErrorKind;
 
 use crate::alloc::AllocationType;
 use crate::record::{parse_date_ordinal, OrgRef, RawWhoisRecord};
@@ -27,6 +28,15 @@ pub fn parse_dump(text: &str, source: Registry) -> LacnicDump {
     let mut dump = LacnicDump::default();
     let rir = source.policy_rir();
     for obj in split_objects(text) {
+        if obj.unterminated {
+            dump.problems.push(RpslProblem::new(
+                obj.line,
+                IngestErrorKind::RpslUnterminated,
+                &obj.head(),
+                "dump truncated mid-object (no terminating newline)",
+            ));
+            continue;
+        }
         if obj.class() != "inetnum" {
             continue;
         }
@@ -34,28 +44,34 @@ pub fn parse_dump(text: &str, source: Registry) -> LacnicDump {
         let net = match parse_net(net_field) {
             Ok(net) => net,
             Err(e) => {
-                dump.problems.push(RpslProblem {
-                    line: obj.line,
-                    message: format!("bad inetnum {net_field:?}: {e}"),
-                });
+                dump.problems.push(RpslProblem::new(
+                    obj.line,
+                    IngestErrorKind::RpslBadNet,
+                    &obj.head(),
+                    format!("bad inetnum {net_field:?}: {e}"),
+                ));
                 continue;
             }
         };
         let Some(owner) = obj.first("owner") else {
-            dump.problems.push(RpslProblem {
-                line: obj.line,
-                message: "missing owner".into(),
-            });
+            dump.problems.push(RpslProblem::new(
+                obj.line,
+                IngestErrorKind::RpslBadObject,
+                &obj.head(),
+                "missing owner",
+            ));
             continue;
         };
         let alloc = obj
             .first("status")
             .and_then(|s| AllocationType::parse_keyword(rir, s));
         if alloc.is_none() {
-            dump.problems.push(RpslProblem {
-                line: obj.line,
-                message: format!("missing or unknown status {:?}", obj.first("status")),
-            });
+            dump.problems.push(RpslProblem::new(
+                obj.line,
+                IngestErrorKind::RpslBadAttr,
+                &obj.head(),
+                format!("missing or unknown status {:?}", obj.first("status")),
+            ));
             continue;
         }
         let last_modified = obj.first("changed").map(parse_date_ordinal).unwrap_or(0);

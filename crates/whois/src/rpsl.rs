@@ -14,6 +14,7 @@
 //! - The allocation type lives in `status:`.
 
 use p2o_net::{IpRange, Range4, Range6};
+use p2o_util::ingest::{hex_excerpt, IngestErrorKind, QuarantinedRecord, EXCERPT_BYTES};
 
 use crate::alloc::AllocationType;
 use crate::record::{parse_date_ordinal, OrgObject, OrgRef, RawWhoisRecord};
@@ -27,6 +28,35 @@ pub struct RpslProblem {
     pub line: usize,
     /// Human-readable description.
     pub message: String,
+    /// Which taxonomy variant the object was rejected with.
+    pub kind: IngestErrorKind,
+    /// Truncated hex excerpt of the object's identifying line.
+    pub excerpt: String,
+}
+
+impl RpslProblem {
+    /// Builds a problem, capturing a hex excerpt of `raw` (the offending
+    /// object's identifying text).
+    pub fn new(line: usize, kind: IngestErrorKind, raw: &str, message: impl Into<String>) -> Self {
+        RpslProblem {
+            line,
+            message: message.into(),
+            kind,
+            excerpt: hex_excerpt(raw.as_bytes(), EXCERPT_BYTES),
+        }
+    }
+
+    /// The quarantine-store view of this problem; the orchestrator stamps
+    /// the file name.
+    pub fn to_quarantined(&self) -> QuarantinedRecord {
+        QuarantinedRecord {
+            kind: self.kind,
+            offset: self.line as u64,
+            excerpt: self.excerpt.clone(),
+            message: self.message.clone(),
+            file: String::new(),
+        }
+    }
 }
 
 /// Everything extracted from one RPSL bulk dump.
@@ -47,6 +77,9 @@ pub struct RpslObject {
     pub line: usize,
     /// Attribute list in file order; keys are lowercased.
     pub attrs: Vec<(String, String)>,
+    /// Whether the dump was cut mid-line inside this (final) object, so
+    /// its attribute list cannot be trusted to be complete.
+    pub unterminated: bool,
 }
 
 impl RpslObject {
@@ -61,6 +94,14 @@ impl RpslObject {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Reconstruction of the object's first attribute line, for excerpts.
+    pub fn head(&self) -> String {
+        self.attrs
+            .first()
+            .map(|(k, v)| format!("{k}: {v}"))
+            .unwrap_or_default()
     }
 }
 
@@ -80,6 +121,7 @@ pub fn split_objects(text: &str) -> Vec<RpslObject> {
                 objects.push(RpslObject {
                     line: start_line,
                     attrs: std::mem::take(&mut attrs),
+                    unterminated: false,
                 });
             }
             continue;
@@ -108,9 +150,29 @@ pub fn split_objects(text: &str) -> Vec<RpslObject> {
         objects.push(RpslObject {
             line: start_line,
             attrs,
+            unterminated: ends_mid_record(text),
         });
     }
     objects
+}
+
+/// Whether `text` was cut mid-record: it does not end with a newline and
+/// its final line is a colon-less, non-comment, non-continuation fragment
+/// — the signature of an attribute key severed by mid-record EOF. (A cut
+/// inside an attribute *value* still parses as that attribute and is
+/// caught, if at all, by value validation instead.)
+fn ends_mid_record(text: &str) -> bool {
+    !text.ends_with('\n')
+        && text.lines().next_back().is_some_and(|last| {
+            let t = last.trim_end();
+            !t.is_empty()
+                && !t.starts_with('%')
+                && !t.starts_with('#')
+                && !last.starts_with(' ')
+                && !last.starts_with('\t')
+                && !last.starts_with('+')
+                && !t.contains(':')
+        })
 }
 
 /// Parses an RPSL bulk dump for the given registry.
@@ -122,6 +184,15 @@ pub fn parse_dump(text: &str, source: Registry) -> RpslDump {
     let mut dump = RpslDump::default();
     let rir = source.policy_rir();
     for obj in split_objects(text) {
+        if obj.unterminated {
+            dump.problems.push(RpslProblem::new(
+                obj.line,
+                IngestErrorKind::RpslUnterminated,
+                &obj.head(),
+                "dump truncated mid-object (no terminating newline)",
+            ));
+            continue;
+        }
         match obj.class() {
             "inetnum" | "inet6num" => {
                 let is_v6 = obj.class() == "inet6num";
@@ -132,10 +203,12 @@ pub fn parse_dump(text: &str, source: Registry) -> RpslDump {
                 let net = match parse_net(net_field, is_v6) {
                     Ok(net) => net,
                     Err(e) => {
-                        dump.problems.push(RpslProblem {
-                            line: obj.line,
-                            message: format!("bad {} {net_field:?}: {e}", obj.class()),
-                        });
+                        dump.problems.push(RpslProblem::new(
+                            obj.line,
+                            IngestErrorKind::RpslBadNet,
+                            &obj.head(),
+                            format!("bad {} {net_field:?}: {e}", obj.class()),
+                        ));
                         continue;
                     }
                 };
@@ -148,23 +221,26 @@ pub fn parse_dump(text: &str, source: Registry) -> RpslDump {
                     // Last resort, mirroring the paper's noisy-WHOIS reality.
                     OrgRef::Name(netname.to_string())
                 } else {
-                    dump.problems.push(RpslProblem {
-                        line: obj.line,
-                        message: "no org/descr/netname".to_string(),
-                    });
+                    dump.problems.push(RpslProblem::new(
+                        obj.line,
+                        IngestErrorKind::RpslBadObject,
+                        &obj.head(),
+                        "no org/descr/netname",
+                    ));
                     continue;
                 };
                 let alloc = obj
                     .first("status")
                     .and_then(|s| AllocationType::parse_keyword(rir, s));
-                if alloc.is_none() && obj.first("status").is_some() {
-                    dump.problems.push(RpslProblem {
-                        line: obj.line,
-                        message: format!(
-                            "unknown status {:?} for {rir}",
-                            obj.first("status").unwrap()
-                        ),
-                    });
+                if alloc.is_none() {
+                    if let Some(status) = obj.first("status") {
+                        dump.problems.push(RpslProblem::new(
+                            obj.line,
+                            IngestErrorKind::RpslBadAttr,
+                            &obj.head(),
+                            format!("unknown status {status:?} for {rir}"),
+                        ));
+                    }
                 }
                 let last_modified = obj
                     .first("last-modified")
@@ -183,10 +259,12 @@ pub fn parse_dump(text: &str, source: Registry) -> RpslDump {
                 let handle = obj.first("organisation").unwrap_or("").to_string();
                 let name = obj.first("org-name").unwrap_or_default().to_string();
                 if handle.is_empty() || name.is_empty() {
-                    dump.problems.push(RpslProblem {
-                        line: obj.line,
-                        message: "organisation object missing handle or org-name".into(),
-                    });
+                    dump.problems.push(RpslProblem::new(
+                        obj.line,
+                        IngestErrorKind::RpslBadObject,
+                        &obj.head(),
+                        "organisation object missing handle or org-name",
+                    ));
                 } else {
                     dump.orgs.push(OrgObject { handle, name });
                 }
@@ -394,6 +472,68 @@ source:         AFRINIC
 ";
         let dump = parse_dump(text, Registry::Rir(Rir::Afrinic));
         assert_eq!(dump.records[0].org, OrgRef::Name("FALLBACK-NET".into()));
+    }
+
+    #[test]
+    fn truncated_final_object_is_quarantined_earlier_objects_survive() {
+        // Cut the RIPE dump mid-key inside its final object: the blank-line
+        // boundary resync keeps every earlier object, and only the cut one
+        // is rejected, typed RpslUnterminated.
+        let cut = RIPE_DUMP.rfind("source:").expect("final source attr") + 4;
+        let text = &RIPE_DUMP[..cut];
+        assert!(text.ends_with("sour"), "cut lands mid-key");
+        let dump = parse_dump(text, Registry::Rir(Rir::Ripe));
+        assert_eq!(dump.records.len(), 2, "first two inetnums survive");
+        assert_eq!(dump.orgs.len(), 2);
+        assert_eq!(dump.problems.len(), 1);
+        let p = &dump.problems[0];
+        assert_eq!(p.kind, IngestErrorKind::RpslUnterminated);
+        assert_eq!(p.line, 26, "problem points at the cut object");
+        assert!(!p.excerpt.is_empty());
+    }
+
+    #[test]
+    fn trailing_newline_dump_is_not_flagged_unterminated() {
+        let dump = parse_dump(RIPE_DUMP, Registry::Rir(Rir::Ripe));
+        assert!(dump.problems.is_empty());
+        // Trimming the final newline alone leaves a complete final line;
+        // only a colon-less fragment marks a mid-record cut.
+        let trimmed = RIPE_DUMP.trim_end();
+        let dump = parse_dump(trimmed, Registry::Rir(Rir::Ripe));
+        assert!(dump.problems.is_empty(), "{:?}", dump.problems);
+        assert_eq!(dump.records.len(), 3);
+    }
+
+    #[test]
+    fn problems_carry_taxonomy_kinds() {
+        let text = "\
+inetnum:        999.0.0.0 - 999.0.0.255
+descr:          Broken
+source:         AFRINIC
+
+inetnum:        198.51.101.0 - 198.51.101.255
+descr:          Unknown Status
+status:         TOTALLY NEW TYPE
+source:         AFRINIC
+
+inetnum:        198.51.102.0 - 198.51.102.255
+country:        ZZ
+source:         AFRINIC
+";
+        let dump = parse_dump(text, Registry::Rir(Rir::Afrinic));
+        let kinds: Vec<IngestErrorKind> = dump.problems.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                IngestErrorKind::RpslBadNet,
+                IngestErrorKind::RpslBadAttr,
+                IngestErrorKind::RpslBadObject,
+            ]
+        );
+        let q = dump.problems[0].to_quarantined();
+        assert_eq!(q.offset, 1);
+        assert_eq!(q.kind, IngestErrorKind::RpslBadNet);
+        assert!(q.file.is_empty(), "file is stamped by the orchestrator");
     }
 
     #[test]

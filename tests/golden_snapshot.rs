@@ -19,8 +19,25 @@ const GOLDEN_SEED: u64 = 0x601D;
 /// FNV-1a digest of the full JSONL export for the golden world.
 const GOLDEN_EXPORT_DIGEST: &str = "88:B2:0D:A8:2A:AB:71:70";
 
-/// Every deterministic counter of the run, in registration order.
+/// Every deterministic counter of the run, in registration order. The
+/// `ingest.quarantined*` family is pinned at zero: a clean golden world
+/// must quarantine nothing, and the counters must still be present.
 const GOLDEN_COUNTERS: &[(&str, u64)] = &[
+    ("ingest.quarantined", 0),
+    ("ingest.quarantined.mrt", 0),
+    ("ingest.quarantined.whois", 0),
+    ("ingest.quarantined.rpki", 0),
+    ("ingest.quarantined.mrt_truncated", 0),
+    ("ingest.quarantined.mrt_bad_type", 0),
+    ("ingest.quarantined.mrt_bad_length", 0),
+    ("ingest.quarantined.mrt_bad_record", 0),
+    ("ingest.quarantined.rpsl_unterminated", 0),
+    ("ingest.quarantined.rpsl_bad_attr", 0),
+    ("ingest.quarantined.rpsl_bad_net", 0),
+    ("ingest.quarantined.rpsl_bad_object", 0),
+    ("ingest.quarantined.rpki_bad_line", 0),
+    ("ingest.quarantined.rpki_bad_resource", 0),
+    ("ingest.quarantined.rpki_bad_object", 0),
     ("whois.records", 293),
     ("whois.malformed", 0),
     ("whois.unresolved_handles", 0),
