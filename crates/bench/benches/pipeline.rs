@@ -191,7 +191,16 @@ fn bench_json(budget_ms: u64) {
     doc.set("speedups", Json::Arr(speedups));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(path, doc.to_string_pretty() + "\n").expect("writing BENCH_pipeline.json");
+    // Atomic write: a baseline file truncated by a crash would silently
+    // poison every later regression comparison against it.
+    let vfs = p2o_util::vfs::Vfs::real();
+    p2o_util::atomic::write_atomic(
+        &vfs,
+        std::path::Path::new(path),
+        "bench",
+        (doc.to_string_pretty() + "\n").as_bytes(),
+    )
+    .expect("writing BENCH_pipeline.json");
     println!("\nwrote {path}");
 }
 

@@ -324,6 +324,85 @@ mod tests {
     }
 
     #[test]
+    fn apply_update_withdraw_of_never_announced_prefix_is_a_noop() {
+        let mut t = RouteTable::new();
+        t.add_route(p("10.0.0.0/8"), 1);
+        let withdraw = UpdateMessage {
+            withdrawn: vec![p("192.0.2.0/24")],
+            attrs: PathAttributes::default(),
+            announced: vec![],
+        };
+        t.apply_update(&withdraw);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn apply_update_withdraw_removes_whole_moas_origin_set() {
+        // Per-peer state is out of scope for snapshots: a withdrawal
+        // removes the prefix entirely, even when several origins
+        // (MOAS) announced it.
+        let mut t = RouteTable::new();
+        t.add_route(p("10.0.0.0/8"), 64512);
+        t.add_route(p("10.0.0.0/8"), 64513);
+        assert_eq!(t.origins(&p("10.0.0.0/8")).unwrap().len(), 2);
+        let withdraw = UpdateMessage {
+            withdrawn: vec![p("10.0.0.0/8")],
+            attrs: PathAttributes::default(),
+            announced: vec![],
+        };
+        t.apply_update(&withdraw);
+        assert!(!t.contains(&p("10.0.0.0/8")));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn apply_update_reannouncement_after_withdrawal_starts_fresh() {
+        let mut t = RouteTable::new();
+        t.apply_update(&UpdateMessage::announce(
+            vec![p("10.0.0.0/8")],
+            PathAttributes::ebgp(AsPath::sequence(vec![1, 64512]), 0),
+        ));
+        t.apply_update(&UpdateMessage {
+            withdrawn: vec![p("10.0.0.0/8")],
+            attrs: PathAttributes::default(),
+            announced: vec![],
+        });
+        // The re-announcement carries a different origin; the old origin
+        // must not survive the withdrawal.
+        t.apply_update(&UpdateMessage::announce(
+            vec![p("10.0.0.0/8")],
+            PathAttributes::ebgp(AsPath::sequence(vec![1, 64513]), 0),
+        ));
+        let origins = t.origins(&p("10.0.0.0/8")).unwrap();
+        assert_eq!(origins.iter().copied().collect::<Vec<_>>(), vec![64513]);
+    }
+
+    #[test]
+    fn apply_update_mixed_withdraw_and_announce_in_one_message() {
+        // A single UPDATE may withdraw one prefix and announce another;
+        // withdrawals are processed first, so a prefix both withdrawn and
+        // announced in the same message ends up routed.
+        let mut t = RouteTable::new();
+        t.add_route(p("10.0.0.0/8"), 64512);
+        t.apply_update(&UpdateMessage {
+            withdrawn: vec![p("10.0.0.0/8")],
+            attrs: PathAttributes::ebgp(AsPath::sequence(vec![2, 64513]), 0),
+            announced: vec![p("10.0.0.0/8"), p("192.0.2.0/24")],
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.origins(&p("10.0.0.0/8"))
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![64513]
+        );
+        assert!(t.contains(&p("192.0.2.0/24")));
+    }
+
+    #[test]
     fn merge_unions_collectors() {
         let mut a = RouteTable::new();
         a.add_route(p("10.0.0.0/8"), 1);

@@ -1,0 +1,312 @@
+//! The build checkpoint stamp and resume decision.
+//!
+//! A successful `build` finishes by writing `<out>.ckpt`: a checksummed
+//! frame (see `p2o_util::atomic`) whose payload is a small TSV recording
+//!
+//! - the **inputs digest** — one FNV-1a digest chained over every input
+//!   file in the snapshot directory (path + content) plus the
+//!   output-affecting options (`--strict`, `--quarantine-samples`); thread
+//!   count is deliberately excluded because the pipeline is byte-identical
+//!   at any parallelism (property-tested since the parallelization PR);
+//! - one row per **artifact written** — role (`export` / `report` /
+//!   `metrics` / `trace`), the path as given on the command line, byte
+//!   length, and content digest.
+//!
+//! `build --resume` reads the stamp and skips the whole build iff the
+//! inputs digest matches *and* every artifact the current invocation asks
+//! for is recorded with a matching path and still verifies on disk.
+//! Anything else — no stamp, torn stamp (the frame layer says exactly
+//! how), changed inputs, missing or altered artifact, newly requested
+//! artifact — downgrades to a warning plus a full recompute, never an
+//! abort. The stamp is written last, so a kill anywhere mid-build simply
+//! leaves no (or a stale) stamp and resume recomputes.
+
+use std::path::{Path, PathBuf};
+
+use p2o_util::atomic;
+use p2o_util::vfs::Vfs;
+use p2o_util::{fnv1a_64, tsv, Digest};
+
+/// Suffix appended to the export path to name the stamp file.
+pub const STAMP_SUFFIX: &str = ".ckpt";
+
+/// The stamp file path for an export path (`dataset.jsonl` →
+/// `dataset.jsonl.ckpt`).
+pub fn stamp_path(out: &Path) -> PathBuf {
+    let mut name = out.as_os_str().to_os_string();
+    name.push(STAMP_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// One artifact recorded in a stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampArtifact {
+    /// Artifact role: `export`, `report`, `metrics`, or `trace`.
+    pub role: String,
+    /// The output path exactly as given on the command line.
+    pub path: String,
+    /// Byte length as written.
+    pub bytes: u64,
+    /// FNV-1a digest of the written content.
+    pub digest: u64,
+}
+
+/// A build checkpoint stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamp {
+    /// Digest over all input files and output-affecting options.
+    pub inputs_digest: u64,
+    /// Every artifact the stamped build wrote, in write order.
+    pub artifacts: Vec<StampArtifact>,
+}
+
+impl Stamp {
+    /// A stamp for the given inputs digest with no artifacts yet.
+    pub fn new(inputs_digest: u64) -> Stamp {
+        Stamp {
+            inputs_digest,
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Records an artifact written with `content` to `path`.
+    pub fn record(&mut self, role: &str, path: &str, content: &[u8]) {
+        self.artifacts.push(StampArtifact {
+            role: role.to_string(),
+            path: path.to_string(),
+            bytes: content.len() as u64,
+            digest: fnv1a_64(content),
+        });
+    }
+
+    /// The recorded artifact with the given role, if any.
+    pub fn artifact(&self, role: &str) -> Option<&StampArtifact> {
+        self.artifacts.iter().find(|a| a.role == role)
+    }
+
+    fn to_tsv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = vec![vec![
+            "inputs".to_string(),
+            format!("{:016X}", self.inputs_digest),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]];
+        for a in &self.artifacts {
+            rows.push(vec![
+                "artifact".to_string(),
+                a.role.clone(),
+                a.path.clone(),
+                a.bytes.to_string(),
+                format!("{:016X}", a.digest),
+            ]);
+        }
+        tsv::write_rows(&rows)
+    }
+
+    fn from_tsv(text: &str) -> Result<Stamp, String> {
+        let mut inputs_digest = None;
+        let mut artifacts = Vec::new();
+        for row in tsv::parse_rows(text, 5).map_err(|e| format!("stamp: {e}"))? {
+            match row[0].as_str() {
+                "inputs" => {
+                    inputs_digest = Some(
+                        u64::from_str_radix(&row[1], 16)
+                            .map_err(|_| format!("stamp: bad inputs digest {:?}", row[1]))?,
+                    );
+                }
+                "artifact" => artifacts.push(StampArtifact {
+                    role: row[1].clone(),
+                    path: row[2].clone(),
+                    bytes: row[3]
+                        .parse()
+                        .map_err(|_| format!("stamp: bad byte count {:?}", row[3]))?,
+                    digest: u64::from_str_radix(&row[4], 16)
+                        .map_err(|_| format!("stamp: bad digest {:?}", row[4]))?,
+                }),
+                other => return Err(format!("stamp: unknown row kind {other:?}")),
+            }
+        }
+        Ok(Stamp {
+            inputs_digest: inputs_digest.ok_or("stamp: missing inputs row")?,
+            artifacts,
+        })
+    }
+
+    /// Atomically writes the stamp for export path `out` as a checksummed
+    /// frame (kill-point label `ckpt`).
+    pub fn save(&self, vfs: &Vfs, out: &Path) -> std::io::Result<()> {
+        atomic::write_framed(vfs, &stamp_path(out), "ckpt", self.to_tsv().as_bytes())
+    }
+
+    /// Loads the stamp for export path `out`. `Ok(None)` when there is no
+    /// stamp (first build); `Err` names the damage (torn frame, digest
+    /// mismatch, unparsable payload) — callers warn and recompute.
+    pub fn load(vfs: &Vfs, out: &Path) -> Result<Option<Stamp>, String> {
+        let path = stamp_path(out);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let payload =
+            atomic::read_framed(vfs, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = String::from_utf8(payload)
+            .map_err(|_| format!("{}: stamp payload is not UTF-8", path.display()))?;
+        Stamp::from_tsv(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Input files hashed into the inputs digest, in deterministic order:
+/// the fixed top-level artifacts, then `whois/*.txt` and
+/// `delegated/*.txt` sorted by name.
+fn input_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = [
+        "meta.tsv",
+        "rib.mrt",
+        "as2org.tsv",
+        "siblings.tsv",
+        "jpnic_alloc.tsv",
+        "rpki.jsonl",
+        "truth/lists.tsv",
+    ]
+    .iter()
+    .map(|rel| dir.join(rel))
+    .filter(|p| p.is_file())
+    .collect();
+    for sub in ["whois", "delegated"] {
+        let mut extra: Vec<PathBuf> = std::fs::read_dir(dir.join(sub))
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        extra.sort();
+        files.extend(extra);
+    }
+    files
+}
+
+/// Digest over every input file (relative path + content) and the
+/// output-affecting options. Any changed, added, or removed input file —
+/// or changed option — changes the digest and forces a recompute.
+pub fn inputs_digest(
+    vfs: &Vfs,
+    dir: &Path,
+    strict: bool,
+    quarantine_samples: usize,
+) -> Result<u64, String> {
+    let mut d = Digest::of_bytes(b"p2o-build-inputs-v1");
+    for path in input_files(dir) {
+        let rel = path
+            .strip_prefix(dir)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = vfs
+            .read(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        d = d.chain(Digest::of_parts([rel.as_bytes(), content.as_slice()]));
+    }
+    d = d.chain(Digest::of_parts([
+        &[strict as u8][..],
+        &(quarantine_samples as u64).to_le_bytes(),
+    ]));
+    Ok(d.0)
+}
+
+/// Whether a recorded artifact still matches the bytes on disk.
+pub fn artifact_verifies(vfs: &Vfs, artifact: &StampArtifact) -> bool {
+    match vfs.read(Path::new(&artifact.path)) {
+        Ok(bytes) => bytes.len() as u64 == artifact.bytes && fnv1a_64(&bytes) == artifact.digest,
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p2o-ckpt-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stamp_round_trips_through_the_frame() {
+        let dir = tmp_dir("roundtrip");
+        let vfs = Vfs::real();
+        let out = dir.join("dataset.jsonl");
+        let mut stamp = Stamp::new(0xDEAD_BEEF_0BAD_F00D);
+        stamp.record("export", out.to_str().unwrap(), b"{\"a\":1}\n");
+        stamp.record("report", "run.json", b"{}\n");
+        stamp.save(&vfs, &out).unwrap();
+        let back = Stamp::load(&vfs, &out).unwrap().expect("stamp present");
+        assert_eq!(back, stamp);
+        assert_eq!(back.artifact("report").unwrap().bytes, 3);
+        assert!(back.artifact("trace").is_none());
+        // No stamp at all is Ok(None), not an error.
+        assert_eq!(Stamp::load(&vfs, &dir.join("other.jsonl")).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_stamp_is_an_error_naming_the_damage() {
+        let dir = tmp_dir("torn");
+        let vfs = Vfs::real();
+        let out = dir.join("dataset.jsonl");
+        Stamp::new(1).save(&vfs, &out).unwrap();
+        let path = stamp_path(&out);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = Stamp::load(&vfs, &out).unwrap_err();
+        assert!(err.contains("torn payload"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inputs_digest_tracks_files_and_options() {
+        let dir = tmp_dir("digest");
+        let vfs = Vfs::real();
+        fs::create_dir_all(dir.join("whois")).unwrap();
+        fs::write(dir.join("meta.tsv"), b"seed\t1\n").unwrap();
+        fs::write(dir.join("whois/ARIN.txt"), b"NetRange: x\n").unwrap();
+
+        let base = inputs_digest(&vfs, &dir, false, 8).unwrap();
+        assert_eq!(base, inputs_digest(&vfs, &dir, false, 8).unwrap());
+        // Content change, new file, and option changes all move the digest.
+        fs::write(dir.join("meta.tsv"), b"seed\t2\n").unwrap();
+        let changed = inputs_digest(&vfs, &dir, false, 8).unwrap();
+        assert_ne!(base, changed);
+        fs::write(dir.join("whois/RIPE.txt"), b"inetnum: y\n").unwrap();
+        let added = inputs_digest(&vfs, &dir, false, 8).unwrap();
+        assert_ne!(changed, added);
+        assert_ne!(added, inputs_digest(&vfs, &dir, true, 8).unwrap());
+        assert_ne!(added, inputs_digest(&vfs, &dir, false, 9).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_verification_catches_tears_and_edits() {
+        let dir = tmp_dir("verify");
+        let vfs = Vfs::real();
+        let path = dir.join("dataset.jsonl");
+        fs::write(&path, b"line one\n").unwrap();
+        let mut stamp = Stamp::new(0);
+        stamp.record("export", path.to_str().unwrap(), b"line one\n");
+        let a = stamp.artifact("export").unwrap();
+        assert!(artifact_verifies(&vfs, a));
+        fs::write(&path, b"line on").unwrap();
+        assert!(!artifact_verifies(&vfs, a));
+        fs::write(&path, b"line two\n").unwrap();
+        assert!(!artifact_verifies(&vfs, a));
+        fs::remove_file(&path).unwrap();
+        assert!(!artifact_verifies(&vfs, a));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -7,10 +7,14 @@ use p2o_net::{AddressFamily, Prefix};
 use p2o_radix::PrefixMap;
 use p2o_synth::corrupt::{corrupt_world, CorruptionConfig};
 use p2o_synth::{World, WorldConfig};
-use p2o_util::ingest::IngestLayer;
+use p2o_util::atomic;
+use p2o_util::ingest::{IngestLayer, DEFAULT_QUARANTINE_SAMPLES};
+use p2o_util::vfs::Vfs;
 use prefix2org::{ExportRecord, Pipeline, PipelineInputs};
 
 use crate::args::Parsed;
+use crate::checkpoint;
+use crate::fsck;
 use crate::store;
 use crate::CliError;
 
@@ -36,23 +40,33 @@ pub fn generate(args: &Parsed) -> Result<(), CliError> {
         "generating world (seed {seed:#x}, {} orgs)...",
         config.total_orgs()
     );
+    let vfs = Vfs::from_env().map_err(CliError::General)?;
     let world = World::generate(config);
-    store::write_world(&world, out)?;
+    let mut manifest = store::write_world(&vfs, &world, out)?;
     if corrupt_rate > 0.0 {
+        // Corruption injection deliberately alters record *content*; the
+        // overwrites still go through the atomic writer and re-record their
+        // bytes, so the manifest describes the final (corrupted) files and
+        // `fsck` distinguishes durable-but-dirty data from torn writes.
         let corrupted = corrupt_world(
             &world,
             &CorruptionConfig::uniform(corrupt_seed, corrupt_rate),
         );
+        let mut rewrite = |relpath: String, data: &[u8]| -> Result<(), CliError> {
+            let path = out.join(&relpath);
+            atomic::write_atomic(&vfs, &path, "corrupt", data)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            manifest.record(&relpath, data);
+            Ok(())
+        };
         for (registry, dump) in &corrupted.whois {
-            let path = out.join("whois").join(format!("{registry}.txt"));
-            fs::write(&path, &dump.data).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            rewrite(format!("whois/{registry}.txt"), dump.data.as_bytes())?;
         }
-        let path = out.join("rib.mrt");
-        fs::write(&path, &corrupted.mrt.data)
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
-        let path = out.join("rpki.jsonl");
-        fs::write(&path, &corrupted.rpki_jsonl.data)
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        rewrite("rib.mrt".to_string(), &corrupted.mrt.data)?;
+        rewrite(
+            "rpki.jsonl".to_string(),
+            corrupted.rpki_jsonl.data.as_bytes(),
+        )?;
         eprintln!(
             "injected {} faults (seed {corrupt_seed:#x}, rate {corrupt_rate}): \
              mrt {}, whois {}, rpki {}",
@@ -62,6 +76,10 @@ pub fn generate(args: &Parsed) -> Result<(), CliError> {
             corrupted.rpki_jsonl.faults,
         );
     }
+    // Written last, so it always describes the final on-disk bytes.
+    manifest
+        .save(&vfs, out)
+        .map_err(|e| format!("writing manifest: {e}"))?;
     println!(
         "wrote {} WHOIS dumps, {} RPKI objects, {} byte RIB, {} truth lists to {}",
         world.whois_dumps.len(),
@@ -73,22 +91,147 @@ pub fn generate(args: &Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Outcome of the `--resume` checkpoint evaluation.
+enum ResumeDecision {
+    /// Everything verifies; the build is skipped entirely.
+    Skip {
+        /// Artifacts that verified against the stamp.
+        verified: u64,
+    },
+    /// Run the build; `checkpoint` is the durability-report decision label
+    /// (`created` for a fresh build, `recomputed` when a stamp existed but
+    /// did not verify) and `stamp_torn` marks a damaged stamp frame.
+    Run {
+        checkpoint: &'static str,
+        stamp_torn: bool,
+    },
+}
+
+/// Evaluates `build --resume`: skip iff the stamp exists, its inputs
+/// digest matches, and every artifact this invocation asks for is recorded
+/// (same path) and verifies on disk. Anything else recomputes with a
+/// warning — never an abort.
+fn evaluate_resume(
+    vfs: &Vfs,
+    out: &Path,
+    inputs_digest: u64,
+    requested: &[(&str, &str)],
+    report_to_stdout: bool,
+) -> ResumeDecision {
+    let recompute = |reason: &str, stamp_torn: bool| {
+        eprintln!("warning: resume: {reason}; recomputing");
+        ResumeDecision::Run {
+            checkpoint: "recomputed",
+            stamp_torn,
+        }
+    };
+    match checkpoint::Stamp::load(vfs, out) {
+        Err(damage) => recompute(&format!("checkpoint stamp unusable ({damage})"), true),
+        Ok(None) => {
+            eprintln!(
+                "resume: no checkpoint at {}; running a full build",
+                checkpoint::stamp_path(out).display()
+            );
+            ResumeDecision::Run {
+                checkpoint: "created",
+                stamp_torn: false,
+            }
+        }
+        Ok(Some(stamp)) => {
+            if report_to_stdout {
+                return recompute(
+                    "`--report -` streams to stdout and cannot be skipped",
+                    false,
+                );
+            }
+            if stamp.inputs_digest != inputs_digest {
+                return recompute("inputs or options changed since the checkpoint", false);
+            }
+            let mut verified = 0u64;
+            for (role, path) in requested {
+                match stamp.artifact(role) {
+                    Some(a) if a.path == *path => {
+                        if checkpoint::artifact_verifies(vfs, a) {
+                            verified += 1;
+                        } else {
+                            return recompute(
+                                &format!("{role} artifact {path} is missing or altered"),
+                                false,
+                            );
+                        }
+                    }
+                    _ => {
+                        return recompute(
+                            &format!("{role} artifact {path} is not covered by the checkpoint"),
+                            false,
+                        )
+                    }
+                }
+            }
+            ResumeDecision::Skip { verified }
+        }
+    }
+}
+
 /// `build`: parse a snapshot directory, run the pipeline, write JSONL.
 pub fn build(args: &Parsed) -> Result<(), CliError> {
     let dir = Path::new(args.require("in")?);
-    let out = Path::new(args.require("out")?);
+    let out_str = args.require("out")?;
+    let out = Path::new(out_str);
     let threads = args
         .get_num::<usize>("threads")?
         .unwrap_or_else(prefix2org::default_threads)
         .max(1);
-    let mode = if args.has("strict") {
+    let strict = args.has("strict");
+    let mode = if strict {
         store::IngestMode::Strict
     } else {
         store::IngestMode::Lenient
     };
+    let quarantine_samples = args
+        .get_num::<usize>("quarantine-samples")?
+        .unwrap_or(DEFAULT_QUARANTINE_SAMPLES);
     let report_path = args.get("report");
     let trace_path = args.get("trace");
     let metrics_path = args.get("metrics");
+    let report_to_stdout = report_path == Some("-");
+    let vfs = Vfs::from_env().map_err(CliError::General)?;
+
+    // The checkpoint covers the export plus every file-bound artifact this
+    // invocation asks for.
+    let mut requested: Vec<(&str, &str)> = vec![("export", out_str)];
+    if let Some(p) = report_path {
+        if p != "-" {
+            requested.push(("report", p));
+        }
+    }
+    if let Some(p) = metrics_path {
+        requested.push(("metrics", p));
+    }
+    if let Some(p) = trace_path {
+        requested.push(("trace", p));
+    }
+
+    let inputs_digest = checkpoint::inputs_digest(&vfs, dir, strict, quarantine_samples)?;
+    let (ckpt_decision, stamp_torn) = if args.has("resume") {
+        match evaluate_resume(&vfs, out, inputs_digest, &requested, report_to_stdout) {
+            ResumeDecision::Skip { verified } => {
+                eprintln!(
+                    "resume: inputs unchanged, all {verified} requested artifacts verify; \
+                     skipping build"
+                );
+                println!("dataset already current at {} (resumed)", out.display());
+                return Ok(());
+            }
+            ResumeDecision::Run {
+                checkpoint,
+                stamp_torn,
+            } => (checkpoint, stamp_torn),
+        }
+    } else {
+        ("created", false)
+    };
+
     let obs = (report_path.is_some() || trace_path.is_some() || metrics_path.is_some())
         .then(p2o_obs::Obs::new);
     if trace_path.is_some() {
@@ -97,11 +240,28 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
     }
 
     let outcome =
-        store::load_inputs_mode(dir, obs.as_ref(), threads, mode).map_err(|e| match e {
+        store::load_inputs_mode(&vfs, dir, obs.as_ref(), threads, mode).map_err(|e| match e {
             store::LoadError::Ingest(err) => CliError::Ingest(err.to_string()),
             store::LoadError::Other(msg) => CliError::General(msg),
         })?;
-    let store::LoadOutcome { inputs, quarantine } = outcome;
+    let store::LoadOutcome {
+        inputs,
+        quarantine,
+        torn,
+        manifest_verified,
+    } = outcome;
+    for (path, issue) in &torn {
+        eprintln!("warning: manifest: {path}: {issue}");
+    }
+    let torn_detected = torn.len() as u64 + u64::from(stamp_torn);
+    if let Some(o) = &obs {
+        if stamp_torn {
+            o.counter(p2o_obs::STORE_TORN_DETECTED).incr();
+        }
+        if ckpt_decision == "recomputed" {
+            o.counter(p2o_obs::CHECKPOINT_RECOMPUTED).incr();
+        }
+    }
     if !quarantine.is_empty() {
         eprintln!(
             "warning: {} corrupt records quarantined (mrt {}, whois {}, rpki {})",
@@ -164,21 +324,42 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         Some(o) => pipeline.run_with_obs(&pipeline_inputs, o),
         None => pipeline.run(&pipeline_inputs),
     };
-    fs::write(out, prefix2org::to_jsonl(&dataset))
+    let jsonl = prefix2org::to_jsonl(&dataset);
+    atomic::write_atomic(&vfs, out, "export", jsonl.as_bytes())
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    let mut stamp = checkpoint::Stamp::new(inputs_digest);
+    stamp.record("export", out_str, jsonl.as_bytes());
 
-    let report_to_stdout = report_path == Some("-");
     if let Some(o) = &obs {
+        // Fold the I/O layer's own statistics into the counter families
+        // before rendering, so the report and Prometheus export carry them.
+        let io = vfs.stats();
+        o.counter(p2o_obs::IO_FAULT_INJECTED)
+            .add(io.faults_injected());
+        o.counter(p2o_obs::IO_FAULT_SHORT_WRITE)
+            .add(io.faults_short_write);
+        o.counter(p2o_obs::IO_FAULT_ENOSPC).add(io.faults_enospc);
+        o.counter(p2o_obs::IO_FAULT_EIO).add(io.faults_eio);
+
         let mut report = o.report();
         // Always present, all-zero on clean input: consumers can rely on
-        // the section existing.
-        report.data_quality = Some(quarantine.summary(8));
+        // the sections existing.
+        report.data_quality = Some(quarantine.summary(quarantine_samples));
+        report.durability = Some(p2o_obs::DurabilitySummary {
+            atomic_writes: io.writes,
+            artifacts_verified: manifest_verified,
+            torn_detected,
+            checkpoint: ckpt_decision.to_string(),
+            faults_injected: io.faults_injected(),
+        });
         if let Some(path) = report_path {
+            let text = report.to_json_string();
             if report_to_stdout {
-                println!("{}", report.to_json_string());
+                println!("{text}");
             } else {
-                fs::write(path, report.to_json_string())
+                atomic::write_atomic(&vfs, Path::new(path), "report", text.as_bytes())
                     .map_err(|e| format!("writing report {path}: {e}"))?;
+                stamp.record("report", path, text.as_bytes());
             }
             eprint!("{}", report.summary_table());
             if !report_to_stdout {
@@ -186,14 +367,18 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
             }
         }
         if let Some(path) = metrics_path {
-            fs::write(path, p2o_obs::promexpo::to_prometheus(&report))
+            let text = p2o_obs::promexpo::to_prometheus(&report);
+            atomic::write_atomic(&vfs, Path::new(path), "metrics", text.as_bytes())
                 .map_err(|e| format!("writing metrics {path}: {e}"))?;
+            stamp.record("metrics", path, text.as_bytes());
             eprintln!("Prometheus metrics written to {path}");
         }
         if let Some(path) = trace_path {
             let trace = o.take_trace();
-            fs::write(path, trace.to_chrome_json_string())
+            let text = trace.to_chrome_json_string();
+            atomic::write_atomic(&vfs, Path::new(path), "trace", text.as_bytes())
                 .map_err(|e| format!("writing trace {path}: {e}"))?;
+            stamp.record("trace", path, text.as_bytes());
             eprintln!(
                 "Chrome trace ({} events across {} threads) written to {path}",
                 trace.event_count(),
@@ -201,6 +386,15 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
             );
         }
     }
+
+    // The stamp is written last: a kill anywhere above leaves no (or a
+    // stale) stamp, and `--resume` recomputes.
+    stamp.save(&vfs, out).map_err(|e| {
+        format!(
+            "writing checkpoint {}: {e}",
+            checkpoint::stamp_path(out).display()
+        )
+    })?;
 
     // When the JSON report goes to stdout, the human summary must not
     // corrupt it — divert the summary to stderr.
@@ -231,6 +425,34 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         100.0 * m.unresolved_prefixes as f64 / inputs.routes.len().max(1) as f64
     ));
     Ok(())
+}
+
+/// `fsck`: audit a data directory for torn writes, leftover tmp files,
+/// damaged checkpoint stamps, and unsupported format versions.
+pub fn fsck(args: &Parsed) -> Result<(), CliError> {
+    let dir = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .or_else(|| args.get("in"))
+        .ok_or("fsck needs a directory argument (fsck DIR)")?;
+    let vfs = Vfs::from_env().map_err(CliError::General)?;
+    let report = fsck::audit(&vfs, Path::new(dir))?;
+    for note in &report.notes {
+        eprintln!("note: {note}");
+    }
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        println!("{dir}: ok ({} artifacts verified)", report.verified);
+        Ok(())
+    } else {
+        Err(CliError::Integrity(format!(
+            "{} integrity finding(s) in {dir}",
+            report.findings.len()
+        )))
+    }
 }
 
 /// `explain`: render the provenance rule chain behind prefix mappings.

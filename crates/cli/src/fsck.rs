@@ -1,0 +1,196 @@
+//! `prefix2org fsck` — audit a data directory for durability damage.
+//!
+//! Four checks, all read-only:
+//!
+//! 1. **Leftover tmp files** — any `*.p2o-tmp` anywhere under the
+//!    directory is the debris of an interrupted atomic write;
+//! 2. **Manifest verification** — every artifact `MANIFEST.tsv` records
+//!    must exist with its recorded length and digest (a short file is a
+//!    torn write, a same-length mismatch is bit-rot or tampering);
+//! 3. **Checkpoint frames** — every `*.ckpt` must unframe cleanly (the
+//!    frame layer names the exact damage mode otherwise);
+//! 4. **Format version** — `meta.tsv`'s `format_version` must be one this
+//!    binary supports.
+//!
+//! Directories from before the durability layer have no manifest; that is
+//! reported as a note, not damage.
+
+use std::path::{Path, PathBuf};
+
+use p2o_util::atomic;
+use p2o_util::manifest::Manifest;
+use p2o_util::tsv;
+use p2o_util::vfs::Vfs;
+
+use crate::store::FORMAT_VERSION;
+
+/// What an audit found.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Damage findings, one line each. Empty = the directory is healthy.
+    pub findings: Vec<String>,
+    /// Artifacts that verified clean against the manifest.
+    pub verified: u64,
+    /// Non-damage observations (e.g. "no MANIFEST.tsv").
+    pub notes: Vec<String>,
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk(&path, out);
+        } else {
+            out.push(path);
+        }
+    }
+}
+
+/// Audits `dir` and returns everything found. Errors only on a missing or
+/// unreadable directory — damage inside it is a finding, not an error.
+pub fn audit(vfs: &Vfs, dir: &Path) -> Result<FsckReport, String> {
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let mut report = FsckReport::default();
+    let rel = |path: &Path| -> String {
+        path.strip_prefix(dir)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/")
+    };
+
+    let mut files = Vec::new();
+    walk(dir, &mut files);
+    for path in &files {
+        if atomic::is_tmp_path(path) {
+            report.findings.push(format!(
+                "{}: leftover tmp file from an interrupted atomic write",
+                rel(path)
+            ));
+        } else if path.extension().is_some_and(|x| x == "ckpt") {
+            if let Err(e) = atomic::read_framed(vfs, path) {
+                report
+                    .findings
+                    .push(format!("{}: checkpoint stamp damaged: {e}", rel(path)));
+            } else {
+                report.verified += 1;
+            }
+        }
+    }
+
+    match Manifest::load(vfs, dir) {
+        Err(e) => report.findings.push(format!("manifest unreadable: {e}")),
+        Ok(None) => report
+            .notes
+            .push("no MANIFEST.tsv (pre-durability directory; nothing to verify)".to_string()),
+        Ok(Some(manifest)) => {
+            let issues = manifest.verify_all(vfs, dir);
+            report.verified += manifest.len() as u64 - issues.len() as u64;
+            for (path, issue) in issues {
+                report.findings.push(format!("{path}: {issue}"));
+            }
+        }
+    }
+
+    let meta_path = dir.join("meta.tsv");
+    if let Ok(text) = vfs.read_to_string(&meta_path) {
+        match tsv::parse_rows(&text, 2) {
+            Err(e) => report.findings.push(format!("meta.tsv: {e}")),
+            Ok(rows) => {
+                for row in rows {
+                    if row[0] == "format_version" {
+                        match row[1].parse::<u32>() {
+                            Ok(v) if v > FORMAT_VERSION => report.findings.push(format!(
+                                "meta.tsv: format_version {v} is newer than this binary \
+                                 supports (max {FORMAT_VERSION})"
+                            )),
+                            Ok(_) => {}
+                            Err(_) => report
+                                .findings
+                                .push(format!("meta.tsv: bad format_version {:?}", row[1])),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p2o-fsck-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn clean_directory_audits_clean() {
+        let dir = tmp_dir("clean");
+        let vfs = Vfs::real();
+        fs::write(dir.join("a.tsv"), b"x\ty\n").unwrap();
+        let mut m = Manifest::new();
+        m.record("a.tsv", b"x\ty\n");
+        m.save(&vfs, &dir).unwrap();
+        let report = audit(&vfs, &dir).unwrap();
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.verified, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_damage_class_is_found() {
+        let dir = tmp_dir("damage");
+        let vfs = Vfs::real();
+        fs::create_dir_all(dir.join("whois")).unwrap();
+        // A torn manifest-listed artifact, a leftover tmp, a torn stamp,
+        // and a future format version.
+        fs::write(dir.join("rib.mrt"), b"full mrt bytes").unwrap();
+        let mut m = Manifest::new();
+        m.record("rib.mrt", b"full mrt bytes");
+        m.save(&vfs, &dir).unwrap();
+        fs::write(dir.join("rib.mrt"), b"full").unwrap();
+        fs::write(dir.join("whois/ARIN.txt.p2o-tmp"), b"partial").unwrap();
+        let framed = atomic::frame(b"inputs\t0\t\t\t\n");
+        fs::write(dir.join("dataset.jsonl.ckpt"), &framed[..framed.len() - 2]).unwrap();
+        fs::write(dir.join("meta.tsv"), b"format_version\t99\n").unwrap();
+
+        let report = audit(&vfs, &dir).unwrap();
+        let all = report.findings.join("\n");
+        assert!(all.contains("rib.mrt: length mismatch"), "{all}");
+        assert!(
+            all.contains("whois/ARIN.txt.p2o-tmp: leftover tmp"),
+            "{all}"
+        );
+        assert!(
+            all.contains("dataset.jsonl.ckpt: checkpoint stamp damaged"),
+            "{all}"
+        );
+        assert!(all.contains("format_version 99"), "{all}");
+        assert_eq!(report.findings.len(), 4, "{all}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_a_note_not_a_finding() {
+        let dir = tmp_dir("nomanifest");
+        let vfs = Vfs::real();
+        fs::write(dir.join("data.txt"), b"x").unwrap();
+        let report = audit(&vfs, &dir).unwrap();
+        assert!(report.findings.is_empty());
+        assert_eq!(report.notes.len(), 1);
+        assert!(audit(&vfs, &dir.join("absent")).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

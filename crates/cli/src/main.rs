@@ -3,8 +3,10 @@
 //! ```text
 //! prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
 //!                     [--corrupt-rate R] [--corrupt-seed N]
-//! prefix2org build    --in DIR --out FILE.jsonl [--strict] [--threads N]
+//! prefix2org build    --in DIR --out FILE.jsonl [--strict] [--resume] [--threads N]
+//!                     [--quarantine-samples N]
 //!                     [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
+//! prefix2org fsck     DIR
 //! prefix2org explain  --in DIR PREFIX... [--threads N]
 //! prefix2org lookup   --dataset FILE.jsonl PREFIX...
 //! prefix2org stats    --dataset FILE.jsonl
@@ -21,7 +23,9 @@
 //! published dataset would follow.
 
 mod args;
+mod checkpoint;
 mod commands;
+mod fsck;
 mod store;
 
 use std::process::ExitCode;
@@ -34,6 +38,9 @@ pub enum CliError {
     /// lenient run where nothing at all parsed): exit code 2. The message
     /// is the one-line diagnostic naming file, offset, and error variant.
     Ingest(String),
+    /// `fsck` found durability damage (torn writes, leftover tmp files,
+    /// damaged checkpoint stamps): exit code 2.
+    Integrity(String),
 }
 
 impl From<String> for CliError {
@@ -60,6 +67,10 @@ fn main() -> ExitCode {
             eprintln!("prefix2org: ingest error: {e}");
             ExitCode::from(2)
         }
+        Err(CliError::Integrity(e)) => {
+            eprintln!("prefix2org: integrity error: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -71,7 +82,11 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     let rest = &argv[1..];
     match command.as_str() {
         "generate" => commands::generate(&args::Parsed::parse(rest)?),
-        "build" => commands::build(&args::Parsed::parse_with_switches(rest, &["strict"])?),
+        "build" => commands::build(&args::Parsed::parse_with_switches(
+            rest,
+            &["strict", "resume"],
+        )?),
+        "fsck" => commands::fsck(&args::Parsed::parse(rest)?),
         "explain" => commands::explain(&args::Parsed::parse(rest)?),
         "lookup" => commands::lookup(&args::Parsed::parse(rest)?),
         "org" => commands::org(&args::Parsed::parse(rest)?),
@@ -101,14 +116,22 @@ USAGE:
       MRT and RPKI artifacts at the given per-record rate (0..=1);
       --corrupt-seed decouples the fault pattern from the world seed.
 
-  prefix2org build --in DIR --out FILE.jsonl [--strict] [--threads N]
+  prefix2org build --in DIR --out FILE.jsonl [--strict] [--resume] [--threads N]
+                   [--quarantine-samples N]
                    [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
       Parse a generated (or compatible) directory and run the full pipeline;
       write the per-prefix dataset as JSON Lines and print Table-4 metrics.
+      Every artifact is written atomically (tmp + fsync + rename), and a
+      checksummed checkpoint stamp FILE.jsonl.ckpt is written last.
       Corrupt input records are skipped and quarantined by default (counts
       go to stderr and the report's data_quality section); exit code 2 is
       reserved for ingest failures. --strict aborts on the first corrupt
       record instead, naming its file, byte/line offset and error variant.
+      --resume skips the whole build when the checkpoint stamp proves the
+      inputs are unchanged and every requested artifact still verifies;
+      anything torn or stale recomputes with a warning, never an abort.
+      --quarantine-samples caps the sample records carried into the
+      report's data_quality section (default 8).
       --threads defaults to the number of available cores; 1 forces the
       fully sequential path (the output is identical either way).
       --report writes a JSON run report (per-stage wall times, counters,
@@ -119,6 +142,12 @@ USAGE:
       parse, MRT decode, resolution and cluster group-build shards.
       --metrics writes every counter and histogram in Prometheus text
       exposition format.
+
+  prefix2org fsck DIR
+      Audit a data directory: verify every artifact against MANIFEST.tsv,
+      flag leftover .p2o-tmp files from interrupted writes, check that
+      checkpoint stamps unframe cleanly, and reject unsupported
+      format_versions. Exits 2 when anything is damaged.
 
   prefix2org explain --in DIR PREFIX... [--threads N]
       Replay the mapping decision for each prefix and print the rule

@@ -16,37 +16,63 @@
 //! ```
 
 use std::collections::HashMap;
-use std::fs;
 use std::path::{Path, PathBuf};
 
 use p2o_bgp::RouteTable;
 use p2o_net::Prefix;
 use p2o_synth::World;
 use p2o_util::ingest::{IngestError, Quarantine, QuarantinedRecord};
-use p2o_util::tsv;
+use p2o_util::manifest::{Manifest, VerifyIssue};
+use p2o_util::vfs::Vfs;
+use p2o_util::{atomic, tsv};
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::{DelegationTree, Registry, Rir, WhoisDb};
+
+/// Version of the on-disk directory layout, written into `meta.tsv` as
+/// `format_version`. Bump when the layout changes incompatibly; loaders
+/// reject anything newer than they understand with a one-line error
+/// instead of a confusing downstream parse failure.
+pub const FORMAT_VERSION: u32 = 1;
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> String {
     format!("{what} {}: {e}", path.display())
 }
 
-/// Writes a generated world to `dir`.
-pub fn write_world(world: &World, dir: &Path) -> Result<(), String> {
+/// Writes a generated world to `dir` — every artifact atomically (tmp +
+/// fsync + rename through `vfs`), each one recorded in the returned
+/// [`Manifest`]. The caller saves the manifest *last*, after any further
+/// overwrites (e.g. corruption injection), so it always describes the
+/// final on-disk bytes.
+pub fn write_world(vfs: &Vfs, world: &World, dir: &Path) -> Result<Manifest, String> {
     let whois_dir = dir.join("whois");
-    fs::create_dir_all(&whois_dir).map_err(|e| io_err("creating", &whois_dir, e))?;
+    vfs.create_dir_all(&whois_dir)
+        .map_err(|e| io_err("creating", &whois_dir, e))?;
     let truth_dir = dir.join("truth");
-    fs::create_dir_all(&truth_dir).map_err(|e| io_err("creating", &truth_dir, e))?;
+    vfs.create_dir_all(&truth_dir)
+        .map_err(|e| io_err("creating", &truth_dir, e))?;
+
+    let mut manifest = Manifest::new();
+    let put = |manifest: &mut Manifest, relpath: String, bytes: &[u8]| -> Result<(), String> {
+        let path = dir.join(&relpath);
+        atomic::write_atomic(vfs, &path, "store", bytes)
+            .map_err(|e| io_err("writing", &path, e))?;
+        manifest.record(&relpath, bytes);
+        Ok(())
+    };
 
     for dump in &world.whois_dumps {
-        let path = whois_dir.join(format!("{}.txt", dump.registry));
-        fs::write(&path, &dump.text).map_err(|e| io_err("writing", &path, e))?;
+        put(
+            &mut manifest,
+            format!("whois/{}.txt", dump.registry),
+            dump.text.as_bytes(),
+        )?;
     }
-    let path = dir.join("rib.mrt");
-    fs::write(&path, &world.mrt).map_err(|e| io_err("writing", &path, e))?;
-
-    let path = dir.join("as2org.tsv");
-    fs::write(&path, world.as2org.records_tsv()).map_err(|e| io_err("writing", &path, e))?;
+    put(&mut manifest, "rib.mrt".to_string(), &world.mrt)?;
+    put(
+        &mut manifest,
+        "as2org.tsv".to_string(),
+        world.as2org.records_tsv().as_bytes(),
+    )?;
 
     // Sibling edges are not exposed by As2OrgDb directly; regenerate them
     // from the cluster structure: spanning edges per cluster are enough to
@@ -58,8 +84,11 @@ pub fn write_world(world: &World, dir: &Path) -> Result<(), String> {
             edges.push(vec![pair[0].to_string(), pair[1].to_string()]);
         }
     }
-    let path = dir.join("siblings.tsv");
-    fs::write(&path, tsv::write_rows(&edges)).map_err(|e| io_err("writing", &path, e))?;
+    put(
+        &mut manifest,
+        "siblings.tsv".to_string(),
+        tsv::write_rows(&edges).as_bytes(),
+    )?;
 
     let mut rows: Vec<Vec<String>> = world
         .jpnic_alloc
@@ -67,27 +96,43 @@ pub fn write_world(world: &World, dir: &Path) -> Result<(), String> {
         .map(|(p, t)| vec![p.to_string(), t.keyword().to_string()])
         .collect();
     rows.sort();
-    let path = dir.join("jpnic_alloc.tsv");
-    fs::write(&path, tsv::write_rows(&rows)).map_err(|e| io_err("writing", &path, e))?;
+    put(
+        &mut manifest,
+        "jpnic_alloc.tsv".to_string(),
+        tsv::write_rows(&rows).as_bytes(),
+    )?;
 
-    let path = dir.join("rpki.jsonl");
-    fs::write(&path, p2o_rpki::persist::to_jsonl(&world.rpki))
-        .map_err(|e| io_err("writing", &path, e))?;
+    // RPKI goes through the persist crate's own atomic writer; record the
+    // same serialization in the manifest.
+    let rpki_path = dir.join("rpki.jsonl");
+    p2o_rpki::persist::save_jsonl(vfs, &rpki_path, &world.rpki)
+        .map_err(|e| io_err("writing", &rpki_path, e))?;
+    manifest.record(
+        "rpki.jsonl",
+        p2o_rpki::persist::to_jsonl(&world.rpki).as_bytes(),
+    );
 
     // Delegated-extended statistics (the paper's §4.1 footnote source).
     let delegated_dir = dir.join("delegated");
-    fs::create_dir_all(&delegated_dir).map_err(|e| io_err("creating", &delegated_dir, e))?;
+    vfs.create_dir_all(&delegated_dir)
+        .map_err(|e| io_err("creating", &delegated_dir, e))?;
     for (rir, text) in world.delegated_files() {
-        let path = delegated_dir.join(format!("{}.txt", rir.name()));
-        fs::write(&path, text).map_err(|e| io_err("writing", &path, e))?;
+        put(
+            &mut manifest,
+            format!("delegated/{}.txt", rir.name()),
+            text.as_bytes(),
+        )?;
     }
 
     // A CAIDA prefix2as rendering of the RIB for interchange with existing
     // tooling.
     let routes = RouteTable::from_mrt(world.mrt.clone())
         .map_err(|e| format!("generated MRT must parse: {e}"))?;
-    let path = dir.join("pfx2as.txt");
-    fs::write(&path, p2o_bgp::pfx2as::write(&routes)).map_err(|e| io_err("writing", &path, e))?;
+    put(
+        &mut manifest,
+        "pfx2as.txt".to_string(),
+        p2o_bgp::pfx2as::write(&routes).as_bytes(),
+    )?;
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for list in &world.truth.published_lists {
@@ -99,10 +144,14 @@ pub fn write_world(world: &World, dir: &Path) -> Result<(), String> {
             ]);
         }
     }
-    let path = truth_dir.join("lists.tsv");
-    fs::write(&path, tsv::write_rows(&rows)).map_err(|e| io_err("writing", &path, e))?;
+    put(
+        &mut manifest,
+        "truth/lists.tsv".to_string(),
+        tsv::write_rows(&rows).as_bytes(),
+    )?;
 
     let meta = vec![
+        vec!["format_version".to_string(), FORMAT_VERSION.to_string()],
         vec![
             "snapshot_date".to_string(),
             world.config.snapshot_date.to_string(),
@@ -110,9 +159,12 @@ pub fn write_world(world: &World, dir: &Path) -> Result<(), String> {
         vec!["seed".to_string(), world.config.seed.to_string()],
         vec!["transfers".to_string(), world.config.transfers.to_string()],
     ];
-    let path = dir.join("meta.tsv");
-    fs::write(&path, tsv::write_rows(&meta)).map_err(|e| io_err("writing", &path, e))?;
-    Ok(())
+    put(
+        &mut manifest,
+        "meta.tsv".to_string(),
+        tsv::write_rows(&meta).as_bytes(),
+    )?;
+    Ok(manifest)
 }
 
 /// One ground-truth list loaded from disk.
@@ -182,12 +234,18 @@ impl std::fmt::Display for LoadError {
 
 /// What [`load_inputs_mode`] returns: the parsed inputs plus every record
 /// the lenient parsers rejected (empty on clean input, and always empty in
-/// strict mode — strict aborts instead).
+/// strict mode — strict aborts instead), and the manifest verification
+/// outcome (torn/altered artifacts are *reported*, never fatal).
 pub struct LoadOutcome {
     /// The parsed snapshot inputs.
     pub inputs: LoadedInputs,
     /// Every rejected record, with file names stamped.
     pub quarantine: Quarantine,
+    /// Artifacts that failed `MANIFEST.tsv` verification, sorted by path.
+    pub torn: Vec<(String, VerifyIssue)>,
+    /// Artifacts that verified clean against the manifest (0 when the
+    /// directory has no manifest).
+    pub manifest_verified: u64,
 }
 
 /// Loads and parses a snapshot directory through the real substrate paths.
@@ -207,7 +265,7 @@ pub fn load_inputs_with(
     obs: Option<&p2o_obs::Obs>,
     threads: usize,
 ) -> Result<LoadedInputs, String> {
-    load_inputs_mode(dir, obs, threads, IngestMode::Lenient)
+    load_inputs_mode(&Vfs::real(), dir, obs, threads, IngestMode::Lenient)
         .map(|outcome| outcome.inputs)
         .map_err(|e| e.to_string())
 }
@@ -226,32 +284,69 @@ fn strict_abort(file: &str, records: Vec<QuarantinedRecord>) -> LoadError {
 /// The full-control loader behind [`load_inputs_with`]: parses every input
 /// through the lenient (resyncing) parsers, quarantining rejected records.
 /// In [`IngestMode::Strict`] the first rejected record of any file aborts
-/// the load with its typed diagnostic instead.
+/// the load with its typed diagnostic instead. When the directory carries a
+/// `MANIFEST.tsv`, every listed artifact is verified against its recorded
+/// digest first; mismatches are returned in [`LoadOutcome::torn`] (and
+/// ticked onto `store.torn_detected`) but never abort the load.
 pub fn load_inputs_mode(
+    vfs: &Vfs,
     dir: &Path,
     obs: Option<&p2o_obs::Obs>,
     threads: usize,
     mode: IngestMode,
 ) -> Result<LoadOutcome, LoadError> {
     let read = |path: PathBuf| -> Result<String, String> {
-        fs::read_to_string(&path).map_err(|e| io_err("reading", &path, e))
+        vfs.read_to_string(&path)
+            .map_err(|e| io_err("reading", &path, e))
     };
     let mut quarantine = Quarantine::new();
     if let Some(o) = obs {
-        // Register the whole counter family up front so clean runs report
+        // Register the whole counter families up front so clean runs report
         // explicit zeros rather than missing series.
         p2o_obs::register_ingest_counters(o);
+        p2o_obs::register_durability_counters(o);
     }
 
-    // Meta first (the snapshot date drives RPKI validation).
+    // Meta first: the format version gate, then the snapshot date (which
+    // drives RPKI validation).
     let mut snapshot_date = 20240901u32;
     if let Ok(meta) = read(dir.join("meta.tsv")) {
         for row in tsv::parse_rows(&meta, 2).map_err(|e| e.to_string())? {
+            if row[0] == "format_version" {
+                let version: u32 = row[1]
+                    .parse()
+                    .map_err(|_| format!("bad format_version {:?}", row[1]))?;
+                if version > FORMAT_VERSION {
+                    return Err(LoadError::Other(format!(
+                        "{} has format_version {version}, newer than this binary supports \
+                         (max {FORMAT_VERSION}); upgrade prefix2org or regenerate the \
+                         directory with this version",
+                        dir.display()
+                    )));
+                }
+            }
             if row[0] == "snapshot_date" {
                 snapshot_date = row[1]
                     .parse()
                     .map_err(|_| format!("bad snapshot_date {:?}", row[1]))?;
             }
+        }
+    }
+
+    // Durability audit: verify every artifact the manifest records before
+    // parsing anything. Detection, not enforcement — a torn file is warned
+    // about here and then handled by the lenient parsers like any other
+    // corruption.
+    let mut torn: Vec<(String, VerifyIssue)> = Vec::new();
+    let mut manifest_verified = 0u64;
+    if let Some(manifest) = Manifest::load(vfs, dir).map_err(LoadError::Other)? {
+        torn = manifest.verify_all(vfs, dir);
+        manifest_verified = manifest.len() as u64 - torn.len() as u64;
+        if let Some(o) = obs {
+            o.counter(p2o_obs::STORE_TORN_DETECTED)
+                .add(torn.len() as u64);
+            o.counter(p2o_obs::CHECKPOINT_ARTIFACTS_VERIFIED)
+                .add(manifest_verified);
         }
     }
 
@@ -262,7 +357,7 @@ pub fn load_inputs_mode(
     if let Some(o) = obs {
         db.instrument(o);
     }
-    let mut entries: Vec<PathBuf> = fs::read_dir(&whois_dir)
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&whois_dir)
         .map_err(|e| io_err("listing", &whois_dir, e))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "txt"))
@@ -318,7 +413,7 @@ pub fn load_inputs_mode(
     // BGP: always the lenient (resyncing) reader — on clean input it is
     // observationally identical to the strict instrumented path.
     let path = dir.join("rib.mrt");
-    let mrt = fs::read(&path).map_err(|e| io_err("reading", &path, e))?;
+    let mrt = vfs.read(&path).map_err(|e| io_err("reading", &path, e))?;
     let lenient = RouteTable::from_mrt_lenient(bytes::Bytes::from(mrt), obs, threads);
     if !lenient.quarantined.is_empty() {
         if mode == IngestMode::Strict {
@@ -337,7 +432,9 @@ pub fn load_inputs_mode(
     let clusters = as2org.cluster();
 
     // RPKI.
-    let (repo, rejected) = p2o_rpki::persist::from_jsonl_lenient(&read(dir.join("rpki.jsonl"))?);
+    let rpki_path = dir.join("rpki.jsonl");
+    let (repo, rejected) = p2o_rpki::persist::load_jsonl_lenient(vfs, &rpki_path)
+        .map_err(|e| io_err("reading", &rpki_path, e))?;
     if !rejected.is_empty() {
         if mode == IngestMode::Strict {
             return Err(strict_abort("rpki.jsonl", rejected));
@@ -386,5 +483,7 @@ pub fn load_inputs_mode(
             snapshot_date,
         },
         quarantine,
+        torn,
+        manifest_verified,
     })
 }

@@ -1,0 +1,297 @@
+//! Kill-point chaos harness: run `build` in a subprocess, kill it at every
+//! seeded kill-point in the atomic-write protocol, resume, and prove the
+//! final export is byte-identical to an uninterrupted run. This is the
+//! tentpole durability property: **a crash at any write boundary loses no
+//! committed data and never corrupts the export**.
+//!
+//! The faults are injected through the `P2O_VFS_FAULT` environment
+//! variable (see `p2o_util::vfs`); a fired kill-point exits with the
+//! distinctive code 86 so the harness can tell an injected kill from a
+//! genuine failure.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use p2o_util::vfs::{ENV_FAULT, KILL_EXIT_CODE};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_prefix2org")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .env_remove(ENV_FAULT)
+        .output()
+        .expect("binary runs")
+}
+
+fn run_faulted(args: &[&str], fault: &str) -> Output {
+    Command::new(bin())
+        .args(args)
+        .env(ENV_FAULT, fault)
+        .output()
+        .expect("binary runs")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p2o-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Generates a world into `dir` and returns the full `build` argument
+/// vector (report + metrics + trace bound to files, so every kill-point
+/// label in the build path is reachable).
+fn generate(dir: &Path, seed: &str) -> Vec<String> {
+    let dir_s = dir.to_str().unwrap().to_string();
+    run_ok(&[
+        "generate", "--out", &dir_s, "--scale", "tiny", "--seed", seed,
+    ]);
+    [
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        dir.join("dataset.jsonl").to_str().unwrap(),
+        "--threads",
+        "2",
+        "--report",
+        dir.join("run.json").to_str().unwrap(),
+        "--metrics",
+        dir.join("metrics.prom").to_str().unwrap(),
+        "--trace",
+        dir.join("trace.json").to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn as_strs(args: &[String]) -> Vec<&str> {
+    args.iter().map(String::as_str).collect()
+}
+
+/// The tentpole property: for every kill-point in the build's atomic-write
+/// protocol, a build killed there and then resumed produces an export
+/// byte-identical to one that was never interrupted.
+#[test]
+fn killed_build_resumes_to_byte_identical_export() {
+    let dir = temp_dir("kill-matrix");
+    let build = generate(&dir, "77");
+    let dataset = dir.join("dataset.jsonl");
+
+    // Uninterrupted golden run.
+    run_ok(&as_strs(&build));
+    let golden = std::fs::read(&dataset).expect("golden export");
+    assert!(!golden.is_empty());
+
+    // Every label the build writes, at every protocol phase worth killing:
+    // `partial` (before the tmp write), `tmp` (tmp written, not renamed),
+    // `final` (renamed, later artifacts missing).
+    let kill_points = [
+        "export@partial",
+        "export@tmp",
+        "export@final",
+        "report@partial",
+        "report@tmp",
+        "metrics@partial",
+        "trace@tmp",
+        "ckpt@partial",
+        "ckpt@tmp",
+    ];
+    let mut resume = build.clone();
+    resume.push("--resume".to_string());
+    for point in kill_points {
+        // Start from a cold cache each round so the kill is exercised
+        // against a real write, not a skip.
+        let _ = std::fs::remove_file(dir.join("dataset.jsonl.ckpt"));
+
+        let out = run_faulted(&as_strs(&build), &format!("kill:{point}"));
+        assert_eq!(
+            out.status.code(),
+            Some(KILL_EXIT_CODE),
+            "kill-point {point} did not fire:\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        // Resume. Whatever the kill left behind (missing export, stray tmp
+        // file, stale artifacts, missing stamp), the resumed build must
+        // converge to the golden bytes without manual cleanup.
+        let out = run(&as_strs(&resume));
+        assert!(
+            out.status.success(),
+            "resume after {point} failed:\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let recovered = std::fs::read(&dataset).expect("recovered export");
+        assert_eq!(
+            recovered, golden,
+            "export differs from golden after kill at {point}"
+        );
+    }
+
+    // With the stamp intact a second `--resume` run skips the build.
+    let out = run(&as_strs(&resume));
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("resumed"),
+        "clean re-run did not skip: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert_eq!(std::fs::read(&dataset).unwrap(), golden);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seeded short-write storms: whatever subset of writes a seed tears, a
+/// clean resume converges to the golden export, and `fsck` flags the
+/// debris of every interrupted run.
+#[test]
+fn short_write_storms_recover_across_seeds() {
+    let dir = temp_dir("short-seeds");
+    let build = generate(&dir, "78");
+    let dataset = dir.join("dataset.jsonl");
+
+    run_ok(&as_strs(&build));
+    let golden = std::fs::read(&dataset).expect("golden export");
+
+    let mut resume = build.clone();
+    resume.push("--resume".to_string());
+    for seed in ["1", "2", "3", "4", "5", "6", "7"] {
+        let _ = std::fs::remove_file(dir.join("dataset.jsonl.ckpt"));
+        // Roughly every other write is torn short and errors. Whether or
+        // not this particular seed's schedule hits a write the build
+        // needs, the export is never half-written: it either still holds
+        // the golden bytes (rename never happened, or the run got lucky)
+        // or doesn't exist.
+        let _ = run_faulted(&as_strs(&build), &format!("short:{seed}:2"));
+        if dataset.exists() {
+            assert_eq!(
+                std::fs::read(&dataset).unwrap(),
+                golden,
+                "seed {seed}: torn write reached the published export"
+            );
+        }
+        let out = run(&as_strs(&resume));
+        assert!(
+            out.status.success(),
+            "seed {seed}: resume failed:\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            std::fs::read(&dataset).unwrap(),
+            golden,
+            "seed {seed}: recovered export differs from golden"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ENOSPC and EIO mid-write never touch the published artifact, and
+/// `fsck` detects the leftover tmp debris and exits 2.
+#[test]
+fn write_errors_leave_old_artifact_intact_and_fsck_flags_debris() {
+    let dir = temp_dir("eio");
+    let build = generate(&dir, "79");
+    let dataset = dir.join("dataset.jsonl");
+    let dir_s = dir.to_str().unwrap();
+
+    run_ok(&as_strs(&build));
+    let golden = std::fs::read(&dataset).expect("golden export");
+    let out = run(&["fsck", dir_s]);
+    assert!(
+        out.status.success(),
+        "clean directory must fsck clean:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for fault in ["eio:dataset.jsonl", "enospc:4096"] {
+        let _ = std::fs::remove_file(dir.join("dataset.jsonl.ckpt"));
+        let out = run_faulted(&as_strs(&build), fault);
+        assert!(!out.status.success(), "{fault}: faulted build must fail");
+        // Atomicity: the published export still holds the old bytes.
+        assert_eq!(
+            std::fs::read(&dataset).unwrap(),
+            golden,
+            "{fault}: fault reached the published export"
+        );
+        // The failed write leaves a tmp file behind; fsck finds it and
+        // exits 2 (the integrity exit code).
+        let out = run(&["fsck", dir_s]);
+        assert_eq!(out.status.code(), Some(2), "{fault}: fsck missed debris");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("leftover tmp"),
+            "{fault}: fsck did not name the tmp file:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+
+        // Recovery clears the debris: the tmp path is rewritten and
+        // renamed away by the next successful atomic write.
+        let out = run(&as_strs(&build));
+        assert!(
+            out.status.success(),
+            "{fault}: recovery build failed:\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(std::fs::read(&dataset).unwrap(), golden);
+        let out = run(&["fsck", dir_s]);
+        assert!(
+            out.status.success(),
+            "recovered directory must fsck clean:\nstdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `generate` is covered by the same protocol: a kill mid-store leaves a
+/// directory that `fsck` flags (or a manifest that is simply missing),
+/// and regeneration converges to identical artifacts.
+#[test]
+fn killed_generate_regenerates_identically() {
+    let dir = temp_dir("gen-kill");
+    let dir_s = dir.to_str().unwrap().to_string();
+    let gen: Vec<&str> = vec![
+        "generate", "--out", &dir_s, "--scale", "tiny", "--seed", "80",
+    ];
+
+    run_ok(&gen);
+    let golden_mrt = std::fs::read(dir.join("rib.mrt")).unwrap();
+    let golden_meta = std::fs::read(dir.join("meta.tsv")).unwrap();
+
+    for point in ["store@tmp", "manifest@partial"] {
+        let out = run_faulted(&gen, &format!("kill:{point}"));
+        assert_eq!(
+            out.status.code(),
+            Some(KILL_EXIT_CODE),
+            "kill-point {point} did not fire"
+        );
+        run_ok(&gen);
+        assert_eq!(std::fs::read(dir.join("rib.mrt")).unwrap(), golden_mrt);
+        assert_eq!(std::fs::read(dir.join("meta.tsv")).unwrap(), golden_meta);
+        let out = run(&["fsck", &dir_s]);
+        assert!(
+            out.status.success(),
+            "regenerated directory must fsck clean:\nstdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -473,6 +473,199 @@ fn strict_build_on_corrupt_input_exits_2_with_diagnostic() {
 }
 
 #[test]
+fn resume_skips_when_current_and_recomputes_when_stale() {
+    let dir = temp_dir("resume");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate", "--out", dir_s, "--scale", "tiny", "--seed", "21",
+    ]);
+    let dataset = dir.join("dataset.jsonl");
+    let ds = dataset.to_str().unwrap();
+
+    // First build writes the checkpoint stamp next to the export.
+    run_ok(&["build", "--in", dir_s, "--out", ds]);
+    let stamp = dir.join("dataset.jsonl.ckpt");
+    assert!(stamp.exists(), "no checkpoint stamp written");
+    let golden = std::fs::read(&dataset).unwrap();
+
+    // --resume with everything current: skipped, export untouched.
+    let out = run(&["build", "--in", dir_s, "--out", ds, "--resume"]);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("resumed"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert_eq!(std::fs::read(&dataset).unwrap(), golden);
+
+    // Changed options invalidate the stamp (the inputs digest covers
+    // them): the build recomputes with a warning, never aborts.
+    let out = run(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        ds,
+        "--resume",
+        "--quarantine-samples",
+        "3",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("inputs or options changed"), "{stderr}");
+    assert_eq!(std::fs::read(&dataset).unwrap(), golden);
+
+    // A damaged export likewise recomputes (and heals the file).
+    std::fs::write(&dataset, b"torn").unwrap();
+    let out = run(&[
+        "build",
+        "--in",
+        dir_s,
+        "--out",
+        ds,
+        "--resume",
+        "--quarantine-samples",
+        "3",
+    ]);
+    assert!(out.status.success());
+    assert_eq!(std::fs::read(&dataset).unwrap(), golden);
+
+    // Without --resume a valid stamp is ignored: the build always runs.
+    let out = run(&["build", "--in", dir_s, "--out", ds]);
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("resumed"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_passes_clean_directories_and_exits_2_on_damage() {
+    let dir = temp_dir("fsck");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate", "--out", dir_s, "--scale", "tiny", "--seed", "22",
+    ]);
+
+    let out = run(&["fsck", dir_s]);
+    assert!(
+        out.status.success(),
+        "clean directory failed fsck:\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("ok ("),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Tear an artifact the manifest covers: fsck names it and exits 2.
+    let mrt = std::fs::read(dir.join("rib.mrt")).unwrap();
+    std::fs::write(dir.join("rib.mrt"), &mrt[..mrt.len() / 2]).unwrap();
+    std::fs::write(dir.join("whois").join("X.txt.p2o-tmp"), b"debris").unwrap();
+    let out = run(&["fsck", dir_s]);
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rib.mrt"), "{stdout}");
+    assert!(stdout.contains("leftover tmp"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("integrity error"), "{stderr}");
+
+    // A directory that is not there is a general error (exit 1), not an
+    // integrity finding.
+    let out = run(&["fsck", "/nonexistent-p2o"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn future_format_version_is_rejected_with_actionable_error() {
+    let dir = temp_dir("format-version");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate", "--out", dir_s, "--scale", "tiny", "--seed", "23",
+    ]);
+
+    let meta = std::fs::read_to_string(dir.join("meta.tsv")).unwrap();
+    assert!(meta.contains("format_version\t1"), "{meta}");
+    let bumped = meta.replace("format_version\t1", "format_version\t99");
+    std::fs::write(dir.join("meta.tsv"), &bumped).unwrap();
+
+    let dataset = dir.join("dataset.jsonl");
+    let out = run(&["build", "--in", dir_s, "--out", dataset.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("format_version 99"), "{stderr}");
+    assert!(stderr.contains("newer than this binary"), "{stderr}");
+    assert!(stderr.contains("upgrade"), "{stderr}");
+    assert!(!dataset.exists(), "build must not write on a rejected load");
+
+    // fsck reports the same problem as a finding.
+    let out = run(&["fsck", dir_s]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("format_version 99"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantine_samples_flag_caps_report_samples() {
+    let dir = temp_dir("qsamples");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate",
+        "--out",
+        dir_s,
+        "--scale",
+        "tiny",
+        "--seed",
+        "42",
+        "--corrupt-rate",
+        "0.2",
+        "--corrupt-seed",
+        "7",
+    ]);
+    let dataset = dir.join("dataset.jsonl");
+    let report = dir.join("run.json");
+    let samples_with = |cap: &str| -> (u64, usize) {
+        let out = run(&[
+            "build",
+            "--in",
+            dir_s,
+            "--out",
+            dataset.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+            "--quarantine-samples",
+            cap,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = p2o_util::Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let parsed = p2o_obs::RunReport::from_json(&doc).unwrap();
+        let dq = parsed.data_quality.expect("data_quality present");
+        (dq.quarantined, dq.samples.len())
+    };
+
+    let (quarantined, at_two) = samples_with("2");
+    assert!(quarantined > 2, "need >2 quarantined records for the cap");
+    assert_eq!(at_two, 2, "--quarantine-samples 2 must cap the samples");
+    let (_, at_zero) = samples_with("0");
+    assert_eq!(at_zero, 0);
+    let (q, uncapped) = samples_with("100000");
+    assert_eq!(uncapped as u64, q, "a huge cap keeps every sample");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     // Unknown command.
     let out = run(&["frobnicate"]);

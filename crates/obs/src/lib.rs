@@ -339,6 +339,7 @@ impl Obs {
             counters,
             histograms,
             data_quality: None,
+            durability: None,
         }
     }
 }
@@ -372,6 +373,94 @@ pub fn record_quarantine(obs: &Obs, quarantine: &Quarantine) {
     for kind in IngestErrorKind::ALL {
         obs.counter(&format!("{INGEST_QUARANTINED}.{}", kind.counter_suffix()))
             .add(quarantine.count_for_kind(kind));
+    }
+}
+
+/// Torn or altered artifacts detected by manifest/frame verification.
+pub const STORE_TORN_DETECTED: &str = "store.torn_detected";
+/// Builds whose checkpoint verified and whose pipeline was skipped.
+pub const CHECKPOINT_SKIPPED: &str = "checkpoint.skipped";
+/// Builds whose checkpoint was stale/torn and were recomputed.
+pub const CHECKPOINT_RECOMPUTED: &str = "checkpoint.recomputed";
+/// Artifacts verified against a checkpoint or manifest digest.
+pub const CHECKPOINT_ARTIFACTS_VERIFIED: &str = "checkpoint.artifacts_verified";
+/// Injected I/O faults of any kind (nonzero only under fault injection).
+pub const IO_FAULT_INJECTED: &str = "io.fault.injected";
+/// Injected short (torn) writes.
+pub const IO_FAULT_SHORT_WRITE: &str = "io.fault.short_write";
+/// Injected out-of-space failures.
+pub const IO_FAULT_ENOSPC: &str = "io.fault.enospc";
+/// Injected I/O errors.
+pub const IO_FAULT_EIO: &str = "io.fault.eio";
+
+/// Registers the durability counter family at zero, so clean runs and
+/// chaos runs are structurally identical in reports and Prometheus
+/// exports (same rationale as [`register_ingest_counters`]).
+pub fn register_durability_counters(obs: &Obs) {
+    obs.counter(STORE_TORN_DETECTED);
+    obs.counter(CHECKPOINT_SKIPPED);
+    obs.counter(CHECKPOINT_RECOMPUTED);
+    obs.counter(CHECKPOINT_ARTIFACTS_VERIFIED);
+    obs.counter(IO_FAULT_INJECTED);
+    obs.counter(IO_FAULT_SHORT_WRITE);
+    obs.counter(IO_FAULT_ENOSPC);
+    obs.counter(IO_FAULT_EIO);
+}
+
+/// The `durability` section of a run report: what the crash-safety layer
+/// did this run — atomic writes performed, artifacts verified against the
+/// manifest, torn writes detected, checkpoint decision, injected faults.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DurabilitySummary {
+    /// Completed atomic (tmp + fsync + rename) writes.
+    pub atomic_writes: u64,
+    /// Artifacts whose digests were verified against a manifest/checkpoint.
+    pub artifacts_verified: u64,
+    /// Torn, truncated, or altered artifacts detected (and recovered from).
+    pub torn_detected: u64,
+    /// Checkpoint decision: `none`, `created`, `skipped`, or `recomputed`.
+    pub checkpoint: String,
+    /// Injected I/O faults (nonzero only under fault injection).
+    pub faults_injected: u64,
+}
+
+impl DurabilitySummary {
+    /// Serializes to the `durability` JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set("atomic_writes", self.atomic_writes);
+        root.set("artifacts_verified", self.artifacts_verified);
+        root.set("torn_detected", self.torn_detected);
+        root.set(
+            "checkpoint",
+            if self.checkpoint.is_empty() {
+                "none"
+            } else {
+                self.checkpoint.as_str()
+            },
+        );
+        root.set("faults_injected", self.faults_injected);
+        root
+    }
+
+    /// Parses a `durability` JSON object back into a summary.
+    pub fn from_json(json: &Json) -> Result<DurabilitySummary, String> {
+        let num = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("durability: missing {key}"))
+        };
+        Ok(DurabilitySummary {
+            atomic_writes: num("atomic_writes")?,
+            artifacts_verified: num("artifacts_verified")?,
+            torn_detected: num("torn_detected")?,
+            checkpoint: json
+                .get("checkpoint")
+                .and_then(Json::as_str)
+                .unwrap_or("none")
+                .to_string(),
+            faults_injected: num("faults_injected")?,
+        })
     }
 }
 
@@ -458,6 +547,9 @@ pub struct RunReport {
     /// Ingest quarantine summary, when the run parsed external inputs
     /// leniently (`None` for runs without an ingest phase).
     pub data_quality: Option<QuarantineSummary>,
+    /// Crash-safety summary, when the run wrote artifacts through the
+    /// durability layer (`None` for in-memory runs).
+    pub durability: Option<DurabilitySummary>,
 }
 
 impl RunReport {
@@ -518,6 +610,9 @@ impl RunReport {
         root.set("histograms", Json::Arr(hists));
         if let Some(dq) = &self.data_quality {
             root.set("data_quality", dq.to_json());
+        }
+        if let Some(d) = &self.durability {
+            root.set("durability", d.to_json());
         }
         root
     }
@@ -589,11 +684,16 @@ impl RunReport {
             .get("data_quality")
             .map(QuarantineSummary::from_json)
             .transpose()?;
+        let durability = doc
+            .get("durability")
+            .map(DurabilitySummary::from_json)
+            .transpose()?;
         Ok(RunReport {
             stages,
             counters,
             histograms,
             data_quality,
+            durability,
         })
     }
 
@@ -653,6 +753,31 @@ impl RunReport {
                 if *count > 0 {
                     out.push_str(&format!("  {layer:width$}  {count:>10}\n"));
                 }
+            }
+        }
+        if let Some(d) = &self.durability {
+            out.push_str("durability\n");
+            out.push_str(&format!(
+                "  {:width$}  {:>10}\n",
+                "atomic_writes", d.atomic_writes
+            ));
+            out.push_str(&format!(
+                "  {:width$}  {:>10}\n",
+                "artifacts_verified", d.artifacts_verified
+            ));
+            out.push_str(&format!(
+                "  {:width$}  {:>10}\n",
+                "torn_detected", d.torn_detected
+            ));
+            out.push_str(&format!(
+                "  {:width$}  {:>10}\n",
+                "checkpoint", d.checkpoint
+            ));
+            if d.faults_injected > 0 {
+                out.push_str(&format!(
+                    "  {:width$}  {:>10}\n",
+                    "faults_injected", d.faults_injected
+                ));
             }
         }
         out
@@ -781,6 +906,35 @@ mod tests {
         assert_eq!(dq.quarantined, 1);
         assert_eq!(dq.samples.len(), 1);
         assert!(report.summary_table().contains("data quality"));
+    }
+
+    #[test]
+    fn durability_round_trips_and_registers_zeroed_counters() {
+        let obs = Obs::new();
+        register_durability_counters(&obs);
+        let mut report = obs.report();
+        assert_eq!(report.counter(STORE_TORN_DETECTED), Some(0));
+        assert_eq!(report.counter(CHECKPOINT_SKIPPED), Some(0));
+        assert_eq!(report.counter(IO_FAULT_INJECTED), Some(0));
+        report.durability = Some(DurabilitySummary {
+            atomic_writes: 14,
+            artifacts_verified: 12,
+            torn_detected: 1,
+            checkpoint: "recomputed".to_string(),
+            faults_injected: 2,
+        });
+        let text = report.to_json_string();
+        let doc = p2o_util::Json::parse(&text).expect("valid json");
+        let back = RunReport::from_json(&doc).expect("parses");
+        let d = back.durability.expect("durability present");
+        assert_eq!(d, *report.durability.as_ref().unwrap());
+        let table = report.summary_table();
+        assert!(table.contains("durability"), "{table}");
+        assert!(table.contains("recomputed"), "{table}");
+        assert!(table.contains("faults_injected"), "{table}");
+        // Empty checkpoint serializes as the explicit "none".
+        let none = DurabilitySummary::default().to_json().to_string_pretty();
+        assert!(none.contains("\"none\""), "{none}");
     }
 
     #[test]

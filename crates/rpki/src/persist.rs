@@ -9,8 +9,11 @@
 //! Ids and signatures are full 64-bit digests, which do not fit in a JSON
 //! number without loss; they are stored as decimal strings.
 
+use std::path::Path;
+
 use p2o_net::Prefix;
 use p2o_util::ingest::{IngestErrorKind, QuarantinedRecord};
+use p2o_util::vfs::Vfs;
 use p2o_util::{Digest, Json};
 
 use crate::cert::{CertId, ResourceCert, Roa, RoaPrefix};
@@ -82,6 +85,21 @@ pub fn to_jsonl(repo: &RpkiRepository) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Serializes `repo` and writes it atomically (tmp + fsync + rename) so a
+/// crash mid-save never leaves a torn `rpki.jsonl` in place of a good one.
+pub fn save_jsonl(vfs: &Vfs, path: &Path, repo: &RpkiRepository) -> std::io::Result<()> {
+    p2o_util::atomic::write_atomic(vfs, path, "rpki", to_jsonl(repo).as_bytes())
+}
+
+/// Reads and leniently restores a repository file; I/O failures surface as
+/// a single error, per-line damage quarantines as in [`from_jsonl_lenient`].
+pub fn load_jsonl_lenient(
+    vfs: &Vfs,
+    path: &Path,
+) -> std::io::Result<(RpkiRepository, Vec<QuarantinedRecord>)> {
+    Ok(from_jsonl_lenient(&vfs.read_to_string(path)?))
 }
 
 struct LineReader<'a> {
@@ -375,6 +393,23 @@ mod tests {
     fn blank_lines_are_skipped() {
         let text = to_jsonl(&sample_repo()).replace('\n', "\n\n");
         assert!(from_jsonl(&text).is_ok());
+    }
+
+    #[test]
+    fn atomic_save_load_round_trip_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("p2o-rpki-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let vfs = Vfs::real();
+        let path = dir.join("rpki.jsonl");
+        let repo = sample_repo();
+        save_jsonl(&vfs, &path, &repo).unwrap();
+        assert!(!p2o_util::atomic::tmp_path(&path).exists());
+        let (restored, quarantined) = load_jsonl_lenient(&vfs, &path).unwrap();
+        assert!(quarantined.is_empty());
+        assert_eq!(restored.cert_count(), repo.cert_count());
+        assert_eq!(restored.roa_count(), repo.roa_count());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

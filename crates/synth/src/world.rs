@@ -188,6 +188,7 @@ impl World {
             // surface even on clean input (all zeros), so clean and
             // corrupted runs stay structurally identical.
             p2o_obs::register_ingest_counters(o);
+            p2o_obs::register_durability_counters(o);
             db.instrument(o);
         }
         for dump in &self.whois_dumps {

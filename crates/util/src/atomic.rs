@@ -1,0 +1,333 @@
+//! Atomic, torn-write-detectable artifact writes.
+//!
+//! The protocol is the classic tmp + fsync + rename dance, driven through a
+//! [`Vfs`] so faults and kill-points can be injected at every step:
+//!
+//! 1. (kill-point `label@partial`) — simulates dying *before* any bytes of
+//!    the new artifact land; the destination keeps its old content (or stays
+//!    absent);
+//! 2. write the full payload to `<path>.p2o-tmp` via [`Vfs::write`] (where
+//!    short writes / ENOSPC / EIO tear the tmp file, never the destination);
+//! 3. (kill-point `label@tmp`) — simulates dying after the tmp write but
+//!    before the rename; the destination is untouched, a stray tmp file is
+//!    left for `fsck` to find;
+//! 4. fsync the tmp file, rename it over the destination, fsync the parent
+//!    directory (best-effort);
+//! 5. (kill-point `label@final`) — simulates dying right after the rename;
+//!    the destination is complete, and resume must *detect* that and skip.
+//!
+//! Because every artifact is replaced by rename, readers never observe a
+//! half-written destination from this protocol alone. Torn-write *detection*
+//! for files that were corrupted out-of-band (or whose write was injected
+//! to fail) comes from two layers: the per-artifact digests recorded in
+//! `MANIFEST.tsv` (see [`manifest`](crate::manifest)), and — for internal
+//! binary artifacts like the build checkpoint stamp — the checksummed frame
+//! format in this module ([`write_framed`] / [`read_framed`]): a 24-byte
+//! header carrying magic, version, payload length and FNV-1a digest, so a
+//! reader can tell *exactly* how a file is damaged ([`FrameError`]).
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::digest::fnv1a_64;
+use crate::vfs::Vfs;
+
+/// Suffix appended to a destination path to form its tmp sibling. Chosen so
+/// the tmp file changes *extension* — directory scans that filter on `.txt`
+/// or `.jsonl` will never pick up a stray tmp as data.
+pub const TMP_SUFFIX: &str = ".p2o-tmp";
+
+/// Magic bytes opening every framed artifact.
+pub const FRAME_MAGIC: [u8; 4] = *b"P2OF";
+
+/// Current frame format version.
+pub const FRAME_VERSION: u16 = 1;
+
+/// Frame header length: magic(4) + version(2) + reserved(2) + len(8) + digest(8).
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// The tmp sibling for `path` (e.g. `meta.tsv` → `meta.tsv.p2o-tmp`).
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(TMP_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// Whether `path` is a leftover tmp file from an interrupted atomic write.
+pub fn is_tmp_path(path: &Path) -> bool {
+    path.to_string_lossy().ends_with(TMP_SUFFIX)
+}
+
+/// Writes `bytes` to `path` atomically: tmp sibling + fsync + rename +
+/// parent-dir sync, with `label`-named kill-points armed at each phase.
+/// On success the destination holds exactly `bytes`; on failure (injected
+/// or real) the destination is untouched and at worst a tmp sibling is
+/// left behind for `fsck` to report.
+pub fn write_atomic(vfs: &Vfs, path: &Path, label: &str, bytes: &[u8]) -> io::Result<()> {
+    vfs.kill_check(label, "partial");
+    let tmp = tmp_path(path);
+    vfs.write(&tmp, bytes)?;
+    vfs.kill_check(label, "tmp");
+    vfs.fsync(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        vfs.fsync_dir(dir);
+    }
+    vfs.kill_check(label, "final");
+    Ok(())
+}
+
+/// How a framed read failed — each variant names a distinct damage mode so
+/// callers (resume, `fsck`) can report precisely what they found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The file could not be read at all.
+    Io(String),
+    /// Shorter than the frame header: torn during the header write.
+    TruncatedHeader {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The magic bytes do not open the file: not a framed artifact.
+    BadMagic {
+        /// The first bytes found instead.
+        found: [u8; 4],
+    },
+    /// The frame version is newer than this binary understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The payload is shorter than the header promised: torn mid-payload.
+    TruncatedPayload {
+        /// Length the header declared.
+        expected: u64,
+        /// Bytes actually present after the header.
+        got: u64,
+    },
+    /// Payload length matches but the digest does not: bit-rot or a
+    /// partially overwritten file.
+    DigestMismatch {
+        /// Digest the header declared.
+        expected: u64,
+        /// Digest of the payload as read.
+        got: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "read failed: {e}"),
+            FrameError::TruncatedHeader { got } => {
+                write!(f, "torn header: {got} of {FRAME_HEADER_LEN} header bytes")
+            }
+            FrameError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad magic {:02X?} (expected {:02X?})",
+                    found, FRAME_MAGIC
+                )
+            }
+            FrameError::UnsupportedVersion { found } => {
+                write!(f, "unsupported frame version {found} (max {FRAME_VERSION})")
+            }
+            FrameError::TruncatedPayload { expected, got } => {
+                write!(f, "torn payload: {got} of {expected} bytes")
+            }
+            FrameError::DigestMismatch { expected, got } => write!(
+                f,
+                "digest mismatch: header says {expected:016X}, payload is {got:016X}"
+            ),
+        }
+    }
+}
+
+/// Wraps `payload` in a checksummed frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]); // reserved
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a_64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses a framed byte string back into its payload, detecting every
+/// damage mode as a distinct [`FrameError`].
+pub fn unframe(bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::TruncatedHeader { got: bytes.len() });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&bytes[0..4]);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version > FRAME_VERSION {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let expected_digest = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    if (payload.len() as u64) < len {
+        return Err(FrameError::TruncatedPayload {
+            expected: len,
+            got: payload.len() as u64,
+        });
+    }
+    let payload = &payload[..len as usize];
+    let got_digest = fnv1a_64(payload);
+    if got_digest != expected_digest {
+        return Err(FrameError::DigestMismatch {
+            expected: expected_digest,
+            got: got_digest,
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Atomically writes `payload` wrapped in a checksummed frame.
+pub fn write_framed(vfs: &Vfs, path: &Path, label: &str, payload: &[u8]) -> io::Result<()> {
+    write_atomic(vfs, path, label, &frame(payload))
+}
+
+/// Reads a framed artifact, verifying magic, version, length, and digest.
+pub fn read_framed(vfs: &Vfs, path: &Path) -> Result<Vec<u8>, FrameError> {
+    let bytes = vfs.read(path).map_err(|e| FrameError::Io(e.to_string()))?;
+    unframe(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::FaultPlan;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p2o-atomic-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tmp_path_changes_extension() {
+        let t = tmp_path(Path::new("/d/arin.txt"));
+        assert_eq!(t, PathBuf::from("/d/arin.txt.p2o-tmp"));
+        assert!(is_tmp_path(&t));
+        assert!(!is_tmp_path(Path::new("/d/arin.txt")));
+        assert_eq!(t.extension().unwrap(), "p2o-tmp");
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_leaves_no_tmp() {
+        let dir = tmp_dir("ok");
+        let vfs = Vfs::real();
+        let path = dir.join("data.tsv");
+        write_atomic(&vfs, &path, "test", b"a\tb\n").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"a\tb\n");
+        assert!(!tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("data.tsv");
+        fs::write(&path, b"old content").unwrap();
+        let vfs = Vfs::with_faults(FaultPlan {
+            eio_substring: Some("data.tsv".to_string()),
+            ..FaultPlan::default()
+        });
+        let err = write_atomic(&vfs, &path, "test", b"new content").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        // The destination still holds the old bytes; only the tmp is torn.
+        assert_eq!(fs::read(&path).unwrap(), b"old content");
+        assert!(tmp_path(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"the quick brown fox";
+        let framed = frame(payload);
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + payload.len());
+        assert_eq!(unframe(&framed).unwrap(), payload);
+        // Empty payload is legal.
+        assert_eq!(unframe(&frame(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn every_damage_mode_is_distinguished() {
+        let framed = frame(b"payload-bytes");
+
+        // Torn during the header.
+        assert_eq!(
+            unframe(&framed[..10]),
+            Err(FrameError::TruncatedHeader { got: 10 })
+        );
+
+        // Not a framed file at all.
+        let mut bad = framed.clone();
+        bad[0] = b'X';
+        assert!(matches!(unframe(&bad), Err(FrameError::BadMagic { .. })));
+
+        // A future version.
+        let mut future = framed.clone();
+        future[4] = 0xFF;
+        future[5] = 0xFF;
+        assert_eq!(
+            unframe(&future),
+            Err(FrameError::UnsupportedVersion { found: 0xFFFF })
+        );
+
+        // Torn mid-payload.
+        let torn = &framed[..framed.len() - 4];
+        assert!(matches!(
+            unframe(torn),
+            Err(FrameError::TruncatedPayload {
+                expected: 13,
+                got: 9
+            })
+        ));
+
+        // Full length, flipped bit.
+        let mut rot = framed.clone();
+        let last = rot.len() - 1;
+        rot[last] ^= 0x01;
+        assert!(matches!(
+            unframe(&rot),
+            Err(FrameError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn framed_file_round_trip_and_torn_detection_on_disk() {
+        let dir = tmp_dir("framed");
+        let vfs = Vfs::real();
+        let path = dir.join("stamp.ckpt");
+        write_framed(&vfs, &path, "ckpt", b"stage\tdigest\n").unwrap();
+        assert_eq!(read_framed(&vfs, &path).unwrap(), b"stage\tdigest\n");
+
+        // Tear the file on disk; the read must say "torn payload".
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            read_framed(&vfs, &path),
+            Err(FrameError::TruncatedPayload { .. })
+        ));
+
+        // A missing file is an Io error, not a panic.
+        assert!(matches!(
+            read_framed(&vfs, &dir.join("absent.ckpt")),
+            Err(FrameError::Io(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

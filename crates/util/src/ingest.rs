@@ -257,6 +257,11 @@ pub fn hex_excerpt(bytes: &[u8], max: usize) -> String {
     out
 }
 
+/// Default number of sample records carried into a report's `data_quality`
+/// section (see [`Quarantine::summary`]; `build --quarantine-samples`
+/// overrides it per run).
+pub const DEFAULT_QUARANTINE_SAMPLES: usize = 8;
+
 /// The quarantine store: every record rejected during one ingest run.
 ///
 /// Counts are always complete; only the stored sample records are capped
@@ -538,6 +543,36 @@ mod tests {
         assert_eq!(
             q.count_for_kind(IngestErrorKind::RpkiBadLine),
             Quarantine::MAX_STORED as u64 + 10
+        );
+    }
+
+    #[test]
+    fn summary_sample_cap_boundary() {
+        let mut q = Quarantine::new();
+        for i in 0..DEFAULT_QUARANTINE_SAMPLES as u64 + 1 {
+            q.push(rec(IngestErrorKind::MrtTruncated, i));
+        }
+        // One past the cap: counts stay complete, samples stop at the cap.
+        let s = q.summary(DEFAULT_QUARANTINE_SAMPLES);
+        assert_eq!(s.quarantined, DEFAULT_QUARANTINE_SAMPLES as u64 + 1);
+        assert_eq!(s.samples.len(), DEFAULT_QUARANTINE_SAMPLES);
+        // Exactly at the cap: every record is a sample.
+        let mut exact = Quarantine::new();
+        for i in 0..DEFAULT_QUARANTINE_SAMPLES as u64 {
+            exact.push(rec(IngestErrorKind::MrtTruncated, i));
+        }
+        assert_eq!(
+            exact.summary(DEFAULT_QUARANTINE_SAMPLES).samples.len(),
+            DEFAULT_QUARANTINE_SAMPLES
+        );
+        // A cap of zero keeps counts but no samples at all.
+        let s0 = q.summary(0);
+        assert_eq!(s0.quarantined, DEFAULT_QUARANTINE_SAMPLES as u64 + 1);
+        assert!(s0.samples.is_empty());
+        // A cap above the population returns everything, no padding.
+        assert_eq!(
+            q.summary(1000).samples.len(),
+            DEFAULT_QUARANTINE_SAMPLES + 1
         );
     }
 

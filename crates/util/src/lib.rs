@@ -20,17 +20,30 @@
 //!   standing in for `proptest` under the same no-registry constraint.
 //! - [`ingest`] — the typed ingest-error taxonomy and record quarantine
 //!   store shared by the MRT, WHOIS, and RPKI parsers.
+//! - [`vfs`] — the injectable filesystem seam every artifact writer goes
+//!   through; production is `std::fs`, fault mode injects deterministic
+//!   short writes, ENOSPC, EIO, and named kill-points.
+//! - [`atomic`] — the atomic-write protocol (tmp + fsync + rename) and the
+//!   checksummed frame format with torn-write detection on read.
+//! - [`manifest`] — the `MANIFEST.tsv` per-artifact digest sidecar that
+//!   `build` verifies against and `fsck` audits.
 
+pub mod atomic;
 pub mod check;
 pub mod digest;
 pub mod ingest;
 pub mod interner;
 pub mod json;
+pub mod manifest;
 pub mod tsv;
 pub mod union_find;
+pub mod vfs;
 
+pub use atomic::{read_framed, write_atomic, write_framed, FrameError};
 pub use digest::{fnv1a_64, Digest};
 pub use ingest::{IngestError, IngestErrorKind, IngestLayer, Quarantine, QuarantinedRecord};
 pub use interner::{ConcurrentInterner, Interner, Symbol};
 pub use json::Json;
+pub use manifest::{Manifest, VerifyIssue};
 pub use union_find::UnionFind;
+pub use vfs::{FaultPlan, Vfs};

@@ -1,0 +1,481 @@
+//! Injectable filesystem backend with deterministic fault injection.
+//!
+//! Every artifact writer in the workspace goes through a [`Vfs`] handle
+//! instead of bare `std::fs`, which gives the repo exactly one seam where
+//! process- and environment-level failures can be simulated:
+//!
+//! - **short writes** — a seeded, deterministic schedule tears selected
+//!   writes after a prefix of the bytes, the way an interrupted `write(2)`
+//!   or a crashing filesystem would;
+//! - **ENOSPC after N bytes** — a byte budget across the whole handle,
+//!   modelling a disk that fills mid-run;
+//! - **EIO on matching paths** — unconditional I/O errors for paths whose
+//!   name contains a substring;
+//! - **named kill-points** — `label@phase` markers consulted by
+//!   [`atomic`](crate::atomic) writes; when armed (via the
+//!   [`P2O_VFS_FAULT`](ENV_FAULT) environment variable) the process exits
+//!   mid-protocol with [`KILL_EXIT_CODE`], simulating a `kill -9` at the
+//!   worst possible instant.
+//!
+//! Production code uses [`Vfs::real`]; the chaos harness and CI arm faults
+//! through the environment so subprocess `build` runs can be killed and
+//! resumed without any test-only CLI flags. All fault decisions are pure
+//! functions of the plan (seed, budgets, op index), so a failing run
+//! replays identically.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Exit code used when a kill-point fires (distinctive, so tests can tell
+/// an injected kill from a genuine failure).
+pub const KILL_EXIT_CODE: i32 = 86;
+
+/// Environment variable holding a [`FaultPlan`] spec; see
+/// [`FaultPlan::parse`]. Absent or empty means no faults.
+pub const ENV_FAULT: &str = "P2O_VFS_FAULT";
+
+/// A deterministic fault-injection plan.
+///
+/// Parsed from a `;`-separated spec (see [`parse`](FaultPlan::parse)):
+///
+/// ```text
+/// short:<seed>:<k>   every write where splitmix64(seed ^ op) % k == 0 tears
+/// enospc:<bytes>     writes fail once <bytes> total bytes have been written
+/// eio:<substring>    writes to paths containing <substring> fail mid-write
+/// kill:<label>@<phase>   the named atomic-write kill-point exits the process
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the short-write schedule.
+    pub seed: u64,
+    /// Tear roughly one in `k` writes (deterministically); `None` = never.
+    pub short_write_one_in: Option<u64>,
+    /// Total byte budget before writes fail with a no-space error.
+    pub enospc_after: Option<u64>,
+    /// Paths containing this substring fail with an I/O error mid-write.
+    pub eio_substring: Option<String>,
+    /// Armed kill-point, as `label@phase`.
+    pub kill_point: Option<String>,
+}
+
+impl FaultPlan {
+    /// Parses the `;`-separated fault spec documented on the type.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault spec {part:?}: expected kind:args"))?;
+            match kind {
+                "short" => {
+                    let (seed, k) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("short fault {rest:?}: expected seed:k"))?;
+                    plan.seed = seed
+                        .parse()
+                        .map_err(|_| format!("short fault: bad seed {seed:?}"))?;
+                    let k: u64 = k.parse().map_err(|_| format!("short fault: bad k {k:?}"))?;
+                    if k == 0 {
+                        return Err("short fault: k must be >= 1".to_string());
+                    }
+                    plan.short_write_one_in = Some(k);
+                }
+                "enospc" => {
+                    plan.enospc_after = Some(
+                        rest.parse()
+                            .map_err(|_| format!("enospc fault: bad byte count {rest:?}"))?,
+                    );
+                }
+                "eio" => plan.eio_substring = Some(rest.to_string()),
+                "kill" => {
+                    if !rest.contains('@') {
+                        return Err(format!("kill point {rest:?}: expected label@phase"));
+                    }
+                    plan.kill_point = Some(rest.to_string());
+                }
+                other => return Err(format!("unknown fault kind {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.short_write_one_in.is_none()
+            && self.enospc_after.is_none()
+            && self.eio_substring.is_none()
+            && self.kill_point.is_none()
+    }
+}
+
+/// Snapshot of a handle's I/O and fault statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VfsStats {
+    /// Completed (untorn) writes.
+    pub writes: u64,
+    /// Bytes successfully written (including torn prefixes).
+    pub bytes_written: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Renames performed.
+    pub renames: u64,
+    /// Injected short writes.
+    pub faults_short_write: u64,
+    /// Injected no-space failures.
+    pub faults_enospc: u64,
+    /// Injected I/O errors.
+    pub faults_eio: u64,
+}
+
+impl VfsStats {
+    /// Total injected faults of any kind.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_short_write + self.faults_enospc + self.faults_eio
+    }
+}
+
+#[derive(Default)]
+struct Cells {
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
+    fsyncs: AtomicU64,
+    renames: AtomicU64,
+    faults_short_write: AtomicU64,
+    faults_enospc: AtomicU64,
+    faults_eio: AtomicU64,
+    op: AtomicU64,
+    budget_used: AtomicU64,
+}
+
+struct VfsInner {
+    fault: Option<FaultPlan>,
+    cells: Cells,
+}
+
+/// The injectable filesystem handle. Cloning is cheap; clones share the
+/// fault budgets, op counter, and statistics.
+#[derive(Clone)]
+pub struct Vfs {
+    inner: Arc<VfsInner>,
+}
+
+impl fmt::Debug for Vfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vfs")
+            .field("fault", &self.inner.fault)
+            .finish()
+    }
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::real()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Vfs {
+    /// The production backend: plain `std::fs`, no faults.
+    pub fn real() -> Vfs {
+        Vfs {
+            inner: Arc::new(VfsInner {
+                fault: None,
+                cells: Cells::default(),
+            }),
+        }
+    }
+
+    /// A backend with the given fault plan armed.
+    pub fn with_faults(plan: FaultPlan) -> Vfs {
+        let fault = if plan.is_empty() { None } else { Some(plan) };
+        Vfs {
+            inner: Arc::new(VfsInner {
+                fault,
+                cells: Cells::default(),
+            }),
+        }
+    }
+
+    /// Builds a handle from the [`ENV_FAULT`] environment variable: the
+    /// production backend when unset, the parsed fault plan otherwise.
+    pub fn from_env() -> Result<Vfs, String> {
+        match std::env::var(ENV_FAULT) {
+            Err(_) => Ok(Vfs::real()),
+            Ok(spec) if spec.trim().is_empty() => Ok(Vfs::real()),
+            Ok(spec) => Ok(Vfs::with_faults(FaultPlan::parse(&spec)?)),
+        }
+    }
+
+    /// Whether any fault is armed on this handle.
+    pub fn is_faulty(&self) -> bool {
+        self.inner.fault.is_some()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> VfsStats {
+        let c = &self.inner.cells;
+        VfsStats {
+            writes: c.writes.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            fsyncs: c.fsyncs.load(Ordering::Relaxed),
+            renames: c.renames.load(Ordering::Relaxed),
+            faults_short_write: c.faults_short_write.load(Ordering::Relaxed),
+            faults_enospc: c.faults_enospc.load(Ordering::Relaxed),
+            faults_eio: c.faults_eio.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes `bytes` to `path`, applying any armed faults. A torn write
+    /// leaves a prefix of the bytes on disk and returns an error, exactly
+    /// like an interrupted write or a filling disk would.
+    pub fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let c = &self.inner.cells;
+        if let Some(plan) = &self.inner.fault {
+            let op = c.op.fetch_add(1, Ordering::Relaxed);
+            if let Some(sub) = &plan.eio_substring {
+                if path.to_string_lossy().contains(sub.as_str()) {
+                    let half = bytes.len() / 2;
+                    let _ = fs::write(path, &bytes[..half]);
+                    c.bytes_written.fetch_add(half as u64, Ordering::Relaxed);
+                    c.faults_eio.fetch_add(1, Ordering::Relaxed);
+                    return Err(io::Error::other(format!(
+                        "injected EIO writing {} (op {op})",
+                        path.display()
+                    )));
+                }
+            }
+            if let Some(budget) = plan.enospc_after {
+                let before = c
+                    .budget_used
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                if before.saturating_add(bytes.len() as u64) > budget {
+                    let room = budget.saturating_sub(before).min(bytes.len() as u64) as usize;
+                    let _ = fs::write(path, &bytes[..room]);
+                    c.bytes_written.fetch_add(room as u64, Ordering::Relaxed);
+                    c.faults_enospc.fetch_add(1, Ordering::Relaxed);
+                    return Err(io::Error::other(format!(
+                        "injected ENOSPC writing {} ({} of {} bytes fit, op {op})",
+                        path.display(),
+                        room,
+                        bytes.len()
+                    )));
+                }
+            }
+            if let Some(k) = plan.short_write_one_in {
+                let h = splitmix64(plan.seed ^ op);
+                if h.is_multiple_of(k) && !bytes.is_empty() {
+                    // Deterministic torn length: at least 1 byte short.
+                    let keep = (h >> 8) as usize % bytes.len();
+                    let _ = fs::write(path, &bytes[..keep]);
+                    c.bytes_written.fetch_add(keep as u64, Ordering::Relaxed);
+                    c.faults_short_write.fetch_add(1, Ordering::Relaxed);
+                    return Err(io::Error::other(format!(
+                        "injected short write to {} ({keep} of {} bytes, op {op})",
+                        path.display(),
+                        bytes.len()
+                    )));
+                }
+            }
+        }
+        fs::write(path, bytes)?;
+        c.writes.fetch_add(1, Ordering::Relaxed);
+        c.bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes without fault injection or statistics — used by the atomic
+    /// protocol to materialize a *deliberately* torn file before a
+    /// kill-point fires.
+    pub fn write_raw(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    /// Reads a file's bytes.
+    pub fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    /// Reads a file as UTF-8 text.
+    pub fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    /// Creates a directory and its parents.
+    pub fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    /// Renames `from` to `to` (atomic within a filesystem).
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)?;
+        self.inner.cells.renames.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Forces a file's contents to stable storage.
+    pub fn fsync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()?;
+        self.inner.cells.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Best-effort directory sync after a rename (some platforms refuse
+    /// `sync_all` on directories; losing only the rename on power loss is
+    /// the acceptable failure mode, so errors are swallowed).
+    pub fn fsync_dir(&self, dir: &Path) {
+        if let Ok(d) = fs::File::open(dir) {
+            if d.sync_all().is_ok() {
+                self.inner.cells.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Whether the kill-point `label@phase` is armed on this handle.
+    pub fn kill_armed(&self, label: &str, phase: &str) -> bool {
+        self.inner
+            .fault
+            .as_ref()
+            .and_then(|p| p.kill_point.as_deref())
+            .is_some_and(|kp| {
+                kp.split_once('@')
+                    .is_some_and(|(l, p)| l == label && p == phase)
+            })
+    }
+
+    /// Exits the process immediately (simulated `kill -9`) when the
+    /// kill-point `label@phase` is armed; otherwise a no-op.
+    pub fn kill_check(&self, label: &str, phase: &str) {
+        if self.kill_armed(label, phase) {
+            eprintln!("vfs: kill-point {label}@{phase} fired; exiting {KILL_EXIT_CODE}");
+            std::process::exit(KILL_EXIT_CODE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p2o-vfs-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse("short:7:3;enospc:1024;eio:rib;kill:export@tmp").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.short_write_one_in, Some(3));
+        assert_eq!(plan.enospc_after, Some(1024));
+        assert_eq!(plan.eio_substring.as_deref(), Some("rib"));
+        assert_eq!(plan.kill_point.as_deref(), Some("export@tmp"));
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("bogus:1").is_err());
+        assert!(FaultPlan::parse("short:1:0").is_err());
+        assert!(FaultPlan::parse("kill:nophase").is_err());
+    }
+
+    #[test]
+    fn real_backend_round_trips() {
+        let dir = tmp("real");
+        let vfs = Vfs::real();
+        let path = dir.join("a.txt");
+        vfs.write(&path, b"hello").unwrap();
+        vfs.fsync(&path).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        let dest = dir.join("b.txt");
+        vfs.rename(&path, &dest).unwrap();
+        assert_eq!(vfs.read_to_string(&dest).unwrap(), "hello");
+        let s = vfs.stats();
+        assert_eq!((s.writes, s.renames, s.fsyncs), (1, 1, 1));
+        assert_eq!(s.bytes_written, 5);
+        assert_eq!(s.faults_injected(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_tears_the_overflowing_write() {
+        let dir = tmp("enospc");
+        let vfs = Vfs::with_faults(FaultPlan {
+            enospc_after: Some(10),
+            ..FaultPlan::default()
+        });
+        vfs.write(&dir.join("a"), b"12345678").unwrap();
+        let err = vfs.write(&dir.join("b"), b"12345678").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        // The torn file holds exactly the bytes that fit in the budget.
+        assert_eq!(fs::read(dir.join("b")).unwrap(), b"12");
+        assert_eq!(vfs.stats().faults_enospc, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eio_matches_by_substring_and_leaves_a_torn_file() {
+        let dir = tmp("eio");
+        let vfs = Vfs::with_faults(FaultPlan {
+            eio_substring: Some("rib".to_string()),
+            ..FaultPlan::default()
+        });
+        vfs.write(&dir.join("meta.tsv"), b"ok").unwrap();
+        let err = vfs.write(&dir.join("rib.mrt"), b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        assert_eq!(fs::read(dir.join("rib.mrt")).unwrap().len(), 5);
+        assert_eq!(vfs.stats().faults_eio, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_writes_are_deterministic_per_seed() {
+        let dir = tmp("short");
+        let run = |seed: u64| -> Vec<bool> {
+            let vfs = Vfs::with_faults(FaultPlan {
+                seed,
+                short_write_one_in: Some(2),
+                ..FaultPlan::default()
+            });
+            (0..16)
+                .map(|i| {
+                    vfs.write(&dir.join(format!("f{i}")), b"payload-bytes")
+                        .is_err()
+                })
+                .collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must inject the same schedule");
+        assert_ne!(a, c, "different seeds must differ");
+        assert!(a.iter().any(|&torn| torn), "one-in-2 must tear something");
+        assert!(a.iter().any(|&torn| !torn), "one-in-2 must pass something");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_point_arming_matches_exactly() {
+        let vfs = Vfs::with_faults(FaultPlan {
+            kill_point: Some("export@tmp".to_string()),
+            ..FaultPlan::default()
+        });
+        assert!(vfs.kill_armed("export", "tmp"));
+        assert!(!vfs.kill_armed("export", "partial"));
+        assert!(!vfs.kill_armed("report", "tmp"));
+        assert!(!Vfs::real().kill_armed("export", "tmp"));
+        // kill_check on an unarmed point must be a no-op (we're still alive
+        // to assert it).
+        Vfs::real().kill_check("export", "tmp");
+    }
+}

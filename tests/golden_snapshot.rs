@@ -38,6 +38,17 @@ const GOLDEN_COUNTERS: &[(&str, u64)] = &[
     ("ingest.quarantined.rpki_bad_line", 0),
     ("ingest.quarantined.rpki_bad_resource", 0),
     ("ingest.quarantined.rpki_bad_object", 0),
+    // The durability family is likewise pinned at zero: an in-process
+    // golden build performs no atomic writes, resumes, or fault injection,
+    // but the counters must still be registered.
+    ("store.torn_detected", 0),
+    ("checkpoint.skipped", 0),
+    ("checkpoint.recomputed", 0),
+    ("checkpoint.artifacts_verified", 0),
+    ("io.fault.injected", 0),
+    ("io.fault.short_write", 0),
+    ("io.fault.enospc", 0),
+    ("io.fault.eio", 0),
     ("whois.records", 293),
     ("whois.malformed", 0),
     ("whois.unresolved_handles", 0),
