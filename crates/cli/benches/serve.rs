@@ -1,0 +1,203 @@
+//! `bench serve` — the load harness for the long-running lookup service.
+//!
+//! Spawns the real `prefix2org serve` binary as a subprocess over a
+//! fixed-seed generated world, then measures sustained lookups/sec from
+//! 1, 4, and 16 concurrent keep-alive clients cycling `GET /prefix/<cidr>`
+//! over the snapshot's own routed prefixes. With `--json` the results are
+//! persisted to `BENCH_serve.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p p2o-cli --bench serve            # human-readable
+//! cargo bench -p p2o-cli --bench serve -- --json  # + BENCH_serve.json
+//! P2O_BENCH_MS=50 P2O_BENCH_SERVE_CLIENTS=1,4 cargo bench ...   # CI smoke
+//! ```
+//!
+//! Lives in `p2o-cli` (not `p2o-bench`) because `CARGO_BIN_EXE_prefix2org`
+//! is only provided to the binary-defining crate's own benches.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p2o_serve::HttpClient;
+use p2o_util::Json;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_prefix2org")
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills the serve subprocess even when the bench panics mid-run.
+struct ServerProc(Child);
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn generate_world(dir: &std::path::Path) {
+    let status = Command::new(bin())
+        .args([
+            "generate",
+            "--out",
+            &dir.display().to_string(),
+            "--seed",
+            "42",
+            "--scale",
+            "tiny",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("running generate");
+    assert!(status.success(), "generate failed");
+}
+
+/// Starts `prefix2org serve DIR` and waits for its readiness line.
+fn start_server(dir: &std::path::Path) -> (ServerProc, String) {
+    let mut child = Command::new(bin())
+        .args(["serve", &dir.display().to_string(), "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning serve");
+    let stdout = child.stdout.take().expect("serve stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .expect("serve printed a line")
+        .expect("readable stdout");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line {line:?}"))
+        .to_string();
+    (ServerProc(child), addr)
+}
+
+/// Pulls the routed prefixes to query from the server's own `/dump`.
+fn fetch_prefixes(addr: &str) -> Vec<String> {
+    let mut client = HttpClient::connect(addr).expect("connect for dump");
+    let dump = client.get("/dump").expect("dump response");
+    assert_eq!(dump.status, 200);
+    let text = dump.text();
+    let mut prefixes = Vec::new();
+    for line in text.lines().skip(1) {
+        let record = Json::parse(line).expect("dump record parses");
+        let prefix = record
+            .get("prefix")
+            .and_then(|p| p.as_str())
+            .expect("record has a prefix");
+        prefixes.push(prefix.replace('/', "%2f"));
+    }
+    assert!(!prefixes.is_empty(), "dump returned no records");
+    prefixes
+}
+
+/// One load level: `clients` concurrent keep-alive connections cycling
+/// lookups for `budget`; returns (lookups, wall seconds).
+fn run_level(addr: &str, prefixes: &[String], clients: usize, budget: Duration) -> (u64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        let addr = addr.to_string();
+        let prefixes: Vec<String> = prefixes.to_vec();
+        threads.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(&addr).expect("client connect");
+            let mut i = c; // stagger starting offsets across clients
+            let mut done = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let path = format!("/prefix/{}", prefixes[i % prefixes.len()]);
+                let resp = client.get(&path).expect("lookup response");
+                assert_eq!(resp.status, 200, "lookup failed: {}", resp.text());
+                done += 1;
+                i += 1;
+            }
+            total.fetch_add(done, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(budget);
+    stop.store(true, Ordering::Release);
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let wall = started.elapsed().as_secs_f64();
+    (total.load(Ordering::Relaxed), wall)
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let budget_ms: u64 = std::env::var("P2O_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let client_counts: Vec<usize> = std::env::var("P2O_BENCH_SERVE_CLIENTS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(|c| c.trim().parse().expect("client count"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 4, 16]);
+
+    let dir = TempDir(std::env::temp_dir().join(format!("p2o-bench-serve-{}", std::process::id())));
+    generate_world(&dir.0);
+    let (_server, addr) = start_server(&dir.0);
+    let prefixes = fetch_prefixes(&addr);
+    println!(
+        "serve bench: {} prefixes, {}ms per level, clients {:?}",
+        prefixes.len(),
+        budget_ms,
+        client_counts
+    );
+
+    let mut levels: Vec<Json> = Vec::new();
+    for &clients in &client_counts {
+        let (lookups, wall) =
+            run_level(&addr, &prefixes, clients, Duration::from_millis(budget_ms));
+        let rate = lookups as f64 / wall;
+        println!(
+            "  clients {clients:>2}: {lookups:>8} lookups in {wall:.3}s = {rate:>10.0} lookups/sec"
+        );
+        let mut level = Json::object();
+        level.set("clients", clients);
+        level.set("lookups", lookups);
+        level.set("wall_s", wall);
+        level.set("lookups_per_sec", rate);
+        levels.push(level);
+    }
+
+    if json {
+        let mut doc = Json::object();
+        doc.set("bench", "serve");
+        doc.set("cpus", prefix2org::default_threads());
+        doc.set("seed", "42");
+        doc.set("scale", "tiny");
+        doc.set("budget_ms", budget_ms);
+        doc.set("levels", Json::Arr(levels));
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        let vfs = p2o_util::vfs::Vfs::real();
+        p2o_util::atomic::write_atomic(
+            &vfs,
+            std::path::Path::new(path),
+            "bench",
+            (doc.to_string_pretty() + "\n").as_bytes(),
+        )
+        .expect("writing BENCH_serve.json");
+        println!("\nwrote {path}");
+    }
+}

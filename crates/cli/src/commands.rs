@@ -749,3 +749,73 @@ pub fn validate(args: &Parsed) -> Result<(), CliError> {
     );
     Ok(())
 }
+
+/// `serve`: the long-running lookup service over a built artifact
+/// directory.
+///
+/// The directory is audited through the same fsck machinery the `fsck`
+/// command uses *before* anything is loaded — a damaged dir refuses to
+/// start with exit code 2 and a one-line diagnostic. The same gate guards
+/// every `/reload`: the loader closure re-runs the audit and the
+/// crash-safe store load, so a reload onto a torn directory is rejected
+/// and the old snapshot keeps serving.
+pub fn serve(args: &Parsed) -> Result<(), CliError> {
+    let dir = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .or_else(|| args.get("in"))
+        .ok_or("serve needs a directory argument (serve DIR)")?;
+    let dir = Path::new(dir);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8642").to_string();
+    let threads = args
+        .get_num::<usize>("threads")?
+        .unwrap_or_else(prefix2org::default_threads)
+        .max(1);
+
+    let loader: p2o_serve::SnapshotLoader = std::sync::Arc::new(move |dir: &Path| {
+        let vfs = Vfs::from_env()?;
+        let report = fsck::audit(&vfs, dir)?;
+        if !report.findings.is_empty() {
+            return Err(format!(
+                "{} integrity finding(s) in {} (run `prefix2org fsck` for details)",
+                report.findings.len(),
+                dir.display()
+            ));
+        }
+        let outcome = store::load_inputs_mode(&vfs, dir, None, threads, store::IngestMode::Lenient)
+            .map_err(|e| e.to_string())?;
+        let inputs = outcome.inputs;
+        Ok(p2o_serve::Snapshot::assemble(
+            dir.to_path_buf(),
+            0,
+            inputs.tree,
+            inputs.routes,
+            inputs.clusters,
+            inputs.rpki,
+            threads,
+        ))
+    });
+
+    // Boot load through the same gate; an unhealthy directory is an
+    // integrity error (exit 2), matching `fsck`.
+    let initial = loader(dir).map_err(CliError::Integrity)?;
+    eprintln!(
+        "loaded {} ({} prefixes, snapshot {})",
+        dir.display(),
+        initial.dataset.len(),
+        initial.digest
+    );
+    let config = p2o_serve::ServerConfig {
+        addr,
+        ..Default::default()
+    };
+    let server = p2o_serve::spawn(config, initial, loader).map_err(CliError::General)?;
+    // The parseable readiness line tools (bench harness, chaos tests)
+    // wait for; keep the format stable.
+    println!("listening on {}", server.addr);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(())
+}

@@ -7,6 +7,7 @@
 //!                     [--quarantine-samples N]
 //!                     [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
 //! prefix2org fsck     DIR
+//! prefix2org serve    DIR [--addr HOST:PORT] [--threads N]
 //! prefix2org explain  --in DIR PREFIX... [--threads N]
 //! prefix2org lookup   --dataset FILE.jsonl PREFIX...
 //! prefix2org stats    --dataset FILE.jsonl
@@ -87,6 +88,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             &["strict", "resume"],
         )?),
         "fsck" => commands::fsck(&args::Parsed::parse(rest)?),
+        "serve" => commands::serve(&args::Parsed::parse(rest)?),
         "explain" => commands::explain(&args::Parsed::parse(rest)?),
         "lookup" => commands::lookup(&args::Parsed::parse(rest)?),
         "org" => commands::org(&args::Parsed::parse(rest)?),
@@ -148,6 +150,18 @@ USAGE:
       flag leftover .p2o-tmp files from interrupted writes, check that
       checkpoint stamps unframe cleanly, and reject unsupported
       format_versions. Exits 2 when anything is damaged.
+
+  prefix2org serve DIR [--addr HOST:PORT] [--threads N]
+      Serve the directory as a long-running lookup service (default
+      address 127.0.0.1:8642). The directory is fsck-audited before
+      loading; damage refuses to start with exit 2. Endpoints:
+      GET /prefix/<cidr> (longest-match lookup with DO, DC chain,
+      cluster, MOAS origin set, and the explain-identical provenance
+      chain), POST /batch (one CIDR per line, JSONL out), GET /dump
+      [?serial=N] (full table as a reset, or the delta since serial N),
+      GET /metrics (Prometheus text exposition incl. serve.* counters),
+      POST /reload (re-verify and atomically swap; body = new dir path,
+      empty = reload the same dir), GET /health.
 
   prefix2org explain --in DIR PREFIX... [--threads N]
       Replay the mapping decision for each prefix and print the rule

@@ -295,3 +295,122 @@ fn killed_generate_regenerates_identically() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Serve-mode chaos: an fsck-damaged artifact directory refuses to start
+/// with exit 2 and a one-line diagnostic, and a `/reload` pointed at a
+/// torn directory is rejected while the old snapshot keeps serving.
+#[test]
+fn serve_refuses_damage_and_reload_keeps_the_old_snapshot() {
+    use std::io::{BufRead, BufReader};
+
+    let good = temp_dir("serve-good");
+    run_ok(&[
+        "generate",
+        "--out",
+        good.to_str().unwrap(),
+        "--scale",
+        "tiny",
+        "--seed",
+        "81",
+    ]);
+    let torn = temp_dir("serve-torn");
+    run_ok(&[
+        "generate",
+        "--out",
+        torn.to_str().unwrap(),
+        "--scale",
+        "tiny",
+        "--seed",
+        "82",
+    ]);
+    // Tear an artifact the manifest records: truncate it in place, the
+    // way a crashed non-atomic writer would leave it.
+    let manifest = std::fs::read_to_string(torn.join("MANIFEST.tsv")).expect("manifest");
+    let victim = manifest
+        .lines()
+        .find(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .and_then(|l| l.split('\t').next())
+        .expect("manifest lists an artifact")
+        .to_string();
+    let victim_path = torn.join(&victim);
+    let bytes = std::fs::read(&victim_path).expect("victim readable");
+    std::fs::write(&victim_path, &bytes[..bytes.len() / 2]).expect("truncate victim");
+
+    // Boot on the torn directory: refused, exit 2, one-line diagnostic.
+    let out = run(&["serve", torn.to_str().unwrap(), "--addr", "127.0.0.1:0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "serve on a torn dir must exit 2:\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let diag: Vec<&str> = stderr.lines().collect();
+    assert_eq!(diag.len(), 1, "one-line diagnostic, got:\n{stderr}");
+    assert!(
+        diag[0].contains("integrity error") && diag[0].contains("finding"),
+        "diagnostic names the damage: {stderr}"
+    );
+
+    // Boot on the healthy directory and capture the served identity.
+    let mut child = std::process::Command::new(bin())
+        .args(["serve", good.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .env_remove(ENV_FAULT)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawning serve");
+    let line = BufReader::new(child.stdout.take().expect("stdout"))
+        .lines()
+        .next()
+        .expect("readiness line")
+        .expect("readable stdout");
+    let addr = line
+        .strip_prefix("listening on ")
+        .expect("readiness format");
+    let mut client = p2o_serve::HttpClient::connect(addr).expect("connect");
+    let health = client.get("/health").expect("health");
+    assert_eq!(health.status, 200);
+    let digest = health
+        .header("x-p2o-snapshot")
+        .expect("snapshot stamp")
+        .to_string();
+
+    // Reload onto the torn directory: rejected, old snapshot kept.
+    let reload = client
+        .post("/reload", torn.to_str().unwrap().as_bytes())
+        .expect("reload response");
+    assert_eq!(
+        reload.status,
+        503,
+        "reload onto torn dir must be rejected: {}",
+        reload.text()
+    );
+    assert!(
+        reload.text().contains("reload rejected"),
+        "rejection says why: {}",
+        reload.text()
+    );
+    let after = client.get("/health").expect("health after reload");
+    assert_eq!(after.status, 200);
+    assert_eq!(
+        after.header("x-p2o-snapshot"),
+        Some(digest.as_str()),
+        "old snapshot must keep serving after a rejected reload"
+    );
+    assert_eq!(
+        after.header("x-p2o-serial"),
+        Some("0"),
+        "serial must not advance on a rejected reload"
+    );
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(
+        metrics.text().contains("p2o_serve_reload_failures_total 1"),
+        "the failure is counted"
+    );
+
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&good);
+    let _ = std::fs::remove_dir_all(&torn);
+}

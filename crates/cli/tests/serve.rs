@@ -1,0 +1,282 @@
+//! End-to-end tests for `prefix2org serve`: the acceptance criterion that
+//! batch lookups on a loaded artifact return **byte-identical**
+//! attributions to `prefix2org explain` for the same prefixes, plus the
+//! endpoint surface (`/prefix`, `/batch`, `/dump` serial/reset semantics,
+//! `/metrics` exposition, `/reload`).
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+use p2o_serve::HttpClient;
+use p2o_util::Json;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_prefix2org")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p2o-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn generate(dir: &Path, seed: &str) {
+    run_ok(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "tiny",
+        "--seed",
+        seed,
+    ]);
+}
+
+/// A serve subprocess that is killed when the test ends.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start(dir: &Path) -> Server {
+        let mut child = Command::new(bin())
+            .args(["serve", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning serve");
+        let stdout = child.stdout.take().expect("serve stdout");
+        let line = BufReader::new(stdout)
+            .lines()
+            .next()
+            .expect("serve printed its readiness line")
+            .expect("readable stdout");
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected readiness line {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn client(&self) -> HttpClient {
+        HttpClient::connect(&self.addr).expect("connect")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The first `n` routed prefixes of the served snapshot, via `/dump`.
+fn served_prefixes(client: &mut HttpClient, n: usize) -> Vec<String> {
+    let dump = client.get("/dump").expect("dump");
+    assert_eq!(dump.status, 200);
+    dump.text()
+        .lines()
+        .skip(1)
+        .take(n)
+        .map(|line| {
+            Json::parse(line)
+                .expect("dump record parses")
+                .get("prefix")
+                .and_then(|p| p.as_str())
+                .expect("record has a prefix")
+                .to_string()
+        })
+        .collect()
+}
+
+/// The acceptance criterion: for the same artifact directory and the same
+/// prefixes, the serve `provenance` field and the `prefix2org explain`
+/// stdout are byte-identical.
+#[test]
+fn batch_attributions_are_byte_identical_to_explain() {
+    let dir = temp_dir("identity");
+    generate(&dir, "4242");
+    let server = Server::start(&dir);
+    let mut client = server.client();
+    let prefixes = served_prefixes(&mut client, 5);
+    assert_eq!(prefixes.len(), 5, "tiny world has at least 5 prefixes");
+
+    // One explain subprocess per prefix: stdout is exactly one rendered
+    // decision trace.
+    let explained: Vec<String> = prefixes
+        .iter()
+        .map(|p| run_ok(&["explain", "--in", dir.to_str().unwrap(), p]))
+        .collect();
+
+    // The same prefixes through POST /batch, one JSONL response per line.
+    let body = prefixes.join("\n");
+    let batch = client.post("/batch", body.as_bytes()).expect("batch");
+    assert_eq!(batch.status, 200);
+    let lines: Vec<String> = batch.text().lines().map(String::from).collect();
+    assert_eq!(lines.len(), prefixes.len());
+    for ((line, expected), prefix) in lines.iter().zip(&explained).zip(&prefixes) {
+        let response = Json::parse(line).expect("batch line parses");
+        assert_eq!(
+            response.get("query").and_then(|q| q.as_str()),
+            Some(prefix.as_str())
+        );
+        let provenance = response
+            .get("provenance")
+            .and_then(|p| p.as_str())
+            .unwrap_or_else(|| panic!("no provenance for {prefix}: {line}"));
+        assert_eq!(
+            provenance, expected,
+            "serve provenance diverges from explain for {prefix}"
+        );
+    }
+
+    // And the single-lookup endpoint agrees with batch.
+    let single = client
+        .get(&format!("/prefix/{}", prefixes[0].replace('/', "%2f")))
+        .expect("lookup");
+    assert_eq!(single.status, 200);
+    let single_json = Json::parse(&single.text()).expect("lookup parses");
+    assert_eq!(
+        single_json.get("provenance").and_then(|p| p.as_str()),
+        Some(explained[0].as_str())
+    );
+}
+
+#[test]
+fn endpoint_surface_dump_metrics_health_and_reload() {
+    let dir = temp_dir("surface");
+    generate(&dir, "77");
+    let server = Server::start(&dir);
+    let mut client = server.client();
+
+    // /health names the boot serial and a digest.
+    let health = client.get("/health").expect("health");
+    assert_eq!(health.status, 200);
+    let health_json = Json::parse(&health.text()).expect("health parses");
+    assert_eq!(health_json.get("serial").and_then(|s| s.as_u64()), Some(0));
+    let digest = health_json
+        .get("snapshot")
+        .and_then(|s| s.as_str())
+        .expect("digest")
+        .to_string();
+    assert_eq!(health.header("x-p2o-snapshot"), Some(digest.as_str()));
+
+    // /dump without a serial is a reset carrying the full table.
+    let dump = client.get("/dump").expect("dump");
+    let text = dump.text();
+    let header = Json::parse(text.lines().next().unwrap()).expect("header");
+    assert_eq!(header.get("type").and_then(|t| t.as_str()), Some("reset"));
+    assert_eq!(header.get("serial").and_then(|s| s.as_u64()), Some(0));
+    let records = header.get("records").and_then(|r| r.as_u64()).unwrap();
+    assert_eq!(text.lines().count() as u64, records + 1);
+
+    // /dump at the current serial is an empty delta.
+    let delta = client.get("/dump?serial=0").expect("dump at serial");
+    let delta_text = delta.text();
+    let delta_header = Json::parse(delta_text.lines().next().unwrap()).expect("header");
+    assert_eq!(
+        delta_header.get("type").and_then(|t| t.as_str()),
+        Some("delta")
+    );
+    assert_eq!(delta_text.lines().count(), 1, "no ops at the same serial");
+
+    // /dump at an unknown (future) serial falls back to a reset.
+    let future = client.get("/dump?serial=99").expect("dump future");
+    let future_header = Json::parse(future.text().lines().next().unwrap()).expect("header");
+    assert_eq!(
+        future_header.get("type").and_then(|t| t.as_str()),
+        Some("reset")
+    );
+
+    // /reload (same dir) swaps to serial 1 with an identical digest, and
+    // the delta from serial 0 is then empty.
+    let reload = client.post("/reload", b"").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.text());
+    let reload_json = Json::parse(&reload.text()).expect("reload parses");
+    assert_eq!(reload_json.get("serial").and_then(|s| s.as_u64()), Some(1));
+    assert_eq!(
+        reload_json.get("snapshot").and_then(|s| s.as_str()),
+        Some(digest.as_str()),
+        "same dir reloads to the same content digest"
+    );
+    let bridged = client.get("/dump?serial=0").expect("dump bridged");
+    let bridged_text = bridged.text();
+    let bridged_header = Json::parse(bridged_text.lines().next().unwrap()).expect("header");
+    assert_eq!(
+        bridged_header.get("type").and_then(|t| t.as_str()),
+        Some("delta")
+    );
+    assert_eq!(bridged_header.get("from").and_then(|s| s.as_u64()), Some(0));
+    assert_eq!(
+        bridged_header.get("serial").and_then(|s| s.as_u64()),
+        Some(1)
+    );
+    assert_eq!(
+        bridged_text.lines().count(),
+        1,
+        "identical content, empty delta ops"
+    );
+
+    // /metrics is valid Prometheus text exposition and carries the serve
+    // counter family.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let metrics_text = metrics.text();
+    for series in [
+        "p2o_serve_connections_total",
+        "p2o_serve_requests_total",
+        "p2o_serve_http_4xx_total",
+        "p2o_serve_http_5xx_total",
+        "p2o_serve_reloads_total",
+        "p2o_serve_lookup_ns",
+    ] {
+        assert!(
+            metrics_text.contains(series),
+            "missing {series} in:\n{metrics_text}"
+        );
+    }
+    assert!(metrics_text.contains("p2o_serve_reloads_total 1"));
+    for line in metrics_text.lines() {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE ") || line.starts_with("# HELP "));
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("series value");
+        assert!(value.parse::<f64>().is_ok(), "bad value: {line}");
+    }
+}
+
+#[test]
+fn serve_refuses_an_unhealthy_directory_with_exit_2() {
+    let dir = temp_dir("unhealthy");
+    generate(&dir, "99");
+    // A leftover tmp file is exactly the damage fsck flags.
+    std::fs::write(dir.join("whois_arin.txt.p2o-tmp"), b"partial").expect("write tmp");
+    let out = run(&["serve", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(2), "integrity damage must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let diag: Vec<&str> = stderr.lines().collect();
+    assert_eq!(diag.len(), 1, "one-line diagnostic, got:\n{stderr}");
+    assert!(diag[0].contains("integrity error"), "{stderr}");
+}

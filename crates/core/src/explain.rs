@@ -6,14 +6,131 @@
 //! delegation tree, each WHOIS delegation matched (Direct Owner and
 //! Delegated Customers), and the clustering evidence (base name, RPKI
 //! certificate, origin-ASN clusters, merge edges) behind its final cluster.
+//!
+//! The trace construction is split in two layers so a long-running service
+//! can reuse it without re-running the pipeline per query:
+//! [`attribution_trace`] builds the chain against an *already computed*
+//! dataset and merge-edge list (the serve snapshot holds both), while
+//! [`Pipeline::explain`] computes them on the fly and then delegates —
+//! guaranteeing the two paths render byte-identical attributions for any
+//! prefix the dataset covers.
 
 use p2o_net::Prefix;
 use p2o_obs::DecisionTrace;
 
-use crate::cluster::Clusterer;
+use crate::cluster::{Clusterer, MergeEdge};
 use crate::dataset::Prefix2OrgDataset;
 use crate::pipeline::{Pipeline, PipelineInputs};
 use crate::resolve::Resolver;
+
+/// The shared trace prelude: routing-table consultation plus the traced
+/// resolution walk. Returns the trace and whether resolution found a
+/// covering Direct Owner (when it did not, the chain already ends at the
+/// `whois.unresolved` step and no cluster steps apply).
+fn trace_prelude(inputs: &PipelineInputs<'_>, prefix: &Prefix) -> (DecisionTrace, bool) {
+    let mut trace = DecisionTrace::new(prefix.to_string());
+    match inputs.routes.origins(prefix) {
+        Some(origins) => {
+            let list = origins
+                .iter()
+                .map(|a| format!("AS{a}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            trace.push("bgp.origins", format!("routed, announced by {list}"));
+        }
+        None => trace.push(
+            "bgp.origins",
+            "not in the routing table (hypothetical mapping)",
+        ),
+    }
+    let resolved = Resolver
+        .resolve_traced(inputs.delegations, prefix, &mut trace)
+        .is_some();
+    (trace, resolved)
+}
+
+/// Appends the clustering evidence steps for `prefix`'s record in
+/// `dataset`: base name, RPKI certificate, origin-ASN clusters, every merge
+/// edge touching the Direct Owner, and the final cluster label.
+fn push_cluster_steps(
+    trace: &mut DecisionTrace,
+    dataset: &Prefix2OrgDataset,
+    merge_edges: &[MergeEdge],
+    prefix: &Prefix,
+) {
+    let Some(record) = dataset.record(prefix) else {
+        return;
+    };
+    trace.push(
+        "cluster.base_name",
+        format!(
+            "\"{}\" reduces to base name \"{}\"",
+            record.direct_owner, record.base_name
+        ),
+    );
+    match &record.rpki_certificate {
+        Some(cert) => trace.push("rpki.certificate", format!("covered by {cert}")),
+        None => trace.push(
+            "rpki.certificate",
+            "no covering validated Resource Certificate",
+        ),
+    }
+    if record.origin_asn_clusters.is_empty() {
+        trace.push("as2org.clusters", "origin ASNs map to no sibling cluster");
+    } else {
+        let list = record
+            .origin_asn_clusters
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        trace.push("as2org.clusters", format!("origin ASN cluster(s) {list}"));
+    }
+    for edge in merge_edges
+        .iter()
+        .filter(|e| e.a == record.direct_owner || e.b == record.direct_owner)
+    {
+        let other = if edge.a == record.direct_owner {
+            &edge.b
+        } else {
+            &edge.a
+        };
+        trace.push(
+            "cluster.merge",
+            format!("merged with \"{other}\": {}", edge.evidence),
+        );
+    }
+    trace.push(
+        "cluster.final",
+        format!(
+            "final cluster \"{}\" ({} WHOIS name(s))",
+            record.final_cluster_label,
+            dataset.cluster_names(record.cluster).len()
+        ),
+    );
+}
+
+/// Builds the full decision trace for `prefix` against an already-computed
+/// `dataset` and `merge_edges` (a clustering run with
+/// [`Clusterer::with_merge_evidence`] enabled).
+///
+/// For any prefix with a record in `dataset`, the result is byte-identical
+/// to [`Pipeline::explain`] on the same inputs — the serve snapshot relies
+/// on this to answer per-lookup provenance without re-running the pipeline.
+/// Prefixes the dataset does not cover still get the routing and resolution
+/// steps; the chain simply ends there.
+pub fn attribution_trace(
+    inputs: &PipelineInputs<'_>,
+    dataset: &Prefix2OrgDataset,
+    merge_edges: &[MergeEdge],
+    prefix: &Prefix,
+) -> DecisionTrace {
+    let (mut trace, resolved) = trace_prelude(inputs, prefix);
+    if resolved {
+        push_cluster_steps(&mut trace, dataset, merge_edges, prefix);
+    }
+    trace
+}
 
 impl Pipeline {
     /// Explains how `prefix` would be mapped by this pipeline: every rule
@@ -25,37 +142,35 @@ impl Pipeline {
     /// table are still explained (as a hypothetical mapping); prefixes with
     /// no covering Direct Owner delegation end at a `whois.unresolved` step.
     pub fn explain(&self, inputs: &PipelineInputs<'_>, prefix: &Prefix) -> DecisionTrace {
-        let mut trace = DecisionTrace::new(prefix.to_string());
-
-        let routed = inputs.routes.origins(prefix);
-        match routed {
-            Some(origins) => {
-                let list = origins
-                    .iter()
-                    .map(|a| format!("AS{a}"))
-                    .collect::<Vec<_>>()
-                    .join(", ");
-                trace.push("bgp.origins", format!("routed, announced by {list}"));
-            }
-            None => trace.push(
-                "bgp.origins",
-                "not in the routing table (hypothetical mapping)",
-            ),
-        }
-
-        if Resolver
-            .resolve_traced(inputs.delegations, prefix, &mut trace)
-            .is_none()
-        {
+        let (trace, resolved) = trace_prelude(inputs, prefix);
+        if !resolved {
             return trace;
         }
 
         // Re-run resolution over the routed table (plus this prefix, when it
         // is not routed) and cluster with merge evidence, so the final label
         // and every merge touching this owner can be reported.
+        let (dataset, merge_edges) = self.dataset_with_evidence(inputs, Some(prefix));
+        let mut trace = trace;
+        push_cluster_steps(&mut trace, &dataset, &merge_edges, prefix);
+        trace
+    }
+
+    /// Runs resolution and clustering with merge-evidence recording and
+    /// assembles the dataset — the precomputation behind
+    /// [`attribution_trace`]. When `extra` names a prefix missing from the
+    /// routing table it is resolved alongside the routed set, so even
+    /// hypothetical mappings get a record.
+    pub fn dataset_with_evidence(
+        &self,
+        inputs: &PipelineInputs<'_>,
+        extra: Option<&Prefix>,
+    ) -> (Prefix2OrgDataset, Vec<MergeEdge>) {
         let mut prefixes: Vec<Prefix> = inputs.routes.iter().map(|(p, _)| *p).collect();
-        if routed.is_none() {
-            prefixes.push(*prefix);
+        if let Some(prefix) = extra {
+            if inputs.routes.origins(prefix).is_none() {
+                prefixes.push(*prefix);
+            }
         }
         let (ownership, unresolved) = self.resolve_stage(inputs.delegations, &prefixes);
         let clustering = Clusterer::new(self.cluster_options)
@@ -76,58 +191,7 @@ impl Pipeline {
             inputs.routes.all_origins().len(),
             inputs.delegations.names(),
         );
-        let Some(record) = dataset.record(prefix) else {
-            return trace;
-        };
-
-        trace.push(
-            "cluster.base_name",
-            format!(
-                "\"{}\" reduces to base name \"{}\"",
-                record.direct_owner, record.base_name
-            ),
-        );
-        match &record.rpki_certificate {
-            Some(cert) => trace.push("rpki.certificate", format!("covered by {cert}")),
-            None => trace.push(
-                "rpki.certificate",
-                "no covering validated Resource Certificate",
-            ),
-        }
-        if record.origin_asn_clusters.is_empty() {
-            trace.push("as2org.clusters", "origin ASNs map to no sibling cluster");
-        } else {
-            let list = record
-                .origin_asn_clusters
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join(", ");
-            trace.push("as2org.clusters", format!("origin ASN cluster(s) {list}"));
-        }
-        for edge in merge_edges
-            .iter()
-            .filter(|e| e.a == record.direct_owner || e.b == record.direct_owner)
-        {
-            let other = if edge.a == record.direct_owner {
-                &edge.b
-            } else {
-                &edge.a
-            };
-            trace.push(
-                "cluster.merge",
-                format!("merged with \"{other}\": {}", edge.evidence),
-            );
-        }
-        trace.push(
-            "cluster.final",
-            format!(
-                "final cluster \"{}\" ({} WHOIS name(s))",
-                record.final_cluster_label,
-                dataset.cluster_names(record.cluster).len()
-            ),
-        );
-        trace
+        (dataset, merge_edges)
     }
 }
 
@@ -204,5 +268,31 @@ mod tests {
         let miss = Pipeline::with_threads(1).explain(&inputs, &"198.51.100.0/24".parse().unwrap());
         assert!(miss.used("whois.unresolved"));
         assert!(!miss.used("cluster.final"));
+    }
+
+    #[test]
+    fn precomputed_attribution_is_byte_identical_to_explain() {
+        let (tree, routes) = fixture();
+        let clusters = p2o_as2org::As2OrgDb::new().cluster();
+        let (rpki, _) = RpkiRepository::new().validate(20240901);
+        let inputs = PipelineInputs {
+            delegations: &tree,
+            routes: &routes,
+            asn_clusters: &clusters,
+            rpki: &rpki,
+        };
+        let pipeline = Pipeline::with_threads(2);
+        // The snapshot precomputation: one dataset + merge-edge list.
+        let (dataset, edges) = pipeline.dataset_with_evidence(&inputs, None);
+        for q in ["63.80.52.0/24", "63.64.0.0/16", "198.51.100.0/24"] {
+            let prefix: Prefix = q.parse().unwrap();
+            let live = pipeline.explain(&inputs, &prefix);
+            let precomputed = attribution_trace(&inputs, &dataset, &edges, &prefix);
+            assert_eq!(
+                live.render(),
+                precomputed.render(),
+                "trace divergence for {q}"
+            );
+        }
     }
 }

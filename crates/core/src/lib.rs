@@ -63,9 +63,10 @@ pub mod leasing;
 pub mod pipeline;
 pub mod resolve;
 
-pub use cluster::{ClusterId, Clusterer, ClusteringOutput};
+pub use cluster::{ClusterId, Clusterer, ClusteringOutput, MergeEdge};
 pub use dataset::{CustomerStep, DatasetMetrics, Prefix2OrgDataset, PrefixRecord};
 pub use delta::{diff, DatasetDelta, OwnerChange};
+pub use explain::attribution_trace;
 pub use export::{from_jsonl, to_jsonl, ExportRecord};
 pub use leasing::{infer_leasing, LeasingCandidate, LeasingOptions};
 pub use pipeline::{default_threads, Pipeline, PipelineInputs};

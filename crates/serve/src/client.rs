@@ -1,0 +1,141 @@
+//! A minimal blocking HTTP/1.1 client for the test battery and the load
+//! harness: keep-alive request/response over one `TcpStream`, reading
+//! `Content-Length`-framed bodies. Not a general client — just enough to
+//! drive the serve endpoints without external dependencies.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects with a 30-second read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends `GET path` and reads the response.
+    pub fn get(&mut self, path: &str) -> Result<HttpResponse, String> {
+        self.request("GET", path, &[])
+    }
+
+    /// Sends `POST path` with `body` and reads the response.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> Result<HttpResponse, String> {
+        self.request("POST", path, body)
+    }
+
+    /// Sends one request on the kept-alive connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<HttpResponse, String> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: p2o\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(body))
+            .map_err(|e| format!("sending {method} {path}: {e}"))?;
+        self.read_response()
+            .map_err(|e| format!("reading response to {method} {path}: {e}"))
+    }
+
+    fn read_response(&mut self) -> Result<HttpResponse, String> {
+        let head_end = loop {
+            if let Some(n) = find_head_end(&self.buf) {
+                break n;
+            }
+            self.fill()?;
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| "response head is not UTF-8".to_string())?;
+        let mut lines = head.lines();
+        let status_line = lines.next().ok_or("empty response")?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or("response without Content-Length")?;
+        while self.buf.len() < head_end + length {
+            self.fill()?;
+        }
+        let body = self.buf[head_end..head_end + length].to_vec();
+        self.buf.drain(..head_end + length);
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self) -> Result<(), String> {
+        let mut chunk = [0u8; 16 * 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err("connection closed mid-response".to_string()),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}

@@ -1,0 +1,384 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer.
+//!
+//! The workspace builds with no registry access, so the serve stack cannot
+//! pull hyper or httparse; this module implements the subset the lookup
+//! service needs: request line + headers + `Content-Length` bodies,
+//! keep-alive, and pipelining. The parser is an incremental push parser —
+//! bytes arrive in arbitrary splits via [`RequestParser::feed`] and
+//! [`RequestParser::poll`] yields complete requests — because a TCP read
+//! boundary carries no message semantics and the property tests feed every
+//! possible split.
+//!
+//! Error behavior is the contract the battery pins: malformed input of any
+//! shape must never panic and must map to a *deterministic* 400 (same
+//! bytes in, same diagnostic out). Unsupported features are rejected
+//! explicitly (chunked transfer encoding) rather than misparsed.
+
+/// Maximum size of the request line + header section, in bytes.
+pub const MAX_HEAD: usize = 8 * 1024;
+/// Maximum `Content-Length` accepted, in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A malformed request: the connection should answer 400 and close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, as sent (e.g. `GET`).
+    pub method: String,
+    /// The request-target, as sent (path + optional `?query`).
+    pub target: String,
+    /// Header `(name, value)` pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The message body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The target's path component (everything before `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.target,
+        }
+    }
+
+    /// The target's query component (everything after `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// The value of query parameter `key` (`key=value`, `&`-separated).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query()?
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The first value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incremental request parser: [`feed`] bytes, [`poll`] requests.
+///
+/// [`feed`]: RequestParser::feed
+/// [`poll`]: RequestParser::poll
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends bytes read from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Yields the next complete request, `None` when more bytes are
+    /// needed, or the deterministic 400 for malformed input. Pipelined
+    /// requests come out one `poll` at a time.
+    pub fn poll(&mut self) -> Result<Option<Request>, BadRequest> {
+        // Robustness (RFC 9112 §2.2): skip CRLF/LF noise between messages.
+        let skip = self
+            .buf
+            .iter()
+            .take_while(|&&b| b == b'\r' || b == b'\n')
+            .count();
+        if skip > 0 {
+            self.buf.drain(..skip);
+        }
+        let Some(head_len) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD {
+                return Err(BadRequest(format!(
+                    "header section exceeds {MAX_HEAD} bytes"
+                )));
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD {
+            return Err(BadRequest(format!(
+                "header section exceeds {MAX_HEAD} bytes"
+            )));
+        }
+        let head = std::str::from_utf8(&self.buf[..head_len])
+            .map_err(|_| BadRequest("header section is not valid UTF-8".into()))?;
+        let (method, target, version) = parse_request_line(head)?;
+        let headers = parse_headers(head)?;
+        let content_length = body_length(&headers)?;
+        let total = head_len + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let keep_alive = match header_value(&headers, "connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => version == "HTTP/1.1",
+        };
+        let body = self.buf[head_len..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            target,
+            headers,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
+/// Finds the end of the header section: offset just past `\r\n\r\n` (or a
+/// lenient `\n\n`).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // "\n\r\n" / "\n\n" both terminate.
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_request_line(head: &str) -> Result<(String, String, String), BadRequest> {
+    let line = head
+        .lines()
+        .next()
+        .ok_or_else(|| BadRequest("empty request".into()))?
+        .trim_end_matches('\r');
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(BadRequest(format!("bad method in request line {line:?}")));
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(BadRequest(format!(
+            "bad request-target in request line {line:?}"
+        )));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(BadRequest(format!(
+            "unsupported protocol version in request line {line:?}"
+        )));
+    }
+    if parts.next().is_some() {
+        return Err(BadRequest(format!("malformed request line {line:?}")));
+    }
+    Ok((method.to_string(), target.to_string(), version.to_string()))
+}
+
+fn parse_headers(head: &str) -> Result<Vec<(String, String)>, BadRequest> {
+    let mut headers = Vec::new();
+    for line in head.lines().skip(1) {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| BadRequest(format!("header line without a colon: {line:?}")))?;
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(BadRequest(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Resolves the body length from the headers: 0 without `Content-Length`,
+/// rejecting chunked encoding, conflicting duplicates, non-numeric and
+/// oversized lengths.
+fn body_length(headers: &[(String, String)]) -> Result<usize, BadRequest> {
+    if header_value(headers, "transfer-encoding").is_some() {
+        return Err(BadRequest("chunked transfer encoding not supported".into()));
+    }
+    let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+    let Some((_, first)) = lengths.next() else {
+        return Ok(0);
+    };
+    if lengths.any(|(_, v)| v != first) {
+        return Err(BadRequest("conflicting Content-Length headers".into()));
+    }
+    let n: usize = first
+        .parse()
+        .map_err(|_| BadRequest(format!("bad Content-Length {first:?}")))?;
+    if n > MAX_BODY {
+        return Err(BadRequest(format!(
+            "Content-Length {n} exceeds the {MAX_BODY}-byte limit"
+        )));
+    }
+    Ok(n)
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one HTTP/1.1 response with `Content-Length` framing.
+pub fn response(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 256);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {}\r\n", reason(status)).as_bytes());
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<Request>, BadRequest> {
+        let mut p = RequestParser::new();
+        p.feed(bytes);
+        p.poll()
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_one(b"GET /prefix/1.2.3.0%2f24 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/prefix/1.2.3.0%2f24");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn body_follows_content_length_and_pipelines() {
+        let mut p = RequestParser::new();
+        p.feed(
+            b"POST /batch HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /health HTTP/1.1\r\n\r\n",
+        );
+        let first = p.poll().unwrap().unwrap();
+        assert_eq!(first.body, b"abcd");
+        let second = p.poll().unwrap().unwrap();
+        assert_eq!(second.target, "/health");
+        assert_eq!(p.poll().unwrap(), None);
+    }
+
+    #[test]
+    fn split_feeds_reassemble() {
+        let raw = b"GET /dump?serial=3 HTTP/1.1\r\nHost: a\r\n\r\n";
+        let mut p = RequestParser::new();
+        for b in raw.iter() {
+            assert_eq!(p.poll().unwrap(), None);
+            p.feed(&[*b]);
+        }
+        let req = p.poll().unwrap().unwrap();
+        assert_eq!(req.path(), "/dump");
+        assert_eq!(req.query_param("serial"), Some("3"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_deterministic_errors() {
+        assert!(parse_one(b"get /x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_one(b"GET x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_one(b"GET /x HTTP/2\r\n\r\n").is_err());
+        assert!(parse_one(b"GET /x HTTP/1.1\r\nbad line\r\n\r\n").is_err());
+        assert!(parse_one(b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+        assert!(parse_one(b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+        let twice = [
+            parse_one(b"GET x HTTP/1.1\r\n\r\n").unwrap_err(),
+            parse_one(b"GET x HTTP/1.1\r\n\r\n").unwrap_err(),
+        ];
+        assert_eq!(twice[0], twice[1]);
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_rejected() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /x HTTP/1.1\r\nX-Pad: ");
+        p.feed(&vec![b'a'; MAX_HEAD + 1]);
+        assert!(p.poll().is_err());
+        let huge = format!(
+            "POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(parse_one(huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse_one(b"GET /health HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_one(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn response_is_framed() {
+        let bytes = response(404, "application/json", &[], b"{}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

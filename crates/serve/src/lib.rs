@@ -1,0 +1,36 @@
+//! `p2o-serve` — the long-running Prefix2Org lookup service.
+//!
+//! The pipeline ends at a batch JSONL export; this crate turns that
+//! artifact into something measurement consumers can *query* (the
+//! ROADMAP's production-serving north star, in the style of Routinator's
+//! HTTP stack): a hand-rolled HTTP/1.1 server over `std::net` answering
+//! per-prefix lookups with full provenance, batch queries, RTR-style
+//! serial/reset table dumps, and Prometheus metrics — with zero external
+//! dependencies, matching the workspace's air-gapped build rule.
+//!
+//! Architecture, bottom-up:
+//!
+//! - [`http`]: an incremental request parser (arbitrary read splits,
+//!   pipelining, strict limits, deterministic 400s) and response writer;
+//! - [`snapshot`]: the immutable, fully precomputed [`Snapshot`] a query
+//!   is answered from, and the [`SnapshotCell`] generation-counter swap
+//!   cell giving readers a lock-free steady-state path;
+//! - [`server`]: the thread-per-connection runtime, endpoint routing,
+//!   `serve.*` metrics, and the `/reload` swap discipline;
+//! - [`client`]: a minimal blocking client used by the tests, the chaos
+//!   harness, and the `bench serve` load harness.
+//!
+//! The correctness anchor: a served lookup's `provenance` string is
+//! byte-identical to what `prefix2org explain` prints for the same prefix
+//! on the same artifact — both render the same precomputed decision trace
+//! via [`prefix2org::attribution_trace`].
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod snapshot;
+
+pub use client::{HttpClient, HttpResponse};
+pub use http::{Request, RequestParser};
+pub use server::{spawn, ServerConfig, ServerHandle, SnapshotLoader};
+pub use snapshot::{Snapshot, SnapshotCell, SnapshotReader};

@@ -1,0 +1,603 @@
+//! The lookup service runtime: a thread-per-connection HTTP/1.1 server
+//! over `std::net` with keep-alive, pipelining, an atomically reloadable
+//! snapshot, and a Prometheus-scrapable metrics registry.
+//!
+//! Endpoints:
+//!
+//! | route                  | behavior                                        |
+//! |------------------------|-------------------------------------------------|
+//! | `GET /prefix/<cidr>`   | longest-match lookup: DO, DC chain, cluster, MOAS origin set, provenance |
+//! | `POST /batch`          | one CIDR per body line; JSONL responses in order |
+//! | `GET /dump[?serial=N]` | full table as reset, or delta since serial `N`   |
+//! | `GET /metrics`         | Prometheus text exposition (`serve.*` + pipeline counters) |
+//! | `POST /reload`         | re-verify and atomically swap to an artifact dir |
+//! | `GET /health`          | liveness + current serial/digest                 |
+//!
+//! Every response carries `X-P2O-Serial` and `X-P2O-Snapshot` headers so a
+//! client can detect mid-session reloads; a single response is always
+//! built from exactly one snapshot `Arc` (no torn reads by construction).
+//!
+//! The reload path delegates verification to a caller-supplied
+//! [`SnapshotLoader`] — the CLI wires the fsck audit plus the crash-safe
+//! store loader in, so a torn or damaged directory is rejected *before*
+//! the swap and the old snapshot keeps serving.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use p2o_net::Prefix;
+use p2o_obs::{promexpo, Obs};
+use p2o_util::json::Json;
+use prefix2org::delta::diff_exports;
+use prefix2org::ExportRecord;
+
+use crate::http::{self, Request, RequestParser};
+use crate::snapshot::{Snapshot, SnapshotCell, SnapshotReader};
+
+/// Re-verifies and loads an artifact directory into a [`Snapshot`]. The
+/// returned snapshot's `serial` is overwritten by the server (boot = 0,
+/// each successful reload +1).
+pub type SnapshotLoader = Arc<dyn Fn(&Path) -> Result<Snapshot, String> + Send + Sync>;
+
+/// How many delta generations `/dump?serial=N` can bridge before a client
+/// is told to reset.
+const DELTA_WINDOW: usize = 8;
+
+/// Server tunables.
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Concurrent-connection cap; excess connections get 503 and close.
+    pub max_connections: usize,
+    /// Per-connection idle read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One delta between consecutive snapshot serials, pre-rendered as
+/// `/dump` op lines.
+struct DeltaEntry {
+    /// The serial this delta starts from (applies on top of `from`).
+    from: u64,
+    /// The serial this delta produces.
+    to: u64,
+    /// Rendered JSONL ops: `add` / `remove` / `change` lines.
+    ops: String,
+}
+
+/// Shared server state: the snapshot cell, metrics, loader, delta log.
+struct ServerState {
+    cell: Arc<SnapshotCell>,
+    obs: Arc<Obs>,
+    loader: SnapshotLoader,
+    /// Bounded history of reload deltas, oldest first. Guarded by a mutex:
+    /// written only on reload, read only by `/dump` — never on the
+    /// per-lookup path.
+    deltas: Mutex<Vec<DeltaEntry>>,
+    /// Serializes reloads so concurrent `/reload`s cannot interleave
+    /// serial assignment.
+    reload_gate: Mutex<()>,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    max_connections: usize,
+    read_timeout: Duration,
+}
+
+/// A running server: its bound address and shutdown control.
+pub struct ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The snapshot cell (tests swap/inspect through it).
+    pub fn cell(&self) -> &Arc<SnapshotCell> {
+        &self.state.cell
+    }
+
+    /// The metrics registry.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.state.obs
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. In-flight
+    /// connections finish their current request and then close.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::Release);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (the CLI foreground mode).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds and spawns the accept loop; returns immediately.
+pub fn spawn(
+    config: ServerConfig,
+    initial: Snapshot,
+    loader: SnapshotLoader,
+) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("resolving bound address: {e}"))?;
+    let obs = Arc::new(Obs::new());
+    register_serve_metrics(&obs);
+    let state = Arc::new(ServerState {
+        cell: Arc::new(SnapshotCell::new(Arc::new(initial))),
+        obs,
+        loader,
+        deltas: Mutex::new(Vec::new()),
+        reload_gate: Mutex::new(()),
+        stop: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        max_connections: config.max_connections,
+        read_timeout: config.read_timeout,
+    });
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("p2o-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_state))
+        .map_err(|e| format!("spawning accept thread: {e}"))?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Registers the `serve.*` metric family up front so a fresh server's
+/// `/metrics` shows explicit zeros rather than missing series.
+fn register_serve_metrics(obs: &Obs) {
+    for name in [
+        "serve.connections",
+        "serve.requests",
+        "serve.http_4xx",
+        "serve.http_5xx",
+        "serve.reloads",
+        "serve.reload_failures",
+        "serve.batch_prefixes",
+    ] {
+        obs.counter(name);
+    }
+    obs.histogram("serve.lookup_ns");
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        let conn = listener.accept();
+        if state.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        if state.active.load(Ordering::Relaxed) >= state.max_connections {
+            state.obs.counter("serve.http_5xx").incr();
+            let mut stream = stream;
+            let _ = stream.write_all(&http::response(
+                503,
+                "application/json",
+                &[],
+                b"{\"error\":\"connection limit reached\"}\n",
+            ));
+            continue;
+        }
+        state.active.fetch_add(1, Ordering::Relaxed);
+        state.obs.counter("serve.connections").incr();
+        let conn_state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("p2o-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_state);
+                conn_state.active.fetch_sub(1, Ordering::Relaxed);
+            });
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(state.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut parser = RequestParser::new();
+    let mut reader = state.cell.reader();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain any already-buffered pipelined requests before reading.
+        loop {
+            match parser.poll() {
+                Ok(Some(request)) => {
+                    let keep_alive = request.keep_alive;
+                    let bytes = respond(state, &mut reader, &request);
+                    stream.write_all(&bytes)?;
+                    if !keep_alive {
+                        return Ok(());
+                    }
+                }
+                Ok(None) => break,
+                Err(bad) => {
+                    state.obs.counter("serve.requests").incr();
+                    state.obs.counter("serve.http_4xx").incr();
+                    let body = error_body(&bad.0);
+                    stream.write_all(&http::response(400, "application/json", &[], &body))?;
+                    return Ok(());
+                }
+            }
+        }
+        if state.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => parser.feed(&chunk[..n]),
+            Err(_) => return Ok(()), // timeout or reset: drop the connection
+        }
+    }
+}
+
+fn error_body(message: &str) -> Vec<u8> {
+    let mut o = Json::object();
+    o.set("error", message);
+    format!("{o}\n").into_bytes()
+}
+
+/// Dispatches one request and serializes the response.
+///
+/// The snapshot `Arc` is cloned exactly once per request and every byte of
+/// the response — body and the `X-P2O-Serial` / `X-P2O-Snapshot` stamp —
+/// is derived from it, so a concurrent swap can never produce a response
+/// mixing two snapshots. Status-class counters tick here so every route is
+/// covered.
+fn respond(state: &Arc<ServerState>, reader: &mut SnapshotReader, request: &Request) -> Vec<u8> {
+    state.obs.counter("serve.requests").incr();
+    let snap = Arc::clone(reader.get());
+    let (status, content_type, body) = route(state, &snap, request);
+    if (400..500).contains(&status) {
+        state.obs.counter("serve.http_4xx").incr();
+    } else if status >= 500 {
+        state.obs.counter("serve.http_5xx").incr();
+    }
+    let stamp = [
+        ("X-P2O-Serial".to_string(), snap.serial.to_string()),
+        ("X-P2O-Snapshot".to_string(), snap.digest.clone()),
+    ];
+    http::response(status, content_type, &stamp, &body)
+}
+
+fn route(
+    state: &Arc<ServerState>,
+    snap: &Arc<Snapshot>,
+    request: &Request,
+) -> (u16, &'static str, Vec<u8>) {
+    let path = request.path();
+    match (request.method.as_str(), path) {
+        ("GET", "/health") => {
+            let mut o = Json::object();
+            o.set("status", "ok");
+            o.set("serial", snap.serial);
+            o.set("snapshot", snap.digest.clone());
+            o.set("prefixes", snap.dataset.len() as u64);
+            (200, "application/json", format!("{o}\n").into_bytes())
+        }
+        ("GET", p) if p.starts_with("/prefix/") => {
+            let cidr = percent_decode(&p["/prefix/".len()..]);
+            lookup_one(state, snap, &cidr)
+        }
+        ("POST", "/batch") => batch(state, snap, &request.body),
+        ("GET", "/dump") => dump(state, snap, request.query_param("serial")),
+        ("GET", "/metrics") => {
+            let text = promexpo::to_prometheus(&state.obs.report());
+            (200, "text/plain; version=0.0.4", text.into_bytes())
+        }
+        ("POST", "/reload") => reload(state, snap, &request.body),
+        ("GET", "/prefix") | ("GET", "/prefix/") => (
+            400,
+            "application/json",
+            error_body("usage: GET /prefix/<cidr>"),
+        ),
+        _ if known_path(path) && !method_matches(&request.method, path) => (
+            405,
+            "application/json",
+            error_body(&format!(
+                "method {} not allowed on {}",
+                request.method, path
+            )),
+        ),
+        _ => (
+            404,
+            "application/json",
+            error_body(&format!("no such route {path}")),
+        ),
+    }
+}
+
+fn known_path(path: &str) -> bool {
+    matches!(
+        path,
+        "/health" | "/batch" | "/dump" | "/metrics" | "/reload"
+    ) || path.starts_with("/prefix/")
+}
+
+fn method_matches(method: &str, path: &str) -> bool {
+    match path {
+        "/health" | "/dump" | "/metrics" => method == "GET",
+        "/batch" | "/reload" => method == "POST",
+        p => p.starts_with("/prefix/") && method == "GET",
+    }
+}
+
+/// Undoes the `%XX` escapes a URL-safe client may apply to `/` in CIDRs.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = [bytes[i + 1], bytes[i + 2]];
+            if let Some(b) = std::str::from_utf8(&hex)
+                .ok()
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn lookup_one(
+    state: &Arc<ServerState>,
+    snap: &Arc<Snapshot>,
+    cidr: &str,
+) -> (u16, &'static str, Vec<u8>) {
+    let started = Instant::now();
+    let result = match cidr.parse::<Prefix>() {
+        Err(e) => (
+            400,
+            "application/json",
+            error_body(&format!("{cidr:?}: {e}")),
+        ),
+        Ok(prefix) => match snap.lookup(&prefix) {
+            None => (
+                404,
+                "application/json",
+                error_body(&format!(
+                    "{prefix}: no covering routed prefix in the snapshot"
+                )),
+            ),
+            Some(json) => (200, "application/json", format!("{json}\n").into_bytes()),
+        },
+    };
+    state
+        .obs
+        .histogram("serve.lookup_ns")
+        .record(started.elapsed().as_nanos() as u64);
+    result
+}
+
+/// `POST /batch`: one CIDR per line in, one JSON object per line out, in
+/// input order. Per-line failures (`error` objects) don't fail the batch.
+fn batch(
+    state: &Arc<ServerState>,
+    snap: &Arc<Snapshot>,
+    body: &[u8],
+) -> (u16, &'static str, Vec<u8>) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return (
+            400,
+            "application/json",
+            error_body("batch body is not UTF-8"),
+        );
+    };
+    let mut out = String::new();
+    let mut count = 0u64;
+    for line in text.lines() {
+        let query = line.trim();
+        if query.is_empty() {
+            continue;
+        }
+        count += 1;
+        let started = Instant::now();
+        match query.parse::<Prefix>() {
+            Err(e) => {
+                let mut o = Json::object();
+                o.set("query", query);
+                o.set("error", format!("{e}"));
+                out.push_str(&format!("{o}\n"));
+            }
+            Ok(prefix) => match snap.lookup(&prefix) {
+                None => {
+                    let mut o = Json::object();
+                    o.set("query", query);
+                    o.set("error", "no covering routed prefix in the snapshot");
+                    out.push_str(&format!("{o}\n"));
+                }
+                Some(json) => out.push_str(&format!("{json}\n")),
+            },
+        }
+        state
+            .obs
+            .histogram("serve.lookup_ns")
+            .record(started.elapsed().as_nanos() as u64);
+    }
+    state.obs.counter("serve.batch_prefixes").add(count);
+    (200, "application/jsonl", out.into_bytes())
+}
+
+/// `GET /dump[?serial=N]`: RTR-style reset/delta semantics. Without a
+/// serial (or with one outside the retained window) the full table is
+/// returned under a `reset` header line; a serial inside the window gets
+/// the concatenated per-reload deltas under a `delta` header line.
+fn dump(
+    state: &Arc<ServerState>,
+    snap: &Arc<Snapshot>,
+    serial: Option<&str>,
+) -> (u16, &'static str, Vec<u8>) {
+    let requested = match serial {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return (
+                    400,
+                    "application/json",
+                    error_body(&format!("bad serial {raw:?}")),
+                )
+            }
+        },
+    };
+    if let Some(from) = requested {
+        if from == snap.serial {
+            let header = dump_header("delta", snap, Some(from));
+            return (200, "application/jsonl", format!("{header}\n").into_bytes());
+        }
+        if from < snap.serial {
+            let deltas = state.deltas.lock().expect("delta log poisoned");
+            let chain: Vec<&DeltaEntry> = deltas
+                .iter()
+                .filter(|d| d.from >= from && d.to <= snap.serial)
+                .collect();
+            let contiguous = chain.first().is_some_and(|d| d.from == from)
+                && chain.last().is_some_and(|d| d.to == snap.serial)
+                && chain.windows(2).all(|w| w[0].to == w[1].from);
+            if contiguous {
+                let header = dump_header("delta", snap, Some(from));
+                let mut body = format!("{header}\n");
+                for d in &chain {
+                    body.push_str(&d.ops);
+                }
+                return (200, "application/jsonl", body.into_bytes());
+            }
+        }
+        // Unknown/future serial or a gap in the retained window: reset.
+    }
+    let header = dump_header("reset", snap, None);
+    let mut body = format!("{header}\n");
+    body.push_str(&snap.jsonl);
+    (200, "application/jsonl", body.into_bytes())
+}
+
+fn dump_header(kind: &str, snap: &Arc<Snapshot>, from: Option<u64>) -> Json {
+    let mut o = Json::object();
+    o.set("type", kind);
+    if let Some(f) = from {
+        o.set("from", f);
+    }
+    o.set("serial", snap.serial);
+    o.set("snapshot", snap.digest.clone());
+    o.set("records", snap.records.len() as u64);
+    o
+}
+
+/// `POST /reload`: re-verify and load (body = directory path, or the
+/// current snapshot's directory when empty), then atomically swap. On any
+/// failure the old snapshot keeps serving and the response says why.
+fn reload(
+    state: &Arc<ServerState>,
+    _snap: &Arc<Snapshot>,
+    body: &[u8],
+) -> (u16, &'static str, Vec<u8>) {
+    let _gate = state.reload_gate.lock().expect("reload gate poisoned");
+    // Serial chaining must start from the snapshot actually being served
+    // *now* (another reload may have landed since this request's Arc was
+    // pinned), so load through the cell under the gate.
+    let old = state.cell.load();
+    let dir = match std::str::from_utf8(body) {
+        Ok(s) if !s.trim().is_empty() => PathBuf::from(s.trim()),
+        _ => old.dir.clone(),
+    };
+    match (state.loader)(&dir) {
+        Err(e) => {
+            state.obs.counter("serve.reload_failures").incr();
+            let mut o = Json::object();
+            o.set("error", format!("reload rejected: {e}"));
+            o.set("serial", old.serial);
+            o.set("snapshot", old.digest.clone());
+            (503, "application/json", format!("{o}\n").into_bytes())
+        }
+        Ok(mut snapshot) => {
+            snapshot.serial = old.serial + 1;
+            let ops = render_delta_ops(&old.records, &snapshot.records);
+            let entry = DeltaEntry {
+                from: old.serial,
+                to: snapshot.serial,
+                ops,
+            };
+            let new = Arc::new(snapshot);
+            {
+                let mut deltas = state.deltas.lock().expect("delta log poisoned");
+                deltas.push(entry);
+                let excess = deltas.len().saturating_sub(DELTA_WINDOW);
+                if excess > 0 {
+                    deltas.drain(..excess);
+                }
+            }
+            state.cell.swap(Arc::clone(&new));
+            state.obs.counter("serve.reloads").incr();
+            let mut o = Json::object();
+            o.set("status", "reloaded");
+            o.set("dir", new.dir.display().to_string());
+            o.set("serial", new.serial);
+            o.set("snapshot", new.digest.clone());
+            o.set("records", new.records.len() as u64);
+            (200, "application/json", format!("{o}\n").into_bytes())
+        }
+    }
+}
+
+/// Renders one reload's delta as `/dump` op lines: `add` and `change`
+/// carry the full new record, `remove` just the prefix.
+fn render_delta_ops(old: &[ExportRecord], new: &[ExportRecord]) -> String {
+    let delta = diff_exports(old, new);
+    let by_prefix: std::collections::HashMap<_, _> = new.iter().map(|r| (r.prefix, r)).collect();
+    let mut out = String::new();
+    let op_with_record = |op: &str, prefix: &Prefix, out: &mut String| {
+        if let Some(rec) = by_prefix.get(prefix) {
+            let mut o = Json::object();
+            o.set("op", op);
+            o.set("record", rec.to_json());
+            out.push_str(&format!("{o}\n"));
+        }
+    };
+    for p in &delta.added {
+        op_with_record("add", p, &mut out);
+    }
+    for c in &delta.owner_changes {
+        op_with_record("change", &c.prefix, &mut out);
+    }
+    for p in &delta.customer_changes {
+        op_with_record("change", p, &mut out);
+    }
+    for p in &delta.removed {
+        let mut o = Json::object();
+        o.set("op", "remove");
+        o.set("prefix", p.to_string());
+        out.push_str(&format!("{o}\n"));
+    }
+    out
+}

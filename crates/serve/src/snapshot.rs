@@ -1,0 +1,297 @@
+//! The served snapshot: one immutable, fully precomputed view of a built
+//! artifact directory, and the swap cell that readers go through.
+//!
+//! A [`Snapshot`] owns everything a lookup needs — the delegation tree,
+//! routing table, the assembled dataset, the merge-evidence edges, a radix
+//! LPM index over the dataset's prefixes, and the rendered JSONL export —
+//! so answering a query never touches the filesystem and never recomputes
+//! pipeline stages. Provenance comes from [`prefix2org::attribution_trace`]
+//! over the precomputed dataset, which is byte-identical to what
+//! `prefix2org explain` prints for the same prefix on the same inputs.
+//!
+//! [`SnapshotCell`] is the reload point. The workspace has no `arc-swap`
+//! crate, so the lock-free read path is built from two primitives: a
+//! generation counter (`AtomicU64`) and a mutex-guarded `Arc` that only
+//! swaps and cache-misses take. Each connection holds a [`SnapshotReader`]
+//! caching `(generation, Arc)`; the hot path is a single `Acquire` load —
+//! a lock is taken only on the first read after a swap. The cell counts
+//! those slow-path acquisitions so the stress test can assert the read
+//! path stayed lock-free between reloads.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use p2o_as2org::AsnClusters;
+use p2o_bgp::RouteTable;
+use p2o_net::Prefix;
+use p2o_radix::PrefixMap;
+use p2o_rpki::ValidatedRepo;
+use p2o_util::digest::Digest;
+use p2o_util::json::Json;
+use p2o_whois::DelegationTree;
+use prefix2org::{
+    attribution_trace, to_jsonl, ExportRecord, MergeEdge, Pipeline, PipelineInputs,
+    Prefix2OrgDataset,
+};
+
+/// One immutable, query-ready view of a built artifact directory.
+pub struct Snapshot {
+    /// The artifact directory this snapshot was loaded from.
+    pub dir: PathBuf,
+    /// Monotonic snapshot serial (0 for the boot snapshot; +1 per reload).
+    pub serial: u64,
+    /// Content digest of the JSONL export — the identity readers see.
+    pub digest: String,
+    /// The full dataset export, one JSON record per line.
+    pub jsonl: String,
+    /// The export records, parsed once for delta computation.
+    pub records: Vec<ExportRecord>,
+    /// The assembled per-prefix dataset.
+    pub dataset: Prefix2OrgDataset,
+    /// Cluster merge evidence (for provenance rendering).
+    pub merge_edges: Vec<MergeEdge>,
+    /// WHOIS delegation tree.
+    pub tree: DelegationTree,
+    /// Routing table with per-prefix origin sets (MOAS evidence).
+    pub routes: RouteTable,
+    /// ASN sibling clusters.
+    pub clusters: AsnClusters,
+    /// Validated RPKI view.
+    pub rpki: ValidatedRepo,
+    /// Longest-prefix-match index: covering prefix → dataset record index.
+    lpm: PrefixMap<usize>,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot from parsed inputs: runs resolution and
+    /// clustering once (with merge evidence, so provenance can be rendered
+    /// per query without re-clustering), renders the export, and builds
+    /// the LPM index.
+    pub fn assemble(
+        dir: PathBuf,
+        serial: u64,
+        tree: DelegationTree,
+        routes: RouteTable,
+        clusters: AsnClusters,
+        rpki: ValidatedRepo,
+        threads: usize,
+    ) -> Snapshot {
+        let pipeline = Pipeline::with_threads(threads.max(1));
+        let (dataset, merge_edges) = {
+            let inputs = PipelineInputs {
+                delegations: &tree,
+                routes: &routes,
+                asn_clusters: &clusters,
+                rpki: &rpki,
+            };
+            pipeline.dataset_with_evidence(&inputs, None)
+        };
+        let jsonl = to_jsonl(&dataset);
+        let records = prefix2org::from_jsonl(&jsonl).expect("own export parses back");
+        let digest = Digest::of_bytes(jsonl.as_bytes()).short();
+        let mut lpm = PrefixMap::new();
+        for (i, rec) in dataset.records().iter().enumerate() {
+            lpm.insert(rec.prefix, i);
+        }
+        Snapshot {
+            dir,
+            serial,
+            digest,
+            jsonl,
+            records,
+            dataset,
+            merge_edges,
+            tree,
+            routes,
+            clusters,
+            rpki,
+            lpm,
+        }
+    }
+
+    /// The pipeline-input view borrowing this snapshot's sources.
+    pub fn inputs(&self) -> PipelineInputs<'_> {
+        PipelineInputs {
+            delegations: &self.tree,
+            routes: &self.routes,
+            asn_clusters: &self.clusters,
+            rpki: &self.rpki,
+        }
+    }
+
+    /// Answers one lookup: longest-match `query` against the dataset and
+    /// return the full response object `{query, matched, record, origins,
+    /// moas, provenance, serial, snapshot}`, or `None` when no routed
+    /// prefix in the snapshot covers the query.
+    ///
+    /// The `provenance` string is the rendered decision trace — byte-for-
+    /// byte what `prefix2org explain` prints for the same prefix.
+    pub fn lookup(&self, query: &Prefix) -> Option<Json> {
+        let (matched, &idx) = self.lpm.longest_match(query)?;
+        let record = &self.dataset.records()[idx];
+        let trace = attribution_trace(&self.inputs(), &self.dataset, &self.merge_edges, query);
+        let origins: Vec<u32> = self
+            .routes
+            .origins(&matched)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        let mut out = Json::object();
+        out.set("query", query.to_string());
+        out.set("matched", matched.to_string());
+        out.set("serial", self.serial);
+        out.set("snapshot", self.digest.clone());
+        out.set("record", record.listing1_json());
+        out.set(
+            "origins",
+            Json::Arr(origins.iter().map(|&a| Json::from(a)).collect()),
+        );
+        out.set("moas", origins.len() > 1);
+        out.set("provenance", trace.render());
+        Some(out)
+    }
+}
+
+/// The reload point: a mutex-guarded current `Arc<Snapshot>` plus a
+/// generation counter that lets readers skip the lock entirely while no
+/// swap has happened.
+pub struct SnapshotCell {
+    current: Mutex<Arc<Snapshot>>,
+    generation: AtomicU64,
+    read_locks: AtomicU64,
+}
+
+impl SnapshotCell {
+    /// A cell serving `initial`.
+    pub fn new(initial: Arc<Snapshot>) -> SnapshotCell {
+        SnapshotCell {
+            current: Mutex::new(initial),
+            generation: AtomicU64::new(0),
+            read_locks: AtomicU64::new(0),
+        }
+    }
+
+    /// Atomically replaces the served snapshot. Readers that already hold
+    /// the old `Arc` finish their in-flight responses against it; new
+    /// reads see the replacement. Returns the new generation.
+    pub fn swap(&self, snapshot: Arc<Snapshot>) -> u64 {
+        let mut current = self.current.lock().expect("snapshot cell poisoned");
+        *current = snapshot;
+        // The store is inside the lock so a reader that observes the new
+        // generation and then locks always finds the new Arc.
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        self.generation.store(generation, Ordering::Release);
+        generation
+    }
+
+    /// The current generation (bumped once per [`swap`]).
+    ///
+    /// [`swap`]: SnapshotCell::swap
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// How many reads had to take the lock (first read after a swap). The
+    /// concurrency battery asserts this stays ≤ readers × (swaps + 1) —
+    /// i.e. the steady-state read path never locks.
+    pub fn read_locks(&self) -> u64 {
+        self.read_locks.load(Ordering::Relaxed)
+    }
+
+    /// Clones the current snapshot through the lock (slow path; used by
+    /// readers on generation change and by non-hot endpoints).
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.read_locks.fetch_add(1, Ordering::Relaxed);
+        self.current.lock().expect("snapshot cell poisoned").clone()
+    }
+
+    /// A per-connection reader caching `(generation, Arc)`.
+    pub fn reader(self: &Arc<Self>) -> SnapshotReader {
+        SnapshotReader {
+            cell: Arc::clone(self),
+            generation: self.generation(),
+            cached: self.load(),
+        }
+    }
+}
+
+/// A connection-local snapshot handle: one `Acquire` load per request in
+/// steady state, one lock acquisition after each reload.
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+    generation: u64,
+    cached: Arc<Snapshot>,
+}
+
+impl SnapshotReader {
+    /// The snapshot to serve this request from. Every field read off the
+    /// returned `Arc` within one response is consistent — the swap
+    /// replaces the whole `Arc`, never mutates in place.
+    pub fn get(&mut self) -> &Arc<Snapshot> {
+        let generation = self.cell.generation.load(Ordering::Acquire);
+        if generation != self.generation {
+            self.cached = self.cell.load();
+            // Re-read under the published value: load() locked, so cached
+            // is at least as new as `generation`.
+            self.generation = generation;
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2o_synth::{World, WorldConfig};
+
+    pub(crate) fn snapshot_from_seed(seed: u64, serial: u64) -> Snapshot {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let built = world.build_inputs();
+        Snapshot::assemble(
+            PathBuf::from(format!("seed-{seed}")),
+            serial,
+            built.tree,
+            built.routes,
+            built.clusters,
+            built.rpki,
+            1,
+        )
+    }
+
+    #[test]
+    fn lookup_hits_misses_and_provenance() {
+        let snap = snapshot_from_seed(7, 0);
+        assert!(!snap.records.is_empty(), "tiny world exports records");
+        let first = snap.records[0].prefix;
+        let hit = snap.lookup(&first).expect("exported prefix resolves");
+        assert_eq!(
+            hit.get("matched").unwrap().as_str().unwrap(),
+            first.to_string()
+        );
+        let provenance = hit.get("provenance").unwrap().as_str().unwrap();
+        assert!(provenance.starts_with(&first.to_string()));
+        assert!(provenance.contains("cluster.final"));
+        // A prefix outside every delegation: no covering routed prefix.
+        assert!(snap
+            .lookup(&"255.255.255.255/32".parse().unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn cell_swap_bumps_generation_and_readers_follow() {
+        let a = Arc::new(snapshot_from_seed(7, 0));
+        let b = Arc::new(snapshot_from_seed(8, 1));
+        let cell = Arc::new(SnapshotCell::new(Arc::clone(&a)));
+        let mut reader = cell.reader();
+        let locks_after_setup = cell.read_locks();
+        assert_eq!(reader.get().digest, a.digest);
+        assert_eq!(reader.get().digest, a.digest);
+        // Steady state: no further lock acquisitions.
+        assert_eq!(cell.read_locks(), locks_after_setup);
+        cell.swap(Arc::clone(&b));
+        assert_eq!(cell.generation(), 1);
+        assert_eq!(reader.get().digest, b.digest);
+        // Exactly one slow-path acquisition for the swap.
+        assert_eq!(cell.read_locks(), locks_after_setup + 1);
+    }
+}
