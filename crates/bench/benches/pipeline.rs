@@ -113,7 +113,14 @@ fn baseline_speedup(baseline: Option<&Json>, stage: &str, scale: &str) -> Option
 fn bench_json(budget_ms: u64) {
     let cpus = prefix2org::default_threads();
     let max_threads = cpus.clamp(2, 8);
-    let thread_counts = [1usize, max_threads];
+    // A 1-CPU recorder skips the multi-thread rows entirely: they measure
+    // fan-out overhead, not parallelism, and committed rows that look like
+    // parallel timings poison later regression comparisons.
+    let thread_counts: Vec<usize> = if cpus == 1 {
+        vec![1]
+    } else {
+        vec![1, max_threads]
+    };
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     let baseline = std::fs::read_to_string(path)
@@ -181,7 +188,6 @@ fn bench_json(budget_ms: u64) {
                     .map(|&(_, _, m)| m)
                     .expect("stage measured at every thread count")
             };
-            let (seq, par) = (at(1), at(max_threads));
             let mut s = Json::object();
             s.set("stage", stage);
             s.set("scale", scale);
@@ -213,6 +219,7 @@ fn bench_json(budget_ms: u64) {
                     );
                 }
             } else {
+                let (seq, par) = (at(1), at(max_threads));
                 s.set(
                     "speedup_vs_sequential",
                     if par > 0.0 { seq / par } else { 0.0 },
@@ -221,6 +228,65 @@ fn bench_json(budget_ms: u64) {
             speedups.push(s);
         }
     }
+
+    // Lookup microbench: the frozen flattened LPM (sorted span table +
+    // binary search over one contiguous buffer) against the heap radix
+    // tree (per-node allocations, pointer-chasing walk), both answering
+    // every record prefix of the default-scale dataset. Single-threaded
+    // by construction, so the ratio is valid on any recorder.
+    group("json_lookup");
+    let lookup = {
+        let world = World::generate(WorldConfig::default_scale(0xF1F0));
+        let built = world.build_inputs();
+        let inputs = PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        };
+        let (dataset, edges) =
+            Pipeline::with_threads(max_threads).dataset_with_evidence(&inputs, None);
+        let payload = prefix2org::freeze(&inputs, &dataset, &edges, 0);
+        let frozen = prefix2org::FrozenDataset::from_payload(payload).expect("fresh freeze");
+        let queries: Vec<Prefix> = dataset.records().iter().map(|r| r.prefix).collect();
+        let mut radix: p2o_radix::PrefixMap<usize> = p2o_radix::PrefixMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            radix.insert(*q, i);
+        }
+        let n = queries.len().max(1);
+        let radix_mean = bench("lookup/default/radix_heap", || {
+            let mut acc = 0usize;
+            for q in &queries {
+                if let Some((_, &i)) = radix.longest_match(q) {
+                    acc ^= i;
+                }
+            }
+            black_box(acc)
+        });
+        let frozen_mean = bench("lookup/default/frozen_lpm", || {
+            let mut acc = 0u32;
+            for q in &queries {
+                if let Some((_, i)) = frozen.lookup(q) {
+                    acc ^= i;
+                }
+            }
+            black_box(acc)
+        });
+        let mut l = Json::object();
+        l.set("scale", "default");
+        l.set("queries", n);
+        l.set("radix_heap_ns_per_lookup", radix_mean / n as f64);
+        l.set("frozen_lpm_ns_per_lookup", frozen_mean / n as f64);
+        l.set(
+            "speedup_frozen_vs_radix",
+            if frozen_mean > 0.0 {
+                radix_mean / frozen_mean
+            } else {
+                0.0
+            },
+        );
+        l
+    };
 
     let mut doc = Json::object();
     doc.set("bench", "pipeline");
@@ -242,6 +308,7 @@ fn bench_json(budget_ms: u64) {
     groups.set("cluster", Json::Arr(cluster_cases));
     doc.set("groups", groups);
     doc.set("speedups", Json::Arr(speedups));
+    doc.set("lookup", lookup);
 
     // Atomic write: a baseline file truncated by a crash would silently
     // poison every later regression comparison against it.

@@ -6,10 +6,16 @@
 //! over the snapshot's own routed prefixes. With `--json` the results are
 //! persisted to `BENCH_serve.json` at the repository root.
 //!
+//! Also times cold start — process spawn to an answered `/health` — for
+//! the frozen zero-copy artifact against the full parse-and-run load over
+//! the same built directory (`P2O_BENCH_SERVE_SCALE` picks the world
+//! size; default `default`, CI smoke uses `tiny`).
+//!
 //! ```text
 //! cargo bench -p p2o-cli --bench serve            # human-readable
 //! cargo bench -p p2o-cli --bench serve -- --json  # + BENCH_serve.json
-//! P2O_BENCH_MS=50 P2O_BENCH_SERVE_CLIENTS=1,4 cargo bench ...   # CI smoke
+//! P2O_BENCH_MS=50 P2O_BENCH_SERVE_CLIENTS=1,4 \
+//!     P2O_BENCH_SERVE_SCALE=tiny cargo bench ...   # CI smoke
 //! ```
 //!
 //! Lives in `p2o-cli` (not `p2o-bench`) because `CARGO_BIN_EXE_prefix2org`
@@ -47,6 +53,10 @@ impl Drop for ServerProc {
 }
 
 fn generate_world(dir: &std::path::Path) {
+    generate_world_scale(dir, "tiny");
+}
+
+fn generate_world_scale(dir: &std::path::Path, scale: &str) {
     let status = Command::new(bin())
         .args([
             "generate",
@@ -55,7 +65,7 @@ fn generate_world(dir: &std::path::Path) {
             "--seed",
             "42",
             "--scale",
-            "tiny",
+            scale,
         ])
         .stdout(Stdio::null())
         .stderr(Stdio::null())
@@ -64,10 +74,33 @@ fn generate_world(dir: &std::path::Path) {
     assert!(status.success(), "generate failed");
 }
 
+/// Runs `prefix2org build` over the directory so it carries both the
+/// JSONL export and the frozen `world.p2ob` artifact.
+fn build_world(dir: &std::path::Path) {
+    let status = Command::new(bin())
+        .args([
+            "build",
+            "--in",
+            &dir.display().to_string(),
+            "--out",
+            &dir.join("dataset.jsonl").display().to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("running build");
+    assert!(status.success(), "build failed");
+}
+
 /// Starts `prefix2org serve DIR` and waits for its readiness line.
 fn start_server(dir: &std::path::Path) -> (ServerProc, String) {
+    start_server_with(dir, &[])
+}
+
+fn start_server_with(dir: &std::path::Path, extra: &[&str]) -> (ServerProc, String) {
     let mut child = Command::new(bin())
         .args(["serve", &dir.display().to_string(), "--addr", "127.0.0.1:0"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -139,6 +172,32 @@ fn run_level(addr: &str, prefixes: &[String], clients: usize, budget: Duration) 
     (total.load(Ordering::Relaxed), wall)
 }
 
+/// One cold boot: process spawn to an answered `/health`, in
+/// milliseconds. Asserts the server actually booted in the expected mode
+/// (frozen attach vs full load), so the two timings can't silently
+/// measure the same path.
+fn boot_once_ms(dir: &std::path::Path, extra: &[&str], expect_frozen: bool) -> f64 {
+    let started = Instant::now();
+    let (_server, addr) = start_server_with(dir, extra);
+    let mut client = HttpClient::connect(&addr).expect("connect for health");
+    let health = client.get("/health").expect("health response");
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(health.status, 200);
+    let doc = Json::parse(&health.text()).expect("health parses");
+    assert_eq!(
+        doc.get("frozen").and_then(Json::as_bool),
+        Some(expect_frozen),
+        "boot mode mismatch for extra args {extra:?}"
+    );
+    ms
+}
+
+fn best_boot_ms(dir: &std::path::Path, extra: &[&str], expect_frozen: bool) -> f64 {
+    (0..3)
+        .map(|_| boot_once_ms(dir, extra, expect_frozen))
+        .fold(f64::INFINITY, f64::min)
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let budget_ms: u64 = std::env::var("P2O_BENCH_MS")
@@ -181,6 +240,24 @@ fn main() {
         levels.push(level);
     }
 
+    // Cold-start: spawn-to-/health, the frozen zero-copy attach against
+    // the full parse-and-run load over the same built directory, best of
+    // three each. `P2O_BENCH_SERVE_SCALE` picks the world size (CI smoke
+    // uses tiny; the committed baseline records default).
+    let cold_scale =
+        std::env::var("P2O_BENCH_SERVE_SCALE").unwrap_or_else(|_| "default".to_string());
+    let cold_dir =
+        TempDir(std::env::temp_dir().join(format!("p2o-bench-cold-{}", std::process::id())));
+    generate_world_scale(&cold_dir.0, &cold_scale);
+    build_world(&cold_dir.0);
+    let frozen_ms = best_boot_ms(&cold_dir.0, &[], true);
+    let full_ms = best_boot_ms(&cold_dir.0, &["--no-frozen"], false);
+    println!(
+        "  cold start ({cold_scale}): frozen {frozen_ms:.1}ms vs full load {full_ms:.1}ms \
+         = {:.1}x",
+        full_ms / frozen_ms
+    );
+
     if json {
         let mut doc = Json::object();
         doc.set("bench", "serve");
@@ -189,6 +266,19 @@ fn main() {
         doc.set("scale", "tiny");
         doc.set("budget_ms", budget_ms);
         doc.set("levels", Json::Arr(levels));
+        let mut cold = Json::object();
+        cold.set("scale", cold_scale.as_str());
+        cold.set("frozen_ms", frozen_ms);
+        cold.set("full_ms", full_ms);
+        cold.set(
+            "speedup_frozen_vs_full",
+            if frozen_ms > 0.0 {
+                full_ms / frozen_ms
+            } else {
+                0.0
+            },
+        );
+        doc.set("cold_start", cold);
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
         let vfs = p2o_util::vfs::Vfs::real();
         p2o_util::atomic::write_atomic(

@@ -217,6 +217,19 @@ pub fn inputs_digest(
     Ok(d.0)
 }
 
+/// The option-independent digest of a directory's input files: what
+/// [`inputs_digest`] yields for the default build options. The frozen
+/// dataset stamps this into its META section so `serve` can detect a
+/// stale artifact no matter which flags the original build ran with.
+pub fn canonical_inputs_digest(vfs: &Vfs, dir: &Path) -> Result<u64, String> {
+    inputs_digest(
+        vfs,
+        dir,
+        false,
+        p2o_util::ingest::DEFAULT_QUARANTINE_SAMPLES,
+    )
+}
+
 /// Whether a recorded artifact still matches the bytes on disk.
 pub fn artifact_verifies(vfs: &Vfs, artifact: &StampArtifact) -> bool {
     match vfs.read(Path::new(&artifact.path)) {

@@ -199,7 +199,10 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
 
     // The checkpoint covers the export plus every file-bound artifact this
     // invocation asks for.
-    let mut requested: Vec<(&str, &str)> = vec![("export", out_str)];
+    let frozen_path = dir.join(prefix2org::FROZEN_FILE);
+    let frozen_path_str = frozen_path.display().to_string();
+    let mut requested: Vec<(&str, &str)> =
+        vec![("export", out_str), ("frozen", frozen_path_str.as_str())];
     if let Some(p) = report_path {
         if p != "-" {
             requested.push(("report", p));
@@ -320,15 +323,50 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         asn_clusters: &inputs.clusters,
         rpki: &inputs.rpki,
     };
-    let dataset = match &obs {
-        Some(o) => pipeline.run_with_obs(&pipeline_inputs, o),
-        None => pipeline.run(&pipeline_inputs),
+    // The frozen artifact needs the merge evidence next to the dataset;
+    // `dataset_with_evidence` is the same deterministic run plus edge
+    // capture. Observed builds keep `run_with_obs` (the golden counters
+    // depend on it) and pay one extra evidence pass.
+    let (dataset, merge_edges) = match &obs {
+        Some(o) => {
+            let ds = pipeline.run_with_obs(&pipeline_inputs, o);
+            let (_, edges) = pipeline.dataset_with_evidence(&pipeline_inputs, None);
+            (ds, edges)
+        }
+        None => pipeline.dataset_with_evidence(&pipeline_inputs, None),
     };
     let jsonl = prefix2org::to_jsonl(&dataset);
     atomic::write_atomic(&vfs, out, "export", jsonl.as_bytes())
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     let mut stamp = checkpoint::Stamp::new(inputs_digest);
     stamp.record("export", out_str, jsonl.as_bytes());
+
+    // Freeze the same dataset into the zero-copy serve artifact. The META
+    // section stamps the option-independent inputs digest so a later
+    // `serve` can detect staleness no matter which flags this build ran
+    // with, and the thaw check proves the artifact reproduces the export
+    // byte-for-byte before anything touches disk.
+    let canonical_digest = checkpoint::canonical_inputs_digest(&vfs, dir)?;
+    let payload = prefix2org::freeze(&pipeline_inputs, &dataset, &merge_edges, canonical_digest);
+    let thawed = prefix2org::FrozenDataset::from_payload(payload.clone())
+        .map_err(|e| format!("frozen artifact failed self-validation: {e}"))?;
+    if thawed.to_jsonl() != jsonl {
+        return Err(CliError::General(
+            "frozen artifact does not thaw back to the canonical export".to_string(),
+        ));
+    }
+    drop(thawed);
+    let framed = atomic::frame(&payload);
+    atomic::write_atomic(&vfs, &frozen_path, prefix2org::FROZEN_LABEL, &framed)
+        .map_err(|e| format!("writing {}: {e}", frozen_path.display()))?;
+    stamp.record("frozen", &frozen_path_str, &framed);
+    if let Ok(Some(mut manifest)) = p2o_util::manifest::Manifest::load(&vfs, dir) {
+        manifest.record(prefix2org::FROZEN_FILE, &framed);
+        manifest
+            .save(&vfs, dir)
+            .map_err(|e| format!("updating MANIFEST.tsv: {e}"))?;
+    }
+    let frozen_bytes = framed.len();
 
     if let Some(o) = &obs {
         // Fold the I/O layer's own statistics into the counter families
@@ -412,6 +450,10 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         out.display()
     ));
     say(format!(
+        "  frozen dataset: {frozen_bytes} bytes -> {}",
+        frozen_path.display()
+    ));
+    say(format!(
         "  IPv4 {} / IPv6 {}; {} Direct Owners, {} base names, {} final clusters",
         m.ipv4_prefixes, m.ipv6_prefixes, m.direct_owners, m.base_names, m.final_clusters
     ));
@@ -464,6 +506,33 @@ pub fn explain(args: &Parsed) -> Result<(), CliError> {
         .max(1);
     if args.positional().is_empty() {
         return Err("explain needs at least one prefix argument".into());
+    }
+    if args.has("frozen") {
+        // Serve the stored traces out of the frozen artifact instead of
+        // replaying the pipeline. For prefixes that are themselves records
+        // the output is byte-identical to a live explain; for covered
+        // queries the stored trace of the covering record is printed with
+        // a note naming it.
+        let vfs = Vfs::from_env().map_err(CliError::General)?;
+        let frozen_path = dir.join(prefix2org::FROZEN_FILE);
+        let frozen =
+            prefix2org::FrozenDataset::load(&vfs, &frozen_path).map_err(CliError::Integrity)?;
+        for (i, q) in args.positional().iter().enumerate() {
+            let prefix: Prefix = q.parse().map_err(|e| format!("{q:?}: {e}"))?;
+            if i > 0 {
+                println!();
+            }
+            match frozen.lookup(&prefix) {
+                None => println!("{prefix}: no covering record in the frozen dataset"),
+                Some((matched, idx)) => {
+                    if matched != prefix {
+                        println!("{prefix}: covered by {matched}; its stored trace follows");
+                    }
+                    print!("{}", frozen.provenance(idx));
+                }
+            }
+        }
+        return Ok(());
     }
     let inputs = store::load_inputs_with(dir, None, threads)?;
     let pipeline = Pipeline::with_threads(threads);
@@ -772,6 +841,7 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
         .get_num::<usize>("threads")?
         .unwrap_or_else(prefix2org::default_threads)
         .max(1);
+    let use_frozen = !args.has("no-frozen");
 
     let loader: p2o_serve::SnapshotLoader = std::sync::Arc::new(move |dir: &Path| {
         let vfs = Vfs::from_env()?;
@@ -782,6 +852,34 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
                 report.findings.len(),
                 dir.display()
             ));
+        }
+        // Prefer the frozen artifact: one framed read plus O(1) arena
+        // attachment instead of re-parsing WHOIS/MRT and re-running the
+        // pipeline. Staleness (inputs changed since the freeze) and any
+        // load failure fall back to the full load with a warning — the
+        // frozen path is an accelerator, never a gate.
+        if use_frozen {
+            let frozen_path = dir.join(prefix2org::FROZEN_FILE);
+            if frozen_path.is_file() {
+                match prefix2org::FrozenDataset::load(&vfs, &frozen_path) {
+                    Ok(frozen) => {
+                        let current = checkpoint::canonical_inputs_digest(&vfs, dir)?;
+                        if frozen.inputs_digest() == current {
+                            return Ok(p2o_serve::Snapshot::from_frozen(
+                                dir.to_path_buf(),
+                                0,
+                                frozen,
+                            ));
+                        }
+                        eprintln!(
+                            "warning: {}: frozen artifact is stale (inputs changed since it \
+                             was built); falling back to a full load",
+                            frozen_path.display()
+                        );
+                    }
+                    Err(e) => eprintln!("warning: {e}; falling back to a full load"),
+                }
+            }
         }
         let outcome = store::load_inputs_mode(&vfs, dir, None, threads, store::IngestMode::Lenient)
             .map_err(|e| e.to_string())?;
@@ -801,10 +899,11 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
     // integrity error (exit 2), matching `fsck`.
     let initial = loader(dir).map_err(CliError::Integrity)?;
     eprintln!(
-        "loaded {} ({} prefixes, snapshot {})",
+        "loaded {} ({} prefixes, snapshot {}{})",
         dir.display(),
-        initial.dataset.len(),
-        initial.digest
+        initial.len(),
+        initial.digest,
+        if initial.is_frozen() { ", frozen" } else { "" }
     );
     let config = p2o_serve::ServerConfig {
         addr,

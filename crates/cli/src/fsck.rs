@@ -9,7 +9,10 @@
 //!    torn write, a same-length mismatch is bit-rot or tampering);
 //! 3. **Checkpoint frames** — every `*.ckpt` must unframe cleanly (the
 //!    frame layer names the exact damage mode otherwise);
-//! 4. **Format version** — `meta.tsv`'s `format_version` must be one this
+//! 4. **Frozen datasets** — every `*.p2ob` must unframe cleanly AND pass
+//!    the full [`prefix2org::FrozenDataset`] payload audit (arena layout,
+//!    format_version gate, string/LPM table invariants, per-record bounds);
+//! 5. **Format version** — `meta.tsv`'s `format_version` must be one this
 //!    binary supports.
 //!
 //! Directories from before the durability layer have no manifest; that is
@@ -79,6 +82,18 @@ pub fn audit(vfs: &Vfs, dir: &Path) -> Result<FsckReport, String> {
                     .push(format!("{}: checkpoint stamp damaged: {e}", rel(path)));
             } else {
                 report.verified += 1;
+            }
+        } else if path.extension().is_some_and(|x| x == "p2ob") {
+            match atomic::read_framed(vfs, path) {
+                Err(e) => report
+                    .findings
+                    .push(format!("{}: frozen dataset frame damaged: {e}", rel(path))),
+                Ok(payload) => match prefix2org::FrozenDataset::validate_payload(&payload) {
+                    Err(e) => report
+                        .findings
+                        .push(format!("{}: frozen dataset invalid: {e}", rel(path))),
+                    Ok(()) => report.verified += 1,
+                },
             }
         }
     }
@@ -179,6 +194,66 @@ mod tests {
         );
         assert!(all.contains("format_version 99"), "{all}");
         assert_eq!(report.findings.len(), 4, "{all}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frozen_artifact_damage_is_found() {
+        use p2o_synth::{World, WorldConfig};
+        use prefix2org::{Pipeline, PipelineInputs};
+
+        let dir = tmp_dir("frozen");
+        let vfs = Vfs::real();
+        let world = World::generate(WorldConfig::tiny(9));
+        let built = world.build_inputs();
+        let inputs = PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        };
+        let (dataset, edges) = Pipeline::default().dataset_with_evidence(&inputs, None);
+        let payload = prefix2org::freeze(&inputs, &dataset, &edges, 7);
+        let framed = atomic::frame(&payload);
+        let p2ob = dir.join("world.p2ob");
+
+        fs::write(&p2ob, &framed).unwrap();
+        let report = audit(&vfs, &dir).unwrap();
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.verified, 1);
+
+        // Truncation and bit flips both break the outer frame.
+        fs::write(&p2ob, &framed[..framed.len() - 3]).unwrap();
+        let all = audit(&vfs, &dir).unwrap().findings.join("\n");
+        assert!(
+            all.contains("world.p2ob: frozen dataset frame damaged"),
+            "{all}"
+        );
+        let mut flipped = framed.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        fs::write(&p2ob, &flipped).unwrap();
+        let all = audit(&vfs, &dir).unwrap().findings.join("\n");
+        assert!(
+            all.contains("world.p2ob: frozen dataset frame damaged"),
+            "{all}"
+        );
+
+        // A future format_version inside an intact frame is caught by the
+        // payload validator, not the frame layer.
+        let meta = p2o_util::arena::ArenaIndex::parse(&payload)
+            .unwrap()
+            .get("meta")
+            .unwrap();
+        let mut future = payload.clone();
+        future[meta.start] = 0xFF;
+        fs::write(&p2ob, atomic::frame(&future)).unwrap();
+        let all = audit(&vfs, &dir).unwrap().findings.join("\n");
+        assert!(
+            all.contains("world.p2ob: frozen dataset invalid")
+                && all.contains("newer than this reader"),
+            "{all}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -88,8 +88,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             &["strict", "resume"],
         )?),
         "fsck" => commands::fsck(&args::Parsed::parse(rest)?),
-        "serve" => commands::serve(&args::Parsed::parse(rest)?),
-        "explain" => commands::explain(&args::Parsed::parse(rest)?),
+        "serve" => commands::serve(&args::Parsed::parse_with_switches(rest, &["no-frozen"])?),
+        "explain" => commands::explain(&args::Parsed::parse_with_switches(rest, &["frozen"])?),
         "lookup" => commands::lookup(&args::Parsed::parse(rest)?),
         "org" => commands::org(&args::Parsed::parse(rest)?),
         "diff" => commands::diff(&args::Parsed::parse(rest)?),
@@ -125,6 +125,11 @@ USAGE:
       write the per-prefix dataset as JSON Lines and print Table-4 metrics.
       Every artifact is written atomically (tmp + fsync + rename), and a
       checksummed checkpoint stamp FILE.jsonl.ckpt is written last.
+      Alongside the export, a frozen zero-copy artifact DIR/world.p2ob is
+      written (flattened LPM tables, interned strings, fixed-width
+      records); `serve` boots from it in milliseconds and `explain
+      --frozen` reads its stored traces. The freeze is verified to thaw
+      back to the export byte-for-byte before it is written.
       Corrupt input records are skipped and quarantined by default (counts
       go to stderr and the report's data_quality section); exit code 2 is
       reserved for ingest failures. --strict aborts on the first corrupt
@@ -148,13 +153,19 @@ USAGE:
   prefix2org fsck DIR
       Audit a data directory: verify every artifact against MANIFEST.tsv,
       flag leftover .p2o-tmp files from interrupted writes, check that
-      checkpoint stamps unframe cleanly, and reject unsupported
-      format_versions. Exits 2 when anything is damaged.
+      checkpoint stamps unframe cleanly, audit frozen .p2ob datasets
+      (frame digest, arena layout, format_version, string/LPM table
+      invariants), and reject unsupported format_versions. Exits 2 when
+      anything is damaged.
 
-  prefix2org serve DIR [--addr HOST:PORT] [--threads N]
+  prefix2org serve DIR [--addr HOST:PORT] [--threads N] [--no-frozen]
       Serve the directory as a long-running lookup service (default
       address 127.0.0.1:8642). The directory is fsck-audited before
-      loading; damage refuses to start with exit 2. Endpoints:
+      loading; damage refuses to start with exit 2. When DIR/world.p2ob
+      exists and matches the directory's current inputs, the snapshot is
+      attached from it in milliseconds instead of re-running the
+      pipeline; --no-frozen forces the full load, and a stale or damaged
+      artifact falls back to it with a warning. Endpoints:
       GET /prefix/<cidr> (longest-match lookup with DO, DC chain,
       cluster, MOAS origin set, and the explain-identical provenance
       chain), POST /batch (one CIDR per line, JSONL out), GET /dump
@@ -163,11 +174,13 @@ USAGE:
       POST /reload (re-verify and atomically swap; body = new dir path,
       empty = reload the same dir), GET /health.
 
-  prefix2org explain --in DIR PREFIX... [--threads N]
+  prefix2org explain --in DIR PREFIX... [--threads N] [--frozen]
       Replay the mapping decision for each prefix and print the rule
       chain behind it: routing-table lookup, radix LPM walk, WHOIS
       delegation matches, base name, RPKI certificate, origin-ASN
-      clusters, cluster merges, final cluster label.
+      clusters, cluster merges, final cluster label. --frozen reads the
+      stored trace out of DIR/world.p2ob instead of replaying the
+      pipeline (byte-identical for record prefixes).
 
   prefix2org lookup --dataset FILE.jsonl PREFIX...
       Longest-match lookup of prefixes in a built snapshot.

@@ -105,6 +105,10 @@ fn killed_build_resumes_to_byte_identical_export() {
         "export@partial",
         "export@tmp",
         "export@final",
+        "frozen@partial",
+        "frozen@tmp",
+        "frozen@final",
+        "manifest@tmp",
         "report@partial",
         "report@tmp",
         "metrics@partial",
@@ -291,6 +295,86 @@ fn killed_generate_regenerates_identically() {
             "regenerated directory must fsck clean:\nstdout: {}",
             String::from_utf8_lossy(&out.stdout)
         );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Frozen-artifact damage taxonomy: every distinct way `world.p2ob` can
+/// rot on disk — truncation, a flipped byte under the frame digest, an
+/// empty file, a corrupted arena endianness marker, and a future
+/// format_version inside an intact frame — is flagged by `fsck` (exit 2)
+/// and refuses `serve` boot, and a rebuild restores a clean, byte-identical
+/// artifact.
+#[test]
+fn frozen_artifact_damage_taxonomy_is_flagged_and_recoverable() {
+    let dir = temp_dir("frozen-damage");
+    let build = generate(&dir, "83");
+    let dir_s = dir.to_str().unwrap().to_string();
+    let p2ob = dir.join("world.p2ob");
+
+    run_ok(&as_strs(&build));
+    let golden = std::fs::read(&p2ob).expect("frozen artifact written by build");
+    let out = run(&["fsck", &dir_s]);
+    assert!(out.status.success(), "clean directory must fsck clean");
+
+    // Two damage families: bytes that break the outer frame (truncation,
+    // flips, emptiness), and payload-level rot re-framed with a valid
+    // digest so only the arena/format validators can catch it.
+    let damage: Vec<(&str, Vec<u8>)> = vec![
+        ("truncation", golden[..golden.len() / 2].to_vec()),
+        ("bit flip under the frame digest", {
+            let mut b = golden.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x01;
+            b
+        }),
+        ("empty file", Vec::new()),
+        ("endianness marker corruption", {
+            // Frame header precedes the payload; the arena endianness
+            // marker sits at payload offset 8. Flip it and re-frame so the
+            // frame digest is valid but the arena layer rejects the bytes.
+            let mut p = p2o_util::atomic::unframe(&golden).expect("golden unframes");
+            p[8] ^= 0xFF;
+            p2o_util::atomic::frame(&p)
+        }),
+        ("future format_version", {
+            let mut p = p2o_util::atomic::unframe(&golden).expect("golden unframes");
+            let meta = p2o_util::arena::ArenaIndex::parse(&p)
+                .expect("golden arena parses")
+                .get("meta")
+                .expect("meta section");
+            p[meta.start] = 0xFE;
+            p2o_util::atomic::frame(&p)
+        }),
+    ];
+
+    for (name, bytes) in &damage {
+        std::fs::write(&p2ob, bytes).expect("inject damage");
+        let out = run(&["fsck", &dir_s]);
+        assert_eq!(out.status.code(), Some(2), "{name}: fsck missed the damage");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("frozen dataset"),
+            "{name}: fsck did not attribute the damage:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        // The fsck gate refuses serve boot on the same damage.
+        let out = run(&["serve", &dir_s, "--addr", "127.0.0.1:0"]);
+        assert_eq!(out.status.code(), Some(2), "{name}: serve booted on damage");
+        // Rebuild: deterministic freeze restores the exact golden bytes.
+        let out = run(&as_strs(&build));
+        assert!(
+            out.status.success(),
+            "{name}: rebuild failed:\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            std::fs::read(&p2ob).unwrap(),
+            golden,
+            "{name}: rebuilt artifact differs from golden"
+        );
+        let out = run(&["fsck", &dir_s]);
+        assert!(out.status.success(), "{name}: rebuilt dir must fsck clean");
     }
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -60,8 +60,13 @@ struct Server {
 
 impl Server {
     fn start(dir: &Path) -> Server {
+        Self::start_with(dir, &[])
+    }
+
+    fn start_with(dir: &Path, extra: &[&str]) -> Server {
         let mut child = Command::new(bin())
             .args(["serve", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -265,6 +270,98 @@ fn endpoint_surface_dump_metrics_health_and_reload() {
         let (_, value) = line.rsplit_once(' ').expect("series value");
         assert!(value.parse::<f64>().is_ok(), "bad value: {line}");
     }
+}
+
+/// A built directory boots from the frozen artifact (`/health` reports
+/// `frozen: true`), answers byte-identically to both `explain --frozen`
+/// and a live `explain`, matches a `--no-frozen` full-load boot digest
+/// for digest, and a stale artifact (inputs regenerated after the
+/// freeze) silently falls back to the full load.
+#[test]
+fn frozen_boot_serves_identically_and_stale_artifact_falls_back() {
+    let dir = temp_dir("frozen-boot");
+    let dir_s = dir.to_str().unwrap().to_string();
+    generate(&dir, "4243");
+    run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        dir.join("dataset.jsonl").to_str().unwrap(),
+    ]);
+    assert!(
+        dir.join("world.p2ob").is_file(),
+        "build writes the frozen artifact"
+    );
+
+    let digest;
+    {
+        let server = Server::start(&dir);
+        let mut client = server.client();
+        let health = Json::parse(&client.get("/health").expect("health").text()).expect("parses");
+        assert_eq!(
+            health.get("frozen").and_then(Json::as_bool),
+            Some(true),
+            "boot must attach the frozen artifact: {health:?}"
+        );
+        digest = health
+            .get("snapshot")
+            .and_then(|s| s.as_str())
+            .expect("digest")
+            .to_string();
+        let prefixes = served_prefixes(&mut client, 3);
+        assert_eq!(prefixes.len(), 3);
+        for p in &prefixes {
+            let single = client
+                .get(&format!("/prefix/{}", p.replace('/', "%2f")))
+                .expect("lookup");
+            assert_eq!(single.status, 200);
+            let json = Json::parse(&single.text()).expect("lookup parses");
+            let provenance = json
+                .get("provenance")
+                .and_then(|x| x.as_str())
+                .unwrap_or_else(|| panic!("no provenance for {p}"));
+            let frozen_explain = run_ok(&["explain", "--in", &dir_s, "--frozen", p]);
+            assert_eq!(
+                provenance, frozen_explain,
+                "frozen serve diverges from explain --frozen for {p}"
+            );
+            let live_explain = run_ok(&["explain", "--in", &dir_s, p]);
+            assert_eq!(
+                provenance, live_explain,
+                "frozen serve diverges from live explain for {p}"
+            );
+        }
+    }
+
+    // --no-frozen forces the full load; same content, same digest.
+    {
+        let server = Server::start_with(&dir, &["--no-frozen"]);
+        let mut client = server.client();
+        let health = Json::parse(&client.get("/health").expect("health").text()).expect("parses");
+        assert_eq!(health.get("frozen").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            health.get("snapshot").and_then(|s| s.as_str()),
+            Some(digest.as_str()),
+            "full load and frozen attach must agree on the content digest"
+        );
+    }
+
+    // Regenerating the inputs strands the old artifact; boot detects the
+    // stale inputs digest and falls back to the full load.
+    generate(&dir, "4244");
+    {
+        let server = Server::start(&dir);
+        let mut client = server.client();
+        let health = Json::parse(&client.get("/health").expect("health").text()).expect("parses");
+        assert_eq!(
+            health.get("frozen").and_then(Json::as_bool),
+            Some(false),
+            "stale artifact must not be served: {health:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,749 @@
+//! The frozen dataset artifact — `world.p2ob`.
+//!
+//! `build` exports the dataset as canonical JSONL, which is portable but
+//! slow to serve: every boot re-parses every line and re-builds the radix
+//! tree. The frozen artifact trades that for a **single-read, zero-copy**
+//! form: one arena buffer ([`p2o_util::arena`]) holding fixed-width
+//! records, one interned-string table ([`p2o_util::interner::StringBlob`]),
+//! flattened per-family LPM span tables ([`p2o_radix::freeze`]), and the
+//! pre-rendered per-record provenance — so `prefix2org serve` answers its
+//! first lookup milliseconds after exec, with no per-record allocation.
+//!
+//! **Byte-identical derivation.** Freezing is defined against the canonical
+//! JSONL export: [`FrozenDataset::to_jsonl`] must reproduce
+//! [`crate::export::to_jsonl`] exactly, and the builder verifies the digest
+//! before the artifact is written. The meta section carries both the JSONL
+//! digest (identity) and the inputs digest (staleness: serve recomputes the
+//! input digest and falls back to a full build when they disagree).
+//!
+//! Layout (arena sections, byte offsets in DESIGN.md §4h):
+//!
+//! ```text
+//! meta     32 B    format_version, record/step/pool counts, digests
+//! strings  var     StringBlob: count | offsets | UTF-8 blob
+//! recs     n×88 B  fixed-width records (string ids, pool slices)
+//! dcsteps  k×24 B  delegated-customer chain steps
+//! u32pool  m×4 B   shared u32 arrays (ASN clusters, BGP origins)
+//! lpm4     var     frozen IPv4 span table, values = record indices
+//! lpm6     var     frozen IPv6 span table, values = record indices
+//! ```
+//!
+//! Everything is little-endian. The artifact on disk is this payload
+//! wrapped in the standard checksummed frame ([`p2o_util::atomic`]), so
+//! torn writes and bit rot are caught before any of the above is trusted;
+//! [`FrozenDataset::validate_payload`] then audits the interior for `fsck`.
+
+use std::path::Path;
+
+use p2o_net::{Prefix, Prefix4, Prefix6};
+use p2o_radix::{freeze_v4, freeze_v6, LpmView4, LpmView6};
+use p2o_util::arena::{u128_at, u32_at, u64_at, ArenaIndex, ArenaWriter};
+use p2o_util::atomic::read_framed;
+use p2o_util::interner::{StringBlob, StringBlobBuilder};
+use p2o_util::vfs::Vfs;
+use p2o_util::{Digest, Json};
+use p2o_whois::alloc::AllocationType;
+use p2o_whois::Registry;
+
+use crate::cluster::{ClusterId, MergeEdge};
+use crate::dataset::{CustomerStep, Prefix2OrgDataset, PrefixRecord};
+use crate::explain::attribution_trace;
+use crate::export::{to_jsonl, ExportRecord};
+use crate::pipeline::PipelineInputs;
+
+/// The frozen artifact's file name inside a build directory.
+pub const FROZEN_FILE: &str = "world.p2ob";
+
+/// Interior format version; readers reject anything newer.
+pub const FROZEN_FORMAT_VERSION: u32 = 1;
+
+/// The kill-point / frame label the artifact is written under.
+pub const FROZEN_LABEL: &str = "frozen";
+
+/// Sentinel string id for "absent" (`rpki_certificate: null`).
+const NONE_ID: u32 = u32::MAX;
+
+/// Fixed-width record size.
+const REC_SIZE: usize = 88;
+/// Fixed-width delegated-customer step size.
+const DC_SIZE: usize = 24;
+/// Serialized prefix size: family u8 | len u8 | bits u128 LE.
+const PFX_SIZE: usize = 18;
+/// Meta section size.
+const META_SIZE: usize = 32;
+
+fn push_prefix(out: &mut Vec<u8>, p: &Prefix) {
+    match p {
+        Prefix::V4(p4) => {
+            out.push(4);
+            out.push(p4.len());
+            out.extend_from_slice(&(p4.bits() as u128).to_le_bytes());
+        }
+        Prefix::V6(p6) => {
+            out.push(6);
+            out.push(p6.len());
+            out.extend_from_slice(&p6.bits().to_le_bytes());
+        }
+    }
+}
+
+fn read_prefix(bytes: &[u8], off: usize) -> Result<Prefix, String> {
+    let fam = *bytes
+        .get(off)
+        .ok_or_else(|| "prefix field out of bounds".to_string())?;
+    let len = bytes[off + 1];
+    let bits = u128_at(bytes, off + 2).ok_or_else(|| "prefix bits out of bounds".to_string())?;
+    match fam {
+        4 => {
+            let bits32 =
+                u32::try_from(bits).map_err(|_| "IPv4 prefix bits exceed 32 bits".to_string())?;
+            Prefix4::new(bits32, len)
+                .map(Prefix::V4)
+                .map_err(|_| format!("non-canonical IPv4 prefix ({bits32:#x}/{len})"))
+        }
+        6 => Prefix6::new(bits, len)
+            .map(Prefix::V6)
+            .map_err(|_| format!("non-canonical IPv6 prefix ({bits:#x}/{len})")),
+        other => Err(format!("unknown address family tag {other}")),
+    }
+}
+
+fn alloc_index(t: AllocationType) -> u8 {
+    AllocationType::ALL
+        .iter()
+        .position(|a| *a == t)
+        .expect("every allocation type is in ALL") as u8
+}
+
+/// Flattens an already-built dataset (plus the evidence needed for
+/// provenance) into the frozen arena payload. The caller wraps the payload
+/// in a checksummed frame and writes it atomically.
+///
+/// `inputs` must be the same inputs the dataset was built from — the
+/// per-record provenance is rendered with [`attribution_trace`] against
+/// them, and the per-record BGP origins are taken from `inputs.routes`.
+/// `inputs_digest` is the canonical digest of the build directory's input
+/// files, stored for staleness detection at serve time.
+pub fn freeze(
+    inputs: &PipelineInputs<'_>,
+    dataset: &Prefix2OrgDataset,
+    merge_edges: &[MergeEdge],
+    inputs_digest: u64,
+) -> Vec<u8> {
+    let jsonl = to_jsonl(dataset);
+    let jsonl_digest = Digest::of_bytes(jsonl.as_bytes()).0;
+
+    let mut strings = StringBlobBuilder::new();
+    let mut recs: Vec<u8> = Vec::with_capacity(dataset.len() * REC_SIZE);
+    let mut dcsteps: Vec<u8> = Vec::new();
+    let mut pool: Vec<u8> = Vec::new();
+    let mut dc_count = 0u32;
+    let mut pool_count = 0u32;
+    let mut v4_entries: Vec<(Prefix4, u32)> = Vec::new();
+    let mut v6_entries: Vec<(Prefix6, u32)> = Vec::new();
+
+    let push_pool = |pool: &mut Vec<u8>, pool_count: &mut u32, vals: &[u32]| -> (u32, u32) {
+        let off = *pool_count;
+        for v in vals {
+            pool.extend_from_slice(&v.to_le_bytes());
+        }
+        *pool_count += vals.len() as u32;
+        (off, vals.len() as u32)
+    };
+
+    for (idx, rec) in dataset.records().iter().enumerate() {
+        let idx = idx as u32;
+        match rec.prefix {
+            Prefix::V4(p) => v4_entries.push((p, idx)),
+            Prefix::V6(p) => v6_entries.push((p, idx)),
+        }
+
+        let provenance = attribution_trace(inputs, dataset, merge_edges, &rec.prefix).render();
+        let origins: Vec<u32> = inputs
+            .routes
+            .origins(&rec.prefix)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+
+        let dc_off = dc_count;
+        for step in &rec.delegated_customers {
+            push_prefix(&mut dcsteps, &step.prefix);
+            dcsteps.extend_from_slice(&strings.intern(&step.org_name).to_le_bytes());
+            dcsteps.push(alloc_index(step.alloc));
+            dcsteps.push(0); // pad to 24 bytes
+        }
+        dc_count += rec.delegated_customers.len() as u32;
+
+        let (asnc_off, asnc_len) = push_pool(&mut pool, &mut pool_count, &rec.origin_asn_clusters);
+        let (org_off, org_len) = push_pool(&mut pool, &mut pool_count, &origins);
+
+        push_prefix(&mut recs, &rec.prefix);
+        push_prefix(&mut recs, &rec.do_prefix);
+        recs.extend_from_slice(&strings.intern(&rec.registry.to_string()).to_le_bytes());
+        recs.extend_from_slice(&strings.intern(&rec.direct_owner).to_le_bytes());
+        recs.extend_from_slice(&strings.intern(&rec.base_name).to_le_bytes());
+        let rpki_id = match &rec.rpki_certificate {
+            Some(id) => strings.intern(id),
+            None => NONE_ID,
+        };
+        recs.extend_from_slice(&rpki_id.to_le_bytes());
+        recs.extend_from_slice(&strings.intern(&rec.final_cluster_label).to_le_bytes());
+        recs.extend_from_slice(&strings.intern(&provenance).to_le_bytes());
+        recs.push(alloc_index(rec.do_alloc));
+        recs.extend_from_slice(&[0u8; 3]); // pad to 8-byte field alignment
+        recs.extend_from_slice(&dc_off.to_le_bytes());
+        recs.extend_from_slice(&(rec.delegated_customers.len() as u32).to_le_bytes());
+        recs.extend_from_slice(&asnc_off.to_le_bytes());
+        recs.extend_from_slice(&asnc_len.to_le_bytes());
+        recs.extend_from_slice(&org_off.to_le_bytes());
+        recs.extend_from_slice(&org_len.to_le_bytes());
+    }
+
+    let mut meta = Vec::with_capacity(META_SIZE);
+    meta.extend_from_slice(&FROZEN_FORMAT_VERSION.to_le_bytes());
+    meta.extend_from_slice(&(dataset.len() as u32).to_le_bytes());
+    meta.extend_from_slice(&jsonl_digest.to_le_bytes());
+    meta.extend_from_slice(&inputs_digest.to_le_bytes());
+    meta.extend_from_slice(&dc_count.to_le_bytes());
+    meta.extend_from_slice(&pool_count.to_le_bytes());
+
+    let mut w = ArenaWriter::new();
+    w.section("meta", meta);
+    w.section("strings", strings.into_bytes());
+    w.section("recs", recs);
+    w.section("dcsteps", dcsteps);
+    w.section("u32pool", pool);
+    w.section("lpm4", freeze_v4(&v4_entries));
+    w.section("lpm6", freeze_v6(&v6_entries));
+    w.finish()
+}
+
+/// The parsed section geometry of a frozen payload.
+struct Sections {
+    strings: core::ops::Range<usize>,
+    recs: core::ops::Range<usize>,
+    dcsteps: core::ops::Range<usize>,
+    pool: core::ops::Range<usize>,
+    lpm4: core::ops::Range<usize>,
+    lpm6: core::ops::Range<usize>,
+    /// `(entry_count, span_count)` of each LPM blob, captured at index
+    /// time so the lookup hot path can rebuild its view without re-reading
+    /// the blob header on every call.
+    lpm4_parts: (usize, usize),
+    lpm6_parts: (usize, usize),
+    record_count: u32,
+    dc_count: u32,
+    pool_count: u32,
+    jsonl_digest: u64,
+    inputs_digest: u64,
+}
+
+/// Arena parse + meta decode + section-size arithmetic. Shared by the
+/// cheap loader and the deep validator.
+fn index_sections(payload: &[u8]) -> Result<Sections, String> {
+    let arena = ArenaIndex::parse(payload)?;
+    let meta = arena.require("meta")?;
+    if meta.len() != META_SIZE {
+        return Err(format!(
+            "meta section is {} bytes, expected {META_SIZE}",
+            meta.len()
+        ));
+    }
+    let m = &payload[meta];
+    let format_version = u32_at(m, 0).expect("meta length checked");
+    if format_version > FROZEN_FORMAT_VERSION {
+        return Err(format!(
+            "frozen format_version {format_version} is newer than this reader \
+             (max {FROZEN_FORMAT_VERSION})"
+        ));
+    }
+    let record_count = u32_at(m, 4).expect("meta length checked");
+    let jsonl_digest = u64_at(m, 8).expect("meta length checked");
+    let inputs_digest = u64_at(m, 16).expect("meta length checked");
+    let dc_count = u32_at(m, 24).expect("meta length checked");
+    let pool_count = u32_at(m, 28).expect("meta length checked");
+
+    let recs = arena.require("recs")?;
+    if recs.len() != record_count as usize * REC_SIZE {
+        return Err(format!(
+            "recs section is {} bytes, expected {} for {record_count} records",
+            recs.len(),
+            record_count as usize * REC_SIZE
+        ));
+    }
+    let dcsteps = arena.require("dcsteps")?;
+    if dcsteps.len() != dc_count as usize * DC_SIZE {
+        return Err(format!(
+            "dcsteps section is {} bytes, expected {} for {dc_count} steps",
+            dcsteps.len(),
+            dc_count as usize * DC_SIZE
+        ));
+    }
+    let pool = arena.require("u32pool")?;
+    if pool.len() != pool_count as usize * 4 {
+        return Err(format!(
+            "u32pool section is {} bytes, expected {} for {pool_count} values",
+            pool.len(),
+            pool_count as usize * 4
+        ));
+    }
+    let lpm4 = arena.require("lpm4")?;
+    let lpm6 = arena.require("lpm6")?;
+    let lpm4_parts = LpmView4::attach(&payload[lpm4.clone()])
+        .map_err(|e| format!("lpm4: {e}"))?
+        .parts();
+    let lpm6_parts = LpmView6::attach(&payload[lpm6.clone()])
+        .map_err(|e| format!("lpm6: {e}"))?
+        .parts();
+    Ok(Sections {
+        strings: arena.require("strings")?,
+        recs,
+        dcsteps,
+        pool,
+        lpm4,
+        lpm6,
+        lpm4_parts,
+        lpm6_parts,
+        record_count,
+        dc_count,
+        pool_count,
+        jsonl_digest,
+        inputs_digest,
+    })
+}
+
+/// A loaded frozen dataset: one owned arena buffer, all answers served by
+/// slicing into it.
+///
+/// Construction runs the full [`validate_payload`] audit once; after that
+/// every accessor re-enters the buffer through cheap `attach` views, so a
+/// longest-prefix lookup is one binary search plus O(depth) parent climbs
+/// with **zero allocation**.
+///
+/// [`validate_payload`]: FrozenDataset::validate_payload
+pub struct FrozenDataset {
+    payload: Vec<u8>,
+    sections: Sections,
+}
+
+impl core::fmt::Debug for FrozenDataset {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FrozenDataset")
+            .field("records", &self.sections.record_count)
+            .field("jsonl_digest", &Digest(self.sections.jsonl_digest).short())
+            .finish()
+    }
+}
+
+impl FrozenDataset {
+    /// Reads `path` through the checksummed frame and validates the interior.
+    pub fn load(vfs: &Vfs, path: &Path) -> Result<FrozenDataset, String> {
+        let payload = read_framed(vfs, path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_payload(payload).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Validates an unframed payload and takes ownership of it.
+    pub fn from_payload(payload: Vec<u8>) -> Result<FrozenDataset, String> {
+        Self::validate_payload(&payload)?;
+        let sections = index_sections(&payload).expect("validated");
+        Ok(FrozenDataset { payload, sections })
+    }
+
+    /// The full interior audit behind [`load`](Self::load) — also what
+    /// `fsck` runs against a suspect artifact. Checks, in order: the arena
+    /// container (magic, endianness marker, container version, TOC bounds),
+    /// the meta section (size, `format_version` gate, section-size
+    /// arithmetic), the string table (monotone offsets, UTF-8), both LPM
+    /// blobs (sorted canonical keys, ancestor links, span invariants), and
+    /// every record and chain step (string ids, allocation-type and pool
+    /// ranges, prefix canonicality, LPM keys ↔ record prefixes bijection).
+    pub fn validate_payload(payload: &[u8]) -> Result<(), String> {
+        let s = index_sections(payload)?;
+        let strings =
+            StringBlob::parse(&payload[s.strings.clone()]).map_err(|e| format!("strings: {e}"))?;
+        let lpm4 = LpmView4::parse(&payload[s.lpm4.clone()]).map_err(|e| format!("lpm4: {e}"))?;
+        let lpm6 = LpmView6::parse(&payload[s.lpm6.clone()]).map_err(|e| format!("lpm6: {e}"))?;
+
+        let str_ok = |id: u32| (id as usize) < strings.len();
+        let recs = &payload[s.recs.clone()];
+        let mut v4_seen = 0usize;
+        let mut v6_seen = 0usize;
+        for i in 0..s.record_count as usize {
+            let base = i * REC_SIZE;
+            let err = |what: &str| format!("record {i}: {what}");
+            let prefix = read_prefix(recs, base).map_err(|e| err(&format!("prefix: {e}")))?;
+            read_prefix(recs, base + PFX_SIZE).map_err(|e| err(&format!("do_prefix: {e}")))?;
+            let at = |off: usize| u32_at(recs, base + off).expect("recs sized above");
+            for (name, off) in [
+                ("registry", 36),
+                ("direct_owner", 40),
+                ("base_name", 44),
+                ("final_cluster", 52),
+                ("provenance", 56),
+            ] {
+                if !str_ok(at(off)) {
+                    return Err(err(&format!("{name} string id out of range")));
+                }
+            }
+            if at(48) != NONE_ID && !str_ok(at(48)) {
+                return Err(err("rpki_certificate string id out of range"));
+            }
+            let registry = strings.get(at(36)).expect("checked above");
+            if registry.parse::<Registry>().is_err() {
+                return Err(err(&format!("unknown registry {registry:?}")));
+            }
+            if recs[base + 60] as usize >= AllocationType::ALL.len() {
+                return Err(err("allocation type index out of range"));
+            }
+            if at(64) as u64 + at(68) as u64 > s.dc_count as u64 {
+                return Err(err("delegated-customer slice out of range"));
+            }
+            if at(72) as u64 + at(76) as u64 > s.pool_count as u64
+                || at(80) as u64 + at(84) as u64 > s.pool_count as u64
+            {
+                return Err(err("u32 pool slice out of range"));
+            }
+            // The LPM tables must map this record's prefix back to it.
+            let hit = match prefix {
+                Prefix::V4(p) => {
+                    v4_seen += 1;
+                    lpm4.lookup(&p).map(|(k, v)| (Prefix::V4(k), v))
+                }
+                Prefix::V6(p) => {
+                    v6_seen += 1;
+                    lpm6.lookup(&p).map(|(k, v)| (Prefix::V6(k), v))
+                }
+            };
+            if hit != Some((prefix, i as u32)) {
+                return Err(err("LPM table does not map the record's own prefix to it"));
+            }
+        }
+        if lpm4.len() != v4_seen || lpm6.len() != v6_seen {
+            return Err(format!(
+                "LPM entry counts ({}, {}) disagree with record families ({v4_seen}, {v6_seen})",
+                lpm4.len(),
+                lpm6.len()
+            ));
+        }
+
+        let dcsteps = &payload[s.dcsteps.clone()];
+        for i in 0..s.dc_count as usize {
+            let base = i * DC_SIZE;
+            read_prefix(dcsteps, base).map_err(|e| format!("step {i}: prefix: {e}"))?;
+            let org = u32_at(dcsteps, base + PFX_SIZE).expect("dcsteps sized above");
+            if !str_ok(org) {
+                return Err(format!("step {i}: org string id out of range"));
+            }
+            if dcsteps[base + 22] as usize >= AllocationType::ALL.len() {
+                return Err(format!("step {i}: allocation type index out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    fn strings(&self) -> StringBlob<'_> {
+        StringBlob::attach(&self.payload[self.sections.strings.clone()]).expect("validated")
+    }
+
+    #[inline]
+    fn lpm4(&self) -> LpmView4<'_> {
+        let (entries, spans) = self.sections.lpm4_parts;
+        LpmView4::from_parts(&self.payload[self.sections.lpm4.clone()], entries, spans)
+    }
+
+    #[inline]
+    fn lpm6(&self) -> LpmView6<'_> {
+        let (entries, spans) = self.sections.lpm6_parts;
+        LpmView6::from_parts(&self.payload[self.sections.lpm6.clone()], entries, spans)
+    }
+
+    fn rec_u32(&self, idx: u32, off: usize) -> u32 {
+        let recs = &self.payload[self.sections.recs.clone()];
+        u32_at(recs, idx as usize * REC_SIZE + off).expect("validated")
+    }
+
+    fn rec_str(&self, idx: u32, off: usize) -> &str {
+        self.strings()
+            .get(self.rec_u32(idx, off))
+            .expect("validated")
+    }
+
+    fn pool_slice(&self, off: u32, len: u32) -> Vec<u32> {
+        let pool = &self.payload[self.sections.pool.clone()];
+        (0..len)
+            .map(|i| u32_at(pool, (off + i) as usize * 4).expect("validated"))
+            .collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.sections.record_count as usize
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sections.record_count == 0
+    }
+
+    /// The digest of the canonical JSONL export this artifact derives from.
+    pub fn jsonl_digest(&self) -> u64 {
+        self.sections.jsonl_digest
+    }
+
+    /// [`jsonl_digest`](Self::jsonl_digest) in the short display form the
+    /// rest of the tooling prints.
+    pub fn digest_short(&self) -> String {
+        Digest(self.sections.jsonl_digest).short()
+    }
+
+    /// The digest of the build inputs the artifact was frozen from.
+    pub fn inputs_digest(&self) -> u64 {
+        self.sections.inputs_digest
+    }
+
+    /// Longest-prefix match over the frozen record set: the most specific
+    /// record prefix covering `q`, with the record index. Zero allocation.
+    pub fn lookup(&self, q: &Prefix) -> Option<(Prefix, u32)> {
+        match q {
+            Prefix::V4(p) => self.lpm4().lookup(p).map(|(k, v)| (Prefix::V4(k), v)),
+            Prefix::V6(p) => self.lpm6().lookup(p).map(|(k, v)| (Prefix::V6(k), v)),
+        }
+    }
+
+    /// The record index holding exactly `prefix`, if any.
+    pub fn exact(&self, prefix: &Prefix) -> Option<u32> {
+        match self.lookup(prefix) {
+            Some((matched, idx)) if matched == *prefix => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// The routed prefix of record `idx`.
+    pub fn record_prefix(&self, idx: u32) -> Prefix {
+        let recs = &self.payload[self.sections.recs.clone()];
+        read_prefix(recs, idx as usize * REC_SIZE).expect("validated")
+    }
+
+    /// The pre-rendered decision trace of record `idx` — byte-identical to
+    /// what [`attribution_trace`] rendered at freeze time.
+    pub fn provenance(&self, idx: u32) -> &str {
+        self.rec_str(idx, 56)
+    }
+
+    /// The BGP origin ASNs observed for record `idx` at freeze time,
+    /// ascending.
+    pub fn origins(&self, idx: u32) -> Vec<u32> {
+        self.pool_slice(self.rec_u32(idx, 80), self.rec_u32(idx, 84))
+    }
+
+    /// Thaws record `idx` into the full [`PrefixRecord`] shape (the cluster
+    /// id is not frozen — records get a placeholder id; every Listing-1
+    /// field is exact).
+    fn prefix_record(&self, idx: u32) -> PrefixRecord {
+        let recs = &self.payload[self.sections.recs.clone()];
+        let base = idx as usize * REC_SIZE;
+        let dc_off = self.rec_u32(idx, 64);
+        let dc_len = self.rec_u32(idx, 68);
+        let dcsteps = &self.payload[self.sections.dcsteps.clone()];
+        let delegated_customers = (dc_off..dc_off + dc_len)
+            .map(|i| {
+                let sbase = i as usize * DC_SIZE;
+                CustomerStep {
+                    org_name: self
+                        .strings()
+                        .get(u32_at(dcsteps, sbase + PFX_SIZE).expect("validated"))
+                        .expect("validated")
+                        .to_string(),
+                    prefix: read_prefix(dcsteps, sbase).expect("validated"),
+                    alloc: AllocationType::ALL[dcsteps[sbase + 22] as usize],
+                }
+            })
+            .collect();
+        PrefixRecord {
+            prefix: self.record_prefix(idx),
+            registry: self
+                .rec_str(idx, 36)
+                .parse()
+                .expect("registry validated at load"),
+            direct_owner: self.rec_str(idx, 40).to_string(),
+            do_prefix: read_prefix(recs, base + PFX_SIZE).expect("validated"),
+            do_alloc: AllocationType::ALL[recs[base + 60] as usize],
+            delegated_customers,
+            base_name: self.rec_str(idx, 44).to_string(),
+            rpki_certificate: match self.rec_u32(idx, 48) {
+                NONE_ID => None,
+                id => Some(self.strings().get(id).expect("validated").to_string()),
+            },
+            origin_asn_clusters: self.pool_slice(self.rec_u32(idx, 72), self.rec_u32(idx, 76)),
+            final_cluster_label: self.rec_str(idx, 52).to_string(),
+            cluster: ClusterId(0),
+        }
+    }
+
+    /// The Listing-1 JSON body of record `idx` — byte-identical to
+    /// [`PrefixRecord::listing1_json`] on the live dataset.
+    pub fn listing1_json(&self, idx: u32) -> Json {
+        self.prefix_record(idx).listing1_json()
+    }
+
+    /// Thaws record `idx` into its canonical [`ExportRecord`].
+    pub fn export_record(&self, idx: u32) -> ExportRecord {
+        ExportRecord::from(&self.prefix_record(idx))
+    }
+
+    /// Re-derives the canonical JSONL export. Must reproduce the original
+    /// byte-for-byte; [`jsonl_digest`](Self::jsonl_digest) pins the claim.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for idx in 0..self.sections.record_count {
+            out.push_str(&self.export_record(idx).to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use p2o_synth::{World, WorldConfig};
+
+    fn frozen_from_seed(seed: u64) -> (FrozenDataset, String) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let built = world.build_inputs();
+        let inputs = PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        };
+        let (dataset, edges) = Pipeline::default().dataset_with_evidence(&inputs, None);
+        let jsonl = to_jsonl(&dataset);
+        let payload = freeze(&inputs, &dataset, &edges, 0xDEAD_BEEF);
+        (FrozenDataset::from_payload(payload).unwrap(), jsonl)
+    }
+
+    #[test]
+    fn freeze_thaw_reproduces_canonical_jsonl() {
+        let (frozen, jsonl) = frozen_from_seed(42);
+        assert!(!frozen.is_empty(), "tiny world has records");
+        assert_eq!(frozen.to_jsonl(), jsonl);
+        assert_eq!(frozen.jsonl_digest(), Digest::of_bytes(jsonl.as_bytes()).0);
+        assert_eq!(frozen.inputs_digest(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn lookup_and_listing1_agree_with_live_dataset() {
+        let world = World::generate(WorldConfig::tiny(7));
+        let built = world.build_inputs();
+        let inputs = PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        };
+        let (dataset, edges) = Pipeline::default().dataset_with_evidence(&inputs, None);
+        let payload = freeze(&inputs, &dataset, &edges, 1);
+        let frozen = FrozenDataset::from_payload(payload).unwrap();
+        assert_eq!(frozen.len(), dataset.len());
+        for (idx, rec) in dataset.records().iter().enumerate() {
+            let idx = idx as u32;
+            assert_eq!(frozen.lookup(&rec.prefix), Some((rec.prefix, idx)));
+            assert_eq!(frozen.exact(&rec.prefix), Some(idx));
+            assert_eq!(frozen.record_prefix(idx), rec.prefix);
+            assert_eq!(
+                frozen.listing1_json(idx).to_string(),
+                rec.listing1_json().to_string()
+            );
+            assert_eq!(
+                frozen.provenance(idx),
+                attribution_trace(&inputs, &dataset, &edges, &rec.prefix).render()
+            );
+            let want: Vec<u32> = built
+                .routes
+                .origins(&rec.prefix)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            assert_eq!(frozen.origins(idx), want);
+        }
+    }
+
+    #[test]
+    fn freezing_is_deterministic() {
+        let world = World::generate(WorldConfig::tiny(42));
+        let built = world.build_inputs();
+        let inputs = PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        };
+        let (dataset, edges) = Pipeline::default().dataset_with_evidence(&inputs, None);
+        let a = freeze(&inputs, &dataset, &edges, 5);
+        let b = freeze(&inputs, &dataset, &edges, 5);
+        assert_eq!(a, b, "same inputs must freeze to identical bytes");
+    }
+
+    /// Golden pin: the frozen payload at a fixed seed and fixed inputs
+    /// digest hashes to a known value. Any change to the byte layout —
+    /// section order, record width, string-intern order, LPM span
+    /// encoding — trips this and must come with a FROZEN_FORMAT_VERSION
+    /// bump and a re-pin.
+    #[test]
+    fn frozen_payload_digest_is_pinned_at_fixed_seed() {
+        let (frozen, _) = frozen_from_seed(42);
+        let digest = Digest::of_bytes(&frozen.payload).0;
+        assert_eq!(
+            digest, GOLDEN_FROZEN_DIGEST,
+            "frozen byte layout changed: bump FROZEN_FORMAT_VERSION and re-pin \
+             (got {digest:#018x})"
+        );
+    }
+
+    const GOLDEN_FROZEN_DIGEST: u64 = 0xa53c_2da3_a93c_e147;
+
+    #[test]
+    fn validate_rejects_damage() {
+        let (frozen, _) = frozen_from_seed(42);
+        let payload = frozen.payload.clone();
+        assert!(FrozenDataset::validate_payload(&payload).is_ok());
+
+        // Truncation.
+        let err = FrozenDataset::validate_payload(&payload[..payload.len() - 1]).unwrap_err();
+        assert!(!err.is_empty());
+
+        // Future interior format version.
+        let meta = index_sections(&payload).unwrap();
+        let _ = meta; // meta offset located below by section lookup
+        let arena = ArenaIndex::parse(&payload).unwrap();
+        let meta_range = arena.require("meta").unwrap();
+        let mut bad = payload.clone();
+        bad[meta_range.start..meta_range.start + 4]
+            .copy_from_slice(&(FROZEN_FORMAT_VERSION + 1).to_le_bytes());
+        let err = FrozenDataset::validate_payload(&bad).unwrap_err();
+        assert!(err.contains("newer than this reader"), "{err}");
+
+        // Corrupt record count: section arithmetic breaks.
+        let mut bad = payload.clone();
+        bad[meta_range.start + 4..meta_range.start + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = FrozenDataset::validate_payload(&bad).unwrap_err();
+        assert!(err.contains("recs section"), "{err}");
+
+        // Corrupt a string id in record 0 (registry).
+        let recs_range = arena.require("recs").unwrap();
+        let mut bad = payload.clone();
+        bad[recs_range.start + 36..recs_range.start + 40]
+            .copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
+        let err = FrozenDataset::validate_payload(&bad).unwrap_err();
+        assert!(err.contains("string id out of range"), "{err}");
+
+        // Flip a bit inside the LPM section.
+        let lpm_range = arena.require("lpm4").unwrap();
+        if lpm_range.len() > 12 {
+            let mut bad = payload.clone();
+            bad[lpm_range.start + 8] ^= 0x01;
+            assert!(FrozenDataset::validate_payload(&bad).is_err());
+        }
+    }
+}

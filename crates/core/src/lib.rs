@@ -59,6 +59,7 @@ pub mod dataset;
 pub mod delta;
 pub mod explain;
 pub mod export;
+pub mod frozen;
 pub mod leasing;
 pub mod pipeline;
 pub mod resolve;
@@ -68,6 +69,7 @@ pub use dataset::{CustomerStep, DatasetMetrics, Prefix2OrgDataset, PrefixRecord}
 pub use delta::{diff, DatasetDelta, OwnerChange};
 pub use explain::attribution_trace;
 pub use export::{from_jsonl, to_jsonl, ExportRecord};
+pub use frozen::{freeze, FrozenDataset, FROZEN_FILE, FROZEN_FORMAT_VERSION, FROZEN_LABEL};
 pub use leasing::{infer_leasing, LeasingCandidate, LeasingOptions};
 pub use pipeline::{default_threads, Pipeline, PipelineInputs};
 pub use resolve::{DelegationStep, OwnershipRecord, Resolver};

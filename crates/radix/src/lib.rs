@@ -25,10 +25,12 @@
 //! Nodes live in a `Vec` arena; internal "glue" nodes carry no value and are
 //! created on demand when two stored prefixes diverge below an existing node.
 
+pub mod freeze;
 pub mod key;
 pub mod map;
 pub mod tree;
 
+pub use freeze::{freeze_v4, freeze_v6, LpmView4, LpmView6, LPM_NONE};
 pub use key::RadixKey;
 pub use map::PrefixMap;
 pub use tree::RadixTree;

@@ -171,6 +171,44 @@ fn longest_match_agrees_with_linear_scan_v4() {
     });
 }
 
+/// Freeze→thaw→lookup: the flattened span-table LPM must agree with the
+/// live radix tree on arbitrary prefix sets and arbitrary queries, both
+/// clustered (nesting-heavy) and dense universes.
+#[test]
+fn frozen_lpm_agrees_with_tree_v4() {
+    use crate::freeze::{freeze_v4, LpmView4};
+    run_cases(256, |g| {
+        let dense = g.bool();
+        let draw = |g: &mut Gen| {
+            if dense {
+                gen_dense_prefix(g)
+            } else {
+                gen_prefix(g)
+            }
+        };
+        // Include duplicates on purpose: freeze must keep the last value
+        // exactly like repeated tree inserts do.
+        let entries: Vec<(Prefix4, u32)> =
+            (0..g.range(0, 120)).map(|i| (draw(g), i as u32)).collect();
+        let tree: RadixTree<Prefix4, u32> = entries.iter().copied().collect();
+        let blob = freeze_v4(&entries);
+        let view = LpmView4::parse(&blob).expect("freshly frozen blob validates");
+        assert_eq!(view.len(), tree.len());
+        for _ in 0..48 {
+            let q = draw(g);
+            assert_eq!(
+                view.lookup(&q),
+                tree.longest_match(&q).map(|(k, v)| (k, *v)),
+                "query {q}"
+            );
+        }
+        // Every stored key is its own longest match.
+        for (k, v) in tree.iter() {
+            assert_eq!(view.lookup(&k), Some((k, *v)));
+        }
+    });
+}
+
 /// The same model-equivalence properties for IPv6 keys (128-bit paths
 /// exercise different glue-node geometry than 32-bit ones).
 mod v6 {
@@ -227,6 +265,36 @@ mod v6 {
             // Exact membership.
             for (k, v) in &entries {
                 assert_eq!(tree.get(k), Some(v));
+            }
+        });
+    }
+
+    /// Freeze→thaw→lookup agreement for IPv6 prefix sets.
+    #[test]
+    fn frozen_lpm_agrees_with_tree_v6() {
+        use crate::freeze::{freeze_v6, LpmView6};
+        run_cases(192, |g| {
+            let dense = g.bool();
+            let draw = |g: &mut Gen| {
+                if dense {
+                    gen_dense_prefix6(g)
+                } else {
+                    gen_prefix6(g)
+                }
+            };
+            let entries: Vec<(Prefix6, u32)> =
+                (0..g.range(0, 90)).map(|i| (draw(g), i as u32)).collect();
+            let tree: RadixTree<Prefix6, u32> = entries.iter().copied().collect();
+            let blob = freeze_v6(&entries);
+            let view = LpmView6::parse(&blob).expect("freshly frozen blob validates");
+            assert_eq!(view.len(), tree.len());
+            for _ in 0..48 {
+                let q = draw(g);
+                assert_eq!(
+                    view.lookup(&q),
+                    tree.longest_match(&q).map(|(k, v)| (k, *v)),
+                    "query {q}"
+                );
             }
         });
     }

@@ -297,7 +297,8 @@ fn route(
             o.set("status", "ok");
             o.set("serial", snap.serial);
             o.set("snapshot", snap.digest.clone());
-            o.set("prefixes", snap.dataset.len() as u64);
+            o.set("prefixes", snap.len() as u64);
+            o.set("frozen", snap.is_frozen());
             (200, "application/json", format!("{o}\n").into_bytes())
         }
         ("GET", p) if p.starts_with("/prefix/") => {
@@ -498,7 +499,7 @@ fn dump(
     }
     let header = dump_header("reset", snap, None);
     let mut body = format!("{header}\n");
-    body.push_str(&snap.jsonl);
+    body.push_str(snap.jsonl());
     (200, "application/jsonl", body.into_bytes())
 }
 
@@ -510,7 +511,7 @@ fn dump_header(kind: &str, snap: &Arc<Snapshot>, from: Option<u64>) -> Json {
     }
     o.set("serial", snap.serial);
     o.set("snapshot", snap.digest.clone());
-    o.set("records", snap.records.len() as u64);
+    o.set("records", snap.records().len() as u64);
     o
 }
 
@@ -542,7 +543,7 @@ fn reload(
         }
         Ok(mut snapshot) => {
             snapshot.serial = old.serial + 1;
-            let ops = render_delta_ops(&old.records, &snapshot.records);
+            let ops = render_delta_ops(old.records(), snapshot.records());
             let entry = DeltaEntry {
                 from: old.serial,
                 to: snapshot.serial,
@@ -564,7 +565,7 @@ fn reload(
             o.set("dir", new.dir.display().to_string());
             o.set("serial", new.serial);
             o.set("snapshot", new.digest.clone());
-            o.set("records", new.records.len() as u64);
+            o.set("records", new.records().len() as u64);
             (200, "application/json", format!("{o}\n").into_bytes())
         }
     }

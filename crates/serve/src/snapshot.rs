@@ -20,7 +20,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use p2o_as2org::AsnClusters;
 use p2o_bgp::RouteTable;
@@ -31,36 +31,60 @@ use p2o_util::digest::Digest;
 use p2o_util::json::Json;
 use p2o_whois::DelegationTree;
 use prefix2org::{
-    attribution_trace, to_jsonl, ExportRecord, MergeEdge, Pipeline, PipelineInputs,
+    attribution_trace, to_jsonl, ExportRecord, FrozenDataset, MergeEdge, Pipeline, PipelineInputs,
     Prefix2OrgDataset,
 };
 
-/// One immutable, query-ready view of a built artifact directory.
+/// The live backing: fully parsed inputs plus the assembled dataset, as
+/// produced by re-running the pipeline over an artifact directory.
+struct LiveBacking {
+    /// The full dataset export, one JSON record per line.
+    jsonl: String,
+    /// The export records, parsed once for delta computation.
+    records: Vec<ExportRecord>,
+    /// The assembled per-prefix dataset.
+    dataset: Prefix2OrgDataset,
+    /// Cluster merge evidence (for provenance rendering).
+    merge_edges: Vec<MergeEdge>,
+    /// WHOIS delegation tree.
+    tree: DelegationTree,
+    /// Routing table with per-prefix origin sets (MOAS evidence).
+    routes: RouteTable,
+    /// ASN sibling clusters.
+    clusters: AsnClusters,
+    /// Validated RPKI view.
+    rpki: ValidatedRepo,
+    /// Longest-prefix-match index: covering prefix → dataset record index.
+    lpm: PrefixMap<usize>,
+}
+
+/// The frozen backing: one validated `world.p2ob` arena, pinned for the
+/// snapshot's lifetime behind the cell's `Arc`. The JSONL text and parsed
+/// export records — only needed by `/dump` and delta computation, not by
+/// lookups — are thawed lazily on first use.
+struct FrozenBacking {
+    frozen: FrozenDataset,
+    jsonl: OnceLock<String>,
+    records: OnceLock<Vec<ExportRecord>>,
+}
+
+enum Backing {
+    Live(Box<LiveBacking>),
+    Frozen(Box<FrozenBacking>),
+}
+
+/// One immutable, query-ready view of a built artifact directory — backed
+/// either by a full pipeline re-run ([`Snapshot::assemble`]) or by the
+/// frozen zero-copy artifact ([`Snapshot::from_frozen`]).
 pub struct Snapshot {
     /// The artifact directory this snapshot was loaded from.
     pub dir: PathBuf,
     /// Monotonic snapshot serial (0 for the boot snapshot; +1 per reload).
     pub serial: u64,
     /// Content digest of the JSONL export — the identity readers see.
+    /// Identical for live and frozen backings of the same build.
     pub digest: String,
-    /// The full dataset export, one JSON record per line.
-    pub jsonl: String,
-    /// The export records, parsed once for delta computation.
-    pub records: Vec<ExportRecord>,
-    /// The assembled per-prefix dataset.
-    pub dataset: Prefix2OrgDataset,
-    /// Cluster merge evidence (for provenance rendering).
-    pub merge_edges: Vec<MergeEdge>,
-    /// WHOIS delegation tree.
-    pub tree: DelegationTree,
-    /// Routing table with per-prefix origin sets (MOAS evidence).
-    pub routes: RouteTable,
-    /// ASN sibling clusters.
-    pub clusters: AsnClusters,
-    /// Validated RPKI view.
-    pub rpki: ValidatedRepo,
-    /// Longest-prefix-match index: covering prefix → dataset record index.
-    lpm: PrefixMap<usize>,
+    backing: Backing,
 }
 
 impl Snapshot {
@@ -98,25 +122,74 @@ impl Snapshot {
             dir,
             serial,
             digest,
-            jsonl,
-            records,
-            dataset,
-            merge_edges,
-            tree,
-            routes,
-            clusters,
-            rpki,
-            lpm,
+            backing: Backing::Live(Box::new(LiveBacking {
+                jsonl,
+                records,
+                dataset,
+                merge_edges,
+                tree,
+                routes,
+                clusters,
+                rpki,
+                lpm,
+            })),
         }
     }
 
-    /// The pipeline-input view borrowing this snapshot's sources.
-    pub fn inputs(&self) -> PipelineInputs<'_> {
-        PipelineInputs {
-            delegations: &self.tree,
-            routes: &self.routes,
-            asn_clusters: &self.clusters,
-            rpki: &self.rpki,
+    /// Wraps an already-validated frozen dataset. No pipeline stage runs;
+    /// the arena buffer is pinned for the snapshot's lifetime and lookups
+    /// are answered straight out of it.
+    pub fn from_frozen(dir: PathBuf, serial: u64, frozen: FrozenDataset) -> Snapshot {
+        let digest = frozen.digest_short();
+        Snapshot {
+            dir,
+            serial,
+            digest,
+            backing: Backing::Frozen(Box::new(FrozenBacking {
+                frozen,
+                jsonl: OnceLock::new(),
+                records: OnceLock::new(),
+            })),
+        }
+    }
+
+    /// Whether this snapshot serves from the frozen artifact.
+    pub fn is_frozen(&self) -> bool {
+        matches!(self.backing, Backing::Frozen(_))
+    }
+
+    /// Number of mapped prefixes.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            Backing::Live(live) => live.dataset.len(),
+            Backing::Frozen(f) => f.frozen.len(),
+        }
+    }
+
+    /// Whether the snapshot maps no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical JSONL export. For a frozen backing this thaws (and
+    /// caches) the text on first use — the digests are guaranteed equal by
+    /// the freeze-time round-trip check.
+    pub fn jsonl(&self) -> &str {
+        match &self.backing {
+            Backing::Live(live) => &live.jsonl,
+            Backing::Frozen(f) => f.jsonl.get_or_init(|| f.frozen.to_jsonl()),
+        }
+    }
+
+    /// The export records (delta computation). Thawed lazily when frozen.
+    pub fn records(&self) -> &[ExportRecord] {
+        match &self.backing {
+            Backing::Live(live) => &live.records,
+            Backing::Frozen(f) => f.records.get_or_init(|| {
+                (0..f.frozen.len() as u32)
+                    .map(|i| f.frozen.export_record(i))
+                    .collect()
+            }),
         }
     }
 
@@ -125,29 +198,53 @@ impl Snapshot {
     /// moas, provenance, serial, snapshot}`, or `None` when no routed
     /// prefix in the snapshot covers the query.
     ///
-    /// The `provenance` string is the rendered decision trace — byte-for-
-    /// byte what `prefix2org explain` prints for the same prefix.
+    /// The `provenance` string is the rendered decision trace. A live
+    /// backing renders it for the query itself — byte-for-byte what
+    /// `prefix2org explain` prints. A frozen backing returns the matched
+    /// *record's* stored trace (identical whenever the query is a record
+    /// prefix; for a strictly more-specific query the trace documents the
+    /// covering record it was attributed to).
     pub fn lookup(&self, query: &Prefix) -> Option<Json> {
-        let (matched, &idx) = self.lpm.longest_match(query)?;
-        let record = &self.dataset.records()[idx];
-        let trace = attribution_trace(&self.inputs(), &self.dataset, &self.merge_edges, query);
-        let origins: Vec<u32> = self
-            .routes
-            .origins(&matched)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default();
+        let (matched, record_json, origins, provenance) = match &self.backing {
+            Backing::Live(live) => {
+                let (matched, &idx) = live.lpm.longest_match(query)?;
+                let record = &live.dataset.records()[idx];
+                let inputs = PipelineInputs {
+                    delegations: &live.tree,
+                    routes: &live.routes,
+                    asn_clusters: &live.clusters,
+                    rpki: &live.rpki,
+                };
+                let trace = attribution_trace(&inputs, &live.dataset, &live.merge_edges, query);
+                let origins: Vec<u32> = live
+                    .routes
+                    .origins(&matched)
+                    .map(|set| set.iter().copied().collect())
+                    .unwrap_or_default();
+                (matched, record.listing1_json(), origins, trace.render())
+            }
+            Backing::Frozen(f) => {
+                let (matched, idx) = f.frozen.lookup(query)?;
+                (
+                    matched,
+                    f.frozen.listing1_json(idx),
+                    f.frozen.origins(idx),
+                    f.frozen.provenance(idx).to_string(),
+                )
+            }
+        };
         let mut out = Json::object();
         out.set("query", query.to_string());
         out.set("matched", matched.to_string());
         out.set("serial", self.serial);
         out.set("snapshot", self.digest.clone());
-        out.set("record", record.listing1_json());
+        out.set("record", record_json);
         out.set(
             "origins",
             Json::Arr(origins.iter().map(|&a| Json::from(a)).collect()),
         );
         out.set("moas", origins.len() > 1);
-        out.set("provenance", trace.render());
+        out.set("provenance", provenance);
         Some(out)
     }
 }
@@ -261,8 +358,8 @@ mod tests {
     #[test]
     fn lookup_hits_misses_and_provenance() {
         let snap = snapshot_from_seed(7, 0);
-        assert!(!snap.records.is_empty(), "tiny world exports records");
-        let first = snap.records[0].prefix;
+        assert!(!snap.records().is_empty(), "tiny world exports records");
+        let first = snap.records()[0].prefix;
         let hit = snap.lookup(&first).expect("exported prefix resolves");
         assert_eq!(
             hit.get("matched").unwrap().as_str().unwrap(),
@@ -273,6 +370,43 @@ mod tests {
         assert!(provenance.contains("cluster.final"));
         // A prefix outside every delegation: no covering routed prefix.
         assert!(snap
+            .lookup(&"255.255.255.255/32".parse().unwrap())
+            .is_none());
+    }
+
+    pub(crate) fn frozen_snapshot_from_seed(seed: u64, serial: u64) -> Snapshot {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let built = world.build_inputs();
+        let inputs = PipelineInputs {
+            delegations: &built.tree,
+            routes: &built.routes,
+            asn_clusters: &built.clusters,
+            rpki: &built.rpki,
+        };
+        let (dataset, edges) = Pipeline::default().dataset_with_evidence(&inputs, None);
+        let payload = prefix2org::freeze(&inputs, &dataset, &edges, 0);
+        Snapshot::from_frozen(
+            PathBuf::from(format!("seed-{seed}")),
+            serial,
+            FrozenDataset::from_payload(payload).expect("fresh freeze validates"),
+        )
+    }
+
+    #[test]
+    fn frozen_snapshot_answers_identically_for_record_prefixes() {
+        let live = snapshot_from_seed(7, 3);
+        let frozen = frozen_snapshot_from_seed(7, 3);
+        assert!(frozen.is_frozen() && !live.is_frozen());
+        assert_eq!(frozen.digest, live.digest, "same build, same identity");
+        assert_eq!(frozen.len(), live.len());
+        assert_eq!(frozen.jsonl(), live.jsonl());
+        assert_eq!(frozen.records(), live.records());
+        for rec in live.records() {
+            let a = live.lookup(&rec.prefix).expect("live hit");
+            let b = frozen.lookup(&rec.prefix).expect("frozen hit");
+            assert_eq!(a.to_string(), b.to_string(), "prefix {}", rec.prefix);
+        }
+        assert!(frozen
             .lookup(&"255.255.255.255/32".parse().unwrap())
             .is_none());
     }

@@ -65,7 +65,7 @@ fn readers_see_exactly_one_snapshot_and_never_lock_in_steady_state() {
                 // assert they all belong to the same snapshot.
                 let digest = snap.digest.clone();
                 let serial = snap.serial;
-                let query = snap.records[0].prefix;
+                let query = snap.records()[0].prefix;
                 let hit = snap.lookup(&query).expect("own prefix resolves");
                 let body_digest = hit.get("snapshot").unwrap().as_str().unwrap().to_string();
                 let body_serial = hit.get("serial").unwrap().as_u64().unwrap();
@@ -118,7 +118,7 @@ fn http_responses_stay_snapshot_consistent_across_reloads() {
     const RELOADS: usize = 12;
 
     let initial = snapshot_from_seed(31, 0);
-    let query = initial.records[0].prefix.to_string();
+    let query = initial.records()[0].prefix.to_string();
     // The loader maps the requested "directory" name back to a seed, so
     // `/reload` with body `seed-32` swaps in a genuinely different world.
     let loader: p2o_serve::SnapshotLoader = Arc::new(|dir: &std::path::Path| {

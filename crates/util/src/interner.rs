@@ -196,6 +196,178 @@ impl ConcurrentInterner {
     }
 }
 
+/// Builds the frozen artifact's interned-string table: every distinct
+/// string stored once in one contiguous UTF-8 blob, addressed by dense
+/// `u32` ids through an offsets array.
+///
+/// Serialized layout (all little-endian):
+///
+/// ```text
+/// count: u32 | offsets: (count+1) × u32 | blob: UTF-8 bytes
+/// ```
+///
+/// `offsets[i]..offsets[i+1]` is string `i`'s byte range in the blob.
+///
+/// ```
+/// use p2o_util::interner::{StringBlob, StringBlobBuilder};
+/// let mut b = StringBlobBuilder::new();
+/// let hi = b.intern("hi");
+/// assert_eq!(b.intern("hi"), hi);
+/// let bytes = b.into_bytes();
+/// let view = StringBlob::parse(&bytes).unwrap();
+/// assert_eq!(view.get(hi), Some("hi"));
+/// ```
+#[derive(Debug, Default)]
+pub struct StringBlobBuilder {
+    map: HashMap<String, u32>,
+    offsets: Vec<u32>,
+    blob: String,
+}
+
+impl StringBlobBuilder {
+    /// An empty builder.
+    pub fn new() -> StringBlobBuilder {
+        StringBlobBuilder {
+            map: HashMap::new(),
+            offsets: vec![0],
+            blob: String::new(),
+        }
+    }
+
+    /// Interns `s`, returning its dense id (existing or freshly assigned).
+    /// Ids are assigned in first-intern order, so a deterministic intern
+    /// sequence yields a byte-deterministic table.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = (self.offsets.len() - 1) as u32;
+        self.blob.push_str(s);
+        assert!(
+            self.blob.len() <= u32::MAX as usize,
+            "string blob exceeds u32 offsets"
+        );
+        self.offsets.push(self.blob.len() as u32);
+        self.map.insert(s.to_string(), id);
+        id
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the table: count, offsets, blob.
+    pub fn into_bytes(self) -> Vec<u8> {
+        let count = (self.offsets.len() - 1) as u32;
+        let mut out = Vec::with_capacity(4 + self.offsets.len() * 4 + self.blob.len());
+        out.extend_from_slice(&count.to_le_bytes());
+        for off in &self.offsets {
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        out.extend_from_slice(self.blob.as_bytes());
+        out
+    }
+}
+
+/// A zero-copy view over a serialized [`StringBlobBuilder`] table.
+#[derive(Debug, Clone, Copy)]
+pub struct StringBlob<'a> {
+    offsets: &'a [u8],
+    blob: &'a [u8],
+    count: usize,
+}
+
+impl<'a> StringBlob<'a> {
+    /// Attaches a view to an **already-validated** table: header and
+    /// bounds arithmetic only, O(1). [`get`](Self::get) stays panic-free on
+    /// arbitrary bytes (it re-checks UTF-8 and slices fallibly), but only
+    /// bytes a prior [`parse`](Self::parse) vouched for are guaranteed to
+    /// resolve every id — use `parse` for untrusted input.
+    pub fn attach(bytes: &'a [u8]) -> Result<StringBlob<'a>, String> {
+        let count = crate::arena::u32_at(bytes, 0)
+            .ok_or_else(|| "string table truncated before count".to_string())?
+            as usize;
+        let offsets_len = (count + 1)
+            .checked_mul(4)
+            .ok_or_else(|| "string table count overflow".to_string())?;
+        let blob_start = 4 + offsets_len;
+        if bytes.len() < blob_start {
+            return Err(format!(
+                "string table truncated: {} bytes, need {blob_start} for {count} offsets",
+                bytes.len()
+            ));
+        }
+        Ok(StringBlob {
+            offsets: &bytes[4..blob_start],
+            blob: &bytes[blob_start..],
+            count,
+        })
+    }
+
+    /// Parses and fully validates a serialized table: the header and every
+    /// offset are bounds-checked, offsets must be monotone, and the whole
+    /// blob must be valid UTF-8 split at string boundaries.
+    pub fn parse(bytes: &'a [u8]) -> Result<StringBlob<'a>, String> {
+        let view = Self::attach(bytes)?;
+        let count = view.count;
+        let blob = view.blob;
+        let mut prev = 0u32;
+        for i in 0..=count {
+            let off = view.offset(i);
+            if off < prev {
+                return Err(format!("string table offsets not monotone at {i}"));
+            }
+            prev = off;
+        }
+        if prev as usize != blob.len() {
+            return Err(format!(
+                "string table blob length {} disagrees with final offset {prev}",
+                blob.len()
+            ));
+        }
+        for i in 0..count {
+            let range = view.offset(i) as usize..view.offset(i + 1) as usize;
+            if std::str::from_utf8(&blob[range]).is_err() {
+                return Err(format!("string {i} is not valid UTF-8"));
+            }
+        }
+        Ok(view)
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> u32 {
+        crate::arena::u32_at(self.offsets, i * 4).expect("offsets bounds-checked at parse")
+    }
+
+    /// The string for a dense id, or `None` when out of range.
+    #[inline]
+    pub fn get(&self, id: u32) -> Option<&'a str> {
+        if id as usize >= self.count {
+            return None;
+        }
+        let range = self.offset(id as usize) as usize..self.offset(id as usize + 1) as usize;
+        // Validated at parse; fallible slicing + a cheap UTF-8 re-check
+        // keep this panic-free even on merely attached bytes.
+        std::str::from_utf8(self.blob.get(range)?).ok()
+    }
+
+    /// Number of stored strings.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +501,60 @@ mod tests {
             assert_eq!(frozen.resolve(sym), name);
             assert_eq!(*seen.entry(name).or_insert(sym), sym);
         }
+    }
+
+    #[test]
+    fn string_blob_round_trips_and_dedups() {
+        let mut b = StringBlobBuilder::new();
+        let a = b.intern("verizon");
+        let empty = b.intern("");
+        let uni = b.intern("nüñez-网络");
+        assert_eq!(b.intern("verizon"), a);
+        assert_eq!(b.len(), 3);
+        let bytes = b.into_bytes();
+        let view = StringBlob::parse(&bytes).unwrap();
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.get(a), Some("verizon"));
+        assert_eq!(view.get(empty), Some(""));
+        assert_eq!(view.get(uni), Some("nüñez-网络"));
+        assert_eq!(view.get(3), None);
+    }
+
+    #[test]
+    fn empty_string_blob() {
+        let bytes = StringBlobBuilder::new().into_bytes();
+        let view = StringBlob::parse(&bytes).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.get(0), None);
+    }
+
+    #[test]
+    fn string_blob_rejects_damage() {
+        let mut b = StringBlobBuilder::new();
+        b.intern("hello");
+        b.intern("world");
+        let bytes = b.into_bytes();
+
+        // Truncated before the count.
+        assert!(StringBlob::parse(&bytes[..2])
+            .unwrap_err()
+            .contains("count"));
+        // Truncated inside the offsets.
+        assert!(StringBlob::parse(&bytes[..8])
+            .unwrap_err()
+            .contains("truncated"));
+        // Truncated blob: final offset disagrees.
+        assert!(StringBlob::parse(&bytes[..bytes.len() - 1])
+            .unwrap_err()
+            .contains("final offset"));
+        // Non-monotone offsets.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(StringBlob::parse(&bad).unwrap_err().contains("monotone"));
+        // Invalid UTF-8 inside a string.
+        let mut bad = bytes.clone();
+        let blob_start = bad.len() - "helloworld".len();
+        bad[blob_start] = 0xFF;
+        assert!(StringBlob::parse(&bad).unwrap_err().contains("UTF-8"));
     }
 }

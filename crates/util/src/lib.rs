@@ -27,7 +27,11 @@
 //!   checksummed frame format with torn-write detection on read.
 //! - [`manifest`] — the `MANIFEST.tsv` per-artifact digest sidecar that
 //!   `build` verifies against and `fsck` audits.
+//! - [`arena`] — the section-table binary container behind the frozen
+//!   `world.p2ob` dataset artifact: named byte sections sliced zero-copy
+//!   out of one arena buffer.
 
+pub mod arena;
 pub mod atomic;
 pub mod check;
 pub mod digest;
