@@ -118,6 +118,42 @@ fn start_server_with(dir: &std::path::Path, extra: &[&str]) -> (ServerProc, Stri
     (ServerProc(child), addr)
 }
 
+/// Every response carries a monotonic `X-P2O-Request-Id`; a few
+/// sequential requests on one connection must see strictly increasing
+/// ids.
+fn assert_request_ids_increase(addr: &str) {
+    let mut client = HttpClient::connect(addr).expect("connect for id check");
+    let mut last = 0u64;
+    for _ in 0..3 {
+        let resp = client.get("/health").expect("health response");
+        let id: u64 = resp
+            .header("x-p2o-request-id")
+            .expect("X-P2O-Request-Id header present")
+            .parse()
+            .expect("numeric request id");
+        assert!(id > last, "request ids must be strictly increasing");
+        last = id;
+    }
+}
+
+/// The `prefix` endpoint's windowed latency percentiles from `/status`.
+fn status_latency(addr: &str, window: &str) -> (u64, u64) {
+    let mut client = HttpClient::connect(addr).expect("connect for status");
+    let resp = client.get("/status").expect("status response");
+    assert_eq!(resp.status, 200);
+    let doc = Json::parse(&resp.text()).expect("status parses");
+    let w = doc
+        .get("endpoints")
+        .and_then(|e| e.get("prefix"))
+        .and_then(|e| e.get("windows"))
+        .and_then(|w| w.get(window))
+        .expect("prefix endpoint window in /status");
+    (
+        w.get("p50_ns").and_then(Json::as_u64).expect("p50_ns"),
+        w.get("p99_ns").and_then(Json::as_u64).expect("p99_ns"),
+    )
+}
+
 /// Pulls the routed prefixes to query from the server's own `/dump`.
 fn fetch_prefixes(addr: &str) -> Vec<String> {
     let mut client = HttpClient::connect(addr).expect("connect for dump");
@@ -216,6 +252,7 @@ fn main() {
     let dir = TempDir(std::env::temp_dir().join(format!("p2o-bench-serve-{}", std::process::id())));
     generate_world(&dir.0);
     let (_server, addr) = start_server(&dir.0);
+    assert_request_ids_increase(&addr);
     let prefixes = fetch_prefixes(&addr);
     println!(
         "serve bench: {} prefixes, {}ms per level, clients {:?}",
@@ -229,14 +266,28 @@ fn main() {
         let (lookups, wall) =
             run_level(&addr, &prefixes, clients, Duration::from_millis(budget_ms));
         let rate = lookups as f64 / wall;
+        // Tail latency straight off the server's own rolling window. The
+        // 10 s window is read right after the level, so it covers this
+        // level's samples (plus any still-rolling tail of the previous
+        // one — a trend signal, not an isolated measurement).
+        let (p50_ns, p99_ns) = status_latency(&addr, "10s");
+        assert!(
+            p50_ns > 0 && p99_ns >= p50_ns,
+            "windowed percentiles must be populated after load (p50={p50_ns}, p99={p99_ns})"
+        );
         println!(
-            "  clients {clients:>2}: {lookups:>8} lookups in {wall:.3}s = {rate:>10.0} lookups/sec"
+            "  clients {clients:>2}: {lookups:>8} lookups in {wall:.3}s = {rate:>10.0} \
+             lookups/sec  p50 {:>6.1}us p99 {:>6.1}us",
+            p50_ns as f64 / 1e3,
+            p99_ns as f64 / 1e3,
         );
         let mut level = Json::object();
         level.set("clients", clients);
         level.set("lookups", lookups);
         level.set("wall_s", wall);
         level.set("lookups_per_sec", rate);
+        level.set("p50_ns", p50_ns);
+        level.set("p99_ns", p99_ns);
         levels.push(level);
     }
 

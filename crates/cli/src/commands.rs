@@ -842,6 +842,14 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
         .unwrap_or_else(prefix2org::default_threads)
         .max(1);
     let use_frozen = !args.has("no-frozen");
+    let allow_quit = args.has("allow-quit");
+    let access_log = args
+        .get("access-log")
+        .map(|path| -> Result<p2o_serve::AccessLog, CliError> {
+            let vfs = Vfs::from_env().map_err(CliError::General)?;
+            Ok(p2o_serve::AccessLog::new(vfs, Path::new(path)))
+        })
+        .transpose()?;
 
     let loader: p2o_serve::SnapshotLoader = std::sync::Arc::new(move |dir: &Path| {
         let vfs = Vfs::from_env()?;
@@ -907,6 +915,8 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
     );
     let config = p2o_serve::ServerConfig {
         addr,
+        access_log,
+        allow_quit,
         ..Default::default()
     };
     let server = p2o_serve::spawn(config, initial, loader).map_err(CliError::General)?;

@@ -7,7 +7,7 @@
 //!                     [--quarantine-samples N]
 //!                     [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
 //! prefix2org fsck     DIR
-//! prefix2org serve    DIR [--addr HOST:PORT] [--threads N]
+//! prefix2org serve    DIR [--addr HOST:PORT] [--threads N] [--access-log FILE] [--allow-quit]
 //! prefix2org explain  --in DIR PREFIX... [--threads N]
 //! prefix2org lookup   --dataset FILE.jsonl PREFIX...
 //! prefix2org stats    --dataset FILE.jsonl
@@ -88,7 +88,10 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             &["strict", "resume"],
         )?),
         "fsck" => commands::fsck(&args::Parsed::parse(rest)?),
-        "serve" => commands::serve(&args::Parsed::parse_with_switches(rest, &["no-frozen"])?),
+        "serve" => commands::serve(&args::Parsed::parse_with_switches(
+            rest,
+            &["no-frozen", "allow-quit"],
+        )?),
         "explain" => commands::explain(&args::Parsed::parse_with_switches(rest, &["frozen"])?),
         "lookup" => commands::lookup(&args::Parsed::parse(rest)?),
         "org" => commands::org(&args::Parsed::parse(rest)?),
@@ -159,6 +162,7 @@ USAGE:
       anything is damaged.
 
   prefix2org serve DIR [--addr HOST:PORT] [--threads N] [--no-frozen]
+                   [--access-log FILE] [--allow-quit]
       Serve the directory as a long-running lookup service (default
       address 127.0.0.1:8642). The directory is fsck-audited before
       loading; damage refuses to start with exit 2. When DIR/world.p2ob
@@ -170,9 +174,19 @@ USAGE:
       cluster, MOAS origin set, and the explain-identical provenance
       chain), POST /batch (one CIDR per line, JSONL out), GET /dump
       [?serial=N] (full table as a reset, or the delta since serial N),
-      GET /metrics (Prometheus text exposition incl. serve.* counters),
-      POST /reload (re-verify and atomically swap; body = new dir path,
-      empty = reload the same dir), GET /health.
+      GET /metrics (Prometheus text exposition incl. serve.* cumulative
+      counters and rolling-window latency/rate gauges), POST /reload
+      (re-verify and atomically swap; body = new dir path, empty =
+      reload the same dir), GET /health (liveness + uptime + 60s request
+      rate), GET /status (per-endpoint windowed p50/p90/p99/max + rates,
+      snapshot generation/serial/backing, connection gauge, flight-
+      recorder occupancy), GET /debug/requests?n=K (recent + slowest
+      requests as JSONL), GET /debug/trace?ms=N (attach a live tracer
+      for N ms and return a Chrome trace), POST /quit (graceful drain;
+      gated behind --allow-quit). Every response carries a monotonic
+      X-P2O-Request-Id. --access-log FILE appends one JSON object per
+      request (written atomically, flushed on drain). Shutdown drains
+      in-flight connections and prints a final run report to stderr.
 
   prefix2org explain --in DIR PREFIX... [--threads N] [--frozen]
       Replay the mapping decision for each prefix and print the rule

@@ -24,24 +24,32 @@
 //! golden-snapshot test pins exact counter values for a fixed-seed world.
 //! Wall-clock fields are the only nondeterministic part.
 //!
-//! Three companion modules extend the registry:
+//! Four companion modules extend the registry:
 //!
 //! - [`trace`] — hierarchical spans in per-thread lock-free buffers with a
 //!   Chrome trace-event (Perfetto) export, enabled via
-//!   [`Obs::enable_tracing`];
+//!   [`Obs::enable_tracing`] for build-scoped runs or attached and
+//!   detached mid-flight via [`Obs::attach_tracer`] /
+//!   [`Obs::detach_tracer`] for live capture windows;
+//! - [`runtime`] — serve-path primitives: [`WindowedHistogram`] rolling
+//!   latency windows and the [`FlightRecorder`] per-request ring;
 //! - [`promexpo`] — Prometheus text exposition of a [`RunReport`];
 //! - [`provenance`] — deterministic per-answer decision traces for
 //!   `p2o explain`.
 
 pub mod promexpo;
 pub mod provenance;
+pub mod runtime;
 pub mod trace;
 
 pub use provenance::{DecisionStep, DecisionTrace};
+pub use runtime::{
+    FlightRecord, FlightRecorder, FlightSample, WindowSnapshot, WindowedHistogram, WINDOWS,
+};
 pub use trace::{Span, ThreadLog, ThreadTrace, Trace, TraceEvent, TracePhase, Tracer};
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -211,6 +219,9 @@ struct ObsInner {
     histograms: Mutex<Vec<(String, Histogram)>>,
     stages: Mutex<Vec<StageReport>>,
     tracer: Mutex<Option<Tracer>>,
+    /// Mirrors `tracer.is_some()` so hot paths can ask "is tracing on?"
+    /// with one relaxed load instead of a mutex acquisition.
+    tracing_on: AtomicBool,
 }
 
 /// The observability registry handle.
@@ -283,7 +294,43 @@ impl Obs {
     /// [`thread_log`]: Obs::thread_log
     pub fn enable_tracing(&self) -> Tracer {
         let mut slot = self.inner.tracer.lock().expect("obs tracer lock");
-        slot.get_or_insert_with(Tracer::new).clone()
+        let tracer = slot.get_or_insert_with(Tracer::new).clone();
+        self.inner.tracing_on.store(true, Ordering::Release);
+        tracer
+    }
+
+    /// Attaches a *fresh* tracer mid-flight, replacing any tracer already
+    /// in the slot, and returns it. Unlike [`enable_tracing`] (idempotent,
+    /// build-scoped), this is the live-capture entry point: attach, let
+    /// instrumented code record for a window, then [`detach_tracer`] and
+    /// drain. Spans recorded into a replaced tracer stay with that tracer.
+    ///
+    /// [`enable_tracing`]: Obs::enable_tracing
+    /// [`detach_tracer`]: Obs::detach_tracer
+    pub fn attach_tracer(&self) -> Tracer {
+        let tracer = Tracer::new();
+        let mut slot = self.inner.tracer.lock().expect("obs tracer lock");
+        *slot = Some(tracer.clone());
+        self.inner.tracing_on.store(true, Ordering::Release);
+        tracer
+    }
+
+    /// Removes and returns the attached tracer, turning tracing off.
+    /// Thread logs still alive keep a handle to the detached tracer and
+    /// flush into it when they drop — events from requests in flight at
+    /// detach time land in the tracer only if their log drops before the
+    /// caller drains it.
+    pub fn detach_tracer(&self) -> Option<Tracer> {
+        let mut slot = self.inner.tracer.lock().expect("obs tracer lock");
+        self.inner.tracing_on.store(false, Ordering::Release);
+        slot.take()
+    }
+
+    /// Whether a tracer is currently attached — one relaxed atomic load,
+    /// cheap enough for a per-request check on the serve hot path.
+    #[inline]
+    pub fn tracing_attached(&self) -> bool {
+        self.inner.tracing_on.load(Ordering::Relaxed)
     }
 
     /// The active tracer, when [`enable_tracing`] has been called.
@@ -515,24 +562,34 @@ impl HistogramReport {
 
     /// Approximate quantile `q` in `[0, 1]` from bucket midpoints.
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                // Midpoint of bucket i: values with bit length i.
-                return if i == 0 {
-                    0
-                } else {
-                    (1u64 << (i - 1)).saturating_add(1 << (i - 1) >> 1)
-                };
-            }
-        }
-        self.max
+        midpoint_quantile(&self.buckets, self.count, self.max, q)
     }
+}
+
+/// The shared midpoint-quantile walk over power-of-two buckets, used by
+/// both [`HistogramReport::quantile`] and
+/// [`runtime::WindowSnapshot::quantile`]: returns the midpoint of the
+/// first bucket whose cumulative count reaches `ceil(q * count)`
+/// (clamped to at least one sample), `0` for an empty histogram, and
+/// `max` if the bucket counts race behind `count`.
+pub(crate) fn midpoint_quantile(buckets: &[u64], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            // Midpoint of bucket i: values with bit length i.
+            return if i == 0 {
+                0
+            } else {
+                (1u64 << (i - 1)).saturating_add(1 << (i - 1) >> 1)
+            };
+        }
+    }
+    max
 }
 
 /// A full observability snapshot of one pipeline run.
@@ -970,6 +1027,76 @@ mod tests {
         let blank = Obs::new().report().summary_table();
         assert!(blank.contains("stages\n"));
         assert!(blank.contains("counters\n"));
+    }
+
+    #[test]
+    fn quantile_edge_cases_empty_bounds_and_single_sample() {
+        let obs = Obs::new();
+        // Empty histogram: every quantile is 0, including the bounds.
+        let h = obs.histogram("edge");
+        let empty = obs.report().histogram("edge").unwrap().clone();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        // Single sample: every quantile lands in its bucket. 300 has bit
+        // length 9, so the midpoint is 256 + 128.
+        h.record(300);
+        let one = obs.report().histogram("edge").unwrap().clone();
+        assert_eq!(one.count, 1);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 384, "q={q}");
+        }
+        // q outside [0, 1] clamps instead of panicking or overshooting.
+        assert_eq!(one.quantile(-3.0), one.quantile(0.0));
+        assert_eq!(one.quantile(7.0), one.quantile(1.0));
+        // The zero value occupies bucket 0 with midpoint 0.
+        h.record(0);
+        let two = obs.report().histogram("edge").unwrap().clone();
+        assert_eq!(two.quantile(0.0), 0, "q=0 is the smallest sample's bucket");
+        assert_eq!(two.quantile(1.0), 384, "q=1 is the largest sample's bucket");
+    }
+
+    #[test]
+    fn tracer_attach_detach_cycles_capture_disjoint_windows() {
+        let obs = Obs::new();
+        assert!(!obs.tracing_attached());
+        assert!(obs.thread_log("idle").is_none(), "no tracer, no log");
+
+        let t1 = obs.attach_tracer();
+        assert!(obs.tracing_attached());
+        {
+            let log = obs.thread_log("w").expect("tracing attached");
+            let _span = log.span("first");
+        }
+        let detached = obs.detach_tracer().expect("tracer was attached");
+        assert!(!obs.tracing_attached());
+        assert!(obs.thread_log("idle").is_none(), "detached means off");
+        let trace1 = detached.drain();
+        assert_eq!(trace1.span_count("first"), 1);
+        // t1 and the detached handle are the same tracer.
+        assert_eq!(t1.drain().event_count(), 0, "already drained");
+
+        // A second attach starts from a clean tracer.
+        let _t2 = obs.attach_tracer();
+        {
+            let log = obs.thread_log("w").expect("tracing re-attached");
+            let _span = log.span("second");
+        }
+        let trace2 = obs.detach_tracer().expect("attached").drain();
+        assert_eq!(trace2.span_count("first"), 0);
+        assert_eq!(trace2.span_count("second"), 1);
+        assert!(obs.detach_tracer().is_none(), "double detach is None");
+
+        // A log alive across detach flushes into the *detached* tracer.
+        let t3 = obs.attach_tracer();
+        let straggler = obs.thread_log("late").expect("attached");
+        {
+            let _span = straggler.span("in-flight");
+        }
+        let t3_again = obs.detach_tracer().expect("attached");
+        drop(straggler);
+        assert_eq!(t3_again.drain().span_count("in-flight"), 1);
+        drop(t3);
     }
 
     #[test]

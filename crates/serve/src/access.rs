@@ -1,0 +1,170 @@
+//! The structured JSONL access log.
+//!
+//! One self-describing JSON object per request, accumulated in memory and
+//! flushed to disk as a whole-file atomic rewrite (tmp + fsync + rename)
+//! through [`p2o_util::atomic::write_atomic`] — the same protocol every
+//! other artifact uses, so the chaos harness's fault plans (short writes,
+//! ENOSPC, EIO, kill-points at label `access_log`) cover the log too. A
+//! reader therefore never observes a torn line: the file on disk is
+//! always a complete prefix-consistent image from the last flush.
+//!
+//! Writes flush every [`FLUSH_EVERY`] lines and on graceful drain; a
+//! crash between flushes loses at most the buffered tail, never the
+//! file's integrity. Line ordering follows *completion* order — under
+//! concurrent load a larger request id can complete (and log) before a
+//! smaller one, which is why the CI shape check validates id monotonicity
+//! only over sequential traffic.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use p2o_util::atomic::write_atomic;
+use p2o_util::vfs::Vfs;
+
+/// Buffered lines between automatic flushes.
+pub const FLUSH_EVERY: usize = 64;
+
+/// The kill-point / fault-injection label access-log writes carry.
+pub const ACCESS_LOG_LABEL: &str = "access_log";
+
+struct AccessBuf {
+    /// Every line written this run (the flush image).
+    lines: String,
+    /// Lines appended since the last flush.
+    pending: usize,
+}
+
+/// A structured JSONL access log bound to one output path.
+pub struct AccessLog {
+    vfs: Vfs,
+    path: PathBuf,
+    buf: Mutex<AccessBuf>,
+}
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessLog")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl AccessLog {
+    /// A log writing to `path` through `vfs`. The file is created (or
+    /// truncated) on the first flush.
+    pub fn new(vfs: Vfs, path: impl Into<PathBuf>) -> AccessLog {
+        AccessLog {
+            vfs,
+            path: path.into(),
+            buf: Mutex::new(AccessBuf {
+                lines: String::new(),
+                pending: 0,
+            }),
+        }
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one pre-rendered JSON line (no trailing newline) and
+    /// flushes if the pending batch is full. Returns a flush error, if
+    /// one happened; the line itself is always retained for the next
+    /// attempt.
+    pub fn push(&self, line: &str) -> Result<(), String> {
+        let mut buf = self.buf.lock().expect("access log lock");
+        buf.lines.push_str(line);
+        buf.lines.push('\n');
+        buf.pending += 1;
+        if buf.pending >= FLUSH_EVERY {
+            return self.flush_locked(&mut buf);
+        }
+        Ok(())
+    }
+
+    /// Writes the full accumulated image to disk atomically.
+    pub fn flush(&self) -> Result<(), String> {
+        let mut buf = self.buf.lock().expect("access log lock");
+        self.flush_locked(&mut buf)
+    }
+
+    fn flush_locked(&self, buf: &mut AccessBuf) -> Result<(), String> {
+        if buf.pending == 0 && !buf.lines.is_empty() {
+            return Ok(()); // nothing new since the last flush
+        }
+        write_atomic(
+            &self.vfs,
+            &self.path,
+            ACCESS_LOG_LABEL,
+            buf.lines.as_bytes(),
+        )
+        .map_err(|e| format!("access log {}: {e}", self.path.display()))?;
+        buf.pending = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_flush_produces_parseable_jsonl() {
+        let dir = std::env::temp_dir().join(format!("p2o-access-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let log = AccessLog::new(Vfs::real(), &path);
+        for i in 0..3 {
+            let mut o = p2o_util::Json::object();
+            o.set("id", i as u64 + 1);
+            o.set("endpoint", "prefix");
+            log.push(&o.to_string()).unwrap();
+        }
+        log.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ids: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                p2o_util::Json::parse(l)
+                    .expect("line parses")
+                    .get("id")
+                    .and_then(p2o_util::Json::as_u64)
+                    .expect("id present")
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // A second flush with nothing pending is a no-op, not a truncate.
+        log.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        // No leftover tmp debris from the atomic protocol.
+        let debris: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| p2o_util::atomic::is_tmp_path(&e.path()))
+            .collect();
+        assert!(debris.is_empty(), "{debris:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_flush_after_batch_and_crash_keeps_prefix() {
+        let dir = std::env::temp_dir().join(format!("p2o-access-auto-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let log = AccessLog::new(Vfs::real(), &path);
+        for i in 0..FLUSH_EVERY {
+            log.push(&format!("{{\"id\":{}}}", i + 1)).unwrap();
+        }
+        // The FLUSH_EVERY-th push flushed without an explicit flush().
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), FLUSH_EVERY);
+        // An unflushed tail is absent from disk (the "crash" image is the
+        // last flush), but never torn.
+        log.push("{\"id\":9999}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), FLUSH_EVERY);
+        assert!(text.lines().all(|l| p2o_util::Json::parse(l).is_ok()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,8 +15,12 @@
 //! - [`snapshot`]: the immutable, fully precomputed [`Snapshot`] a query
 //!   is answered from, and the [`SnapshotCell`] generation-counter swap
 //!   cell giving readers a lock-free steady-state path;
+//! - [`access`]: the structured JSONL access log, written through the
+//!   Vfs/atomic machinery so chaos fault plans cover it;
 //! - [`server`]: the thread-per-connection runtime, endpoint routing,
-//!   `serve.*` metrics, and the `/reload` swap discipline;
+//!   `serve.*` metrics (cumulative + rolling-window), request ids, the
+//!   flight recorder, `/status` + `/debug/*` introspection, the
+//!   `/reload` swap discipline, and graceful drain;
 //! - [`client`]: a minimal blocking client used by the tests, the chaos
 //!   harness, and the `bench serve` load harness.
 //!
@@ -25,12 +29,14 @@
 //! on the same artifact — both render the same precomputed decision trace
 //! via [`prefix2org::attribution_trace`].
 
+pub mod access;
 pub mod client;
 pub mod http;
 pub mod server;
 pub mod snapshot;
 
+pub use access::AccessLog;
 pub use client::{HttpClient, HttpResponse};
 pub use http::{Request, RequestParser};
-pub use server::{spawn, ServerConfig, ServerHandle, SnapshotLoader};
+pub use server::{spawn, ServerConfig, ServerHandle, SnapshotLoader, ENDPOINTS};
 pub use snapshot::{Snapshot, SnapshotCell, SnapshotReader};

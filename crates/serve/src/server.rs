@@ -4,37 +4,54 @@
 //!
 //! Endpoints:
 //!
-//! | route                  | behavior                                        |
-//! |------------------------|-------------------------------------------------|
-//! | `GET /prefix/<cidr>`   | longest-match lookup: DO, DC chain, cluster, MOAS origin set, provenance |
-//! | `POST /batch`          | one CIDR per body line; JSONL responses in order |
-//! | `GET /dump[?serial=N]` | full table as reset, or delta since serial `N`   |
-//! | `GET /metrics`         | Prometheus text exposition (`serve.*` + pipeline counters) |
-//! | `POST /reload`         | re-verify and atomically swap to an artifact dir |
-//! | `GET /health`          | liveness + current serial/digest                 |
+//! | route                     | behavior                                     |
+//! |---------------------------|----------------------------------------------|
+//! | `GET /prefix/<cidr>`      | longest-match lookup: DO, DC chain, cluster, MOAS origin set, provenance |
+//! | `POST /batch`             | one CIDR per body line; JSONL responses in order |
+//! | `GET /dump[?serial=N]`    | full table as reset, or delta since serial `N` |
+//! | `GET /metrics`            | Prometheus text exposition (`serve.*` + windowed gauges + pipeline counters) |
+//! | `POST /reload`            | re-verify and atomically swap to an artifact dir |
+//! | `GET /health`             | liveness + serial/digest + uptime + 60 s request rate |
+//! | `GET /status`             | ops view: per-endpoint windowed percentiles/rates, snapshot generation, connection gauge, flight-recorder occupancy |
+//! | `GET /debug/requests?n=K` | flight-recorder dump: recent + slowest, as JSONL |
+//! | `GET /debug/trace?ms=N`   | attach a live tracer for N ms, return a Chrome trace |
+//! | `POST /quit`              | graceful drain (gated behind `allow_quit`)    |
 //!
 //! Every response carries `X-P2O-Serial` and `X-P2O-Snapshot` headers so a
-//! client can detect mid-session reloads; a single response is always
-//! built from exactly one snapshot `Arc` (no torn reads by construction).
+//! client can detect mid-session reloads, plus a monotonically assigned
+//! `X-P2O-Request-Id`; a single response is always built from exactly one
+//! snapshot `Arc` (no torn reads by construction).
+//!
+//! Every request — including early rejects (parse-error 400s, overflow
+//! 503s) — lands in the per-endpoint windowed latency series, the
+//! cumulative `serve.latency.*` histograms, the flight recorder, and (when
+//! configured) the JSONL access log, so error latencies are never
+//! invisible. Recording is lock-free on the request path; the snapshot
+//! read stays a single generation load.
 //!
 //! The reload path delegates verification to a caller-supplied
 //! [`SnapshotLoader`] — the CLI wires the fsck audit plus the crash-safe
 //! store loader in, so a torn or damaged directory is rejected *before*
 //! the swap and the old snapshot keeps serving.
+//!
+//! Shutdown is a graceful drain: accepting stops, in-flight connections
+//! get a grace window to finish (bounded by `drain_deadline`), the access
+//! log flushes, and a final `RunReport` lands on stderr.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use p2o_net::Prefix;
-use p2o_obs::{promexpo, Obs};
+use p2o_obs::{promexpo, FlightRecorder, FlightSample, Obs, WindowedHistogram, WINDOWS};
 use p2o_util::json::Json;
 use prefix2org::delta::diff_exports;
 use prefix2org::ExportRecord;
 
+use crate::access::AccessLog;
 use crate::http::{self, Request, RequestParser};
 use crate::snapshot::{Snapshot, SnapshotCell, SnapshotReader};
 
@@ -47,6 +64,63 @@ pub type SnapshotLoader = Arc<dyn Fn(&Path) -> Result<Snapshot, String> + Send +
 /// is told to reset.
 const DELTA_WINDOW: usize = 8;
 
+/// Flight-recorder ring capacity (most recent requests retained).
+const FLIGHT_CAPACITY: usize = 512;
+/// Flight-recorder slowest-N leaderboard size.
+const FLIGHT_SLOW: usize = 16;
+/// Default number of recent records `/debug/requests` returns.
+const DEBUG_REQUESTS_DEFAULT: usize = 50;
+/// Cap on `/debug/trace?ms=N` capture windows.
+const TRACE_MS_CAP: u64 = 10_000;
+/// Read timeout for connections once a drain has started: long enough to
+/// pick up a request already on the wire, short enough to not stall the
+/// drain deadline.
+const DRAIN_GRACE: Duration = Duration::from_millis(100);
+/// Tick between stop-flag checks while a connection is parked waiting for
+/// its next request. Keeps drain latency bounded by the tick instead of
+/// the full idle timeout, without any cross-thread socket plumbing.
+const STOP_POLL: Duration = Duration::from_millis(50);
+
+/// The endpoint labels every per-endpoint series is registered under.
+/// `other` collects unroutable paths, parse errors, and overflow rejects.
+pub const ENDPOINTS: &[&str] = &[
+    "prefix",
+    "batch",
+    "dump",
+    "metrics",
+    "health",
+    "status",
+    "debug.requests",
+    "debug.trace",
+    "reload",
+    "quit",
+    "other",
+];
+
+/// Index into [`ENDPOINTS`] for a request path.
+fn classify(path: &str) -> usize {
+    let name = if path.starts_with("/prefix") {
+        "prefix"
+    } else {
+        match path {
+            "/batch" => "batch",
+            "/dump" => "dump",
+            "/metrics" => "metrics",
+            "/health" => "health",
+            "/status" => "status",
+            "/debug/requests" => "debug.requests",
+            "/debug/trace" => "debug.trace",
+            "/reload" => "reload",
+            "/quit" => "quit",
+            _ => "other",
+        }
+    };
+    ENDPOINTS
+        .iter()
+        .position(|&e| e == name)
+        .expect("known label")
+}
+
 /// Server tunables.
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
@@ -55,6 +129,13 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Per-connection idle read timeout.
     pub read_timeout: Duration,
+    /// Structured JSONL access log (one object per request), written
+    /// through the Vfs/atomic machinery. `None` disables logging.
+    pub access_log: Option<AccessLog>,
+    /// Whether `POST /quit` may trigger a graceful drain.
+    pub allow_quit: bool,
+    /// How long shutdown waits for in-flight connections to finish.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +144,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
+            access_log: None,
+            allow_quit: false,
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -76,6 +160,18 @@ struct DeltaEntry {
     to: u64,
     /// Rendered JSONL ops: `add` / `remove` / `change` lines.
     ops: String,
+}
+
+/// Per-endpoint recording handles, registered up front so `/metrics` and
+/// `/status` show explicit zeros on a fresh server.
+struct EndpointStat {
+    name: &'static str,
+    /// Rolling 10s/60s/5m latency windows (lock-free recording).
+    windowed: WindowedHistogram,
+    /// Cumulative-since-boot latency histogram (`serve.latency.<name>`).
+    cumulative: p2o_obs::Histogram,
+    /// Cumulative request count (`serve.requests.<name>`).
+    requests: p2o_obs::Counter,
 }
 
 /// Shared server state: the snapshot cell, metrics, loader, delta log.
@@ -94,6 +190,86 @@ struct ServerState {
     active: AtomicUsize,
     max_connections: usize,
     read_timeout: Duration,
+    /// The bound address (used to self-wake the accept loop on `/quit`).
+    addr: SocketAddr,
+    started: Instant,
+    /// Monotonic request-id source; ids start at 1.
+    request_ids: AtomicU64,
+    /// Parallel to [`ENDPOINTS`].
+    stats: Vec<EndpointStat>,
+    flight: FlightRecorder,
+    access: Option<AccessLog>,
+    allow_quit: bool,
+    drain_deadline: Duration,
+    /// Serializes `/debug/trace` captures (one live tracer at a time).
+    trace_gate: AtomicBool,
+}
+
+impl ServerState {
+    fn next_request_id(&self) -> u64 {
+        self.request_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Everything one finished request reports into the observability layer.
+struct RequestOutcome<'a> {
+    id: u64,
+    endpoint_idx: usize,
+    method: &'a str,
+    target: &'a str,
+    status: u16,
+    latency_ns: u64,
+    serial: u64,
+    snapshot: &'a str,
+    family: char,
+}
+
+/// The single recording sink for *every* response — routed requests,
+/// parse-error 400s, and overflow 503s alike — so no latency is invisible
+/// to the windowed series, the flight recorder, or the access log.
+fn finish_request(state: &ServerState, out: &RequestOutcome<'_>) {
+    if (400..500).contains(&out.status) {
+        state.obs.counter("serve.http_4xx").incr();
+    } else if out.status >= 500 {
+        state.obs.counter("serve.http_5xx").incr();
+    }
+    let stat = &state.stats[out.endpoint_idx];
+    stat.requests.incr();
+    stat.windowed.record(out.latency_ns);
+    stat.cumulative.record(out.latency_ns);
+    state.flight.record(FlightSample {
+        id: out.id,
+        endpoint: stat.name,
+        status: out.status,
+        latency_ns: out.latency_ns,
+        serial: out.serial,
+        family: out.family,
+        target: out.target,
+    });
+    if let Some(access) = &state.access {
+        let mut o = Json::object();
+        o.set("type", "access");
+        o.set("id", out.id);
+        o.set(
+            "ts_unix_ms",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        );
+        o.set("uptime_ms", state.started.elapsed().as_millis() as u64);
+        o.set("method", out.method);
+        o.set("target", out.target);
+        o.set("endpoint", stat.name);
+        o.set("status", out.status as u64);
+        o.set("latency_ns", out.latency_ns);
+        o.set("serial", out.serial);
+        o.set("snapshot", out.snapshot);
+        o.set("family", out.family.to_string());
+        if access.push(&o.to_string()).is_err() {
+            state.obs.counter("serve.access_log_failures").incr();
+        }
+    }
 }
 
 /// A running server: its bound address and shutdown control.
@@ -102,6 +278,7 @@ pub struct ServerHandle {
     pub addr: SocketAddr,
     state: Arc<ServerState>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    finished: bool,
 }
 
 impl ServerHandle {
@@ -115,8 +292,11 @@ impl ServerHandle {
         &self.state.obs
     }
 
-    /// Stops accepting, wakes the accept loop, and joins it. In-flight
-    /// connections finish their current request and then close.
+    /// Stops accepting, drains in-flight connections under the configured
+    /// deadline, flushes the access log, and emits a final `RunReport` to
+    /// stderr. Connections mid-request get a grace window to finish;
+    /// requests already accepted are answered, idle keep-alive
+    /// connections are closed.
     pub fn shutdown(mut self) {
         self.state.stop.store(true, Ordering::Release);
         // Wake the blocking accept() with a throwaway connection.
@@ -124,13 +304,57 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.finish();
     }
 
-    /// Blocks until the accept loop exits (the CLI foreground mode).
+    /// Blocks until the accept loop exits (the CLI foreground mode —
+    /// `POST /quit` is what ends it), then runs the same drain/flush/
+    /// report sequence as [`shutdown`](ServerHandle::shutdown).
     pub fn join(mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.state.stop.store(true, Ordering::Release);
+        self.finish();
+    }
+
+    /// Drain + flush + final report. Idempotent.
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let deadline = Instant::now() + self.state.drain_deadline;
+        while self.state.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stranded = self.state.active.load(Ordering::Relaxed);
+        if let Some(access) = &self.state.access {
+            if let Err(e) = access.flush() {
+                eprintln!("warning: {e}");
+            }
+        }
+        let report = self.state.obs.report();
+        eprintln!(
+            "serve: drained after {} request(s) over {:.1}s{}",
+            self.state.request_ids.load(Ordering::Relaxed),
+            self.state.started.elapsed().as_secs_f64(),
+            if stranded > 0 {
+                format!("; {stranded} connection(s) exceeded the drain deadline")
+            } else {
+                String::new()
+            }
+        );
+        eprint!("{}", report.summary_table());
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A handle dropped without shutdown/join (e.g. a panicking test)
+        // must not emit a report or block on a drain; just stop accepting.
+        self.state.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
@@ -146,7 +370,7 @@ pub fn spawn(
         .local_addr()
         .map_err(|e| format!("resolving bound address: {e}"))?;
     let obs = Arc::new(Obs::new());
-    register_serve_metrics(&obs);
+    let stats = register_serve_metrics(&obs);
     let state = Arc::new(ServerState {
         cell: Arc::new(SnapshotCell::new(Arc::new(initial))),
         obs,
@@ -157,6 +381,15 @@ pub fn spawn(
         active: AtomicUsize::new(0),
         max_connections: config.max_connections,
         read_timeout: config.read_timeout,
+        addr,
+        started: Instant::now(),
+        request_ids: AtomicU64::new(0),
+        stats,
+        flight: FlightRecorder::new(FLIGHT_CAPACITY, FLIGHT_SLOW),
+        access: config.access_log,
+        allow_quit: config.allow_quit,
+        drain_deadline: config.drain_deadline,
+        trace_gate: AtomicBool::new(false),
     });
     let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::Builder::new()
@@ -167,12 +400,14 @@ pub fn spawn(
         addr,
         state,
         accept_thread: Some(accept_thread),
+        finished: false,
     })
 }
 
 /// Registers the `serve.*` metric family up front so a fresh server's
-/// `/metrics` shows explicit zeros rather than missing series.
-fn register_serve_metrics(obs: &Obs) {
+/// `/metrics` shows explicit zeros rather than missing series, and builds
+/// the per-endpoint recording handles.
+fn register_serve_metrics(obs: &Obs) -> Vec<EndpointStat> {
     for name in [
         "serve.connections",
         "serve.requests",
@@ -181,10 +416,20 @@ fn register_serve_metrics(obs: &Obs) {
         "serve.reloads",
         "serve.reload_failures",
         "serve.batch_prefixes",
+        "serve.access_log_failures",
     ] {
         obs.counter(name);
     }
     obs.histogram("serve.lookup_ns");
+    ENDPOINTS
+        .iter()
+        .map(|&name| EndpointStat {
+            name,
+            windowed: WindowedHistogram::new(),
+            cumulative: obs.histogram(&format!("serve.latency.{name}")),
+            requests: obs.counter(&format!("serve.requests.{name}")),
+        })
+        .collect()
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
@@ -195,14 +440,32 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
         }
         let Ok((stream, _)) = conn else { continue };
         if state.active.load(Ordering::Relaxed) >= state.max_connections {
-            state.obs.counter("serve.http_5xx").incr();
+            // Overflow reject: no connection thread, but still a response
+            // — record it like any other so 503 latencies are visible.
+            let started = Instant::now();
+            state.obs.counter("serve.requests").incr();
+            let id = state.next_request_id();
             let mut stream = stream;
             let _ = stream.write_all(&http::response(
                 503,
                 "application/json",
-                &[],
+                &[("X-P2O-Request-Id".to_string(), id.to_string())],
                 b"{\"error\":\"connection limit reached\"}\n",
             ));
+            finish_request(
+                &state,
+                &RequestOutcome {
+                    id,
+                    endpoint_idx: classify("overflow"),
+                    method: "-",
+                    target: "-",
+                    status: 503,
+                    latency_ns: started.elapsed().as_nanos() as u64,
+                    serial: 0,
+                    snapshot: "-",
+                    family: '-',
+                },
+            );
             continue;
         }
         state.active.fetch_add(1, Ordering::Relaxed);
@@ -218,42 +481,105 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(state.read_timeout))?;
     stream.set_nodelay(true)?;
     let mut parser = RequestParser::new();
     let mut reader = state.cell.reader();
     let mut chunk = [0u8; 16 * 1024];
+    let mut draining = false;
+    let mut idle_deadline = Instant::now() + state.read_timeout;
     loop {
         // Drain any already-buffered pipelined requests before reading.
         loop {
             match parser.poll() {
                 Ok(Some(request)) => {
                     let keep_alive = request.keep_alive;
-                    let bytes = respond(state, &mut reader, &request);
+                    let (bytes, quit) = respond(state, &mut reader, &request);
                     stream.write_all(&bytes)?;
+                    if quit {
+                        initiate_drain(state);
+                    }
                     if !keep_alive {
                         return Ok(());
                     }
                 }
                 Ok(None) => break,
                 Err(bad) => {
+                    let started = Instant::now();
                     state.obs.counter("serve.requests").incr();
-                    state.obs.counter("serve.http_4xx").incr();
+                    let id = state.next_request_id();
+                    let snap = reader.get();
+                    let (serial, digest) = (snap.serial, snap.digest.clone());
                     let body = error_body(&bad.0);
-                    stream.write_all(&http::response(400, "application/json", &[], &body))?;
+                    let headers = [("X-P2O-Request-Id".to_string(), id.to_string())];
+                    stream.write_all(&http::response(400, "application/json", &headers, &body))?;
+                    finish_request(
+                        state,
+                        &RequestOutcome {
+                            id,
+                            endpoint_idx: classify("unparseable"),
+                            method: "-",
+                            target: "-",
+                            status: 400,
+                            latency_ns: started.elapsed().as_nanos() as u64,
+                            serial,
+                            snapshot: &digest,
+                            family: '-',
+                        },
+                    );
                     return Ok(());
                 }
             }
         }
         if state.stop.load(Ordering::Acquire) {
-            return Ok(());
+            if draining {
+                // The one grace read has been consumed and everything it
+                // completed was answered above; whatever was not fully
+                // received was never accepted. Close — a continuously
+                // sending client must not be able to extend the drain
+                // forever.
+                return Ok(());
+            }
+            // A drain has started: give this connection one short grace
+            // read so requests already on the wire still get answered,
+            // then close.
+            draining = true;
+            stream.set_read_timeout(Some(DRAIN_GRACE))?;
+            match stream.read(&mut chunk) {
+                Ok(n) if n > 0 => parser.feed(&chunk[..n]),
+                _ => return Ok(()), // idle, timed out, or reset: close
+            }
+            continue;
         }
+        // Park for the next request in short ticks so a drain started
+        // while this connection is idle is noticed within STOP_POLL, not
+        // after the full idle timeout (which would stall the drain).
+        let now = Instant::now();
+        if now >= idle_deadline {
+            return Ok(()); // idle timeout: close the keep-alive connection
+        }
+        stream.set_read_timeout(Some(STOP_POLL.min(idle_deadline - now)))?;
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()),
-            Ok(n) => parser.feed(&chunk[..n]),
-            Err(_) => return Ok(()), // timeout or reset: drop the connection
+            Ok(n) => {
+                parser.feed(&chunk[..n]);
+                idle_deadline = Instant::now() + state.read_timeout;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {} // tick expired: loop to re-check the stop flag
+            Err(_) => return Ok(()), // reset: drop the connection
         }
     }
+}
+
+/// Starts a graceful drain from inside a request (`POST /quit`): stop
+/// accepting and wake the blocked accept call. The CLI's `join()` (or a
+/// harness's `shutdown()`) then finishes the drain.
+fn initiate_drain(state: &Arc<ServerState>) {
+    state.stop.store(true, Ordering::Release);
+    let _ = TcpStream::connect(state.addr);
 }
 
 fn error_body(message: &str) -> Vec<u8> {
@@ -262,44 +588,107 @@ fn error_body(message: &str) -> Vec<u8> {
     format!("{o}\n").into_bytes()
 }
 
+/// What `route` hands back to `respond`, beyond the response triple.
+struct Routed {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    /// `POST /quit` was accepted: initiate the drain after writing.
+    quit: bool,
+}
+
 /// Dispatches one request and serializes the response.
 ///
 /// The snapshot `Arc` is cloned exactly once per request and every byte of
 /// the response — body and the `X-P2O-Serial` / `X-P2O-Snapshot` stamp —
 /// is derived from it, so a concurrent swap can never produce a response
-/// mixing two snapshots. Status-class counters tick here so every route is
-/// covered.
-fn respond(state: &Arc<ServerState>, reader: &mut SnapshotReader, request: &Request) -> Vec<u8> {
+/// mixing two snapshots. All status-class and per-endpoint recording
+/// funnels through [`finish_request`] so every route is covered.
+///
+/// Returns the serialized response and whether a drain must start.
+fn respond(
+    state: &Arc<ServerState>,
+    reader: &mut SnapshotReader,
+    request: &Request,
+) -> (Vec<u8>, bool) {
+    let started = Instant::now();
     state.obs.counter("serve.requests").incr();
+    let id = state.next_request_id();
     let snap = Arc::clone(reader.get());
-    let (status, content_type, body) = route(state, &snap, request);
-    if (400..500).contains(&status) {
-        state.obs.counter("serve.http_4xx").incr();
-    } else if status >= 500 {
-        state.obs.counter("serve.http_5xx").incr();
-    }
+    let endpoint_idx = classify(request.path());
+    // Span capture is two relaxed loads when no tracer is attached; the
+    // per-request thread log only exists during a live capture window.
+    let tlog = if state.obs.tracing_attached() {
+        state.obs.thread_log("serve.conn")
+    } else {
+        None
+    };
+    let routed = {
+        let span = tlog.as_ref().map(|log| {
+            let span = log.span("serve.request");
+            span.arg("id", id);
+            span.arg("endpoint", ENDPOINTS[endpoint_idx]);
+            span.arg("target", &request.target);
+            span
+        });
+        let routed = route(state, &snap, request);
+        if let Some(span) = &span {
+            span.arg("status", routed.status);
+        }
+        routed
+    };
+    finish_request(
+        state,
+        &RequestOutcome {
+            id,
+            endpoint_idx,
+            method: &request.method,
+            target: &request.target,
+            status: routed.status,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            serial: snap.serial,
+            snapshot: &snap.digest,
+            family: prefix_family(request.path()),
+        },
+    );
     let stamp = [
         ("X-P2O-Serial".to_string(), snap.serial.to_string()),
         ("X-P2O-Snapshot".to_string(), snap.digest.clone()),
+        ("X-P2O-Request-Id".to_string(), id.to_string()),
     ];
-    http::response(status, content_type, &stamp, &body)
+    (
+        http::response(routed.status, routed.content_type, &stamp, &routed.body),
+        routed.quit,
+    )
 }
 
-fn route(
-    state: &Arc<ServerState>,
-    snap: &Arc<Snapshot>,
-    request: &Request,
-) -> (u16, &'static str, Vec<u8>) {
+/// Address family of a `/prefix/<cidr>` target: `'4'`, `'6'`, or `'-'`
+/// for non-lookup endpoints and unparseable targets.
+fn prefix_family(path: &str) -> char {
+    match path.strip_prefix("/prefix/") {
+        Some(rest) => {
+            let cidr = percent_decode(rest);
+            if cidr.contains(':') {
+                '6'
+            } else if cidr.contains('.') {
+                '4'
+            } else {
+                '-'
+            }
+        }
+        None => '-',
+    }
+}
+
+fn route(state: &Arc<ServerState>, snap: &Arc<Snapshot>, request: &Request) -> Routed {
     let path = request.path();
-    match (request.method.as_str(), path) {
-        ("GET", "/health") => {
-            let mut o = Json::object();
-            o.set("status", "ok");
-            o.set("serial", snap.serial);
-            o.set("snapshot", snap.digest.clone());
-            o.set("prefixes", snap.len() as u64);
-            o.set("frozen", snap.is_frozen());
-            (200, "application/json", format!("{o}\n").into_bytes())
+    let (status, content_type, body) = match (request.method.as_str(), path) {
+        ("GET", "/health") => health(state, snap),
+        ("GET", "/status") => status_page(state, snap),
+        ("GET", "/debug/requests") => debug_requests(state, request.query_param("n")),
+        ("GET", "/debug/trace") => debug_trace(state, request.query_param("ms")),
+        ("POST", "/quit") => {
+            return quit(state);
         }
         ("GET", p) if p.starts_with("/prefix/") => {
             let cidr = percent_decode(&p["/prefix/".len()..]);
@@ -308,7 +697,8 @@ fn route(
         ("POST", "/batch") => batch(state, snap, &request.body),
         ("GET", "/dump") => dump(state, snap, request.query_param("serial")),
         ("GET", "/metrics") => {
-            let text = promexpo::to_prometheus(&state.obs.report());
+            let mut text = promexpo::to_prometheus(&state.obs.report());
+            text.push_str(&windowed_exposition(state));
             (200, "text/plain; version=0.0.4", text.into_bytes())
         }
         ("POST", "/reload") => reload(state, snap, &request.body),
@@ -330,22 +720,260 @@ fn route(
             "application/json",
             error_body(&format!("no such route {path}")),
         ),
+    };
+    Routed {
+        status,
+        content_type,
+        body,
+        quit: false,
     }
 }
 
 fn known_path(path: &str) -> bool {
     matches!(
         path,
-        "/health" | "/batch" | "/dump" | "/metrics" | "/reload"
+        "/health"
+            | "/batch"
+            | "/dump"
+            | "/metrics"
+            | "/reload"
+            | "/status"
+            | "/debug/requests"
+            | "/debug/trace"
+            | "/quit"
     ) || path.starts_with("/prefix/")
 }
 
 fn method_matches(method: &str, path: &str) -> bool {
     match path {
-        "/health" | "/dump" | "/metrics" => method == "GET",
-        "/batch" | "/reload" => method == "POST",
+        "/health" | "/dump" | "/metrics" | "/status" | "/debug/requests" | "/debug/trace" => {
+            method == "GET"
+        }
+        "/batch" | "/reload" | "/quit" => method == "POST",
         p => p.starts_with("/prefix/") && method == "GET",
     }
+}
+
+/// `GET /health`: liveness plus enough to tell whether the server is
+/// actually doing work — uptime and the 60 s request rate across all
+/// endpoints.
+fn health(state: &Arc<ServerState>, snap: &Arc<Snapshot>) -> (u16, &'static str, Vec<u8>) {
+    let (count_60s, rate_60s) = state
+        .stats
+        .iter()
+        .map(|s| s.windowed.window(60))
+        .fold((0u64, 0f64), |(c, r), w| (c + w.count, r + w.rate_per_sec));
+    let mut o = Json::object();
+    o.set("status", "ok");
+    o.set("serial", snap.serial);
+    o.set("snapshot", snap.digest.clone());
+    o.set("prefixes", snap.len() as u64);
+    o.set("frozen", snap.is_frozen());
+    o.set("uptime_seconds", state.started.elapsed().as_secs());
+    o.set("requests_60s", count_60s);
+    o.set("rate_60s", round3(rate_60s));
+    (200, "application/json", format!("{o}\n").into_bytes())
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// `GET /status`: the human/ops twin of `/metrics` — uptime, snapshot
+/// identity, per-endpoint windowed percentiles and rates, the connection
+/// gauge, and flight-recorder occupancy.
+fn status_page(state: &Arc<ServerState>, snap: &Arc<Snapshot>) -> (u16, &'static str, Vec<u8>) {
+    let mut o = Json::object();
+    o.set("status", "ok");
+    o.set("uptime_seconds", state.started.elapsed().as_secs());
+    let mut snapshot = Json::object();
+    snapshot.set("serial", snap.serial);
+    snapshot.set("digest", snap.digest.clone());
+    snapshot.set("generation", state.cell.generation());
+    snapshot.set("backing", if snap.is_frozen() { "frozen" } else { "live" });
+    snapshot.set("prefixes", snap.len() as u64);
+    snapshot.set("dir", snap.dir.display().to_string());
+    o.set("snapshot", snapshot);
+    let mut conns = Json::object();
+    conns.set("active", state.active.load(Ordering::Relaxed) as u64);
+    conns.set("total", state.obs.counter("serve.connections").get());
+    conns.set("max", state.max_connections as u64);
+    o.set("connections", conns);
+    o.set("requests_total", state.request_ids.load(Ordering::Relaxed));
+    let mut endpoints = Json::object();
+    for stat in &state.stats {
+        let mut ep = Json::object();
+        ep.set("requests_total", stat.requests.get());
+        let mut windows = Json::object();
+        for &(label, secs) in WINDOWS {
+            let w = stat.windowed.window(secs);
+            let mut wo = Json::object();
+            wo.set("count", w.count);
+            wo.set("rate_per_sec", round3(w.rate_per_sec));
+            wo.set("p50_ns", w.quantile(0.50));
+            wo.set("p90_ns", w.quantile(0.90));
+            wo.set("p99_ns", w.quantile(0.99));
+            wo.set("max_ns", w.max);
+            windows.set(label, wo);
+        }
+        ep.set("windows", windows);
+        endpoints.set(stat.name, ep);
+    }
+    o.set("endpoints", endpoints);
+    let mut flight = Json::object();
+    flight.set("capacity", state.flight.capacity() as u64);
+    flight.set("occupied", state.flight.occupied() as u64);
+    flight.set("recorded", state.flight.recorded());
+    flight.set("slowest_tracked", state.flight.slowest().len() as u64);
+    o.set("flight_recorder", flight);
+    (
+        200,
+        "application/json",
+        format!("{}\n", o.to_string_pretty()).into_bytes(),
+    )
+}
+
+/// `GET /debug/requests?n=K`: the flight-recorder rings as JSONL — the
+/// `n` most recent records (default 50), then the slowest leaderboard.
+/// Draining does not stop recording.
+fn debug_requests(state: &Arc<ServerState>, n: Option<&str>) -> (u16, &'static str, Vec<u8>) {
+    let n = match n {
+        None => DEBUG_REQUESTS_DEFAULT,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(v) => v.min(state.flight.capacity()),
+            Err(_) => {
+                return (
+                    400,
+                    "application/json",
+                    error_body(&format!("bad n {raw:?}")),
+                );
+            }
+        },
+    };
+    let mut out = String::new();
+    for rec in state.flight.recent(n) {
+        let mut o = rec.to_json();
+        o.set("kind", "recent");
+        out.push_str(&format!("{o}\n"));
+    }
+    for rec in state.flight.slowest() {
+        let mut o = rec.to_json();
+        o.set("kind", "slowest");
+        out.push_str(&format!("{o}\n"));
+    }
+    (200, "application/jsonl", out.into_bytes())
+}
+
+/// `GET /debug/trace?ms=N`: attach a fresh tracer, let the serve path
+/// record spans for `N` milliseconds (default 100, capped), then detach
+/// and return the capture as a loadable Chrome trace. One capture at a
+/// time; a concurrent request gets 409.
+fn debug_trace(state: &Arc<ServerState>, ms: Option<&str>) -> (u16, &'static str, Vec<u8>) {
+    let ms = match ms {
+        None => 100,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => v.min(TRACE_MS_CAP),
+            Err(_) => {
+                return (
+                    400,
+                    "application/json",
+                    error_body(&format!("bad ms {raw:?}")),
+                );
+            }
+        },
+    };
+    if state
+        .trace_gate
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_err()
+    {
+        return (
+            409,
+            "application/json",
+            error_body("a trace capture is already running"),
+        );
+    }
+    state.obs.attach_tracer();
+    std::thread::sleep(Duration::from_millis(ms));
+    let tracer = state.obs.detach_tracer();
+    state.trace_gate.store(false, Ordering::Release);
+    let trace = tracer.map(|t| t.drain()).unwrap_or_default();
+    (
+        200,
+        "application/json",
+        trace.to_chrome_json_string().into_bytes(),
+    )
+}
+
+/// `POST /quit`: graceful drain, gated behind `allow_quit`.
+fn quit(state: &Arc<ServerState>) -> Routed {
+    if !state.allow_quit {
+        return Routed {
+            status: 403,
+            content_type: "application/json",
+            body: error_body("quit is disabled (start the server with --allow-quit)"),
+            quit: false,
+        };
+    }
+    let mut o = Json::object();
+    o.set("status", "draining");
+    o.set("requests_served", state.request_ids.load(Ordering::Relaxed));
+    Routed {
+        status: 200,
+        content_type: "application/json",
+        body: format!("{o}\n").into_bytes(),
+        quit: true,
+    }
+}
+
+/// The windowed gauges appended to `/metrics` after the registry
+/// exposition: per-endpoint latency quantiles and request rates for each
+/// window, plus uptime and the connection gauge. Rendered fresh per
+/// scrape (gauges over rolling windows cannot live in the cumulative
+/// registry).
+fn windowed_exposition(state: &Arc<ServerState>) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP p2o_serve_uptime_seconds Seconds since the server started.\n");
+    out.push_str("# TYPE p2o_serve_uptime_seconds gauge\n");
+    out.push_str(&format!(
+        "p2o_serve_uptime_seconds {}\n",
+        state.started.elapsed().as_secs()
+    ));
+    out.push_str("# HELP p2o_serve_connections_active Currently open connections.\n");
+    out.push_str("# TYPE p2o_serve_connections_active gauge\n");
+    out.push_str(&format!(
+        "p2o_serve_connections_active {}\n",
+        state.active.load(Ordering::Relaxed)
+    ));
+    out.push_str(
+        "# HELP p2o_serve_window_latency_ns Rolling-window latency quantiles per endpoint.\n",
+    );
+    out.push_str("# TYPE p2o_serve_window_latency_ns gauge\n");
+    let mut rates = String::new();
+    for stat in &state.stats {
+        for &(label, secs) in WINDOWS {
+            let w = stat.windowed.window(secs);
+            for (q, v) in [
+                ("p50", w.quantile(0.50)),
+                ("p90", w.quantile(0.90)),
+                ("p99", w.quantile(0.99)),
+                ("max", w.max),
+            ] {
+                out.push_str(&format!(
+                    "p2o_serve_window_latency_ns{{endpoint=\"{}\",window=\"{label}\",quantile=\"{q}\"}} {v}\n",
+                    stat.name
+                ));
+            }
+            rates.push_str(&format!(
+                "p2o_serve_window_rate{{endpoint=\"{}\",window=\"{label}\"}} {:.3}\n",
+                stat.name, w.rate_per_sec
+            ));
+        }
+    }
+    out.push_str("# HELP p2o_serve_window_rate Rolling-window request rate per endpoint.\n");
+    out.push_str("# TYPE p2o_serve_window_rate gauge\n");
+    out.push_str(&rates);
+    out
 }
 
 /// Undoes the `%XX` escapes a URL-safe client may apply to `/` in CIDRs.

@@ -142,8 +142,19 @@ fn http_responses_stay_snapshot_consistent_across_reloads() {
             let mut client = p2o_serve::HttpClient::connect(addr).expect("connect");
             let path = format!("/prefix/{}", query.replace('/', "%2f"));
             let mut ok = 0u64;
+            let mut last_id = 0u64;
             while !stop.load(Ordering::Acquire) {
                 let resp = client.get(&path).expect("lookup response");
+                // Request ids are assigned from one server-wide monotonic
+                // counter, so each connection must see them strictly
+                // increase even while other clients interleave.
+                let id: u64 = resp
+                    .header("x-p2o-request-id")
+                    .expect("request id stamp")
+                    .parse()
+                    .expect("numeric request id");
+                assert!(id > last_id, "request id went backwards: {last_id} -> {id}");
+                last_id = id;
                 // 200 or 404 depending on which world is live; either way
                 // the header stamp and the body must agree.
                 let header_digest = resp
@@ -180,5 +191,31 @@ fn http_responses_stay_snapshot_consistent_across_reloads() {
     assert!(metrics
         .text()
         .contains(&format!("p2o_serve_reloads_total {RELOADS}")));
+    // /status agrees: the cell generation counted every swap, and the
+    // hammered endpoint's rolling windows saw the load.
+    let status = admin.get("/status").expect("status");
+    let json = p2o_util::Json::parse(&status.text()).expect("status json");
+    let generation = json
+        .get("snapshot")
+        .and_then(|s| s.get("generation"))
+        .and_then(p2o_util::Json::as_u64)
+        .expect("snapshot.generation");
+    assert_eq!(generation, RELOADS as u64, "one generation per reload");
+    let window = json
+        .get("endpoints")
+        .and_then(|e| e.get("prefix"))
+        .and_then(|p| p.get("windows"))
+        .and_then(|w| w.get("60s"))
+        .expect("prefix 60s window");
+    let count = window
+        .get("count")
+        .and_then(p2o_util::Json::as_u64)
+        .unwrap();
+    let p50 = window
+        .get("p50_ns")
+        .and_then(p2o_util::Json::as_u64)
+        .unwrap();
+    assert!(count >= reads, "window missed requests: {count} < {reads}");
+    assert!(p50 > 0, "windowed p50 must be populated under load");
     server.shutdown();
 }
