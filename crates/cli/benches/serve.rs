@@ -211,8 +211,9 @@ fn run_level(addr: &str, prefixes: &[String], clients: usize, budget: Duration) 
 /// One cold boot: process spawn to an answered `/health`, in
 /// milliseconds. Asserts the server actually booted in the expected mode
 /// (frozen attach vs full load), so the two timings can't silently
-/// measure the same path.
-fn boot_once_ms(dir: &std::path::Path, extra: &[&str], expect_frozen: bool) -> f64 {
+/// measure the same path. Also returns the parsed `/health` body so
+/// callers can record the snapshot posture (override count, ROV tallies).
+fn boot_once(dir: &std::path::Path, extra: &[&str], expect_frozen: bool) -> (f64, Json) {
     let started = Instant::now();
     let (_server, addr) = start_server_with(dir, extra);
     let mut client = HttpClient::connect(&addr).expect("connect for health");
@@ -225,7 +226,43 @@ fn boot_once_ms(dir: &std::path::Path, extra: &[&str], expect_frozen: bool) -> f
         Some(expect_frozen),
         "boot mode mismatch for extra args {extra:?}"
     );
-    ms
+    (ms, doc)
+}
+
+fn boot_once_ms(dir: &std::path::Path, extra: &[&str], expect_frozen: bool) -> f64 {
+    boot_once(dir, extra, expect_frozen).0
+}
+
+/// The snapshot-posture section carried into `BENCH_serve.json`: the
+/// served prefix count, operator-override count, and ROV state tallies as
+/// `/health` reports them — so a baseline diff surfaces attribution-
+/// posture drift alongside throughput drift.
+fn snapshot_posture(health: &Json) -> Json {
+    let mut o = Json::object();
+    o.set(
+        "prefixes",
+        health
+            .get("prefixes")
+            .and_then(Json::as_u64)
+            .expect("prefixes"),
+    );
+    o.set(
+        "exceptions",
+        health
+            .get("exceptions")
+            .and_then(Json::as_u64)
+            .expect("exception count in /health"),
+    );
+    let rov = health.get("rov").expect("rov tallies in /health");
+    let mut tallies = Json::object();
+    for state in ["valid", "invalid", "not_found"] {
+        tallies.set(
+            state,
+            rov.get(state).and_then(Json::as_u64).expect("rov tally"),
+        );
+    }
+    o.set("rov", tallies);
+    o
 }
 
 fn best_boot_ms(dir: &std::path::Path, extra: &[&str], expect_frozen: bool) -> f64 {
@@ -309,6 +346,39 @@ fn main() {
         full_ms / frozen_ms
     );
 
+    // Operator-exception boot: a one-rule file asserting the first routed
+    // prefix. The frozen artifact was built without rules, so the digest
+    // reads stale and this measures the full-load-with-rules path — the
+    // price an operator pays for running overrides without rebuilding.
+    let first_prefix = {
+        let (_server, cold_addr) = start_server_with(&cold_dir.0, &[]);
+        fetch_prefixes(&cold_addr)[0].replace("%2f", "/")
+    };
+    let rules_path = cold_dir.0.join("exceptions.jsonl");
+    std::fs::write(
+        &rules_path,
+        format!("{{\"prefix\":\"{first_prefix}\",\"action\":\"assert\",\"org\":\"Bench Override LLC\"}}\n"),
+    )
+    .expect("writing exceptions file");
+    let (exceptions_ms, exceptions_health) = boot_once(
+        &cold_dir.0,
+        &["--exceptions", &rules_path.display().to_string()],
+        false,
+    );
+    let exceptions_posture = snapshot_posture(&exceptions_health);
+    assert_eq!(
+        exceptions_posture.get("exceptions").and_then(Json::as_u64),
+        Some(1),
+        "the one-rule file must land as exactly one override"
+    );
+    println!("  cold start with exceptions ({cold_scale}): {exceptions_ms:.1}ms (1 override rule)");
+
+    // Snapshot posture of the load-level server, straight off /health.
+    let level_health = {
+        let mut client = HttpClient::connect(&addr).expect("connect for health");
+        Json::parse(&client.get("/health").expect("health response").text()).expect("health parses")
+    };
+
     if json {
         let mut doc = Json::object();
         doc.set("bench", "serve");
@@ -317,10 +387,13 @@ fn main() {
         doc.set("scale", "tiny");
         doc.set("budget_ms", budget_ms);
         doc.set("levels", Json::Arr(levels));
+        doc.set("snapshot", snapshot_posture(&level_health));
         let mut cold = Json::object();
         cold.set("scale", cold_scale.as_str());
         cold.set("frozen_ms", frozen_ms);
         cold.set("full_ms", full_ms);
+        cold.set("exceptions_ms", exceptions_ms);
+        cold.set("exceptions_overrides", 1u64);
         cold.set(
             "speedup_frozen_vs_full",
             if frozen_ms > 0.0 {

@@ -189,14 +189,19 @@ fn input_files(dir: &Path) -> Vec<PathBuf> {
     files
 }
 
-/// Digest over every input file (relative path + content) and the
-/// output-affecting options. Any changed, added, or removed input file —
-/// or changed option — changes the digest and forces a recompute.
-pub fn inputs_digest(
+/// Digest over every input file (relative path + content), the
+/// output-affecting options, and the content of a local exceptions file
+/// when one is in play. Any changed, added, or removed input file — or
+/// changed option or exception rule — changes the digest and forces a
+/// recompute. Exceptions are hashed by content only (not path), so moving
+/// the rule file without editing it does not invalidate a checkpoint or
+/// mark a frozen artifact stale.
+pub fn inputs_digest_with(
     vfs: &Vfs,
     dir: &Path,
     strict: bool,
     quarantine_samples: usize,
+    exceptions: Option<&[u8]>,
 ) -> Result<u64, String> {
     let mut d = Digest::of_bytes(b"p2o-build-inputs-v1");
     for path in input_files(dir) {
@@ -214,19 +219,30 @@ pub fn inputs_digest(
         &[strict as u8][..],
         &(quarantine_samples as u64).to_le_bytes(),
     ]));
+    if let Some(content) = exceptions {
+        d = d.chain(Digest::of_parts([b"exceptions".as_slice(), content]));
+    }
     Ok(d.0)
 }
 
 /// The option-independent digest of a directory's input files: what
-/// [`inputs_digest`] yields for the default build options. The frozen
+/// [`inputs_digest_with`] yields for the default build options. The frozen
 /// dataset stamps this into its META section so `serve` can detect a
-/// stale artifact no matter which flags the original build ran with.
-pub fn canonical_inputs_digest(vfs: &Vfs, dir: &Path) -> Result<u64, String> {
-    inputs_digest(
+/// stale artifact no matter which flags the original build ran with. A
+/// build with `--exceptions` chains the rule-file content in, so a `serve`
+/// run with a different (or no) exceptions file sees the artifact as stale
+/// and falls back to a full load applying its own rules.
+pub fn canonical_inputs_digest_with(
+    vfs: &Vfs,
+    dir: &Path,
+    exceptions: Option<&[u8]>,
+) -> Result<u64, String> {
+    inputs_digest_with(
         vfs,
         dir,
         false,
         p2o_util::ingest::DEFAULT_QUARANTINE_SAMPLES,
+        exceptions,
     )
 }
 
@@ -290,17 +306,39 @@ mod tests {
         fs::write(dir.join("meta.tsv"), b"seed\t1\n").unwrap();
         fs::write(dir.join("whois/ARIN.txt"), b"NetRange: x\n").unwrap();
 
-        let base = inputs_digest(&vfs, &dir, false, 8).unwrap();
-        assert_eq!(base, inputs_digest(&vfs, &dir, false, 8).unwrap());
+        let base = inputs_digest_with(&vfs, &dir, false, 8, None).unwrap();
+        assert_eq!(
+            base,
+            inputs_digest_with(&vfs, &dir, false, 8, None).unwrap()
+        );
         // Content change, new file, and option changes all move the digest.
         fs::write(dir.join("meta.tsv"), b"seed\t2\n").unwrap();
-        let changed = inputs_digest(&vfs, &dir, false, 8).unwrap();
+        let changed = inputs_digest_with(&vfs, &dir, false, 8, None).unwrap();
         assert_ne!(base, changed);
         fs::write(dir.join("whois/RIPE.txt"), b"inetnum: y\n").unwrap();
-        let added = inputs_digest(&vfs, &dir, false, 8).unwrap();
+        let added = inputs_digest_with(&vfs, &dir, false, 8, None).unwrap();
         assert_ne!(changed, added);
-        assert_ne!(added, inputs_digest(&vfs, &dir, true, 8).unwrap());
-        assert_ne!(added, inputs_digest(&vfs, &dir, false, 9).unwrap());
+        assert_ne!(
+            added,
+            inputs_digest_with(&vfs, &dir, true, 8, None).unwrap()
+        );
+        assert_ne!(
+            added,
+            inputs_digest_with(&vfs, &dir, false, 9, None).unwrap()
+        );
+        // Exceptions content participates: presence and edits both move
+        // the digest; the same content always digests the same.
+        let rule = br#"{"prefix":"10.0.0.0/24","action":"filter"}"#;
+        let with_exc = inputs_digest_with(&vfs, &dir, false, 8, Some(rule)).unwrap();
+        assert_ne!(added, with_exc);
+        assert_eq!(
+            with_exc,
+            inputs_digest_with(&vfs, &dir, false, 8, Some(rule)).unwrap()
+        );
+        assert_ne!(
+            with_exc,
+            inputs_digest_with(&vfs, &dir, false, 8, Some(b"other")).unwrap()
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -28,6 +28,23 @@ pub fn generate(args: &Parsed) -> Result<(), CliError> {
         return Err(format!("--corrupt-rate must be in 0..=1, got {corrupt_rate}").into());
     }
     let corrupt_seed = args.get_num::<u64>("corrupt-seed")?.unwrap_or(seed);
+    let adversarial = match args.get("adversarial") {
+        None => None,
+        Some(spec) => {
+            let class = p2o_synth::adversary::FaultClass::parse(spec).ok_or_else(|| {
+                let known: Vec<&str> = p2o_synth::adversary::FaultClass::ALL
+                    .iter()
+                    .map(|c| c.as_str())
+                    .collect();
+                format!(
+                    "unknown adversarial class {spec:?} (one of: {})",
+                    known.join(", ")
+                )
+            })?;
+            let adv_seed = args.get_num::<u64>("adversarial-seed")?.unwrap_or(seed);
+            Some((class, adv_seed))
+        }
+    };
     let config = match args.get("scale").unwrap_or("default") {
         "tiny" => WorldConfig::tiny(seed),
         "default" => WorldConfig::default_scale(seed),
@@ -41,8 +58,27 @@ pub fn generate(args: &Parsed) -> Result<(), CliError> {
         config.total_orgs()
     );
     let vfs = Vfs::from_env().map_err(CliError::General)?;
-    let world = World::generate(config);
+    let mut world = World::generate(config);
+    let outcome = adversarial
+        .map(|(class, adv_seed)| p2o_synth::adversary::apply(&mut world, class, adv_seed));
     let mut manifest = store::write_world(&vfs, &world, out)?;
+    if let Some(outcome) = &outcome {
+        // The mutation is already baked into rpki.jsonl; adversary.json is
+        // the manifest of what was done — CI and the degradation tests read
+        // it to know which prefixes to probe.
+        let text = outcome.to_json().to_string_pretty();
+        let path = out.join("adversary.json");
+        atomic::write_atomic(&vfs, &path, "adversary", text.as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        manifest.record("adversary.json", text.as_bytes());
+        eprintln!(
+            "applied adversarial mutation {} (seed {:#x}): {} victim cert(s), {} affected prefix(es)",
+            outcome.class,
+            outcome.seed,
+            outcome.victim_subjects.len(),
+            outcome.affected_prefixes.len(),
+        );
+    }
     if corrupt_rate > 0.0 {
         // Corruption injection deliberately alters record *content*; the
         // overwrites still go through the atomic writer and re-record their
@@ -197,6 +233,34 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
     let report_to_stdout = report_path == Some("-");
     let vfs = Vfs::from_env().map_err(CliError::General)?;
 
+    // Local operator exceptions (SLURM-style assert/filter rules). The file
+    // is read once up front: its content participates in both checkpoint
+    // digests, and the parsed rules are applied to the dataset after
+    // resolution. Lenient by default — a damaged line is quarantined and
+    // the rest of the file still applies; --strict aborts on the first.
+    let exceptions_path = args.get("exceptions");
+    let exceptions_text = exceptions_path
+        .map(|p| {
+            vfs.read_to_string(Path::new(p))
+                .map_err(|e| format!("reading exceptions {p}: {e}"))
+        })
+        .transpose()?;
+    let (exception_set, exception_rejects) = match &exceptions_text {
+        Some(text) => prefix2org::ExceptionSet::parse_lenient(text),
+        None => (prefix2org::ExceptionSet::new(), Vec::new()),
+    };
+    if strict {
+        if let Some(first) = exception_rejects.first() {
+            return Err(CliError::Ingest(format!(
+                "{}: line {}: {} ({})",
+                exceptions_path.unwrap_or("exceptions"),
+                first.offset,
+                first.message,
+                first.kind.counter_suffix(),
+            )));
+        }
+    }
+
     // The checkpoint covers the export plus every file-bound artifact this
     // invocation asks for.
     let frozen_path = dir.join(prefix2org::FROZEN_FILE);
@@ -215,7 +279,13 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         requested.push(("trace", p));
     }
 
-    let inputs_digest = checkpoint::inputs_digest(&vfs, dir, strict, quarantine_samples)?;
+    let inputs_digest = checkpoint::inputs_digest_with(
+        &vfs,
+        dir,
+        strict,
+        quarantine_samples,
+        exceptions_text.as_deref().map(str::as_bytes),
+    )?;
     let (ckpt_decision, stamp_torn) = if args.has("resume") {
         match evaluate_resume(&vfs, out, inputs_digest, &requested, report_to_stdout) {
             ResumeDecision::Skip { verified } => {
@@ -249,10 +319,27 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         })?;
     let store::LoadOutcome {
         inputs,
-        quarantine,
+        mut quarantine,
         torn,
         manifest_verified,
     } = outcome;
+    if !exception_rejects.is_empty() {
+        let file = exceptions_path.unwrap_or("exceptions");
+        eprintln!(
+            "warning: exceptions {file}: {} rejected line(s) ignored (run with --strict to abort)",
+            exception_rejects.len()
+        );
+        if let Some(o) = &obs {
+            // The store's own quarantine was already folded into the
+            // counters inside the load; add only the exception delta.
+            let mut delta = p2o_util::ingest::Quarantine::new();
+            for rec in &exception_rejects {
+                delta.push(rec.clone());
+            }
+            p2o_obs::record_quarantine(o, &delta);
+        }
+        quarantine.extend_from_file(file, exception_rejects);
+    }
     for (path, issue) in &torn {
         eprintln!("warning: manifest: {path}: {issue}");
     }
@@ -267,11 +354,12 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
     }
     if !quarantine.is_empty() {
         eprintln!(
-            "warning: {} corrupt records quarantined (mrt {}, whois {}, rpki {})",
+            "warning: {} corrupt records quarantined (mrt {}, whois {}, rpki {}, exception {})",
             quarantine.len(),
             quarantine.count_for_layer(IngestLayer::Mrt),
             quarantine.count_for_layer(IngestLayer::Whois),
             quarantine.count_for_layer(IngestLayer::Rpki),
+            quarantine.count_for_layer(IngestLayer::Exception),
         );
         if inputs.whois_stats.raw_records == 0 && inputs.routes.is_empty() {
             return Err(CliError::Ingest(format!(
@@ -303,7 +391,7 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         eprintln!(
             "warning: {} invalid RPKI objects excluded (first: {:?})",
             inputs.rpki_problems.len(),
-            inputs.rpki_problems.first()
+            inputs.rpki_problems[0]
         );
     }
     eprintln!(
@@ -327,7 +415,7 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
     // `dataset_with_evidence` is the same deterministic run plus edge
     // capture. Observed builds keep `run_with_obs` (the golden counters
     // depend on it) and pay one extra evidence pass.
-    let (dataset, merge_edges) = match &obs {
+    let (mut dataset, merge_edges) = match &obs {
         Some(o) => {
             let ds = pipeline.run_with_obs(&pipeline_inputs, o);
             let (_, edges) = pipeline.dataset_with_evidence(&pipeline_inputs, None);
@@ -335,18 +423,49 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         }
         None => pipeline.dataset_with_evidence(&pipeline_inputs, None),
     };
+    // Operator exceptions apply after resolution and clustering, so an
+    // assert overrides the inferred attribution (keeping its evidence) and
+    // a filter drops the record entirely — from the export, the frozen
+    // artifact, and every index built from them.
+    let exception_summary = exception_set.apply(&mut dataset);
+    if let Some(o) = &obs {
+        o.counter(p2o_obs::EXCEPTIONS_ASSERTED)
+            .add(exception_summary.asserted);
+        o.counter(p2o_obs::EXCEPTIONS_FILTERED)
+            .add(exception_summary.filtered);
+        o.counter(p2o_obs::EXCEPTIONS_UNMATCHED)
+            .add(exception_summary.unmatched);
+    }
+    if exceptions_path.is_some() {
+        eprintln!(
+            "exceptions: {} rule(s): {} asserted, {} filtered, {} unmatched",
+            exception_set.len(),
+            exception_summary.asserted,
+            exception_summary.filtered,
+            exception_summary.unmatched,
+        );
+    }
     let jsonl = prefix2org::to_jsonl(&dataset);
     atomic::write_atomic(&vfs, out, "export", jsonl.as_bytes())
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     let mut stamp = checkpoint::Stamp::new(inputs_digest);
     stamp.record("export", out_str, jsonl.as_bytes());
+    if let (Some(p), Some(text)) = (exceptions_path, &exceptions_text) {
+        // Recorded for the audit trail (which rules shaped this build);
+        // the content already participates in the inputs digest.
+        stamp.record("exceptions", p, text.as_bytes());
+    }
 
     // Freeze the same dataset into the zero-copy serve artifact. The META
     // section stamps the option-independent inputs digest so a later
     // `serve` can detect staleness no matter which flags this build ran
     // with, and the thaw check proves the artifact reproduces the export
     // byte-for-byte before anything touches disk.
-    let canonical_digest = checkpoint::canonical_inputs_digest(&vfs, dir)?;
+    let canonical_digest = checkpoint::canonical_inputs_digest_with(
+        &vfs,
+        dir,
+        exceptions_text.as_deref().map(str::as_bytes),
+    )?;
     let payload = prefix2org::freeze(&pipeline_inputs, &dataset, &merge_edges, canonical_digest);
     let thawed = prefix2org::FrozenDataset::from_payload(payload.clone())
         .map_err(|e| format!("frozen artifact failed self-validation: {e}"))?;
@@ -507,7 +626,27 @@ pub fn explain(args: &Parsed) -> Result<(), CliError> {
     if args.positional().is_empty() {
         return Err("explain needs at least one prefix argument".into());
     }
+    let exceptions = args
+        .get("exceptions")
+        .map(|p| -> Result<prefix2org::ExceptionSet, CliError> {
+            let text = fs::read_to_string(p).map_err(|e| format!("reading exceptions {p}: {e}"))?;
+            let (set, rejected) = prefix2org::ExceptionSet::parse_lenient(&text);
+            if !rejected.is_empty() {
+                eprintln!(
+                    "warning: exceptions {p}: {} rejected line(s) ignored",
+                    rejected.len()
+                );
+            }
+            Ok(set)
+        })
+        .transpose()?;
     if args.has("frozen") {
+        if exceptions.is_some() {
+            eprintln!(
+                "warning: --exceptions is ignored with --frozen; the artifact's stored \
+                 traces already reflect the rules it was built with"
+            );
+        }
         // Serve the stored traces out of the frozen artifact instead of
         // replaying the pipeline. For prefixes that are themselves records
         // the output is byte-identical to a live explain; for covered
@@ -547,7 +686,12 @@ pub fn explain(args: &Parsed) -> Result<(), CliError> {
         if i > 0 {
             println!();
         }
-        print!("{}", pipeline.explain(&pipeline_inputs, &prefix).render());
+        print!(
+            "{}",
+            pipeline
+                .explain_with(&pipeline_inputs, exceptions.as_ref(), &prefix)
+                .render()
+        );
     }
     Ok(())
 }
@@ -843,6 +987,7 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
         .max(1);
     let use_frozen = !args.has("no-frozen");
     let allow_quit = args.has("allow-quit");
+    let exceptions_path = args.get("exceptions").map(std::path::PathBuf::from);
     let access_log = args
         .get("access-log")
         .map(|path| -> Result<p2o_serve::AccessLog, CliError> {
@@ -861,6 +1006,39 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
                 dir.display()
             ));
         }
+        // The exceptions file is re-read on every load — boot and each
+        // /reload — so edited rules land with a reload, no restart. Serving
+        // is strict where build is lenient: any rejected line refuses the
+        // load (exit 2 at boot, 503 on reload) and, on reload, the old
+        // snapshot keeps serving — a torn rule file can delay an update but
+        // never changes an answer.
+        let exceptions_text = match &exceptions_path {
+            None => None,
+            Some(p) => Some(
+                vfs.read_to_string(p)
+                    .map_err(|e| format!("reading exceptions {}: {e}", p.display()))?,
+            ),
+        };
+        let exceptions = match &exceptions_text {
+            None => prefix2org::ExceptionSet::new(),
+            Some(text) => {
+                let (set, rejected) = prefix2org::ExceptionSet::parse_lenient(text);
+                if let Some(first) = rejected.first() {
+                    return Err(format!(
+                        "exceptions file {}: {} rejected line(s); first: line {}: {} ({})",
+                        exceptions_path
+                            .as_ref()
+                            .expect("text implies path")
+                            .display(),
+                        rejected.len(),
+                        first.offset,
+                        first.message,
+                        first.kind.counter_suffix(),
+                    ));
+                }
+                set
+            }
+        };
         // Prefer the frozen artifact: one framed read plus O(1) arena
         // attachment instead of re-parsing WHOIS/MRT and re-running the
         // pipeline. Staleness (inputs changed since the freeze) and any
@@ -871,7 +1049,15 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
             if frozen_path.is_file() {
                 match prefix2org::FrozenDataset::load(&vfs, &frozen_path) {
                     Ok(frozen) => {
-                        let current = checkpoint::canonical_inputs_digest(&vfs, dir)?;
+                        // The current digest includes this serve's exception
+                        // rules; a frozen artifact built with different (or
+                        // no) rules reads as stale and the full load below
+                        // applies the live rules instead.
+                        let current = checkpoint::canonical_inputs_digest_with(
+                            &vfs,
+                            dir,
+                            exceptions_text.as_deref().map(str::as_bytes),
+                        )?;
                         if frozen.inputs_digest() == current {
                             return Ok(p2o_serve::Snapshot::from_frozen(
                                 dir.to_path_buf(),
@@ -892,7 +1078,7 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
         let outcome = store::load_inputs_mode(&vfs, dir, None, threads, store::IngestMode::Lenient)
             .map_err(|e| e.to_string())?;
         let inputs = outcome.inputs;
-        Ok(p2o_serve::Snapshot::assemble(
+        Ok(p2o_serve::Snapshot::assemble_with(
             dir.to_path_buf(),
             0,
             inputs.tree,
@@ -900,6 +1086,7 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
             inputs.clusters,
             inputs.rpki,
             threads,
+            exceptions,
         ))
     });
 
@@ -907,11 +1094,15 @@ pub fn serve(args: &Parsed) -> Result<(), CliError> {
     // integrity error (exit 2), matching `fsck`.
     let initial = loader(dir).map_err(CliError::Integrity)?;
     eprintln!(
-        "loaded {} ({} prefixes, snapshot {}{})",
+        "loaded {} ({} prefixes, snapshot {}{}{})",
         dir.display(),
         initial.len(),
         initial.digest,
-        if initial.is_frozen() { ", frozen" } else { "" }
+        if initial.is_frozen() { ", frozen" } else { "" },
+        match initial.exception_count() {
+            0 => String::new(),
+            n => format!(", {n} exception override(s)"),
+        }
     );
     let config = p2o_serve::ServerConfig {
         addr,

@@ -13,7 +13,10 @@
 //!    the full [`prefix2org::FrozenDataset`] payload audit (arena layout,
 //!    format_version gate, string/LPM table invariants, per-record bounds);
 //! 5. **Format version** — `meta.tsv`'s `format_version` must be one this
-//!    binary supports.
+//!    binary supports;
+//! 6. **Exception files** — any `exceptions.jsonl` must parse rule-clean
+//!    (a rejected line in an operator override file is damage: `serve`
+//!    refuses to boot from it, and a reload onto it is rejected).
 //!
 //! Directories from before the durability layer have no manifest; that is
 //! reported as a note, not damage.
@@ -94,6 +97,36 @@ pub fn audit(vfs: &Vfs, dir: &Path) -> Result<FsckReport, String> {
                         .push(format!("{}: frozen dataset invalid: {e}", rel(path))),
                     Ok(()) => report.verified += 1,
                 },
+            }
+        } else if path.file_name().is_some_and(|n| n == "exceptions.jsonl") {
+            match vfs.read_to_string(path) {
+                Err(e) => report
+                    .findings
+                    .push(format!("{}: exceptions file unreadable: {e}", rel(path))),
+                Ok(text) => {
+                    let (_, rejected) = prefix2org::ExceptionSet::parse_lenient(&text);
+                    if rejected.is_empty() {
+                        report.verified += 1;
+                    } else {
+                        const SHOWN: usize = 8;
+                        for r in rejected.iter().take(SHOWN) {
+                            report.findings.push(format!(
+                                "{}: line {}: {} ({})",
+                                rel(path),
+                                r.offset,
+                                r.message,
+                                r.kind.counter_suffix()
+                            ));
+                        }
+                        if rejected.len() > SHOWN {
+                            report.findings.push(format!(
+                                "{}: ... {} more rejected line(s)",
+                                rel(path),
+                                rejected.len() - SHOWN
+                            ));
+                        }
+                    }
+                }
             }
         }
     }
@@ -252,6 +285,36 @@ mod tests {
         assert!(
             all.contains("world.p2ob: frozen dataset invalid")
                 && all.contains("newer than this reader"),
+            "{all}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exceptions_file_damage_is_found() {
+        let dir = tmp_dir("exceptions");
+        let vfs = Vfs::real();
+        // A clean rule file verifies; a truncated/garbled one is a finding
+        // naming each rejected line.
+        fs::write(
+            dir.join("exceptions.jsonl"),
+            b"{\"prefix\":\"10.0.0.0/24\",\"action\":\"assert\",\"org\":\"Acme\"}\n",
+        )
+        .unwrap();
+        let report = audit(&vfs, &dir).unwrap();
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.verified, 1);
+
+        fs::write(
+            dir.join("exceptions.jsonl"),
+            b"{\"prefix\":\"10.0.0.0/24\",\"action\":\"assert\",\"org\":\"Acme\"}\n\
+              {\"prefix\":\"10.0.1.0/24\",\"act\n",
+        )
+        .unwrap();
+        let report = audit(&vfs, &dir).unwrap();
+        let all = report.findings.join("\n");
+        assert!(
+            all.contains("exceptions.jsonl: line 2") && all.contains("exception_bad_line"),
             "{all}"
         );
         let _ = fs::remove_dir_all(&dir);

@@ -3,12 +3,14 @@
 //! ```text
 //! prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
 //!                     [--corrupt-rate R] [--corrupt-seed N]
+//!                     [--adversarial CLASS] [--adversarial-seed N]
 //! prefix2org build    --in DIR --out FILE.jsonl [--strict] [--resume] [--threads N]
-//!                     [--quarantine-samples N]
+//!                     [--quarantine-samples N] [--exceptions FILE.jsonl]
 //!                     [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
 //! prefix2org fsck     DIR
 //! prefix2org serve    DIR [--addr HOST:PORT] [--threads N] [--access-log FILE] [--allow-quit]
-//! prefix2org explain  --in DIR PREFIX... [--threads N]
+//!                     [--exceptions FILE.jsonl]
+//! prefix2org explain  --in DIR PREFIX... [--threads N] [--exceptions FILE.jsonl]
 //! prefix2org lookup   --dataset FILE.jsonl PREFIX...
 //! prefix2org stats    --dataset FILE.jsonl
 //! prefix2org org      --dataset FILE.jsonl NAME
@@ -114,15 +116,27 @@ prefix2org — map BGP prefixes to organizations (IMC'25 reproduction)
 USAGE:
   prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
                       [--corrupt-rate R] [--corrupt-seed N]
+                      [--adversarial CLASS] [--adversarial-seed N]
       Materialize a synthetic Internet: WHOIS bulk dumps (native formats),
       an MRT RIB snapshot, AS2Org + sibling TSVs, RPKI objects, ground truth.
       --corrupt-rate injects seeded record-level corruption (truncation,
       bit-flips, length-field lies, junk records) into the written WHOIS,
       MRT and RPKI artifacts at the given per-record rate (0..=1);
       --corrupt-seed decouples the fault pattern from the world seed.
+      --adversarial applies one seeded *semantic* RPKI mutation before
+      writing: every object still parses and its signature verifies, but
+      relying-party validation (or ROV) rejects it. Classes: expired-cert
+      (a member cert — or a whole trust anchor — re-signed with an
+      elapsed window), resource-overclaim
+      (cert re-signed claiming 192.0.2.0/24 it was never delegated),
+      conflicting-roas (a valid ROA authorizing hijacker AS64666 over
+      uncovered routed space, MOAS sets first), orphaned-delegation (a
+      mid-chain cert withdrawn, stranding its subtree and ROAs). The
+      mutation manifest is written to DIR/adversary.json;
+      --adversarial-seed decouples victim selection from the world seed.
 
   prefix2org build --in DIR --out FILE.jsonl [--strict] [--resume] [--threads N]
-                   [--quarantine-samples N]
+                   [--quarantine-samples N] [--exceptions FILE.jsonl]
                    [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
       Parse a generated (or compatible) directory and run the full pipeline;
       write the per-prefix dataset as JSON Lines and print Table-4 metrics.
@@ -152,6 +166,15 @@ USAGE:
       parse, MRT decode, resolution and cluster group-build shards.
       --metrics writes every counter and histogram in Prometheus text
       exposition format.
+      --exceptions applies SLURM-style local operator rules (RFC 8416
+      spirit) after resolution: one JSON object per line, either
+      {{\"prefix\":P,\"action\":\"assert\",\"org\":NAME}} to override a
+      prefix's attribution or {{\"prefix\":P,\"action\":\"filter\"}} to drop a bogus
+      record entirely. The last rule per prefix wins. Overrides keep the
+      inferred evidence and are marked in the export (local_exception),
+      the frozen artifact, and every provenance trace. Rule-file content
+      participates in the checkpoint and frozen-staleness digests. A
+      damaged line warns and is quarantined (--strict aborts instead).
 
   prefix2org fsck DIR
       Audit a data directory: verify every artifact against MANIFEST.tsv,
@@ -162,7 +185,7 @@ USAGE:
       anything is damaged.
 
   prefix2org serve DIR [--addr HOST:PORT] [--threads N] [--no-frozen]
-                   [--access-log FILE] [--allow-quit]
+                   [--access-log FILE] [--allow-quit] [--exceptions FILE.jsonl]
       Serve the directory as a long-running lookup service (default
       address 127.0.0.1:8642). The directory is fsck-audited before
       loading; damage refuses to start with exit 2. When DIR/world.p2ob
@@ -187,14 +210,24 @@ USAGE:
       X-P2O-Request-Id. --access-log FILE appends one JSON object per
       request (written atomically, flushed on drain). Shutdown drains
       in-flight connections and prints a final run report to stderr.
+      --exceptions applies the rule file to every served snapshot and
+      re-reads it on each /reload, so edited rules land without a
+      restart. Serving is strict where build is lenient: a rejected
+      line refuses to boot (exit 2), and on /reload it is rejected
+      with 503 while the old snapshot keeps serving. /health, /status
+      and /metrics report the override count and ROV state tallies.
 
   prefix2org explain --in DIR PREFIX... [--threads N] [--frozen]
+                     [--exceptions FILE.jsonl]
       Replay the mapping decision for each prefix and print the rule
       chain behind it: routing-table lookup, radix LPM walk, WHOIS
       delegation matches, base name, RPKI certificate, origin-ASN
       clusters, cluster merges, final cluster label. --frozen reads the
       stored trace out of DIR/world.p2ob instead of replaying the
-      pipeline (byte-identical for record prefixes).
+      pipeline (byte-identical for record prefixes). --exceptions
+      applies a local rule file first, so the trace shows operator
+      overrides (local_exception) and filtered prefixes exactly as a
+      build with the same rules would.
 
   prefix2org lookup --dataset FILE.jsonl PREFIX...
       Longest-match lookup of prefixes in a built snapshot.

@@ -305,6 +305,7 @@ pub fn load_inputs_mode(
         // explicit zeros rather than missing series.
         p2o_obs::register_ingest_counters(o);
         p2o_obs::register_durability_counters(o);
+        p2o_obs::register_rov_counters(o);
     }
 
     // Meta first: the format version gate, then the snapshot date (which

@@ -3,7 +3,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use p2o_bgp::RouteTable;
 use p2o_net::{AddressFamily, AddressSpan, Prefix};
+use p2o_rpki::{RovStatus, ValidatedRepo};
 use p2o_util::{Interner, Json};
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::Registry;
@@ -60,6 +62,14 @@ pub struct PrefixRecord {
     pub final_cluster_label: String,
     /// The final cluster id (for programmatic grouping).
     pub cluster: ClusterId,
+    /// RFC 6811 validation state of the prefix's announcements: the best
+    /// state across its observed origins (see
+    /// [`Prefix2OrgDataset::apply_rov`]).
+    pub rov: RovStatus,
+    /// The asserted organization when a local operator exception overrode
+    /// this record's attribution (RFC 8416-style); equals
+    /// `final_cluster_label` by construction.
+    pub local_exception: Option<String>,
 }
 
 impl PrefixRecord {
@@ -94,7 +104,11 @@ impl PrefixRecord {
                 .map(|&c| Json::from(c))
                 .collect::<Vec<Json>>(),
         );
+        o.set("RPKI ROV", self.rov.as_str());
         o.set("Final Cluster", self.final_cluster_label.as_str());
+        if let Some(org) = &self.local_exception {
+            o.set("Local Exception", org.as_str());
+        }
         o
     }
 }
@@ -163,6 +177,22 @@ impl core::fmt::Display for DatasetMetrics {
             self.pct_v4_space_multi_name
         )
     }
+}
+
+/// The RFC 6811 state attribution reports for `prefix`: the best state
+/// across its observed origins — any authorized origin makes the prefix
+/// `Valid`, otherwise any covering VRP makes it `Invalid`; unrouted or
+/// uncovered prefixes are `NotFound`.
+pub fn rov_for(routes: &RouteTable, rpki: &ValidatedRepo, prefix: &Prefix) -> RovStatus {
+    let mut best = RovStatus::NotFound;
+    for &origin in routes.origins(prefix).into_iter().flatten() {
+        match rpki.rov(prefix, origin) {
+            RovStatus::Valid => return RovStatus::Valid,
+            RovStatus::Invalid => best = RovStatus::Invalid,
+            RovStatus::NotFound => {}
+        }
+    }
+    best
 }
 
 /// The complete Prefix2Org dataset: per-prefix records plus cluster and
@@ -240,6 +270,8 @@ impl Prefix2OrgDataset {
                 origin_asn_clusters: info.asn_clusters.clone(),
                 final_cluster_label: clustering.labels[info.cluster.0 as usize].clone(),
                 cluster: info.cluster,
+                rov: RovStatus::NotFound,
+                local_exception: None,
             });
         }
         for rec in &ownership {
@@ -323,6 +355,68 @@ impl Prefix2OrgDataset {
             cluster_org_names: clustering.cluster_org_names,
             metrics,
         }
+    }
+
+    /// Stamps every record's `rov` field from the routing table and the
+    /// validated RPKI repository (see [`rov_for`]). Runs as a post-pass so
+    /// resolution and clustering stay ROV-agnostic.
+    pub fn apply_rov(&mut self, routes: &RouteTable, rpki: &ValidatedRepo) {
+        for rec in &mut self.records {
+            rec.rov = rov_for(routes, rpki, &rec.prefix);
+        }
+    }
+
+    /// `[valid, invalid, not_found]` record counts, indexed by
+    /// [`RovStatus::as_u8`].
+    pub fn rov_tallies(&self) -> [u64; 3] {
+        let mut tallies = [0u64; 3];
+        for rec in &self.records {
+            tallies[rec.rov.as_u8() as usize] += 1;
+        }
+        tallies
+    }
+
+    /// Number of records overridden by local operator exceptions.
+    pub fn exception_count(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.local_exception.is_some())
+            .count() as u64
+    }
+
+    /// Overrides one record's final attribution with an operator-asserted
+    /// organization (RFC 8416-style `assert` rule). Only the final label is
+    /// replaced — the inferred DO/DC chain, registry, certificate, and ROV
+    /// state stay visible under the override. Returns `false` when the
+    /// prefix is not in the dataset.
+    pub(crate) fn assert_exception(&mut self, prefix: &Prefix, org: &str) -> bool {
+        match self.by_prefix.get(prefix) {
+            Some(&i) => {
+                let rec = &mut self.records[i];
+                rec.final_cluster_label = org.to_string();
+                rec.local_exception = Some(org.to_string());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes one record (operator `filter` rule) and rebuilds the prefix
+    /// and cluster indexes; exact-match lookups then miss and LPM queries
+    /// fall back to any covering record. Returns `false` when the prefix is
+    /// not in the dataset.
+    pub(crate) fn remove_record(&mut self, prefix: &Prefix) -> bool {
+        let Some(idx) = self.by_prefix.remove(prefix) else {
+            return false;
+        };
+        self.records.remove(idx);
+        self.by_prefix.clear();
+        self.by_cluster.clear();
+        for (i, rec) in self.records.iter().enumerate() {
+            self.by_prefix.insert(rec.prefix, i);
+            self.by_cluster.entry(rec.cluster).or_default().push(i);
+        }
+        true
     }
 
     /// The record for a routed prefix.

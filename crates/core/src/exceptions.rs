@@ -1,0 +1,288 @@
+//! RFC 8416-style local operator exceptions (SLURM for attribution).
+//!
+//! Operators who know better than the inference pipeline — a prefix leased
+//! to a customer WHOIS never recorded, a hijacked announcement that must
+//! not be attributed at all — express that knowledge as a JSONL file of
+//! rules:
+//!
+//! ```text
+//! {"prefix": "10.0.0.0/24", "action": "assert", "org": "Acme Corp"}
+//! {"prefix": "192.0.2.0/24", "action": "filter"}
+//! ```
+//!
+//! - `assert` overrides the record's **final attribution** with the given
+//!   organization. The inferred DO/DC chain, registry, RPKI certificate,
+//!   and ROV state stay visible under the override so the operator can
+//!   still see what the pipeline would have said.
+//! - `filter` removes the record entirely (bogus/hijacked announcements);
+//!   lookups then fall back to any covering record.
+//!
+//! Rules are parsed through the lenient-ingest machinery
+//! ([`p2o_util::ingest`]): malformed lines are quarantined with a typed
+//! reason, valid rules survive, and the **last rule per prefix wins**
+//! (deterministic regardless of interleaving). Application is a
+//! deterministic post-resolution pass over the dataset, so the same world
+//! plus the same exception file always yields the same records.
+
+use std::collections::BTreeMap;
+
+use p2o_net::Prefix;
+use p2o_util::ingest::{IngestErrorKind, QuarantinedRecord};
+use p2o_util::Json;
+
+use crate::dataset::Prefix2OrgDataset;
+
+/// What one exception rule does to its prefix's record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExceptionAction {
+    /// Override the final attribution with this organization.
+    Assert(String),
+    /// Drop the record entirely (bogus/hijacked announcement).
+    Filter,
+}
+
+impl ExceptionAction {
+    /// The rule's `action` keyword.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ExceptionAction::Assert(_) => "assert",
+            ExceptionAction::Filter => "filter",
+        }
+    }
+}
+
+/// A parsed exception file: at most one winning rule per prefix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExceptionSet {
+    rules: BTreeMap<Prefix, ExceptionAction>,
+}
+
+/// What applying an [`ExceptionSet`] did, for counters and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExceptionSummary {
+    /// Records whose attribution was overridden by an `assert` rule.
+    pub asserted: u64,
+    /// Records removed by a `filter` rule.
+    pub filtered: u64,
+    /// Rules whose prefix had no record in the dataset.
+    pub unmatched: u64,
+}
+
+impl ExceptionSet {
+    /// An empty set (no file given).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses exception JSONL leniently: every malformed line becomes a
+    /// [`QuarantinedRecord`] (file name left for the caller to stamp),
+    /// valid rules survive, and the last rule per prefix wins.
+    pub fn parse_lenient(text: &str) -> (ExceptionSet, Vec<QuarantinedRecord>) {
+        let mut set = ExceptionSet::new();
+        let mut quarantined = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let offset = (idx + 1) as u64;
+            match parse_rule(line) {
+                Ok((prefix, action)) => {
+                    set.rules.insert(prefix, action);
+                }
+                Err((kind, message)) => {
+                    quarantined.push(QuarantinedRecord::new(
+                        kind,
+                        offset,
+                        line.as_bytes(),
+                        message,
+                    ));
+                }
+            }
+        }
+        (set, quarantined)
+    }
+
+    /// Number of winning rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The winning rule for a prefix, if any.
+    pub fn rule(&self, prefix: &Prefix) -> Option<&ExceptionAction> {
+        self.rules.get(prefix)
+    }
+
+    /// Iterates `(prefix, action)` in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &ExceptionAction)> {
+        self.rules.iter()
+    }
+
+    /// Applies every rule to the dataset (prefix order, so deterministic):
+    /// `assert` overrides the record's final attribution, `filter` removes
+    /// the record. Rules whose prefix is not in the dataset are counted as
+    /// unmatched and ignored.
+    pub fn apply(&self, dataset: &mut Prefix2OrgDataset) -> ExceptionSummary {
+        let mut summary = ExceptionSummary::default();
+        for (prefix, action) in &self.rules {
+            let hit = match action {
+                ExceptionAction::Assert(org) => {
+                    let hit = dataset.assert_exception(prefix, org);
+                    if hit {
+                        summary.asserted += 1;
+                    }
+                    hit
+                }
+                ExceptionAction::Filter => {
+                    let hit = dataset.remove_record(prefix);
+                    if hit {
+                        summary.filtered += 1;
+                    }
+                    hit
+                }
+            };
+            if !hit {
+                summary.unmatched += 1;
+            }
+        }
+        summary
+    }
+}
+
+/// Parses one JSONL rule line into `(prefix, action)`.
+fn parse_rule(line: &str) -> Result<(Prefix, ExceptionAction), (IngestErrorKind, String)> {
+    let doc = Json::parse(line)
+        .map_err(|e| (IngestErrorKind::ExceptionBadLine, format!("not JSON: {e}")))?;
+    if doc.as_object().is_none() {
+        return Err((
+            IngestErrorKind::ExceptionBadLine,
+            "rule is not a JSON object".to_string(),
+        ));
+    }
+    let prefix_text = doc.get("prefix").and_then(Json::as_str).ok_or((
+        IngestErrorKind::ExceptionBadLine,
+        "missing \"prefix\" field".to_string(),
+    ))?;
+    let action_text = doc.get("action").and_then(Json::as_str).ok_or((
+        IngestErrorKind::ExceptionBadLine,
+        "missing \"action\" field".to_string(),
+    ))?;
+    let prefix: Prefix = prefix_text.parse().map_err(|e| {
+        (
+            IngestErrorKind::ExceptionBadRule,
+            format!("bad prefix {prefix_text:?}: {e}"),
+        )
+    })?;
+    let action = match action_text {
+        "assert" => {
+            let org = doc
+                .get("org")
+                .and_then(Json::as_str)
+                .filter(|o| !o.trim().is_empty())
+                .ok_or((
+                    IngestErrorKind::ExceptionBadRule,
+                    "assert rule without an \"org\"".to_string(),
+                ))?;
+            ExceptionAction::Assert(org.to_string())
+        }
+        "filter" => ExceptionAction::Filter,
+        other => {
+            return Err((
+                IngestErrorKind::ExceptionBadRule,
+                format!("unknown action {other:?}"),
+            ))
+        }
+    };
+    Ok((prefix, action))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parses_assert_and_filter_rules() {
+        let text = "\
+{\"prefix\": \"10.0.0.0/24\", \"action\": \"assert\", \"org\": \"Acme Corp\"}\n\
+\n\
+{\"prefix\": \"192.0.2.0/24\", \"action\": \"filter\"}\n";
+        let (set, quarantined) = ExceptionSet::parse_lenient(text);
+        assert!(quarantined.is_empty());
+        assert_eq!(set.len(), 2);
+        assert_eq!(
+            set.rule(&p("10.0.0.0/24")),
+            Some(&ExceptionAction::Assert("Acme Corp".to_string()))
+        );
+        assert_eq!(set.rule(&p("192.0.2.0/24")), Some(&ExceptionAction::Filter));
+        assert_eq!(set.rule(&p("10.0.0.0/25")), None);
+    }
+
+    #[test]
+    fn last_rule_per_prefix_wins() {
+        let text = "\
+{\"prefix\": \"10.0.0.0/24\", \"action\": \"filter\"}\n\
+{\"prefix\": \"10.0.0.0/24\", \"action\": \"assert\", \"org\": \"Acme Corp\"}\n";
+        let (set, quarantined) = ExceptionSet::parse_lenient(text);
+        assert!(quarantined.is_empty());
+        assert_eq!(set.len(), 1);
+        assert_eq!(
+            set.rule(&p("10.0.0.0/24")),
+            Some(&ExceptionAction::Assert("Acme Corp".to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_quarantined_with_typed_reasons() {
+        let text = "\
+this is not json\n\
+[1, 2, 3]\n\
+{\"action\": \"assert\", \"org\": \"No Prefix Inc\"}\n\
+{\"prefix\": \"10.0.0.0/24\"}\n\
+{\"prefix\": \"not-a-prefix\", \"action\": \"filter\"}\n\
+{\"prefix\": \"10.0.0.0/24\", \"action\": \"frobnicate\"}\n\
+{\"prefix\": \"10.0.0.0/24\", \"action\": \"assert\"}\n\
+{\"prefix\": \"10.0.0.0/24\", \"action\": \"assert\", \"org\": \"  \"}\n\
+{\"prefix\": \"10.9.0.0/16\", \"action\": \"assert\", \"org\": \"Survivor LLC\"}\n";
+        let (set, quarantined) = ExceptionSet::parse_lenient(text);
+        // Only the last line is a valid rule; every bad line is captured.
+        assert_eq!(set.len(), 1);
+        assert_eq!(
+            set.rule(&p("10.9.0.0/16")),
+            Some(&ExceptionAction::Assert("Survivor LLC".to_string()))
+        );
+        let kinds: Vec<IngestErrorKind> = quarantined.iter().map(|q| q.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                IngestErrorKind::ExceptionBadLine,
+                IngestErrorKind::ExceptionBadLine,
+                IngestErrorKind::ExceptionBadLine,
+                IngestErrorKind::ExceptionBadLine,
+                IngestErrorKind::ExceptionBadRule,
+                IngestErrorKind::ExceptionBadRule,
+                IngestErrorKind::ExceptionBadRule,
+                IngestErrorKind::ExceptionBadRule,
+            ]
+        );
+        // Offsets are 1-based line numbers of the bad lines.
+        assert_eq!(quarantined[0].offset, 1);
+        assert_eq!(quarantined[4].offset, 5);
+        assert!(quarantined[4].message.contains("not-a-prefix"));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_set() {
+        let (set, quarantined) = ExceptionSet::parse_lenient("");
+        assert!(set.is_empty());
+        assert!(quarantined.is_empty());
+        assert!(ExceptionSet::new().is_empty());
+    }
+}

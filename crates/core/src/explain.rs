@@ -20,6 +20,7 @@ use p2o_obs::DecisionTrace;
 
 use crate::cluster::{Clusterer, MergeEdge};
 use crate::dataset::Prefix2OrgDataset;
+use crate::exceptions::{ExceptionAction, ExceptionSet};
 use crate::pipeline::{Pipeline, PipelineInputs};
 use crate::resolve::Resolver;
 
@@ -75,6 +76,10 @@ fn push_cluster_steps(
             "no covering validated Resource Certificate",
         ),
     }
+    trace.push(
+        "rpki.rov",
+        format!("route origin validation: {}", record.rov.as_str()),
+    );
     if record.origin_asn_clusters.is_empty() {
         trace.push("as2org.clusters", "origin ASNs map to no sibling cluster");
     } else {
@@ -100,14 +105,23 @@ fn push_cluster_steps(
             format!("merged with \"{other}\": {}", edge.evidence),
         );
     }
+    // The inferred label by cluster id: under an operator override the
+    // record's own label carries the asserted org, while this step keeps
+    // showing what the pipeline concluded.
     trace.push(
         "cluster.final",
         format!(
             "final cluster \"{}\" ({} WHOIS name(s))",
-            record.final_cluster_label,
+            dataset.cluster_label(record.cluster),
             dataset.cluster_names(record.cluster).len()
         ),
     );
+    if let Some(org) = &record.local_exception {
+        trace.push(
+            "local_exception",
+            format!("operator rule overrides attribution to \"{org}\""),
+        );
+    }
 }
 
 /// Builds the full decision trace for `prefix` against an already-computed
@@ -125,10 +139,36 @@ pub fn attribution_trace(
     merge_edges: &[MergeEdge],
     prefix: &Prefix,
 ) -> DecisionTrace {
+    attribution_trace_with(inputs, dataset, merge_edges, None, prefix)
+}
+
+/// [`attribution_trace`] with local operator exceptions in view.
+///
+/// `dataset` must already have the exceptions applied (asserted overrides
+/// render from the record itself); the set is only consulted to explain
+/// prefixes a `filter` rule removed — without it a filtered prefix is
+/// indistinguishable from one the pipeline never attributed.
+pub fn attribution_trace_with(
+    inputs: &PipelineInputs<'_>,
+    dataset: &Prefix2OrgDataset,
+    merge_edges: &[MergeEdge],
+    exceptions: Option<&ExceptionSet>,
+    prefix: &Prefix,
+) -> DecisionTrace {
     let (mut trace, resolved) = trace_prelude(inputs, prefix);
-    if resolved {
-        push_cluster_steps(&mut trace, dataset, merge_edges, prefix);
+    if !resolved {
+        return trace;
     }
+    if let Some(set) = exceptions {
+        if matches!(set.rule(prefix), Some(ExceptionAction::Filter)) {
+            trace.push(
+                "local_exception",
+                "filtered as bogus by operator rule: no attribution",
+            );
+            return trace;
+        }
+    }
+    push_cluster_steps(&mut trace, dataset, merge_edges, prefix);
     trace
 }
 
@@ -142,6 +182,18 @@ impl Pipeline {
     /// table are still explained (as a hypothetical mapping); prefixes with
     /// no covering Direct Owner delegation end at a `whois.unresolved` step.
     pub fn explain(&self, inputs: &PipelineInputs<'_>, prefix: &Prefix) -> DecisionTrace {
+        self.explain_with(inputs, None, prefix)
+    }
+
+    /// [`Pipeline::explain`] with local operator exceptions applied, so the
+    /// trace reports overridden attributions (`local_exception` step) and
+    /// filtered prefixes exactly as a build with `--exceptions` would.
+    pub fn explain_with(
+        &self,
+        inputs: &PipelineInputs<'_>,
+        exceptions: Option<&ExceptionSet>,
+        prefix: &Prefix,
+    ) -> DecisionTrace {
         let (trace, resolved) = trace_prelude(inputs, prefix);
         if !resolved {
             return trace;
@@ -150,10 +202,11 @@ impl Pipeline {
         // Re-run resolution over the routed table (plus this prefix, when it
         // is not routed) and cluster with merge evidence, so the final label
         // and every merge touching this owner can be reported.
-        let (dataset, merge_edges) = self.dataset_with_evidence(inputs, Some(prefix));
-        let mut trace = trace;
-        push_cluster_steps(&mut trace, &dataset, &merge_edges, prefix);
-        trace
+        let (mut dataset, merge_edges) = self.dataset_with_evidence(inputs, Some(prefix));
+        if let Some(set) = exceptions {
+            set.apply(&mut dataset);
+        }
+        attribution_trace_with(inputs, &dataset, &merge_edges, exceptions, prefix)
     }
 
     /// Runs resolution and clustering with merge-evidence recording and
@@ -184,13 +237,14 @@ impl Pipeline {
                 inputs.delegations.names(),
             );
         let merge_edges = clustering.merge_edges.clone();
-        let dataset = Prefix2OrgDataset::assemble(
+        let mut dataset = Prefix2OrgDataset::assemble(
             ownership,
             clustering,
             unresolved,
             inputs.routes.all_origins().len(),
             inputs.delegations.names(),
         );
+        dataset.apply_rov(inputs.routes, inputs.rpki);
         (dataset, merge_edges)
     }
 }

@@ -9,6 +9,7 @@
 //! needed to query a snapshot without re-running the pipeline.
 
 use p2o_net::Prefix;
+use p2o_rpki::RovStatus;
 use p2o_util::Json;
 use p2o_whois::alloc::AllocationType;
 use p2o_whois::Registry;
@@ -36,8 +37,13 @@ pub struct ExportRecord {
     pub rpki_certificate: Option<String>,
     /// The origin ASN cluster ids.
     pub origin_asn_clusters: Vec<u32>,
+    /// RFC 6811 validation state of the prefix's announcements.
+    pub rov: RovStatus,
     /// The final cluster label.
     pub final_cluster: String,
+    /// The asserted organization when a local operator exception overrode
+    /// the attribution.
+    pub local_exception: Option<String>,
 }
 
 impl From<&PrefixRecord> for ExportRecord {
@@ -56,7 +62,9 @@ impl From<&PrefixRecord> for ExportRecord {
             base_name: rec.base_name.clone(),
             rpki_certificate: rec.rpki_certificate.clone(),
             origin_asn_clusters: rec.origin_asn_clusters.clone(),
+            rov: rec.rov,
             final_cluster: rec.final_cluster_label.clone(),
+            local_exception: rec.local_exception.clone(),
         }
     }
 }
@@ -109,7 +117,11 @@ impl ExportRecord {
                 .map(|&c| Json::from(c))
                 .collect::<Vec<Json>>(),
         );
+        o.set("rov", self.rov.as_str());
         o.set("final_cluster", self.final_cluster.as_str());
+        if let Some(org) = &self.local_exception {
+            o.set("local_exception", org.as_str());
+        }
         o
     }
 
@@ -172,7 +184,19 @@ impl ExportRecord {
                         .ok_or_else(|| "bad cluster id".to_string())
                 })
                 .collect::<Result<Vec<u32>, String>>()?,
+            // Absent in pre-ROV exports: default NotFound.
+            rov: match doc.get("rov") {
+                Some(Json::Null) | None => RovStatus::NotFound,
+                Some(v) => v
+                    .as_str()
+                    .and_then(RovStatus::parse)
+                    .ok_or("bad rov state")?,
+            },
             final_cluster: str_field(doc, "final_cluster")?.to_string(),
+            local_exception: match doc.get("local_exception") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v.as_str().ok_or("bad local_exception")?.to_string()),
+            },
         })
     }
 }

@@ -37,6 +37,7 @@ use std::path::Path;
 
 use p2o_net::{Prefix, Prefix4, Prefix6};
 use p2o_radix::{freeze_v4, freeze_v6, LpmView4, LpmView6};
+use p2o_rpki::RovStatus;
 use p2o_util::arena::{u128_at, u32_at, u64_at, ArenaIndex, ArenaWriter};
 use p2o_util::atomic::read_framed;
 use p2o_util::interner::{StringBlob, StringBlobBuilder};
@@ -54,8 +55,10 @@ use crate::pipeline::PipelineInputs;
 /// The frozen artifact's file name inside a build directory.
 pub const FROZEN_FILE: &str = "world.p2ob";
 
-/// Interior format version; readers reject anything newer.
-pub const FROZEN_FORMAT_VERSION: u32 = 1;
+/// Interior format version; readers require an exact match (v2 repurposed
+/// two record pad bytes for the ROV state and the local-exception flag, so
+/// a v1 artifact's zeroed pads would silently read as `rov: valid`).
+pub const FROZEN_FORMAT_VERSION: u32 = 2;
 
 /// The kill-point / frame label the artifact is written under.
 pub const FROZEN_LABEL: &str = "frozen";
@@ -190,7 +193,9 @@ pub fn freeze(
         recs.extend_from_slice(&strings.intern(&rec.final_cluster_label).to_le_bytes());
         recs.extend_from_slice(&strings.intern(&provenance).to_le_bytes());
         recs.push(alloc_index(rec.do_alloc));
-        recs.extend_from_slice(&[0u8; 3]); // pad to 8-byte field alignment
+        recs.push(rec.rov.as_u8());
+        recs.push(rec.local_exception.is_some() as u8);
+        recs.push(0); // pad to 8-byte field alignment
         recs.extend_from_slice(&dc_off.to_le_bytes());
         recs.extend_from_slice(&(rec.delegated_customers.len() as u32).to_le_bytes());
         recs.extend_from_slice(&asnc_off.to_le_bytes());
@@ -255,6 +260,12 @@ fn index_sections(payload: &[u8]) -> Result<Sections, String> {
         return Err(format!(
             "frozen format_version {format_version} is newer than this reader \
              (max {FROZEN_FORMAT_VERSION})"
+        ));
+    }
+    if format_version < FROZEN_FORMAT_VERSION {
+        return Err(format!(
+            "frozen format_version {format_version} is older than this reader \
+             (want {FROZEN_FORMAT_VERSION}); rebuild the artifact"
         ));
     }
     let record_count = u32_at(m, 4).expect("meta length checked");
@@ -394,6 +405,12 @@ impl FrozenDataset {
             }
             if recs[base + 60] as usize >= AllocationType::ALL.len() {
                 return Err(err("allocation type index out of range"));
+            }
+            if RovStatus::from_u8(recs[base + 61]).is_none() {
+                return Err(err("rov state byte out of range"));
+            }
+            if recs[base + 62] > 1 {
+                return Err(err("local-exception flag byte out of range"));
             }
             if at(64) as u64 + at(68) as u64 > s.dc_count as u64 {
                 return Err(err("delegated-customer slice out of range"));
@@ -536,6 +553,36 @@ impl FrozenDataset {
         self.pool_slice(self.rec_u32(idx, 80), self.rec_u32(idx, 84))
     }
 
+    /// The ROV state of record `idx`.
+    pub fn rov(&self, idx: u32) -> RovStatus {
+        let recs = &self.payload[self.sections.recs.clone()];
+        RovStatus::from_u8(recs[idx as usize * REC_SIZE + 61]).expect("validated")
+    }
+
+    /// Whether record `idx` carries a local operator override.
+    pub fn has_local_exception(&self, idx: u32) -> bool {
+        let recs = &self.payload[self.sections.recs.clone()];
+        recs[idx as usize * REC_SIZE + 62] == 1
+    }
+
+    /// `[valid, invalid, not_found]` record counts, indexed by
+    /// [`RovStatus::as_u8`] — the frozen counterpart of
+    /// [`Prefix2OrgDataset::rov_tallies`].
+    pub fn rov_tallies(&self) -> [u64; 3] {
+        let mut tallies = [0u64; 3];
+        for idx in 0..self.sections.record_count {
+            tallies[self.rov(idx).as_u8() as usize] += 1;
+        }
+        tallies
+    }
+
+    /// Number of records overridden by local operator exceptions.
+    pub fn exception_count(&self) -> u64 {
+        (0..self.sections.record_count)
+            .filter(|&idx| self.has_local_exception(idx))
+            .count() as u64
+    }
+
     /// Thaws record `idx` into the full [`PrefixRecord`] shape (the cluster
     /// id is not frozen — records get a placeholder id; every Listing-1
     /// field is exact).
@@ -577,6 +624,14 @@ impl FrozenDataset {
             origin_asn_clusters: self.pool_slice(self.rec_u32(idx, 72), self.rec_u32(idx, 76)),
             final_cluster_label: self.rec_str(idx, 52).to_string(),
             cluster: ClusterId(0),
+            rov: RovStatus::from_u8(recs[base + 61]).expect("validated"),
+            // An asserted override replaces the final label with the
+            // asserted org, so the flag byte plus the label reconstruct it.
+            local_exception: if recs[base + 62] == 1 {
+                Some(self.rec_str(idx, 52).to_string())
+            } else {
+                None
+            },
         }
     }
 
@@ -701,7 +756,7 @@ mod tests {
         );
     }
 
-    const GOLDEN_FROZEN_DIGEST: u64 = 0xa53c_2da3_a93c_e147;
+    const GOLDEN_FROZEN_DIGEST: u64 = 0xf511_c084_1386_8e1b;
 
     #[test]
     fn validate_rejects_damage() {

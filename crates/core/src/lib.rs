@@ -57,6 +57,7 @@ pub mod analytics;
 pub mod cluster;
 pub mod dataset;
 pub mod delta;
+pub mod exceptions;
 pub mod explain;
 pub mod export;
 pub mod frozen;
@@ -67,7 +68,8 @@ pub mod resolve;
 pub use cluster::{ClusterId, Clusterer, ClusteringOutput, MergeEdge};
 pub use dataset::{CustomerStep, DatasetMetrics, Prefix2OrgDataset, PrefixRecord};
 pub use delta::{diff, DatasetDelta, OwnerChange};
-pub use explain::attribution_trace;
+pub use exceptions::{ExceptionAction, ExceptionSet, ExceptionSummary};
+pub use explain::{attribution_trace, attribution_trace_with};
 pub use export::{from_jsonl, to_jsonl, ExportRecord};
 pub use frozen::{freeze, FrozenDataset, FROZEN_FILE, FROZEN_FORMAT_VERSION, FROZEN_LABEL};
 pub use leasing::{infer_leasing, LeasingCandidate, LeasingOptions};

@@ -145,13 +145,20 @@ impl Pipeline {
         }
 
         let assemble_timer = obs.map(|o| o.stage("pipeline.assemble"));
-        let dataset = Prefix2OrgDataset::assemble(
+        let mut dataset = Prefix2OrgDataset::assemble(
             ownership,
             clustering,
             unresolved,
             inputs.routes.all_origins().len(),
             inputs.delegations.names(),
         );
+        dataset.apply_rov(inputs.routes, inputs.rpki);
+        if let Some(o) = obs {
+            let [valid, invalid, not_found] = dataset.rov_tallies();
+            o.counter(p2o_obs::ROV_VALID).add(valid);
+            o.counter(p2o_obs::ROV_INVALID).add(invalid);
+            o.counter(p2o_obs::ROV_NOT_FOUND).add(not_found);
+        }
         if let Some(mut t) = assemble_timer {
             t.items(dataset.len() as u64);
             t.finish();

@@ -454,6 +454,31 @@ pub fn register_durability_counters(obs: &Obs) {
     obs.counter(IO_FAULT_EIO);
 }
 
+/// Attributed prefixes whose announced routes validated as RPKI-valid.
+pub const ROV_VALID: &str = "rov.valid";
+/// Attributed prefixes with covering VRPs but no authorizing one.
+pub const ROV_INVALID: &str = "rov.invalid";
+/// Attributed prefixes with no covering VRP at all.
+pub const ROV_NOT_FOUND: &str = "rov.not_found";
+/// Operator exception rules that overrode a record's attribution.
+pub const EXCEPTIONS_ASSERTED: &str = "exceptions.asserted";
+/// Records removed from the dataset by operator filter rules.
+pub const EXCEPTIONS_FILTERED: &str = "exceptions.filtered";
+/// Exception rules that matched no attributed prefix.
+pub const EXCEPTIONS_UNMATCHED: &str = "exceptions.unmatched";
+
+/// Registers the ROV + operator-exception counter family at zero, so runs
+/// without an exception file (or any RPKI coverage) are structurally
+/// identical in reports (same rationale as [`register_ingest_counters`]).
+pub fn register_rov_counters(obs: &Obs) {
+    obs.counter(ROV_VALID);
+    obs.counter(ROV_INVALID);
+    obs.counter(ROV_NOT_FOUND);
+    obs.counter(EXCEPTIONS_ASSERTED);
+    obs.counter(EXCEPTIONS_FILTERED);
+    obs.counter(EXCEPTIONS_UNMATCHED);
+}
+
 /// The `durability` section of a run report: what the crash-safety layer
 /// did this run — atomic writes performed, artifacts verified against the
 /// manifest, torn writes detected, checkpoint decision, injected faults.

@@ -221,6 +221,46 @@ impl RpkiRepository {
         }
     }
 
+    /// Re-signs a certificate with a new validity window, as if the CA had
+    /// really issued it that way: the signature verifies, so validation
+    /// flags only the semantic problem (`Expired`). Children and ROAs keep
+    /// chaining to the same id. Returns false for an unknown id.
+    pub fn reissue_with_validity(&mut self, id: CertId, not_before: u32, not_after: u32) -> bool {
+        let Some(c) = self.certs.get_mut(&id) else {
+            return false;
+        };
+        c.not_before = not_before;
+        c.not_after = not_after;
+        let signer = c.issuer.unwrap_or(c.id);
+        c.signature = c.expected_signature(&signer);
+        true
+    }
+
+    /// Re-signs a certificate with a new resource set (semantic fault
+    /// injection: a correctly signed RFC 3779 overclaim). Returns false for
+    /// an unknown id.
+    pub fn reissue_with_resources(&mut self, id: CertId, resources: IpResourceSet) -> bool {
+        let Some(c) = self.certs.get_mut(&id) else {
+            return false;
+        };
+        c.resources = resources;
+        let signer = c.issuer.unwrap_or(c.id);
+        c.signature = c.expected_signature(&signer);
+        true
+    }
+
+    /// Removes a certificate outright, orphaning its children
+    /// (`UnknownIssuer`) and its ROAs (`RoaBadParent`). Returns false for an
+    /// unknown id.
+    pub fn remove_cert(&mut self, id: CertId) -> bool {
+        if self.certs.remove(&id).is_none() {
+            return false;
+        }
+        self.order.retain(|c| *c != id);
+        self.trust_anchors.retain(|c| *c != id);
+        true
+    }
+
     /// Issues a ROA under `parent` authorizing `asn` to originate `prefixes`.
     /// Refuses when a prefix is outside the parent's resources.
     pub fn issue_roa(
@@ -675,6 +715,72 @@ mod tests {
         assert_eq!(valid.rov(&p("64.0.0.0/10"), 701), RovStatus::NotFound);
         assert!(valid.has_roa_coverage(&p("63.65.0.0/16")));
         assert!(!valid.has_roa_coverage(&p("64.0.0.0/10")));
+    }
+
+    #[test]
+    fn reissue_with_validity_degrades_to_expired_only() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("ARIN", rs(&["63.0.0.0/8"]), D0, D1);
+        let member = repo
+            .issue_cert(ta, "member", rs(&["63.64.0.0/10"]), D0, D1)
+            .unwrap();
+        repo.issue_roa(
+            member,
+            701,
+            vec![RoaPrefix::exact(p("63.64.0.0/10"))],
+            D0,
+            D1,
+        )
+        .unwrap();
+        assert!(repo.reissue_with_validity(member, 20200101, 20210101));
+        let (valid, problems) = repo.validate(TODAY);
+        // The re-signed cert verifies — the only problems are the window
+        // and the ROA losing its parent, never BadSignature.
+        assert_eq!(
+            problems,
+            vec![
+                RepoProblem::Expired { cert: member },
+                RepoProblem::RoaBadParent { asn: 701 },
+            ]
+        );
+        assert_eq!(valid.rov(&p("63.64.0.0/10"), 701), RovStatus::NotFound);
+    }
+
+    #[test]
+    fn reissue_with_resources_degrades_to_overclaim_only() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("ARIN", rs(&["63.0.0.0/8"]), D0, D1);
+        let member = repo
+            .issue_cert(ta, "member", rs(&["63.64.0.0/10"]), D0, D1)
+            .unwrap();
+        assert!(repo.reissue_with_resources(member, rs(&["63.64.0.0/10", "192.0.2.0/24"])));
+        let (valid, problems) = repo.validate(TODAY);
+        assert_eq!(
+            problems,
+            vec![RepoProblem::ResourceOverclaim { cert: member }]
+        );
+        assert!(!valid.covered(&p("63.64.0.0/10")));
+    }
+
+    #[test]
+    fn remove_cert_orphans_children_and_roas() {
+        let mut repo = RpkiRepository::new();
+        let ta = repo.issue_trust_anchor("RIPE", rs(&["80.0.0.0/8"]), D0, D1);
+        let mid = repo
+            .issue_cert(ta, "lir-account", rs(&["80.1.0.0/16"]), D0, D1)
+            .unwrap();
+        let leaf = repo
+            .issue_cert(mid, "customer", rs(&["80.1.2.0/24"]), D0, D1)
+            .unwrap();
+        repo.issue_roa(mid, 12, vec![RoaPrefix::exact(p("80.1.0.0/16"))], D0, D1)
+            .unwrap();
+        assert!(repo.remove_cert(mid));
+        assert!(!repo.remove_cert(mid), "second removal finds nothing");
+        let (valid, problems) = repo.validate(TODAY);
+        assert!(problems.contains(&RepoProblem::UnknownIssuer { cert: leaf }));
+        assert!(problems.contains(&RepoProblem::RoaBadParent { asn: 12 }));
+        assert_eq!(valid.cert_count(), 1); // only the TA
+        let _ = ta;
     }
 
     #[test]

@@ -26,6 +26,40 @@ pub enum RovStatus {
     NotFound,
 }
 
+impl RovStatus {
+    /// All states, in tally/display order.
+    pub const ALL: [RovStatus; 3] = [RovStatus::Valid, RovStatus::Invalid, RovStatus::NotFound];
+
+    /// The canonical lowercase keyword used in JSON exports and metrics
+    /// (`valid` / `invalid` / `not_found`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RovStatus::Valid => "valid",
+            RovStatus::Invalid => "invalid",
+            RovStatus::NotFound => "not_found",
+        }
+    }
+
+    /// Parses the canonical keyword back; `None` for anything else.
+    pub fn parse(s: &str) -> Option<RovStatus> {
+        RovStatus::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Fixed-width encoding for the frozen record byte.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            RovStatus::Valid => 0,
+            RovStatus::Invalid => 1,
+            RovStatus::NotFound => 2,
+        }
+    }
+
+    /// Decodes [`RovStatus::as_u8`]; `None` for out-of-range bytes.
+    pub fn from_u8(b: u8) -> Option<RovStatus> {
+        RovStatus::ALL.into_iter().find(|r| r.as_u8() == b)
+    }
+}
+
 /// Validates route `(prefix, origin)` against a VRP index keyed by ROA
 /// prefix.
 ///
@@ -117,6 +151,65 @@ mod tests {
         // VRP on /8, route on /24: covering() must find the supernet entry.
         let idx = index(&[("10.0.0.0/8", 24, 64512)]);
         assert_eq!(validate(&idx, &p("10.9.9.0/24"), 64512), RovStatus::Valid);
+    }
+
+    #[test]
+    fn family_mismatch_is_not_found_either_direction() {
+        // A v4 route must never be judged against v6 VRPs (and vice
+        // versa): the VRP index is split per family, so the cross-family
+        // query finds no cover at all — NotFound, not Invalid.
+        let v6_only = index(&[("2001:db8::/32", 48, 64512)]);
+        assert_eq!(
+            validate(&v6_only, &p("10.0.0.0/16"), 64512),
+            RovStatus::NotFound
+        );
+        let v4_only = index(&[("10.0.0.0/16", 24, 64512)]);
+        assert_eq!(
+            validate(&v4_only, &p("2001:db8::/32"), 64512),
+            RovStatus::NotFound
+        );
+        // Mixed index: each family is judged only against its own VRPs.
+        let mixed = index(&[("10.0.0.0/16", 24, 64512), ("2001:db8::/32", 48, 64513)]);
+        assert_eq!(validate(&mixed, &p("10.0.1.0/24"), 64512), RovStatus::Valid);
+        assert_eq!(
+            validate(&mixed, &p("2001:db8::/32"), 64512),
+            RovStatus::Invalid
+        );
+    }
+
+    #[test]
+    fn maxlen_boundary_is_inclusive() {
+        // RFC 6811 matching is `len(route) <= maxLength` — the boundary
+        // itself is authorized, one bit longer is not.
+        let idx = index(&[("10.0.0.0/16", 20, 64512)]);
+        assert_eq!(validate(&idx, &p("10.0.0.0/20"), 64512), RovStatus::Valid);
+        assert_eq!(validate(&idx, &p("10.0.0.0/21"), 64512), RovStatus::Invalid);
+    }
+
+    #[test]
+    fn malformed_vrp_with_maxlen_below_prefix_len_rejects_even_exact() {
+        // A bogus VRP whose maxLength is shorter than its own prefix
+        // authorizes nothing — the exact-length announcement is Invalid
+        // (covered, but no match), never Valid.
+        let idx = index(&[("10.0.0.0/24", 16, 64512)]);
+        assert_eq!(validate(&idx, &p("10.0.0.0/24"), 64512), RovStatus::Invalid);
+    }
+
+    #[test]
+    fn wrong_origin_with_cover_is_invalid_not_notfound() {
+        let idx = index(&[("10.0.0.0/16", 24, 64512)]);
+        // Cover exists (within maxlen) but the origin is wrong: Invalid.
+        assert_eq!(validate(&idx, &p("10.0.1.0/24"), 65000), RovStatus::Invalid);
+    }
+
+    #[test]
+    fn status_keyword_and_byte_round_trips() {
+        for status in RovStatus::ALL {
+            assert_eq!(RovStatus::parse(status.as_str()), Some(status));
+            assert_eq!(RovStatus::from_u8(status.as_u8()), Some(status));
+        }
+        assert_eq!(RovStatus::parse("bogus"), None);
+        assert_eq!(RovStatus::from_u8(3), None);
     }
 
     #[test]

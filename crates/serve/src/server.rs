@@ -699,6 +699,7 @@ fn route(state: &Arc<ServerState>, snap: &Arc<Snapshot>, request: &Request) -> R
         ("GET", "/metrics") => {
             let mut text = promexpo::to_prometheus(&state.obs.report());
             text.push_str(&windowed_exposition(state));
+            text.push_str(&snapshot_exposition(snap));
             (200, "text/plain; version=0.0.4", text.into_bytes())
         }
         ("POST", "/reload") => reload(state, snap, &request.body),
@@ -769,10 +770,23 @@ fn health(state: &Arc<ServerState>, snap: &Arc<Snapshot>) -> (u16, &'static str,
     o.set("snapshot", snap.digest.clone());
     o.set("prefixes", snap.len() as u64);
     o.set("frozen", snap.is_frozen());
+    o.set("exceptions", snap.exception_count());
+    o.set("rov", rov_json(snap));
     o.set("uptime_seconds", state.started.elapsed().as_secs());
     o.set("requests_60s", count_60s);
     o.set("rate_60s", round3(rate_60s));
     (200, "application/json", format!("{o}\n").into_bytes())
+}
+
+/// The `{valid, invalid, not_found}` ROV tally object `/health` and
+/// `/status` embed.
+fn rov_json(snap: &Arc<Snapshot>) -> Json {
+    let [valid, invalid, not_found] = snap.rov_tallies();
+    let mut o = Json::object();
+    o.set("valid", valid);
+    o.set("invalid", invalid);
+    o.set("not_found", not_found);
+    o
 }
 
 fn round3(v: f64) -> f64 {
@@ -792,6 +806,8 @@ fn status_page(state: &Arc<ServerState>, snap: &Arc<Snapshot>) -> (u16, &'static
     snapshot.set("generation", state.cell.generation());
     snapshot.set("backing", if snap.is_frozen() { "frozen" } else { "live" });
     snapshot.set("prefixes", snap.len() as u64);
+    snapshot.set("exceptions", snap.exception_count());
+    snapshot.set("rov", rov_json(snap));
     snapshot.set("dir", snap.dir.display().to_string());
     o.set("snapshot", snapshot);
     let mut conns = Json::object();
@@ -973,6 +989,37 @@ fn windowed_exposition(state: &Arc<ServerState>) -> String {
     out.push_str("# HELP p2o_serve_window_rate Rolling-window request rate per endpoint.\n");
     out.push_str("# TYPE p2o_serve_window_rate gauge\n");
     out.push_str(&rates);
+    out
+}
+
+/// Gauges describing the currently served snapshot: ROV state tallies and
+/// the local-exception override count. Rendered per scrape from the
+/// snapshot `Arc` the request pinned, so the series always describe one
+/// consistent snapshot (never a mid-reload mix).
+fn snapshot_exposition(snap: &Arc<Snapshot>) -> String {
+    let [valid, invalid, not_found] = snap.rov_tallies();
+    let mut out = String::new();
+    out.push_str(
+        "# HELP p2o_serve_snapshot_rov Served records per RPKI route origin validation state.\n",
+    );
+    out.push_str("# TYPE p2o_serve_snapshot_rov gauge\n");
+    for (label, v) in [
+        ("valid", valid),
+        ("invalid", invalid),
+        ("not_found", not_found),
+    ] {
+        out.push_str(&format!(
+            "p2o_serve_snapshot_rov{{state=\"{label}\"}} {v}\n"
+        ));
+    }
+    out.push_str(
+        "# HELP p2o_serve_snapshot_exceptions Served records overridden by a local exception.\n",
+    );
+    out.push_str("# TYPE p2o_serve_snapshot_exceptions gauge\n");
+    out.push_str(&format!(
+        "p2o_serve_snapshot_exceptions {}\n",
+        snap.exception_count()
+    ));
     out
 }
 

@@ -31,8 +31,8 @@ use p2o_util::digest::Digest;
 use p2o_util::json::Json;
 use p2o_whois::DelegationTree;
 use prefix2org::{
-    attribution_trace, to_jsonl, ExportRecord, FrozenDataset, MergeEdge, Pipeline, PipelineInputs,
-    Prefix2OrgDataset,
+    attribution_trace_with, to_jsonl, ExceptionSet, ExportRecord, FrozenDataset, MergeEdge,
+    Pipeline, PipelineInputs, Prefix2OrgDataset,
 };
 
 /// The live backing: fully parsed inputs plus the assembled dataset, as
@@ -56,6 +56,9 @@ struct LiveBacking {
     rpki: ValidatedRepo,
     /// Longest-prefix-match index: covering prefix → dataset record index.
     lpm: PrefixMap<usize>,
+    /// Local operator exceptions applied to the dataset (needed so traces
+    /// can explain prefixes a `filter` rule removed).
+    exceptions: ExceptionSet,
 }
 
 /// The frozen backing: one validated `world.p2ob` arena, pinned for the
@@ -101,8 +104,34 @@ impl Snapshot {
         rpki: ValidatedRepo,
         threads: usize,
     ) -> Snapshot {
+        Self::assemble_with(
+            dir,
+            serial,
+            tree,
+            routes,
+            clusters,
+            rpki,
+            threads,
+            ExceptionSet::new(),
+        )
+    }
+
+    /// [`Snapshot::assemble`] with local operator exceptions applied to the
+    /// dataset before the export and LPM index are built, so overridden
+    /// attributions and filtered records are what every endpoint serves.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_with(
+        dir: PathBuf,
+        serial: u64,
+        tree: DelegationTree,
+        routes: RouteTable,
+        clusters: AsnClusters,
+        rpki: ValidatedRepo,
+        threads: usize,
+        exceptions: ExceptionSet,
+    ) -> Snapshot {
         let pipeline = Pipeline::with_threads(threads.max(1));
-        let (dataset, merge_edges) = {
+        let (mut dataset, merge_edges) = {
             let inputs = PipelineInputs {
                 delegations: &tree,
                 routes: &routes,
@@ -111,6 +140,7 @@ impl Snapshot {
             };
             pipeline.dataset_with_evidence(&inputs, None)
         };
+        exceptions.apply(&mut dataset);
         let jsonl = to_jsonl(&dataset);
         let records = prefix2org::from_jsonl(&jsonl).expect("own export parses back");
         let digest = Digest::of_bytes(jsonl.as_bytes()).short();
@@ -132,6 +162,7 @@ impl Snapshot {
                 clusters,
                 rpki,
                 lpm,
+                exceptions,
             })),
         }
     }
@@ -193,10 +224,29 @@ impl Snapshot {
         }
     }
 
+    /// ROV state tallies of the served dataset: `[valid, invalid,
+    /// not_found]`, indexed by [`p2o_rpki::RovStatus::as_u8`].
+    pub fn rov_tallies(&self) -> [u64; 3] {
+        match &self.backing {
+            Backing::Live(live) => live.dataset.rov_tallies(),
+            Backing::Frozen(f) => f.frozen.rov_tallies(),
+        }
+    }
+
+    /// How many served records carry a local operator override.
+    pub fn exception_count(&self) -> u64 {
+        match &self.backing {
+            Backing::Live(live) => live.dataset.exception_count(),
+            Backing::Frozen(f) => f.frozen.exception_count(),
+        }
+    }
+
     /// Answers one lookup: longest-match `query` against the dataset and
-    /// return the full response object `{query, matched, record, origins,
-    /// moas, provenance, serial, snapshot}`, or `None` when no routed
-    /// prefix in the snapshot covers the query.
+    /// return the full response object `{query, matched, record, rov,
+    /// origins, moas, provenance, serial, snapshot}` — plus `rule:
+    /// "local_exception"` when the matched attribution was overridden by an
+    /// operator rule — or `None` when no routed prefix in the snapshot
+    /// covers the query.
     ///
     /// The `provenance` string is the rendered decision trace. A live
     /// backing renders it for the query itself — byte-for-byte what
@@ -205,7 +255,7 @@ impl Snapshot {
     /// prefix; for a strictly more-specific query the trace documents the
     /// covering record it was attributed to).
     pub fn lookup(&self, query: &Prefix) -> Option<Json> {
-        let (matched, record_json, origins, provenance) = match &self.backing {
+        let (matched, record_json, origins, provenance, rov, overridden) = match &self.backing {
             Backing::Live(live) => {
                 let (matched, &idx) = live.lpm.longest_match(query)?;
                 let record = &live.dataset.records()[idx];
@@ -215,13 +265,26 @@ impl Snapshot {
                     asn_clusters: &live.clusters,
                     rpki: &live.rpki,
                 };
-                let trace = attribution_trace(&inputs, &live.dataset, &live.merge_edges, query);
+                let trace = attribution_trace_with(
+                    &inputs,
+                    &live.dataset,
+                    &live.merge_edges,
+                    Some(&live.exceptions),
+                    query,
+                );
                 let origins: Vec<u32> = live
                     .routes
                     .origins(&matched)
                     .map(|set| set.iter().copied().collect())
                     .unwrap_or_default();
-                (matched, record.listing1_json(), origins, trace.render())
+                (
+                    matched,
+                    record.listing1_json(),
+                    origins,
+                    trace.render(),
+                    record.rov,
+                    record.local_exception.is_some(),
+                )
             }
             Backing::Frozen(f) => {
                 let (matched, idx) = f.frozen.lookup(query)?;
@@ -230,6 +293,8 @@ impl Snapshot {
                     f.frozen.listing1_json(idx),
                     f.frozen.origins(idx),
                     f.frozen.provenance(idx).to_string(),
+                    f.frozen.rov(idx),
+                    f.frozen.has_local_exception(idx),
                 )
             }
         };
@@ -239,6 +304,10 @@ impl Snapshot {
         out.set("serial", self.serial);
         out.set("snapshot", self.digest.clone());
         out.set("record", record_json);
+        out.set("rov", rov.as_str());
+        if overridden {
+            out.set("rule", "local_exception");
+        }
         out.set(
             "origins",
             Json::Arr(origins.iter().map(|&a| Json::from(a)).collect()),

@@ -111,6 +111,150 @@ fn readers_see_exactly_one_snapshot_and_never_lock_in_steady_state() {
     );
 }
 
+/// `/reload` with a changed exceptions file (ISSUE 9 satellite): a good
+/// reload makes operator overrides visible atomically — response `rule`,
+/// record fields, provenance, `/health` tallies all at once — while a
+/// damaged rule file is rejected with 503 and the old snapshot (overrides
+/// included) keeps serving.
+#[test]
+fn reload_applies_and_rejects_exception_files() {
+    use std::fs;
+
+    let tmp = std::env::temp_dir().join(format!("p2o-swap-exc-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&tmp);
+    fs::create_dir_all(&tmp).unwrap();
+    let exc_path = tmp.join("exceptions.jsonl");
+
+    let initial = snapshot_from_seed(41, 0);
+    let prefixes_before = initial.records().len() as u64;
+    let victim = initial.records()[0].prefix;
+    // Mirrors the CLI's serve loader: re-read the rule file on every load
+    // and refuse it wholesale when any line is rejected, so a torn file
+    // can delay an update but never changes an answer.
+    let exc_for_loader = exc_path.clone();
+    let loader: p2o_serve::SnapshotLoader = Arc::new(move |_dir: &std::path::Path| {
+        let text = std::fs::read_to_string(&exc_for_loader)
+            .map_err(|e| format!("reading exceptions: {e}"))?;
+        let (set, rejected) = prefix2org::ExceptionSet::parse_lenient(&text);
+        if !rejected.is_empty() {
+            return Err(format!(
+                "exceptions file: {} rejected line(s)",
+                rejected.len()
+            ));
+        }
+        let world = p2o_synth::World::generate(p2o_synth::WorldConfig::tiny(41));
+        let built = world.build_inputs();
+        Ok(Snapshot::assemble_with(
+            PathBuf::from("seed-41"),
+            0,
+            built.tree,
+            built.routes,
+            built.clusters,
+            built.rpki,
+            1,
+            set,
+        ))
+    });
+    let server = p2o_serve::spawn(p2o_serve::ServerConfig::default(), initial, loader)
+        .expect("server spawns");
+    let mut client = p2o_serve::HttpClient::connect(server.addr).expect("connect");
+    let path = format!("/prefix/{}", victim.to_string().replace('/', "%2f"));
+
+    // Boot snapshot: no overrides, but the rov key is always present.
+    let resp = client.get(&path).expect("lookup");
+    assert_eq!(resp.status, 200);
+    let body = p2o_util::Json::parse(&resp.text()).expect("json body");
+    assert!(body.get("rule").is_none(), "no override before reload");
+    assert!(body.get("rov").and_then(|j| j.as_str()).is_some());
+    let health = p2o_util::Json::parse(&client.get("/health").expect("health").text()).unwrap();
+    assert_eq!(
+        health.get("exceptions").and_then(p2o_util::Json::as_u64),
+        Some(0)
+    );
+
+    // A good rule file: the reload lands the override atomically.
+    fs::write(
+        &exc_path,
+        format!(
+            "{{\"prefix\":\"{victim}\",\"action\":\"assert\",\"org\":\"Operator Override LLC\"}}\n"
+        ),
+    )
+    .unwrap();
+    let resp = client.post("/reload", b"").expect("reload");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let resp = client.get(&path).expect("lookup");
+    assert_eq!(resp.status, 200);
+    let body = p2o_util::Json::parse(&resp.text()).expect("json body");
+    assert_eq!(body.get("serial").and_then(p2o_util::Json::as_u64), Some(1));
+    assert_eq!(
+        body.get("rule").and_then(|j| j.as_str()),
+        Some("local_exception")
+    );
+    let record = body.get("record").expect("record");
+    assert_eq!(
+        record.get("Final Cluster").and_then(|j| j.as_str()),
+        Some("Operator Override LLC")
+    );
+    assert_eq!(
+        record.get("Local Exception").and_then(|j| j.as_str()),
+        Some("Operator Override LLC")
+    );
+    let provenance = body.get("provenance").and_then(|j| j.as_str()).unwrap();
+    assert!(provenance.contains("local_exception"), "{provenance}");
+    let health = p2o_util::Json::parse(&client.get("/health").expect("health").text()).unwrap();
+    assert_eq!(
+        health.get("exceptions").and_then(p2o_util::Json::as_u64),
+        Some(1)
+    );
+    assert!(health.get("rov").and_then(|r| r.get("not_found")).is_some());
+    let metrics = client.get("/metrics").expect("metrics").text();
+    assert!(
+        metrics.contains("p2o_serve_snapshot_exceptions 1"),
+        "{metrics}"
+    );
+
+    // A damaged rule file: 503, reload_failures counts it, and the old
+    // snapshot — override included — keeps serving at the same serial.
+    fs::write(&exc_path, b"{\"prefix\":\"10.9.9.0/24\",\"act\n").unwrap();
+    let resp = client.post("/reload", b"").expect("reload");
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(resp.text().contains("rejected"), "{}", resp.text());
+    let resp = client.get(&path).expect("lookup");
+    let body = p2o_util::Json::parse(&resp.text()).expect("json body");
+    assert_eq!(body.get("serial").and_then(p2o_util::Json::as_u64), Some(1));
+    assert_eq!(
+        body.get("rule").and_then(|j| j.as_str()),
+        Some("local_exception")
+    );
+    let metrics = client.get("/metrics").expect("metrics").text();
+    assert!(
+        metrics.contains("p2o_serve_reload_failures_total 1"),
+        "{metrics}"
+    );
+
+    // A filter rule: the record disappears from the served table.
+    fs::write(
+        &exc_path,
+        format!("{{\"prefix\":\"{victim}\",\"action\":\"filter\"}}\n"),
+    )
+    .unwrap();
+    let resp = client.post("/reload", b"").expect("reload");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let health = p2o_util::Json::parse(&client.get("/health").expect("health").text()).unwrap();
+    assert_eq!(
+        health.get("prefixes").and_then(p2o_util::Json::as_u64),
+        Some(prefixes_before - 1)
+    );
+    let resp = client.get(&path).expect("lookup");
+    if resp.status == 200 {
+        let body = p2o_util::Json::parse(&resp.text()).expect("json body");
+        let matched = body.get("matched").and_then(|j| j.as_str()).unwrap();
+        assert_ne!(matched, victim.to_string(), "filtered record still served");
+    }
+    server.shutdown();
+    let _ = fs::remove_dir_all(&tmp);
+}
+
 /// The same invariant end-to-end: concurrent HTTP clients vs `/reload`.
 #[test]
 fn http_responses_stay_snapshot_consistent_across_reloads() {

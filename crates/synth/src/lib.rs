@@ -31,6 +31,7 @@
 //! Everything is seeded: the same [`WorldConfig`] always produces the same
 //! world, bit for bit.
 
+pub mod adversary;
 pub mod carver;
 pub mod config;
 pub mod corrupt;

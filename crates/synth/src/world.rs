@@ -189,6 +189,7 @@ impl World {
             // corrupted runs stay structurally identical.
             p2o_obs::register_ingest_counters(o);
             p2o_obs::register_durability_counters(o);
+            p2o_obs::register_rov_counters(o);
             db.instrument(o);
         }
         for dump in &self.whois_dumps {

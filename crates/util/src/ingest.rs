@@ -31,6 +31,8 @@ pub enum IngestLayer {
     Whois,
     /// RPKI repository JSONL (offsets are 1-based line numbers).
     Rpki,
+    /// Operator exception JSONL (offsets are 1-based line numbers).
+    Exception,
 }
 
 impl IngestLayer {
@@ -40,6 +42,7 @@ impl IngestLayer {
             IngestLayer::Mrt => "mrt",
             IngestLayer::Whois => "whois",
             IngestLayer::Rpki => "rpki",
+            IngestLayer::Exception => "exception",
         }
     }
 
@@ -47,12 +50,17 @@ impl IngestLayer {
     pub fn offset_unit(self) -> &'static str {
         match self {
             IngestLayer::Mrt => "byte",
-            IngestLayer::Whois | IngestLayer::Rpki => "line",
+            IngestLayer::Whois | IngestLayer::Rpki | IngestLayer::Exception => "line",
         }
     }
 
     /// All layers, in report order.
-    pub const ALL: [IngestLayer; 3] = [IngestLayer::Mrt, IngestLayer::Whois, IngestLayer::Rpki];
+    pub const ALL: [IngestLayer; 4] = [
+        IngestLayer::Mrt,
+        IngestLayer::Whois,
+        IngestLayer::Rpki,
+        IngestLayer::Exception,
+    ];
 }
 
 /// The typed error taxonomy: every way a record can be rejected.
@@ -81,6 +89,11 @@ pub enum IngestErrorKind {
     RpkiBadResource,
     /// An RPKI line declares an unknown object type.
     RpkiBadObject,
+    /// An exception JSONL line is not valid JSON or is missing fields.
+    ExceptionBadLine,
+    /// An exception rule carries an unparseable prefix, an unknown action,
+    /// or an `assert` without an org.
+    ExceptionBadRule,
 }
 
 impl IngestErrorKind {
@@ -98,6 +111,8 @@ impl IngestErrorKind {
             IngestErrorKind::RpkiBadLine => "RpkiBadLine",
             IngestErrorKind::RpkiBadResource => "RpkiBadResource",
             IngestErrorKind::RpkiBadObject => "RpkiBadObject",
+            IngestErrorKind::ExceptionBadLine => "ExceptionBadLine",
+            IngestErrorKind::ExceptionBadRule => "ExceptionBadRule",
         }
     }
 
@@ -115,6 +130,8 @@ impl IngestErrorKind {
             IngestErrorKind::RpkiBadLine => "rpki_bad_line",
             IngestErrorKind::RpkiBadResource => "rpki_bad_resource",
             IngestErrorKind::RpkiBadObject => "rpki_bad_object",
+            IngestErrorKind::ExceptionBadLine => "exception_bad_line",
+            IngestErrorKind::ExceptionBadRule => "exception_bad_rule",
         }
     }
 
@@ -132,11 +149,14 @@ impl IngestErrorKind {
             IngestErrorKind::RpkiBadLine
             | IngestErrorKind::RpkiBadResource
             | IngestErrorKind::RpkiBadObject => IngestLayer::Rpki,
+            IngestErrorKind::ExceptionBadLine | IngestErrorKind::ExceptionBadRule => {
+                IngestLayer::Exception
+            }
         }
     }
 
     /// Every variant, in taxonomy order (counter registration order).
-    pub const ALL: [IngestErrorKind; 11] = [
+    pub const ALL: [IngestErrorKind; 13] = [
         IngestErrorKind::MrtTruncated,
         IngestErrorKind::MrtBadType,
         IngestErrorKind::MrtBadLength,
@@ -148,6 +168,8 @@ impl IngestErrorKind {
         IngestErrorKind::RpkiBadLine,
         IngestErrorKind::RpkiBadResource,
         IngestErrorKind::RpkiBadObject,
+        IngestErrorKind::ExceptionBadLine,
+        IngestErrorKind::ExceptionBadRule,
     ];
 
     /// Inverse of [`name`](Self::name), for report round-trips.

@@ -17,7 +17,7 @@ use prefix2org::{Pipeline, PipelineInputs};
 const GOLDEN_SEED: u64 = 0x601D;
 
 /// FNV-1a digest of the full JSONL export for the golden world.
-const GOLDEN_EXPORT_DIGEST: &str = "88:B2:0D:A8:2A:AB:71:70";
+const GOLDEN_EXPORT_DIGEST: &str = "BE:51:13:3B:F5:75:F9:F9";
 
 /// Every deterministic counter of the run, in registration order. The
 /// `ingest.quarantined*` family is pinned at zero: a clean golden world
@@ -27,6 +27,7 @@ const GOLDEN_COUNTERS: &[(&str, u64)] = &[
     ("ingest.quarantined.mrt", 0),
     ("ingest.quarantined.whois", 0),
     ("ingest.quarantined.rpki", 0),
+    ("ingest.quarantined.exception", 0),
     ("ingest.quarantined.mrt_truncated", 0),
     ("ingest.quarantined.mrt_bad_type", 0),
     ("ingest.quarantined.mrt_bad_length", 0),
@@ -38,6 +39,8 @@ const GOLDEN_COUNTERS: &[(&str, u64)] = &[
     ("ingest.quarantined.rpki_bad_line", 0),
     ("ingest.quarantined.rpki_bad_resource", 0),
     ("ingest.quarantined.rpki_bad_object", 0),
+    ("ingest.quarantined.exception_bad_line", 0),
+    ("ingest.quarantined.exception_bad_rule", 0),
     // The durability family is likewise pinned at zero: an in-process
     // golden build performs no atomic writes, resumes, or fault injection,
     // but the counters must still be registered.
@@ -49,6 +52,15 @@ const GOLDEN_COUNTERS: &[(&str, u64)] = &[
     ("io.fault.short_write", 0),
     ("io.fault.enospc", 0),
     ("io.fault.eio", 0),
+    // The ROV tallies are pinned nonzero (the golden world's RPKI
+    // repository covers most routed prefixes); the exception counters stay
+    // zero without an exception file but must be registered.
+    ("rov.valid", 101),
+    ("rov.invalid", 23),
+    ("rov.not_found", 214),
+    ("exceptions.asserted", 0),
+    ("exceptions.filtered", 0),
+    ("exceptions.unmatched", 0),
     ("whois.records", 293),
     ("whois.malformed", 0),
     ("whois.unresolved_handles", 0),
