@@ -235,6 +235,18 @@ fn decode_rib_body(
     }))
 }
 
+/// Length in bytes of the MRT record starting at `buf[0]` (12-byte header
+/// plus body), or `None` when fewer than 12 header bytes are available.
+/// The streaming (`--spill`) loader walks record boundaries with this so
+/// it can shard a dump into record-aligned chunks without decoding bodies.
+pub fn record_frame_len(buf: &[u8]) -> Option<usize> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let body_len = u32::from_be_bytes(buf[8..12].try_into().unwrap()) as usize;
+    Some(12 + body_len)
+}
+
 impl MrtReader {
     /// Opens a dump and parses the leading PEER_INDEX_TABLE.
     pub fn new(data: Bytes) -> Result<Self, MrtParseError> {
@@ -707,6 +719,26 @@ mod tests {
 
     fn p(s: &str) -> Prefix {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn record_frame_len_walks_whole_dumps() {
+        let mut w = MrtWriter::new(0, 1, &peers());
+        w.push(p("203.0.113.0/24"), &[entry(0, &[3356, 64512])]);
+        w.push(p("2001:db8::/32"), &[entry(1, &[174, 64513])]);
+        let data = w.finish();
+        // Walking frame by frame must land exactly on the end.
+        let mut off = 0usize;
+        let mut frames = 0usize;
+        while off < data.len() {
+            let len = record_frame_len(&data[off..]).expect("header available");
+            assert!(off + len <= data.len());
+            off += len;
+            frames += 1;
+        }
+        assert_eq!(off, data.len());
+        assert_eq!(frames, 3, "peer table + two RIB records");
+        assert_eq!(record_frame_len(&data[..11]), None);
     }
 
     fn entry(peer: u16, path: &[u32]) -> RibEntry {

@@ -202,6 +202,7 @@ pub fn inputs_digest_with(
     strict: bool,
     quarantine_samples: usize,
     exceptions: Option<&[u8]>,
+    mem: crate::store::MemOptions,
 ) -> Result<u64, String> {
     let mut d = Digest::of_bytes(b"p2o-build-inputs-v1");
     for path in input_files(dir) {
@@ -221,6 +222,19 @@ pub fn inputs_digest_with(
     ]));
     if let Some(content) = exceptions {
         d = d.chain(Digest::of_parts([b"exceptions".as_slice(), content]));
+    }
+    // The memory options change how the inputs are ingested (spill runs vs
+    // whole-file reads) but not the output bytes; they still participate so
+    // a --resume across a mode change honestly re-proves the equivalence.
+    // Chained only when non-default, so digests of plain builds are
+    // unchanged across this addition.
+    let budget = mem.budget.unwrap_or(0);
+    if mem.spill || budget != 0 {
+        d = d.chain(Digest::of_parts([
+            b"mem".as_slice(),
+            &[mem.spill as u8][..],
+            &budget.to_le_bytes(),
+        ]));
     }
     Ok(d.0)
 }
@@ -243,6 +257,7 @@ pub fn canonical_inputs_digest_with(
         false,
         p2o_util::ingest::DEFAULT_QUARANTINE_SAMPLES,
         exceptions,
+        crate::store::MemOptions::default(),
     )
 }
 
@@ -300,44 +315,96 @@ mod tests {
 
     #[test]
     fn inputs_digest_tracks_files_and_options() {
+        use crate::store::MemOptions;
+
         let dir = tmp_dir("digest");
         let vfs = Vfs::real();
+        let inmem = MemOptions::default();
         fs::create_dir_all(dir.join("whois")).unwrap();
         fs::write(dir.join("meta.tsv"), b"seed\t1\n").unwrap();
         fs::write(dir.join("whois/ARIN.txt"), b"NetRange: x\n").unwrap();
 
-        let base = inputs_digest_with(&vfs, &dir, false, 8, None).unwrap();
+        let base = inputs_digest_with(&vfs, &dir, false, 8, None, inmem).unwrap();
         assert_eq!(
             base,
-            inputs_digest_with(&vfs, &dir, false, 8, None).unwrap()
+            inputs_digest_with(&vfs, &dir, false, 8, None, inmem).unwrap()
         );
         // Content change, new file, and option changes all move the digest.
         fs::write(dir.join("meta.tsv"), b"seed\t2\n").unwrap();
-        let changed = inputs_digest_with(&vfs, &dir, false, 8, None).unwrap();
+        let changed = inputs_digest_with(&vfs, &dir, false, 8, None, inmem).unwrap();
         assert_ne!(base, changed);
         fs::write(dir.join("whois/RIPE.txt"), b"inetnum: y\n").unwrap();
-        let added = inputs_digest_with(&vfs, &dir, false, 8, None).unwrap();
+        let added = inputs_digest_with(&vfs, &dir, false, 8, None, inmem).unwrap();
         assert_ne!(changed, added);
         assert_ne!(
             added,
-            inputs_digest_with(&vfs, &dir, true, 8, None).unwrap()
+            inputs_digest_with(&vfs, &dir, true, 8, None, inmem).unwrap()
         );
         assert_ne!(
             added,
-            inputs_digest_with(&vfs, &dir, false, 9, None).unwrap()
+            inputs_digest_with(&vfs, &dir, false, 9, None, inmem).unwrap()
         );
         // Exceptions content participates: presence and edits both move
         // the digest; the same content always digests the same.
         let rule = br#"{"prefix":"10.0.0.0/24","action":"filter"}"#;
-        let with_exc = inputs_digest_with(&vfs, &dir, false, 8, Some(rule)).unwrap();
+        let with_exc = inputs_digest_with(&vfs, &dir, false, 8, Some(rule), inmem).unwrap();
         assert_ne!(added, with_exc);
         assert_eq!(
             with_exc,
-            inputs_digest_with(&vfs, &dir, false, 8, Some(rule)).unwrap()
+            inputs_digest_with(&vfs, &dir, false, 8, Some(rule), inmem).unwrap()
         );
         assert_ne!(
             with_exc,
-            inputs_digest_with(&vfs, &dir, false, 8, Some(b"other")).unwrap()
+            inputs_digest_with(&vfs, &dir, false, 8, Some(b"other"), inmem).unwrap()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inputs_digest_tracks_memory_options() {
+        use crate::store::MemOptions;
+
+        let dir = tmp_dir("memdigest");
+        let vfs = Vfs::real();
+        fs::write(dir.join("meta.tsv"), b"seed\t1\n").unwrap();
+        let digest = |mem: MemOptions| inputs_digest_with(&vfs, &dir, false, 8, None, mem).unwrap();
+
+        let inmem = digest(MemOptions::default());
+        let spill = digest(MemOptions {
+            spill: true,
+            ..MemOptions::default()
+        });
+        let budgeted = digest(MemOptions {
+            budget: Some(1 << 20),
+            ..MemOptions::default()
+        });
+        let both = digest(MemOptions {
+            spill: true,
+            budget: Some(1 << 20),
+            strict: false,
+        });
+        // Switching spill on, setting a budget, or changing the budget all
+        // invalidate a checkpoint; --strict-mem alone does not (it only
+        // changes whether an overrun aborts, never the ingest behavior).
+        assert_ne!(inmem, spill);
+        assert_ne!(inmem, budgeted);
+        assert_ne!(spill, both);
+        assert_ne!(budgeted, both);
+        assert_ne!(
+            both,
+            digest(MemOptions {
+                spill: true,
+                budget: Some(2 << 20),
+                strict: false,
+            })
+        );
+        assert_eq!(
+            budgeted,
+            digest(MemOptions {
+                budget: Some(1 << 20),
+                strict: true,
+                spill: false,
+            })
         );
         let _ = fs::remove_dir_all(&dir);
     }

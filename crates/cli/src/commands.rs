@@ -49,7 +49,8 @@ pub fn generate(args: &Parsed) -> Result<(), CliError> {
         "tiny" => WorldConfig::tiny(seed),
         "default" => WorldConfig::default_scale(seed),
         "bench" => WorldConfig::bench_scale(seed),
-        other => return Err(format!("unknown scale {other:?} (tiny|default|bench)").into()),
+        "xl" => WorldConfig::xl_scale(seed),
+        other => return Err(format!("unknown scale {other:?} (tiny|default|bench|xl)").into()),
     }
     .with_transfers(transfers);
 
@@ -227,6 +228,14 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
     let quarantine_samples = args
         .get_num::<usize>("quarantine-samples")?
         .unwrap_or(DEFAULT_QUARANTINE_SAMPLES);
+    let mem = store::MemOptions {
+        spill: args.has("spill"),
+        budget: args.get_num::<u64>("mem-budget")?,
+        strict: args.has("strict-mem"),
+    };
+    if mem.strict && mem.budget.is_none() {
+        return Err("--strict-mem needs --mem-budget BYTES to enforce".into());
+    }
     let report_path = args.get("report");
     let trace_path = args.get("trace");
     let metrics_path = args.get("metrics");
@@ -285,6 +294,7 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         strict,
         quarantine_samples,
         exceptions_text.as_deref().map(str::as_bytes),
+        mem,
     )?;
     let (ckpt_decision, stamp_torn) = if args.has("resume") {
         match evaluate_resume(&vfs, out, inputs_digest, &requested, report_to_stdout) {
@@ -312,9 +322,10 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         obs.as_ref().expect("obs created above").enable_tracing();
     }
 
-    let outcome =
-        store::load_inputs_mode(&vfs, dir, obs.as_ref(), threads, mode).map_err(|e| match e {
+    let outcome = store::load_inputs_budgeted(&vfs, dir, obs.as_ref(), threads, mode, mem)
+        .map_err(|e| match e {
             store::LoadError::Ingest(err) => CliError::Ingest(err.to_string()),
+            store::LoadError::Budget(msg) => CliError::Ingest(msg),
             store::LoadError::Other(msg) => CliError::General(msg),
         })?;
     let store::LoadOutcome {
@@ -322,7 +333,23 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
         mut quarantine,
         torn,
         manifest_verified,
+        memory,
     } = outcome;
+    if memory.mode != "in-memory" {
+        eprintln!(
+            "mem: {} build: peak working set {} bytes (budget {}), {} spill run(s), \
+             {} bytes spilled",
+            memory.mode,
+            memory.peak_bytes,
+            if memory.budget_bytes == 0 {
+                "unlimited".to_string()
+            } else {
+                memory.budget_bytes.to_string()
+            },
+            memory.spill_runs_created,
+            memory.spill_bytes_written,
+        );
+    }
     if !exception_rejects.is_empty() {
         let file = exceptions_path.unwrap_or("exceptions");
         eprintln!(
@@ -509,6 +536,7 @@ pub fn build(args: &Parsed) -> Result<(), CliError> {
             checkpoint: ckpt_decision.to_string(),
             faults_injected: io.faults_injected(),
         });
+        report.memory = Some(memory.clone());
         if let Some(path) = report_path {
             let text = report.to_json_string();
             if report_to_stdout {
@@ -598,12 +626,22 @@ pub fn fsck(args: &Parsed) -> Result<(), CliError> {
         .or_else(|| args.get("in"))
         .ok_or("fsck needs a directory argument (fsck DIR)")?;
     let vfs = Vfs::from_env().map_err(CliError::General)?;
-    let report = fsck::audit(&vfs, Path::new(dir))?;
+    let mut report = fsck::audit(&vfs, Path::new(dir))?;
     for note in &report.notes {
         eprintln!("note: {note}");
     }
     for finding in &report.findings {
         println!("{finding}");
+    }
+    if args.has("gc") {
+        let removed = fsck::gc(&vfs, Path::new(dir))?;
+        for path in &removed {
+            println!("gc: removed {path}");
+        }
+        eprintln!("gc: removed {} debris file(s)", removed.len());
+        // The exit code reflects the directory *after* collection: debris
+        // that --gc swept is no longer damage, anything else still is.
+        report = fsck::audit(&vfs, Path::new(dir))?;
     }
     if report.findings.is_empty() {
         println!("{dir}: ok ({} artifacts verified)", report.verified);

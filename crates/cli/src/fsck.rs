@@ -25,6 +25,7 @@ use std::path::{Path, PathBuf};
 
 use p2o_util::atomic;
 use p2o_util::manifest::Manifest;
+use p2o_util::spill;
 use p2o_util::tsv;
 use p2o_util::vfs::Vfs;
 
@@ -76,6 +77,11 @@ pub fn audit(vfs: &Vfs, dir: &Path) -> Result<FsckReport, String> {
         if atomic::is_tmp_path(path) {
             report.findings.push(format!(
                 "{}: leftover tmp file from an interrupted atomic write",
+                rel(path)
+            ));
+        } else if spill::is_spill_path(path) {
+            report.findings.push(format!(
+                "{}: orphaned spill run from an interrupted streaming build",
                 rel(path)
             ));
         } else if path.extension().is_some_and(|x| x == "ckpt") {
@@ -171,6 +177,46 @@ pub fn audit(vfs: &Vfs, dir: &Path) -> Result<FsckReport, String> {
     Ok(report)
 }
 
+/// `fsck --gc`: delete the *removable* debris classes — leftover
+/// `*.p2o-tmp` files and orphaned `*.spill` runs — and return the
+/// relative paths removed, sorted. Both classes are by construction
+/// never the only copy of anything (a tmp never replaced its target, a
+/// spill run is re-derivable from the inputs), so deleting them is safe.
+/// Damage that needs judgement (torn artifacts, bad stamps, manifest
+/// mismatches) is left alone for the audit to keep reporting.
+pub fn gc(vfs: &Vfs, dir: &Path) -> Result<Vec<String>, String> {
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let rel = |path: &Path| -> String {
+        path.strip_prefix(dir)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/")
+    };
+    let mut files = Vec::new();
+    walk(dir, &mut files);
+    let mut removed = Vec::new();
+    for path in &files {
+        if atomic::is_tmp_path(path) || spill::is_spill_path(path) {
+            vfs.remove_file(path)
+                .map_err(|e| format!("removing {}: {e}", path.display()))?;
+            removed.push(rel(path));
+        }
+    }
+    // Drop the spill directory itself once nothing is left inside.
+    let sdir = spill::spill_dir(dir);
+    if sdir.is_dir()
+        && std::fs::read_dir(&sdir)
+            .map(|mut d| d.next().is_none())
+            .unwrap_or(false)
+    {
+        let _ = vfs.remove_dir(&sdir);
+    }
+    removed.sort();
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,14 +248,16 @@ mod tests {
         let dir = tmp_dir("damage");
         let vfs = Vfs::real();
         fs::create_dir_all(dir.join("whois")).unwrap();
-        // A torn manifest-listed artifact, a leftover tmp, a torn stamp,
-        // and a future format version.
+        fs::create_dir_all(dir.join("spill")).unwrap();
+        // A torn manifest-listed artifact, a leftover tmp, an orphaned
+        // spill run, a torn stamp, and a future format version.
         fs::write(dir.join("rib.mrt"), b"full mrt bytes").unwrap();
         let mut m = Manifest::new();
         m.record("rib.mrt", b"full mrt bytes");
         m.save(&vfs, &dir).unwrap();
         fs::write(dir.join("rib.mrt"), b"full").unwrap();
         fs::write(dir.join("whois/ARIN.txt.p2o-tmp"), b"partial").unwrap();
+        fs::write(dir.join("spill/run-0000.spill"), b"orphan run").unwrap();
         let framed = atomic::frame(b"inputs\t0\t\t\t\n");
         fs::write(dir.join("dataset.jsonl.ckpt"), &framed[..framed.len() - 2]).unwrap();
         fs::write(dir.join("meta.tsv"), b"format_version\t99\n").unwrap();
@@ -222,11 +270,32 @@ mod tests {
             "{all}"
         );
         assert!(
+            all.contains("spill/run-0000.spill: orphaned spill run"),
+            "{all}"
+        );
+        assert!(
             all.contains("dataset.jsonl.ckpt: checkpoint stamp damaged"),
             "{all}"
         );
         assert!(all.contains("format_version 99"), "{all}");
-        assert_eq!(report.findings.len(), 4, "{all}");
+        assert_eq!(report.findings.len(), 5, "{all}");
+
+        // --gc removes exactly the removable classes (tmp + spill) and the
+        // emptied spill directory; the torn artifact and stamp remain.
+        let removed = gc(&vfs, &dir).unwrap();
+        assert_eq!(
+            removed,
+            vec![
+                "spill/run-0000.spill".to_string(),
+                "whois/ARIN.txt.p2o-tmp".to_string(),
+            ]
+        );
+        assert!(!dir.join("spill").exists());
+        let after = audit(&vfs, &dir).unwrap();
+        let all = after.findings.join("\n");
+        assert!(!all.contains("leftover tmp"), "{all}");
+        assert!(!all.contains("orphaned spill run"), "{all}");
+        assert_eq!(after.findings.len(), 3, "{all}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,13 +1,14 @@
 //! `prefix2org` — the command-line front end of the reproduction.
 //!
 //! ```text
-//! prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
+//! prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench|xl] [--transfers N]
 //!                     [--corrupt-rate R] [--corrupt-seed N]
 //!                     [--adversarial CLASS] [--adversarial-seed N]
 //! prefix2org build    --in DIR --out FILE.jsonl [--strict] [--resume] [--threads N]
+//!                     [--spill] [--mem-budget BYTES] [--strict-mem]
 //!                     [--quarantine-samples N] [--exceptions FILE.jsonl]
 //!                     [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
-//! prefix2org fsck     DIR
+//! prefix2org fsck     DIR [--gc]
 //! prefix2org serve    DIR [--addr HOST:PORT] [--threads N] [--access-log FILE] [--allow-quit]
 //!                     [--exceptions FILE.jsonl]
 //! prefix2org explain  --in DIR PREFIX... [--threads N] [--exceptions FILE.jsonl]
@@ -87,9 +88,9 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "generate" => commands::generate(&args::Parsed::parse(rest)?),
         "build" => commands::build(&args::Parsed::parse_with_switches(
             rest,
-            &["strict", "resume"],
+            &["strict", "resume", "spill", "strict-mem"],
         )?),
-        "fsck" => commands::fsck(&args::Parsed::parse(rest)?),
+        "fsck" => commands::fsck(&args::Parsed::parse_with_switches(rest, &["gc"])?),
         "serve" => commands::serve(&args::Parsed::parse_with_switches(
             rest,
             &["no-frozen", "allow-quit"],
@@ -114,11 +115,13 @@ fn print_usage() {
 prefix2org — map BGP prefixes to organizations (IMC'25 reproduction)
 
 USAGE:
-  prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench] [--transfers N]
+  prefix2org generate --out DIR [--seed N] [--scale tiny|default|bench|xl] [--transfers N]
                       [--corrupt-rate R] [--corrupt-seed N]
                       [--adversarial CLASS] [--adversarial-seed N]
       Materialize a synthetic Internet: WHOIS bulk dumps (native formats),
       an MRT RIB snapshot, AS2Org + sibling TSVs, RPKI objects, ground truth.
+      --scale xl is the out-of-core stress world (>=10x bench), sized so
+      `build --spill --mem-budget` exercises the spill path for real.
       --corrupt-rate injects seeded record-level corruption (truncation,
       bit-flips, length-field lies, junk records) into the written WHOIS,
       MRT and RPKI artifacts at the given per-record rate (0..=1);
@@ -136,6 +139,7 @@ USAGE:
       --adversarial-seed decouples victim selection from the world seed.
 
   prefix2org build --in DIR --out FILE.jsonl [--strict] [--resume] [--threads N]
+                   [--spill] [--mem-budget BYTES] [--strict-mem]
                    [--quarantine-samples N] [--exceptions FILE.jsonl]
                    [--report RUN.json|-] [--trace TRACE.json] [--metrics METRICS.prom]
       Parse a generated (or compatible) directory and run the full pipeline;
@@ -175,14 +179,27 @@ USAGE:
       the frozen artifact, and every provenance trace. Rule-file content
       participates in the checkpoint and frozen-staleness digests. A
       damaged line warns and is quarantined (--strict aborts instead).
+      --spill streams the ingest through sorted on-disk spill runs
+      (written atomically under DIR/spill/) and merges them with a
+      bounded working set, so a directory larger than RAM still builds;
+      the export is byte-identical to the in-memory path. --mem-budget
+      BYTES bounds the transient working set: the spill chunk sizes are
+      derived from it, and an in-memory build whose largest input would
+      exceed it degrades to the spill path with a warning (--strict-mem
+      aborts with exit 2 instead; it requires --mem-budget). Peak usage,
+      budget, and spill traffic land in the run report's memory section
+      and the mem.* counters of --metrics.
 
-  prefix2org fsck DIR
+  prefix2org fsck DIR [--gc]
       Audit a data directory: verify every artifact against MANIFEST.tsv,
-      flag leftover .p2o-tmp files from interrupted writes, check that
+      flag leftover .p2o-tmp files from interrupted writes and orphaned
+      .spill runs from interrupted streaming builds, check that
       checkpoint stamps unframe cleanly, audit frozen .p2ob datasets
       (frame digest, arena layout, format_version, string/LPM table
       invariants), and reject unsupported format_versions. Exits 2 when
-      anything is damaged.
+      anything is damaged. --gc deletes the removable debris (tmp files
+      and orphaned spill runs) after the audit, then re-audits; the exit
+      code reflects the directory's state after collection.
 
   prefix2org serve DIR [--addr HOST:PORT] [--threads N] [--no-frozen]
                    [--access-log FILE] [--allow-quit] [--exceptions FILE.jsonl]

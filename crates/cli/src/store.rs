@@ -22,7 +22,9 @@ use p2o_bgp::RouteTable;
 use p2o_net::Prefix;
 use p2o_synth::World;
 use p2o_util::ingest::{IngestError, Quarantine, QuarantinedRecord};
+use p2o_util::interner::Interner;
 use p2o_util::manifest::{Manifest, VerifyIssue};
+use p2o_util::spill::{self, MemBudget, RunMerger, RunWriter, SpillRecord, SpillTuning};
 use p2o_util::vfs::Vfs;
 use p2o_util::{atomic, tsv};
 use p2o_whois::alloc::AllocationType;
@@ -207,12 +209,15 @@ pub enum IngestMode {
     Lenient,
 }
 
-/// A load failure: either a typed ingest abort (strict mode hitting a
-/// corrupt record) or any other I/O / format error.
+/// A load failure: a typed ingest abort (strict mode hitting a corrupt
+/// record), a memory-budget abort (`--strict-mem`), or any other I/O /
+/// format error.
 #[derive(Debug)]
 pub enum LoadError {
     /// Strict mode rejected a record; carries the full diagnostic.
     Ingest(IngestError),
+    /// `--strict-mem`: the inputs cannot be loaded within the budget.
+    Budget(String),
     /// Everything else (missing files, unreadable TSVs, ...).
     Other(String),
 }
@@ -227,9 +232,25 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Ingest(e) => write!(f, "{e}"),
+            LoadError::Budget(e) => write!(f, "{e}"),
             LoadError::Other(e) => write!(f, "{e}"),
         }
     }
+}
+
+/// Memory policy for a load: whether to stream inputs through spill runs,
+/// the optional working-set budget in bytes, and whether exceeding the
+/// budget aborts (`--strict-mem`) instead of degrading into spilling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemOptions {
+    /// Shard the inputs into sorted spill runs and merge-resolve with a
+    /// bounded working set (`build --spill`).
+    pub spill: bool,
+    /// Working-set budget in bytes (`--mem-budget`); `None` = unlimited.
+    pub budget: Option<u64>,
+    /// Abort (exit 2 in the CLI) instead of degrading into the spill path
+    /// when the in-memory load would exceed the budget.
+    pub strict: bool,
 }
 
 /// What [`load_inputs_mode`] returns: the parsed inputs plus every record
@@ -246,6 +267,10 @@ pub struct LoadOutcome {
     /// Artifacts that verified clean against the manifest (0 when the
     /// directory has no manifest).
     pub manifest_verified: u64,
+    /// How the load used memory: mode, peak working set, budget pressure,
+    /// and spill-run traffic. Always populated (all-zero spill fields on
+    /// the in-memory path).
+    pub memory: p2o_obs::MemorySummary,
 }
 
 /// Loads and parses a snapshot directory through the real substrate paths.
@@ -295,6 +320,227 @@ pub fn load_inputs_mode(
     threads: usize,
     mode: IngestMode,
 ) -> Result<LoadOutcome, LoadError> {
+    load_inputs_budgeted(vfs, dir, obs, threads, mode, MemOptions::default())
+}
+
+/// The bounded-memory sources: whois dumps keyed by registry, the MRT RIB,
+/// and the RPKI JSONL. Indexed by the interned source symbol, in
+/// processing order.
+enum SpillSource {
+    /// `whois/<STEM>.txt`, parsed with the registry's parser.
+    Whois(Registry, String),
+    /// `rib.mrt`.
+    Mrt,
+    /// `rpki.jsonl`.
+    Rpki,
+}
+
+/// The longest UTF-8-valid prefix of `buf`. Bytes cut mid-character at a
+/// slab boundary are simply not part of the prefix (they are carried into
+/// the next slab); invalid bytes anywhere else are a hard error, matching
+/// what `read_to_string` does on the in-memory path.
+fn utf8_prefix<'a>(buf: &'a [u8], path: &Path) -> Result<&'a str, String> {
+    match std::str::from_utf8(buf) {
+        Ok(text) => Ok(text),
+        Err(e) if e.error_len().is_none() => Ok(std::str::from_utf8(&buf[..e.valid_up_to()])
+            .expect("prefix below valid_up_to is valid")),
+        Err(e) => Err(format!(
+            "{}: invalid UTF-8 at byte {}",
+            path.display(),
+            e.valid_up_to()
+        )),
+    }
+}
+
+/// A merged spill chunk that must decode as text in full (the sharder only
+/// cuts at character boundaries, so anything else is corruption).
+fn chunk_text<'a>(payload: &'a [u8], what: &str) -> Result<&'a str, LoadError> {
+    std::str::from_utf8(payload)
+        .map_err(|e| LoadError::Other(format!("{what}: spill chunk is not UTF-8: {e}")))
+}
+
+/// Pushes one sharded chunk into the run writer.
+fn push_chunk(
+    writer: &mut RunWriter,
+    seq: &mut u64,
+    sym: u32,
+    chunk_idx: &mut u32,
+    payload: Vec<u8>,
+) -> std::io::Result<()> {
+    writer.push(SpillRecord {
+        key: SpillRecord::key_for(sym, *chunk_idx),
+        seq: *seq,
+        payload,
+    })?;
+    *seq += 1;
+    *chunk_idx += 1;
+    Ok(())
+}
+
+/// Shards a text input into spill chunks by reading fixed-size slabs and
+/// cutting at the last safe boundary `cut` finds (object boundary for
+/// WHOIS, line boundary for JSONL). The carry — everything after the last
+/// boundary — rides into the next slab, so no chunk ever splits an object
+/// or line. The working set is the carry plus one slab.
+#[allow(clippy::too_many_arguments)]
+fn shard_text_input(
+    vfs: &Vfs,
+    path: &Path,
+    sym: u32,
+    tuning: SpillTuning,
+    budget: &MemBudget,
+    writer: &mut RunWriter,
+    seq: &mut u64,
+    cut: impl Fn(&str) -> Option<usize>,
+) -> Result<(), LoadError> {
+    let mut carry: Vec<u8> = Vec::new();
+    let mut off = 0u64;
+    let mut chunk_idx = 0u32;
+    loop {
+        let slab = vfs
+            .read_range(path, off, tuning.chunk_bytes)
+            .map_err(|e| io_err("reading", path, e))?;
+        let eof = slab.is_empty();
+        off += slab.len() as u64;
+        budget.charge(slab.len() as u64);
+        carry.extend_from_slice(&slab);
+        drop(slab);
+        if eof {
+            if !carry.is_empty() {
+                let n = carry.len() as u64;
+                push_chunk(writer, seq, sym, &mut chunk_idx, std::mem::take(&mut carry))
+                    .map_err(|e| io_err("spilling", path, e))?;
+                budget.release(n);
+            }
+            return Ok(());
+        }
+        let text = utf8_prefix(&carry, path)?;
+        if let Some(cut_at) = cut(text) {
+            if cut_at > 0 {
+                let rest = carry.split_off(cut_at);
+                let payload = std::mem::replace(&mut carry, rest);
+                let n = payload.len() as u64;
+                push_chunk(writer, seq, sym, &mut chunk_idx, payload)
+                    .map_err(|e| io_err("spilling", path, e))?;
+                budget.release(n);
+            }
+        }
+        // No boundary yet (an object larger than a slab): keep growing the
+        // carry until one appears or the file ends.
+    }
+}
+
+/// Shards the MRT RIB at record boundaries. The first record — the
+/// PEER_INDEX_TABLE every TABLE_DUMP_V2 decoder needs — is prepended to
+/// every later chunk, making each chunk a self-contained MRT stream that
+/// `RouteTable::from_mrt_lenient` can decode independently. A length field
+/// claiming an absurd record (corruption) drops the rest of the file into
+/// plain slab-sized chunks and lets the lenient resync sort it out.
+fn shard_mrt_input(
+    vfs: &Vfs,
+    path: &Path,
+    sym: u32,
+    tuning: SpillTuning,
+    budget: &MemBudget,
+    writer: &mut RunWriter,
+    seq: &mut u64,
+) -> Result<(), LoadError> {
+    let spilled = |e: std::io::Error| io_err("spilling", path, e);
+    let mut carry: Vec<u8> = Vec::new();
+    let mut chunk: Vec<u8> = Vec::new();
+    let mut peer: Vec<u8> = Vec::new();
+    let mut chunk_idx = 0u32;
+    let mut raw_tail = false;
+    let mut off = 0u64;
+    let max_record = tuning.chunk_bytes.saturating_mul(16).max(1 << 20);
+    loop {
+        let slab = vfs
+            .read_range(path, off, tuning.chunk_bytes)
+            .map_err(|e| io_err("reading", path, e))?;
+        let eof = slab.is_empty();
+        off += slab.len() as u64;
+        budget.charge(slab.len() as u64);
+        carry.extend_from_slice(&slab);
+        drop(slab);
+        while !raw_tail {
+            let Some(need) = p2o_bgp::mrt::record_frame_len(&carry) else {
+                break;
+            };
+            if need > max_record {
+                raw_tail = true;
+                break;
+            }
+            if carry.len() < need {
+                break;
+            }
+            let rest = carry.split_off(need);
+            let record = std::mem::replace(&mut carry, rest);
+            if peer.is_empty() {
+                budget.charge(record.len() as u64);
+                peer = record.clone();
+            }
+            chunk.extend_from_slice(&record);
+            drop(record);
+            if chunk.len() >= tuning.chunk_bytes {
+                let n = chunk.len() as u64;
+                let payload = frame_mrt_chunk(chunk_idx, &peer, &mut chunk);
+                push_chunk(writer, seq, sym, &mut chunk_idx, payload).map_err(spilled)?;
+                budget.release(n);
+            }
+        }
+        if raw_tail {
+            chunk.append(&mut carry);
+            if chunk.len() >= tuning.chunk_bytes {
+                let n = chunk.len() as u64;
+                let payload = frame_mrt_chunk(chunk_idx, &peer, &mut chunk);
+                push_chunk(writer, seq, sym, &mut chunk_idx, payload).map_err(spilled)?;
+                budget.release(n);
+            }
+        }
+        if eof {
+            // Trailing bytes that never formed a whole record (a torn tail)
+            // ride along; the lenient decoder quarantines them.
+            chunk.append(&mut carry);
+            if !chunk.is_empty() {
+                let n = chunk.len() as u64;
+                let payload = frame_mrt_chunk(chunk_idx, &peer, &mut chunk);
+                push_chunk(writer, seq, sym, &mut chunk_idx, payload).map_err(spilled)?;
+                budget.release(n);
+            }
+            budget.release(peer.len() as u64);
+            return Ok(());
+        }
+    }
+}
+
+/// Assembles one MRT chunk payload: chunk 0 already starts with the peer
+/// index table; every later chunk gets a copy prepended.
+fn frame_mrt_chunk(chunk_idx: u32, peer: &[u8], chunk: &mut Vec<u8>) -> Vec<u8> {
+    if chunk_idx == 0 || peer.is_empty() {
+        std::mem::take(chunk)
+    } else {
+        let mut payload = Vec::with_capacity(peer.len() + chunk.len());
+        payload.extend_from_slice(peer);
+        payload.append(chunk);
+        payload
+    }
+}
+
+/// [`load_inputs_mode`] with a memory policy: `mem.spill` streams every
+/// large input (WHOIS dumps, the MRT RIB, the RPKI JSONL) through sorted,
+/// framed spill runs under `DIR/spill/` and merge-resolves them with a
+/// bounded working set; the output is byte-identical to the in-memory
+/// path. With a budget and no `--spill`, a projected overrun degrades
+/// gracefully into spilling (warning + `mem.budget_exceeded`), or aborts
+/// with [`LoadError::Budget`] under `mem.strict`.
+pub fn load_inputs_budgeted(
+    vfs: &Vfs,
+    dir: &Path,
+    obs: Option<&p2o_obs::Obs>,
+    threads: usize,
+    mode: IngestMode,
+    mem: MemOptions,
+) -> Result<LoadOutcome, LoadError> {
     let read = |path: PathBuf| -> Result<String, String> {
         vfs.read_to_string(&path)
             .map_err(|e| io_err("reading", &path, e))
@@ -306,6 +552,7 @@ pub fn load_inputs_mode(
         p2o_obs::register_ingest_counters(o);
         p2o_obs::register_durability_counters(o);
         p2o_obs::register_rov_counters(o);
+        p2o_obs::register_mem_counters(o);
     }
 
     // Meta first: the format version gate, then the snapshot date (which
@@ -352,7 +599,8 @@ pub fn load_inputs_mode(
     }
 
     // WHOIS dumps: the file stem names the registry; the registry picks the
-    // parser.
+    // parser. Listed up front — both the memory projection and either
+    // ingest path need the sorted set.
     let whois_dir = dir.join("whois");
     let mut db = WhoisDb::new();
     if let Some(o) = obs {
@@ -364,6 +612,7 @@ pub fn load_inputs_mode(
         .filter(|p| p.extension().is_some_and(|x| x == "txt"))
         .collect();
     entries.sort();
+    let mut whois_files: Vec<(PathBuf, Registry, String)> = Vec::with_capacity(entries.len());
     for path in entries {
         let stem = path
             .file_stem()
@@ -372,27 +621,265 @@ pub fn load_inputs_mode(
         let registry: Registry = stem
             .parse()
             .map_err(|e| format!("{}: {e}", path.display()))?;
-        let text = read(path.clone())?;
-        let before = db.problems().len();
-        match registry {
-            Registry::Rir(Rir::Arin) => db.add_arin_parallel(&text, threads),
-            Registry::Rir(Rir::Lacnic)
-            | Registry::Nir(p2o_whois::Nir::NicBr)
-            | Registry::Nir(p2o_whois::Nir::NicMx) => {
-                db.add_lacnic_parallel(&text, registry, threads)
+        let label = format!("whois/{stem}.txt");
+        whois_files.push((path, registry, label));
+    }
+    let mrt_path = dir.join("rib.mrt");
+    let rpki_path = dir.join("rpki.jsonl");
+
+    // The memory decision. The in-memory path holds each large input whole
+    // while parsing it, so its working set is at least the largest input
+    // file; when a budget says that cannot fit, degrade into the spill
+    // path (or abort under --strict-mem). The projection is per-file, not
+    // total, because the in-memory path releases each file before reading
+    // the next.
+    let budget_bytes = mem.budget.unwrap_or(0);
+    let projected: u64 = whois_files
+        .iter()
+        .map(|(p, _, _)| p.clone())
+        .chain([mrt_path.clone(), rpki_path.clone()])
+        .filter_map(|p| vfs.file_len(&p).ok())
+        .max()
+        .unwrap_or(0);
+    let mut spilling = mem.spill;
+    let mut degraded = false;
+    if !spilling && budget_bytes > 0 && projected > budget_bytes {
+        if mem.strict {
+            return Err(LoadError::Budget(format!(
+                "inputs need a working set of at least {projected} bytes (largest input \
+                 file) but --mem-budget is {budget_bytes}; rerun with --spill or raise \
+                 the budget"
+            )));
+        }
+        eprintln!(
+            "warning: mem: inputs need ~{projected} bytes but the budget is \
+             {budget_bytes}; degrading to the spill path"
+        );
+        spilling = true;
+        degraded = true;
+    }
+    let budget = MemBudget::new(mem.budget);
+
+    let apply_whois = |db: &mut WhoisDb, registry: Registry, text: &str| match registry {
+        Registry::Rir(Rir::Arin) => db.add_arin_parallel(text, threads),
+        Registry::Rir(Rir::Lacnic)
+        | Registry::Nir(p2o_whois::Nir::NicBr)
+        | Registry::Nir(p2o_whois::Nir::NicMx) => db.add_lacnic_parallel(text, registry, threads),
+        reg => db.add_rpsl_parallel(text, reg, threads),
+    };
+
+    let mut routes = RouteTable::new();
+    let mut repo = p2o_rpki::RpkiRepository::new();
+    let mut spill_stats = p2o_util::spill::SpillStats::default();
+
+    if spilling {
+        // Streaming ingest: shard every large input into one global spill
+        // store, keyed by (interned source symbol, chunk index), then
+        // merge-resolve in exactly the sequential processing order. Chunks
+        // are cut at object / record / line boundaries, so concatenated
+        // parses equal the whole-file parse and the export stays
+        // byte-identical.
+        let tuning = SpillTuning::for_budget(budget_bytes);
+        // Debris from an earlier interrupted spill build must not mix with
+        // this run's files (fsck --gc also cleans it offline).
+        spill::clean_spill_dir(vfs, dir).map_err(|e| io_err("cleaning spill dir under", dir, e))?;
+        let mut interner = Interner::new();
+        let mut sources: Vec<SpillSource> = Vec::new();
+        let mut writer = RunWriter::new(vfs, dir, tuning, &budget)
+            .map_err(|e| io_err("creating spill dir under", dir, e))?;
+        let mut seq = 0u64;
+        for (path, registry, label) in &whois_files {
+            let sym = interner.intern(label).0;
+            debug_assert_eq!(sym as usize, sources.len());
+            sources.push(SpillSource::Whois(*registry, label.clone()));
+            shard_text_input(
+                vfs,
+                path,
+                sym,
+                tuning,
+                &budget,
+                &mut writer,
+                &mut seq,
+                |t| p2o_whois::shard::last_object_boundary(t).map(|(byte, _)| byte),
+            )?;
+        }
+        let sym = interner.intern("rib.mrt").0;
+        debug_assert_eq!(sym as usize, sources.len());
+        sources.push(SpillSource::Mrt);
+        shard_mrt_input(vfs, &mrt_path, sym, tuning, &budget, &mut writer, &mut seq)?;
+        let sym = interner.intern("rpki.jsonl").0;
+        debug_assert_eq!(sym as usize, sources.len());
+        sources.push(SpillSource::Rpki);
+        shard_text_input(
+            vfs,
+            &rpki_path,
+            sym,
+            tuning,
+            &budget,
+            &mut writer,
+            &mut seq,
+            |t| t.rfind('\n').map(|i| i + 1),
+        )?;
+        let (runs, bytes_written) = writer
+            .finish()
+            .map_err(|e| io_err("writing spill runs under", dir, e))?;
+        spill_stats.runs_created = runs.len() as u64;
+        spill_stats.bytes_written = bytes_written;
+
+        // Merge-resolve: records arrive in global (source, chunk) order —
+        // the exact order the sequential loader reads the files — with the
+        // working set bounded to one read block per run plus the single
+        // chunk being resolved.
+        let mut merger = RunMerger::new(vfs, &runs, tuning).map_err(LoadError::Other)?;
+        let mut cur_sym = u32::MAX;
+        let mut whois_lines = 0u64;
+        let mut mrt_base = 0u64;
+        let mut rpki_lines = 0u64;
+        while let Some(record) = merger.next_record().map_err(LoadError::Other)? {
+            let sym = (record.key >> 32) as u32;
+            let chunk_idx = record.key as u32;
+            if sym != cur_sym {
+                cur_sym = sym;
+                whois_lines = 0;
+                mrt_base = 0;
+                rpki_lines = 0;
             }
-            reg => db.add_rpsl_parallel(&text, reg, threads),
-        };
-        let fresh: Vec<QuarantinedRecord> = db.problems()[before..]
-            .iter()
-            .map(|p| p.to_quarantined())
-            .collect();
-        if !fresh.is_empty() {
-            let label = format!("whois/{stem}.txt");
+            let chunk_len = record.payload.len() as u64;
+            budget.charge(chunk_len);
+            let source = sources
+                .get(sym as usize)
+                .ok_or_else(|| LoadError::Other(format!("spill run names unknown source {sym}")))?;
+            match source {
+                SpillSource::Whois(registry, label) => {
+                    let text = chunk_text(&record.payload, label)?;
+                    let before = db.problems().len();
+                    apply_whois(&mut db, *registry, text);
+                    let fresh: Vec<QuarantinedRecord> = db.problems()[before..]
+                        .iter()
+                        .map(|p| {
+                            // Problem lines are 1-based within the chunk;
+                            // rebase onto the whole file.
+                            let mut q = p.to_quarantined();
+                            q.offset += whois_lines;
+                            q
+                        })
+                        .collect();
+                    whois_lines += text.bytes().filter(|&b| b == b'\n').count() as u64;
+                    if !fresh.is_empty() {
+                        if mode == IngestMode::Strict {
+                            return Err(strict_abort(label, fresh));
+                        }
+                        quarantine.extend_from_file(label, fresh);
+                    }
+                }
+                SpillSource::Mrt => {
+                    // Later chunks carry a prepended copy of the peer index
+                    // table; quarantine byte offsets rebase past it.
+                    let peer_len = if chunk_idx == 0 {
+                        0
+                    } else {
+                        p2o_bgp::mrt::record_frame_len(&record.payload)
+                            .map(|n| n as u64)
+                            .unwrap_or(0)
+                    };
+                    let original = chunk_len - peer_len.min(chunk_len);
+                    let lenient = RouteTable::from_mrt_lenient(
+                        bytes::Bytes::from(record.payload),
+                        obs,
+                        threads,
+                    );
+                    routes.merge(&lenient.table);
+                    if !lenient.quarantined.is_empty() {
+                        let rebased: Vec<QuarantinedRecord> = lenient
+                            .quarantined
+                            .into_iter()
+                            .map(|mut q| {
+                                q.offset = mrt_base + q.offset.saturating_sub(peer_len);
+                                q
+                            })
+                            .collect();
+                        if mode == IngestMode::Strict {
+                            return Err(strict_abort("rib.mrt", rebased));
+                        }
+                        quarantine.extend_from_file("rib.mrt", rebased);
+                    }
+                    mrt_base += original;
+                    budget.release(chunk_len);
+                    continue;
+                }
+                SpillSource::Rpki => {
+                    let text = chunk_text(&record.payload, "rpki.jsonl")?;
+                    let rejected =
+                        p2o_rpki::persist::extend_jsonl_lenient(&mut repo, text, rpki_lines);
+                    rpki_lines += text.bytes().filter(|&b| b == b'\n').count() as u64;
+                    if !rejected.is_empty() {
+                        if mode == IngestMode::Strict {
+                            return Err(strict_abort("rpki.jsonl", rejected));
+                        }
+                        quarantine.extend_from_file("rpki.jsonl", rejected);
+                    }
+                }
+            }
+            budget.release(chunk_len);
+        }
+        let read_stats = merger.stats();
+        spill_stats.runs_merged = read_stats.runs_merged;
+        spill_stats.bytes_read = read_stats.bytes_read;
+        drop(merger);
+        // The merge consumed every run; anything still on disk after this
+        // point would be debris, so a clean finish removes the directory.
+        spill::clean_spill_dir(vfs, dir).map_err(|e| io_err("cleaning spill dir under", dir, e))?;
+    } else {
+        // In-memory ingest: each large input is read whole, parsed, and
+        // released before the next — the classic path, with the working
+        // set accounted so `mem.peak_bytes` is honest either way.
+        for (path, registry, label) in &whois_files {
+            let text = read(path.clone())?;
+            budget.charge(text.len() as u64);
+            let before = db.problems().len();
+            apply_whois(&mut db, *registry, &text);
+            let fresh: Vec<QuarantinedRecord> = db.problems()[before..]
+                .iter()
+                .map(|p| p.to_quarantined())
+                .collect();
+            budget.release(text.len() as u64);
+            if !fresh.is_empty() {
+                if mode == IngestMode::Strict {
+                    return Err(strict_abort(label, fresh));
+                }
+                quarantine.extend_from_file(label, fresh);
+            }
+        }
+
+        // BGP: always the lenient (resyncing) reader — on clean input it is
+        // observationally identical to the strict instrumented path.
+        let mrt = vfs
+            .read(&mrt_path)
+            .map_err(|e| io_err("reading", &mrt_path, e))?;
+        budget.charge(mrt.len() as u64);
+        let mrt_len = mrt.len() as u64;
+        let lenient = RouteTable::from_mrt_lenient(bytes::Bytes::from(mrt), obs, threads);
+        budget.release(mrt_len);
+        if !lenient.quarantined.is_empty() {
             if mode == IngestMode::Strict {
-                return Err(strict_abort(&label, fresh));
+                return Err(strict_abort("rib.mrt", lenient.quarantined));
             }
-            quarantine.extend_from_file(&label, fresh);
+            quarantine.extend_from_file("rib.mrt", lenient.quarantined);
+        }
+        routes = lenient.table;
+
+        // RPKI.
+        let rpki_len = vfs.file_len(&rpki_path).unwrap_or(0);
+        budget.charge(rpki_len);
+        let (loaded, rejected) = p2o_rpki::persist::load_jsonl_lenient(vfs, &rpki_path)
+            .map_err(|e| io_err("reading", &rpki_path, e))?;
+        budget.release(rpki_len);
+        repo = loaded;
+        if !rejected.is_empty() {
+            if mode == IngestMode::Strict {
+                return Err(strict_abort("rpki.jsonl", rejected));
+            }
+            quarantine.extend_from_file("rpki.jsonl", rejected);
         }
     }
 
@@ -411,19 +898,6 @@ pub fn load_inputs_mode(
     }
     let (tree, whois_stats) = db.build();
 
-    // BGP: always the lenient (resyncing) reader — on clean input it is
-    // observationally identical to the strict instrumented path.
-    let path = dir.join("rib.mrt");
-    let mrt = vfs.read(&path).map_err(|e| io_err("reading", &path, e))?;
-    let lenient = RouteTable::from_mrt_lenient(bytes::Bytes::from(mrt), obs, threads);
-    if !lenient.quarantined.is_empty() {
-        if mode == IngestMode::Strict {
-            return Err(strict_abort("rib.mrt", lenient.quarantined));
-        }
-        quarantine.extend_from_file("rib.mrt", lenient.quarantined);
-    }
-    let routes = lenient.table;
-
     // AS2Org + siblings.
     let mut as2org = p2o_as2org::As2OrgDb::new();
     as2org.load_records_tsv(&read(dir.join("as2org.tsv"))?)?;
@@ -432,17 +906,40 @@ pub fn load_inputs_mode(
     }
     let clusters = as2org.cluster();
 
-    // RPKI.
-    let rpki_path = dir.join("rpki.jsonl");
-    let (repo, rejected) = p2o_rpki::persist::load_jsonl_lenient(vfs, &rpki_path)
-        .map_err(|e| io_err("reading", &rpki_path, e))?;
-    if !rejected.is_empty() {
-        if mode == IngestMode::Strict {
-            return Err(strict_abort("rpki.jsonl", rejected));
-        }
-        quarantine.extend_from_file("rpki.jsonl", rejected);
-    }
     let (rpki, rpki_problems) = repo.validate(snapshot_date);
+
+    let memory = p2o_obs::MemorySummary {
+        mode: if degraded {
+            "degraded"
+        } else if spilling {
+            "spill"
+        } else {
+            "in-memory"
+        }
+        .to_string(),
+        budget_bytes,
+        peak_bytes: budget.peak(),
+        budget_exceeded: budget.exceeded_count() + u64::from(degraded),
+        spill_runs_created: spill_stats.runs_created,
+        spill_runs_merged: spill_stats.runs_merged,
+        spill_bytes_written: spill_stats.bytes_written,
+        spill_bytes_read: spill_stats.bytes_read,
+    };
+    if let Some(o) = obs {
+        o.counter(p2o_obs::MEM_PEAK_BYTES).add(memory.peak_bytes);
+        o.counter(p2o_obs::MEM_BUDGET_BYTES)
+            .add(memory.budget_bytes);
+        o.counter(p2o_obs::MEM_BUDGET_EXCEEDED)
+            .add(memory.budget_exceeded);
+        o.counter(p2o_obs::MEM_SPILL_RUNS_CREATED)
+            .add(memory.spill_runs_created);
+        o.counter(p2o_obs::MEM_SPILL_RUNS_MERGED)
+            .add(memory.spill_runs_merged);
+        o.counter(p2o_obs::MEM_SPILL_BYTES_WRITTEN)
+            .add(memory.spill_bytes_written);
+        o.counter(p2o_obs::MEM_SPILL_BYTES_READ)
+            .add(memory.spill_bytes_read);
+    }
 
     // Ground truth (optional).
     let mut truth: Vec<TruthList> = Vec::new();
@@ -486,5 +983,6 @@ pub fn load_inputs_mode(
         quarantine,
         torn,
         manifest_verified,
+        memory,
     })
 }

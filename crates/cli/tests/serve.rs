@@ -262,6 +262,24 @@ fn endpoint_surface_dump_metrics_health_and_reload() {
         );
     }
     assert!(metrics_text.contains("p2o_serve_reloads_total 1"));
+    // The process RSS gauge is always present; on Linux (where CI runs)
+    // the /proc/self/statm probe must report a live, nonzero footprint.
+    let rss = metrics_text
+        .lines()
+        .find_map(|l| l.strip_prefix("p2o_serve_rss_bytes "))
+        .expect("p2o_serve_rss_bytes series")
+        .parse::<u64>()
+        .expect("rss value");
+    if cfg!(target_os = "linux") {
+        assert!(rss > 0, "statm-backed RSS gauge must be nonzero on linux");
+    }
+    let status = client.get("/status").expect("status");
+    assert_eq!(status.status, 200);
+    let status_text = status.text();
+    assert!(
+        status_text.contains("\"rss_bytes\""),
+        "status must carry rss_bytes:\n{status_text}"
+    );
     for line in metrics_text.lines() {
         if line.starts_with('#') {
             assert!(line.starts_with("# TYPE ") || line.starts_with("# HELP "));

@@ -1,0 +1,354 @@
+//! Bounded-memory streaming build: the `--spill` / `--mem-budget` /
+//! `--strict-mem` surface of `prefix2org build`.
+//!
+//! The tentpole property: **the spill path is an implementation detail of
+//! memory, not of meaning** — a build streamed through on-disk spill runs
+//! under any budget, at any thread count, exports byte-identical output to
+//! the plain in-memory build, and the budget is honestly accounted (the
+//! reported peak stays under it).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_prefix2org")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .env_remove(p2o_util::vfs::ENV_FAULT)
+        .output()
+        .expect("binary runs")
+}
+
+fn run_ok(args: &[&str]) -> (String, String) {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p2o-spill-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn generate(dir: &Path, seed: &str) {
+    run_ok(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "tiny",
+        "--seed",
+        seed,
+    ]);
+}
+
+/// Pull one `"key": N` value out of a JSON report without a parser.
+fn json_u64(text: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} in report"));
+    let rest = &text[at + needle.len()..];
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().unwrap_or_else(|_| panic!("numeric {key}"))
+}
+
+/// Spill builds export byte-identically to the in-memory build for every
+/// combination of thread count and budget, the reported peak honors the
+/// budget, and the spill directory is cleaned up on success.
+#[test]
+fn spill_export_is_byte_identical_across_threads_and_budgets() {
+    let dir = temp_dir("identity");
+    let dir_s = dir.to_str().unwrap().to_string();
+    generate(&dir, "4801");
+
+    let golden_path = dir.join("golden.jsonl");
+    run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        golden_path.to_str().unwrap(),
+    ]);
+    let golden = std::fs::read(&golden_path).expect("golden export");
+    assert!(!golden.is_empty());
+
+    for threads in ["1", "4"] {
+        for budget in [None, Some("262144"), Some("65536")] {
+            let out_path = dir.join(format!(
+                "spill-{threads}-{}.jsonl",
+                budget.unwrap_or("unlimited")
+            ));
+            let report_path = dir.join("run.json");
+            let mut args = vec![
+                "build",
+                "--in",
+                &dir_s,
+                "--out",
+                out_path.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--spill",
+                "--report",
+                report_path.to_str().unwrap(),
+            ];
+            if let Some(b) = budget {
+                args.extend(["--mem-budget", b]);
+            }
+            let (_, stderr) = run_ok(&args);
+            assert_eq!(
+                std::fs::read(&out_path).expect("spill export"),
+                golden,
+                "spill export diverged (threads {threads}, budget {budget:?})"
+            );
+            assert!(
+                stderr.contains("mem: spill build"),
+                "missing mem summary line:\n{stderr}"
+            );
+            assert!(
+                !p2o_util::spill::spill_dir(&dir).exists(),
+                "spill dir must be cleaned after success"
+            );
+
+            let report = std::fs::read_to_string(&report_path).expect("report");
+            assert!(report.contains("\"mode\": \"spill\""), "{report}");
+            let peak = json_u64(&report, "peak_bytes");
+            assert!(peak > 0, "accounted peak must be nonzero");
+            if let Some(b) = budget {
+                let b: u64 = b.parse().unwrap();
+                assert!(
+                    peak <= b,
+                    "peak {peak} exceeds budget {b} (threads {threads})"
+                );
+                assert_eq!(json_u64(&report, "budget_exceeded"), 0);
+            }
+            assert!(json_u64(&report, "spill_runs_created") >= 1);
+            assert_eq!(
+                json_u64(&report, "spill_runs_created"),
+                json_u64(&report, "spill_runs_merged"),
+                "every run written must be merged"
+            );
+        }
+    }
+}
+
+/// The `mem.*` counter family flows through to the Prometheus exposition
+/// with the same values the report's memory section carries.
+#[test]
+fn mem_counters_reach_prometheus_exposition() {
+    let dir = temp_dir("prom");
+    let dir_s = dir.to_str().unwrap().to_string();
+    generate(&dir, "4802");
+    let metrics_path = dir.join("metrics.prom");
+    run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        dir.join("out.jsonl").to_str().unwrap(),
+        "--spill",
+        "--mem-budget",
+        "262144",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+    ]);
+    let prom = std::fs::read_to_string(&metrics_path).expect("metrics");
+    assert!(prom.contains("p2o_mem_budget_bytes_total 262144"), "{prom}");
+    for series in [
+        "p2o_mem_peak_bytes_total",
+        "p2o_mem_budget_exceeded_total",
+        "p2o_mem_spill_runs_created_total",
+        "p2o_mem_spill_runs_merged_total",
+        "p2o_mem_spill_bytes_written_total",
+        "p2o_mem_spill_bytes_read_total",
+    ] {
+        assert!(prom.contains(series), "missing {series}:\n{prom}");
+    }
+    let peak_line = prom
+        .lines()
+        .find(|l| l.starts_with("p2o_mem_peak_bytes_total "))
+        .unwrap();
+    let peak: u64 = peak_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(peak > 0 && peak <= 262144, "{peak_line}");
+}
+
+/// A budget the inputs cannot fit degrades gracefully: the build warns,
+/// switches to the spill path, still exports byte-identically, and the
+/// report says `degraded` with a nonzero exceeded tally. `--strict-mem`
+/// turns the same situation into an exit-2 abort with a one-line
+/// diagnostic; without `--mem-budget` it is a usage error.
+#[test]
+fn budget_overrun_degrades_and_strict_mem_aborts() {
+    let dir = temp_dir("degrade");
+    let dir_s = dir.to_str().unwrap().to_string();
+    generate(&dir, "4803");
+
+    let golden_path = dir.join("golden.jsonl");
+    run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        golden_path.to_str().unwrap(),
+    ]);
+    let golden = std::fs::read(&golden_path).expect("golden export");
+
+    // A budget below the largest input file: degrade, warn, still correct.
+    let out_path = dir.join("degraded.jsonl");
+    let report_path = dir.join("run.json");
+    let (_, stderr) = run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        out_path.to_str().unwrap(),
+        "--mem-budget",
+        "16384",
+        "--report",
+        report_path.to_str().unwrap(),
+    ]);
+    assert!(
+        stderr.contains("degrading to the spill path"),
+        "missing degradation warning:\n{stderr}"
+    );
+    assert!(stderr.contains("mem: degraded build"), "{stderr}");
+    assert_eq!(std::fs::read(&out_path).expect("degraded export"), golden);
+    let report = std::fs::read_to_string(&report_path).expect("report");
+    assert!(report.contains("\"mode\": \"degraded\""), "{report}");
+    assert!(json_u64(&report, "budget_exceeded") >= 1, "{report}");
+
+    // --strict-mem: same overrun is a typed ingest failure, exit code 2,
+    // one diagnostic line naming the deficit and the way out.
+    let out = run(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        dir.join("strict.jsonl").to_str().unwrap(),
+        "--mem-budget",
+        "16384",
+        "--strict-mem",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "--strict-mem must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let diag: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.contains("ingest error"))
+        .collect();
+    assert_eq!(diag.len(), 1, "one diagnostic line:\n{stderr}");
+    assert!(
+        diag[0].contains("--mem-budget is 16384") && diag[0].contains("--spill"),
+        "{stderr}"
+    );
+    assert!(
+        !dir.join("strict.jsonl").exists(),
+        "strict abort must not write the export"
+    );
+
+    // --strict-mem without a budget is a usage error (exit 1), not a
+    // silently ignored flag.
+    let out = run(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        dir.join("x.jsonl").to_str().unwrap(),
+        "--strict-mem",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--strict-mem needs --mem-budget"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A spill build under the same hostile budget also stays identical
+    // (the degraded path and the explicit path are the same machinery).
+    let spill_path = dir.join("spill.jsonl");
+    run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        spill_path.to_str().unwrap(),
+        "--spill",
+        "--mem-budget",
+        "16384",
+    ]);
+    assert_eq!(std::fs::read(&spill_path).expect("spill export"), golden);
+}
+
+/// `--resume` checkpoints are keyed on the memory options: flipping
+/// `--spill` or changing the budget invalidates the stamp and recomputes,
+/// while an unchanged invocation (and a `--strict-mem`-only change) skips.
+#[test]
+fn resume_checkpoint_tracks_memory_options() {
+    let dir = temp_dir("resume");
+    let dir_s = dir.to_str().unwrap().to_string();
+    generate(&dir, "4804");
+    let out_path = dir.join("out.jsonl").to_str().unwrap().to_string();
+
+    run_ok(&["build", "--in", &dir_s, "--out", &out_path]);
+
+    // Unchanged options: the stamp holds and the build is skipped.
+    let (_, stderr) = run_ok(&["build", "--in", &dir_s, "--out", &out_path, "--resume"]);
+    assert!(stderr.contains("skipping build"), "{stderr}");
+
+    // Turning --spill on is a different ingest: recompute.
+    let (_, stderr) = run_ok(&[
+        "build", "--in", &dir_s, "--out", &out_path, "--resume", "--spill",
+    ]);
+    assert!(stderr.contains("recomputing"), "{stderr}");
+
+    // Same spill options again: skip.
+    let (_, stderr) = run_ok(&[
+        "build", "--in", &dir_s, "--out", &out_path, "--resume", "--spill",
+    ]);
+    assert!(stderr.contains("skipping build"), "{stderr}");
+
+    // A different budget: recompute.
+    let (_, stderr) = run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        &out_path,
+        "--resume",
+        "--spill",
+        "--mem-budget",
+        "262144",
+    ]);
+    assert!(stderr.contains("recomputing"), "{stderr}");
+
+    // --strict-mem changes failure policy, not ingest output: still a skip.
+    let (_, stderr) = run_ok(&[
+        "build",
+        "--in",
+        &dir_s,
+        "--out",
+        &out_path,
+        "--resume",
+        "--spill",
+        "--mem-budget",
+        "262144",
+        "--strict-mem",
+    ]);
+    assert!(stderr.contains("skipping build"), "{stderr}");
+}

@@ -387,6 +387,7 @@ impl Obs {
             histograms,
             data_quality: None,
             durability: None,
+            memory: None,
         }
     }
 }
@@ -477,6 +478,105 @@ pub fn register_rov_counters(obs: &Obs) {
     obs.counter(EXCEPTIONS_ASSERTED);
     obs.counter(EXCEPTIONS_FILTERED);
     obs.counter(EXCEPTIONS_UNMATCHED);
+}
+
+/// Peak accounted ingest working set in bytes.
+pub const MEM_PEAK_BYTES: &str = "mem.peak_bytes";
+/// Configured memory budget in bytes (0 = unlimited).
+pub const MEM_BUDGET_BYTES: &str = "mem.budget_bytes";
+/// Charges that pushed the working set past the budget.
+pub const MEM_BUDGET_EXCEEDED: &str = "mem.budget_exceeded";
+/// Spill runs written by the streaming loader.
+pub const MEM_SPILL_RUNS_CREATED: &str = "mem.spill_runs_created";
+/// Spill runs consumed to exhaustion by the k-way merge.
+pub const MEM_SPILL_RUNS_MERGED: &str = "mem.spill_runs_merged";
+/// Bytes written to spill-run files (framed).
+pub const MEM_SPILL_BYTES_WRITTEN: &str = "mem.spill_bytes_written";
+/// Bytes read back from spill-run files (digest pass included).
+pub const MEM_SPILL_BYTES_READ: &str = "mem.spill_bytes_read";
+
+/// Registers the memory/spill counter family at zero, so in-memory runs
+/// report explicit zero spill activity instead of missing series (same
+/// rationale as [`register_ingest_counters`]).
+pub fn register_mem_counters(obs: &Obs) {
+    obs.counter(MEM_PEAK_BYTES);
+    obs.counter(MEM_BUDGET_BYTES);
+    obs.counter(MEM_BUDGET_EXCEEDED);
+    obs.counter(MEM_SPILL_RUNS_CREATED);
+    obs.counter(MEM_SPILL_RUNS_MERGED);
+    obs.counter(MEM_SPILL_BYTES_WRITTEN);
+    obs.counter(MEM_SPILL_BYTES_READ);
+}
+
+/// The `memory` section of a run report: how the build's working set was
+/// bounded — the ingest mode actually used, the budget, the accounted
+/// peak, and what the spill layer wrote and merged (all zeros for a plain
+/// in-memory build).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MemorySummary {
+    /// `in-memory`, `spill`, or `degraded` (budget exceeded, spilled
+    /// without being asked to).
+    pub mode: String,
+    /// Configured budget in bytes (0 = unlimited).
+    pub budget_bytes: u64,
+    /// Peak accounted working set in bytes.
+    pub peak_bytes: u64,
+    /// Charges that pushed the working set past the budget.
+    pub budget_exceeded: u64,
+    /// Spill runs written.
+    pub spill_runs_created: u64,
+    /// Spill runs merged to exhaustion.
+    pub spill_runs_merged: u64,
+    /// Bytes written to spill files.
+    pub spill_bytes_written: u64,
+    /// Bytes read back from spill files.
+    pub spill_bytes_read: u64,
+}
+
+impl MemorySummary {
+    /// Serializes to the `memory` JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set(
+            "mode",
+            if self.mode.is_empty() {
+                "in-memory"
+            } else {
+                self.mode.as_str()
+            },
+        );
+        root.set("budget_bytes", self.budget_bytes);
+        root.set("peak_bytes", self.peak_bytes);
+        root.set("budget_exceeded", self.budget_exceeded);
+        root.set("spill_runs_created", self.spill_runs_created);
+        root.set("spill_runs_merged", self.spill_runs_merged);
+        root.set("spill_bytes_written", self.spill_bytes_written);
+        root.set("spill_bytes_read", self.spill_bytes_read);
+        root
+    }
+
+    /// Parses a `memory` JSON object back into a summary.
+    pub fn from_json(json: &Json) -> Result<MemorySummary, String> {
+        let num = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("memory: missing {key}"))
+        };
+        Ok(MemorySummary {
+            mode: json
+                .get("mode")
+                .and_then(Json::as_str)
+                .unwrap_or("in-memory")
+                .to_string(),
+            budget_bytes: num("budget_bytes")?,
+            peak_bytes: num("peak_bytes")?,
+            budget_exceeded: num("budget_exceeded")?,
+            spill_runs_created: num("spill_runs_created")?,
+            spill_runs_merged: num("spill_runs_merged")?,
+            spill_bytes_written: num("spill_bytes_written")?,
+            spill_bytes_read: num("spill_bytes_read")?,
+        })
+    }
 }
 
 /// The `durability` section of a run report: what the crash-safety layer
@@ -632,6 +732,9 @@ pub struct RunReport {
     /// Crash-safety summary, when the run wrote artifacts through the
     /// durability layer (`None` for in-memory runs).
     pub durability: Option<DurabilitySummary>,
+    /// Memory-posture summary, when the run went through the budgeted
+    /// loader (`None` for runs without one).
+    pub memory: Option<MemorySummary>,
 }
 
 impl RunReport {
@@ -695,6 +798,9 @@ impl RunReport {
         }
         if let Some(d) = &self.durability {
             root.set("durability", d.to_json());
+        }
+        if let Some(m) = &self.memory {
+            root.set("memory", m.to_json());
         }
         root
     }
@@ -770,12 +876,17 @@ impl RunReport {
             .get("durability")
             .map(DurabilitySummary::from_json)
             .transpose()?;
+        let memory = doc
+            .get("memory")
+            .map(MemorySummary::from_json)
+            .transpose()?;
         Ok(RunReport {
             stages,
             counters,
             histograms,
             data_quality,
             durability,
+            memory,
         })
     }
 
@@ -859,6 +970,42 @@ impl RunReport {
                 out.push_str(&format!(
                     "  {:width$}  {:>10}\n",
                     "faults_injected", d.faults_injected
+                ));
+            }
+        }
+        if let Some(m) = &self.memory {
+            out.push_str("memory\n");
+            out.push_str(&format!("  {:width$}  {:>10}\n", "mode", m.mode));
+            out.push_str(&format!(
+                "  {:width$}  {:>10}\n",
+                "budget_bytes", m.budget_bytes
+            ));
+            out.push_str(&format!(
+                "  {:width$}  {:>10}\n",
+                "peak_bytes", m.peak_bytes
+            ));
+            if m.budget_exceeded > 0 {
+                out.push_str(&format!(
+                    "  {:width$}  {:>10}\n",
+                    "budget_exceeded", m.budget_exceeded
+                ));
+            }
+            if m.spill_runs_created > 0 {
+                out.push_str(&format!(
+                    "  {:width$}  {:>10}\n",
+                    "spill_runs_created", m.spill_runs_created
+                ));
+                out.push_str(&format!(
+                    "  {:width$}  {:>10}\n",
+                    "spill_runs_merged", m.spill_runs_merged
+                ));
+                out.push_str(&format!(
+                    "  {:width$}  {:>10}\n",
+                    "spill_bytes_written", m.spill_bytes_written
+                ));
+                out.push_str(&format!(
+                    "  {:width$}  {:>10}\n",
+                    "spill_bytes_read", m.spill_bytes_read
                 ));
             }
         }

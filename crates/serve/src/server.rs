@@ -800,6 +800,7 @@ fn status_page(state: &Arc<ServerState>, snap: &Arc<Snapshot>) -> (u16, &'static
     let mut o = Json::object();
     o.set("status", "ok");
     o.set("uptime_seconds", state.started.elapsed().as_secs());
+    o.set("rss_bytes", process_rss_bytes());
     let mut snapshot = Json::object();
     snapshot.set("serial", snap.serial);
     snapshot.set("digest", snap.digest.clone());
@@ -962,6 +963,12 @@ fn windowed_exposition(state: &Arc<ServerState>) -> String {
         state.active.load(Ordering::Relaxed)
     ));
     out.push_str(
+        "# HELP p2o_serve_rss_bytes Resident set size of the serving process \
+         (0 where the platform offers no cheap probe).\n",
+    );
+    out.push_str("# TYPE p2o_serve_rss_bytes gauge\n");
+    out.push_str(&format!("p2o_serve_rss_bytes {}\n", process_rss_bytes()));
+    out.push_str(
         "# HELP p2o_serve_window_latency_ns Rolling-window latency quantiles per endpoint.\n",
     );
     out.push_str("# TYPE p2o_serve_window_latency_ns gauge\n");
@@ -990,6 +997,28 @@ fn windowed_exposition(state: &Arc<ServerState>) -> String {
     out.push_str("# TYPE p2o_serve_window_rate gauge\n");
     out.push_str(&rates);
     out
+}
+
+/// Resident set size of this process in bytes, from `/proc/self/statm`
+/// (field 2 is resident pages; the page size on every platform this
+/// builds for is 4096). Returns 0 where procfs is unavailable, so the
+/// gauge is present-but-zero rather than a missing series.
+fn process_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::read_to_string("/proc/self/statm")
+            .ok()
+            .and_then(|text| {
+                text.split_whitespace()
+                    .nth(1)
+                    .and_then(|pages| pages.parse::<u64>().ok())
+            })
+            .map_or(0, |pages| pages * 4096)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
 }
 
 /// Gauges describing the currently served snapshot: ROV state tallies and

@@ -67,7 +67,8 @@ impl CarverV4 {
             self.pool_idx += 1;
             assert!(
                 self.pool_idx < self.pools.len(),
-                "IPv4 pool exhausted for this RIR — shrink the world config"
+                "IPv4 pool exhausted for RIR with pools {:?} — shrink the world config",
+                self.pools
             );
             self.cursor = (self.pools[self.pool_idx] as u32) << 24;
         }

@@ -89,6 +89,30 @@ impl WorldConfig {
         }
     }
 
+    /// The stress scale: ten times the [`bench_scale`](Self::bench_scale)
+    /// organization count, for exercising the bounded-memory (`--spill`)
+    /// build path on inputs whose in-memory working set genuinely exceeds
+    /// a modest budget. The growth is deliberately weighted toward the
+    /// low-footprint archetypes (enterprises, /24 holders, ASN-less
+    /// orgs): address *records* scale 10x while carriers, clouds and
+    /// ISPs — whose /12–/19 blocks dominate raw address consumption —
+    /// grow far less, keeping the per-RIR carver pools solvent.
+    pub fn xl_scale(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            carriers: 60,
+            clouds: 48,
+            isps: 2000,
+            leasing: 120,
+            enterprises: 22000,
+            small_orgs: 45000,
+            edu: 1200,
+            no_asn: 3500,
+            snapshot_date: 20240901,
+            transfers: 0,
+        }
+    }
+
     /// A copy of this config representing the next snapshot, with `n`
     /// ownership transfers applied.
     pub fn with_transfers(mut self, n: usize) -> Self {
@@ -125,6 +149,11 @@ mod tests {
         assert_eq!(c.total_orgs(), 2 + 2 + 3 + 1 + 6 + 8 + 4 + 4);
         assert!(WorldConfig::default_scale(1).total_orgs() > 500);
         assert!(WorldConfig::bench_scale(1).total_orgs() > 5000);
+        // The xl preset must stay at least 10x bench, the floor the
+        // bounded-memory acceptance tests assume.
+        assert!(
+            WorldConfig::xl_scale(1).total_orgs() >= 10 * WorldConfig::bench_scale(1).total_orgs()
+        );
     }
 
     #[test]

@@ -190,6 +190,7 @@ impl World {
             p2o_obs::register_ingest_counters(o);
             p2o_obs::register_durability_counters(o);
             p2o_obs::register_rov_counters(o);
+            p2o_obs::register_mem_counters(o);
             db.instrument(o);
         }
         for dump in &self.whois_dumps {

@@ -72,7 +72,18 @@ fn fnv1a_step(h: u64, b: u8) -> u64 {
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a_64(data: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
+    fnv1a_64_update(FNV1A_INIT, data)
+}
+
+/// Initial state for the streaming form of [`fnv1a_64`].
+pub const FNV1A_INIT: u64 = FNV_OFFSET;
+
+/// Streaming FNV-1a: folds `data` into running state `h`. Feeding a byte
+/// string in any block split, starting from [`FNV1A_INIT`], produces the
+/// same value as [`fnv1a_64`] of the whole — the spill-run readers verify
+/// frame digests block by block without buffering the file.
+pub fn fnv1a_64_update(h: u64, data: &[u8]) -> u64 {
+    let mut h = h;
     for &b in data {
         h = fnv1a_step(h, b);
     }

@@ -1,0 +1,678 @@
+//! Sorted, framed spill runs for the bounded-memory streaming build.
+//!
+//! When `build --spill` (or a `--mem-budget` the inputs exceed) is in
+//! effect, the loader shards its inputs into [`SpillRecord`]s, buffers them
+//! up to a run budget, and flushes each buffer as a *sorted, framed* run
+//! file through the [`atomic`](crate::atomic) protocol — so the existing
+//! torn-write / ENOSPC / EIO / kill-point fault injection and `fsck`
+//! auditing cover spill files with no extra wiring. A k-way merge
+//! ([`RunMerger`]) then replays the records in global `(key, seq)` order
+//! while holding only one small read block per run plus the single record
+//! being resolved, which is what bounds the working set.
+//!
+//! Layout of a run file (`spill/run-NNNN.spill`): a standard checksummed
+//! frame whose payload is a sequence of records, each
+//! `key u64 LE · seq u64 LE · len u32 LE · payload bytes`. Records within a
+//! run are sorted by `(key, seq)`; `seq` is globally unique, so the merge
+//! order is total and deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::atomic::{self, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
+use crate::digest::{fnv1a_64_update, FNV1A_INIT};
+use crate::vfs::Vfs;
+
+/// Directory (under the snapshot dir) holding in-flight spill runs. A
+/// successful build removes it; anything left behind is crash debris that
+/// `fsck` flags and `fsck --gc` cleans.
+pub const SPILL_DIR_NAME: &str = "spill";
+
+/// Extension of spill-run files.
+pub const SPILL_SUFFIX: &str = ".spill";
+
+/// Kill-point label used for spill-run writes (`spill@partial`,
+/// `spill@tmp`, `spill@final`).
+pub const SPILL_LABEL: &str = "spill";
+
+/// Per-record framing overhead inside a run payload.
+const RECORD_HEADER_LEN: usize = 20;
+
+/// Whether `path` names a (possibly orphaned) spill-run file.
+pub fn is_spill_path(path: &Path) -> bool {
+    path.to_string_lossy().ends_with(SPILL_SUFFIX)
+}
+
+/// The spill directory for a snapshot directory.
+pub fn spill_dir(dir: &Path) -> PathBuf {
+    dir.join(SPILL_DIR_NAME)
+}
+
+/// One sharded input chunk on its way through the external sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillRecord {
+    /// Sort key: high bits are the interned source symbol, low bits the
+    /// chunk index within that source, so merge order reproduces the
+    /// sequential parse order exactly.
+    pub key: u64,
+    /// Globally unique sequence number (total tie-break).
+    pub seq: u64,
+    /// The chunk bytes.
+    pub payload: Vec<u8>,
+}
+
+impl SpillRecord {
+    /// Builds the composite sort key from an interned source symbol and the
+    /// chunk index within that source.
+    pub fn key_for(source_symbol: u32, chunk_index: u32) -> u64 {
+        ((source_symbol as u64) << 32) | chunk_index as u64
+    }
+
+    fn cost(&self) -> u64 {
+        (RECORD_HEADER_LEN + self.payload.len()) as u64
+    }
+}
+
+/// Accounted ingest working set with an optional hard budget.
+///
+/// `charge`/`release` bracket every transient buffer the loader holds
+/// (file slabs, run buffers, merge blocks, materialized chunks); the peak
+/// feeds `mem.peak_bytes`. A budget of 0 means unlimited. Exceeding the
+/// budget is recorded, never enforced here — graceful degradation and the
+/// `--strict-mem` abort are the caller's policy.
+#[derive(Debug, Default)]
+pub struct MemBudget {
+    budget: u64,
+    current: AtomicU64,
+    peak: AtomicU64,
+    exceeded: AtomicU64,
+}
+
+impl MemBudget {
+    /// A budget of `budget` bytes; `None` (or 0) means unlimited.
+    pub fn new(budget: Option<u64>) -> MemBudget {
+        MemBudget {
+            budget: budget.unwrap_or(0),
+            ..MemBudget::default()
+        }
+    }
+
+    /// The configured budget in bytes (0 = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Accounts `n` bytes entering the working set.
+    pub fn charge(&self, n: u64) {
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        if self.budget > 0 && now > self.budget {
+            self.exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Accounts `n` bytes leaving the working set.
+    pub fn release(&self, n: u64) {
+        self.current.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Currently accounted bytes.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Peak accounted bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Number of charges that pushed the working set over the budget.
+    pub fn exceeded_count(&self) -> u64 {
+        self.exceeded.load(Ordering::Relaxed)
+    }
+}
+
+/// Sizing derived from a memory budget: chunk size for input sharding,
+/// run-buffer size for the writer, and block size for the merge readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillTuning {
+    /// Target size of one sharded input chunk.
+    pub chunk_bytes: usize,
+    /// Buffered bytes before a run is flushed to disk.
+    pub run_bytes: usize,
+    /// Read-ahead block per run during the merge.
+    pub block_bytes: usize,
+}
+
+impl SpillTuning {
+    /// Derives sizes from a budget (0 = unlimited → generous defaults).
+    /// The shard buffer, the run buffer, and the merge read blocks must
+    /// all fit inside the budget together, so each takes a bounded slice.
+    pub fn for_budget(budget: u64) -> SpillTuning {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        if budget == 0 {
+            return SpillTuning {
+                chunk_bytes: MIB as usize,
+                run_bytes: 8 * MIB as usize,
+                block_bytes: 64 * KIB as usize,
+            };
+        }
+        let chunk = (budget / 8).clamp(16 * KIB, 4 * MIB) as usize;
+        let run = (budget / 4).clamp(32 * KIB, 16 * MIB) as usize;
+        SpillTuning {
+            chunk_bytes: chunk,
+            run_bytes: run,
+            block_bytes: (budget / 64).clamp(8 * KIB, 64 * KIB) as usize,
+        }
+    }
+}
+
+/// Counters the spill machinery reports up into the `mem.*` family.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Run files written.
+    pub runs_created: u64,
+    /// Run files consumed to exhaustion by the merge.
+    pub runs_merged: u64,
+    /// Bytes written to spill files (framed).
+    pub bytes_written: u64,
+    /// Bytes read back from spill files (verification pass included).
+    pub bytes_read: u64,
+}
+
+/// Buffers records up to a run budget and flushes each buffer as one
+/// sorted, framed, atomically-written run file.
+pub struct RunWriter<'a> {
+    vfs: &'a Vfs,
+    dir: PathBuf,
+    run_bytes: u64,
+    budget: &'a MemBudget,
+    buffered: Vec<SpillRecord>,
+    buffered_bytes: u64,
+    runs: Vec<PathBuf>,
+    bytes_written: u64,
+}
+
+impl<'a> RunWriter<'a> {
+    /// Creates the spill directory and an empty writer.
+    pub fn new(
+        vfs: &'a Vfs,
+        snapshot_dir: &Path,
+        tuning: SpillTuning,
+        budget: &'a MemBudget,
+    ) -> io::Result<RunWriter<'a>> {
+        let dir = spill_dir(snapshot_dir);
+        vfs.create_dir_all(&dir)?;
+        Ok(RunWriter {
+            vfs,
+            dir,
+            run_bytes: tuning.run_bytes as u64,
+            budget,
+            buffered: Vec::new(),
+            buffered_bytes: 0,
+            runs: Vec::new(),
+            bytes_written: 0,
+        })
+    }
+
+    /// Adds a record, flushing a run first if the buffer is full.
+    pub fn push(&mut self, record: SpillRecord) -> io::Result<()> {
+        let cost = record.cost();
+        if self.buffered_bytes > 0 && self.buffered_bytes + cost > self.run_bytes {
+            self.flush()?;
+        }
+        self.budget.charge(cost);
+        self.buffered_bytes += cost;
+        self.buffered.push(record);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        self.buffered.sort_by_key(|r| (r.key, r.seq));
+        let mut payload = Vec::with_capacity(self.buffered_bytes as usize);
+        for r in &self.buffered {
+            payload.extend_from_slice(&r.key.to_le_bytes());
+            payload.extend_from_slice(&r.seq.to_le_bytes());
+            payload.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&r.payload);
+        }
+        let path = self
+            .dir
+            .join(format!("run-{:04}{SPILL_SUFFIX}", self.runs.len()));
+        atomic::write_framed(self.vfs, &path, SPILL_LABEL, &payload)?;
+        self.bytes_written += (FRAME_HEADER_LEN + payload.len()) as u64;
+        self.budget.release(self.buffered_bytes);
+        self.buffered.clear();
+        self.buffered_bytes = 0;
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Flushes the remainder and returns the run paths plus bytes written.
+    pub fn finish(mut self) -> io::Result<(Vec<PathBuf>, u64)> {
+        self.flush()?;
+        Ok((self.runs, self.bytes_written))
+    }
+}
+
+/// A streaming cursor over one run file: verifies the frame digest in one
+/// block-sized pass, then yields records while holding at most one read
+/// block (plus the record currently materialized).
+#[derive(Debug)]
+struct RunCursor {
+    vfs: Vfs,
+    path: PathBuf,
+    payload_len: u64,
+    fetched: u64,
+    consumed: u64,
+    buf: Vec<u8>,
+    buf_pos: usize,
+    block: usize,
+}
+
+fn cursor_err(path: &Path, what: impl std::fmt::Display) -> String {
+    format!("{}: {what}", path.display())
+}
+
+impl RunCursor {
+    fn open(
+        vfs: &Vfs,
+        path: &Path,
+        block: usize,
+        stats: &mut SpillStats,
+    ) -> Result<RunCursor, String> {
+        let header = vfs
+            .read_range(path, 0, FRAME_HEADER_LEN)
+            .map_err(|e| cursor_err(path, e))?;
+        if header.len() < FRAME_HEADER_LEN {
+            return Err(cursor_err(
+                path,
+                format!(
+                    "torn header: {} of {FRAME_HEADER_LEN} header bytes",
+                    header.len()
+                ),
+            ));
+        }
+        if header[0..4] != FRAME_MAGIC {
+            return Err(cursor_err(
+                path,
+                format!("bad magic {:02X?}", &header[0..4]),
+            ));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version > FRAME_VERSION {
+            return Err(cursor_err(
+                path,
+                format!("unsupported frame version {version}"),
+            ));
+        }
+        let payload_len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let expected_digest = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        stats.bytes_read += FRAME_HEADER_LEN as u64;
+
+        // Digest pass: stream the payload once, block by block, before any
+        // record is trusted. A torn or bit-rotted run fails here, not
+        // halfway through a resolve.
+        let mut h = FNV1A_INIT;
+        let mut off = FRAME_HEADER_LEN as u64;
+        let mut remaining = payload_len;
+        while remaining > 0 {
+            let want = remaining.min(block.max(1) as u64) as usize;
+            let got = vfs
+                .read_range(path, off, want)
+                .map_err(|e| cursor_err(path, e))?;
+            if got.is_empty() {
+                return Err(cursor_err(
+                    path,
+                    format!(
+                        "torn payload: {} of {payload_len} bytes",
+                        payload_len - remaining
+                    ),
+                ));
+            }
+            h = fnv1a_64_update(h, &got);
+            off += got.len() as u64;
+            remaining -= got.len() as u64;
+            stats.bytes_read += got.len() as u64;
+        }
+        if h != expected_digest {
+            return Err(cursor_err(
+                path,
+                format!("digest mismatch: header says {expected_digest:016X}, payload is {h:016X}"),
+            ));
+        }
+
+        Ok(RunCursor {
+            vfs: vfs.clone(),
+            path: path.to_path_buf(),
+            payload_len,
+            fetched: 0,
+            consumed: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+            block,
+        })
+    }
+
+    fn available(&self) -> usize {
+        self.buf.len() - self.buf_pos
+    }
+
+    /// Ensures at least `n` unconsumed bytes are buffered.
+    fn ensure(&mut self, n: usize, stats: &mut SpillStats) -> Result<(), String> {
+        while self.available() < n {
+            if self.fetched >= self.payload_len {
+                return Err(cursor_err(
+                    &self.path,
+                    format!(
+                        "record framing overruns payload ({} of {n} bytes left)",
+                        self.available()
+                    ),
+                ));
+            }
+            if self.buf_pos > 0 {
+                self.buf.drain(..self.buf_pos);
+                self.buf_pos = 0;
+            }
+            let want = ((self.payload_len - self.fetched) as usize)
+                .min(self.block.max(n - self.available()));
+            let off = FRAME_HEADER_LEN as u64 + self.fetched;
+            let got = self
+                .vfs
+                .read_range(&self.path, off, want)
+                .map_err(|e| cursor_err(&self.path, e))?;
+            if got.is_empty() {
+                return Err(cursor_err(&self.path, "payload shrank between passes"));
+            }
+            self.fetched += got.len() as u64;
+            stats.bytes_read += got.len() as u64;
+            self.buf.extend_from_slice(&got);
+        }
+        Ok(())
+    }
+
+    /// Key and sequence of the next record, without materializing it.
+    fn peek(&mut self, stats: &mut SpillStats) -> Result<Option<(u64, u64)>, String> {
+        if self.consumed >= self.payload_len {
+            return Ok(None);
+        }
+        self.ensure(RECORD_HEADER_LEN, stats)?;
+        let b = &self.buf[self.buf_pos..];
+        let key = u64::from_le_bytes(b[0..8].try_into().unwrap());
+        let seq = u64::from_le_bytes(b[8..16].try_into().unwrap());
+        Ok(Some((key, seq)))
+    }
+
+    /// Materializes the next record.
+    fn take(&mut self, stats: &mut SpillStats) -> Result<SpillRecord, String> {
+        self.ensure(RECORD_HEADER_LEN, stats)?;
+        let b = &self.buf[self.buf_pos..];
+        let key = u64::from_le_bytes(b[0..8].try_into().unwrap());
+        let seq = u64::from_le_bytes(b[8..16].try_into().unwrap());
+        let len = u32::from_le_bytes(b[16..20].try_into().unwrap()) as usize;
+        self.ensure(RECORD_HEADER_LEN + len, stats)?;
+        let start = self.buf_pos + RECORD_HEADER_LEN;
+        let payload = self.buf[start..start + len].to_vec();
+        self.buf_pos += RECORD_HEADER_LEN + len;
+        self.consumed += (RECORD_HEADER_LEN + len) as u64;
+        Ok(SpillRecord { key, seq, payload })
+    }
+}
+
+/// K-way merge over spill runs, yielding records in global `(key, seq)`
+/// order with a bounded working set: one read block per run, one record
+/// materialized at a time.
+#[derive(Debug)]
+pub struct RunMerger {
+    cursors: Vec<RunCursor>,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    stats: SpillStats,
+}
+
+impl RunMerger {
+    /// Opens every run (digest-verifying each) and primes the merge heap.
+    pub fn new(vfs: &Vfs, runs: &[PathBuf], tuning: SpillTuning) -> Result<RunMerger, String> {
+        let mut stats = SpillStats::default();
+        let mut cursors = Vec::with_capacity(runs.len());
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (idx, path) in runs.iter().enumerate() {
+            let mut cursor = RunCursor::open(vfs, path, tuning.block_bytes, &mut stats)?;
+            if let Some((key, seq)) = cursor.peek(&mut stats)? {
+                heap.push(Reverse((key, seq, idx)));
+            } else {
+                stats.runs_merged += 1;
+            }
+            cursors.push(cursor);
+        }
+        Ok(RunMerger {
+            cursors,
+            heap,
+            stats,
+        })
+    }
+
+    /// The next record in global order, or `None` when every run is dry.
+    pub fn next_record(&mut self) -> Result<Option<SpillRecord>, String> {
+        let Some(Reverse((_, _, idx))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        let record = self.cursors[idx].take(&mut self.stats)?;
+        match self.cursors[idx].peek(&mut self.stats)? {
+            Some((key, seq)) => self.heap.push(Reverse((key, seq, idx))),
+            None => self.stats.runs_merged += 1,
+        }
+        Ok(Some(record))
+    }
+
+    /// Read-side statistics accumulated so far.
+    pub fn stats(&self) -> SpillStats {
+        self.stats
+    }
+}
+
+/// Removes every spill-run file under `dir`'s spill directory (and the
+/// directory itself, if then empty). Returns the number of files removed.
+/// Missing directory is fine — there is simply nothing to clean.
+pub fn clean_spill_dir(vfs: &Vfs, snapshot_dir: &Path) -> io::Result<u64> {
+    let dir = spill_dir(snapshot_dir);
+    let entries = match std::fs::read_dir(&dir) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        other => other?,
+    };
+    let mut removed = 0u64;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if is_spill_path(&path) || atomic::is_tmp_path(&path) {
+            vfs.remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    vfs.remove_dir(&dir).ok();
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("p2o-spill-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_tuning() -> SpillTuning {
+        SpillTuning {
+            chunk_bytes: 64,
+            run_bytes: 96, // forces multiple runs with small records
+            block_bytes: 16,
+        }
+    }
+
+    fn write_records(dir: &Path, records: Vec<SpillRecord>) -> (Vec<PathBuf>, MemBudget) {
+        let vfs = Vfs::real();
+        let budget = MemBudget::new(None);
+        let mut writer = RunWriter::new(&vfs, dir, tiny_tuning(), &budget).unwrap();
+        for r in records {
+            writer.push(r).unwrap();
+        }
+        let (runs, written) = writer.finish().unwrap();
+        assert!(written > 0);
+        (runs, budget)
+    }
+
+    fn drain(runs: &[PathBuf]) -> Vec<SpillRecord> {
+        let vfs = Vfs::real();
+        let mut merger = RunMerger::new(&vfs, runs, tiny_tuning()).unwrap();
+        let mut out = Vec::new();
+        while let Some(r) = merger.next_record().unwrap() {
+            out.push(r);
+        }
+        assert_eq!(merger.stats().runs_merged, runs.len() as u64);
+        assert!(merger.stats().bytes_read > 0);
+        out
+    }
+
+    fn rec(key: u64, seq: u64, payload: &[u8]) -> SpillRecord {
+        SpillRecord {
+            key,
+            seq,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_global_order() {
+        let dir = tmp("roundtrip");
+        // Push out of key order; small run budget forces several runs.
+        let records: Vec<SpillRecord> = (0..40u64)
+            .map(|i| rec((i * 7) % 40, i, format!("payload-{i}").as_bytes()))
+            .collect();
+        let (runs, budget) = write_records(&dir, records.clone());
+        assert!(runs.len() > 1, "run budget must split {} runs", runs.len());
+        assert_eq!(budget.current(), 0, "writer must release what it charged");
+        assert!(budget.peak() > 0);
+        let merged = drain(&runs);
+        let mut expected = records;
+        expected.sort_by_key(|r| (r.key, r.seq));
+        assert_eq!(merged, expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_larger_than_the_read_block_stream_fine() {
+        let dir = tmp("bigrec");
+        let big = vec![0xAB; 1000]; // >> block_bytes of 16
+        let (runs, _) = write_records(&dir, vec![rec(1, 0, &big), rec(0, 1, b"small")]);
+        let merged = drain(&runs);
+        assert_eq!(merged[0].payload, b"small");
+        assert_eq!(merged[1].payload, big);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payloads_and_key_collisions_break_ties_by_seq() {
+        let dir = tmp("ties");
+        let (runs, _) = write_records(
+            &dir,
+            vec![rec(5, 2, b""), rec(5, 0, b"first"), rec(5, 1, b"")],
+        );
+        let merged = drain(&runs);
+        assert_eq!(
+            merged.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_run_is_rejected_before_any_record_is_yielded() {
+        let dir = tmp("torn");
+        let (runs, _) = write_records(&dir, vec![rec(0, 0, &[7u8; 200])]);
+        let bytes = fs::read(&runs[0]).unwrap();
+        fs::write(&runs[0], &bytes[..bytes.len() - 9]).unwrap();
+        let err = RunMerger::new(&Vfs::real(), &runs, tiny_tuning()).unwrap_err();
+        assert!(err.contains("torn payload"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_rot_is_rejected_by_the_streaming_digest_pass() {
+        let dir = tmp("bitrot");
+        let (runs, _) = write_records(&dir, vec![rec(0, 0, &[7u8; 200])]);
+        let mut bytes = fs::read(&runs[0]).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&runs[0], &bytes).unwrap();
+        let err = RunMerger::new(&Vfs::real(), &runs, tiny_tuning()).unwrap_err();
+        assert!(err.contains("digest mismatch"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_tracks_peak_and_exceeded() {
+        let b = MemBudget::new(Some(100));
+        b.charge(60);
+        assert_eq!(b.exceeded_count(), 0);
+        b.charge(60);
+        assert_eq!(b.exceeded_count(), 1);
+        assert_eq!(b.peak(), 120);
+        b.release(120);
+        assert_eq!(b.current(), 0);
+        assert_eq!(b.peak(), 120);
+        assert_eq!(MemBudget::new(None).budget_bytes(), 0);
+    }
+
+    #[test]
+    fn tuning_scales_with_budget_and_has_floors() {
+        let t = SpillTuning::for_budget(0);
+        assert!(t.chunk_bytes >= 64 * 1024 && t.run_bytes > t.chunk_bytes);
+        let small = SpillTuning::for_budget(64 * 1024);
+        assert!(small.chunk_bytes <= small.run_bytes);
+        assert!(small.chunk_bytes >= 16 * 1024);
+        let big = SpillTuning::for_budget(1 << 30);
+        assert_eq!(big.chunk_bytes, 4 * 1024 * 1024);
+        assert_eq!(big.run_bytes, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn clean_spill_dir_removes_runs_and_tmp_debris() {
+        let dir = tmp("clean");
+        let (runs, _) = write_records(&dir, vec![rec(0, 0, b"x")]);
+        assert!(runs[0].exists());
+        let tmp_file = spill_dir(&dir).join("run-9999.spill.p2o-tmp");
+        fs::write(&tmp_file, b"torn").unwrap();
+        let removed = clean_spill_dir(&Vfs::real(), &dir).unwrap();
+        assert_eq!(removed, 2);
+        assert!(!spill_dir(&dir).exists());
+        assert_eq!(clean_spill_dir(&Vfs::real(), &dir).unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_writes_hit_kill_points_and_byte_faults() {
+        // The whole point of routing runs through write_atomic: enospc
+        // storms tear spill writes like any artifact write.
+        let dir = tmp("faulty");
+        let vfs = Vfs::with_faults(crate::vfs::FaultPlan {
+            enospc_after: Some(10),
+            ..Default::default()
+        });
+        let budget = MemBudget::new(None);
+        let mut w = RunWriter::new(&vfs, &dir, tiny_tuning(), &budget).unwrap();
+        w.push(rec(0, 0, &vec![1u8; 300])).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(vfs.stats().faults_enospc, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -83,6 +83,29 @@ pub fn split_at_object_boundaries(text: &str, shards: usize) -> Vec<Shard<'_>> {
     out
 }
 
+/// The last safe cut point in `text`: the byte offset of the line start
+/// directly after the final blank line, together with the number of lines
+/// before it. Returns `None` when the text has no internal boundary (one
+/// object, or no blank separators at all).
+///
+/// The streaming (`--spill`) loader reads a dump in fixed-size slabs and
+/// uses this to decide how much of the current slab forms whole objects —
+/// everything after the cut is carried into the next slab, so no chunk
+/// ever splits an object.
+pub fn last_object_boundary(text: &str) -> Option<(usize, usize)> {
+    let mut offset = 0usize;
+    let mut prev_blank = false;
+    let mut best: Option<(usize, usize)> = None;
+    for (idx, line) in text.split_inclusive('\n').enumerate() {
+        if prev_blank && offset > 0 {
+            best = Some((offset, idx));
+        }
+        prev_blank = line.trim_end().is_empty();
+        offset += line.len();
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +280,153 @@ mod tests {
         let blank = "\n\n\n";
         let shards = assert_invariants(blank, 4);
         assert_eq!(reassemble(&shards), blank);
+    }
+
+    /// Property: parsing every shard independently and concatenating the
+    /// results must equal the sequential parse — records, orgs, and
+    /// rebased problem lines all identical, not just counts.
+    fn assert_parse_equivalent(text: &str, n: usize) {
+        let whole = crate::rpsl::parse_dump(text, Registry::Rir(Rir::Ripe));
+        let shards = assert_invariants(text, n);
+        let mut records = Vec::new();
+        let mut problems: Vec<usize> = Vec::new();
+        for s in &shards {
+            let dump = crate::rpsl::parse_dump(s.text, Registry::Rir(Rir::Ripe));
+            records.extend(dump.records);
+            problems.extend(dump.problems.iter().map(|p| p.line + s.line_offset));
+        }
+        assert_eq!(records, whole.records, "{n} shards changed the records");
+        assert_eq!(
+            problems,
+            whole.problems.iter().map(|p| p.line).collect::<Vec<_>>(),
+            "{n} shards changed the problem lines"
+        );
+    }
+
+    #[test]
+    fn xl_scale_sharding_is_parse_equivalent() {
+        // An xl-flavoured corpus: tens of thousands of objects, far more
+        // than any shard count used in production.
+        let text = rpsl_corpus(20_000);
+        for n in [2, 8, 64, 512] {
+            assert_parse_equivalent(&text, n);
+        }
+    }
+
+    #[test]
+    fn objects_larger_than_a_shard_stay_whole() {
+        // One object dwarfs the per-shard target: remarks pad it past
+        // 1/4 of the text, so a 4-way split has no boundary inside the
+        // giant and must produce lopsided shards rather than cut it.
+        let giant: String = std::iter::once(
+            "inetnum:        10.99.0.0 - 10.99.255.255\ndescr:          Giant Org\n".to_string(),
+        )
+        .chain((0..4000).map(|i| format!("remarks:        padding line {i}\n")))
+        .chain(std::iter::once("source:         RIPE\n\n".to_string()))
+        .collect();
+        let mut text = rpsl_corpus(4);
+        text.push_str(&giant);
+        text.push_str(&rpsl_corpus(4));
+        for n in [2, 4, 8] {
+            assert_parse_equivalent(&text, n);
+        }
+        // The giant must appear in exactly one shard.
+        let shards = split_at_object_boundaries(&text, 8);
+        let holding: Vec<_> = shards
+            .iter()
+            .filter(|s| s.text.contains("Giant Org"))
+            .collect();
+        assert_eq!(holding.len(), 1);
+        assert!(holding[0].text.contains("padding line 3999"));
+    }
+
+    #[test]
+    fn crlf_only_separators_are_boundaries() {
+        // Separators that are bare "\r\n" (no LF-only blank lines
+        // anywhere): boundary detection must still fire on every one.
+        let text: String = (0..64)
+            .map(|i| {
+                format!(
+                    "inetnum:        10.0.{i}.0 - 10.0.{i}.255\r\n\
+                     descr:          CRLF Org {i}\r\n\
+                     source:         RIPE\r\n\r\n"
+                )
+            })
+            .collect();
+        for n in [2, 4, 16] {
+            assert_parse_equivalent(&text, n);
+        }
+        assert!(split_at_object_boundaries(&text, 4).len() == 4);
+    }
+
+    #[test]
+    fn trailing_unterminated_object_stays_whole() {
+        // The dump ends mid-object: no final newline, no trailing blank.
+        let mut text = rpsl_corpus(32);
+        text.push_str("inetnum:        10.200.0.0 - 10.200.0.255\ndescr:          Tail Org");
+        for n in [2, 4, 8, 32] {
+            assert_parse_equivalent(&text, n);
+        }
+        let shards = split_at_object_boundaries(&text, 8);
+        let last = shards.last().unwrap();
+        assert!(last.text.contains("Tail Org"));
+        assert!(last.text.contains("inetnum:        10.200.0.0"));
+    }
+
+    #[test]
+    fn last_object_boundary_matches_split_candidates() {
+        let text = rpsl_corpus(5);
+        let (cut, lines) = last_object_boundary(&text).unwrap();
+        // The cut is the start of the last object: 5 lines per object
+        // (4 attributes + blank), so 4 objects precede it.
+        assert_eq!(lines, 20);
+        assert!(text[cut..].starts_with("inetnum:"));
+        assert!(text[..cut].ends_with("\n\n"));
+        // No boundary in a single object or in empty text.
+        assert_eq!(last_object_boundary("inetnum: x\ndescr: y\n"), None);
+        assert_eq!(last_object_boundary(""), None);
+        // CRLF-only separators count.
+        let crlf = "a: 1\r\n\r\nb: 2\r\n";
+        let (cut, lines) = last_object_boundary(crlf).unwrap();
+        assert_eq!(&crlf[cut..], "b: 2\r\n");
+        assert_eq!(lines, 2);
+    }
+
+    #[test]
+    fn slab_streaming_with_last_boundary_is_parse_equivalent() {
+        // Simulates the spill loader's slab walk: read fixed-size slabs,
+        // cut each at its last object boundary, carry the tail. The
+        // concatenated chunk parses must equal the sequential parse.
+        let text = rpsl_corpus(300);
+        let whole = crate::rpsl::parse_dump(&text, Registry::Rir(Rir::Ripe));
+        for slab_size in [64usize, 257, 1024, 8192] {
+            let bytes = text.as_bytes();
+            let mut carry = String::new();
+            let mut pos = 0usize;
+            let mut records = Vec::new();
+            let mut chunks = 0usize;
+            while pos < bytes.len() || !carry.is_empty() {
+                let take = slab_size.min(bytes.len() - pos);
+                carry.push_str(std::str::from_utf8(&bytes[pos..pos + take]).unwrap());
+                pos += take;
+                let at_eof = pos >= bytes.len();
+                let chunk = if at_eof {
+                    std::mem::take(&mut carry)
+                } else {
+                    match last_object_boundary(&carry) {
+                        Some((cut, _)) => {
+                            let rest = carry.split_off(cut);
+                            std::mem::replace(&mut carry, rest)
+                        }
+                        None => continue,
+                    }
+                };
+                records.extend(crate::rpsl::parse_dump(&chunk, Registry::Rir(Rir::Ripe)).records);
+                chunks += 1;
+            }
+            assert!(chunks > 1 || slab_size >= text.len());
+            assert_eq!(records, whole.records, "slab {slab_size} changed records");
+        }
     }
 
     #[test]
